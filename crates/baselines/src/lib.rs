@@ -1,0 +1,28 @@
+//! # pase-baselines — comparison strategies (PaSE §IV)
+//!
+//! The paper evaluates its DP-found strategies against three families of
+//! baselines; this crate implements all of them:
+//!
+//! * [`data_parallel`] — the standard practice: split every layer's batch
+//!   dimension across all devices;
+//! * expert-designed strategies:
+//!   [`owt`] ("one weird trick", Krizhevsky 2014) for CNNs — data
+//!   parallelism for convolutions, parameter parallelism for
+//!   fully-connected layers; [`gnmt_expert`] (Wu et al. 2016) for RNNs —
+//!   layer-pipeline × data parallelism; [`mesh_tf_expert`] (Shazeer et
+//!   al. 2018) for Transformers — batch split `m`-way × model dims split
+//!   `n`-way;
+//! * [`mcmc_search`] — a FlexFlow-style Markov-chain Monte-Carlo search
+//!   over per-node configurations with Metropolis acceptance, seeded with
+//!   an expert strategy and stopped by the paper's rule (no improvement
+//!   for half the elapsed search time, or an iteration cap).
+
+#![warn(missing_docs)]
+
+mod experts;
+mod mcmc;
+mod util;
+
+pub use experts::{data_parallel, gnmt_expert, mesh_tf_expert, owt};
+pub use mcmc::{mcmc_search, CostOracle, McmcOptions, McmcResult, TableOracle};
+pub use util::pow2_at_most;

@@ -1,0 +1,41 @@
+//! Small shared helpers for building baseline configurations.
+
+/// Largest power of two ≤ `x` (and ≥ 1). `pow2_at_most(0)` is 1 so that a
+/// degenerate dimension still yields a valid split factor.
+pub fn pow2_at_most(x: u64) -> u32 {
+    if x <= 1 {
+        return 1;
+    }
+    let p = 1u64 << (63 - x.leading_zeros());
+    p.min(u64::from(u32::MAX)) as u32
+}
+
+/// Split factor for a dimension of extent `size` when we *want* `want`
+/// parts: the largest power of two that divides the wish and fits the
+/// extent.
+pub fn split_capped(size: u64, want: u32) -> u32 {
+    pow2_at_most(u64::from(want).min(size.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_at_most_basics() {
+        assert_eq!(pow2_at_most(0), 1);
+        assert_eq!(pow2_at_most(1), 1);
+        assert_eq!(pow2_at_most(2), 2);
+        assert_eq!(pow2_at_most(3), 2);
+        assert_eq!(pow2_at_most(64), 64);
+        assert_eq!(pow2_at_most(1000), 512);
+    }
+
+    #[test]
+    fn split_capped_respects_extent_and_wish() {
+        assert_eq!(split_capped(128, 32), 32);
+        assert_eq!(split_capped(10, 32), 8);
+        assert_eq!(split_capped(1, 32), 1);
+        assert_eq!(split_capped(1000, 7), 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the search hot paths: GenerateSeq
+//! ordering, the full FindBestStrategy DP per benchmark, and the naive
+//! recurrence on the path-shaped models where it is feasible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pase_core::{
+    find_best_strategy, generate_seq, naive_best_strategy, optcnn_search, DpOptions, SearchBudget,
+};
+use pase_cost::{ConfigRule, CostTables, MachineSpec};
+use pase_models::Benchmark;
+
+fn bench_generate_seq(c: &mut Criterion) {
+    let g = Benchmark::InceptionV3.build();
+    c.bench_function("generate_seq/inception_v3", |b| b.iter(|| generate_seq(&g)));
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let machine = MachineSpec::gtx1080ti();
+    let g = Benchmark::InceptionV3.build_for(8);
+    c.bench_function("cost_tables/inception_v3/p8", |b| {
+        b.iter(|| CostTables::build(&g, ConfigRule::new(8), &machine))
+    });
+}
+
+fn bench_find_best_strategy(c: &mut Criterion) {
+    let machine = MachineSpec::gtx1080ti();
+    let mut group = c.benchmark_group("find_best_strategy");
+    group.sample_size(10);
+    for bench in Benchmark::all() {
+        for p in [8u32, 32] {
+            let g = bench.build_for(p);
+            let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
+            group.bench_function(format!("{}/p{}", bench.name(), p), |b| {
+                b.iter_batched(
+                    || (),
+                    |_| find_best_strategy(&g, &tables, &DpOptions::default()),
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_naive_on_path_graphs(c: &mut Criterion) {
+    let machine = MachineSpec::gtx1080ti();
+    let mut group = c.benchmark_group("naive_bf");
+    group.sample_size(10);
+    for bench in [Benchmark::AlexNet, Benchmark::Rnnlm] {
+        let g = bench.build_for(8);
+        let tables = CostTables::build(&g, ConfigRule::new(8), &machine);
+        group.bench_function(format!("{}/p8", bench.name()), |b| {
+            b.iter(|| naive_best_strategy(&g, &tables, SearchBudget::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optcnn_reduction(c: &mut Criterion) {
+    // §VI comparison: graph reduction vs the DP on the reducible models.
+    let machine = MachineSpec::gtx1080ti();
+    let mut group = c.benchmark_group("optcnn");
+    group.sample_size(20);
+    for bench in [Benchmark::AlexNet, Benchmark::InceptionV3] {
+        let g = bench.build_for(8);
+        let tables = CostTables::build(&g, ConfigRule::new(8), &machine);
+        group.bench_function(format!("{}/p8", bench.name()), |b| {
+            b.iter(|| optcnn_search(&g, &tables))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generate_seq,
+    bench_table_build,
+    bench_find_best_strategy,
+    bench_naive_on_path_graphs,
+    bench_optcnn_reduction
+);
+criterion_main!(benches);

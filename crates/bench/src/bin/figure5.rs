@@ -1,0 +1,128 @@
+//! **Fig. 5 / §III-C reproduction** — InceptionV3 graph structure and the
+//! effect of vertex ordering on dependent-set sizes.
+//!
+//! Reports the claims of §III-C:
+//! * the graph has ≈218 nodes, most of degree < 5 with a few high-degree
+//!   fan-out/concat nodes;
+//! * configurations per vertex range ~10–30 at p = 8 and reach ~100+ at
+//!   p = 64;
+//! * breadth-first ordering lets dependent sets reach ~10
+//!   (`K^{M+1} ≥ 10^11` states), while GenerateSeq keeps
+//!   `|D(i) ∪ {v^(i)}| ≤ 3`, making the search tractable.
+//!
+//! ```text
+//! cargo run -p pase-bench --release --bin figure5
+//! ```
+
+use pase_core::{dependent_set_sizes, generate_seq, make_ordering, search_profile, OrderingKind};
+use pase_cost::{enumerate_configs, ConfigRule};
+use pase_graph::{bfs_order, GraphStats};
+use pase_models::{inception_v3, InceptionConfig};
+
+fn main() {
+    let g = inception_v3(&InceptionConfig::paper());
+    let stats = GraphStats::of(&g);
+
+    println!("Fig. 5 / §III-C: InceptionV3 graph structure\n");
+    println!("nodes: {} (paper: 218)", stats.nodes);
+    println!("directed edges: {}", stats.edges);
+    println!(
+        "degree: max {}, mean {:.2}; nodes with degree >= 5: {} (paper: 12), < 5: {}",
+        stats.degrees.max,
+        stats.degrees.mean,
+        stats.degrees.high_degree,
+        stats.nodes - stats.degrees.high_degree
+    );
+    print!("degree histogram:");
+    for (d, &count) in stats.degrees.histogram.iter().enumerate() {
+        if count > 0 {
+            print!(" {d}:{count}");
+        }
+    }
+    println!("\n");
+
+    for p in [8u32, 64] {
+        let ks: Vec<usize> = g
+            .nodes()
+            .iter()
+            .map(|n| enumerate_configs(n, &ConfigRule::new(p)).len())
+            .collect();
+        let (min_k, max_k) = (ks.iter().min().unwrap(), ks.iter().max().unwrap());
+        let mean_k = ks.iter().sum::<usize>() as f64 / ks.len() as f64;
+        println!(
+            "configurations per vertex at p = {p}: min {min_k}, mean {mean_k:.1}, max {max_k} \
+             (paper: 10–30 at p = 8, up to ~100 at p = 64)"
+        );
+    }
+    println!();
+
+    let orderings = [
+        ("GenerateSeq", generate_seq(&g)),
+        ("breadth-first", bfs_order(&g)),
+        (
+            "random(seed 1)",
+            make_ordering(&g, OrderingKind::Random { seed: 1 }),
+        ),
+    ];
+    let k8 = g
+        .nodes()
+        .iter()
+        .map(|n| enumerate_configs(n, &ConfigRule::new(8)).len())
+        .max()
+        .unwrap() as f64;
+    println!(
+        "{:<16} {:>6} {:>14} {:>22}",
+        "ordering", "max|D|", "max|D ∪ {v}|", "K^{M+1} (p=8, K=max)"
+    );
+    for (name, order) in orderings {
+        let sizes = dependent_set_sizes(&g, &order);
+        let m = sizes.iter().copied().max().unwrap_or(0);
+        println!(
+            "{:<16} {:>6} {:>14} {:>22.3e}",
+            name,
+            m,
+            m + 1,
+            k8.powi(m as i32 + 1)
+        );
+    }
+    println!("\n(The paper reports BF dependent sets reaching ~10 → K^{{M+1}} ≥ 10^11,");
+    println!(" vs GenerateSeq keeping |D(i) ∪ {{v}}| ≤ 3 → ≤ 25200 combinations/vertex.)");
+
+    // Per-position dependent-set profile under GenerateSeq: the Fig. 5
+    // intuition that high-degree nodes are sequenced after their branches.
+    let order = generate_seq(&g);
+    let sizes = dependent_set_sizes(&g, &order);
+    let mut histogram = [0usize; 16];
+    for &s in &sizes {
+        histogram[s.min(15)] += 1;
+    }
+    print!("GenerateSeq |D(i)| histogram:");
+    for (d, &count) in histogram.iter().enumerate() {
+        if count > 0 {
+            print!(" {d}:{count}");
+        }
+    }
+    println!();
+
+    // Where the DP's work concentrates (p = 8): the heaviest positions are
+    // the high-degree concat/fan-out vertices sequenced after their
+    // neighborhoods.
+    let k: Vec<usize> = g
+        .nodes()
+        .iter()
+        .map(|n| enumerate_configs(n, &ConfigRule::new(8)).len())
+        .collect();
+    let mut profile = search_profile(&g, &order, &k);
+    let total_states: u64 = profile.iter().map(|p| p.states).sum();
+    profile.sort_by_key(|p| std::cmp::Reverse(p.states));
+    println!("\nheaviest DP positions at p = 8 (of {total_states} total states):");
+    for p in profile.iter().take(5) {
+        println!(
+            "  {:<26} |D| = {}  table = {:>6}  states = {:>8}",
+            g.node(p.vertex).name,
+            p.dependent_set,
+            p.table_entries,
+            p.states
+        );
+    }
+}

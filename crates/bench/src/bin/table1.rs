@@ -1,0 +1,154 @@
+//! **Table I reproduction** — time taken by different algorithms to find
+//! efficient parallelization strategies.
+//!
+//! Columns per benchmark: `BF` (naive recurrence (2) with breadth-first
+//! ordering — expected to OOM on InceptionV3 and Transformer), `FlexFlow`
+//! (MCMC over the relaxed space with the simulator in the loop), and
+//! `Ours` (FindBestStrategy with GenerateSeq). Timings include cost-table
+//! construction, mirroring the paper's end-to-end strategy-finding time.
+//!
+//! ```text
+//! cargo run -p pase-bench --release --bin table1 [-- --devices 4,8,16 \
+//!     --budget-secs 120 --mcmc-iters 250000 --skip-bf --skip-flexflow]
+//! ```
+
+use pase_baselines::McmcOptions;
+use pase_bench::{flexflow_strategy, fmt_mins, relaxed_space, standard_tables};
+use pase_core::{find_best_strategy, naive_best_strategy, DpOptions, SearchBudget};
+use pase_cost::MachineSpec;
+use pase_models::Benchmark;
+use pase_sim::Topology;
+use std::time::{Duration, Instant};
+
+struct Args {
+    devices: Vec<u32>,
+    budget_secs: u64,
+    mcmc_iters: u64,
+    skip_bf: bool,
+    skip_flexflow: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        devices: vec![4, 8, 16, 32, 64],
+        budget_secs: 300,
+        mcmc_iters: 250_000,
+        skip_bf: false,
+        skip_flexflow: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--devices" => {
+                let v = it.next().expect("--devices needs a list");
+                args.devices = v
+                    .split(',')
+                    .map(|s| s.parse().expect("device count"))
+                    .collect();
+            }
+            "--budget-secs" => {
+                args.budget_secs = it.next().expect("value").parse().expect("seconds");
+            }
+            "--mcmc-iters" => {
+                args.mcmc_iters = it.next().expect("value").parse().expect("iterations");
+            }
+            "--skip-bf" => args.skip_bf = true,
+            "--skip-flexflow" => args.skip_flexflow = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let machine = MachineSpec::gtx1080ti();
+    let budget = SearchBudget {
+        max_table_entries: 1 << 28,
+        max_time: Duration::from_secs(args.budget_secs),
+    };
+
+    println!("Table I: time taken to find efficient parallelization strategies");
+    println!(
+        "(machine model: {}; unit mins:secs.msecs; OOM = table budget of",
+        machine.name
+    );
+    println!(" 2^28 entries exceeded, matching the paper's breadth-first blow-up)\n");
+    println!(
+        "{:<4} {:<12} {:>12} {:>12} {:>12}   notes",
+        "p", "benchmark", "BF", "FlexFlow", "Ours"
+    );
+
+    for &p in &args.devices {
+        for bench in Benchmark::all() {
+            let graph = bench.build_for(p);
+
+            // --- BF: naive recurrence (2) -------------------------------
+            let bf_cell = if args.skip_bf {
+                "-".to_string()
+            } else {
+                let t0 = Instant::now();
+                let tables = standard_tables(&graph, p, &machine);
+                let outcome = naive_best_strategy(&graph, &tables, budget);
+                match outcome.found() {
+                    Some(_) => fmt_mins(t0.elapsed()),
+                    None => outcome.tag().to_string(),
+                }
+            };
+
+            // --- FlexFlow-style MCMC ------------------------------------
+            let ff_cell = if args.skip_flexflow {
+                "-".to_string()
+            } else {
+                let topo = Topology::cluster(machine.clone(), p);
+                let t0 = Instant::now();
+                let space = relaxed_space(&graph, p);
+                let _res = flexflow_strategy(
+                    bench,
+                    &graph,
+                    &space,
+                    &topo,
+                    &McmcOptions {
+                        max_iters: args.mcmc_iters,
+                        max_time: Duration::from_secs(args.budget_secs),
+                        ..Default::default()
+                    },
+                );
+                fmt_mins(t0.elapsed())
+            };
+
+            // --- Ours: FindBestStrategy with GenerateSeq ----------------
+            let t0 = Instant::now();
+            let tables = standard_tables(&graph, p, &machine);
+            let outcome = find_best_strategy(
+                &graph,
+                &tables,
+                &DpOptions {
+                    budget,
+                    ..Default::default()
+                },
+            );
+            let (ours_cell, note) = match outcome.found() {
+                Some(r) => (
+                    fmt_mins(t0.elapsed()),
+                    format!(
+                        "K={} M={} cost={:.3e}",
+                        r.stats.max_configs, r.stats.max_dependent_set, r.cost
+                    ),
+                ),
+                None => (outcome.tag().to_string(), String::new()),
+            };
+
+            println!(
+                "{:<4} {:<12} {:>12} {:>12} {:>12}   {}",
+                p,
+                bench.name(),
+                bf_cell,
+                ff_cell,
+                ours_cell,
+                note
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,423 @@
+//! `pase` — find, compare, and export DNN parallelization strategies from
+//! the command line.
+//!
+//! ```text
+//! pase search  --model alexnet --devices 32 [--machine 1080ti] [--json]
+//!              [--memory-limit-gb 8] [--weak-scaling]
+//! pase compare --model rnnlm --devices 32 [--machine 2080ti]
+//! pase stats   --model inception
+//! pase export  --model transformer --devices 16 [--out strategy.json]
+//! ```
+
+mod args;
+
+use args::Args;
+use pase_baselines::{data_parallel, gnmt_expert, mesh_tf_expert, owt};
+use pase_core::{
+    dependent_set_sizes, find_best_strategy, generate_seq, optcnn_search, DpOptions,
+    ReductionOutcome, SearchOutcome,
+};
+use pase_cost::{
+    from_sharding_json, to_sharding_json, validate_strategy, ConfigRule, CostTables, MachineSpec,
+    Strategy,
+};
+use pase_graph::{bfs_order, Graph, GraphStats};
+use pase_models as models;
+use pase_sim::{memory_per_device, simulate_step, simulate_step_trace, SimOptions, Topology};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pase — parallelization strategies for efficient DNN training
+
+USAGE:
+  pase <search|compare|stats|export|simulate|trace|pipeline> [options]
+
+OPTIONS:
+  --model <alexnet|inception|rnnlm|rnnlm-unrolled|gnmt|transformer|densenet|resnet|vgg|bert|mlp>
+  --devices <p>            device count (default 8)
+  --machine <1080ti|2080ti> cluster profile (default 1080ti)
+  --memory-limit-gb <g>    per-device memory cap for the search
+  --algorithm <pase|optcnn> search algorithm (default pase; optcnn fails on
+                           graphs outside its reducible class, cf. paper §VI)
+  --weak-scaling           scale the global batch with the device count
+  --json                   print the strategy as a GShard-style sharding spec
+  --out <file>             write output to a file instead of stdout
+  --strategy <file>        (simulate) sharding spec produced by `pase export`
+  --top <k>                (trace) show the k most expensive layers (default 10)
+  --stages <s>             (pipeline) stage count, must divide p (default 2)
+  --microbatches <m>       (pipeline) GPipe chunks per step (default 8)
+";
+
+fn build_model(name: &str, p: u32, weak_scaling: bool) -> Result<Graph, String> {
+    let scale = |b: u64| if weak_scaling { b * u64::from(p) } else { b };
+    Ok(match name {
+        "alexnet" => models::alexnet(&models::AlexNetConfig {
+            batch: scale(128),
+            ..models::AlexNetConfig::paper()
+        }),
+        "inception" => models::inception_v3(&models::InceptionConfig {
+            batch: scale(128),
+            ..models::InceptionConfig::paper()
+        }),
+        "rnnlm" => models::rnnlm(&models::RnnlmConfig {
+            batch: scale(64),
+            ..models::RnnlmConfig::paper()
+        }),
+        "rnnlm-unrolled" => models::rnnlm_unrolled(&models::RnnlmConfig {
+            batch: scale(64),
+            ..models::RnnlmConfig::paper()
+        }),
+        "transformer" => models::transformer(&models::TransformerConfig {
+            batch: scale(64),
+            ..models::TransformerConfig::paper()
+        }),
+        "densenet" => models::densenet(&models::DenseNetConfig {
+            batch: scale(128),
+            ..models::DenseNetConfig::paper()
+        }),
+        "resnet" => models::resnet(&models::ResNetConfig {
+            batch: scale(128),
+            ..models::ResNetConfig::paper()
+        }),
+        "gnmt" => models::gnmt(&models::GnmtConfig {
+            batch: scale(64),
+            ..models::GnmtConfig::paper()
+        }),
+        "vgg" => models::vgg16(&models::VggConfig {
+            batch: scale(128),
+            ..models::VggConfig::paper()
+        }),
+        "bert" => models::bert_encoder(&models::BertConfig {
+            batch: scale(64),
+            ..models::BertConfig::paper()
+        }),
+        "mlp" => models::mlp(&models::MlpConfig {
+            batch: scale(64),
+            ..Default::default()
+        }),
+        other => return Err(format!("unknown model '{other}'\n\n{USAGE}")),
+    })
+}
+
+fn machine_profile(name: &str) -> Result<MachineSpec, String> {
+    match name {
+        "1080ti" => Ok(MachineSpec::gtx1080ti()),
+        "2080ti" => Ok(MachineSpec::rtx2080ti()),
+        other => Err(format!("unknown machine '{other}' (use 1080ti or 2080ti)")),
+    }
+}
+
+fn search_strategy(
+    graph: &Graph,
+    p: u32,
+    machine: &MachineSpec,
+    memory_limit_gb: Option<f64>,
+) -> Result<(Strategy, f64, pase_core::SearchStats, CostTables), String> {
+    let mut rule = ConfigRule::new(p);
+    if let Some(gb) = memory_limit_gb {
+        rule = rule.with_memory_limit(gb * (1u64 << 30) as f64);
+    }
+    let tables = CostTables::build(graph, rule, machine);
+    match find_best_strategy(graph, &tables, &DpOptions::default()) {
+        SearchOutcome::Found(r) => {
+            let s = tables.ids_to_strategy(&r.config_ids);
+            Ok((s, r.cost, r.stats, tables))
+        }
+        other => Err(format!("search failed: {}", other.tag())),
+    }
+}
+
+fn emit(out_path: Option<&str>, content: &str) -> Result<(), String> {
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    let Some(command) = args.command.clone() else {
+        return Err(USAGE.to_string());
+    };
+    let model = args.get("model").unwrap_or("mlp").to_string();
+    let p: u32 = args.get_or("devices", 8)?;
+    let machine = machine_profile(args.get("machine").unwrap_or("1080ti"))?;
+    let weak = args.has("weak-scaling");
+    let graph = build_model(&model, p, weak)?;
+
+    match command.as_str() {
+        "search" => {
+            let memory_limit = args.get("memory-limit-gb").map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("invalid --memory-limit-gb: {v}"))
+            });
+            let memory_limit = memory_limit.transpose()?;
+            if args.get("algorithm") == Some("optcnn") {
+                let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+                return match optcnn_search(&graph, &tables) {
+                    ReductionOutcome::Reduced {
+                        cost,
+                        config_ids,
+                        eliminations,
+                    } => {
+                        let strategy = tables.ids_to_strategy(&config_ids);
+                        let mut content = format!(
+                            "model {model}, p = {p} — OptCNN graph reduction \
+                             ({eliminations} eliminations)\nminimum cost {cost:.4e} \
+                             FLOP-units\n\n"
+                        );
+                        content.push_str(&strategy.report(&graph));
+                        emit(args.get("out"), &content)
+                    }
+                    ReductionOutcome::Irreducible { remaining } => Err(format!(
+                        "optcnn: graph is irreducible ({} vertices remain) — \
+                         use the default PaSE algorithm (paper §VI)",
+                        remaining.len()
+                    )),
+                };
+            }
+            let (strategy, cost, stats, _) = search_strategy(&graph, p, &machine, memory_limit)?;
+            if args.has("json") {
+                emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
+            } else {
+                let mut content = format!(
+                    "model {model}, p = {p}, machine {} — search {:?} (K = {}, M = {})\n\
+                     minimum cost {cost:.4e} FLOP-units\n\n",
+                    machine.name, stats.elapsed, stats.max_configs, stats.max_dependent_set
+                );
+                content.push_str(&strategy.report(&graph));
+                emit(args.get("out"), &content)?;
+            }
+        }
+        "compare" => {
+            let topo = Topology::cluster(machine.clone(), p);
+            let opts = SimOptions::default();
+            let (ours, _, _, _) = search_strategy(&graph, p, &machine, None)?;
+            let expert = match model.as_str() {
+                "rnnlm" | "rnnlm-unrolled" | "gnmt" => gnmt_expert(&graph, p),
+                "transformer" => mesh_tf_expert(&graph, p),
+                _ => owt(&graph, p),
+            };
+            let mut content = format!(
+                "{:<16} {:>12} {:>14} {:>12}\n",
+                "strategy", "step (ms)", "samples/s", "mem (MiB)"
+            );
+            for (name, s) in [
+                ("data-parallel", data_parallel(&graph, p)),
+                ("expert", expert),
+                ("pase", ours),
+            ] {
+                let rep = simulate_step(&graph, &s, &topo, &opts);
+                let mem = memory_per_device(&graph, &s, &topo) / (1 << 20) as f64;
+                content.push_str(&format!(
+                    "{:<16} {:>12.2} {:>14.0} {:>12.0}\n",
+                    name,
+                    rep.step_seconds * 1e3,
+                    rep.throughput,
+                    mem
+                ));
+            }
+            emit(args.get("out"), &content)?;
+        }
+        "stats" => {
+            let stats = GraphStats::of(&graph);
+            let gs = dependent_set_sizes(&graph, &generate_seq(&graph));
+            let bf = dependent_set_sizes(&graph, &bfs_order(&graph));
+            let content = format!(
+                "model {model}: {} nodes, {} edges\n\
+                 degrees: max {}, mean {:.2}, high-degree (≥5) {}\n\
+                 step flops: {:.3e}, parameters: {:.3e}\n\
+                 max |D(i)|: GenerateSeq {}, breadth-first {}\n",
+                stats.nodes,
+                stats.edges,
+                stats.degrees.max,
+                stats.degrees.mean,
+                stats.degrees.high_degree,
+                stats.step_flops,
+                stats.params,
+                gs.iter().max().unwrap_or(&0),
+                bf.iter().max().unwrap_or(&0),
+            );
+            emit(args.get("out"), &content)?;
+        }
+        "export" => {
+            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None)?;
+            emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
+        }
+        "simulate" => {
+            // Load a user-provided sharding spec, validate it, and time it
+            // on the chosen cluster — the round trip a framework
+            // integration would take.
+            let path = args
+                .get("strategy")
+                .ok_or("simulate needs --strategy <file>")?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let strategy = from_sharding_json(&graph, &json)?;
+            validate_strategy(&graph, &strategy, &ConfigRule::new(p))?;
+            let topo = Topology::cluster(machine.clone(), p);
+            let rep = simulate_step(&graph, &strategy, &topo, &SimOptions::default());
+            let content = format!(
+                "model {model}, p = {p}, machine {}\n\
+                 step time      {:.3} ms\n\
+                 compute        {:.3} ms\n\
+                 intra-layer    {:.3} ms\n\
+                 transfers      {:.3} ms\n\
+                 gradient sync  {:.3} ms\n\
+                 throughput     {:.0} samples/s\n\
+                 memory/device  {:.0} MiB\n",
+                machine.name,
+                rep.step_seconds * 1e3,
+                rep.compute_seconds * 1e3,
+                rep.intra_layer_seconds * 1e3,
+                rep.transfer_seconds * 1e3,
+                rep.gradient_sync_seconds * 1e3,
+                rep.throughput,
+                memory_per_device(&graph, &strategy, &topo) / (1 << 20) as f64,
+            );
+            emit(args.get("out"), &content)?;
+        }
+        "trace" => {
+            // Per-layer timing of the searched strategy: where does the
+            // step time actually go?
+            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None)?;
+            let topo = Topology::cluster(machine.clone(), p);
+            let (rep, mut rows) =
+                simulate_step_trace(&graph, &strategy, &topo, &SimOptions::default());
+            let top: usize = args.get_or("top", 10)?;
+            rows.sort_by(|a, b| {
+                let ta = a.compute + a.intra_layer + a.gradient_sync;
+                let tb = b.compute + b.intra_layer + b.gradient_sync;
+                tb.partial_cmp(&ta).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut content = format!(
+                "model {model}, p = {p}: step {:.2} ms (compute {:.2}, comm {:.2})\n\n\
+                 {:<28} {:<12} {:>11} {:>11} {:>11}\n",
+                rep.step_seconds * 1e3,
+                rep.compute_seconds * 1e3,
+                rep.comm_seconds() * 1e3,
+                "layer",
+                "config",
+                "compute ms",
+                "intra ms",
+                "sync ms"
+            );
+            for row in rows.iter().take(top) {
+                let node = graph.node(row.node);
+                content.push_str(&format!(
+                    "{:<28} {:<12} {:>11.3} {:>11.3} {:>11.3}\n",
+                    node.name,
+                    format!("{}", strategy.config(row.node)),
+                    row.compute * 1e3,
+                    row.intra_layer * 1e3,
+                    row.gradient_sync * 1e3
+                ));
+            }
+            emit(args.get("out"), &content)?;
+        }
+        "pipeline" => {
+            // §VI composition: PipeDream-style stages, PaSE inside each.
+            use pase_pipeline::{plan_pipeline, simulate_pipeline, PipelineOptions};
+            let stages: usize = args.get_or("stages", 2)?;
+            let microbatches: u32 = args.get_or("microbatches", 8)?;
+            let plan = plan_pipeline(
+                &graph,
+                p,
+                &machine,
+                &PipelineOptions {
+                    stages,
+                    microbatches,
+                    ..Default::default()
+                },
+            )?;
+            let stage_topo = Topology::cluster(machine.clone(), plan.devices_per_stage);
+            let rep = simulate_pipeline(&graph, &plan, &stage_topo, &SimOptions::default());
+            let mut content = format!(
+                "model {model}, p = {p}: {stages} stages x {} devices, \
+                 {microbatches} microbatches\n\
+                 step {:.2} ms (bubble x{:.2}, boundary {:.1} MiB) -> \
+                 {:.0} samples/s\n\nper-stage times:\n",
+                plan.devices_per_stage,
+                rep.step_seconds * 1e3,
+                rep.bubble_factor,
+                rep.boundary_bytes / (1 << 20) as f64,
+                rep.throughput,
+            );
+            for (i, t) in rep.stage_seconds.iter().enumerate() {
+                let (sub, _) = &plan.stage_graphs[i];
+                content.push_str(&format!(
+                    "  stage {i}: {:>8.2} ms  ({} layers)\n",
+                    t * 1e3,
+                    sub.len()
+                ));
+            }
+            emit(args.get("out"), &content)?;
+        }
+        other => return Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_advertised_model_builds() {
+        for m in [
+            "alexnet",
+            "inception",
+            "rnnlm",
+            "rnnlm-unrolled",
+            "gnmt",
+            "transformer",
+            "densenet",
+            "resnet",
+            "vgg",
+            "bert",
+            "mlp",
+        ] {
+            let g = build_model(m, 4, false).unwrap_or_else(|e| panic!("{m}: {e}"));
+            assert!(!g.is_empty(), "{m}");
+        }
+        assert!(build_model("nope", 4, false).is_err());
+    }
+
+    #[test]
+    fn weak_scaling_multiplies_the_batch() {
+        let g1 = build_model("rnnlm", 8, false).unwrap();
+        let g8 = build_model("rnnlm", 8, true).unwrap();
+        assert_eq!(pase_sim::batch_size(&g8), 8 * pase_sim::batch_size(&g1));
+    }
+
+    #[test]
+    fn machine_profiles_resolve() {
+        assert_eq!(machine_profile("1080ti").unwrap().name, "1080ti");
+        assert_eq!(machine_profile("2080ti").unwrap().name, "2080ti");
+        assert!(machine_profile("v100").is_err());
+    }
+
+    #[test]
+    fn search_strategy_produces_complete_cover() {
+        let g = build_model("mlp", 4, false).unwrap();
+        let (s, cost, stats, _) = search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None).unwrap();
+        assert_eq!(s.len(), g.len());
+        assert!(cost > 0.0);
+        assert!(stats.max_configs > 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Search budgets, outcomes, and statistics.
+//!
+//! The naive recurrence's tables grow as `K^M`; on InceptionV3 and
+//! Transformer the paper reports breadth-first ordering running out of
+//! memory (Table I). Running a reproduction to actual OOM is not
+//! acceptable, so the DP engine accounts for every table entry it is about
+//! to allocate and aborts with [`SearchOutcome::Oom`] when a cap is
+//! exceeded, or [`SearchOutcome::Timeout`] on a wall-clock cap — those are
+//! exactly the `OOM` cells of our Table I reproduction.
+
+use std::time::Duration;
+
+/// Resource limits for one search invocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchBudget {
+    /// Cap on the total number of DP table entries allocated across the
+    /// whole search (each entry is a cost plus a chosen configuration,
+    /// ~10 bytes). The default of 2^28 entries ≈ 2.7 GiB mirrors a
+    /// memory-constrained workstation.
+    pub max_table_entries: u64,
+    /// Wall-clock cap.
+    pub max_time: Duration,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self {
+            max_table_entries: 1 << 28,
+            max_time: Duration::from_secs(600),
+        }
+    }
+}
+
+impl SearchBudget {
+    /// A budget with the given entry cap and the default time cap.
+    pub fn with_max_entries(entries: u64) -> Self {
+        Self {
+            max_table_entries: entries,
+            ..Self::default()
+        }
+    }
+
+    /// A budget with the given time cap and the default entry cap.
+    pub fn with_max_time(t: Duration) -> Self {
+        Self {
+            max_time: t,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics reported by a (successful or failed) search.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SearchStats {
+    /// `M`: size of the largest dependent set encountered.
+    pub max_dependent_set: usize,
+    /// `K`: the largest per-vertex configuration count.
+    pub max_configs: usize,
+    /// Total DP table entries allocated.
+    pub table_entries: u64,
+    /// Total `(substrategy, configuration)` pairs evaluated.
+    pub states_evaluated: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// A successful search result.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The minimum of the cost function `F(G, φ)` over the search space
+    /// (in FLOP units).
+    pub cost: f64,
+    /// The argmin strategy, as per-node configuration ids into the
+    /// [`pase_cost::CostTables`] the search ran on.
+    pub config_ids: Vec<u16>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// The outcome of a search under a [`SearchBudget`].
+#[derive(Clone, Debug)]
+pub enum SearchOutcome {
+    /// The search completed; the result is exact under the cost model.
+    Found(SearchResult),
+    /// The projected table allocation exceeded the budget — the reproduction
+    /// of Table I's `OOM` entries.
+    Oom {
+        /// Entries that would have been needed when the search aborted.
+        needed_entries: u64,
+        /// Statistics up to the abort.
+        stats: SearchStats,
+    },
+    /// The wall-clock budget was exhausted.
+    Timeout {
+        /// Statistics up to the abort.
+        stats: SearchStats,
+    },
+}
+
+impl SearchOutcome {
+    /// The result if the search completed.
+    pub fn found(&self) -> Option<&SearchResult> {
+        match self {
+            SearchOutcome::Found(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Unwrap the successful result, panicking otherwise.
+    pub fn expect_found(self, msg: &str) -> SearchResult {
+        match self {
+            SearchOutcome::Found(r) => r,
+            SearchOutcome::Oom { needed_entries, .. } => {
+                panic!("{msg}: search OOMed (needed {needed_entries} entries)")
+            }
+            SearchOutcome::Timeout { stats } => {
+                panic!("{msg}: search timed out after {:?}", stats.elapsed)
+            }
+        }
+    }
+
+    /// The statistics regardless of outcome.
+    pub fn stats(&self) -> &SearchStats {
+        match self {
+            SearchOutcome::Found(r) => &r.stats,
+            SearchOutcome::Oom { stats, .. } => stats,
+            SearchOutcome::Timeout { stats } => stats,
+        }
+    }
+
+    /// Short tag for report tables: `ok`, `OOM`, or `timeout`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SearchOutcome::Found(_) => "ok",
+            SearchOutcome::Oom { .. } => "OOM",
+            SearchOutcome::Timeout { .. } => "timeout",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_generous() {
+        let b = SearchBudget::default();
+        assert!(b.max_table_entries >= 1 << 20);
+        assert!(b.max_time >= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let r = SearchResult {
+            cost: 1.0,
+            config_ids: vec![0],
+            stats: SearchStats::default(),
+        };
+        let found = SearchOutcome::Found(r);
+        assert!(found.found().is_some());
+        assert_eq!(found.tag(), "ok");
+        let oom = SearchOutcome::Oom {
+            needed_entries: 9,
+            stats: SearchStats::default(),
+        };
+        assert!(oom.found().is_none());
+        assert_eq!(oom.tag(), "OOM");
+        let to = SearchOutcome::Timeout {
+            stats: SearchStats::default(),
+        };
+        assert_eq!(to.tag(), "timeout");
+    }
+
+    #[test]
+    #[should_panic(expected = "search OOMed")]
+    fn expect_found_panics_on_oom() {
+        SearchOutcome::Oom {
+            needed_entries: 1,
+            stats: SearchStats::default(),
+        }
+        .expect_found("test");
+    }
+}

@@ -1,0 +1,613 @@
+//! The FindBestStrategy dynamic program (Fig. 4) over recurrence (4):
+//!
+//! ```text
+//! R_V(i, φ) = min_{C ∈ C(v^(i))}  H_V(i, φ ∪ {(v^(i), C)})
+//!                                  + Σ_{X(j) ∈ S(i)} R_V(j, φ''|D(j))
+//! ```
+//!
+//! where `H_V(i, φ')` is the layer cost of `v^(i)` plus its transfer costs
+//! with neighbors *later* in the sequence (Eq. (3)).
+//!
+//! ## Implementation notes
+//!
+//! * DP tables are **dense mixed-radix arrays**, not hash maps: `D(i)` is
+//!   sorted by node id and a substrategy `φ ∈ Φ_{|D(i)}` is its flat index
+//!   `Σ_t stride_t · cfg_t`. The table for position `i` has exactly
+//!   `∏_{w ∈ D(i)} |C(w)|` entries — the `K^M` of the complexity analysis —
+//!   so memory accounting is exact and lookups are branch-free.
+//! * Child-table lookups are **linear in the parent's digits**: every
+//!   vertex of a child's `D(j)` is either the parent vertex `v^(i)` itself
+//!   or a member of `D(i)` (see the containment argument in the module
+//!   tests), so the child index is `Σ_t A_t · digit_t + B · C` with
+//!   precomputed coefficients.
+//! * The loop over `Φ_{|D(i)}` is embarrassingly parallel; tables above a
+//!   size threshold are filled with rayon.
+//! * Budgets are enforced *before* each allocation (`Oom`) and per chunk of
+//!   work (`Timeout`), reproducing Table I's failure modes without actually
+//!   exhausting the machine.
+
+use crate::budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats};
+use crate::ordering::{make_ordering, OrderingKind};
+use crate::structure::{ConnectedSetMode, VertexStructure};
+use pase_cost::CostTables;
+use pase_graph::{EdgeId, Graph, NodeId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::time::Instant;
+
+/// Options for [`find_best_strategy`].
+#[derive(Clone, Copy, Debug)]
+pub struct DpOptions {
+    /// Vertex ordering (GenerateSeq by default).
+    pub ordering: OrderingKind,
+    /// Connected-set mode: `Exact` = recurrence (4), `Prefix` = the naive
+    /// recurrence (2).
+    pub mode: ConnectedSetMode,
+    /// Resource limits.
+    pub budget: SearchBudget,
+    /// Fill large tables with rayon.
+    pub parallel: bool,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        Self {
+            ordering: OrderingKind::GenerateSeq,
+            mode: ConnectedSetMode::Exact,
+            budget: SearchBudget::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// Per-thread scratch buffers for the table-fill loop.
+struct Scratch {
+    digits: Vec<u16>,
+    child_base: Vec<u64>,
+}
+
+/// One DP table: `R_V(i, ·)` and the argmin configurations over the dense
+/// substrategy space of `D(i)`.
+struct Table {
+    /// `D(i)`, sorted by node id (canonical digit order).
+    dep: Vec<NodeId>,
+    /// Mixed-radix strides per digit (row-major, last digit contiguous).
+    strides: Vec<u64>,
+    /// `R_V(i, φ)` per flat index.
+    costs: Vec<f64>,
+    /// Argmin configuration id of `v^(i)` per flat index.
+    choice: Vec<u16>,
+}
+
+impl Table {
+    fn flat_index_of(&self, assignment: &[(NodeId, u16)]) -> usize {
+        let mut idx = 0u64;
+        for (t, &w) in self.dep.iter().enumerate() {
+            let cfg = assignment
+                .iter()
+                .find(|(n, _)| *n == w)
+                .map(|(_, c)| *c)
+                .expect("assignment must cover the dependent set");
+            idx += self.strides[t] * u64::from(cfg);
+        }
+        idx as usize
+    }
+}
+
+/// Run FindBestStrategy with breadth-first ordering and prefix connected
+/// sets — the naive §III-A baseline (recurrence (2)) used for the Table I
+/// `BF` column.
+pub fn naive_best_strategy(
+    graph: &Graph,
+    tables: &CostTables,
+    budget: SearchBudget,
+) -> SearchOutcome {
+    find_best_strategy(
+        graph,
+        tables,
+        &DpOptions {
+            ordering: OrderingKind::BreadthFirst,
+            mode: ConnectedSetMode::Prefix,
+            budget,
+            parallel: true,
+        },
+    )
+}
+
+/// Compute the best parallelization strategy for `graph` under the cost
+/// model captured by `tables` (Theorem 1: the returned cost equals
+/// `min_φ F(G, φ)` over the enumerated configuration space).
+///
+/// ```
+/// use pase_core::{find_best_strategy, DpOptions};
+/// use pase_cost::{ConfigRule, CostTables, MachineSpec};
+/// use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+///
+/// // One fully-connected layer on 4 devices.
+/// let mut b = GraphBuilder::new();
+/// b.add_node(Node {
+///     name: "fc".into(),
+///     op: OpKind::FullyConnected,
+///     iter_space: vec![
+///         IterDim::new("b", 64, DimRole::Batch),
+///         IterDim::new("n", 256, DimRole::Param),
+///         IterDim::new("c", 256, DimRole::Reduction),
+///     ],
+///     inputs: vec![],
+///     output: TensorRef::new(vec![0, 1], vec![64, 256]),
+///     params: vec![TensorRef::new(vec![1, 2], vec![256, 256])],
+/// });
+/// let graph = b.build().unwrap();
+/// let tables = CostTables::build(&graph, ConfigRule::new(4), &MachineSpec::gtx1080ti());
+/// let result = find_best_strategy(&graph, &tables, &DpOptions::default())
+///     .expect_found("single layer");
+/// // An isolated layer avoids all communication by sharding its weight:
+/// // the optimum is the ideal compute division.
+/// assert_eq!(result.cost, graph.total_step_flops() / 4.0);
+/// ```
+pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) -> SearchOutcome {
+    let start = Instant::now();
+    let n = graph.len();
+    if n == 0 {
+        return SearchOutcome::Found(SearchResult {
+            cost: 0.0,
+            config_ids: vec![],
+            stats: SearchStats::default(),
+        });
+    }
+    let order = make_ordering(graph, opts.ordering);
+    let structure = VertexStructure::build(graph, &order, opts.mode);
+    let deadline = start + opts.budget.max_time;
+
+    let mut stats = SearchStats {
+        max_dependent_set: structure.max_dependent_set(),
+        max_configs: tables.max_k(),
+        ..SearchStats::default()
+    };
+
+    let mut dp: Vec<Option<Table>> = (0..n).map(|_| None).collect();
+
+    for i in 0..n {
+        let vi = structure.vertex(i);
+        let dep = structure.dependent_set(i).to_vec();
+
+        // Radices and strides of this table.
+        let radix: Vec<u32> = dep.iter().map(|&w| tables.k(w) as u32).collect();
+        let mut size: u64 = 1;
+        for &k in &radix {
+            match size.checked_mul(u64::from(k)) {
+                Some(s) => size = s,
+                None => {
+                    stats.elapsed = start.elapsed();
+                    return SearchOutcome::Oom {
+                        needed_entries: u64::MAX,
+                        stats,
+                    };
+                }
+            }
+        }
+        if stats.table_entries.saturating_add(size) > opts.budget.max_table_entries {
+            stats.elapsed = start.elapsed();
+            return SearchOutcome::Oom {
+                needed_entries: stats.table_entries.saturating_add(size),
+                stats,
+            };
+        }
+        if Instant::now() > deadline {
+            stats.elapsed = start.elapsed();
+            return SearchOutcome::Timeout { stats };
+        }
+        let mut strides = vec![1u64; dep.len()];
+        for t in (0..dep.len().saturating_sub(1)).rev() {
+            strides[t] = strides[t + 1] * u64::from(radix[t + 1]);
+        }
+
+        // Edges from v^(i) to its later neighbors: (edge, digit slot of the
+        // neighbor, whether v^(i) is the edge's source).
+        let mut later_edges: Vec<(EdgeId, usize, bool)> = Vec::new();
+        {
+            let mut add = |e: EdgeId, other: NodeId, vi_is_src: bool| {
+                if structure.position(other) > i {
+                    let slot = dep
+                        .binary_search(&other)
+                        .expect("later neighbor must be in the dependent set");
+                    later_edges.push((e, slot, vi_is_src));
+                }
+            };
+            for &e in graph.out_edges(vi) {
+                add(e, graph.edge(e).dst, true);
+            }
+            for &e in graph.in_edges(vi) {
+                add(e, graph.edge(e).src, false);
+            }
+        }
+
+        // Child tables (connected subsets S(i)) with linear index
+        // coefficients: child_index = Σ_t parent_coef[t]·digit_t + vi_coef·C.
+        struct Child<'a> {
+            table: &'a Table,
+            parent_coef: Vec<u64>,
+            vi_coef: u64,
+        }
+        let mut children: Vec<Child<'_>> = Vec::new();
+        // Split borrows: children reference earlier tables only.
+        let (earlier, _rest) = dp.split_at(i);
+        for &j in structure.subset_anchors(i) {
+            let table = earlier[j].as_ref().expect("child table must exist");
+            let mut parent_coef = vec![0u64; dep.len()];
+            let mut vi_coef = 0u64;
+            for (t, &w) in table.dep.iter().enumerate() {
+                if w == vi {
+                    vi_coef += table.strides[t];
+                } else {
+                    let slot = dep.binary_search(&w).unwrap_or_else(|_| {
+                        panic!("D(j) ⊆ D(i) ∪ {{v_i}} violated: {w} not in D({i}) of {vi}")
+                    });
+                    parent_coef[slot] += table.strides[t];
+                }
+            }
+            children.push(Child {
+                table,
+                parent_coef,
+                vi_coef,
+            });
+        }
+
+        let kv = tables.k(vi) as u16;
+        stats.states_evaluated += size * u64::from(kv);
+        stats.table_entries += size;
+
+        // Fill the table: for every substrategy index, the best C. Scratch
+        // buffers are reused per thread to keep the hot loop allocation-free.
+        let timed_out = AtomicBool::new(false);
+        let make_scratch = || Scratch {
+            digits: vec![0u16; dep.len()],
+            child_base: vec![0u64; children.len()],
+        };
+        let compute_entry = |scratch: &mut Scratch, flat: u64| -> (f64, u16) {
+            if flat.is_multiple_of(4096) && Instant::now() > deadline {
+                timed_out.store(true, AtomicOrdering::Relaxed);
+                return (f64::INFINITY, 0);
+            }
+            // Decode digits of the parent substrategy.
+            for t in 0..dep.len() {
+                scratch.digits[t] = ((flat / strides[t]) % u64::from(radix[t])) as u16;
+            }
+            // Child base indices (the C-independent part).
+            for (ci, ch) in children.iter().enumerate() {
+                let mut b = 0u64;
+                for t in 0..dep.len() {
+                    b += ch.parent_coef[t] * u64::from(scratch.digits[t]);
+                }
+                scratch.child_base[ci] = b;
+            }
+            let mut best = f64::INFINITY;
+            let mut best_c = 0u16;
+            for c in 0..kv {
+                let mut cost = tables.layer_cost(vi, c);
+                for &(e, slot, vi_is_src) in &later_edges {
+                    let w_cfg = scratch.digits[slot];
+                    cost += if vi_is_src {
+                        tables.edge_cost(e, c, w_cfg)
+                    } else {
+                        tables.edge_cost(e, w_cfg, c)
+                    };
+                }
+                for (ci, ch) in children.iter().enumerate() {
+                    let idx = scratch.child_base[ci] + ch.vi_coef * u64::from(c);
+                    cost += ch.table.costs[idx as usize];
+                }
+                if cost < best {
+                    best = cost;
+                    best_c = c;
+                }
+            }
+            (best, best_c)
+        };
+
+        let entries: Vec<(f64, u16)> = if opts.parallel && size >= 2048 {
+            (0..size as usize)
+                .into_par_iter()
+                .with_min_len(512)
+                .map_init(make_scratch, |s, flat| compute_entry(s, flat as u64))
+                .collect()
+        } else {
+            let mut s = make_scratch();
+            (0..size).map(|flat| compute_entry(&mut s, flat)).collect()
+        };
+        if timed_out.load(AtomicOrdering::Relaxed) {
+            stats.elapsed = start.elapsed();
+            return SearchOutcome::Timeout { stats };
+        }
+        let mut costs = Vec::with_capacity(entries.len());
+        let mut choice = Vec::with_capacity(entries.len());
+        for (c, ch) in entries {
+            costs.push(c);
+            choice.push(ch);
+        }
+        dp[i] = Some(Table {
+            dep,
+            strides,
+            costs,
+            choice,
+        });
+    }
+
+    // Total minimum cost: sum of the (singleton) root tables.
+    let mut total = 0.0;
+    for &r in structure.roots() {
+        let t = dp[r].as_ref().expect("root table");
+        debug_assert!(t.dep.is_empty(), "root must have an empty dependent set");
+        total += t.costs[0];
+    }
+
+    // Back-substitution: walk from each root, assigning the stored argmin
+    // configuration and recursing into the connected subsets with the
+    // restricted substrategy.
+    let mut ids = vec![u16::MAX; n];
+    let mut stack: Vec<(usize, Vec<(NodeId, u16)>)> =
+        structure.roots().iter().map(|&r| (r, Vec::new())).collect();
+    while let Some((i, assignment)) = stack.pop() {
+        let t = dp[i].as_ref().expect("table");
+        let vi = structure.vertex(i);
+        let flat = t.flat_index_of(&assignment);
+        let c = t.choice[flat];
+        ids[vi.index()] = c;
+        let mut extended = assignment;
+        extended.push((vi, c));
+        for &j in structure.subset_anchors(i) {
+            let child_dep = &dp[j].as_ref().expect("child").dep;
+            let child_assignment: Vec<(NodeId, u16)> = child_dep
+                .iter()
+                .map(|&w| {
+                    let cfg = extended
+                        .iter()
+                        .find(|(n, _)| *n == w)
+                        .map(|(_, c)| *c)
+                        .expect("child dependent set must be covered");
+                    (w, cfg)
+                })
+                .collect();
+            stack.push((j, child_assignment));
+        }
+    }
+    debug_assert!(
+        ids.iter().all(|&c| c != u16::MAX),
+        "every node must be assigned"
+    );
+
+    stats.elapsed = start.elapsed();
+    SearchOutcome::Found(SearchResult {
+        cost: total,
+        config_ids: ids,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use pase_cost::{ConfigRule, MachineSpec};
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn fc(name: &str, ins: usize, b: u64, n: u64, c: u64) -> Node {
+        let dims = vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("n", n, DimRole::Param),
+            IterDim::new("c", c, DimRole::Reduction),
+        ];
+        Node {
+            name: name.into(),
+            op: OpKind::FullyConnected,
+            iter_space: dims,
+            inputs: (0..ins)
+                .map(|_| TensorRef::new(vec![0, 2], vec![b, c]))
+                .collect(),
+            output: TensorRef::new(vec![0, 1], vec![b, n]),
+            params: vec![TensorRef::new(vec![1, 2], vec![n, c])],
+        }
+    }
+
+    /// fc1 → fc2 → fc3 chain with distinct shapes.
+    fn chain3() -> Graph {
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_node(fc("fc1", 0, 64, 128, 256));
+        let b = bld.add_node(fc("fc2", 1, 64, 256, 128));
+        let c = bld.add_node(fc("fc3", 1, 64, 64, 256));
+        bld.connect(a, b);
+        bld.connect(b, c);
+        bld.build().unwrap()
+    }
+
+    /// Diamond: fc1 → {fc2, fc3} → concat-like fc4 (two inputs).
+    fn diamond() -> Graph {
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_node(fc("a", 0, 64, 128, 128));
+        let b = bld.add_node(fc("b", 1, 64, 128, 128));
+        let c = bld.add_node(fc("c", 1, 64, 128, 128));
+        let d = bld.add_node(fc("d", 2, 64, 128, 128));
+        bld.connect(a, b);
+        bld.connect(a, c);
+        bld.connect(b, d);
+        bld.connect(c, d);
+        bld.build().unwrap()
+    }
+
+    fn check_against_brute(g: &Graph, p: u32) {
+        let tables = CostTables::build(g, ConfigRule::new(p), &MachineSpec::test_machine());
+        let (bf_cost, _) = brute_force(g, &tables);
+        for (label, opts) in [
+            ("generate-seq/exact", DpOptions::default()),
+            (
+                "bfs/prefix",
+                DpOptions {
+                    ordering: OrderingKind::BreadthFirst,
+                    mode: ConnectedSetMode::Prefix,
+                    ..DpOptions::default()
+                },
+            ),
+            (
+                "random/exact",
+                DpOptions {
+                    ordering: OrderingKind::Random { seed: 7 },
+                    ..DpOptions::default()
+                },
+            ),
+        ] {
+            let r = find_best_strategy(g, &tables, &opts).expect_found(label);
+            assert!(
+                (r.cost - bf_cost).abs() <= 1e-6 * bf_cost.abs().max(1.0),
+                "{label}: DP cost {} != brute-force {}",
+                r.cost,
+                bf_cost
+            );
+            // The extracted strategy must evaluate to exactly the DP cost.
+            let eval = tables.evaluate_ids(g, &r.config_ids);
+            assert!(
+                (eval - r.cost).abs() <= 1e-6 * r.cost.abs().max(1.0),
+                "{label}: extracted strategy evaluates to {} but DP claims {}",
+                eval,
+                r.cost
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_chain() {
+        check_against_brute(&chain3(), 4);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_diamond() {
+        check_against_brute(&diamond(), 4);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_disconnected_graph() {
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_node(fc("a", 0, 64, 128, 128));
+        let b = bld.add_node(fc("b", 1, 64, 128, 128));
+        bld.connect(a, b);
+        let _ = bld.add_node(fc("solo", 0, 64, 256, 64));
+        let g = bld.build().unwrap();
+        check_against_brute(&g, 4);
+    }
+
+    #[test]
+    fn oom_budget_aborts_cleanly() {
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        let opts = DpOptions {
+            budget: SearchBudget::with_max_entries(2),
+            ..DpOptions::default()
+        };
+        match find_best_strategy(&g, &tables, &opts) {
+            SearchOutcome::Oom { needed_entries, .. } => assert!(needed_entries > 2),
+            other => panic!("expected OOM, got {}", other.tag()),
+        }
+    }
+
+    #[test]
+    fn timeout_budget_aborts_cleanly() {
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        let opts = DpOptions {
+            budget: SearchBudget::with_max_time(std::time::Duration::ZERO),
+            ..DpOptions::default()
+        };
+        match find_best_strategy(&g, &tables, &opts) {
+            SearchOutcome::Timeout { .. } => {}
+            other => panic!("expected timeout, got {}", other.tag()),
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_solved() {
+        let g = GraphBuilder::new().build().unwrap();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("empty");
+        assert_eq!(r.cost, 0.0);
+        assert!(r.config_ids.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        let par = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("parallel");
+        let ser = find_best_strategy(
+            &g,
+            &tables,
+            &DpOptions {
+                parallel: false,
+                ..DpOptions::default()
+            },
+        )
+        .expect_found("serial");
+        assert_eq!(par.cost, ser.cost);
+        assert_eq!(par.config_ids, ser.config_ids);
+    }
+
+    #[test]
+    fn naive_helper_equals_efficient_result() {
+        let g = chain3();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let eff = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("efficient");
+        let naive = naive_best_strategy(&g, &tables, SearchBudget::default()).expect_found("naive");
+        assert!((eff.cost - naive.cost).abs() <= 1e-9 * eff.cost);
+    }
+
+    #[test]
+    fn prefix_mode_is_ordering_agnostic() {
+        // Recurrence (2)'s single-child form is exact for *any* vertex
+        // ordering — including ones that interleave two chains before
+        // their join (this graph caught a components-based prefix
+        // implementation double-counting shared sub-solutions).
+        let mut bld = GraphBuilder::new();
+        let a0 = bld.add_node(fc("a0", 0, 32, 64, 64));
+        let a1 = bld.add_node(fc("a1", 1, 32, 64, 64));
+        let b0 = bld.add_node(fc("b0", 0, 32, 64, 64));
+        let b1 = bld.add_node(fc("b1", 1, 32, 64, 64));
+        let hub = bld.add_node(fc("hub", 2, 32, 64, 64));
+        bld.connect(a0, a1);
+        bld.connect(b0, b1);
+        bld.connect(a1, hub);
+        bld.connect(b1, hub);
+        let g = bld.build().unwrap();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let exact = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("exact");
+        for ordering in [
+            OrderingKind::GenerateSeq,
+            OrderingKind::BreadthFirst,
+            OrderingKind::Random { seed: 5 },
+        ] {
+            let got = find_best_strategy(
+                &g,
+                &tables,
+                &DpOptions {
+                    ordering,
+                    mode: ConnectedSetMode::Prefix,
+                    ..DpOptions::default()
+                },
+            )
+            .expect_found("prefix")
+            .cost;
+            assert!(
+                (got - exact.cost).abs() <= 1e-9 * exact.cost,
+                "{ordering:?}: prefix {got} vs exact {}",
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("stats");
+        assert!(r.stats.states_evaluated > 0);
+        assert!(r.stats.table_entries > 0);
+        assert!(r.stats.max_configs > 0);
+    }
+}

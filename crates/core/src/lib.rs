@@ -1,0 +1,37 @@
+//! # pase-core — PaSE's search algorithms (§III)
+//!
+//! This crate implements the paper's contribution:
+//!
+//! * [`generate_seq`] — the **GenerateSeq** greedy vertex ordering (Fig. 3)
+//!   that keeps dependent sets small by sequencing high-degree vertices
+//!   only after their neighborhoods;
+//! * [`VertexStructure`] — connected sets `X(i)`, connected subsets `S(i)`
+//!   and dependent sets `D(i)` for a given ordering (§III-B definitions),
+//!   in both the *exact* form of recurrence (4) and the *prefix* form
+//!   `X(i) = V_{≤i}` that degenerates to the naive recurrence (2);
+//! * [`find_best_strategy`] — the **FindBestStrategy** dynamic program
+//!   (Fig. 4) over precomputed [`pase_cost::CostTables`], with
+//!   rayon-parallel substrategy loops, strategy extraction by
+//!   back-substitution, and explicit time/memory budgets whose exhaustion
+//!   reproduces the `OOM` entries of Table I;
+//! * [`brute_force`] — exhaustive strategy enumeration for small graphs,
+//!   used to validate the DP's optimality (Theorem 1).
+
+#![warn(missing_docs)]
+
+mod brute;
+mod budget;
+mod dp;
+mod ordering;
+mod reduction;
+mod structure;
+
+pub use brute::{brute_force, random_strategy_costs};
+pub use budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats};
+pub use dp::{find_best_strategy, naive_best_strategy, DpOptions};
+pub use ordering::{
+    dependent_set_sizes, generate_seq, generate_seq_with_sets, make_ordering, search_profile,
+    OrderingKind, PositionProfile,
+};
+pub use reduction::{optcnn_search, ReductionOutcome};
+pub use structure::{ConnectedSetMode, VertexStructure};

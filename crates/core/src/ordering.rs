@@ -1,0 +1,303 @@
+//! Vertex orderings.
+//!
+//! The complexity of FindBestStrategy is `O(|V|² K^{M+1})` where `M` is the
+//! size of the largest dependent set — a function of the chosen vertex
+//! sequence `V`. **GenerateSeq** (Fig. 3) greedily sequences, at every step,
+//! the vertex whose *maintained* dependent set is currently smallest; its
+//! update rule provably maintains `v.d = D(i)` (Theorem 2). On DNN graphs —
+//! sparse with a few high-degree vertices — this places the dense vertices
+//! only after their neighborhoods are sequenced, keeping `M` tiny (≤ 2 for
+//! InceptionV3 vs. ~10 under breadth-first ordering).
+
+use pase_graph::{bfs_order, Graph, NodeId};
+use rustc_hash::FxHashSet;
+
+/// Which vertex ordering to run the dynamic program with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderingKind {
+    /// The paper's GenerateSeq greedy ordering (Fig. 3).
+    GenerateSeq,
+    /// Breadth-first ordering (the §III-A baseline).
+    BreadthFirst,
+    /// A seeded random permutation (ablation baseline).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Produce the vertex sequence for `kind`.
+pub fn make_ordering(g: &Graph, kind: OrderingKind) -> Vec<NodeId> {
+    match kind {
+        OrderingKind::GenerateSeq => generate_seq(g),
+        OrderingKind::BreadthFirst => bfs_order(g),
+        OrderingKind::Random { seed } => {
+            let mut order: Vec<NodeId> = g.node_ids().collect();
+            // Fisher–Yates with SplitMix64: deterministic without pulling a
+            // full RNG crate into this hot crate.
+            let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for i in (1..order.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            order
+        }
+    }
+}
+
+/// The GenerateSeq procedure of Fig. 3.
+///
+/// Maintains, for every unsequenced vertex `v`, the set `v.d` that equals
+/// the dependent set `D(i)` the vertex *would* have if sequenced next
+/// (Theorem 2), and greedily picks the vertex minimizing `|v.d|` (ties
+/// broken by node id, making the ordering deterministic).
+pub fn generate_seq(g: &Graph) -> Vec<NodeId> {
+    generate_seq_with_sets(g).0
+}
+
+/// GenerateSeq, additionally returning the maintained set `v^(i).d` of each
+/// vertex *at the moment it was sequenced* (sorted by node id). By
+/// Theorem 2 these equal the dependent sets `D(i)`; the structure tests and
+/// the repository's property tests verify that equality against the
+/// first-principles computation.
+pub fn generate_seq_with_sets(g: &Graph) -> (Vec<NodeId>, Vec<Vec<NodeId>>) {
+    let n = g.len();
+    // Line 1: ∀v, v.d ← N(v)
+    let mut dep: Vec<FxHashSet<NodeId>> = g
+        .node_ids()
+        .map(|v| g.neighbors(v).iter().copied().collect())
+        .collect();
+    let mut unsequenced: Vec<bool> = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    let mut picked_sets = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Line 5: v(i) ← argmin_{u ∈ U} |u.d|
+        let vi = g
+            .node_ids()
+            .filter(|v| unsequenced[v.index()])
+            .min_by_key(|v| (dep[v.index()].len(), v.index()))
+            .expect("unsequenced vertex must exist");
+        unsequenced[vi.index()] = false;
+        order.push(vi);
+        let mut vi_dep: Vec<NodeId> = dep[vi.index()].iter().copied().collect();
+        vi_dep.sort_unstable();
+        // Lines 7–9: for all v ∈ v(i).d: v.d ← v.d ∪ v(i).d − {v(i)}
+        for &v in &vi_dep {
+            let set = &mut dep[v.index()];
+            for &w in &vi_dep {
+                if w != v {
+                    set.insert(w);
+                }
+            }
+            set.remove(&vi);
+        }
+        picked_sets.push(vi_dep);
+    }
+    (order, picked_sets)
+}
+
+/// Per-position search profile: what FindBestStrategy would allocate and
+/// evaluate at each position of the given ordering, *without* running the
+/// search. Used by the Fig. 5 harness to show where the work concentrates,
+/// and by capacity planning before expensive runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PositionProfile {
+    /// The vertex sequenced at this position.
+    pub vertex: NodeId,
+    /// `|D(i)|`.
+    pub dependent_set: usize,
+    /// DP-table entries at this position (`∏_{w ∈ D(i)} |C(w)|`),
+    /// saturating at `u64::MAX` on overflow.
+    pub table_entries: u64,
+    /// States evaluated here (`table_entries · |C(v^(i))|`), saturating.
+    pub states: u64,
+}
+
+/// Compute the [`PositionProfile`] of every position for `order` under the
+/// exact (recurrence (4)) connected sets, given per-vertex configuration
+/// counts `k[v]`.
+pub fn search_profile(g: &Graph, order: &[NodeId], k: &[usize]) -> Vec<PositionProfile> {
+    assert_eq!(k.len(), g.len(), "need one configuration count per vertex");
+    let s = crate::structure::VertexStructure::build(
+        g,
+        order,
+        crate::structure::ConnectedSetMode::Exact,
+    );
+    (0..g.len())
+        .map(|i| {
+            let vertex = s.vertex(i);
+            let dep = s.dependent_set(i);
+            let table_entries = dep
+                .iter()
+                .try_fold(1u64, |acc, &w| acc.checked_mul(k[w.index()] as u64))
+                .unwrap_or(u64::MAX);
+            let states = table_entries.saturating_mul(k[vertex.index()] as u64);
+            PositionProfile {
+                vertex,
+                dependent_set: dep.len(),
+                table_entries,
+                states,
+            }
+        })
+        .collect()
+}
+
+/// `|D(i)|` for every position of the given ordering, computed from first
+/// principles (definitions in §III-B). Used by the Fig. 5 / §III-C harness
+/// and by the ordering-ablation bench; also the test oracle for Theorem 2.
+pub fn dependent_set_sizes(g: &Graph, order: &[NodeId]) -> Vec<usize> {
+    crate::structure::VertexStructure::build(g, order, crate::structure::ConnectedSetMode::Exact)
+        .dependent_sets()
+        .iter()
+        .map(Vec::len)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn ew(name: &str, ins: usize) -> Node {
+        Node {
+            name: name.into(),
+            op: OpKind::Elementwise {
+                flops_per_point: 1.0,
+            },
+            iter_space: vec![IterDim::new("b", 4, DimRole::Batch)],
+            inputs: (0..ins).map(|_| TensorRef::new(vec![0], vec![4])).collect(),
+            output: TensorRef::new(vec![0], vec![4]),
+            params: vec![],
+        }
+    }
+
+    /// Fan-out/fan-in "inception-like" block: src → k branches → sink,
+    /// repeated twice.
+    fn inceptionish(branches: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let mut prev = b.add_node(ew("in", 0));
+        for blk in 0..2 {
+            let mids: Vec<NodeId> = (0..branches)
+                .map(|i| {
+                    let m = b.add_node(ew(&format!("m{blk}_{i}"), 1));
+                    b.connect(prev, m);
+                    m
+                })
+                .collect();
+            let sink = b.add_node(ew(&format!("sink{blk}"), branches));
+            for m in mids {
+                b.connect(m, sink);
+            }
+            prev = sink;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generate_seq_is_a_permutation() {
+        let g = inceptionish(4);
+        let order = generate_seq(&g);
+        assert_eq!(order.len(), g.len());
+        let mut seen = vec![false; g.len()];
+        for v in &order {
+            assert!(!seen[v.index()], "duplicate {v}");
+            seen[v.index()] = true;
+        }
+    }
+
+    #[test]
+    fn generate_seq_keeps_dependent_sets_smaller_than_bfs_on_dense_blocks() {
+        // The §III-C claim: high-degree fan-in/out nodes blow up dependent
+        // sets under BFS but stay small under GenerateSeq.
+        let g = inceptionish(6);
+        let gs = dependent_set_sizes(&g, &generate_seq(&g));
+        let bf = dependent_set_sizes(&g, &bfs_order(&g));
+        let m_gs = gs.iter().copied().max().unwrap();
+        let m_bf = bf.iter().copied().max().unwrap();
+        assert!(
+            m_gs < m_bf,
+            "GenerateSeq max |D| = {m_gs} should beat BFS max |D| = {m_bf}"
+        );
+        assert!(
+            m_gs <= 2,
+            "fan-out blocks should stay at |D| ≤ 2, got {m_gs}"
+        );
+    }
+
+    #[test]
+    fn generate_seq_on_path_graph_matches_bfs_quality() {
+        // AlexNet-like path graphs: both orderings keep |D(i)| ≤ 1
+        // (Table I: BF and GenerateSeq take the same time on AlexNet).
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..8)
+            .map(|i| b.add_node(ew(&format!("n{i}"), usize::from(i > 0))))
+            .collect();
+        for w in ids.windows(2) {
+            b.connect(w[0], w[1]);
+        }
+        let g = b.build().unwrap();
+        let gs = dependent_set_sizes(&g, &generate_seq(&g));
+        assert!(gs.iter().all(|&d| d <= 1));
+        let bf = dependent_set_sizes(&g, &bfs_order(&g));
+        assert!(bf.iter().all(|&d| d <= 1));
+    }
+
+    #[test]
+    fn random_ordering_is_deterministic_per_seed() {
+        let g = inceptionish(3);
+        let a = make_ordering(&g, OrderingKind::Random { seed: 42 });
+        let b = make_ordering(&g, OrderingKind::Random { seed: 42 });
+        let c = make_ordering(&g, OrderingKind::Random { seed: 43 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, g.node_ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn search_profile_matches_manual_computation() {
+        let g = inceptionish(3);
+        let order = generate_seq(&g);
+        let k: Vec<usize> = (0..g.len()).map(|i| 2 + i % 3).collect();
+        let profile = search_profile(&g, &order, &k);
+        assert_eq!(profile.len(), g.len());
+        let sizes = dependent_set_sizes(&g, &order);
+        for (i, p) in profile.iter().enumerate() {
+            assert_eq!(p.dependent_set, sizes[i]);
+            assert!(p.states >= p.table_entries);
+            assert_eq!(p.vertex, order[i]);
+        }
+        // total states is what the search would evaluate
+        let total: u64 = profile.iter().map(|p| p.states).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn search_profile_saturates_instead_of_overflowing() {
+        let g = inceptionish(6);
+        let order = pase_graph::bfs_order(&g);
+        let k = vec![usize::MAX / 2; g.len()];
+        let profile = search_profile(&g, &order, &k);
+        assert!(profile.iter().any(|p| p.table_entries == u64::MAX));
+    }
+
+    #[test]
+    fn singleton_graph_orderings() {
+        let mut b = GraphBuilder::new();
+        b.add_node(ew("only", 0));
+        let g = b.build().unwrap();
+        assert_eq!(generate_seq(&g), vec![NodeId(0)]);
+        assert_eq!(
+            make_ordering(&g, OrderingKind::BreadthFirst),
+            vec![NodeId(0)]
+        );
+    }
+}

@@ -1,0 +1,480 @@
+//! The graph-reduction dynamic program of OptCNN (Jia et al., ICML 2018),
+//! also used by Tofu — the §VI comparison point.
+//!
+//! OptCNN repeatedly simplifies the (undirected) cost graph:
+//!
+//! * **edge elimination** — two parallel edges between the same pair of
+//!   vertices merge into one whose cost matrix is their sum;
+//! * **node elimination** — a vertex `w` with exactly two neighbors
+//!   `u, v` is removed, its layer cost and both incident edge matrices
+//!   folded into a new `(u, v)` edge:
+//!   `e'(c_u, c_v) = min_{c_w} t_l(w, c_w) + e_1(c_u, c_w) + e_2(c_w, c_v)`;
+//! * **leaf folding** — a vertex `w` with one neighbor `u` folds into `u`'s
+//!   node-cost vector: `t'_l(u, c_u) += min_{c_w} t_l(w, c_w) + e(c_u, c_w)`.
+//!
+//! When the graph reduces to a single vertex, the minimum over its cost
+//! vector is the optimum and back-substitution through the elimination
+//! records recovers the strategy. The paper's point (§VI): "this technique
+//! fails on other tasks such as LM and NMT whose graphs do not have this
+//! special property" — irreducible remainders (DenseNet-style blocks;
+//! fine-grained LM/NMT encodings) are reported as
+//! [`ReductionOutcome::Irreducible`], while PaSE's FindBestStrategy handles
+//! every graph.
+
+use pase_cost::CostTables;
+use pase_graph::{EdgeId, Graph, NodeId};
+use rustc_hash::FxHashMap;
+
+/// Outcome of [`optcnn_search`].
+#[derive(Clone, Debug)]
+pub enum ReductionOutcome {
+    /// The graph fully reduced; the result is the exact optimum of
+    /// `F(G, φ)` (it must agree with FindBestStrategy).
+    Reduced {
+        /// Minimum cost.
+        cost: f64,
+        /// Argmin strategy as per-node configuration ids.
+        config_ids: Vec<u16>,
+        /// Node + edge eliminations performed.
+        eliminations: usize,
+    },
+    /// No elimination applies and more than one vertex remains — the
+    /// graph is outside OptCNN's reducible class.
+    Irreducible {
+        /// Vertices of the irreducible remainder.
+        remaining: Vec<NodeId>,
+    },
+}
+
+/// Dense cost matrix over configuration pairs of two endpoint vertices,
+/// stored row-major `[c_a][c_b]` with `a < b` by node id (canonical
+/// orientation).
+#[derive(Clone)]
+struct EdgeCost {
+    a: NodeId,
+    k_b: usize,
+    costs: Vec<f64>,
+}
+
+impl EdgeCost {
+    fn at(&self, ca: u16, cb: u16) -> f64 {
+        self.costs[ca as usize * self.k_b + cb as usize]
+    }
+}
+
+/// Elimination record for back-substitution.
+enum Record {
+    /// `w` eliminated between `a` and `b`; `choice[c_a][c_b]` is the argmin
+    /// configuration of `w` (row-major over `(k_a, k_b)`).
+    Node {
+        w: NodeId,
+        a: NodeId,
+        b: NodeId,
+        k_b: usize,
+        choice: Vec<u16>,
+    },
+    /// Leaf `w` folded into `u`; `choice[c_u]` is the argmin of `w`.
+    Leaf {
+        w: NodeId,
+        u: NodeId,
+        choice: Vec<u16>,
+    },
+}
+
+/// Run the OptCNN node/edge-elimination search over the same cost tables
+/// FindBestStrategy uses (PaSE's configuration space, so the comparison is
+/// apples-to-apples; the original further restricts splits to output tensor
+/// dimensions).
+pub fn optcnn_search(graph: &Graph, tables: &CostTables) -> ReductionOutcome {
+    let n = graph.len();
+    if n == 0 {
+        return ReductionOutcome::Reduced {
+            cost: 0.0,
+            config_ids: vec![],
+            eliminations: 0,
+        };
+    }
+
+    // Node cost vectors (layer costs, mutable: leaves fold in).
+    let mut node_cost: Vec<Vec<f64>> = graph
+        .node_ids()
+        .map(|v| {
+            (0..tables.k(v) as u16)
+                .map(|c| tables.layer_cost(v, c))
+                .collect()
+        })
+        .collect();
+    let mut alive: Vec<bool> = vec![true; n];
+
+    // Undirected edge-cost matrices in canonical (a < b) orientation,
+    // merged per vertex pair as we go (initial parallel edges summed here).
+    let mut edges: FxHashMap<(NodeId, NodeId), EdgeCost> = FxHashMap::default();
+    for (i, e) in graph.edges().iter().enumerate() {
+        let (a, b, flip) = if e.src < e.dst {
+            (e.src, e.dst, false)
+        } else {
+            (e.dst, e.src, true)
+        };
+        let (k_a, k_b) = (tables.k(a), tables.k(b));
+        let entry = edges.entry((a, b)).or_insert_with(|| EdgeCost {
+            a,
+            k_b,
+            costs: vec![0.0; k_a * k_b],
+        });
+        for ca in 0..k_a as u16 {
+            for cb in 0..k_b as u16 {
+                let cost = if flip {
+                    tables.edge_cost(EdgeId(i as u32), cb, ca)
+                } else {
+                    tables.edge_cost(EdgeId(i as u32), ca, cb)
+                };
+                entry.costs[ca as usize * k_b + cb as usize] += cost;
+            }
+        }
+    }
+
+    // Adjacency over the merged edge set.
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &(a, b) in edges.keys() {
+        adj[a.index()].push(b);
+        adj[b.index()].push(a);
+    }
+
+    let mut records: Vec<Record> = Vec::new();
+    // Initial parallel edges merged above count as edge eliminations.
+    let mut eliminations = graph.edge_count() - edges.len();
+
+    loop {
+        // Find an eliminable vertex: degree 1 (leaf fold) or degree 2
+        // (node elimination). Lowest id first for determinism.
+        let candidate = graph
+            .node_ids()
+            .filter(|&v| alive[v.index()])
+            .find(|&v| !adj[v.index()].is_empty() && adj[v.index()].len() <= 2);
+
+        let Some(w) = candidate else {
+            let remaining: Vec<NodeId> = graph.node_ids().filter(|&v| alive[v.index()]).collect();
+            if remaining.len() == 1 {
+                break;
+            }
+            // Disconnected singletons are fine (optimize independently);
+            // anything still connected with degree ≥ 3 everywhere is
+            // irreducible.
+            if remaining.iter().all(|&v| adj[v.index()].is_empty()) {
+                break;
+            }
+            return ReductionOutcome::Irreducible { remaining };
+        };
+
+        match adj[w.index()].len() {
+            1 => {
+                // Leaf fold into u.
+                let u = adj[w.index()][0];
+                let key = canon(w, u);
+                let ec = edges.remove(&key).expect("edge exists");
+                let (k_u, k_w) = (tables.k(u), tables.k(w));
+                let mut choice = vec![0u16; k_u];
+                for cu in 0..k_u as u16 {
+                    let mut best = f64::INFINITY;
+                    let mut best_w = 0u16;
+                    for cw in 0..k_w as u16 {
+                        let e = if ec.a == u {
+                            ec.at(cu, cw)
+                        } else {
+                            ec.at(cw, cu)
+                        };
+                        let cost = node_cost[w.index()][cw as usize] + e;
+                        if cost < best {
+                            best = cost;
+                            best_w = cw;
+                        }
+                    }
+                    node_cost[u.index()][cu as usize] += best;
+                    choice[cu as usize] = best_w;
+                }
+                records.push(Record::Leaf { w, u, choice });
+                detach(&mut adj, w, u);
+                alive[w.index()] = false;
+                eliminations += 1;
+            }
+            2 => {
+                let (u, v) = (adj[w.index()][0], adj[w.index()][1]);
+                let e_uw = edges.remove(&canon(u, w)).expect("edge (u,w)");
+                let e_wv = edges.remove(&canon(w, v)).expect("edge (w,v)");
+                let (k_u, k_v, k_w) = (tables.k(u), tables.k(v), tables.k(w));
+                let (a, b) = if u < v { (u, v) } else { (v, u) };
+                let (k_a, k_b) = (tables.k(a), tables.k(b));
+                let mut new_costs = vec![0.0f64; k_a * k_b];
+                let mut choice = vec![0u16; k_a * k_b];
+                for ca in 0..k_a as u16 {
+                    for cb in 0..k_b as u16 {
+                        // map (a, b) back to (u, v)
+                        let (cu, cv) = if a == u { (ca, cb) } else { (cb, ca) };
+                        let mut best = f64::INFINITY;
+                        let mut best_w = 0u16;
+                        for cw in 0..k_w as u16 {
+                            let e1 = if e_uw.a == u {
+                                e_uw.at(cu, cw)
+                            } else {
+                                e_uw.at(cw, cu)
+                            };
+                            let e2 = if e_wv.a == w {
+                                e_wv.at(cw, cv)
+                            } else {
+                                e_wv.at(cv, cw)
+                            };
+                            let cost = node_cost[w.index()][cw as usize] + e1 + e2;
+                            if cost < best {
+                                best = cost;
+                                best_w = cw;
+                            }
+                        }
+                        new_costs[ca as usize * k_b + cb as usize] = best;
+                        choice[ca as usize * k_b + cb as usize] = best_w;
+                    }
+                }
+                let _ = (k_u, k_v);
+                records.push(Record::Node {
+                    w,
+                    a,
+                    b,
+                    k_b,
+                    choice,
+                });
+                detach(&mut adj, w, u);
+                detach(&mut adj, w, v);
+                alive[w.index()] = false;
+                eliminations += 1;
+                // Merge with an existing (a, b) edge — OptCNN's edge
+                // elimination.
+                match edges.entry((a, b)) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        for (dst, src) in o.get_mut().costs.iter_mut().zip(&new_costs) {
+                            *dst += src;
+                        }
+                        eliminations += 1;
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(EdgeCost {
+                            a,
+                            k_b,
+                            costs: new_costs,
+                        });
+                        adj[a.index()].push(b);
+                        adj[b.index()].push(a);
+                    }
+                }
+            }
+            _ => unreachable!("candidate filter guarantees degree ≤ 2"),
+        }
+    }
+
+    // Remaining vertices are isolated: pick each argmin independently.
+    let mut ids = vec![u16::MAX; n];
+    let mut cost = 0.0;
+    for v in graph.node_ids().filter(|&v| alive[v.index()]) {
+        let (best_c, best) = node_cost[v.index()]
+            .iter()
+            .enumerate()
+            .min_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("nonempty config list");
+        ids[v.index()] = best_c as u16;
+        cost += best;
+    }
+
+    // Back-substitute in reverse elimination order.
+    for rec in records.iter().rev() {
+        match rec {
+            Record::Leaf { w, u, choice } => {
+                let cu = ids[u.index()];
+                debug_assert_ne!(cu, u16::MAX, "fold target must be assigned");
+                ids[w.index()] = choice[cu as usize];
+            }
+            Record::Node {
+                w,
+                a,
+                b,
+                k_b,
+                choice,
+            } => {
+                let (ca, cb) = (ids[a.index()], ids[b.index()]);
+                debug_assert!(ca != u16::MAX && cb != u16::MAX);
+                ids[w.index()] = choice[ca as usize * k_b + cb as usize];
+            }
+        }
+    }
+    debug_assert!(ids.iter().all(|&c| c != u16::MAX));
+
+    ReductionOutcome::Reduced {
+        cost,
+        config_ids: ids,
+        eliminations,
+    }
+}
+
+fn canon(x: NodeId, y: NodeId) -> (NodeId, NodeId) {
+    if x < y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+fn detach(adj: &mut [Vec<NodeId>], w: NodeId, u: NodeId) {
+    adj[u.index()].retain(|&x| x != w);
+    adj[w.index()].retain(|&x| x != u);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{find_best_strategy, DpOptions};
+    use pase_cost::{ConfigRule, CostTables, MachineSpec};
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn fc(name: &str, ins: usize) -> Node {
+        let dims = vec![
+            IterDim::new("b", 64, DimRole::Batch),
+            IterDim::new("n", 128, DimRole::Param),
+            IterDim::new("c", 128, DimRole::Reduction),
+        ];
+        Node {
+            name: name.into(),
+            op: OpKind::FullyConnected,
+            iter_space: dims,
+            inputs: (0..ins)
+                .map(|_| TensorRef::new(vec![0, 2], vec![64, 128]))
+                .collect(),
+            output: TensorRef::new(vec![0, 1], vec![64, 128]),
+            params: vec![TensorRef::new(vec![1, 2], vec![128, 128])],
+        }
+    }
+
+    fn check_matches_dp(g: &pase_graph::Graph, p: u32) {
+        let tables = CostTables::build(g, ConfigRule::new(p), &MachineSpec::test_machine());
+        let dp = find_best_strategy(g, &tables, &DpOptions::default()).expect_found("dp");
+        match optcnn_search(g, &tables) {
+            ReductionOutcome::Reduced {
+                cost, config_ids, ..
+            } => {
+                assert!(
+                    (cost - dp.cost).abs() <= 1e-9 * dp.cost.abs().max(1.0),
+                    "optcnn {cost} vs dp {}",
+                    dp.cost
+                );
+                let eval = tables.evaluate_ids(g, &config_ids);
+                assert!((eval - cost).abs() <= 1e-9 * cost.abs().max(1.0));
+            }
+            ReductionOutcome::Irreducible { remaining } => {
+                panic!(
+                    "expected reducible graph, {} vertices remain",
+                    remaining.len()
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn reduces_path_graphs() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| b.add_node(fc(&format!("fc{i}"), usize::from(i > 0))))
+            .collect();
+        for w in ids.windows(2) {
+            b.connect(w[0], w[1]);
+        }
+        check_matches_dp(&b.build().unwrap(), 4);
+    }
+
+    #[test]
+    fn reduces_diamonds_via_edge_elimination() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node(fc("s", 0));
+        let l = b.add_node(fc("l", 1));
+        let r = b.add_node(fc("r", 1));
+        let mut join = fc("j", 2);
+        join.inputs = vec![join.inputs[0].clone(), join.inputs[0].clone()];
+        let j = b.add_node(join);
+        b.connect(s, l);
+        b.connect(s, r);
+        b.connect(l, j);
+        b.connect(r, j);
+        check_matches_dp(&b.build().unwrap(), 4);
+    }
+
+    #[test]
+    fn reduces_the_cnn_benchmarks() {
+        // §VI: "[10] exploits the fact that CNNs typically have nodes with
+        // single in-/out-edges" — AlexNet must agree exactly with our DP.
+        use pase_models::{alexnet, rnnlm, AlexNetConfig, RnnlmConfig};
+        check_matches_dp(&alexnet(&AlexNetConfig::tiny()), 4);
+        check_matches_dp(&rnnlm(&RnnlmConfig::tiny()), 4);
+    }
+
+    #[test]
+    fn transformer_reducibility_depends_on_depth() {
+        // §VI: "[10]/Tofu … prevent them from being able to handle models
+        // such as Transformer, whose graphs do not have a linear
+        // structure." With 2 decoder layers both cross-attention rungs sit
+        // at chain ends and the ladder unravels (and must then agree with
+        // the DP); from 3 layers on, the *interior* rungs form triangles
+        // against the encoder output that node/edge elimination cannot
+        // break.
+        use pase_models::{transformer, TransformerConfig};
+        check_matches_dp(&transformer(&TransformerConfig::tiny()), 4);
+
+        let deep = transformer(&TransformerConfig {
+            layers: 3,
+            ..TransformerConfig::tiny()
+        });
+        let tables = CostTables::build(&deep, ConfigRule::new(4), &MachineSpec::test_machine());
+        match optcnn_search(&deep, &tables) {
+            ReductionOutcome::Irreducible { remaining } => {
+                // the core is the encoder output plus interior rungs
+                assert!(remaining.len() >= 4, "core: {remaining:?}");
+                // ... while FindBestStrategy solves the same graph
+                let dp = find_best_strategy(&deep, &tables, &DpOptions::default())
+                    .expect_found("transformer");
+                assert!(dp.cost.is_finite());
+            }
+            ReductionOutcome::Reduced { .. } => {
+                panic!("3-layer decoder ladder should be irreducible")
+            }
+        }
+    }
+
+    #[test]
+    fn fails_on_uniformly_dense_graphs() {
+        // §V/§VI: DenseNet-style blocks have no degree-≤2 vertices left
+        // after the chains collapse — OptCNN reports the irreducible core
+        // while FindBestStrategy still solves the graph.
+        use pase_models::{densenet, DenseNetConfig};
+        let g = densenet(&DenseNetConfig {
+            block_layers: 4,
+            ..DenseNetConfig::tiny()
+        });
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        match optcnn_search(&g, &tables) {
+            ReductionOutcome::Irreducible { remaining } => {
+                assert!(remaining.len() > 2, "core = {remaining:?}");
+                // ... and the PaSE DP handles it regardless.
+                let dp = find_best_strategy(&g, &tables, &DpOptions::default())
+                    .expect_found("dense graph");
+                assert!(dp.cost.is_finite());
+            }
+            ReductionOutcome::Reduced { .. } => {
+                panic!("dense block should be irreducible")
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let g = GraphBuilder::new().build().unwrap();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        match optcnn_search(&g, &tables) {
+            ReductionOutcome::Reduced { cost, .. } => assert_eq!(cost, 0.0),
+            _ => panic!("empty graph must reduce"),
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Cost-model calibration (§V future work: "we plan to fine-tune the cost
+//! model further ... to improve its accuracy").
+//!
+//! The flat model predicts a step time of `flops/F + bytes/B` for a
+//! strategy whose per-device compute is `flops` and per-device
+//! communication traffic is `bytes`. Given wall-clock observations of a few
+//! strategies (e.g. short profiling runs on the real cluster, or the
+//! hierarchical simulator standing in for one), the machine parameters
+//! `(F, B)` that best explain them are the least-squares solution of the
+//! linear system in `(1/F, 1/B)` — a closed-form 2×2 fit.
+
+use crate::config::Config;
+use crate::events::{layer_comm_events, layer_compute_flops};
+use crate::machine::MachineSpec;
+use crate::strategy::Strategy;
+use crate::transfer::transfer_bytes;
+use pase_graph::Graph;
+
+/// One calibration sample: the flat model's two features plus the measured
+/// step seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// Per-device compute FLOPs of the strategy.
+    pub compute_flops: f64,
+    /// Per-device communication traffic in bytes (intra-layer + transfers).
+    pub comm_bytes: f64,
+    /// Measured step time in seconds.
+    pub seconds: f64,
+}
+
+/// Extract the flat model's `(compute_flops, comm_bytes)` features for a
+/// strategy — exactly the quantities `F(G, φ)` charges, so that
+/// `F(G, φ) = compute + r · bytes`.
+pub fn strategy_features(graph: &Graph, strategy: &Strategy) -> (f64, f64) {
+    assert_eq!(strategy.len(), graph.len());
+    let mut flops = 0.0;
+    let mut bytes = 0.0;
+    for (id, node) in graph.iter() {
+        let cfg: &Config = strategy.config(id);
+        flops += layer_compute_flops(node, cfg);
+        bytes += layer_comm_events(node, cfg)
+            .iter()
+            .map(|e| e.traffic_bytes())
+            .sum::<f64>();
+    }
+    for e in graph.edges() {
+        bytes += transfer_bytes(
+            graph.node(e.src),
+            strategy.config(e.src),
+            graph.node(e.dst),
+            e.dst_slot as usize,
+            strategy.config(e.dst),
+        );
+    }
+    (flops, bytes)
+}
+
+/// Fit a [`MachineSpec`] to observations by least squares over
+/// `t ≈ flops/F + bytes/B`.
+///
+/// Needs at least two observations with *different* compute/communication
+/// ratios (e.g. a data-parallel and a parameter-parallel run) — otherwise
+/// the system is singular and an error is returned. Fits with
+/// non-physical (non-positive) rates are also rejected.
+pub fn fit_machine(observations: &[Observation]) -> Result<MachineSpec, String> {
+    if observations.len() < 2 {
+        return Err("need at least two observations".to_string());
+    }
+    // Normal equations for t = a·x + b·y with x = 1/F, y = 1/B.
+    let (mut saa, mut sab, mut sbb, mut sat, mut sbt) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for o in observations {
+        saa += o.compute_flops * o.compute_flops;
+        sab += o.compute_flops * o.comm_bytes;
+        sbb += o.comm_bytes * o.comm_bytes;
+        sat += o.compute_flops * o.seconds;
+        sbt += o.comm_bytes * o.seconds;
+    }
+    let det = saa * sbb - sab * sab;
+    // Condition check relative to the matrix scale.
+    if det.abs() <= 1e-12 * (saa * sbb).max(1e-300) {
+        return Err("observations are collinear: vary the compute/communication ratio".to_string());
+    }
+    let x = (sat * sbb - sbt * sab) / det; // 1/F
+    let y = (saa * sbt - sab * sat) / det; // 1/B
+    if x <= 0.0 || y <= 0.0 {
+        return Err(format!("fit is non-physical: 1/F = {x:.3e}, 1/B = {y:.3e}"));
+    }
+    Ok(MachineSpec {
+        name: "calibrated",
+        peak_flops: 1.0 / x,
+        link_bandwidth: 1.0 / y,
+        internode_bandwidth: 1.0 / y,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn fc_chain() -> Graph {
+        let mk = |name: &str, ins: usize| {
+            let dims = vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 512, DimRole::Param),
+                IterDim::new("c", 512, DimRole::Reduction),
+            ];
+            Node {
+                name: name.into(),
+                op: OpKind::FullyConnected,
+                iter_space: dims,
+                inputs: (0..ins)
+                    .map(|_| TensorRef::new(vec![0, 2], vec![64, 512]))
+                    .collect(),
+                output: TensorRef::new(vec![0, 1], vec![64, 512]),
+                params: vec![TensorRef::new(vec![1, 2], vec![512, 512])],
+            }
+        };
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(mk("fc1", 0));
+        let y = b.add_node(mk("fc2", 1));
+        b.connect(x, y);
+        b.build().unwrap()
+    }
+
+    fn synth_observation(g: &Graph, s: &Strategy, machine: &MachineSpec) -> Observation {
+        let (flops, bytes) = strategy_features(g, s);
+        Observation {
+            compute_flops: flops,
+            comm_bytes: bytes,
+            seconds: flops / machine.peak_flops + bytes / machine.link_bandwidth,
+        }
+    }
+
+    #[test]
+    fn recovers_the_generating_machine_exactly() {
+        let g = fc_chain();
+        let truth = MachineSpec::gtx1080ti();
+        // Two strategies with very different compute/comm mixes.
+        let dp = Strategy::new(vec![Config::new(&[8, 1, 1]); 2]);
+        let pp = Strategy::new(vec![Config::new(&[1, 8, 1]), Config::new(&[1, 1, 8])]);
+        let obs = vec![
+            synth_observation(&g, &dp, &truth),
+            synth_observation(&g, &pp, &truth),
+        ];
+        let fitted = fit_machine(&obs).expect("well-posed fit");
+        assert!((fitted.peak_flops - truth.peak_flops).abs() <= 1e-3 * truth.peak_flops);
+        assert!(
+            (fitted.link_bandwidth - truth.link_bandwidth).abs() <= 1e-3 * truth.link_bandwidth
+        );
+    }
+
+    #[test]
+    fn collinear_observations_are_rejected() {
+        let g = fc_chain();
+        let truth = MachineSpec::test_machine();
+        let dp = Strategy::new(vec![Config::new(&[8, 1, 1]); 2]);
+        // The same strategy twice: identical feature ratios.
+        let obs = vec![
+            synth_observation(&g, &dp, &truth),
+            synth_observation(&g, &dp, &truth),
+        ];
+        assert!(fit_machine(&obs).unwrap_err().contains("collinear"));
+    }
+
+    #[test]
+    fn too_few_observations_are_rejected() {
+        assert!(fit_machine(&[]).is_err());
+        let one = Observation {
+            compute_flops: 1.0,
+            comm_bytes: 1.0,
+            seconds: 1.0,
+        };
+        assert!(fit_machine(&[one]).is_err());
+    }
+
+    #[test]
+    fn non_physical_fits_are_rejected() {
+        // Times that *decrease* with both features force a negative rate.
+        let obs = vec![
+            Observation {
+                compute_flops: 1e12,
+                comm_bytes: 1e6,
+                seconds: 0.001,
+            },
+            Observation {
+                compute_flops: 1e9,
+                comm_bytes: 1e9,
+                seconds: 10.0,
+            },
+            Observation {
+                compute_flops: 2e12,
+                comm_bytes: 2e6,
+                seconds: 0.0005,
+            },
+        ];
+        assert!(fit_machine(&obs).is_err());
+    }
+
+    #[test]
+    fn features_match_the_cost_function() {
+        // compute + r·bytes must equal evaluate() exactly.
+        let g = fc_chain();
+        let s = Strategy::new(vec![Config::new(&[2, 2, 1]), Config::new(&[1, 4, 1])]);
+        let (flops, bytes) = strategy_features(&g, &s);
+        let r = 321.5;
+        let direct = crate::strategy::evaluate(&g, &s, r);
+        assert!((flops + r * bytes - direct).abs() <= 1e-9 * direct.abs().max(1.0));
+    }
+}

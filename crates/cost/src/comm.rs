@@ -1,0 +1,76 @@
+//! Collective-communication volume formulas.
+//!
+//! The analytical model charges each device the number of bytes it sends
+//! plus receives under bandwidth-optimal ring algorithms. These formulas
+//! are shared by the layer cost (`t_l`'s intra-layer terms) and reused by
+//! the execution simulator.
+
+/// Per-device traffic of a ring all-reduce of `bytes` across a group of
+/// `group` devices: a reduce-scatter plus an all-gather, each moving
+/// `(g-1)/g · bytes` per device.
+pub fn all_reduce_bytes(bytes: f64, group: u32) -> f64 {
+    if group <= 1 {
+        return 0.0;
+    }
+    let g = f64::from(group);
+    2.0 * (g - 1.0) / g * bytes
+}
+
+/// Per-device traffic of a ring all-gather in which each of `group` devices
+/// contributes a shard and ends with the concatenation of `bytes` total.
+pub fn all_gather_bytes(bytes: f64, group: u32) -> f64 {
+    if group <= 1 {
+        return 0.0;
+    }
+    let g = f64::from(group);
+    (g - 1.0) / g * bytes
+}
+
+/// Per-device traffic of a ring reduce-scatter of `bytes` across `group`
+/// devices.
+pub fn reduce_scatter_bytes(bytes: f64, group: u32) -> f64 {
+    if group <= 1 {
+        return 0.0;
+    }
+    let g = f64::from(group);
+    (g - 1.0) / g * bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_groups_are_free() {
+        assert_eq!(all_reduce_bytes(1e6, 1), 0.0);
+        assert_eq!(all_gather_bytes(1e6, 1), 0.0);
+        assert_eq!(reduce_scatter_bytes(1e6, 1), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_is_reduce_scatter_plus_all_gather() {
+        let (b, g) = (4096.0, 8);
+        assert_eq!(
+            all_reduce_bytes(b, g),
+            reduce_scatter_bytes(b, g) + all_gather_bytes(b, g)
+        );
+    }
+
+    #[test]
+    fn two_device_all_reduce_moves_the_buffer_once_each_way() {
+        assert_eq!(all_reduce_bytes(100.0, 2), 100.0);
+    }
+
+    #[test]
+    fn volume_grows_monotonically_with_group_size() {
+        let b = 1e6;
+        let mut prev = 0.0;
+        for g in 2..64 {
+            let v = all_reduce_bytes(b, g);
+            assert!(v > prev);
+            prev = v;
+        }
+        // ... and approaches 2·bytes asymptotically.
+        assert!(all_reduce_bytes(b, 1024) < 2.0 * b);
+    }
+}

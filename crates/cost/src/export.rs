@@ -1,0 +1,378 @@
+//! Strategy export.
+//!
+//! PaSE's output is a per-layer sharding decision; "frameworks such as
+//! GShard can take user-specified parallelization strategies, such as the
+//! ones computed by our approach, and automatically perform efficient
+//! device assignment by simply aligning the sharding decisions of adjacent
+//! layers" (§II). This module serializes a [`Strategy`] into a stable JSON
+//! document of exactly that shape: one annotation per layer with the
+//! iteration-dimension names, extents, and split factors — everything a
+//! Mesh-TF/GShard-style runtime needs to materialize the device meshes.
+
+use crate::strategy::Strategy;
+use pase_graph::Graph;
+use std::fmt::Write;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize `strategy` as a GShard-style JSON sharding specification.
+///
+/// ```json
+/// {
+///   "devices": 8,
+///   "layers": [
+///     {"name": "fc0", "op": "fc", "dims": ["b","n","c"],
+///      "sizes": [64,4096,1024], "splits": [1,4,2]},
+///     ...
+///   ]
+/// }
+/// ```
+pub fn to_sharding_json(graph: &Graph, strategy: &Strategy) -> String {
+    assert_eq!(
+        strategy.len(),
+        graph.len(),
+        "strategy must cover every node"
+    );
+    let mut out = String::with_capacity(128 * graph.len());
+    let devices = strategy.max_devices_used();
+    let _ = write!(out, "{{\n  \"devices\": {devices},\n  \"layers\": [\n");
+    for (idx, (id, node)) in graph.iter().enumerate() {
+        let cfg = strategy.config(id);
+        let dims: Vec<String> = node
+            .iter_space
+            .iter()
+            .map(|d| format!("\"{}\"", escape(d.name)))
+            .collect();
+        let sizes: Vec<String> = node.iter_space.iter().map(|d| d.size.to_string()).collect();
+        let splits: Vec<String> = cfg.splits().iter().map(|c| c.to_string()).collect();
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"op\": \"{}\", \"dims\": [{}], \"sizes\": [{}], \"splits\": [{}]}}",
+            escape(&node.name),
+            node.op.tag(),
+            dims.join(","),
+            sizes.join(","),
+            splits.join(",")
+        );
+        out.push_str(if idx + 1 < graph.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a sharding specification produced by [`to_sharding_json`] back
+/// into a [`Strategy`] for `graph`. Layers are matched **by name**, so the
+/// file may list them in any order; every graph layer must be covered and
+/// split counts must match the layer's iteration-space rank.
+pub fn from_sharding_json(graph: &Graph, json: &str) -> Result<Strategy, String> {
+    let value = json::parse(json)?;
+    let layers = value
+        .get("layers")
+        .and_then(json::Value::as_array)
+        .ok_or("missing \"layers\" array")?;
+    let mut by_name = std::collections::HashMap::new();
+    for layer in layers {
+        let name = layer
+            .get("name")
+            .and_then(json::Value::as_str)
+            .ok_or("layer without \"name\"")?;
+        let splits: Vec<u32> = layer
+            .get("splits")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| format!("layer '{name}' without \"splits\""))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| format!("layer '{name}': non-integer split"))
+            })
+            .collect::<Result<_, _>>()?;
+        if by_name.insert(name.to_string(), splits).is_some() {
+            return Err(format!("duplicate layer '{name}' in spec"));
+        }
+    }
+    let mut configs = Vec::with_capacity(graph.len());
+    for node in graph.nodes() {
+        let splits = by_name
+            .remove(&node.name)
+            .ok_or_else(|| format!("spec does not cover layer '{}'", node.name))?;
+        if splits.len() != node.rank() {
+            return Err(format!(
+                "layer '{}': {} splits for a rank-{} iteration space",
+                node.name,
+                splits.len(),
+                node.rank()
+            ));
+        }
+        configs.push(crate::config::Config::new(&splits));
+    }
+    Ok(Strategy::new(configs))
+}
+
+/// Minimal JSON subset parser (objects, arrays, strings with `\"`/`\\`
+/// escapes, non-negative integers) — exactly the grammar
+/// [`to_sharding_json`] emits, so strategies round-trip without an external
+/// dependency.
+mod json {
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        Str(String),
+        Num(u64),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => string(b, pos).map(Value::Str),
+            Some(c) if c.is_ascii_digit() => number(b, pos),
+            other => Err(format!(
+                "unexpected {:?} at byte {pos}",
+                other.map(|&c| c as char)
+            )),
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut pairs = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            pairs.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => match b.get(*pos) {
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                },
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn tiny_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let fc = Node {
+            name: "fc \"quoted\"".into(),
+            op: OpKind::FullyConnected,
+            iter_space: vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+            ],
+            inputs: vec![],
+            output: TensorRef::new(vec![0, 1], vec![64, 128]),
+            params: vec![],
+        };
+        b.add_node(fc);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn json_contains_layer_annotations() {
+        let g = tiny_graph();
+        let s = Strategy::new(vec![Config::new(&[4, 2])]);
+        let json = to_sharding_json(&g, &s);
+        assert!(json.contains("\"devices\": 8"));
+        assert!(json.contains("\"splits\": [4,2]"));
+        assert!(json.contains("\"sizes\": [64,128]"));
+        assert!(json.contains("\"dims\": [\"b\",\"n\"]"));
+        assert!(json.contains("\"op\": \"fc\""));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let g = tiny_graph();
+        let s = Strategy::new(vec![Config::ones(2)]);
+        let json = to_sharding_json(&g, &s);
+        assert!(json.contains("fc \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let mut b = GraphBuilder::new();
+        let mk = |name: &str| Node {
+            name: name.into(),
+            op: OpKind::FullyConnected,
+            iter_space: vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+                IterDim::new("c", 128, DimRole::Reduction),
+            ],
+            inputs: vec![],
+            output: TensorRef::new(vec![0, 1], vec![64, 128]),
+            params: vec![],
+        };
+        b.add_node(mk("fc0"));
+        b.add_node(mk("fc1"));
+        let g = b.build().unwrap();
+        let s = Strategy::new(vec![Config::new(&[2, 4, 1]), Config::new(&[1, 1, 8])]);
+        let json = to_sharding_json(&g, &s);
+        let back = from_sharding_json(&g, &json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn import_rejects_missing_and_mismatched_layers() {
+        let g = tiny_graph();
+        assert!(from_sharding_json(&g, "{\"layers\": []}")
+            .unwrap_err()
+            .contains("does not cover"));
+        let wrong_rank = "{\"layers\": [{\"name\": \"fc \\\"quoted\\\"\", \"splits\": [2]}]}";
+        assert!(from_sharding_json(&g, wrong_rank)
+            .unwrap_err()
+            .contains("rank"));
+    }
+
+    #[test]
+    fn import_rejects_malformed_json() {
+        let g = tiny_graph();
+        for bad in ["{", "[1,2", "{\"layers\": [}]}", "{\"layers\": 3}", ""] {
+            assert!(from_sharding_json(&g, bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn document_is_balanced() {
+        let g = tiny_graph();
+        let s = Strategy::new(vec![Config::ones(2)]);
+        let json = to_sharding_json(&g, &s);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,265 @@
+//! The layer cost `t_l(v, φ, r)` (PaSE §II).
+//!
+//! `t_l` is expressed in FLOPs and includes "both computation and
+//! communication that happens internally within a layer (such as all-reduce
+//! within a layer, halo communication for convolutions, etc., normalized to
+//! FLOP by multiplying it with r)".
+//!
+//! The terms, per configuration `C`:
+//!
+//! * **compute** — the layer's forward+backward FLOPs divided by `∏ c_i`
+//!   (each device computes an equal share of the iteration space); for the
+//!   single-vertex RNN operator the division accounts for pipeline-bubble
+//!   inefficiency when the `layer`/`sequence` dims are split;
+//! * **partial-sum reduction** — splitting a contraction dimension that does
+//!   not index the output leaves each device with a partial result that is
+//!   all-reduced across the contraction group (fires for the `k` dim of
+//!   GEMMs, in-channel/filter dims of convolutions, the vocabulary dim of
+//!   embeddings, the hidden dim of feed-forward blocks, …);
+//! * **gradient synchronization** — parameters replicated across splits of
+//!   dimensions that do not index them (e.g. the batch dim) must have their
+//!   gradients all-reduced across the replica group in the update phase;
+//!   this is the term that makes pure data parallelism expensive for large
+//!   models;
+//! * **op-specific terms** — convolution halo exchange when spatial dims are
+//!   split; per-timestep recurrent reductions and stage-boundary transfers
+//!   for the RNN operator; key/value all-gather when an attention operator's
+//!   sequence dim is split; the first-GEMM partial reduction when a
+//!   feed-forward block's model dim is split.
+
+use crate::config::Config;
+use crate::events::{layer_comm_events, layer_compute_flops};
+use pase_graph::Node;
+
+/// `t_l(v, φ, r)`: cost in FLOPs of executing `node` under configuration
+/// `cfg` on a machine with FLOP-to-byte ratio `r`.
+///
+/// Equal by construction to the compute term of
+/// [`layer_compute_flops`](crate::layer_compute_flops) plus `r` times the
+/// per-device traffic of every event in
+/// [`layer_comm_events`](crate::layer_comm_events).
+pub fn layer_cost(node: &Node, cfg: &Config, r: f64) -> f64 {
+    debug_assert_eq!(
+        cfg.rank(),
+        node.rank(),
+        "config rank mismatch for '{}'",
+        node.name
+    );
+    let compute = layer_compute_flops(node, cfg);
+    let bytes: f64 = layer_comm_events(node, cfg)
+        .iter()
+        .map(|e| e.traffic_bytes())
+        .sum();
+    compute + r * bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::all_reduce_bytes;
+    use pase_graph::{DimRole, IterDim, OpKind, TensorRef};
+
+    /// b=64, n=256, c=512 fully-connected layer.
+    fn fc() -> Node {
+        let dims = vec![
+            IterDim::new("b", 64, DimRole::Batch),
+            IterDim::new("n", 256, DimRole::Param),
+            IterDim::new("c", 512, DimRole::Reduction),
+        ];
+        let sizes: Vec<u64> = dims.iter().map(|d| d.size).collect();
+        Node {
+            name: "fc".into(),
+            op: OpKind::FullyConnected,
+            iter_space: dims,
+            inputs: vec![TensorRef::aligned(vec![0, 2], &sizes)],
+            output: TensorRef::aligned(vec![0, 1], &sizes),
+            params: vec![TensorRef::aligned(vec![1, 2], &sizes)],
+        }
+    }
+
+    #[test]
+    fn sequential_cost_is_plain_flops() {
+        let n = fc();
+        let c = Config::ones(3);
+        assert_eq!(layer_cost(&n, &c, 1000.0), n.step_flops());
+    }
+
+    #[test]
+    fn pure_compute_split_divides_ideally_when_r_zero() {
+        let n = fc();
+        let c = Config::new(&[8, 1, 1]);
+        assert_eq!(layer_cost(&n, &c, 0.0), n.step_flops() / 8.0);
+    }
+
+    #[test]
+    fn batch_split_pays_gradient_allreduce() {
+        let n = fc();
+        let r = 1000.0;
+        let dp = Config::new(&[8, 1, 1]);
+        // grad all-reduce of the whole 256×512 weight across 8 replicas
+        let expected_bytes = all_reduce_bytes(256.0 * 512.0 * 4.0, 8);
+        let expected = n.step_flops() / 8.0 + r * expected_bytes;
+        assert!((layer_cost(&n, &dp, r) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn param_split_avoids_gradient_sync() {
+        let n = fc();
+        let r = 1000.0;
+        // splitting n (param dim) only: weight fully sharded, no replicas
+        let pp = Config::new(&[1, 8, 1]);
+        assert_eq!(layer_cost(&n, &pp, r), n.step_flops() / 8.0);
+    }
+
+    #[test]
+    fn reduction_split_pays_partial_sum_allreduce() {
+        let n = fc();
+        let r = 1000.0;
+        let kk = Config::new(&[1, 1, 8]);
+        // output shard is the full b×n block (c not mapped to output)
+        let expected_bytes = all_reduce_bytes(64.0 * 256.0 * 4.0, 8);
+        let expected = n.step_flops() / 8.0 + r * expected_bytes;
+        assert!((layer_cost(&n, &kk, r) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_sync_scales_with_weight_size() {
+        // The paper's intro: data parallelism's gradient all-reduce grows
+        // with the model size, making it a bottleneck for large weights.
+        let r = 1000.0;
+        let mk = |n_: u64, c_: u64| {
+            let dims = vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", n_, DimRole::Param),
+                IterDim::new("c", c_, DimRole::Reduction),
+            ];
+            let sizes: Vec<u64> = dims.iter().map(|d| d.size).collect();
+            Node {
+                name: "fc".into(),
+                op: OpKind::FullyConnected,
+                iter_space: dims,
+                inputs: vec![TensorRef::aligned(vec![0, 2], &sizes)],
+                output: TensorRef::aligned(vec![0, 1], &sizes),
+                params: vec![TensorRef::aligned(vec![1, 2], &sizes)],
+            }
+        };
+        let dp = Config::new(&[8, 1, 1]);
+        let small = mk(64, 64);
+        let big = mk(2048, 2048);
+        let sync_overhead = |n: &Node| layer_cost(n, &dp, r) - n.step_flops() / 8.0;
+        // overhead grows with the weight: 1024× the elements → 1024× the sync
+        assert!((sync_overhead(&big) / sync_overhead(&small) - 1024.0).abs() < 1e-9);
+        // and parameter parallelism pays no intra-layer sync at all
+        let pp = Config::new(&[1, 8, 1]);
+        assert_eq!(layer_cost(&big, &pp, r), big.step_flops() / 8.0);
+    }
+
+    fn conv(kernel: u32) -> Node {
+        let dims = vec![
+            IterDim::new("b", 64, DimRole::Batch),
+            IterDim::new("c", 64, DimRole::Reduction),
+            IterDim::new("h", 32, DimRole::Spatial),
+            IterDim::new("w", 32, DimRole::Spatial),
+            IterDim::new("n", 128, DimRole::Param),
+            IterDim::fixed("r", u64::from(kernel), DimRole::Reduction),
+            IterDim::fixed("s", u64::from(kernel), DimRole::Reduction),
+        ];
+        Node {
+            name: "conv".into(),
+            op: OpKind::Conv2d {
+                kernel_h: kernel,
+                kernel_w: kernel,
+                stride: 1,
+            },
+            iter_space: dims,
+            inputs: vec![TensorRef::new(vec![0, 1, 2, 3], vec![64, 64, 32, 32])],
+            output: TensorRef::new(vec![0, 4, 2, 3], vec![64, 128, 32, 32]),
+            params: vec![TensorRef::new(
+                vec![4, 1, 5, 6],
+                vec![128, 64, kernel as u64, kernel as u64],
+            )],
+        }
+    }
+
+    #[test]
+    fn spatial_split_pays_halo_for_wide_kernels_only() {
+        let r = 1000.0;
+        let hsplit = Config::new(&[1, 1, 8, 1, 1, 1, 1]);
+        // Both convs pay the weight-gradient sync (the weights are
+        // replicated across the spatial split); only the 3×3 one pays halo.
+        let base =
+            |n: &Node| n.step_flops() / 8.0 + r * all_reduce_bytes(n.param_elements() * 4.0, 8);
+        let c1 = conv(1);
+        assert!((layer_cost(&c1, &hsplit, r) - base(&c1)).abs() < 1e-6);
+        let c3 = conv(3);
+        let halo = layer_cost(&c3, &hsplit, r) - base(&c3);
+        // per device: 2 sides? no — (k−1) rows of the input slab, fwd+bwd:
+        // 2 · in_shard · (k−1) / (h/8) bytes, with in_shard = 64·64·4·32·4 B
+        let in_shard = 64.0 * 64.0 * (32.0 / 8.0) * 32.0 * 4.0;
+        let expected_halo = r * 2.0 * in_shard * 2.0 / 4.0;
+        assert!((halo - expected_halo).abs() < 1e-6 * expected_halo);
+    }
+
+    #[test]
+    fn lstm_pipeline_split_has_bubble_overhead() {
+        let dims = vec![
+            IterDim::new("l", 2, DimRole::Pipeline),
+            IterDim::new("b", 64, DimRole::Batch),
+            IterDim::new("s", 40, DimRole::Pipeline),
+            IterDim::new("d", 1024, DimRole::Reduction),
+            IterDim::new("e", 2048, DimRole::Param),
+        ];
+        let n = Node {
+            name: "lstm".into(),
+            op: OpKind::Lstm { layers: 2 },
+            iter_space: dims,
+            inputs: vec![TensorRef::new(vec![1, 2, 3], vec![64, 40, 1024])],
+            output: TensorRef::new(vec![1, 2, 4], vec![64, 40, 2048]),
+            params: vec![TensorRef::new(vec![0, 3, 4], vec![2, 1024, 2048 * 8])],
+        };
+        // Pure pipeline split (l by 2) with r = 0: compute is divided by 2
+        // but inflated by the bubble factor (M + P − 1)/M = 41/40.
+        let pipe = Config::new(&[2, 1, 1, 1, 1]);
+        let got = layer_cost(&n, &pipe, 0.0);
+        let ideal = n.step_flops() / 2.0;
+        assert!((got - ideal * 41.0 / 40.0).abs() < 1e-9 * got);
+        // Batch split of the same degree has no bubble.
+        let dp = Config::new(&[1, 2, 1, 1, 1]);
+        assert_eq!(layer_cost(&n, &dp, 0.0), ideal);
+    }
+
+    #[test]
+    fn attention_sequence_split_pays_kv_allgather() {
+        let dims = vec![
+            IterDim::new("b", 64, DimRole::Batch),
+            IterDim::new("s", 256, DimRole::Spatial),
+            IterDim::new("h", 16, DimRole::Param),
+            IterDim::new("c", 64, DimRole::Param),
+            IterDim::new("k", 64, DimRole::Reduction),
+        ];
+        let n = Node {
+            name: "attn".into(),
+            op: OpKind::Attention,
+            iter_space: dims,
+            inputs: vec![TensorRef::new(vec![0, 1, 2, 3], vec![64, 256, 16, 64])],
+            output: TensorRef::new(vec![0, 1, 2, 3], vec![64, 256, 16, 64]),
+            params: vec![TensorRef::new(vec![2, 3, 4], vec![16, 64, 4 * 16 * 64])],
+        };
+        let r = 1000.0;
+        let seq = Config::new(&[1, 8, 1, 1, 1]);
+        let head = Config::new(&[1, 1, 8, 1, 1]);
+        // Splitting heads is communication-free; splitting the sequence
+        // pays the K/V all-gather, so costs strictly more.
+        assert!(layer_cost(&n, &seq, r) > layer_cost(&n, &head, r));
+        assert_eq!(layer_cost(&n, &head, r), n.step_flops() / 8.0);
+    }
+
+    #[test]
+    fn zero_r_reduces_to_pure_compute_scaling() {
+        let n = fc();
+        for splits in [[2, 2, 2], [8, 1, 1], [1, 4, 2]] {
+            let c = Config::new(&splits);
+            assert_eq!(layer_cost(&n, &c, 0.0), n.step_flops() / 8.0);
+        }
+    }
+}

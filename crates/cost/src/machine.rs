@@ -1,0 +1,130 @@
+//! Machine descriptions.
+//!
+//! The cost function needs only two numbers per machine (PaSE §II): the
+//! average peak floating-point rate `F` per device and the average
+//! communication bandwidth `B` per link; their ratio `r = F/B` converts
+//! communication bytes into FLOP-equivalent cost. The execution simulator
+//! (`pase-sim`) consumes richer topology information, but builds it on top
+//! of these profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-device compute and per-link communication characteristics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Profile name (reports / logs).
+    pub name: &'static str,
+    /// Peak FLOP/s per device (`F`).
+    pub peak_flops: f64,
+    /// Intra-node per-link bandwidth in bytes/s (`B`) — the bandwidth the
+    /// analytical model uses for `r`.
+    pub link_bandwidth: f64,
+    /// Inter-node per-link bandwidth in bytes/s (used by the simulator's
+    /// hierarchical topology; the flat analytical model ignores it).
+    pub internode_bandwidth: f64,
+}
+
+impl MachineSpec {
+    /// FLOP-to-byte ratio `r = F/B`: how many FLOPs a device can execute in
+    /// the time one byte crosses a link. The paper's "machine balance" is
+    /// the inverse of this.
+    pub fn flop_byte_ratio(&self) -> f64 {
+        self.peak_flops / self.link_bandwidth
+    }
+
+    /// GeForce GTX 1080 Ti cluster profile (§IV-B system a): 8 GPUs per
+    /// node, fully connected over PCIe *with* peer-to-peer access, nodes
+    /// linked by InfiniBand. Relatively high machine balance.
+    pub fn gtx1080ti() -> Self {
+        Self {
+            name: "1080ti",
+            peak_flops: 11.3e12,
+            link_bandwidth: 12.0e9,
+            internode_bandwidth: 6.0e9,
+        }
+    }
+
+    /// GeForce RTX 2080 Ti cluster profile (§IV-B system b): PCIe without
+    /// peer-to-peer access (traffic staged through host memory) and a
+    /// higher compute peak — a very low machine balance, which is why the
+    /// paper sees up to 4× gains over data parallelism there.
+    pub fn rtx2080ti() -> Self {
+        Self {
+            name: "2080ti",
+            peak_flops: 13.4e12,
+            link_bandwidth: 5.0e9,
+            internode_bandwidth: 6.0e9,
+        }
+    }
+
+    /// Conservative profile for a *heterogeneous* cluster (§V): "the peak
+    /// FLOP and bandwidth, of the weakest computation node and
+    /// communication link, respectively, are used to compute t_l and t_x,
+    /// as they form the primary bottlenecks."
+    pub fn heterogeneous(name: &'static str, members: &[MachineSpec]) -> Self {
+        assert!(!members.is_empty(), "need at least one member profile");
+        let min = |f: fn(&MachineSpec) -> f64| members.iter().map(f).fold(f64::INFINITY, f64::min);
+        Self {
+            name,
+            peak_flops: min(|m| m.peak_flops),
+            link_bandwidth: min(|m| m.link_bandwidth),
+            internode_bandwidth: min(|m| m.internode_bandwidth),
+        }
+    }
+
+    /// A neutral test machine with `r = 1000` and symmetric links.
+    pub fn test_machine() -> Self {
+        Self {
+            name: "test",
+            peak_flops: 1.0e12,
+            link_bandwidth: 1.0e9,
+            internode_bandwidth: 1.0e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_byte_ratio_is_f_over_b() {
+        let m = MachineSpec::test_machine();
+        assert_eq!(m.flop_byte_ratio(), 1000.0);
+    }
+
+    #[test]
+    fn rtx2080ti_has_lower_machine_balance_than_gtx1080ti() {
+        // Lower balance = higher FLOP-to-byte ratio: communication is
+        // relatively more expensive on the 2080Ti system.
+        assert!(
+            MachineSpec::rtx2080ti().flop_byte_ratio() > MachineSpec::gtx1080ti().flop_byte_ratio()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_takes_the_weakest_of_everything() {
+        let h = MachineSpec::heterogeneous(
+            "mixed",
+            &[MachineSpec::gtx1080ti(), MachineSpec::rtx2080ti()],
+        );
+        // weakest compute: 1080Ti's 11.3 TF; weakest link: 2080Ti's 5 GB/s
+        assert_eq!(h.peak_flops, MachineSpec::gtx1080ti().peak_flops);
+        assert_eq!(h.link_bandwidth, MachineSpec::rtx2080ti().link_bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn heterogeneous_rejects_empty() {
+        let _ = MachineSpec::heterogeneous("x", &[]);
+    }
+
+    #[test]
+    fn profiles_have_positive_rates() {
+        for m in [MachineSpec::gtx1080ti(), MachineSpec::rtx2080ti()] {
+            assert!(m.peak_flops > 0.0);
+            assert!(m.link_bandwidth > 0.0);
+            assert!(m.internode_bandwidth > 0.0);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Tensor shardings induced by parallelization configurations.
+//!
+//! Splitting iteration-space dimension `i` into `c_i` parts block-shards
+//! every tensor dimension mapped to `i`, and replicates the tensor across
+//! the splits of unmapped dimensions. These two derived quantities — the
+//! per-tensor-dimension split vector and the replication degree — are all
+//! the cost model needs to compute per-device volumes.
+
+use crate::config::Config;
+use pase_graph::TensorRef;
+
+/// Per-tensor-dimension split factors induced by `cfg` through the tensor's
+/// iteration-space map: element `t` is `c_{dims[t]}`.
+pub fn tensor_sharding(tensor: &TensorRef, cfg: &Config) -> Vec<u32> {
+    tensor.dims.iter().map(|&d| cfg.split(d as usize)).collect()
+}
+
+/// Number of device groups holding identical copies of the tensor: the
+/// product of split factors of iteration dimensions *not* mapped by the
+/// tensor.
+pub fn replication(tensor: &TensorRef, cfg: &Config) -> u32 {
+    let mut repl = 1u64;
+    for i in 0..cfg.rank() {
+        if !tensor.maps_dim(i as u32) {
+            repl *= u64::from(cfg.split(i));
+        }
+    }
+    repl.min(u64::from(u32::MAX)) as u32
+}
+
+/// Elements of one shard of the tensor under `cfg`: the total element count
+/// divided by the product of the mapped split factors. Fractional results
+/// are allowed (the model does not require divisibility; cost is averaged).
+pub fn shard_elements(tensor: &TensorRef, cfg: &Config) -> f64 {
+    let mut elems = tensor.elements();
+    for &d in &tensor.dims {
+        elems /= f64::from(cfg.split(d as usize));
+    }
+    elems
+}
+
+/// Bytes of one shard of the tensor under `cfg`.
+pub fn shard_bytes(tensor: &TensorRef, cfg: &Config) -> f64 {
+    shard_elements(tensor, cfg) * f64::from(tensor.elem_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Iteration space (b, n, c) with b=8, n=16, c=32; tensor maps vary.
+    fn cfg() -> Config {
+        Config::new(&[2, 4, 1])
+    }
+
+    #[test]
+    fn sharding_follows_tensor_map() {
+        // weight (n, c): dims [1, 2]
+        let w = TensorRef::new(vec![1, 2], vec![16, 32]);
+        assert_eq!(tensor_sharding(&w, &cfg()), vec![4, 1]);
+    }
+
+    #[test]
+    fn replication_is_product_of_unmapped_splits() {
+        let w = TensorRef::new(vec![1, 2], vec![16, 32]);
+        assert_eq!(replication(&w, &cfg()), 2); // batch split replicates weights
+        let out = TensorRef::new(vec![0, 1], vec![8, 16]);
+        assert_eq!(replication(&out, &cfg()), 1); // c split is 1
+        let act = TensorRef::new(vec![0], vec![8]);
+        assert_eq!(replication(&act, &cfg()), 4); // n split replicates
+    }
+
+    #[test]
+    fn shard_elements_divides_by_mapped_splits() {
+        let w = TensorRef::new(vec![1, 2], vec![16, 32]);
+        assert_eq!(shard_elements(&w, &cfg()), 512.0 / 4.0);
+        assert_eq!(shard_bytes(&w, &cfg()), 512.0);
+    }
+
+    #[test]
+    fn unsplit_tensor_is_whole() {
+        let t = TensorRef::new(vec![2], vec![32]);
+        assert_eq!(shard_elements(&t, &cfg()), 32.0);
+        assert_eq!(replication(&t, &cfg()), 8); // 2 × 4
+    }
+
+    #[test]
+    fn fully_mapped_tensor_is_never_replicated() {
+        let t = TensorRef::new(vec![0, 1, 2], vec![8, 16, 32]);
+        assert_eq!(replication(&t, &cfg()), 1);
+        assert_eq!(shard_elements(&t, &cfg()), (8.0 * 16.0 * 32.0) / 8.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Parallelization strategies and the direct evaluation of `F(G, φ)`.
+
+use crate::config::Config;
+use crate::layer::layer_cost;
+use crate::transfer::transfer_cost;
+use pase_graph::{Graph, NodeId};
+use std::fmt;
+
+/// A complete parallelization strategy `φ`: one configuration per node,
+/// indexed by `NodeId::index`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Strategy {
+    configs: Vec<Config>,
+}
+
+impl Strategy {
+    /// Build from per-node configurations (must cover every node, in id
+    /// order).
+    pub fn new(configs: Vec<Config>) -> Self {
+        Self { configs }
+    }
+
+    /// The all-ones (single-device) strategy for `graph`.
+    pub fn sequential(graph: &Graph) -> Self {
+        Self {
+            configs: graph
+                .nodes()
+                .iter()
+                .map(|n| Config::ones(n.rank()))
+                .collect(),
+        }
+    }
+
+    /// Configuration of node `v`.
+    pub fn config(&self, v: NodeId) -> &Config {
+        &self.configs[v.index()]
+    }
+
+    /// Mutable configuration of node `v` (used by the MCMC search).
+    pub fn config_mut(&mut self, v: NodeId) -> &mut Config {
+        &mut self.configs[v.index()]
+    }
+
+    /// All configurations in node-id order.
+    pub fn configs(&self) -> &[Config] {
+        &self.configs
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the strategy covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Maximum number of devices used by any single layer.
+    pub fn max_devices_used(&self) -> u64 {
+        self.configs.iter().map(Config::product).max().unwrap_or(1)
+    }
+
+    /// Render as a per-layer table (Table II style) for `graph`.
+    pub fn report(&self, graph: &Graph) -> String {
+        let mut s = String::new();
+        use fmt::Write;
+        let _ = writeln!(
+            s,
+            "{:<28} {:>10} {:<10} configuration",
+            "layer", "op", "dims"
+        );
+        for (id, node) in graph.iter() {
+            let _ = writeln!(
+                s,
+                "{:<28} {:>10} {:<10} {}",
+                node.name,
+                node.op.tag(),
+                node.dims_string(),
+                self.config(id)
+            );
+        }
+        s
+    }
+}
+
+/// Check that `strategy` is valid for `graph` under `rule`: every node
+/// covered with a configuration of matching rank, split factors that are
+/// powers of two within the dimension extents (and 1 on unsplittable
+/// dims), and `∏ c_i ≤ p`. Imported strategies (e.g. via
+/// [`crate::from_sharding_json`]) should be validated before costing.
+pub fn validate_strategy(
+    graph: &Graph,
+    strategy: &Strategy,
+    rule: &crate::config::ConfigRule,
+) -> Result<(), String> {
+    if strategy.len() != graph.len() {
+        return Err(format!(
+            "strategy covers {} nodes but the graph has {}",
+            strategy.len(),
+            graph.len()
+        ));
+    }
+    for (id, node) in graph.iter() {
+        let cfg = strategy.config(id);
+        if cfg.rank() != node.rank() {
+            return Err(format!(
+                "layer '{}': configuration rank {} != iteration-space rank {}",
+                node.name,
+                cfg.rank(),
+                node.rank()
+            ));
+        }
+        if cfg.product() > u64::from(rule.devices) {
+            return Err(format!(
+                "layer '{}': {} uses {} > p = {} devices",
+                node.name,
+                cfg,
+                cfg.product(),
+                rule.devices
+            ));
+        }
+        for (i, d) in node.iter_space.iter().enumerate() {
+            let c = cfg.split(i);
+            if !c.is_power_of_two() {
+                return Err(format!(
+                    "layer '{}' dim '{}': split {} is not a power of two",
+                    node.name, d.name, c
+                ));
+            }
+            if u64::from(c) > d.size {
+                return Err(format!(
+                    "layer '{}' dim '{}': split {} exceeds extent {}",
+                    node.name, d.name, c, d.size
+                ));
+            }
+            if c > 1 && !d.splittable {
+                return Err(format!(
+                    "layer '{}' dim '{}' is not splittable",
+                    node.name, d.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Directly evaluate the cost function of Equation (1):
+/// `F(G, φ) = Σ_v t_l(v, φ, r) + Σ_(u,v)∈E r·t_x(u, v, φ)`.
+///
+/// This is the ground truth against which the dynamic program (and any
+/// search heuristic) is validated: the DP's returned minimum must equal the
+/// direct evaluation of its extracted strategy.
+pub fn evaluate(graph: &Graph, strategy: &Strategy, r: f64) -> f64 {
+    assert_eq!(
+        strategy.len(),
+        graph.len(),
+        "strategy must cover every node"
+    );
+    let mut total = 0.0;
+    for (id, node) in graph.iter() {
+        total += layer_cost(node, strategy.config(id), r);
+    }
+    for e in graph.edges() {
+        let u = graph.node(e.src);
+        let v = graph.node(e.dst);
+        total += transfer_cost(
+            u,
+            strategy.config(e.src),
+            v,
+            e.dst_slot as usize,
+            strategy.config(e.dst),
+            r,
+        );
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn two_fc_graph() -> Graph {
+        let mk = |name: &str, ins: usize| {
+            let dims = vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+                IterDim::new("c", 128, DimRole::Reduction),
+            ];
+            Node {
+                name: name.into(),
+                op: OpKind::FullyConnected,
+                iter_space: dims,
+                inputs: (0..ins)
+                    .map(|_| TensorRef::new(vec![0, 2], vec![64, 128]))
+                    .collect(),
+                output: TensorRef::new(vec![0, 1], vec![64, 128]),
+                params: vec![TensorRef::new(vec![1, 2], vec![128, 128])],
+            }
+        };
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(mk("fc1", 0));
+        let v = b.add_node(mk("fc2", 1));
+        b.connect(u, v);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sequential_strategy_cost_is_total_flops() {
+        let g = two_fc_graph();
+        let s = Strategy::sequential(&g);
+        assert_eq!(evaluate(&g, &s, 1000.0), g.total_step_flops());
+    }
+
+    #[test]
+    fn evaluate_sums_layer_and_edge_terms() {
+        let g = two_fc_graph();
+        let r = 500.0;
+        let s = Strategy::new(vec![Config::new(&[8, 1, 1]), Config::new(&[1, 1, 8])]);
+        let by_hand = {
+            use crate::layer::layer_cost;
+            use crate::transfer::transfer_cost;
+            layer_cost(g.node(NodeId(0)), s.config(NodeId(0)), r)
+                + layer_cost(g.node(NodeId(1)), s.config(NodeId(1)), r)
+                + transfer_cost(
+                    g.node(NodeId(0)),
+                    s.config(NodeId(0)),
+                    g.node(NodeId(1)),
+                    0,
+                    s.config(NodeId(1)),
+                    r,
+                )
+        };
+        assert_eq!(evaluate(&g, &s, r), by_hand);
+    }
+
+    #[test]
+    fn aligned_hybrid_beats_misaligned() {
+        // fc1 splits n, fc2 splits c (same tensor dim) → free edge;
+        // fc1 splits b, fc2 splits c → resharding. Aligned must cost less.
+        let g = two_fc_graph();
+        let r = 1000.0;
+        let aligned = Strategy::new(vec![Config::new(&[1, 8, 1]), Config::new(&[1, 1, 8])]);
+        let misaligned = Strategy::new(vec![Config::new(&[8, 1, 1]), Config::new(&[1, 1, 8])]);
+        assert!(evaluate(&g, &aligned, r) < evaluate(&g, &misaligned, r));
+    }
+
+    #[test]
+    fn report_lists_every_layer() {
+        let g = two_fc_graph();
+        let s = Strategy::sequential(&g);
+        let rep = s.report(&g);
+        assert!(rep.contains("fc1"));
+        assert!(rep.contains("fc2"));
+        assert!(rep.contains("(1, 1, 1)"));
+    }
+
+    #[test]
+    fn validate_strategy_accepts_and_rejects() {
+        use crate::config::ConfigRule;
+        let g = two_fc_graph();
+        let rule = ConfigRule::new(8);
+        let good = Strategy::new(vec![Config::new(&[8, 1, 1]), Config::new(&[2, 2, 2])]);
+        assert!(validate_strategy(&g, &good, &rule).is_ok());
+        // too many devices
+        let over = Strategy::new(vec![Config::new(&[16, 1, 1]), Config::ones(3)]);
+        assert!(validate_strategy(&g, &over, &rule)
+            .unwrap_err()
+            .contains("devices"));
+        // non-power-of-two
+        let npo2 = Strategy::new(vec![Config::new(&[3, 1, 1]), Config::ones(3)]);
+        assert!(validate_strategy(&g, &npo2, &rule)
+            .unwrap_err()
+            .contains("power of two"));
+        // rank mismatch
+        let rank = Strategy::new(vec![Config::ones(2), Config::ones(3)]);
+        assert!(validate_strategy(&g, &rank, &rule)
+            .unwrap_err()
+            .contains("rank"));
+        // coverage mismatch
+        let short = Strategy::new(vec![Config::ones(3)]);
+        assert!(validate_strategy(&g, &short, &rule)
+            .unwrap_err()
+            .contains("covers"));
+        // split beyond extent
+        let wide = Strategy::new(vec![Config::new(&[128, 1, 1]), Config::ones(3)]);
+        let rule_big = ConfigRule::new(128);
+        assert!(validate_strategy(&g, &wide, &rule_big)
+            .unwrap_err()
+            .contains("extent"));
+    }
+
+    #[test]
+    fn validate_strategy_rejects_unsplittable_dims() {
+        use crate::config::ConfigRule;
+        let mut b = GraphBuilder::new();
+        b.add_node(Node {
+            name: "conv".into(),
+            op: OpKind::Conv2d {
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+            },
+            iter_space: vec![
+                IterDim::new("b", 8, DimRole::Batch),
+                IterDim::fixed("r", 4, DimRole::Reduction),
+            ],
+            inputs: vec![],
+            output: TensorRef::new(vec![0], vec![8]),
+            params: vec![],
+        });
+        let g = b.build().unwrap();
+        let s = Strategy::new(vec![Config::new(&[1, 2])]);
+        assert!(validate_strategy(&g, &s, &ConfigRule::new(8))
+            .unwrap_err()
+            .contains("not splittable"));
+    }
+
+    #[test]
+    fn max_devices_used_takes_max_product() {
+        let s = Strategy::new(vec![Config::new(&[2, 2, 1]), Config::new(&[1, 1, 8])]);
+        assert_eq!(s.max_devices_used(), 8);
+    }
+}

@@ -1,0 +1,276 @@
+//! Precomputed cost tables.
+//!
+//! The dynamic program in `pase-core` evaluates `H_V(i, φ)` for an enormous
+//! number of substrategies; every evaluation touches only per-node layer
+//! costs and per-edge transfer costs. [`CostTables`] precomputes both —
+//! `layer[v][c]` for every configuration `c ∈ C(v)` and
+//! `edge[e][c_u][c_v]` for every configuration pair of an edge's endpoints —
+//! so the search's inner loop is pure dense-array lookups.
+
+use crate::config::{enumerate_configs, Config, ConfigRule};
+use crate::layer::layer_cost;
+use crate::machine::MachineSpec;
+use crate::strategy::Strategy;
+use crate::transfer::transfer_bytes;
+use pase_graph::{EdgeId, Graph, NodeId};
+
+/// Dense transfer-cost matrix for one edge: `costs[cu * k_dst + cv]`.
+#[derive(Clone, Debug)]
+struct EdgeTable {
+    k_dst: u32,
+    costs: Vec<f64>,
+}
+
+/// Precomputed configuration lists and cost tables for a (graph, rule,
+/// machine) triple.
+#[derive(Clone, Debug)]
+pub struct CostTables {
+    rule: ConfigRule,
+    r: f64,
+    configs: Vec<Vec<Config>>,
+    layer: Vec<Vec<f64>>,
+    edges: Vec<EdgeTable>,
+}
+
+impl CostTables {
+    /// Enumerate all configurations and precompute every cost entry.
+    pub fn build(graph: &Graph, rule: ConfigRule, machine: &MachineSpec) -> Self {
+        let r = machine.flop_byte_ratio();
+        let configs: Vec<Vec<Config>> = graph
+            .nodes()
+            .iter()
+            .map(|n| enumerate_configs(n, &rule))
+            .collect();
+        let layer: Vec<Vec<f64>> = graph
+            .iter()
+            .map(|(id, n)| {
+                configs[id.index()]
+                    .iter()
+                    .map(|c| layer_cost(n, c, r))
+                    .collect()
+            })
+            .collect();
+        let edges: Vec<EdgeTable> = graph
+            .edges()
+            .iter()
+            .map(|e| {
+                let src = graph.node(e.src);
+                let dst = graph.node(e.dst);
+                let cu_list = &configs[e.src.index()];
+                let cv_list = &configs[e.dst.index()];
+                let mut costs = Vec::with_capacity(cu_list.len() * cv_list.len());
+                for cu in cu_list {
+                    for cv in cv_list {
+                        costs.push(r * transfer_bytes(src, cu, dst, e.dst_slot as usize, cv));
+                    }
+                }
+                EdgeTable {
+                    k_dst: cv_list.len() as u32,
+                    costs,
+                }
+            })
+            .collect();
+        Self {
+            rule,
+            r,
+            configs,
+            layer,
+            edges,
+        }
+    }
+
+    /// The configuration rule the tables were built under.
+    pub fn rule(&self) -> &ConfigRule {
+        &self.rule
+    }
+
+    /// The machine's FLOP-to-byte ratio `r`.
+    pub fn flop_byte_ratio(&self) -> f64 {
+        self.r
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the tables cover no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// `|C(v)|` — the number of valid configurations of node `v`.
+    pub fn k(&self, v: NodeId) -> usize {
+        self.configs[v.index()].len()
+    }
+
+    /// The largest `|C(v)|` over all nodes (the paper's `K`).
+    pub fn max_k(&self) -> usize {
+        self.configs.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The configuration list of node `v`.
+    pub fn configs_of(&self, v: NodeId) -> &[Config] {
+        &self.configs[v.index()]
+    }
+
+    /// The configuration of node `v` with local id `c`.
+    pub fn config(&self, v: NodeId, c: u16) -> &Config {
+        &self.configs[v.index()][c as usize]
+    }
+
+    /// `t_l(v, C_c, r)` in FLOPs.
+    #[inline]
+    pub fn layer_cost(&self, v: NodeId, c: u16) -> f64 {
+        self.layer[v.index()][c as usize]
+    }
+
+    /// `r · t_x` for edge `e` under configuration ids `(cu, cv)` of its
+    /// endpoints.
+    #[inline]
+    pub fn edge_cost(&self, e: EdgeId, cu: u16, cv: u16) -> f64 {
+        let t = &self.edges[e.index()];
+        t.costs[cu as usize * t.k_dst as usize + cv as usize]
+    }
+
+    /// Evaluate `F(G, φ)` for a strategy given as per-node configuration
+    /// ids, using only the precomputed tables. Must agree exactly with
+    /// [`crate::evaluate`] on the corresponding [`Strategy`].
+    pub fn evaluate_ids(&self, graph: &Graph, ids: &[u16]) -> f64 {
+        assert_eq!(ids.len(), graph.len());
+        let mut total = 0.0;
+        for v in graph.node_ids() {
+            total += self.layer_cost(v, ids[v.index()]);
+        }
+        for (i, e) in graph.edges().iter().enumerate() {
+            total += self.edge_cost(EdgeId(i as u32), ids[e.src.index()], ids[e.dst.index()]);
+        }
+        total
+    }
+
+    /// Convert per-node configuration ids into a [`Strategy`].
+    pub fn ids_to_strategy(&self, ids: &[u16]) -> Strategy {
+        assert_eq!(ids.len(), self.configs.len());
+        Strategy::new(
+            ids.iter()
+                .enumerate()
+                .map(|(v, &c)| self.configs[v][c as usize])
+                .collect(),
+        )
+    }
+
+    /// Find the configuration ids of a [`Strategy`]; `None` if any node's
+    /// configuration is not in its enumerated list.
+    pub fn strategy_to_ids(&self, strategy: &Strategy) -> Option<Vec<u16>> {
+        if strategy.len() != self.configs.len() {
+            return None;
+        }
+        strategy
+            .configs()
+            .iter()
+            .enumerate()
+            .map(|(v, cfg)| {
+                self.configs[v]
+                    .iter()
+                    .position(|c| c == cfg)
+                    .map(|i| i as u16)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::evaluate;
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn fc_chain(k: usize) -> Graph {
+        let mk = |name: &str, ins: usize| {
+            let dims = vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+                IterDim::new("c", 128, DimRole::Reduction),
+            ];
+            Node {
+                name: name.into(),
+                op: OpKind::FullyConnected,
+                iter_space: dims,
+                inputs: (0..ins)
+                    .map(|_| TensorRef::new(vec![0, 2], vec![64, 128]))
+                    .collect(),
+                output: TensorRef::new(vec![0, 1], vec![64, 128]),
+                params: vec![TensorRef::new(vec![1, 2], vec![128, 128])],
+            }
+        };
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..k)
+            .map(|i| b.add_node(mk(&format!("fc{i}"), usize::from(i > 0))))
+            .collect();
+        for w in ids.windows(2) {
+            b.connect(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tables_match_direct_evaluation_on_all_pairs() {
+        let g = fc_chain(2);
+        let t = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let r = t.flop_byte_ratio();
+        for cu in 0..t.k(NodeId(0)) as u16 {
+            for cv in 0..t.k(NodeId(1)) as u16 {
+                let ids = vec![cu, cv];
+                let direct = evaluate(&g, &t.ids_to_strategy(&ids), r);
+                let tabled = t.evaluate_ids(&g, &ids);
+                assert!(
+                    (direct - tabled).abs() <= 1e-9 * direct.abs().max(1.0),
+                    "mismatch at ({cu},{cv}): {direct} vs {tabled}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_id_roundtrip() {
+        let g = fc_chain(3);
+        let t = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        let ids = vec![0u16, (t.k(NodeId(1)) - 1) as u16, 1u16];
+        let s = t.ids_to_strategy(&ids);
+        assert_eq!(t.strategy_to_ids(&s), Some(ids));
+    }
+
+    #[test]
+    fn unknown_config_is_rejected() {
+        let g = fc_chain(1);
+        let t = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        // all-ones uses 1 device; rule requires all 8 → not enumerated
+        let s = Strategy::sequential(&g);
+        assert_eq!(t.strategy_to_ids(&s), None);
+    }
+
+    #[test]
+    fn k_reflects_enumeration() {
+        let g = fc_chain(1);
+        let t = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        assert_eq!(t.k(NodeId(0)), 10); // pow-2 compositions of 8 over 3 dims
+        assert_eq!(t.max_k(), 10);
+    }
+
+    #[test]
+    fn edge_cost_lookup_matches_formula() {
+        let g = fc_chain(2);
+        let t = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let r = t.flop_byte_ratio();
+        let cu = 0u16;
+        let cv = 3u16;
+        let expect = r * crate::transfer::transfer_bytes(
+            g.node(NodeId(0)),
+            t.config(NodeId(0), cu),
+            g.node(NodeId(1)),
+            0,
+            t.config(NodeId(1), cv),
+        );
+        assert_eq!(t.edge_cost(EdgeId(0), cu, cv), expect);
+    }
+}

@@ -1,0 +1,210 @@
+//! The inter-layer data-transfer cost `t_x(u, v, φ)` (PaSE §II).
+//!
+//! The paper defines `t_x` along an edge `(u, v)` as
+//! `max_d |A(v,d,φ)| − |A(v,d,φ) ∩ A(u,d,φ)|`: the largest per-device gap
+//! between the input volume a device *needs* and the producer-output volume
+//! it already *holds*.
+//!
+//! Under block sharding with power-of-two split factors and aligned greedy
+//! placement (the paper's locality-maximizing assignment), one partition of
+//! each tensor dimension refines the other, so the per-device overlap along
+//! dimension `t` of extent `s_t` is exactly `s_t / max(a_t, b_t)` where
+//! `a_t` / `b_t` are the producer's / consumer's split factors of that
+//! dimension. Hence
+//!
+//! ```text
+//! t_x = ∏_t s_t/b_t  −  ∏_t s_t/max(a_t, b_t)      (in elements)
+//! ```
+//!
+//! The cost is edge-direction agnostic and covers both the forward
+//! activation transfer and the backward gradient transfer (same volume each
+//! way), hence the factor 2 in bytes.
+
+use crate::config::Config;
+use pase_graph::Node;
+
+/// Transfer volume in bytes along the edge feeding `slot` of `consumer`
+/// from `producer`, when the producer runs under `cfg_u` and the consumer
+/// under `cfg_v`. Covers forward + backward.
+pub fn transfer_bytes(
+    producer: &Node,
+    cfg_u: &Config,
+    consumer: &Node,
+    slot: usize,
+    cfg_v: &Config,
+) -> f64 {
+    let out = &producer.output;
+    let inp = &consumer.inputs[slot];
+    debug_assert_eq!(
+        out.rank(),
+        inp.rank(),
+        "edge tensor rank mismatch: '{}' output vs '{}' input[{slot}]",
+        producer.name,
+        consumer.name
+    );
+    let mut need = 1.0;
+    let mut overlap = 1.0;
+    for t in 0..inp.rank() {
+        let s_t = inp.sizes[t] as f64;
+        let a_t = f64::from(cfg_u.split(out.dims[t] as usize));
+        let b_t = f64::from(cfg_v.split(inp.dims[t] as usize));
+        need *= s_t / b_t;
+        overlap *= s_t / a_t.max(b_t);
+    }
+    2.0 * (need - overlap).max(0.0) * f64::from(inp.elem_bytes)
+}
+
+/// `r · t_x`, the FLOP-normalized edge cost used in Equation (1).
+pub fn transfer_cost(
+    producer: &Node,
+    cfg_u: &Config,
+    consumer: &Node,
+    slot: usize,
+    cfg_v: &Config,
+    r: f64,
+) -> f64 {
+    r * transfer_bytes(producer, cfg_u, consumer, slot, cfg_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{DimRole, IterDim, OpKind, TensorRef};
+
+    /// Two chained GEMMs: u computes (b, n1) from (b, c); v consumes
+    /// (b, n1) as its (b, c) input.
+    fn pair() -> (Node, Node) {
+        let mk = |name: &str, b: u64, n: u64, c: u64| {
+            let dims = vec![
+                IterDim::new("b", b, DimRole::Batch),
+                IterDim::new("n", n, DimRole::Param),
+                IterDim::new("c", c, DimRole::Reduction),
+            ];
+            Node {
+                name: name.into(),
+                op: OpKind::FullyConnected,
+                iter_space: dims,
+                inputs: vec![TensorRef::new(vec![0, 2], vec![b, c])],
+                output: TensorRef::new(vec![0, 1], vec![b, n]),
+                params: vec![TensorRef::new(vec![1, 2], vec![n, c])],
+            }
+        };
+        (mk("u", 64, 256, 128), mk("v", 64, 512, 256))
+    }
+
+    #[test]
+    fn matching_batch_splits_are_free() {
+        let (u, v) = pair();
+        let c = Config::new(&[8, 1, 1]);
+        assert_eq!(transfer_bytes(&u, &c, &v, 0, &c), 0.0);
+    }
+
+    #[test]
+    fn identical_replication_is_free() {
+        let (u, v) = pair();
+        let ones = Config::ones(3);
+        assert_eq!(transfer_bytes(&u, &ones, &v, 0, &ones), 0.0);
+    }
+
+    #[test]
+    fn producer_n_split_consumer_c_split_aligned_is_free() {
+        // u splits its out-feature dim (n), v splits its in-feature dim (c):
+        // both shard the *same* tensor dimension → aligned, no transfer.
+        let (u, v) = pair();
+        let cu = Config::new(&[1, 8, 1]);
+        let cv = Config::new(&[1, 1, 8]);
+        assert_eq!(transfer_bytes(&u, &cu, &v, 0, &cv), 0.0);
+    }
+
+    #[test]
+    fn misaligned_splits_pay_resharding() {
+        // u shards by batch, v needs shards by feature: each device needs
+        // (b × c/8) but holds (b/8 × c) → overlap is the (b/8, c/8) corner.
+        let (u, v) = pair();
+        let cu = Config::new(&[8, 1, 1]);
+        let cv = Config::new(&[1, 1, 8]);
+        let tensor = 64.0 * 256.0; // (b, n1) elements
+        let need = tensor / 8.0;
+        let overlap = tensor / 64.0;
+        let expected = 2.0 * (need - overlap) * 4.0;
+        assert_eq!(transfer_bytes(&u, &cu, &v, 0, &cv), expected);
+    }
+
+    #[test]
+    fn consumer_replication_still_needs_full_shard() {
+        // v splits only its own n dim → every v-device needs the whole
+        // (b, c) input; u shards it by batch 8 ways, and alignment lets a
+        // device hold 1/8 of what it needs.
+        let (u, v) = pair();
+        let cu = Config::new(&[8, 1, 1]);
+        let cv = Config::new(&[1, 8, 1]);
+        let tensor = 64.0 * 256.0;
+        let expected = 2.0 * (tensor - tensor / 8.0) * 4.0;
+        assert_eq!(transfer_bytes(&u, &cu, &v, 0, &cv), expected);
+    }
+
+    #[test]
+    fn refining_split_is_free_coarsening_is_not() {
+        let (u, v) = pair();
+        // producer 2-way, consumer 8-way on the same (batch) dim: the
+        // consumer's block is inside the producer's block → free.
+        let cu = Config::new(&[2, 1, 1]);
+        let cv = Config::new(&[8, 1, 1]);
+        assert_eq!(transfer_bytes(&u, &cu, &v, 0, &cv), 0.0);
+        // producer 8-way, consumer 2-way: each consumer device already has
+        // a 1/8 piece of the 1/2 it needs.
+        let tensor = 64.0 * 256.0;
+        let expected = 2.0 * (tensor / 2.0 - tensor / 8.0) * 4.0;
+        assert_eq!(transfer_bytes(&u, &cv, &v, 0, &cu), expected);
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_r() {
+        let (u, v) = pair();
+        let cu = Config::new(&[8, 1, 1]);
+        let cv = Config::new(&[1, 1, 8]);
+        let b = transfer_bytes(&u, &cu, &v, 0, &cv);
+        assert_eq!(transfer_cost(&u, &cu, &v, 0, &cv, 250.0), 250.0 * b);
+        assert_eq!(transfer_cost(&u, &cu, &v, 0, &cv, 0.0), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_misalignments_cost_the_same_on_square_tensors() {
+        // Resharding row-split → column-split moves the same volume as
+        // column-split → row-split on a square tensor.
+        let mk = |name: &str| {
+            let dims = vec![
+                IterDim::new("b", 128, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+                IterDim::new("c", 128, DimRole::Reduction),
+            ];
+            Node {
+                name: name.into(),
+                op: OpKind::FullyConnected,
+                iter_space: dims,
+                inputs: vec![TensorRef::new(vec![0, 2], vec![128, 128])],
+                output: TensorRef::new(vec![0, 1], vec![128, 128]),
+                params: vec![],
+            }
+        };
+        let (u, v) = (mk("u"), mk("v"));
+        // A: producer shards rows (b), consumer shards columns (c).
+        let a = transfer_bytes(
+            &u,
+            &Config::new(&[4, 1, 1]),
+            &v,
+            0,
+            &Config::new(&[1, 1, 4]),
+        );
+        // B: producer shards columns (n), consumer shards rows (b).
+        let b = transfer_bytes(
+            &u,
+            &Config::new(&[1, 4, 1]),
+            &v,
+            0,
+            &Config::new(&[4, 1, 1]),
+        );
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Iteration-space dimensions.
+//!
+//! Each node `v` has an associated *iteration space* (PaSE §II): the set of
+//! integer points computed by the layer. A fully-connected layer multiplying
+//! `A[M×K] · B[K×N]` has the 3-d iteration space `{(i,j,k) | i<M, j<N, k<K}`.
+//! A *parallelization configuration* later splits each of these dimensions
+//! across devices.
+
+use serde::Serialize;
+
+/// Semantic role of an iteration-space dimension.
+///
+/// The role drives the intra-layer communication terms of the cost model
+/// (`t_l` in PaSE Eq. (1)): splitting a [`DimRole::Reduction`] dimension
+/// requires a partial-sum reduction; splitting a [`DimRole::Spatial`]
+/// dimension of a convolution incurs halo exchange; splitting a
+/// [`DimRole::Pipeline`] dimension of an RNN operator exploits intra-layer
+/// pipeline parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum DimRole {
+    /// Mini-batch dimension; splitting it is classic data parallelism.
+    Batch,
+    /// Image/feature-map spatial dimension (height or width). Splitting it
+    /// under a convolution with kernel > 1 incurs halo exchange.
+    Spatial,
+    /// A dimension that indexes model parameters and the output but is not
+    /// contracted over (e.g. the out-channel dimension of a convolution or
+    /// the `j`/output dimension of a GEMM). Splitting it is parameter
+    /// parallelism.
+    Param,
+    /// A contraction dimension (e.g. `k` of a GEMM, the in-channel and
+    /// filter dims of a convolution, the vocabulary dim of an embedding
+    /// lookup). Splitting it produces partial results that must be reduced.
+    Reduction,
+    /// A dimension whose split realizes intra-operator pipeline parallelism
+    /// (the `layer` and `sequence` dimensions of the single-vertex RNN
+    /// operator, PaSE §IV-A).
+    Pipeline,
+}
+
+/// One named, sized dimension of a node's iteration space.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize)]
+pub struct IterDim {
+    /// Short name following the paper's Table II legend (`b`, `c`, `h`, `w`,
+    /// `n`, `r`, `s`, `l`, `d`, `e`, `v`, `k`, …).
+    pub name: &'static str,
+    /// Extent of the dimension.
+    pub size: u64,
+    /// Semantic role (drives intra-layer communication costs).
+    pub role: DimRole,
+    /// Whether a configuration may split this dimension. Filter dimensions
+    /// (`r`, `s`) of convolutions are conventionally unsplittable.
+    pub splittable: bool,
+}
+
+impl IterDim {
+    /// A splittable dimension with the given name, size and role.
+    pub fn new(name: &'static str, size: u64, role: DimRole) -> Self {
+        Self {
+            name,
+            size,
+            role,
+            splittable: true,
+        }
+    }
+
+    /// A dimension that configurations must leave whole (split factor 1).
+    pub fn fixed(name: &'static str, size: u64, role: DimRole) -> Self {
+        Self {
+            name,
+            size,
+            role,
+            splittable: false,
+        }
+    }
+}
+
+/// Total number of points in an iteration space (product of extents).
+pub(crate) fn space_points(dims: &[IterDim]) -> f64 {
+    dims.iter().map(|d| d.size as f64).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterdim_constructors() {
+        let d = IterDim::new("b", 128, DimRole::Batch);
+        assert!(d.splittable);
+        assert_eq!(d.size, 128);
+        let f = IterDim::fixed("r", 3, DimRole::Reduction);
+        assert!(!f.splittable);
+        assert_eq!(f.role, DimRole::Reduction);
+    }
+
+    #[test]
+    fn space_points_is_product_of_extents() {
+        let dims = vec![
+            IterDim::new("i", 4, DimRole::Batch),
+            IterDim::new("j", 8, DimRole::Param),
+            IterDim::new("k", 2, DimRole::Reduction),
+        ];
+        assert_eq!(space_points(&dims), 64.0);
+    }
+
+    #[test]
+    fn space_points_of_empty_space_is_one() {
+        assert_eq!(space_points(&[]), 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Graphviz DOT export for inspection of model graphs.
+
+use crate::graph::Graph;
+use std::fmt::Write;
+
+/// Render the graph in Graphviz DOT syntax. Node labels carry the layer name,
+/// op tag, and iteration-space dimension string (e.g. `conv3 | conv | bchwnrs`).
+pub fn to_dot(g: &Graph) -> String {
+    let mut s = String::with_capacity(64 * g.len());
+    s.push_str("digraph pase {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    for (id, node) in g.iter() {
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{} | {} | {}\"];",
+            id.index(),
+            node.name.replace('"', "'"),
+            node.op.tag(),
+            node.dims_string()
+        );
+    }
+    for e in g.edges() {
+        let _ = writeln!(s, "  {} -> {};", e.src.index(), e.dst.index());
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::{DimRole, IterDim};
+    use crate::graph::GraphBuilder;
+    use crate::node::Node;
+    use crate::op::OpKind;
+    use crate::tensor::TensorRef;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let mk = |name: &str, ins: usize| Node {
+            name: name.into(),
+            op: OpKind::Elementwise {
+                flops_per_point: 1.0,
+            },
+            iter_space: vec![IterDim::new("b", 4, DimRole::Batch)],
+            inputs: (0..ins).map(|_| TensorRef::new(vec![0], vec![4])).collect(),
+            output: TensorRef::new(vec![0], vec![4]),
+            params: vec![],
+        };
+        let a = b.add_node(mk("alpha", 0));
+        let c = b.add_node(mk("beta", 1));
+        b.connect(a, c);
+        let g = b.build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph pase"));
+        assert!(dot.contains("alpha | eltwise | b"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # pase-graph — computation-graph substrate for PaSE
+//!
+//! A DNN is represented as a weakly connected directed graph `G = (V, E)`
+//! (PaSE §II): each node is a layer with an associated *iteration space*,
+//! and each edge carries a tensor produced by one layer and consumed by
+//! another.
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] / [`GraphBuilder`] — the graph itself, with adjacency queries
+//!   (`N(v)`, in/out edges), traversals, and validation;
+//! * [`IterDim`] / [`DimRole`] — named iteration-space dimensions with sizes
+//!   and semantic roles (batch, spatial, parameter, reduction, pipeline);
+//! * [`TensorRef`] — the mapping between a tensor's dimensions and the
+//!   iteration-space dimensions of the node that produces/consumes it. The
+//!   cost model (`pase-cost`) derives shardings, replication, and transfer
+//!   volumes purely from these maps;
+//! * [`OpKind`] — the layer taxonomy (convolution, fully-connected, LSTM as
+//!   a single 5-d vertex, attention, …) with per-op compute coefficients.
+//!
+//! The crate is deliberately independent of any cost model or search
+//! algorithm: it only describes *what* is computed, never *how fast*.
+
+#![warn(missing_docs)]
+
+mod dim;
+mod dot;
+mod graph;
+mod ids;
+mod node;
+mod op;
+mod stats;
+mod subgraph;
+mod tensor;
+mod traverse;
+
+pub use dim::{DimRole, IterDim};
+pub use dot::to_dot;
+pub use graph::{Edge, Graph, GraphBuilder, GraphError};
+pub use ids::{EdgeId, NodeId};
+pub use node::Node;
+pub use op::OpKind;
+pub use stats::{DegreeStats, GraphStats};
+pub use subgraph::induced_subgraph;
+pub use tensor::TensorRef;
+pub use traverse::{bfs_order, components, dfs_reachable_within, is_weakly_connected, topo_order};

@@ -1,0 +1,169 @@
+//! Graph nodes (layers).
+
+use crate::dim::{space_points, IterDim};
+use crate::op::OpKind;
+use crate::tensor::TensorRef;
+use serde::Serialize;
+
+/// One layer of the DNN: an operation, its iteration space, and the tensor
+/// maps the cost model needs to reason about shardings.
+#[derive(Clone, Debug, Serialize)]
+pub struct Node {
+    /// Human-readable name (e.g. `"conv3"`, `"inceptionE1/concat"`).
+    pub name: String,
+    /// What the layer computes.
+    pub op: OpKind,
+    /// The iteration space: one entry per parallelizable dimension
+    /// (PaSE §II). A configuration for this node is a tuple of split
+    /// factors of the same length.
+    pub iter_space: Vec<IterDim>,
+    /// Input tensor maps, one per incoming edge *slot* (edge order matters:
+    /// the `k`-th in-edge feeds `inputs[k]`).
+    pub inputs: Vec<TensorRef>,
+    /// Output tensor map (each node produces exactly one tensor; fan-out is
+    /// expressed by multiple out-edges carrying the same tensor).
+    pub output: TensorRef,
+    /// Trainable parameter tensor maps (empty for non-parametric ops).
+    pub params: Vec<TensorRef>,
+}
+
+impl Node {
+    /// Number of iteration-space dimensions (the length of a valid
+    /// configuration tuple for this node).
+    pub fn rank(&self) -> usize {
+        self.iter_space.len()
+    }
+
+    /// Total iteration-space points.
+    pub fn points(&self) -> f64 {
+        space_points(&self.iter_space)
+    }
+
+    /// Forward-pass FLOPs for one training step at full (unsplit) size.
+    pub fn fwd_flops(&self) -> f64 {
+        self.points() * self.op.flops_per_point()
+    }
+
+    /// Forward + backward FLOPs for one training step.
+    pub fn step_flops(&self) -> f64 {
+        self.fwd_flops() * self.op.fwd_bwd_factor()
+    }
+
+    /// Total trainable parameter elements.
+    pub fn param_elements(&self) -> f64 {
+        self.params.iter().map(TensorRef::elements).sum()
+    }
+
+    /// Extent of the iteration dimension with the given name, if present.
+    pub fn dim_size(&self, name: &str) -> Option<u64> {
+        self.iter_space
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.size)
+    }
+
+    /// Index of the iteration dimension with the given name, if present.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.iter_space.iter().position(|d| d.name == name)
+    }
+
+    /// Names of the iteration dimensions, concatenated (Table II
+    /// "Dimensions" column, e.g. `"bchwnrs"`).
+    pub fn dims_string(&self) -> String {
+        self.iter_space.iter().map(|d| d.name).collect()
+    }
+
+    /// Validate internal consistency: every tensor map must reference only
+    /// existing iteration dimensions.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        let rank = self.rank() as u32;
+        let check = |t: &TensorRef, what: &str| -> Result<(), String> {
+            for &d in &t.dims {
+                if d >= rank {
+                    return Err(format!(
+                        "node '{}': {what} references iteration dim {d} but rank is {rank}",
+                        self.name
+                    ));
+                }
+            }
+            Ok(())
+        };
+        for (k, t) in self.inputs.iter().enumerate() {
+            check(t, &format!("input[{k}]"))?;
+        }
+        check(&self.output, "output")?;
+        for (k, t) in self.params.iter().enumerate() {
+            check(t, &format!("param[{k}]"))?;
+        }
+        for d in &self.iter_space {
+            if d.size == 0 {
+                return Err(format!(
+                    "node '{}': dim '{}' has zero extent",
+                    self.name, d.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::DimRole;
+
+    fn gemm_node() -> Node {
+        // b=4, n=8, c=16 fully-connected layer.
+        let iter_space = vec![
+            IterDim::new("b", 4, DimRole::Batch),
+            IterDim::new("n", 8, DimRole::Param),
+            IterDim::new("c", 16, DimRole::Reduction),
+        ];
+        let sizes: Vec<u64> = iter_space.iter().map(|d| d.size).collect();
+        Node {
+            name: "fc".into(),
+            op: OpKind::FullyConnected,
+            iter_space,
+            inputs: vec![TensorRef::aligned(vec![0, 2], &sizes)],
+            output: TensorRef::aligned(vec![0, 1], &sizes),
+            params: vec![TensorRef::aligned(vec![1, 2], &sizes)],
+        }
+    }
+
+    #[test]
+    fn gemm_flops_match_hand_computation() {
+        let n = gemm_node();
+        assert_eq!(n.points(), 4.0 * 8.0 * 16.0);
+        assert_eq!(n.fwd_flops(), 2.0 * 512.0); // 2·M·N·K
+        assert_eq!(n.step_flops(), 3.0 * 1024.0); // fwd + dgrad + wgrad
+        assert_eq!(n.param_elements(), 128.0); // 8×16 weight
+    }
+
+    #[test]
+    fn dim_lookup_by_name() {
+        let n = gemm_node();
+        assert_eq!(n.dim_size("c"), Some(16));
+        assert_eq!(n.dim_index("n"), Some(1));
+        assert_eq!(n.dim_size("z"), None);
+        assert_eq!(n.dims_string(), "bnc");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_node() {
+        assert!(gemm_node().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_tensor_dim() {
+        let mut n = gemm_node();
+        n.output.dims[0] = 9;
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_extent() {
+        let mut n = gemm_node();
+        n.iter_space[0].size = 0;
+        assert!(n.validate().is_err());
+    }
+}

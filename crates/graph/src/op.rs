@@ -1,0 +1,205 @@
+//! Layer taxonomy.
+//!
+//! PaSE derives per-layer costs analytically, "parametrized for problem
+//! sizes, for different types of layers" (§II). [`OpKind`] identifies the
+//! layer type; the iteration space and tensor maps attached to the [`Node`]
+//! carry the problem sizes. The kind influences:
+//!
+//! * the compute coefficient (FLOPs per iteration point),
+//! * the backward-pass multiplier (layers with parameters need a
+//!   weight-gradient pass in addition to the data-gradient pass),
+//! * special intra-layer communication (halo exchange for convolutions,
+//!   per-timestep hidden-state reductions and pipeline bubbles for the
+//!   single-vertex RNN operator).
+//!
+//! [`Node`]: crate::Node
+
+use serde::{Deserialize, Serialize};
+
+/// The type of computation a node performs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// 2-D convolution with the given filter extent and stride. Iteration
+    /// space convention: `(b, c, h, w, n, r, s)` — batch, in-channel,
+    /// output height/width, out-channel, filter height/width (Table II).
+    Conv2d {
+        /// Filter height (`r` extent).
+        kernel_h: u32,
+        /// Filter width (`s` extent).
+        kernel_w: u32,
+        /// Spatial stride (same in both dimensions).
+        stride: u32,
+    },
+    /// 2-D max/avg pooling. Iteration space `(b, c, h, w)`.
+    Pool2d {
+        /// Pooling window extent.
+        kernel: u32,
+        /// Pooling stride.
+        stride: u32,
+    },
+    /// Fully-connected layer / GEMM. Iteration space `(b, n, c)` — batch,
+    /// out-features, in-features (`(i, j, k)` of the paper's §II example).
+    FullyConnected,
+    /// Plain matrix multiplication without trainable parameters (e.g. the
+    /// `QKᵀ` product inside attention when modeled at fine granularity).
+    Matmul,
+    /// Softmax (+ cross-entropy loss when terminal). Iteration space
+    /// `(b, n)` or `(b, s, v)`.
+    Softmax,
+    /// Embedding lookup, modeled as one-hot × table GEMM. Iteration space
+    /// `(b, s, d, v)` with `v` as the contraction dimension.
+    Embedding,
+    /// A whole multi-layer recurrent (LSTM) operator represented as a
+    /// *single vertex* with iteration space `(l, b, s, d, e)` (§IV-A):
+    /// layers, batch, sequence, input/embedding dim, hidden dim. Splitting
+    /// `l`/`s` captures intra-operator pipeline parallelism.
+    Lstm {
+        /// Number of stacked recurrent layers (`l` extent).
+        layers: u32,
+    },
+    /// Fused multi-head attention block (projections + scores + context +
+    /// output projection). Iteration space `(b, s, h, c, k)` — batch,
+    /// sequence, heads, query channels, key/value channels (Table II).
+    Attention,
+    /// Position-wise feed-forward block of a Transformer, iteration space
+    /// `(b, s, d, e)` — batch, sequence, model dim, hidden dim.
+    FeedForward,
+    /// Layer normalization (elementwise with small reductions folded in).
+    LayerNorm,
+    /// Batch normalization.
+    BatchNorm,
+    /// Generic elementwise op (ReLU, residual add, dropout, …) with an
+    /// explicit per-point FLOP coefficient.
+    Elementwise {
+        /// Forward FLOPs per iteration point.
+        flops_per_point: f64,
+    },
+    /// Concatenation of several inputs along a tensor axis. Pure data
+    /// movement: zero FLOPs, costs arise only from `t_x` on its edges.
+    Concat,
+}
+
+impl OpKind {
+    /// Forward FLOPs per iteration-space point.
+    ///
+    /// GEMM-like ops do one multiply-add (2 FLOPs) per point; the LSTM cell
+    /// computes 4 gates (2 GEMMs worth of work per (d|e) point plus gate
+    /// nonlinearities), which we fold into a single coefficient.
+    pub fn flops_per_point(&self) -> f64 {
+        match self {
+            OpKind::Conv2d { .. } | OpKind::FullyConnected | OpKind::Matmul | OpKind::Embedding => {
+                2.0
+            }
+            // 4 gate GEMMs over both the input (d) and recurrent (e)
+            // contractions, plus pointwise gate math.
+            OpKind::Lstm { .. } => 16.0,
+            // QKV+output projections and the two score/context products,
+            // folded over the (c, k) channel dims.
+            OpKind::Attention => 8.0,
+            OpKind::FeedForward => 4.0, // two GEMMs (d→e and e→d)
+            OpKind::Pool2d { kernel, .. } => f64::from(kernel * kernel),
+            OpKind::Softmax => 5.0, // exp + sum + div, amortized
+            OpKind::LayerNorm => 8.0,
+            OpKind::BatchNorm => 4.0,
+            OpKind::Elementwise { flops_per_point } => *flops_per_point,
+            OpKind::Concat => 0.0,
+        }
+    }
+
+    /// Multiplier converting forward FLOPs into forward+backward FLOPs.
+    ///
+    /// Parametric layers run three GEMM-shaped passes per step (forward,
+    /// data-gradient, weight-gradient); non-parametric layers run two.
+    pub fn fwd_bwd_factor(&self) -> f64 {
+        if self.has_params() {
+            3.0
+        } else {
+            2.0
+        }
+    }
+
+    /// Whether this op kind conventionally carries trainable parameters.
+    pub fn has_params(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv2d { .. }
+                | OpKind::FullyConnected
+                | OpKind::Embedding
+                | OpKind::Lstm { .. }
+                | OpKind::Attention
+                | OpKind::FeedForward
+                | OpKind::LayerNorm
+                | OpKind::BatchNorm
+        )
+    }
+
+    /// Short human-readable tag used in reports (Table II style).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OpKind::Conv2d { .. } => "conv",
+            OpKind::Pool2d { .. } => "pool",
+            OpKind::FullyConnected => "fc",
+            OpKind::Matmul => "matmul",
+            OpKind::Softmax => "softmax",
+            OpKind::Embedding => "embed",
+            OpKind::Lstm { .. } => "lstm",
+            OpKind::Attention => "attn",
+            OpKind::FeedForward => "ffn",
+            OpKind::LayerNorm => "ln",
+            OpKind::BatchNorm => "bn",
+            OpKind::Elementwise { .. } => "eltwise",
+            OpKind::Concat => "concat",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_like_ops_cost_two_flops_per_point() {
+        assert_eq!(OpKind::FullyConnected.flops_per_point(), 2.0);
+        assert_eq!(
+            OpKind::Conv2d {
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1
+            }
+            .flops_per_point(),
+            2.0
+        );
+        assert_eq!(OpKind::Embedding.flops_per_point(), 2.0);
+    }
+
+    #[test]
+    fn parametric_ops_have_three_pass_backward_factor() {
+        assert_eq!(OpKind::FullyConnected.fwd_bwd_factor(), 3.0);
+        assert_eq!(OpKind::Softmax.fwd_bwd_factor(), 2.0);
+        assert_eq!(OpKind::Concat.fwd_bwd_factor(), 2.0);
+    }
+
+    #[test]
+    fn concat_is_free_compute() {
+        assert_eq!(OpKind::Concat.flops_per_point(), 0.0);
+        assert!(!OpKind::Concat.has_params());
+    }
+
+    #[test]
+    fn pool_cost_scales_with_window() {
+        assert_eq!(
+            OpKind::Pool2d {
+                kernel: 3,
+                stride: 2
+            }
+            .flops_per_point(),
+            9.0
+        );
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(OpKind::Lstm { layers: 2 }.tag(), "lstm");
+        assert_eq!(OpKind::Attention.tag(), "attn");
+    }
+}

@@ -1,0 +1,114 @@
+//! Graph statistics (used by the Fig. 5 / §III-C analysis harness).
+
+use crate::graph::Graph;
+
+/// Degree distribution summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Maximum undirected degree.
+    pub max: usize,
+    /// Mean undirected degree.
+    pub mean: f64,
+    /// Number of nodes with degree ≥ 5 (the paper's notion of "high degree"
+    /// nodes: InceptionV3 has 206 nodes of degree < 5 and 12 with ≥ 5).
+    pub high_degree: usize,
+    /// Histogram: `histogram[d]` = number of nodes of degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Whole-graph summary used by the experiment harness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|` (directed).
+    pub edges: usize,
+    /// Degree distribution.
+    pub degrees: DegreeStats,
+    /// Total step FLOPs (fwd + bwd) of the sequential model.
+    pub step_flops: f64,
+    /// Total trainable parameter elements.
+    pub params: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics of `g`.
+    pub fn of(g: &Graph) -> Self {
+        let degrees: Vec<usize> = g.node_ids().map(|v| g.degree(v)).collect();
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let mean = if degrees.is_empty() {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+        };
+        let mut histogram = vec![0usize; max + 1];
+        for &d in &degrees {
+            histogram[d] += 1;
+        }
+        let high_degree = degrees.iter().filter(|&&d| d >= 5).count();
+        GraphStats {
+            nodes: g.len(),
+            edges: g.edge_count(),
+            degrees: DegreeStats {
+                max,
+                mean,
+                high_degree,
+                histogram,
+            },
+            step_flops: g.total_step_flops(),
+            params: g.total_params(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::{DimRole, IterDim};
+    use crate::graph::GraphBuilder;
+    use crate::node::Node;
+    use crate::op::OpKind;
+    use crate::tensor::TensorRef;
+
+    fn ew(name: &str, ins: usize) -> Node {
+        Node {
+            name: name.into(),
+            op: OpKind::Elementwise {
+                flops_per_point: 1.0,
+            },
+            iter_space: vec![IterDim::new("b", 4, DimRole::Batch)],
+            inputs: (0..ins).map(|_| TensorRef::new(vec![0], vec![4])).collect(),
+            output: TensorRef::new(vec![0], vec![4]),
+            params: vec![],
+        }
+    }
+
+    #[test]
+    fn star_graph_stats() {
+        // hub feeding 5 leaves: hub degree 5 → one high-degree node.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(ew("hub", 0));
+        for i in 0..5 {
+            let leaf = b.add_node(ew(&format!("l{i}"), 1));
+            b.connect(hub, leaf);
+        }
+        let g = b.build().unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.degrees.max, 5);
+        assert_eq!(s.degrees.high_degree, 1);
+        assert_eq!(s.degrees.histogram[1], 5);
+        assert_eq!(s.degrees.histogram[5], 1);
+        assert!((s.degrees.mean - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().build().unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.degrees.max, 0);
+        assert_eq!(s.degrees.mean, 0.0);
+    }
+}

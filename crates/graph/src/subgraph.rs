@@ -1,0 +1,158 @@
+//! Induced subgraph extraction.
+//!
+//! Used by the pipeline-composition layer (PaSE §VI suggests first
+//! splitting the graph into PipeDream-style stages and then running the
+//! data+parameter search *within* each stage): a stage is the subgraph
+//! induced by a subset of vertices, with boundary-crossing edges dropped
+//! (their tensors become the stage's external inputs/outputs, accounted as
+//! pipeline transfers by the caller).
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::NodeId;
+
+/// The subgraph of `g` induced by `keep`, plus the mapping from new node
+/// ids (by index) back to the original ids.
+///
+/// Nodes are emitted in ascending original-id order. Input slots fed by
+/// dropped boundary edges are removed from the node's declared inputs
+/// (remaining slots are re-indexed in original slot order), turning
+/// boundary consumers into stage sources.
+pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut kept = vec![false; g.len()];
+    for &v in keep {
+        kept[v.index()] = true;
+    }
+    let mut order: Vec<NodeId> = keep.to_vec();
+    order.sort_unstable();
+    order.dedup();
+
+    let mut new_id = vec![usize::MAX; g.len()];
+    for (i, &v) in order.iter().enumerate() {
+        new_id[v.index()] = i;
+    }
+
+    let mut b = GraphBuilder::new();
+    // (new_src, new_dst, original slot) for kept edges; slots re-indexed
+    // after trimming.
+    let mut kept_edges: Vec<(usize, usize, u32)> = Vec::new();
+    for e in g.edges() {
+        if kept[e.src.index()] && kept[e.dst.index()] {
+            kept_edges.push((new_id[e.src.index()], new_id[e.dst.index()], e.dst_slot));
+        }
+    }
+
+    for &v in &order {
+        let node = g.node(v);
+        // Which of this node's input slots survive?
+        let mut surviving: Vec<u32> = kept_edges
+            .iter()
+            .filter(|&&(_, dst, _)| dst == new_id[v.index()])
+            .map(|&(_, _, slot)| slot)
+            .collect();
+        surviving.sort_unstable();
+        let mut trimmed = node.clone();
+        trimmed.inputs = surviving
+            .iter()
+            .map(|&slot| node.inputs[slot as usize].clone())
+            .collect();
+        // Re-index the edges feeding this node.
+        for edge in kept_edges
+            .iter_mut()
+            .filter(|(_, dst, _)| *dst == new_id[v.index()])
+        {
+            edge.2 = surviving
+                .iter()
+                .position(|&s| s == edge.2)
+                .expect("slot kept") as u32;
+        }
+        b.add_node(trimmed);
+    }
+    for (src, dst, slot) in kept_edges {
+        b.connect_slot(NodeId(src as u32), NodeId(dst as u32), slot);
+    }
+    (b.build().expect("induced subgraph is well-formed"), order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::{DimRole, IterDim};
+    use crate::node::Node;
+    use crate::op::OpKind;
+    use crate::tensor::TensorRef;
+
+    fn ew(name: &str, ins: usize) -> Node {
+        Node {
+            name: name.into(),
+            op: OpKind::Elementwise {
+                flops_per_point: 1.0,
+            },
+            iter_space: vec![IterDim::new("b", 4, DimRole::Batch)],
+            inputs: (0..ins).map(|_| TensorRef::new(vec![0], vec![4])).collect(),
+            output: TensorRef::new(vec![0], vec![4]),
+            params: vec![],
+        }
+    }
+
+    /// 0 → 1 → 2 → 3 with a skip 1 → 3.
+    fn skip_chain() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(ew("0", 0));
+        let n1 = b.add_node(ew("1", 1));
+        let n2 = b.add_node(ew("2", 1));
+        let n3 = b.add_node(ew("3", 2));
+        b.connect(n0, n1);
+        b.connect(n1, n2);
+        b.connect(n2, n3);
+        b.connect(n1, n3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn keeps_interior_edges_and_drops_boundary() {
+        let g = skip_chain();
+        let (sub, mapping) = induced_subgraph(&g, &[NodeId(2), NodeId(3)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(mapping, vec![NodeId(2), NodeId(3)]);
+        // only the 2→3 edge survives; node 3's other slot is trimmed
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.node(NodeId(1)).inputs.len(), 1);
+        // node 2 lost its single input edge and became a source
+        assert_eq!(sub.in_edges(NodeId(0)).len(), 0);
+    }
+
+    #[test]
+    fn full_subgraph_is_isomorphic() {
+        let g = skip_chain();
+        let all: Vec<NodeId> = g.node_ids().collect();
+        let (sub, mapping) = induced_subgraph(&g, &all);
+        assert_eq!(sub.len(), g.len());
+        assert_eq!(sub.edge_count(), g.edge_count());
+        assert_eq!(mapping, all);
+        for v in g.node_ids() {
+            assert_eq!(sub.node(v).name, g.node(v).name);
+            assert_eq!(sub.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn slot_reindexing_preserves_tensor_association() {
+        // node 3 keeps only its slot-1 input (from node 1) when node 2 is
+        // dropped; the surviving input must be re-indexed to slot 0.
+        let g = skip_chain();
+        let (sub, mapping) = induced_subgraph(&g, &[NodeId(1), NodeId(3)]);
+        assert_eq!(mapping, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(sub.edge_count(), 1);
+        let e = sub.edges()[0];
+        assert_eq!(e.dst_slot, 0);
+        assert_eq!(sub.node(e.dst).inputs.len(), 1);
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_graph() {
+        let g = skip_chain();
+        let (sub, mapping) = induced_subgraph(&g, &[]);
+        assert!(sub.is_empty());
+        assert!(mapping.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Tensor ↔ iteration-space maps.
+//!
+//! PaSE's transfer cost `t_x(u, v, φ)` (§II) is defined in terms of the
+//! *volumes* of tensor blocks needed/held per device. To compute these, the
+//! cost model must know how a tensor's dimensions relate to the iteration
+//! space of the producing and consuming layers: splitting an iteration-space
+//! dimension shards every tensor dimension mapped to it, and *replicates* the
+//! tensor across splits of unmapped dimensions.
+
+use serde::Serialize;
+
+/// A tensor (input, output, or parameter) of a node, described by the
+/// iteration-space dimensions that index it.
+///
+/// `dims[t]` is the index (into the node's iteration space) of the dimension
+/// that indexes tensor dimension `t`; `sizes[t]` is that tensor dimension's
+/// extent. `sizes[t]` usually equals the iteration dimension's extent but may
+/// differ (e.g. a strided convolution's input spatial extent vs. its output
+/// iteration extent) — sharding granularity follows the iteration dimension,
+/// volume follows `sizes`.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TensorRef {
+    /// For each tensor dimension, the iteration-space dimension indexing it.
+    pub dims: Vec<u32>,
+    /// Extent of each tensor dimension.
+    pub sizes: Vec<u64>,
+    /// Bytes per element (4 for f32 throughout the paper's models).
+    pub elem_bytes: u32,
+}
+
+/// Default element width: single-precision floats.
+pub const F32_BYTES: u32 = 4;
+
+impl TensorRef {
+    /// A tensor whose dimension `t` is indexed by iteration dimension
+    /// `dims[t]` with extent `sizes[t]`, in f32.
+    pub fn new(dims: Vec<u32>, sizes: Vec<u64>) -> Self {
+        assert_eq!(dims.len(), sizes.len(), "dims/sizes length mismatch");
+        Self {
+            dims,
+            sizes,
+            elem_bytes: F32_BYTES,
+        }
+    }
+
+    /// A tensor whose dimensions coincide exactly with the given
+    /// iteration-space dimensions (the common case), with extents taken from
+    /// the provided extents slice indexed by `dims`.
+    pub fn aligned(dims: Vec<u32>, iter_sizes: &[u64]) -> Self {
+        let sizes = dims.iter().map(|&d| iter_sizes[d as usize]).collect();
+        Self {
+            dims,
+            sizes,
+            elem_bytes: F32_BYTES,
+        }
+    }
+
+    /// Number of tensor dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn elements(&self) -> f64 {
+        self.sizes.iter().map(|&s| s as f64).product()
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> f64 {
+        self.elements() * f64::from(self.elem_bytes)
+    }
+
+    /// Whether iteration dimension `iter_dim` indexes this tensor.
+    pub fn maps_dim(&self, iter_dim: u32) -> bool {
+        self.dims.contains(&iter_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_bytes() {
+        let t = TensorRef::new(vec![0, 2], vec![16, 8]);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.elements(), 128.0);
+        assert_eq!(t.bytes(), 512.0);
+    }
+
+    #[test]
+    fn aligned_takes_sizes_from_iteration_space() {
+        let iter_sizes = [64u64, 100, 32];
+        let t = TensorRef::aligned(vec![2, 0], &iter_sizes);
+        assert_eq!(t.sizes, vec![32, 64]);
+    }
+
+    #[test]
+    fn maps_dim_checks_membership() {
+        let t = TensorRef::new(vec![1, 3], vec![2, 2]);
+        assert!(t.maps_dim(1));
+        assert!(t.maps_dim(3));
+        assert!(!t.maps_dim(0));
+    }
+
+    #[test]
+    fn scalar_tensor_has_one_element() {
+        let t = TensorRef::new(vec![], vec![]);
+        assert_eq!(t.elements(), 1.0);
+        assert_eq!(t.bytes(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = TensorRef::new(vec![0], vec![1, 2]);
+    }
+}

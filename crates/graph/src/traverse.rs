@@ -1,0 +1,238 @@
+//! Graph traversals used by the search algorithms.
+//!
+//! All traversals here are *edge-direction agnostic* (they walk the
+//! undirected neighbor relation `N(v)`), matching the paper's definitions of
+//! connected sets and dependent sets; only [`topo_order`] respects edge
+//! direction.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Breadth-first ordering of all vertices (the §III-A baseline ordering).
+///
+/// Starts from the lowest-index vertex with no in-edges (falling back to
+/// `NodeId(0)`), walks undirected adjacency, and appends any vertices of
+/// other weakly-connected components afterwards, each component in BFS
+/// order.
+pub fn bfs_order(g: &Graph) -> Vec<NodeId> {
+    let n = g.len();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let root = g
+        .node_ids()
+        .find(|&v| g.in_edges(v).is_empty())
+        .unwrap_or(NodeId(0));
+    let mut roots: Vec<NodeId> = vec![root];
+    roots.extend(g.node_ids().filter(|&v| v != root));
+    let mut queue = VecDeque::new();
+    for r in roots {
+        if n == 0 || seen[r.index()] {
+            continue;
+        }
+        seen[r.index()] = true;
+        queue.push_back(r);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in g.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first search over the subgraph induced by `within`, starting from
+/// `start`: returns all vertices reachable from `start` passing only through
+/// vertices of `within` (the `DFS(G, U, v)` helper of Fig. 4). `start` must
+/// be in `within`; the result includes `start` and is sorted by node index.
+pub fn dfs_reachable_within(g: &Graph, within: &[bool], start: NodeId) -> Vec<NodeId> {
+    debug_assert!(within[start.index()], "start vertex not in induced subset");
+    let mut seen = vec![false; g.len()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for &u in g.neighbors(v) {
+            if within[u.index()] && !seen[u.index()] {
+                seen[u.index()] = true;
+                stack.push(u);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Weakly-connected components, each sorted by node index; components are
+/// ordered by their smallest member.
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let within = vec![true; g.len()];
+    let mut seen = vec![false; g.len()];
+    let mut comps = Vec::new();
+    for v in g.node_ids() {
+        if !seen[v.index()] {
+            let comp = dfs_reachable_within(g, &within, v);
+            for &u in &comp {
+                seen[u.index()] = true;
+            }
+            comps.push(comp);
+        }
+    }
+    comps
+}
+
+/// Whether the graph is weakly connected (the paper assumes this of DNN
+/// computation graphs).
+pub fn is_weakly_connected(g: &Graph) -> bool {
+    g.is_empty() || components(g).len() == 1
+}
+
+/// Topological order of the directed graph (Kahn's algorithm). Returns
+/// `None` if the graph has a directed cycle.
+pub fn topo_order(g: &Graph) -> Option<Vec<NodeId>> {
+    let n = g.len();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_edges(NodeId(i as u32)).len()).collect();
+    let mut queue: VecDeque<NodeId> = g.node_ids().filter(|v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &e in g.out_edges(v) {
+            let dst = g.edge(e).dst;
+            indeg[dst.index()] -= 1;
+            if indeg[dst.index()] == 0 {
+                queue.push_back(dst);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::{DimRole, IterDim};
+    use crate::graph::GraphBuilder;
+    use crate::node::Node;
+    use crate::op::OpKind;
+    use crate::tensor::TensorRef;
+
+    fn ew(name: &str, ins: usize) -> Node {
+        Node {
+            name: name.into(),
+            op: OpKind::Elementwise {
+                flops_per_point: 1.0,
+            },
+            iter_space: vec![IterDim::new("b", 4, DimRole::Batch)],
+            inputs: (0..ins).map(|_| TensorRef::new(vec![0], vec![4])).collect(),
+            output: TensorRef::new(vec![0], vec![4]),
+            params: vec![],
+        }
+    }
+
+    /// 0 → 1 → 3, 0 → 2 → 3 (diamond), then 3 → 4.
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(ew("0", 0));
+        let n1 = b.add_node(ew("1", 1));
+        let n2 = b.add_node(ew("2", 1));
+        let n3 = b.add_node(ew("3", 2));
+        let n4 = b.add_node(ew("4", 1));
+        b.connect(n0, n1);
+        b.connect(n0, n2);
+        b.connect(n1, n3);
+        b.connect(n2, n3);
+        b.connect(n3, n4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_starts_at_source_and_covers_all() {
+        let g = diamond();
+        let order = bfs_order(&g);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], NodeId(0));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dfs_within_respects_induced_subset() {
+        let g = diamond();
+        // Exclude node 3: from node 1 we can reach {0, 1, 2} but not 4.
+        let mut within = vec![true; 5];
+        within[3] = false;
+        let reach = dfs_reachable_within(&g, &within, NodeId(1));
+        assert_eq!(reach, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn dfs_within_singleton() {
+        let g = diamond();
+        let mut within = vec![false; 5];
+        within[2] = true;
+        assert_eq!(
+            dfs_reachable_within(&g, &within, NodeId(2)),
+            vec![NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let g = diamond();
+        assert!(is_weakly_connected(&g));
+        assert_eq!(components(&g).len(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_are_found() {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(ew("a0", 0));
+        let a1 = b.add_node(ew("a1", 1));
+        let c0 = b.add_node(ew("c0", 0));
+        b.connect(a0, a1);
+        let g = b.build().unwrap();
+        assert!(!is_weakly_connected(&g));
+        let comps = components(&g);
+        assert_eq!(comps, vec![vec![a0, a1], vec![c0]]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = topo_order(&g).unwrap();
+        let pos: Vec<usize> = (0..5)
+            .map(|i| order.iter().position(|v| v.index() == i).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3] && pos[3] < pos[4]);
+    }
+
+    #[test]
+    fn topo_order_detects_cycles() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(ew("x", 1));
+        let y = b.add_node(ew("y", 1));
+        b.connect(x, y);
+        b.connect(y, x);
+        let g = b.build().unwrap();
+        assert!(topo_order(&g).is_none());
+        // undirected traversals still work on cyclic graphs
+        assert!(is_weakly_connected(&g));
+        assert_eq!(bfs_order(&g).len(), 2);
+    }
+
+    #[test]
+    fn bfs_covers_disconnected_graphs() {
+        let mut b = GraphBuilder::new();
+        let _ = b.add_node(ew("a", 0));
+        let _ = b.add_node(ew("b", 0));
+        let g = b.build().unwrap();
+        assert_eq!(bfs_order(&g).len(), 2);
+    }
+}

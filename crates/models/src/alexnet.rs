@@ -1,0 +1,108 @@
+//! AlexNet (Krizhevsky et al. 2012) — §IV benchmark (a).
+//!
+//! A simple *path graph*: five convolutions (with interspersed pooling)
+//! followed by three fully-connected layers and a softmax. Because every
+//! layer connects only to the next, dependent sets have size ≤ 1 under any
+//! reasonable ordering and even the naive recurrence is fast (Table I).
+
+use crate::ops;
+use pase_graph::{Graph, GraphBuilder};
+
+/// Problem sizes for [`alexnet`].
+#[derive(Clone, Copy, Debug)]
+pub struct AlexNetConfig {
+    /// Mini-batch size (the paper uses 128 for CNNs).
+    pub batch: u64,
+    /// Number of output classes (ImageNet-1K: 1000).
+    pub classes: u64,
+}
+
+impl AlexNetConfig {
+    /// The paper's evaluation configuration: batch 128, ImageNet-1K.
+    pub fn paper() -> Self {
+        Self {
+            batch: 128,
+            classes: 1000,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            batch: 16,
+            classes: 64,
+        }
+    }
+}
+
+/// Build the AlexNet computation graph.
+pub fn alexnet(cfg: &AlexNetConfig) -> Graph {
+    let b = cfg.batch;
+    let mut g = GraphBuilder::new();
+    // conv1: 3 → 64, 11×11 stride 4 (224 → 55, modeled as stride-4 55×55)
+    let conv1 = g.add_node(ops::conv2d("conv1", b, 3, 55, 55, 64, 11, 11, 4));
+    let pool1 = g.add_node(ops::pool2d("pool1", b, 64, 27, 27, 3, 2, false));
+    let conv2 = g.add_node(ops::conv2d("conv2", b, 64, 27, 27, 192, 5, 5, 1));
+    let pool2 = g.add_node(ops::pool2d("pool2", b, 192, 13, 13, 3, 2, false));
+    let conv3 = g.add_node(ops::conv2d("conv3", b, 192, 13, 13, 384, 3, 3, 1));
+    let conv4 = g.add_node(ops::conv2d("conv4", b, 384, 13, 13, 256, 3, 3, 1));
+    let conv5 = g.add_node(ops::conv2d("conv5", b, 256, 13, 13, 256, 3, 3, 1));
+    let pool5 = g.add_node(ops::pool2d("pool5", b, 256, 6, 6, 2, 2, true));
+    let fc1 = g.add_node(ops::fully_connected("fc1", b, 4096, 256 * 36));
+    let fc2 = g.add_node(ops::fully_connected("fc2", b, 4096, 4096));
+    let fc3 = g.add_node(ops::fully_connected("fc3", b, cfg.classes, 4096));
+    let softmax = g.add_node(ops::softmax2("softmax", b, cfg.classes));
+    for w in [
+        conv1, pool1, conv2, pool2, conv3, conv4, conv5, pool5, fc1, fc2, fc3, softmax,
+    ]
+    .windows(2)
+    {
+        g.connect(w[0], w[1]);
+    }
+    g.build().expect("alexnet graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{is_weakly_connected, GraphStats};
+
+    #[test]
+    fn alexnet_is_a_path_graph() {
+        let g = alexnet(&AlexNetConfig::paper());
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.edge_count(), 11);
+        assert!(is_weakly_connected(&g));
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.degrees.max, 2);
+        assert_eq!(stats.degrees.high_degree, 0);
+    }
+
+    #[test]
+    fn alexnet_flops_are_in_the_expected_range() {
+        // AlexNet forward pass ≈ 0.7–1.5 GFLOPs/sample; with batch 128 and
+        // fwd+bwd factor, a step is in the hundreds of GFLOPs.
+        let g = alexnet(&AlexNetConfig::paper());
+        let per_sample_fwd = g.nodes().iter().map(|n| n.fwd_flops()).sum::<f64>() / 128.0;
+        assert!(
+            (5e8..5e9).contains(&per_sample_fwd),
+            "per-sample fwd flops = {per_sample_fwd:.3e}"
+        );
+    }
+
+    #[test]
+    fn alexnet_params_match_literature_scale() {
+        // ≈ 61M parameters, dominated by fc1 (9216 × 4096 ≈ 37.7M).
+        let g = alexnet(&AlexNetConfig::paper());
+        let params = g.total_params();
+        assert!((5e7..8e7).contains(&params), "params = {params:.3e}");
+    }
+
+    #[test]
+    fn tensor_ranks_line_up_across_every_edge() {
+        let g = alexnet(&AlexNetConfig::paper());
+        crate::validate_edge_tensors(&g, 0.15).unwrap();
+        let t = alexnet(&AlexNetConfig::tiny());
+        crate::validate_edge_tensors(&t, 0.15).unwrap();
+    }
+}

@@ -1,0 +1,127 @@
+//! BERT-style encoder-only Transformer (Devlin et al. 2018) — an
+//! additional zoo model exercising the "future work" direction of applying
+//! the search to newer architectures: a pure self-attention stack without
+//! the decoder's long-live-range cross edges, so dependent sets stay at 2
+//! even though the model is attention-heavy.
+
+use crate::ops;
+use pase_graph::{Graph, GraphBuilder};
+
+/// Problem sizes for [`bert_encoder`].
+#[derive(Clone, Copy, Debug)]
+pub struct BertConfig {
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Model dimension.
+    pub d_model: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Feed-forward hidden dimension.
+    pub d_ff: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Encoder layers.
+    pub layers: usize,
+}
+
+impl BertConfig {
+    /// BERT-large-like configuration.
+    pub fn paper() -> Self {
+        Self {
+            batch: 64,
+            seq: 128,
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            vocab: 32768,
+            layers: 24,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            batch: 8,
+            seq: 16,
+            d_model: 64,
+            heads: 4,
+            d_ff: 128,
+            vocab: 512,
+            layers: 2,
+        }
+    }
+}
+
+/// Build the BERT-style encoder graph (embedding → N × (attention + FFN
+/// with residuals) → MLM projection + softmax).
+pub fn bert_encoder(cfg: &BertConfig) -> Graph {
+    let (b, s, d) = (cfg.batch, cfg.seq, cfg.d_model);
+    let hd = cfg.d_model / cfg.heads;
+    let mut g = GraphBuilder::new();
+    let embed = g.add_node(ops::embedding("embed", b, s, d, cfg.vocab));
+    let mut cur = embed;
+    for l in 0..cfg.layers {
+        let attn = g.add_node(ops::attention(
+            &format!("l{l}/attn"),
+            b,
+            s,
+            cfg.heads,
+            hd,
+            hd,
+            false,
+        ));
+        g.connect(cur, attn);
+        let add1 = g.add_node(ops::add_seq(&format!("l{l}/add1"), b, s, d, 2));
+        g.connect(cur, add1);
+        g.connect(attn, add1);
+        let ffn = g.add_node(ops::feed_forward(&format!("l{l}/ffn"), b, s, d, cfg.d_ff));
+        g.connect(add1, ffn);
+        let add2 = g.add_node(ops::add_seq(&format!("l{l}/add2"), b, s, d, 2));
+        g.connect(add1, add2);
+        g.connect(ffn, add2);
+        cur = add2;
+    }
+    let proj = g.add_node(ops::projection("mlm_head", b, s, cfg.vocab, d));
+    g.connect(cur, proj);
+    let sm = g.add_node(ops::softmax_seq("softmax", b, s, cfg.vocab));
+    g.connect(proj, sm);
+    g.build().expect("bert graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::is_weakly_connected;
+
+    #[test]
+    fn structure_scales_with_layers() {
+        let cfg = BertConfig::paper();
+        let g = bert_encoder(&cfg);
+        assert_eq!(g.len(), 1 + 4 * cfg.layers + 2);
+        assert!(is_weakly_connected(&g));
+        crate::validate_edge_tensors(&g, 0.01).unwrap();
+    }
+
+    #[test]
+    fn parameters_match_bert_large_scale() {
+        // BERT-large ≈ 340M (with a 32k-vocab embedding).
+        let g = bert_encoder(&BertConfig::paper());
+        let params = g.total_params();
+        assert!((2.5e8..5e8).contains(&params), "params = {params:.3e}");
+    }
+
+    #[test]
+    fn dependent_sets_stay_small_without_cross_attention() {
+        use crate::validate_edge_tensors;
+        let g = bert_encoder(&BertConfig::paper());
+        validate_edge_tensors(&g, 0.01).unwrap();
+        // residual diamonds only → GenerateSeq keeps |D| ≤ 2
+        let max_deg = g.node_ids().map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            max_deg <= 4,
+            "no long-live-range vertices, max degree {max_deg}"
+        );
+    }
+}

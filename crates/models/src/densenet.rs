@@ -1,0 +1,158 @@
+//! DenseNet (Huang et al. 2017) — the §V limitation study.
+//!
+//! Inside a dense block every layer consumes the concatenation of *all*
+//! previous layers' outputs, so the block's connectivity is uniformly
+//! dense. The paper calls this out explicitly: "there do exist a few DNNs
+//! (such as DenseNet) whose graphs are uniformly dense. No possible
+//! arrangement of vertices can effectively reduce the size M for such
+//! graphs" — the ablation harness uses this model to demonstrate exactly
+//! that blow-up.
+
+use crate::ops;
+use pase_graph::{Graph, GraphBuilder, NodeId};
+
+/// Problem sizes for [`densenet`].
+#[derive(Clone, Copy, Debug)]
+pub struct DenseNetConfig {
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Layers per dense block.
+    pub block_layers: usize,
+    /// Number of dense blocks.
+    pub blocks: usize,
+    /// Growth rate (channels added per layer).
+    pub growth: u64,
+    /// Output classes.
+    pub classes: u64,
+}
+
+impl DenseNetConfig {
+    /// A DenseNet-121-flavored configuration (reduced blocks so the
+    /// ablation fits in a test run; connectivity density is what matters).
+    pub fn paper() -> Self {
+        Self {
+            batch: 128,
+            block_layers: 6,
+            blocks: 2,
+            growth: 32,
+            classes: 1000,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            batch: 8,
+            block_layers: 3,
+            blocks: 1,
+            growth: 8,
+            classes: 16,
+        }
+    }
+}
+
+/// Build a DenseNet-style computation graph.
+pub fn densenet(cfg: &DenseNetConfig) -> Graph {
+    let b = cfg.batch;
+    let mut g = GraphBuilder::new();
+    let mut h = 28u64;
+    let stem = g.add_node(ops::conv2d("stem", b, 3, h, h, 2 * cfg.growth, 3, 3, 1));
+    let mut carried: Vec<(NodeId, u64)> = vec![(stem, 2 * cfg.growth)];
+
+    for blk in 0..cfg.blocks {
+        for l in 0..cfg.block_layers {
+            // concat of everything produced so far in this block
+            let channels: Vec<u64> = carried.iter().map(|&(_, c)| c).collect();
+            let cat = g.add_node(ops::concat_channels(
+                &format!("b{blk}/l{l}/concat"),
+                b,
+                &channels,
+                h,
+                h,
+            ));
+            for &(id, _) in &carried {
+                g.connect(id, cat);
+            }
+            let total: u64 = channels.iter().sum();
+            let conv = g.add_node(ops::conv2d(
+                &format!("b{blk}/l{l}/conv"),
+                b,
+                total,
+                h,
+                h,
+                cfg.growth,
+                3,
+                3,
+                1,
+            ));
+            g.connect(cat, conv);
+            carried.push((conv, cfg.growth));
+        }
+        // Transition: compress to half the channels, halve the grid.
+        let channels: Vec<u64> = carried.iter().map(|&(_, c)| c).collect();
+        let cat = g.add_node(ops::concat_channels(
+            &format!("b{blk}/trans/concat"),
+            b,
+            &channels,
+            h,
+            h,
+        ));
+        for &(id, _) in &carried {
+            g.connect(id, cat);
+        }
+        let total: u64 = channels.iter().sum();
+        h /= 2;
+        let trans = g.add_node(ops::conv2d(
+            &format!("b{blk}/trans/conv"),
+            b,
+            total,
+            h,
+            h,
+            total / 2,
+            1,
+            1,
+            2,
+        ));
+        g.connect(cat, trans);
+        carried = vec![(trans, total / 2)];
+    }
+
+    let (last, ch) = carried[0];
+    let gap = g.add_node(ops::pool2d(
+        "head/gap", b, ch, 1, 1, h as u32, h as u32, true,
+    ));
+    g.connect(last, gap);
+    let fc = g.add_node(ops::fully_connected("head/fc", b, cfg.classes, ch));
+    g.connect(gap, fc);
+    let sm = g.add_node(ops::softmax2("head/softmax", b, cfg.classes));
+    g.connect(fc, sm);
+    g.build().expect("densenet graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{is_weakly_connected, GraphStats};
+
+    #[test]
+    fn dense_blocks_create_high_degree_everywhere() {
+        let g = densenet(&DenseNetConfig::paper());
+        assert!(is_weakly_connected(&g));
+        let stats = GraphStats::of(&g);
+        // every conv output feeds many later concats
+        assert!(stats.degrees.max >= 6, "max degree = {}", stats.degrees.max);
+        assert!(stats.degrees.high_degree >= 10);
+    }
+
+    #[test]
+    fn edges_are_rank_consistent() {
+        crate::validate_edge_tensors(&densenet(&DenseNetConfig::paper()), 0.01).unwrap();
+        crate::validate_edge_tensors(&densenet(&DenseNetConfig::tiny()), 0.01).unwrap();
+    }
+
+    #[test]
+    fn tiny_variant_is_small() {
+        let g = densenet(&DenseNetConfig::tiny());
+        assert!(g.len() < 20);
+    }
+}

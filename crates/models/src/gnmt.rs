@@ -1,0 +1,129 @@
+//! GNMT-style seq2seq model (Wu et al. 2016) — the system behind the
+//! paper's motivating anecdote ("GNMT takes around 6 days to train on
+//! WMT EN→FR with 96 K80 GPUs") and the source of the RNN expert strategy
+//! (§IV: layer-pipeline × data parallelism).
+//!
+//! Modeled with the single-vertex LSTM encoding: an 8-layer encoder stack,
+//! a first decoder layer, an attention bridge reading the encoder output,
+//! and a 7-layer upper decoder stack, followed by the projection head.
+
+use crate::ops;
+use pase_graph::{Graph, GraphBuilder};
+
+/// Problem sizes for [`gnmt`].
+#[derive(Clone, Copy, Debug)]
+pub struct GnmtConfig {
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Source/target sequence length.
+    pub seq: u64,
+    /// Embedding dimension.
+    pub embed: u64,
+    /// LSTM hidden dimension.
+    pub hidden: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Encoder LSTM layers (the decoder uses 1 + (layers − 1)).
+    pub layers: u32,
+}
+
+impl GnmtConfig {
+    /// GNMT-8 configuration at the paper's LM scales.
+    pub fn paper() -> Self {
+        Self {
+            batch: 64,
+            seq: 40,
+            embed: 1024,
+            hidden: 1024,
+            vocab: 32768,
+            layers: 8,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            batch: 8,
+            seq: 8,
+            embed: 64,
+            hidden: 64,
+            vocab: 512,
+            layers: 2,
+        }
+    }
+}
+
+/// Build the GNMT computation graph.
+pub fn gnmt(cfg: &GnmtConfig) -> Graph {
+    let (b, s, d, e, v) = (cfg.batch, cfg.seq, cfg.embed, cfg.hidden, cfg.vocab);
+    let mut g = GraphBuilder::new();
+    let src_embed = g.add_node(ops::embedding("enc/embed", b, s, d, v));
+    let enc = g.add_node(ops::lstm("enc/lstm", cfg.layers, b, s, d, e));
+    g.connect(src_embed, enc);
+
+    let tgt_embed = g.add_node(ops::embedding("dec/embed", b, s, d, v));
+    let dec_bottom = g.add_node(ops::lstm("dec/lstm0", 1, b, s, d, e));
+    g.connect(tgt_embed, dec_bottom);
+
+    // Attention bridge: queries from the bottom decoder layer, keys/values
+    // from the encoder output (a single "head" of width e).
+    let attn = g.add_node(ops::attention("dec/attention", b, s, 1, e, e, true));
+    g.connect(dec_bottom, attn);
+    g.connect(enc, attn);
+
+    let dec_top = g.add_node(ops::lstm("dec/lstm_stack", cfg.layers - 1, b, s, e, e));
+    g.connect(attn, dec_top);
+
+    let proj = g.add_node(ops::projection("fc", b, s, v, e));
+    g.connect(dec_top, proj);
+    let sm = g.add_node(ops::softmax_seq("softmax", b, s, v));
+    g.connect(proj, sm);
+    g.build().expect("gnmt graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::is_weakly_connected;
+
+    #[test]
+    fn gnmt_structure() {
+        let g = gnmt(&GnmtConfig::paper());
+        assert_eq!(g.len(), 8);
+        assert!(is_weakly_connected(&g));
+        crate::validate_edge_tensors(&g, 0.01).unwrap();
+    }
+
+    #[test]
+    fn encoder_output_feeds_the_attention_bridge() {
+        let g = gnmt(&GnmtConfig::paper());
+        let enc = g
+            .iter()
+            .find(|(_, n)| n.name == "enc/lstm")
+            .map(|(id, _)| id)
+            .unwrap();
+        let attn = g
+            .iter()
+            .find(|(_, n)| n.name == "dec/attention")
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(g.neighbors(enc).contains(&attn));
+    }
+
+    #[test]
+    fn params_match_gnmt_scale() {
+        // GNMT-8 with a 32k vocab: embeddings 2×33.5M + projection 33.5M +
+        // 15 LSTM layers ≈ 0.2–0.3B.
+        let g = gnmt(&GnmtConfig::paper());
+        let params = g.total_params();
+        assert!((1.5e8..4e8).contains(&params), "params = {params:.3e}");
+    }
+
+    #[test]
+    fn search_handles_gnmt() {
+        use pase_cost::{ConfigRule, CostTables, MachineSpec};
+        let g = gnmt(&GnmtConfig::tiny());
+        let t = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        assert!(t.max_k() > 1);
+    }
+}

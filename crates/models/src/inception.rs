@@ -1,0 +1,344 @@
+//! InceptionV3 (Szegedy et al. 2015) — §IV benchmark (b).
+//!
+//! A deep CNN whose inception modules *split* the activation into parallel
+//! branches and *concatenate* them at the end, producing the paper's
+//! signature structure: a mostly sparse graph with a few high-degree nodes
+//! (the module-input fan-outs and the concats — nodes 171/193 in the
+//! paper's Fig. 5). With batch-norm modeled as its own node per
+//! convolution, the graph has ≈ 219 nodes, matching the paper's reported
+//! 218.
+//!
+//! Breadth-first ordering reaches dependent sets of ~10 here (hence the
+//! Table I OOM); GenerateSeq keeps `|D(i)| ≤ 2`.
+
+use crate::ops;
+use pase_graph::{Graph, GraphBuilder, NodeId};
+
+/// Problem sizes for [`inception_v3`].
+#[derive(Clone, Copy, Debug)]
+pub struct InceptionConfig {
+    /// Mini-batch size (paper: 128).
+    pub batch: u64,
+    /// Output classes (ImageNet-1K: 1000).
+    pub classes: u64,
+}
+
+impl InceptionConfig {
+    /// The paper's evaluation configuration.
+    pub fn paper() -> Self {
+        Self {
+            batch: 128,
+            classes: 1000,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            batch: 16,
+            classes: 64,
+        }
+    }
+}
+
+/// Builder-internal handle: a node id plus its output channel count.
+#[derive(Clone, Copy)]
+struct T {
+    id: NodeId,
+    ch: u64,
+}
+
+struct Ctx {
+    g: GraphBuilder,
+    b: u64,
+    counter: usize,
+}
+
+impl Ctx {
+    /// conv + batch-norm pair; returns the BN node as the branch output.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_bn(
+        &mut self,
+        tag: &str,
+        input: T,
+        h_out: u64,
+        w_out: u64,
+        c_out: u64,
+        k_h: u32,
+        k_w: u32,
+        stride: u32,
+    ) -> T {
+        self.counter += 1;
+        let name = format!("{tag}_{}", self.counter);
+        let conv = self.g.add_node(ops::conv2d(
+            &format!("{name}/conv"),
+            self.b,
+            input.ch,
+            h_out,
+            w_out,
+            c_out,
+            k_h,
+            k_w,
+            stride,
+        ));
+        self.g.connect(input.id, conv);
+        let bn = self.g.add_node(ops::batch_norm(
+            &format!("{name}/bn"),
+            self.b,
+            c_out,
+            h_out,
+            w_out,
+        ));
+        self.g.connect(conv, bn);
+        T { id: bn, ch: c_out }
+    }
+
+    fn pool(&mut self, tag: &str, input: T, h_out: u64, w_out: u64, kernel: u32, stride: u32) -> T {
+        self.counter += 1;
+        let p = self.g.add_node(ops::pool2d(
+            &format!("{tag}_{}", self.counter),
+            self.b,
+            input.ch,
+            h_out,
+            w_out,
+            kernel,
+            stride,
+            false,
+        ));
+        self.g.connect(input.id, p);
+        T {
+            id: p,
+            ch: input.ch,
+        }
+    }
+
+    fn concat(&mut self, tag: &str, inputs: &[T], h: u64, w: u64) -> T {
+        self.counter += 1;
+        let channels: Vec<u64> = inputs.iter().map(|t| t.ch).collect();
+        let c = self.g.add_node(ops::concat_channels(
+            &format!("{tag}_{}", self.counter),
+            self.b,
+            &channels,
+            h,
+            w,
+        ));
+        for t in inputs {
+            self.g.connect(t.id, c);
+        }
+        T {
+            id: c,
+            ch: channels.iter().sum(),
+        }
+    }
+}
+
+/// InceptionA (35×35 grid): 1×1, 5×5, double-3×3 and pool branches.
+fn inception_a(ctx: &mut Ctx, input: T, pool_ch: u64) -> T {
+    let (h, w) = (35, 35);
+    let b1 = ctx.conv_bn("A/b1x1", input, h, w, 64, 1, 1, 1);
+    let b5 = ctx.conv_bn("A/b5x5a", input, h, w, 48, 1, 1, 1);
+    let b5 = ctx.conv_bn("A/b5x5b", b5, h, w, 64, 5, 5, 1);
+    let b3 = ctx.conv_bn("A/b3x3a", input, h, w, 64, 1, 1, 1);
+    let b3 = ctx.conv_bn("A/b3x3b", b3, h, w, 96, 3, 3, 1);
+    let b3 = ctx.conv_bn("A/b3x3c", b3, h, w, 96, 3, 3, 1);
+    let bp = ctx.pool("A/pool", input, h, w, 3, 1);
+    let bp = ctx.conv_bn("A/bpool", bp, h, w, pool_ch, 1, 1, 1);
+    ctx.concat("A/concat", &[b1, b5, b3, bp], h, w)
+}
+
+/// InceptionB (grid reduction 35 → 17).
+fn inception_b(ctx: &mut Ctx, input: T) -> T {
+    let (h, w) = (17, 17);
+    let b3 = ctx.conv_bn("B/b3x3", input, h, w, 384, 3, 3, 2);
+    let bd = ctx.conv_bn("B/bdbl_a", input, 35, 35, 64, 1, 1, 1);
+    let bd = ctx.conv_bn("B/bdbl_b", bd, 35, 35, 96, 3, 3, 1);
+    let bd = ctx.conv_bn("B/bdbl_c", bd, h, w, 96, 3, 3, 2);
+    let bp = ctx.pool("B/pool", input, h, w, 3, 2);
+    ctx.concat("B/concat", &[b3, bd, bp], h, w)
+}
+
+/// InceptionC (17×17 grid, factorized 7×7 convolutions).
+fn inception_c(ctx: &mut Ctx, input: T, c7: u64) -> T {
+    let (h, w) = (17, 17);
+    let b1 = ctx.conv_bn("C/b1x1", input, h, w, 192, 1, 1, 1);
+    let b7 = ctx.conv_bn("C/b7a", input, h, w, c7, 1, 1, 1);
+    let b7 = ctx.conv_bn("C/b7b", b7, h, w, c7, 1, 7, 1);
+    let b7 = ctx.conv_bn("C/b7c", b7, h, w, 192, 7, 1, 1);
+    let bd = ctx.conv_bn("C/bda", input, h, w, c7, 1, 1, 1);
+    let bd = ctx.conv_bn("C/bdb", bd, h, w, c7, 7, 1, 1);
+    let bd = ctx.conv_bn("C/bdc", bd, h, w, c7, 1, 7, 1);
+    let bd = ctx.conv_bn("C/bdd", bd, h, w, c7, 7, 1, 1);
+    let bd = ctx.conv_bn("C/bde", bd, h, w, 192, 1, 7, 1);
+    let bp = ctx.pool("C/pool", input, h, w, 3, 1);
+    let bp = ctx.conv_bn("C/bpool", bp, h, w, 192, 1, 1, 1);
+    ctx.concat("C/concat", &[b1, b7, bd, bp], h, w)
+}
+
+/// InceptionD (grid reduction 17 → 8).
+fn inception_d(ctx: &mut Ctx, input: T) -> T {
+    let (h, w) = (8, 8);
+    let b3 = ctx.conv_bn("D/b3a", input, 17, 17, 192, 1, 1, 1);
+    let b3 = ctx.conv_bn("D/b3b", b3, h, w, 320, 3, 3, 2);
+    let b7 = ctx.conv_bn("D/b7a", input, 17, 17, 192, 1, 1, 1);
+    let b7 = ctx.conv_bn("D/b7b", b7, 17, 17, 192, 1, 7, 1);
+    let b7 = ctx.conv_bn("D/b7c", b7, 17, 17, 192, 7, 1, 1);
+    let b7 = ctx.conv_bn("D/b7d", b7, h, w, 192, 3, 3, 2);
+    let bp = ctx.pool("D/pool", input, h, w, 3, 2);
+    ctx.concat("D/concat", &[b3, b7, bp], h, w)
+}
+
+/// InceptionE (8×8 grid, the module of the paper's Fig. 5): branches split
+/// *again* internally (1×3 / 3×1 pairs joined by inner concats).
+fn inception_e(ctx: &mut Ctx, input: T) -> T {
+    let (h, w) = (8, 8);
+    let b1 = ctx.conv_bn("E/b1x1", input, h, w, 320, 1, 1, 1);
+    let b3 = ctx.conv_bn("E/b3a", input, h, w, 384, 1, 1, 1);
+    let b3l = ctx.conv_bn("E/b3b1", b3, h, w, 384, 1, 3, 1);
+    let b3r = ctx.conv_bn("E/b3b2", b3, h, w, 384, 3, 1, 1);
+    let b3 = ctx.concat("E/concat3", &[b3l, b3r], h, w);
+    let bd = ctx.conv_bn("E/bda", input, h, w, 448, 1, 1, 1);
+    let bd = ctx.conv_bn("E/bdb", bd, h, w, 384, 3, 3, 1);
+    let bdl = ctx.conv_bn("E/bdc1", bd, h, w, 384, 1, 3, 1);
+    let bdr = ctx.conv_bn("E/bdc2", bd, h, w, 384, 3, 1, 1);
+    let bd = ctx.concat("E/concatd", &[bdl, bdr], h, w);
+    let bp = ctx.pool("E/pool", input, h, w, 3, 1);
+    let bp = ctx.conv_bn("E/bpool", bp, h, w, 192, 1, 1, 1);
+    ctx.concat("E/concat", &[b1, b3, bd, bp], h, w)
+}
+
+/// Build the InceptionV3 computation graph.
+pub fn inception_v3(cfg: &InceptionConfig) -> Graph {
+    let mut ctx = Ctx {
+        g: GraphBuilder::new(),
+        b: cfg.batch,
+        counter: 0,
+    };
+    // Stem: 299×299×3 input.
+    let stem = {
+        let conv1 = ctx.g.add_node(ops::conv2d(
+            "stem/conv1",
+            cfg.batch,
+            3,
+            149,
+            149,
+            32,
+            3,
+            3,
+            2,
+        ));
+        let bn1 = ctx
+            .g
+            .add_node(ops::batch_norm("stem/bn1", cfg.batch, 32, 149, 149));
+        ctx.g.connect(conv1, bn1);
+        let mut cur = T { id: bn1, ch: 32 };
+        cur = ctx.conv_bn("stem/conv2", cur, 147, 147, 32, 3, 3, 1);
+        cur = ctx.conv_bn("stem/conv3", cur, 147, 147, 64, 3, 3, 1);
+        cur = ctx.pool("stem/pool1", cur, 73, 73, 3, 2);
+        cur = ctx.conv_bn("stem/conv4", cur, 73, 73, 80, 1, 1, 1);
+        cur = ctx.conv_bn("stem/conv5", cur, 71, 71, 192, 3, 3, 1);
+        ctx.pool("stem/pool2", cur, 35, 35, 3, 2)
+    };
+
+    let a1 = inception_a(&mut ctx, stem, 32);
+    let a2 = inception_a(&mut ctx, a1, 64);
+    let a3 = inception_a(&mut ctx, a2, 64);
+    let b1 = inception_b(&mut ctx, a3);
+    let c1 = inception_c(&mut ctx, b1, 128);
+    let c2 = inception_c(&mut ctx, c1, 160);
+    let c3 = inception_c(&mut ctx, c2, 160);
+    let c4 = inception_c(&mut ctx, c3, 192);
+    let d1 = inception_d(&mut ctx, c4);
+    let e1 = inception_e(&mut ctx, d1);
+    let e2 = inception_e(&mut ctx, e1);
+
+    // Head: global average pool (flattened) → fc → softmax.
+    let gap = ctx.g.add_node(ops::pool2d(
+        "head/avgpool",
+        cfg.batch,
+        e2.ch,
+        1,
+        1,
+        8,
+        8,
+        true,
+    ));
+    ctx.g.connect(e2.id, gap);
+    let fc = ctx.g.add_node(ops::fully_connected(
+        "head/fc",
+        cfg.batch,
+        cfg.classes,
+        e2.ch,
+    ));
+    ctx.g.connect(gap, fc);
+    let sm = ctx
+        .g
+        .add_node(ops::softmax2("head/softmax", cfg.batch, cfg.classes));
+    ctx.g.connect(fc, sm);
+
+    ctx.g.build().expect("inception graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{is_weakly_connected, GraphStats};
+
+    #[test]
+    fn node_count_matches_paper_scale() {
+        // §III-C: "the computation graph of InceptionV3 has 218 nodes".
+        let g = inception_v3(&InceptionConfig::paper());
+        assert!(
+            (210..=226).contains(&g.len()),
+            "expected ≈218 nodes, got {}",
+            g.len()
+        );
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn degree_distribution_matches_paper_shape() {
+        // §III-C: most nodes have degree < 5, a handful have degree ≥ 5
+        // (module fan-outs and concats).
+        let g = inception_v3(&InceptionConfig::paper());
+        let stats = GraphStats::of(&g);
+        assert!(
+            (8..=22).contains(&stats.degrees.high_degree),
+            "high-degree nodes = {}",
+            stats.degrees.high_degree
+        );
+        let low = g.len() - stats.degrees.high_degree;
+        assert!(low as f64 / g.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn channels_flow_consistently() {
+        let g = inception_v3(&InceptionConfig::paper());
+        crate::validate_edge_tensors(&g, 0.25).unwrap();
+    }
+
+    #[test]
+    fn final_concat_feeds_classifier_with_2048_channels() {
+        let g = inception_v3(&InceptionConfig::paper());
+        let fc = g.nodes().iter().find(|n| n.name == "head/fc").unwrap();
+        assert_eq!(fc.dim_size("c"), Some(2048));
+    }
+
+    #[test]
+    fn flops_match_inception_scale() {
+        // InceptionV3 ≈ 5.7 GFLOPs/sample forward (2 × 2.85 GMACs).
+        let g = inception_v3(&InceptionConfig::paper());
+        let per_sample = g.nodes().iter().map(|n| n.fwd_flops()).sum::<f64>() / 128.0;
+        assert!(
+            (3e9..1.2e10).contains(&per_sample),
+            "per-sample fwd flops = {per_sample:.3e}"
+        );
+    }
+
+    #[test]
+    fn param_count_matches_literature() {
+        // ≈ 24–27M parameters.
+        let g = inception_v3(&InceptionConfig::paper());
+        let params = g.total_params();
+        assert!((2e7..3.2e7).contains(&params), "params = {params:.3e}");
+    }
+}

@@ -1,0 +1,156 @@
+//! # pase-models — the model zoo (PaSE §IV benchmarks)
+//!
+//! Computation-graph builders for the paper's four evaluation benchmarks,
+//! plus the DenseNet limitation study (§V) and extra models used by
+//! examples and tests:
+//!
+//! | model | graph structure | paper role |
+//! |---|---|---|
+//! | [`alexnet`] | 12-node path | benchmark (a) |
+//! | [`inception_v3`] | ≈219 nodes, local fan-out/concat | benchmark (b), Fig. 5 |
+//! | [`rnnlm`] | 4-node path (LSTM as one 5-d vertex) | benchmark (c) |
+//! | [`transformer`] | enc–dec with long-live-range encoder output | benchmark (d) |
+//! | [`densenet`] | uniformly dense blocks | §V limitation |
+//! | [`rnnlm_unrolled`] | FlexFlow-style unrolled cell lattice | §IV-A ablation |
+//! | [`resnet`], [`vgg16`], [`bert_encoder`], [`mlp`] | extra zoo models | examples & tests |
+//!
+//! All builders take a config struct with `paper()` (evaluation shapes) and
+//! `tiny()` (test shapes) constructors, and every graph passes
+//! [`validate_edge_tensors`].
+
+#![warn(missing_docs)]
+
+mod alexnet;
+mod bert;
+mod densenet;
+mod gnmt;
+mod inception;
+mod mlp;
+pub mod ops;
+mod resnet;
+mod rnnlm;
+mod transformer;
+mod validate;
+mod vgg;
+
+pub use alexnet::{alexnet, AlexNetConfig};
+pub use bert::{bert_encoder, BertConfig};
+pub use densenet::{densenet, DenseNetConfig};
+pub use gnmt::{gnmt, GnmtConfig};
+pub use inception::{inception_v3, InceptionConfig};
+pub use mlp::{mlp, MlpConfig};
+pub use resnet::{resnet, ResNetConfig};
+pub use rnnlm::{rnnlm, rnnlm_unrolled, RnnlmConfig};
+pub use transformer::{transformer, TransformerConfig};
+pub use validate::validate_edge_tensors;
+pub use vgg::{vgg16, VggConfig};
+
+use pase_graph::Graph;
+
+/// The paper's four evaluation benchmarks (§IV), used by the experiment
+/// harness to sweep Tables I–II and Fig. 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Benchmark {
+    /// AlexNet, batch 128 (path graph).
+    AlexNet,
+    /// InceptionV3, batch 128 (sparse with high-degree concats).
+    InceptionV3,
+    /// RNNLM, batch 64 (single-vertex LSTM).
+    Rnnlm,
+    /// Transformer NMT, batch 64 (encoder–decoder).
+    Transformer,
+}
+
+impl Benchmark {
+    /// All four benchmarks in the paper's column order.
+    pub fn all() -> [Benchmark; 4] {
+        [
+            Benchmark::AlexNet,
+            Benchmark::InceptionV3,
+            Benchmark::Rnnlm,
+            Benchmark::Transformer,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::AlexNet => "AlexNet",
+            Benchmark::InceptionV3 => "InceptionV3",
+            Benchmark::Rnnlm => "RNNLM",
+            Benchmark::Transformer => "Transformer",
+        }
+    }
+
+    /// Build the paper-scale computation graph (single-device mini-batch:
+    /// 128 for the CNNs, 64 for RNNLM/Transformer).
+    pub fn build(&self) -> Graph {
+        self.build_for(1)
+    }
+
+    /// Build the computation graph for a `p`-device run under the standard
+    /// weak-scaling throughput protocol: the global mini-batch is the
+    /// paper's per-benchmark batch (128 CNNs / 64 LM+NMT) *per device*.
+    /// This is the batch regime in which the paper's modest (≤ 1.85× /
+    /// ≤ 4×) advantages over data parallelism arise — with a fixed global
+    /// batch, data parallelism at p = 32+ would be implausibly starved.
+    pub fn build_for(&self, p: u32) -> Graph {
+        let p = u64::from(p.max(1));
+        match self {
+            Benchmark::AlexNet => alexnet(&AlexNetConfig {
+                batch: 128 * p,
+                ..AlexNetConfig::paper()
+            }),
+            Benchmark::InceptionV3 => inception_v3(&InceptionConfig {
+                batch: 128 * p,
+                ..InceptionConfig::paper()
+            }),
+            Benchmark::Rnnlm => rnnlm(&RnnlmConfig {
+                batch: 64 * p,
+                ..RnnlmConfig::paper()
+            }),
+            Benchmark::Transformer => transformer(&TransformerConfig {
+                batch: 64 * p,
+                ..TransformerConfig::paper()
+            }),
+        }
+    }
+
+    /// Build the reduced test-scale computation graph.
+    pub fn build_tiny(&self) -> Graph {
+        match self {
+            Benchmark::AlexNet => alexnet(&AlexNetConfig::tiny()),
+            Benchmark::InceptionV3 => inception_v3(&InceptionConfig::tiny()),
+            Benchmark::Rnnlm => rnnlm(&RnnlmConfig::tiny()),
+            Benchmark::Transformer => transformer(&TransformerConfig::tiny()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_builds_and_validates() {
+        for b in Benchmark::all() {
+            let g = b.build();
+            assert!(!g.is_empty(), "{} is empty", b.name());
+            assert!(
+                pase_graph::is_weakly_connected(&g),
+                "{} disconnected",
+                b.name()
+            );
+            validate_edge_tensors(&g, 0.25).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        }
+    }
+
+    #[test]
+    fn benchmark_names_are_stable() {
+        let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["AlexNet", "InceptionV3", "RNNLM", "Transformer"]
+        );
+    }
+}

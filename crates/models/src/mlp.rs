@@ -1,0 +1,86 @@
+//! A configurable multi-layer perceptron — the "hello world" model used by
+//! the quickstart example, tests, and property-based harnesses.
+
+use crate::ops;
+use pase_graph::{Graph, GraphBuilder};
+
+/// Problem sizes for [`mlp`].
+#[derive(Clone, Debug)]
+pub struct MlpConfig {
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Input feature width.
+    pub input: u64,
+    /// Hidden layer widths, in order.
+    pub hidden: Vec<u64>,
+    /// Output classes.
+    pub classes: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            batch: 64,
+            input: 1024,
+            hidden: vec![4096, 4096],
+            classes: 1000,
+        }
+    }
+}
+
+/// Build an MLP: a chain of fully-connected layers ending in a softmax.
+pub fn mlp(cfg: &MlpConfig) -> Graph {
+    let mut g = GraphBuilder::new();
+    let mut widths = vec![cfg.input];
+    widths.extend(&cfg.hidden);
+    widths.push(cfg.classes);
+    let mut prev = None;
+    for (i, pair) in widths.windows(2).enumerate() {
+        let ins = usize::from(prev.is_some());
+        let node = ops::fully_connected(&format!("fc{i}"), cfg.batch, pair[1], pair[0]);
+        let node = pase_graph::Node {
+            inputs: node.inputs[..ins].to_vec(),
+            ..node
+        };
+        let id = g.add_node(node);
+        if let Some(p) = prev {
+            g.connect(p, id);
+        }
+        prev = Some(id);
+    }
+    let sm = g.add_node(ops::softmax2("softmax", cfg.batch, cfg.classes));
+    g.connect(prev.expect("at least one layer"), sm);
+    g.build().expect("mlp graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::is_weakly_connected;
+
+    #[test]
+    fn default_mlp_is_a_path() {
+        let g = mlp(&MlpConfig::default());
+        assert_eq!(g.len(), 4); // 3 fc + softmax
+        assert!(is_weakly_connected(&g));
+        crate::validate_edge_tensors(&g, 0.01).unwrap();
+    }
+
+    #[test]
+    fn depth_scales_with_hidden_layers() {
+        let g = mlp(&MlpConfig {
+            hidden: vec![128; 5],
+            ..MlpConfig::default()
+        });
+        assert_eq!(g.len(), 7);
+    }
+
+    #[test]
+    fn single_layer_mlp_works() {
+        let g = mlp(&MlpConfig {
+            hidden: vec![],
+            ..MlpConfig::default()
+        });
+        assert_eq!(g.len(), 2);
+    }
+}

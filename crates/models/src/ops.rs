@@ -1,0 +1,421 @@
+//! Node constructors shared by all zoo models.
+//!
+//! Each constructor builds a [`Node`] with the iteration-space and
+//! tensor-map conventions of the paper's Table II legend:
+//!
+//! | op            | dims      | meaning                                        |
+//! |---------------|-----------|------------------------------------------------|
+//! | conv / pool   | `bchwnrs` | batch, in-ch, height, width, out-ch, filter h/w |
+//! | fc (2-d)      | `bnc`     | batch, out-features, in-features               |
+//! | softmax       | `bn` / `bsv` | batch, classes / batch, seq, vocab          |
+//! | embedding     | `bsdv`    | batch, seq, embed dim, vocab                   |
+//! | LSTM operator | `lbsde`   | layers, batch, seq, input dim, hidden dim      |
+//! | attention     | `bshck`   | batch, seq, heads, query ch, key/value ch      |
+//! | feed-forward  | `bsde`    | batch, seq, model dim, hidden dim              |
+//! | projection    | `bsvd`    | batch, seq, vocab, model dim                   |
+//!
+//! Sequence-to-sequence activations flow as rank-3 `(b, s, d)` tensors with
+//! the model dimension mapped to the producing op's most natural iteration
+//! dim (heads for attention). Feature-map activations flow as rank-4
+//! `(b, c, h, w)` tensors; the `flatten` flag on pooling collapses the
+//! output to rank-2 `(b, c·h·w)` for the CNN → FC boundary.
+
+use pase_graph::{DimRole, IterDim, Node, OpKind, TensorRef};
+
+/// 2-D convolution node: `b×c_in×h_in×w_in → b×c_out×h_out×w_out` with a
+/// `k_h×k_w` filter and the given stride. `h_out`/`w_out` are the *output*
+/// spatial extents (the iteration space ranges over output positions).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    name: &str,
+    b: u64,
+    c_in: u64,
+    h_out: u64,
+    w_out: u64,
+    c_out: u64,
+    k_h: u32,
+    k_w: u32,
+    stride: u32,
+) -> Node {
+    let h_in = h_out * u64::from(stride);
+    let w_in = w_out * u64::from(stride);
+    Node {
+        name: name.into(),
+        op: OpKind::Conv2d {
+            kernel_h: k_h,
+            kernel_w: k_w,
+            stride,
+        },
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("c", c_in, DimRole::Reduction),
+            IterDim::new("h", h_out, DimRole::Spatial),
+            IterDim::new("w", w_out, DimRole::Spatial),
+            IterDim::new("n", c_out, DimRole::Param),
+            IterDim::fixed("r", u64::from(k_h), DimRole::Reduction),
+            IterDim::fixed("s", u64::from(k_w), DimRole::Reduction),
+        ],
+        inputs: vec![TensorRef::new(vec![0, 1, 2, 3], vec![b, c_in, h_in, w_in])],
+        output: TensorRef::new(vec![0, 4, 2, 3], vec![b, c_out, h_out, w_out]),
+        params: vec![TensorRef::new(
+            vec![4, 1, 5, 6],
+            vec![c_out, c_in, u64::from(k_h), u64::from(k_w)],
+        )],
+    }
+}
+
+/// 2-D pooling node over `(b, c, h, w)`; `flatten` collapses the output to
+/// rank-2 `(b, c·h·w)` for feeding a fully-connected layer.
+#[allow(clippy::too_many_arguments)]
+pub fn pool2d(
+    name: &str,
+    b: u64,
+    c: u64,
+    h_out: u64,
+    w_out: u64,
+    kernel: u32,
+    stride: u32,
+    flatten: bool,
+) -> Node {
+    let h_in = h_out * u64::from(stride);
+    let w_in = w_out * u64::from(stride);
+    let output = if flatten {
+        TensorRef::new(vec![0, 1], vec![b, c * h_out * w_out])
+    } else {
+        TensorRef::new(vec![0, 1, 2, 3], vec![b, c, h_out, w_out])
+    };
+    Node {
+        name: name.into(),
+        op: OpKind::Pool2d { kernel, stride },
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("c", c, DimRole::Param),
+            IterDim::new("h", h_out, DimRole::Spatial),
+            IterDim::new("w", w_out, DimRole::Spatial),
+        ],
+        inputs: vec![TensorRef::new(vec![0, 1, 2, 3], vec![b, c, h_in, w_in])],
+        output,
+        params: vec![],
+    }
+}
+
+/// Batch-normalization (+ fused activation) node over `(b, c, h, w)`.
+pub fn batch_norm(name: &str, b: u64, c: u64, h: u64, w: u64) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::BatchNorm,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("c", c, DimRole::Param),
+            IterDim::new("h", h, DimRole::Spatial),
+            IterDim::new("w", w, DimRole::Spatial),
+        ],
+        inputs: vec![TensorRef::new(vec![0, 1, 2, 3], vec![b, c, h, w])],
+        output: TensorRef::new(vec![0, 1, 2, 3], vec![b, c, h, w]),
+        params: vec![TensorRef::new(vec![1], vec![2 * c])], // scale + shift
+    }
+}
+
+/// Channel-axis concatenation of `input_channels.len()` feature maps.
+pub fn concat_channels(name: &str, b: u64, input_channels: &[u64], h: u64, w: u64) -> Node {
+    let c_out: u64 = input_channels.iter().sum();
+    Node {
+        name: name.into(),
+        op: OpKind::Concat,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("c", c_out, DimRole::Param),
+            IterDim::new("h", h, DimRole::Spatial),
+            IterDim::new("w", w, DimRole::Spatial),
+        ],
+        inputs: input_channels
+            .iter()
+            .map(|&ci| TensorRef::new(vec![0, 1, 2, 3], vec![b, ci, h, w]))
+            .collect(),
+        output: TensorRef::new(vec![0, 1, 2, 3], vec![b, c_out, h, w]),
+        params: vec![],
+    }
+}
+
+/// Fully-connected layer over a rank-2 activation: `(b, c) → (b, n)`.
+pub fn fully_connected(name: &str, b: u64, n: u64, c: u64) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::FullyConnected,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("n", n, DimRole::Param),
+            IterDim::new("c", c, DimRole::Reduction),
+        ],
+        inputs: vec![TensorRef::new(vec![0, 2], vec![b, c])],
+        output: TensorRef::new(vec![0, 1], vec![b, n]),
+        params: vec![TensorRef::new(vec![1, 2], vec![n, c])],
+    }
+}
+
+/// Classification softmax over `(b, n)`.
+pub fn softmax2(name: &str, b: u64, n: u64) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::Softmax,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("n", n, DimRole::Param),
+        ],
+        inputs: vec![TensorRef::new(vec![0, 1], vec![b, n])],
+        output: TensorRef::new(vec![0, 1], vec![b, n]),
+        params: vec![],
+    }
+}
+
+/// Sequence softmax over `(b, s, v)` (the LM / NMT output, Table II's
+/// `bsv`).
+pub fn softmax_seq(name: &str, b: u64, s: u64, v: u64) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::Softmax,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("s", s, DimRole::Spatial),
+            IterDim::new("v", v, DimRole::Param),
+        ],
+        inputs: vec![TensorRef::new(vec![0, 1, 2], vec![b, s, v])],
+        output: TensorRef::new(vec![0, 1, 2], vec![b, s, v]),
+        params: vec![],
+    }
+}
+
+/// Embedding lookup `(b, s) → (b, s, d)` over a `v × d` table, modeled as a
+/// one-hot × table GEMM with `v` as the contraction dim (Table II's
+/// `bsdv`). Graph sources: no tensor inputs (token ids come from the data
+/// pipeline).
+pub fn embedding(name: &str, b: u64, s: u64, d: u64, v: u64) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::Embedding,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("s", s, DimRole::Spatial),
+            IterDim::new("d", d, DimRole::Param),
+            IterDim::new("v", v, DimRole::Reduction),
+        ],
+        inputs: vec![],
+        output: TensorRef::new(vec![0, 1, 2], vec![b, s, d]),
+        params: vec![TensorRef::new(vec![3, 2], vec![v, d])],
+    }
+}
+
+/// The whole multi-layer LSTM stack as a *single vertex* (§IV-A) with
+/// iteration space `(l, b, s, d, e)`: splitting `l`/`s` captures
+/// intra-operator pipeline parallelism.
+pub fn lstm(name: &str, l: u32, b: u64, s: u64, d: u64, e: u64) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::Lstm { layers: l },
+        iter_space: vec![
+            IterDim::new("l", u64::from(l), DimRole::Pipeline),
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("s", s, DimRole::Pipeline),
+            IterDim::new("d", d, DimRole::Reduction),
+            IterDim::new("e", e, DimRole::Param),
+        ],
+        inputs: vec![TensorRef::new(vec![1, 2, 3], vec![b, s, d])],
+        output: TensorRef::new(vec![1, 2, 4], vec![b, s, e]),
+        // 4 gate matrices over (d + e) × e per layer ≈ l × d × 8e elements
+        // (weights are indexed by layer, input dim and hidden dim).
+        params: vec![TensorRef::new(
+            vec![0, 3, 4],
+            vec![u64::from(l), d + e, 4 * e],
+        )],
+    }
+}
+
+/// Fused multi-head attention block over `(b, s, h, c, k)` (Table II's
+/// `bshck`): QKV projections, scores, context, output projection.
+/// `extra_memory_input` adds a second `(b, s, d)` input for decoder
+/// cross-attention (keys/values from the encoder output).
+pub fn attention(
+    name: &str,
+    b: u64,
+    s: u64,
+    heads: u64,
+    c_q: u64,
+    c_kv: u64,
+    extra_memory_input: bool,
+) -> Node {
+    let seq_in = TensorRef::new(vec![0, 1, 2], vec![b, s, heads * c_q]);
+    let mut inputs = vec![seq_in.clone()];
+    if extra_memory_input {
+        inputs.push(seq_in);
+    }
+    Node {
+        name: name.into(),
+        op: OpKind::Attention,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("s", s, DimRole::Spatial),
+            IterDim::new("h", heads, DimRole::Param),
+            IterDim::new("c", c_q, DimRole::Param),
+            IterDim::new("k", c_kv, DimRole::Reduction),
+        ],
+        inputs,
+        output: TensorRef::new(vec![0, 1, 2], vec![b, s, heads * c_q]),
+        // Q, K, V, O projection blocks per head: 4 · d_model per (c, k).
+        params: vec![TensorRef::new(
+            vec![2, 3, 4],
+            vec![heads, c_q, 4 * heads * c_kv],
+        )],
+    }
+}
+
+/// Position-wise feed-forward block over `(b, s, d, e)` (Table II's
+/// `bsde`): two GEMMs `d → e → d`.
+pub fn feed_forward(name: &str, b: u64, s: u64, d: u64, e: u64) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::FeedForward,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("s", s, DimRole::Spatial),
+            IterDim::new("d", d, DimRole::Param),
+            IterDim::new("e", e, DimRole::Reduction),
+        ],
+        inputs: vec![TensorRef::new(vec![0, 1, 2], vec![b, s, d])],
+        output: TensorRef::new(vec![0, 1, 2], vec![b, s, d]),
+        params: vec![TensorRef::new(vec![2, 3], vec![d, 2 * e])],
+    }
+}
+
+/// Final vocabulary projection `(b, s, e) → (b, s, v)` (Table II's `bsvd`).
+pub fn projection(name: &str, b: u64, s: u64, v: u64, d: u64) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::FullyConnected,
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("s", s, DimRole::Spatial),
+            IterDim::new("v", v, DimRole::Param),
+            IterDim::new("d", d, DimRole::Reduction),
+        ],
+        inputs: vec![TensorRef::new(vec![0, 1, 3], vec![b, s, d])],
+        output: TensorRef::new(vec![0, 1, 2], vec![b, s, v]),
+        params: vec![TensorRef::new(vec![2, 3], vec![v, d])],
+    }
+}
+
+/// Residual add / generic elementwise node over `(b, s, d)` with `ins`
+/// inputs.
+pub fn add_seq(name: &str, b: u64, s: u64, d: u64, ins: usize) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::Elementwise {
+            flops_per_point: 1.0,
+        },
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("s", s, DimRole::Spatial),
+            IterDim::new("d", d, DimRole::Param),
+        ],
+        inputs: (0..ins)
+            .map(|_| TensorRef::new(vec![0, 1, 2], vec![b, s, d]))
+            .collect(),
+        output: TensorRef::new(vec![0, 1, 2], vec![b, s, d]),
+        params: vec![],
+    }
+}
+
+/// Elementwise add over feature maps `(b, c, h, w)` (ResNet skip joins).
+pub fn add_maps(name: &str, b: u64, c: u64, h: u64, w: u64, ins: usize) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::Elementwise {
+            flops_per_point: 1.0,
+        },
+        iter_space: vec![
+            IterDim::new("b", b, DimRole::Batch),
+            IterDim::new("c", c, DimRole::Param),
+            IterDim::new("h", h, DimRole::Spatial),
+            IterDim::new("w", w, DimRole::Spatial),
+        ],
+        inputs: (0..ins)
+            .map(|_| TensorRef::new(vec![0, 1, 2, 3], vec![b, c, h, w]))
+            .collect(),
+        output: TensorRef::new(vec![0, 1, 2, 3], vec![b, c, h, w]),
+        params: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_flops_match_standard_formula() {
+        // 2 · b · c · h · w · n · r · s forward FLOPs
+        let n = conv2d("c", 32, 16, 28, 28, 64, 3, 3, 1);
+        let expect = 2.0 * 32.0 * 16.0 * 28.0 * 28.0 * 64.0 * 9.0;
+        assert_eq!(n.fwd_flops(), expect);
+        assert_eq!(n.param_elements(), 64.0 * 16.0 * 9.0);
+        assert_eq!(n.dims_string(), "bchwnrs");
+    }
+
+    #[test]
+    fn strided_conv_input_is_larger() {
+        let n = conv2d("c", 8, 3, 112, 112, 64, 7, 7, 2);
+        assert_eq!(n.inputs[0].sizes[2], 224);
+        assert_eq!(n.output.sizes[2], 112);
+    }
+
+    #[test]
+    fn flattened_pool_output_is_rank_two() {
+        let p = pool2d("p", 8, 256, 6, 6, 3, 2, true);
+        assert_eq!(p.output.rank(), 2);
+        assert_eq!(p.output.sizes[1], 256 * 36);
+        // ... and maps the channel iteration dim
+        assert_eq!(p.output.dims[1], 1);
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let c = concat_channels("cat", 8, &[64, 96, 32], 35, 35);
+        assert_eq!(c.inputs.len(), 3);
+        assert_eq!(c.output.sizes[1], 192);
+        assert_eq!(c.fwd_flops(), 0.0);
+    }
+
+    #[test]
+    fn lstm_param_count_is_plausible() {
+        // 2 layers, d=e=1024: 2 × (2048 × 4096) ≈ 16.8M
+        let n = lstm("l", 2, 64, 40, 1024, 1024);
+        assert_eq!(n.param_elements(), 2.0 * 2048.0 * 4096.0);
+        assert_eq!(n.dims_string(), "lbsde");
+    }
+
+    #[test]
+    fn attention_shapes_line_up() {
+        let a = attention("a", 64, 128, 16, 64, 64, false);
+        assert_eq!(a.output.sizes, vec![64, 128, 1024]);
+        assert_eq!(a.dims_string(), "bshck");
+        let x = attention("x", 64, 128, 16, 64, 64, true);
+        assert_eq!(x.inputs.len(), 2);
+    }
+
+    #[test]
+    fn embedding_and_projection_share_vocab_layout() {
+        let e = embedding("e", 64, 40, 1024, 32768);
+        let p = projection("p", 64, 40, 32768, 1024);
+        assert_eq!(e.param_elements(), p.param_elements());
+        assert_eq!(e.dims_string(), "bsdv");
+        assert_eq!(p.dims_string(), "bsvd");
+    }
+
+    #[test]
+    fn seq_ops_are_rank_three_compatible() {
+        // A transformer residual chain must have matching tensor ranks.
+        let a = attention("a", 8, 16, 4, 8, 8, false);
+        let add = add_seq("add", 8, 16, 32, 2);
+        let f = feed_forward("f", 8, 16, 32, 128);
+        assert_eq!(a.output.rank(), add.inputs[0].rank());
+        assert_eq!(add.output.rank(), f.inputs[0].rank());
+    }
+}

@@ -1,0 +1,174 @@
+//! ResNet (He et al. 2016) — an additional zoo model for examples and
+//! tests: basic residual blocks with skip-connection adds give a moderately
+//! structured graph between AlexNet's path and Inception's fan-outs.
+
+use crate::ops;
+use pase_graph::{Graph, GraphBuilder, NodeId};
+
+/// Problem sizes for [`resnet`].
+#[derive(Clone, Copy, Debug)]
+pub struct ResNetConfig {
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Residual blocks per stage (ResNet-18 uses 2).
+    pub blocks_per_stage: usize,
+    /// Output classes.
+    pub classes: u64,
+}
+
+impl ResNetConfig {
+    /// A ResNet-18-like configuration.
+    pub fn paper() -> Self {
+        Self {
+            batch: 128,
+            blocks_per_stage: 2,
+            classes: 1000,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            batch: 8,
+            blocks_per_stage: 1,
+            classes: 16,
+        }
+    }
+}
+
+struct Stage {
+    id: NodeId,
+    ch: u64,
+    h: u64,
+}
+
+/// Build a ResNet-style computation graph.
+pub fn resnet(cfg: &ResNetConfig) -> Graph {
+    let b = cfg.batch;
+    let mut g = GraphBuilder::new();
+    let conv1 = g.add_node(ops::conv2d("conv1", b, 3, 56, 56, 64, 7, 7, 4));
+    let bn1 = g.add_node(ops::batch_norm("bn1", b, 64, 56, 56));
+    g.connect(conv1, bn1);
+    let mut cur = Stage {
+        id: bn1,
+        ch: 64,
+        h: 56,
+    };
+
+    for (stage, &ch) in [64u64, 128, 256, 512].iter().enumerate() {
+        for blk in 0..cfg.blocks_per_stage {
+            let downsample = stage > 0 && blk == 0;
+            let (h_out, stride) = if downsample {
+                (cur.h / 2, 2)
+            } else {
+                (cur.h, 1)
+            };
+            let tag = format!("s{stage}b{blk}");
+            let c1 = g.add_node(ops::conv2d(
+                &format!("{tag}/conv1"),
+                b,
+                cur.ch,
+                h_out,
+                h_out,
+                ch,
+                3,
+                3,
+                stride,
+            ));
+            g.connect(cur.id, c1);
+            let n1 = g.add_node(ops::batch_norm(&format!("{tag}/bn1"), b, ch, h_out, h_out));
+            g.connect(c1, n1);
+            let c2 = g.add_node(ops::conv2d(
+                &format!("{tag}/conv2"),
+                b,
+                ch,
+                h_out,
+                h_out,
+                ch,
+                3,
+                3,
+                1,
+            ));
+            g.connect(n1, c2);
+            let n2 = g.add_node(ops::batch_norm(&format!("{tag}/bn2"), b, ch, h_out, h_out));
+            g.connect(c2, n2);
+            // Skip path: identity, or a 1×1 projection when shapes change.
+            let skip = if downsample || cur.ch != ch {
+                let p = g.add_node(ops::conv2d(
+                    &format!("{tag}/proj"),
+                    b,
+                    cur.ch,
+                    h_out,
+                    h_out,
+                    ch,
+                    1,
+                    1,
+                    stride,
+                ));
+                g.connect(cur.id, p);
+                p
+            } else {
+                cur.id
+            };
+            let add = g.add_node(ops::add_maps(&format!("{tag}/add"), b, ch, h_out, h_out, 2));
+            g.connect(n2, add);
+            g.connect(skip, add);
+            cur = Stage {
+                id: add,
+                ch,
+                h: h_out,
+            };
+        }
+    }
+
+    let gap = g.add_node(ops::pool2d(
+        "head/gap",
+        b,
+        cur.ch,
+        1,
+        1,
+        cur.h as u32,
+        cur.h as u32,
+        true,
+    ));
+    g.connect(cur.id, gap);
+    let fc = g.add_node(ops::fully_connected("head/fc", b, cfg.classes, cur.ch));
+    g.connect(gap, fc);
+    let sm = g.add_node(ops::softmax2("head/softmax", b, cfg.classes));
+    g.connect(fc, sm);
+    g.build().expect("resnet graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::is_weakly_connected;
+
+    #[test]
+    fn resnet18_structure() {
+        let g = resnet(&ResNetConfig::paper());
+        assert!(is_weakly_connected(&g));
+        // 2 stem + 8 blocks × (4 or 5 nodes) + 3 head
+        assert!((35..=50).contains(&g.len()), "nodes = {}", g.len());
+    }
+
+    #[test]
+    fn skip_connections_create_degree_three_nodes() {
+        let g = resnet(&ResNetConfig::paper());
+        let max_deg = g.node_ids().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg >= 3);
+    }
+
+    #[test]
+    fn edges_are_rank_consistent() {
+        crate::validate_edge_tensors(&resnet(&ResNetConfig::paper()), 0.01).unwrap();
+        crate::validate_edge_tensors(&resnet(&ResNetConfig::tiny()), 0.01).unwrap();
+    }
+
+    #[test]
+    fn params_match_resnet18_scale() {
+        let g = resnet(&ResNetConfig::paper());
+        let params = g.total_params();
+        assert!((8e6..2e7).contains(&params), "params = {params:.3e}");
+    }
+}

@@ -1,0 +1,128 @@
+//! VGG-16 (Simonyan & Zisserman 2014) — an additional CNN for the zoo.
+//!
+//! Structurally between AlexNet and Inception: a deep convolutional path
+//! with *enormous* fully-connected layers (the fc6 weight alone is 102M
+//! parameters), making it the classic showcase for OWT-style hybrid
+//! parallelism — and a good stress test for the search's handling of
+//! extreme compute/parameter imbalance.
+
+use crate::ops;
+use pase_graph::{Graph, GraphBuilder, NodeId};
+
+/// Problem sizes for [`vgg16`].
+#[derive(Clone, Copy, Debug)]
+pub struct VggConfig {
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Output classes.
+    pub classes: u64,
+}
+
+impl VggConfig {
+    /// ImageNet configuration, batch 128.
+    pub fn paper() -> Self {
+        Self {
+            batch: 128,
+            classes: 1000,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            batch: 8,
+            classes: 16,
+        }
+    }
+}
+
+/// Build the VGG-16 computation graph.
+pub fn vgg16(cfg: &VggConfig) -> Graph {
+    let b = cfg.batch;
+    let mut g = GraphBuilder::new();
+    let mut prev: Option<NodeId> = None;
+    let mut c_in = 3u64;
+    let mut h = 224u64;
+    let connect = |g: &mut GraphBuilder, prev: &mut Option<NodeId>, id: NodeId| {
+        if let Some(p) = *prev {
+            g.connect(p, id);
+        }
+        *prev = Some(id);
+    };
+    // (stage channels, convs per stage) — the classic 2-2-3-3-3 layout.
+    for (stage, &(ch, convs)) in [(64u64, 2usize), (128, 2), (256, 3), (512, 3), (512, 3)]
+        .iter()
+        .enumerate()
+    {
+        for i in 0..convs {
+            let id = g.add_node(ops::conv2d(
+                &format!("conv{}_{}", stage + 1, i + 1),
+                b,
+                c_in,
+                h,
+                h,
+                ch,
+                3,
+                3,
+                1,
+            ));
+            connect(&mut g, &mut prev, id);
+            c_in = ch;
+        }
+        h /= 2;
+        let flatten = stage == 4;
+        let id = g.add_node(ops::pool2d(
+            &format!("pool{}", stage + 1),
+            b,
+            ch,
+            h,
+            h,
+            2,
+            2,
+            flatten,
+        ));
+        connect(&mut g, &mut prev, id);
+    }
+    let fc6 = g.add_node(ops::fully_connected("fc6", b, 4096, 512 * 49));
+    connect(&mut g, &mut prev, fc6);
+    let fc7 = g.add_node(ops::fully_connected("fc7", b, 4096, 4096));
+    connect(&mut g, &mut prev, fc7);
+    let fc8 = g.add_node(ops::fully_connected("fc8", b, cfg.classes, 4096));
+    connect(&mut g, &mut prev, fc8);
+    let sm = g.add_node(ops::softmax2("softmax", b, cfg.classes));
+    connect(&mut g, &mut prev, sm);
+    g.build().expect("vgg graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::is_weakly_connected;
+
+    #[test]
+    fn vgg16_is_a_path_with_the_right_depth() {
+        let g = vgg16(&VggConfig::paper());
+        // 13 convs + 5 pools + 3 fcs + softmax
+        assert_eq!(g.len(), 22);
+        assert!(is_weakly_connected(&g));
+        crate::validate_edge_tensors(&g, 0.01).unwrap();
+    }
+
+    #[test]
+    fn parameters_match_literature() {
+        // ≈ 138M parameters, dominated by fc6 (25088 × 4096).
+        let g = vgg16(&VggConfig::paper());
+        let params = g.total_params();
+        assert!((1.2e8..1.6e8).contains(&params), "params = {params:.3e}");
+        let fc6 = g.nodes().iter().find(|n| n.name == "fc6").unwrap();
+        assert!(fc6.param_elements() > 1e8);
+    }
+
+    #[test]
+    fn flops_match_literature() {
+        // ≈ 31 GFLOPs/sample forward (2 × 15.5 GMACs).
+        let g = vgg16(&VggConfig::paper());
+        let per_sample = g.nodes().iter().map(|n| n.fwd_flops()).sum::<f64>() / 128.0;
+        assert!((2e10..5e10).contains(&per_sample), "fwd = {per_sample:.3e}");
+    }
+}

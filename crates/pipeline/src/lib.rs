@@ -1,0 +1,31 @@
+//! # pase-pipeline — inter-batch pipeline composition (PaSE §VI)
+//!
+//! PaSE deliberately ignores inter-layer pipeline parallelism; the paper
+//! proposes the composition instead: "the computation graph can be first
+//! split into multiple stages using the formulation proposed in
+//! PipeDream to achieve inter-batch pipeline parallelism, and the
+//! subgraphs from each stage can be further parallelized with
+//! data+parameter parallelism using our approach."
+//!
+//! This crate implements that composition:
+//!
+//! * [`partition_stages`] — a PipeDream-flavored *optimal contiguous
+//!   partition* of the topological order into `S` stages minimizing the
+//!   maximum per-stage compute (classic linear-partition dynamic program);
+//! * [`plan_pipeline`] — per-stage subgraph extraction
+//!   ([`pase_graph::induced_subgraph`]) and a PaSE FindBestStrategy run
+//!   *inside* each stage with `p / S` devices;
+//! * [`simulate_pipeline`] — GPipe-style timing: `M` microbatches flow
+//!   through `S` stages, the step costs
+//!   `(M + S − 1)/M · max_i t_i` plus the stage-boundary activation
+//!   transfers, with `t_i` from the execution simulator.
+
+#![warn(missing_docs)]
+
+mod partition;
+mod plan;
+mod schedule;
+
+pub use partition::partition_stages;
+pub use plan::{plan_pipeline, PipelineOptions, PipelinePlan};
+pub use schedule::{simulate_pipeline, PipelineReport};

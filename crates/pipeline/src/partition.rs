@@ -1,0 +1,172 @@
+//! Optimal contiguous stage partitioning.
+//!
+//! PipeDream's partitioner minimizes the slowest stage of a pipelined
+//! execution; restricted to contiguous spans of a topological order this
+//! is the classic *linear partition* problem, solved exactly by dynamic
+//! programming in `O(n² S)` (our graphs have at most a few hundred nodes).
+
+use pase_graph::{topo_order, Graph, NodeId};
+
+/// Split `graph`'s topological order into `stages` contiguous spans
+/// minimizing the maximum per-span sum of `weight` (per-node, indexed by
+/// `NodeId::index`). Returns the stage index of every node.
+///
+/// Panics if the graph is cyclic or `stages` is 0 or exceeds the node
+/// count.
+pub fn partition_stages(graph: &Graph, weight: &[f64], stages: usize) -> Vec<usize> {
+    assert!(stages >= 1, "need at least one stage");
+    let order = topo_order(graph).expect("computation graphs are acyclic");
+    let n = order.len();
+    assert!(stages <= n.max(1), "more stages than nodes");
+    assert_eq!(weight.len(), n, "one weight per node");
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // prefix[i] = Σ weight of the first i nodes in topological order
+    let mut prefix = vec![0.0; n + 1];
+    for (i, &v) in order.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + weight[v.index()];
+    }
+    let span = |a: usize, b: usize| prefix[b] - prefix[a]; // [a, b)
+
+    // dp[s][i] = minimal possible maximum span weight when the first i
+    // nodes are divided into s spans.
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![inf; n + 1]; stages + 1];
+    let mut cut = vec![vec![0usize; n + 1]; stages + 1];
+    dp[0][0] = 0.0;
+    for s in 1..=stages {
+        for i in s..=n {
+            for j in (s - 1)..i {
+                let cand = dp[s - 1][j].max(span(j, i));
+                if cand < dp[s][i] {
+                    dp[s][i] = cand;
+                    cut[s][i] = j;
+                }
+            }
+        }
+    }
+
+    // Recover the cut points.
+    let mut boundaries = vec![n];
+    let mut i = n;
+    for s in (1..=stages).rev() {
+        i = cut[s][i];
+        boundaries.push(i);
+    }
+    boundaries.reverse(); // [0, c1, c2, …, n]
+
+    let mut stage_of = vec![0usize; n];
+    for s in 0..stages {
+        for pos in boundaries[s]..boundaries[s + 1] {
+            stage_of[order[pos].index()] = s;
+        }
+    }
+    stage_of
+}
+
+/// Nodes of each stage (by original id, ascending), given a `stage_of` map.
+pub(crate) fn stage_members(stage_of: &[usize], stages: usize) -> Vec<Vec<NodeId>> {
+    let mut members = vec![Vec::new(); stages];
+    for (i, &s) in stage_of.iter().enumerate() {
+        members[s].push(NodeId(i as u32));
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn chain(weights: &[f64]) -> (Graph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let mut prev = None;
+        for (i, _) in weights.iter().enumerate() {
+            let node = Node {
+                name: format!("n{i}"),
+                op: OpKind::Elementwise {
+                    flops_per_point: 1.0,
+                },
+                iter_space: vec![IterDim::new("b", 4, DimRole::Batch)],
+                inputs: if prev.is_some() {
+                    vec![TensorRef::new(vec![0], vec![4])]
+                } else {
+                    vec![]
+                },
+                output: TensorRef::new(vec![0], vec![4]),
+                params: vec![],
+            };
+            let id = b.add_node(node);
+            if let Some(p) = prev {
+                b.connect(p, id);
+            }
+            prev = Some(id);
+        }
+        (b.build().unwrap(), weights.to_vec())
+    }
+
+    fn max_stage_weight(stage_of: &[usize], w: &[f64], stages: usize) -> f64 {
+        (0..stages)
+            .map(|s| {
+                stage_of
+                    .iter()
+                    .zip(w)
+                    .filter(|(&st, _)| st == s)
+                    .map(|(_, &x)| x)
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn balances_a_uniform_chain() {
+        let (g, w) = chain(&[1.0; 8]);
+        let stage_of = partition_stages(&g, &w, 4);
+        assert_eq!(max_stage_weight(&stage_of, &w, 4), 2.0);
+        // contiguity along the chain
+        for win in stage_of.windows(2) {
+            assert!(win[1] >= win[0]);
+        }
+    }
+
+    #[test]
+    fn isolates_a_heavy_node() {
+        let (g, w) = chain(&[1.0, 1.0, 10.0, 1.0, 1.0]);
+        let stage_of = partition_stages(&g, &w, 3);
+        // the optimum puts the heavy node alone: max = 10
+        assert_eq!(max_stage_weight(&stage_of, &w, 3), 10.0);
+        let heavy_stage = stage_of[2];
+        assert_eq!(
+            w.iter()
+                .zip(&stage_of)
+                .filter(|(_, &s)| s == heavy_stage)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn single_stage_is_everything() {
+        let (g, w) = chain(&[3.0, 1.0, 2.0]);
+        let stage_of = partition_stages(&g, &w, 1);
+        assert!(stage_of.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn stage_count_equal_to_nodes_is_one_each() {
+        let (g, w) = chain(&[1.0, 2.0, 3.0]);
+        let stage_of = partition_stages(&g, &w, 3);
+        let mut sorted = stage_of.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more stages than nodes")]
+    fn too_many_stages_panics() {
+        let (g, w) = chain(&[1.0, 1.0]);
+        let _ = partition_stages(&g, &w, 3);
+    }
+}

@@ -1,0 +1,236 @@
+//! Pipeline planning: stage partition + a PaSE search inside each stage.
+
+use crate::partition::{partition_stages, stage_members};
+use pase_core::{find_best_strategy, DpOptions, SearchBudget};
+use pase_cost::{ConfigRule, CostTables, MachineSpec, Strategy};
+use pase_graph::{induced_subgraph, Graph, NodeId};
+
+/// Options for [`plan_pipeline`].
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// Number of pipeline stages `S` (must divide the device count).
+    pub stages: usize,
+    /// Microbatches per step `M` (GPipe chunking; efficiency is
+    /// `M / (M + S − 1)`).
+    pub microbatches: u32,
+    /// Budget for each per-stage search.
+    pub budget: SearchBudget,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            stages: 2,
+            microbatches: 8,
+            budget: SearchBudget::default(),
+        }
+    }
+}
+
+/// A planned pipeline: the stage assignment plus a PaSE strategy for each
+/// stage's subgraph on its `p / S` devices.
+#[derive(Clone, Debug)]
+pub struct PipelinePlan {
+    /// Stage index per original node.
+    pub stage_of: Vec<usize>,
+    /// Per stage: the induced subgraph and its node-id mapping back to the
+    /// original graph.
+    pub stage_graphs: Vec<(Graph, Vec<NodeId>)>,
+    /// Per stage: the within-stage strategy (over the *subgraph's* node
+    /// ids).
+    pub stage_strategies: Vec<Strategy>,
+    /// Devices assigned to each stage.
+    pub devices_per_stage: u32,
+    /// Microbatches per step.
+    pub microbatches: u32,
+    /// Sum of the per-stage search costs (FLOP units; diagnostic only —
+    /// pipeline timing comes from the simulator).
+    pub total_search_cost: f64,
+}
+
+impl PipelinePlan {
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stage_graphs.len()
+    }
+
+    /// The within-stage configuration of an original node.
+    pub fn config_of(&self, v: NodeId) -> &pase_cost::Config {
+        let s = self.stage_of[v.index()];
+        let (_, mapping) = &self.stage_graphs[s];
+        let local = mapping
+            .iter()
+            .position(|&w| w == v)
+            .expect("node in its stage");
+        self.stage_strategies[s].config(NodeId(local as u32))
+    }
+}
+
+/// Partition `graph` into `opts.stages` stages (balancing per-stage
+/// compute), then run PaSE's FindBestStrategy inside each stage with
+/// `p / stages` devices.
+pub fn plan_pipeline(
+    graph: &Graph,
+    p: u32,
+    machine: &MachineSpec,
+    opts: &PipelineOptions,
+) -> Result<PipelinePlan, String> {
+    if opts.stages == 0 || !(p as usize).is_multiple_of(opts.stages) {
+        return Err(format!("{} stages must divide p = {p}", opts.stages));
+    }
+    if opts.stages > graph.len() {
+        return Err(format!(
+            "{} stages exceed the {}-node graph",
+            opts.stages,
+            graph.len()
+        ));
+    }
+    let devices_per_stage = p / opts.stages as u32;
+
+    let weights: Vec<f64> = graph.nodes().iter().map(|n| n.step_flops()).collect();
+    let stage_of = partition_stages(graph, &weights, opts.stages);
+    let members = stage_members(&stage_of, opts.stages);
+
+    let mut stage_graphs = Vec::with_capacity(opts.stages);
+    let mut stage_strategies = Vec::with_capacity(opts.stages);
+    let mut total_search_cost = 0.0;
+    for nodes in &members {
+        let (sub, mapping) = induced_subgraph(graph, nodes);
+        let tables = CostTables::build(&sub, ConfigRule::new(devices_per_stage), machine);
+        let outcome = find_best_strategy(
+            &sub,
+            &tables,
+            &DpOptions {
+                budget: opts.budget,
+                ..DpOptions::default()
+            },
+        );
+        let result = outcome
+            .found()
+            .ok_or_else(|| format!("stage search failed: {}", outcome.tag()))?
+            .clone();
+        total_search_cost += result.cost;
+        stage_strategies.push(tables.ids_to_strategy(&result.config_ids));
+        stage_graphs.push((sub, mapping));
+    }
+
+    Ok(PipelinePlan {
+        stage_of,
+        stage_graphs,
+        stage_strategies,
+        devices_per_stage,
+        microbatches: opts.microbatches,
+        total_search_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_models::{transformer, Benchmark, TransformerConfig};
+
+    #[test]
+    fn one_stage_plan_equals_plain_search() {
+        let g = Benchmark::AlexNet.build();
+        let machine = MachineSpec::gtx1080ti();
+        let plan = plan_pipeline(
+            &g,
+            8,
+            &machine,
+            &PipelineOptions {
+                stages: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.stages(), 1);
+        assert_eq!(plan.devices_per_stage, 8);
+        let tables = CostTables::build(&g, ConfigRule::new(8), &machine);
+        let plain = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("plain");
+        assert!((plan.total_search_cost - plain.cost).abs() <= 1e-9 * plain.cost);
+    }
+
+    #[test]
+    fn plan_covers_every_node_exactly_once() {
+        let g = transformer(&TransformerConfig::tiny());
+        let machine = MachineSpec::gtx1080ti();
+        let plan = plan_pipeline(
+            &g,
+            8,
+            &machine,
+            &PipelineOptions {
+                stages: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.stage_of.len(), g.len());
+        let covered: usize = plan.stage_graphs.iter().map(|(sub, _)| sub.len()).sum();
+        assert_eq!(covered, g.len());
+        // config_of resolves for every node with the right rank
+        for (id, node) in g.iter() {
+            assert_eq!(plan.config_of(id).rank(), node.rank());
+            assert!(plan.config_of(id).product() <= u64::from(plan.devices_per_stage));
+        }
+    }
+
+    #[test]
+    fn invalid_stage_counts_are_rejected() {
+        let g = Benchmark::AlexNet.build();
+        let machine = MachineSpec::gtx1080ti();
+        assert!(plan_pipeline(
+            &g,
+            8,
+            &machine,
+            &PipelineOptions {
+                stages: 3,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(plan_pipeline(
+            &g,
+            8,
+            &machine,
+            &PipelineOptions {
+                stages: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(plan_pipeline(
+            &g,
+            32,
+            &machine,
+            &PipelineOptions {
+                stages: 16,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stages_are_contiguous_in_topological_order() {
+        let g = Benchmark::InceptionV3.build();
+        let machine = MachineSpec::gtx1080ti();
+        let plan = plan_pipeline(
+            &g,
+            8,
+            &machine,
+            &PipelineOptions {
+                stages: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let order = pase_graph::topo_order(&g).unwrap();
+        let stages_along: Vec<usize> = order.iter().map(|&v| plan.stage_of[v.index()]).collect();
+        for w in stages_along.windows(2) {
+            assert!(
+                w[1] >= w[0],
+                "stage order must be monotone along topo order"
+            );
+        }
+    }
+}

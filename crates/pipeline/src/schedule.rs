@@ -1,0 +1,165 @@
+//! GPipe-style pipeline timing of a [`PipelinePlan`].
+//!
+//! The step splits the mini-batch into `M` microbatches that flow through
+//! the `S` stages; with per-stage microbatch time `t_i / M` the classic
+//! fill/drain schedule costs `(M + S − 1)/M · max_i t_i`. Stage-boundary
+//! activations move between device groups once per microbatch; all but the
+//! pipeline-depth's worth overlap with compute, so the critical path pays
+//! `(S − 1)/M` boundary transfers.
+
+use crate::plan::PipelinePlan;
+use pase_graph::Graph;
+use pase_sim::{batch_size, simulate_step, SimOptions, Topology};
+
+/// Timing of a pipelined step.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Full-batch time of each stage on its device group (seconds).
+    pub stage_seconds: Vec<f64>,
+    /// Total boundary-activation bytes per step (forward + backward).
+    pub boundary_bytes: f64,
+    /// Pipeline bubble factor `(M + S − 1)/M`.
+    pub bubble_factor: f64,
+    /// End-to-end step seconds.
+    pub step_seconds: f64,
+    /// Samples per second.
+    pub throughput: f64,
+}
+
+/// Time one pipelined training step of `plan` for the original `graph` on
+/// `p = S · devices_per_stage` devices of `machine`.
+pub fn simulate_pipeline(
+    graph: &Graph,
+    plan: &PipelinePlan,
+    topology_per_stage: &Topology,
+    opts: &SimOptions,
+) -> PipelineReport {
+    let s = plan.stages();
+    let m = f64::from(plan.microbatches.max(1));
+
+    // Per-stage full-batch times on the stage's own device group.
+    let stage_seconds: Vec<f64> = plan
+        .stage_graphs
+        .iter()
+        .zip(&plan.stage_strategies)
+        .map(|((sub, _), strategy)| {
+            if sub.is_empty() {
+                0.0
+            } else {
+                simulate_step(sub, strategy, topology_per_stage, opts).step_seconds
+            }
+        })
+        .collect();
+
+    // Boundary tensors: edges of the original graph crossing stages.
+    let mut boundary_bytes = 0.0;
+    for e in graph.edges() {
+        if plan.stage_of[e.src.index()] != plan.stage_of[e.dst.index()] {
+            boundary_bytes += 2.0 * graph.node(e.src).output.bytes();
+        }
+    }
+
+    let bubble_factor = (m + s as f64 - 1.0) / m;
+    let slowest = stage_seconds.iter().copied().fold(0.0, f64::max);
+    // Boundary transfers ride the inter-node fabric between stage groups;
+    // only the fill/drain fraction is exposed on the critical path.
+    let boundary_exposed =
+        boundary_bytes / topology_per_stage.bandwidth(false) * (s as f64 - 1.0).max(0.0) / m;
+    let step_seconds = bubble_factor * slowest + boundary_exposed;
+    let throughput = batch_size(graph) as f64 / step_seconds.max(f64::MIN_POSITIVE);
+
+    PipelineReport {
+        stage_seconds,
+        boundary_bytes,
+        bubble_factor,
+        step_seconds,
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{plan_pipeline, PipelineOptions};
+    use pase_cost::MachineSpec;
+    use pase_models::{transformer, Benchmark, TransformerConfig};
+
+    #[test]
+    fn one_stage_pipeline_has_no_bubble_or_boundary() {
+        let g = Benchmark::AlexNet.build();
+        let machine = MachineSpec::gtx1080ti();
+        let plan = plan_pipeline(
+            &g,
+            8,
+            &machine,
+            &PipelineOptions {
+                stages: 1,
+                microbatches: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let topo = Topology::cluster(machine, 8);
+        let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
+        assert_eq!(rep.boundary_bytes, 0.0);
+        assert_eq!(rep.bubble_factor, 1.0);
+        assert_eq!(rep.stage_seconds.len(), 1);
+        assert!((rep.step_seconds - rep.stage_seconds[0]).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn deeper_pipelines_shrink_stage_times_but_pay_bubbles() {
+        let g = transformer(&TransformerConfig::paper());
+        let machine = MachineSpec::gtx1080ti();
+        let p = 16;
+        let mk = |stages: usize| {
+            let plan = plan_pipeline(
+                &g,
+                p,
+                &machine,
+                &PipelineOptions {
+                    stages,
+                    microbatches: 8,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let topo = Topology::cluster(machine.clone(), p / stages as u32);
+            simulate_pipeline(&g, &plan, &topo, &SimOptions::default())
+        };
+        let two = mk(2);
+        let four = mk(4);
+        assert!(two.boundary_bytes > 0.0);
+        assert!(four.bubble_factor > two.bubble_factor);
+        // each stage of the 4-deep pipeline does less work than of the
+        // 2-deep one (fewer layers), but on fewer devices; both must be
+        // positive and finite.
+        for rep in [&two, &four] {
+            assert!(rep.step_seconds.is_finite() && rep.step_seconds > 0.0);
+            assert!(rep.throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_microbatches_improve_efficiency() {
+        let g = transformer(&TransformerConfig::paper());
+        let machine = MachineSpec::gtx1080ti();
+        let p = 8;
+        let mk = |microbatches: u32| {
+            let plan = plan_pipeline(
+                &g,
+                p,
+                &machine,
+                &PipelineOptions {
+                    stages: 2,
+                    microbatches,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let topo = Topology::cluster(machine.clone(), p / 2);
+            simulate_pipeline(&g, &plan, &topo, &SimOptions::default())
+        };
+        assert!(mk(16).step_seconds < mk(2).step_seconds);
+    }
+}

@@ -1,0 +1,126 @@
+//! α–β timing of collective operations.
+//!
+//! Each collective over a group of `g` devices is timed with the classic
+//! latency–bandwidth model: ring algorithms take `g − 1` (all-gather /
+//! reduce-scatter) or `2(g − 1)` (all-reduce) steps of `volume/g` bytes
+//! each, plus per-step latency `α`.
+
+/// Time (seconds) of a ring all-reduce of `volume` bytes across `group`
+/// devices over links with `bandwidth` bytes/s and `alpha` seconds latency.
+pub fn all_reduce_time(volume: f64, group: u32, bandwidth: f64, alpha: f64) -> f64 {
+    if group <= 1 {
+        return 0.0;
+    }
+    let g = f64::from(group);
+    2.0 * (g - 1.0) / g * volume / bandwidth + 2.0 * (g - 1.0) * alpha
+}
+
+/// Time of a ring all-gather producing `volume` total bytes.
+pub fn all_gather_time(volume: f64, group: u32, bandwidth: f64, alpha: f64) -> f64 {
+    if group <= 1 {
+        return 0.0;
+    }
+    let g = f64::from(group);
+    (g - 1.0) / g * volume / bandwidth + (g - 1.0) * alpha
+}
+
+/// Time of an all-to-all personalized exchange: each of `group` devices
+/// scatters `volume` bytes (its full buffer) in `group − 1` messages of
+/// `volume/group` each. Used when a resharding touches every pair of
+/// devices (e.g. a batch-split → vocabulary-split boundary).
+pub fn all_to_all_time(volume: f64, group: u32, bandwidth: f64, alpha: f64) -> f64 {
+    if group <= 1 {
+        return 0.0;
+    }
+    let g = f64::from(group);
+    (g - 1.0) / g * volume / bandwidth + (g - 1.0) * alpha
+}
+
+/// Time of a neighbor point-to-point exchange of `volume` bytes.
+pub fn p2p_time(volume: f64, bandwidth: f64, alpha: f64) -> f64 {
+    if volume <= 0.0 {
+        return 0.0;
+    }
+    volume / bandwidth + alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_groups_are_free() {
+        assert_eq!(all_reduce_time(1e9, 1, 1e9, 1e-6), 0.0);
+        assert_eq!(all_gather_time(1e9, 1, 1e9, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_approaches_two_transfers() {
+        // Large groups: ~2 · volume / bandwidth.
+        let t = all_reduce_time(1e9, 64, 1e9, 0.0);
+        assert!((t - 2.0 * 63.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_messages() {
+        let big_alpha = all_reduce_time(8.0, 8, 1e12, 1e-5);
+        assert!(big_alpha > 1e-4); // 14 steps × 10 µs
+    }
+
+    #[test]
+    fn all_to_all_matches_all_gather_volume_shape() {
+        // same per-device traffic shape as an all-gather of the buffer
+        assert_eq!(
+            all_to_all_time(1e6, 8, 1e9, 0.0),
+            all_gather_time(1e6, 8, 1e9, 0.0)
+        );
+        assert_eq!(all_to_all_time(1e6, 1, 1e9, 1e-6), 0.0);
+        assert!(all_to_all_time(8.0, 16, 1e12, 1e-5) > 1e-4); // latency bound
+    }
+
+    #[test]
+    fn p2p_is_linear_in_volume() {
+        assert_eq!(p2p_time(1e6, 1e9, 0.0), 1e-3);
+        assert_eq!(p2p_time(0.0, 1e9, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn slower_links_cost_more() {
+        let fast = all_reduce_time(1e8, 8, 12e9, 5e-6);
+        let slow = all_reduce_time(1e8, 8, 5e9, 5e-6);
+        assert!(slow > fast);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Times are nonnegative, monotone in volume, and an all-reduce
+            /// always costs at least an all-gather of the same buffer.
+            #[test]
+            fn collective_time_invariants(
+                vol in 1.0f64..1e10,
+                group in 2u32..128,
+                bw in 1e8f64..1e11,
+                alpha in 0.0f64..1e-4,
+            ) {
+                let ar = all_reduce_time(vol, group, bw, alpha);
+                let ag = all_gather_time(vol, group, bw, alpha);
+                prop_assert!(ar >= 0.0 && ag >= 0.0);
+                prop_assert!(ar >= ag);
+                prop_assert!(all_reduce_time(2.0 * vol, group, bw, alpha) > ar);
+                // latency-free time is bounded by two full transfers
+                prop_assert!(all_reduce_time(vol, group, bw, 0.0) <= 2.0 * vol / bw);
+            }
+
+            /// p2p time is exactly linear.
+            #[test]
+            fn p2p_linearity(vol in 1.0f64..1e9, bw in 1e8f64..1e11) {
+                let one = p2p_time(vol, bw, 0.0);
+                let two = p2p_time(2.0 * vol, bw, 0.0);
+                prop_assert!((two - 2.0 * one).abs() <= 1e-12 * two.abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # pase-sim — cluster execution simulator (the §IV testbed substitute)
+//!
+//! The paper evaluates strategies by running them in Mesh-TensorFlow on
+//! multi-node clusters of 1080Ti / 2080Ti GPUs. Without that hardware, this
+//! crate simulates a training step on a **hierarchical topology** (nodes ×
+//! devices, fast intra-node links, slower inter-node links):
+//!
+//! * [`Topology`] — cluster shape + a [`pase_cost::MachineSpec`] profile;
+//! * [`Placement`] — the canonical aligned device assignment implied by a
+//!   configuration (batch-major mixed radix, replicas innermost), giving
+//!   each communication group a stride/extent from which its link class
+//!   (intra- vs inter-node) follows;
+//! * [`collectives`] — α–β timing of ring all-reduce / all-gather and
+//!   point-to-point exchanges;
+//! * [`simulate_step`] — per-step timing of a complete strategy: per-layer
+//!   compute, intra-layer collectives (from
+//!   [`pase_cost::layer_comm_events`]), inter-layer resharding transfers,
+//!   and the update-phase gradient synchronization, with partial
+//!   compute/communication overlap;
+//! * [`memory_per_device`] — per-device footprint (weights + activations +
+//!   communication buffers), reproducing the paper's memory argument
+//!   against pure data parallelism.
+//!
+//! The simulator is deliberately *richer* than the analytical cost model
+//! (hierarchical bandwidths, latency terms, overlap) so that Fig. 6's
+//! throughput comparisons are made against an independent ground truth
+//! rather than against the objective the DP optimized.
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+mod memory;
+mod placement;
+mod step;
+mod topology;
+
+pub use memory::memory_per_device;
+pub use placement::{Placement, PlacementPolicy};
+pub use step::{
+    batch_size, simulate_step, simulate_step_trace, speedup_over, LayerTiming, SimOptions,
+    StepReport,
+};
+pub use topology::Topology;

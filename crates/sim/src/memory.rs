@@ -1,0 +1,71 @@
+//! Per-device memory footprint.
+//!
+//! PaSE §II argues that minimizing communication also indirectly minimizes
+//! memory: the per-device footprint is (i) the sharded tensors (weights +
+//! activations, shrinking with the split) plus (ii) communication buffers
+//! (proportional to the communication the objective minimizes). This module
+//! reproduces that accounting, and with it the paper's motivation claim
+//! that data parallelism "suffers from … high memory requirement" because
+//! it replicates every parameter.
+
+use crate::placement::Placement;
+use crate::topology::Topology;
+use pase_cost::{layer_comm_events, shard_bytes, Strategy};
+use pase_graph::Graph;
+
+/// Estimated peak bytes per device under `strategy`: parameter shards
+/// (plus gradient + optimizer state, 3× the weight bytes), activation
+/// shards of every layer output (live for the backward pass), and the
+/// largest communication buffer.
+pub fn memory_per_device(graph: &Graph, strategy: &Strategy, topology: &Topology) -> f64 {
+    let p = topology.devices();
+    let mut total = 0.0;
+    let mut max_buffer = 0.0f64;
+    for (id, node) in graph.iter() {
+        let cfg = strategy.config(id);
+        let _placement = Placement::for_config(cfg, p);
+        // weights + gradients + momentum: 3× the parameter shard
+        let weight_shard: f64 = node.params.iter().map(|t| shard_bytes(t, cfg)).sum();
+        total += 3.0 * weight_shard;
+        // activations (outputs kept for backprop)
+        total += shard_bytes(&node.output, cfg);
+        for e in layer_comm_events(node, cfg) {
+            max_buffer = max_buffer.max(e.volume);
+        }
+    }
+    total + max_buffer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_baselines::{data_parallel, owt};
+    use pase_cost::MachineSpec;
+    use pase_models::{alexnet, AlexNetConfig};
+
+    #[test]
+    fn data_parallelism_replicates_parameters() {
+        // DP memory barely shrinks with p (weights replicated); OWT shards
+        // the big FC weights, so its footprint is much smaller.
+        let g = alexnet(&AlexNetConfig::paper());
+        let t = Topology::cluster(MachineSpec::gtx1080ti(), 32);
+        let dp_mem = memory_per_device(&g, &data_parallel(&g, 32), &t);
+        let owt_mem = memory_per_device(&g, &owt(&g, 32), &t);
+        assert!(
+            dp_mem > 1.5 * owt_mem,
+            "dp = {:.1} MiB vs owt = {:.1} MiB",
+            dp_mem / (1 << 20) as f64,
+            owt_mem / (1 << 20) as f64
+        );
+    }
+
+    #[test]
+    fn splitting_reduces_footprint() {
+        let g = alexnet(&AlexNetConfig::paper());
+        let t8 = Topology::cluster(MachineSpec::gtx1080ti(), 8);
+        let t32 = Topology::cluster(MachineSpec::gtx1080ti(), 32);
+        let m8 = memory_per_device(&g, &owt(&g, 8), &t8);
+        let m32 = memory_per_device(&g, &owt(&g, 32), &t32);
+        assert!(m32 < m8);
+    }
+}

@@ -1,0 +1,278 @@
+//! Canonical device placement.
+//!
+//! A configuration specifies *how many* pieces each iteration dimension is
+//! split into but not *which device* runs each piece (PaSE §II). The paper
+//! notes that "a simple greedy assignment that maximizes data locality
+//! works sufficiently well in practice"; the canonical equivalent used here
+//! (and by Mesh-TF-style device meshes) is a **mixed-radix layout**:
+//!
+//! * iteration dimensions are radix digits in declaration order, dimension
+//!   0 (conventionally the batch) outermost — so data-parallel replicas
+//!   span nodes while model-parallel groups stay inside a node, matching
+//!   how real deployments lay out hybrid strategies;
+//! * when a configuration uses fewer than `p` devices, the shard is
+//!   replicated across the leftover factor as the *innermost* digit, so
+//!   replicas sit on adjacent devices.
+//!
+//! Because every digit is a power of two, any communication group (a set
+//! of devices that vary only in some digits) lies inside an *aligned block*
+//! whose extent is `stride · radix` of its outermost digit; comparing that
+//! block to the node size classifies the group as intra- or inter-node.
+
+use pase_cost::Config;
+
+/// The device layout implied by a configuration on `p` devices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Stride of each iteration dimension's digit in the device index.
+    strides: Vec<u64>,
+    /// Split factor per iteration dimension.
+    radix: Vec<u64>,
+    /// Devices actively computing distinct shards (`∏ c_i`).
+    used: u64,
+    /// Replication factor filling the remaining devices.
+    replicas: u64,
+}
+
+/// How each node's split dimensions are mapped onto the device grid.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Iteration dims as radix digits in declaration order, dim 0 (batch)
+    /// outermost — the Mesh-TensorFlow-style static mesh.
+    #[default]
+    Canonical,
+    /// The paper's §II greedy locality maximization, applied at the level
+    /// the simulator can observe: dimensions whose splits carry the most
+    /// intra-layer communication are placed *innermost*, so their groups
+    /// land inside a node's fast links.
+    CommAware,
+}
+
+impl Placement {
+    /// Lay out `cfg` on `p` devices with the canonical (declaration-order)
+    /// digit assignment.
+    pub fn for_config(cfg: &Config, p: u32) -> Self {
+        let order: Vec<usize> = (0..cfg.rank()).collect();
+        Self::for_config_with_order(cfg, p, &order)
+    }
+
+    /// Lay out `cfg` on `p` devices with an explicit digit order: `order`
+    /// lists the iteration dimensions from **outermost to innermost**
+    /// (must be a permutation of `0..rank`).
+    pub fn for_config_with_order(cfg: &Config, p: u32, order: &[usize]) -> Self {
+        debug_assert_eq!(order.len(), cfg.rank(), "digit order must cover every dim");
+        let radix: Vec<u64> = (0..cfg.rank()).map(|i| u64::from(cfg.split(i))).collect();
+        let used: u64 = radix.iter().product();
+        let replicas = if used > 0 && u64::from(p) % used == 0 && used <= u64::from(p) {
+            u64::from(p) / used
+        } else {
+            1
+        };
+        // Mixed radix over `order`, replicas innermost.
+        let mut strides = vec![replicas; cfg.rank()];
+        let mut stride = replicas;
+        for &d in order.iter().rev() {
+            strides[d] = stride;
+            stride *= radix[d];
+        }
+        Self {
+            strides,
+            radix,
+            used,
+            replicas,
+        }
+    }
+
+    /// Lay out `cfg` according to `policy`. For [`PlacementPolicy::CommAware`],
+    /// `comm_weight[d]` is the total communication volume (bytes) of events
+    /// whose group includes dimension `d`; heavier dims are placed
+    /// innermost.
+    pub fn for_config_with_policy(
+        cfg: &Config,
+        p: u32,
+        policy: PlacementPolicy,
+        comm_weight: &[f64],
+    ) -> Self {
+        match policy {
+            PlacementPolicy::Canonical => Self::for_config(cfg, p),
+            PlacementPolicy::CommAware => {
+                debug_assert_eq!(comm_weight.len(), cfg.rank());
+                let mut order: Vec<usize> = (0..cfg.rank()).collect();
+                // outermost → innermost: ascending communication weight,
+                // declaration order as the tiebreak (keeps batch outermost
+                // when weights are equal, preserving cross-layer alignment).
+                order.sort_by(|&a, &b| {
+                    comm_weight[a]
+                        .partial_cmp(&comm_weight[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                Self::for_config_with_order(cfg, p, &order)
+            }
+        }
+    }
+
+    /// Devices computing distinct shards.
+    pub fn used_devices(&self) -> u64 {
+        self.used
+    }
+
+    /// Replication factor over leftover devices.
+    pub fn replicas(&self) -> u64 {
+        self.replicas
+    }
+
+    /// Stride of iteration dimension `d`'s digit.
+    pub fn stride(&self, d: usize) -> u64 {
+        self.strides[d]
+    }
+
+    /// Extent of the smallest aligned device block containing a
+    /// communication group over the given iteration dimensions: the
+    /// `stride · radix` of the outermost participating digit (1 if no
+    /// participating dimension is actually split).
+    pub fn group_block(&self, group_dims: &[u32]) -> u64 {
+        group_dims
+            .iter()
+            .filter(|&&d| self.radix[d as usize] > 1)
+            .map(|&d| self.strides[d as usize] * self.radix[d as usize])
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Block extent of the replica group (for gradient sync of unsplit
+    /// nodes replicated over leftover devices): replicas are innermost, so
+    /// their block is just the replica count.
+    pub fn replica_block(&self) -> u64 {
+        self.replicas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_strides_are_nested() {
+        // (4, 2, 2) on 16 devices: dim0 outermost (stride 4), dim2 innermost.
+        let p = Placement::for_config(&Config::new(&[4, 2, 2]), 16);
+        assert_eq!(p.used_devices(), 16);
+        assert_eq!(p.replicas(), 1);
+        assert_eq!(p.stride(2), 1);
+        assert_eq!(p.stride(1), 2);
+        assert_eq!(p.stride(0), 4);
+    }
+
+    #[test]
+    fn partial_config_replicates_innermost() {
+        // (4, 1) on 16 devices: 4 shards × 4 adjacent replicas.
+        let p = Placement::for_config(&Config::new(&[4, 1]), 16);
+        assert_eq!(p.used_devices(), 4);
+        assert_eq!(p.replicas(), 4);
+        assert_eq!(p.stride(0), 4);
+        assert_eq!(p.replica_block(), 4);
+    }
+
+    #[test]
+    fn group_block_takes_outermost_digit() {
+        let p = Placement::for_config(&Config::new(&[4, 2, 2]), 16);
+        // innermost dim (stride 1, radix 2): block of 2 → intra on 8/node
+        assert_eq!(p.group_block(&[2]), 2);
+        // outermost dim (stride 4, radix 4): block of 16 → spans 2 nodes
+        assert_eq!(p.group_block(&[0]), 16);
+        // combined middle+inner: block of 4
+        assert_eq!(p.group_block(&[1, 2]), 4);
+        // unsplit dims contribute nothing
+        let q = Placement::for_config(&Config::new(&[1, 8]), 8);
+        assert_eq!(q.group_block(&[0]), 1);
+    }
+
+    #[test]
+    fn explicit_order_controls_strides() {
+        // order (2, 0, 1): dim 2 outermost, dim 1 innermost.
+        let p = Placement::for_config_with_order(&Config::new(&[2, 4, 2]), 16, &[2, 0, 1]);
+        assert_eq!(p.stride(1), 1);
+        assert_eq!(p.stride(0), 4);
+        assert_eq!(p.stride(2), 8);
+    }
+
+    #[test]
+    fn comm_aware_places_heavy_dims_innermost() {
+        // dim 0 (batch, split 4) carries heavy comm; canonical puts it
+        // outermost (block 16 → inter-node on 8-per-node), comm-aware pulls
+        // it innermost (block 4 → intra-node).
+        let cfg = Config::new(&[4, 4]);
+        let canonical =
+            Placement::for_config_with_policy(&cfg, 16, PlacementPolicy::Canonical, &[1e9, 0.0]);
+        let aware =
+            Placement::for_config_with_policy(&cfg, 16, PlacementPolicy::CommAware, &[1e9, 0.0]);
+        assert_eq!(canonical.group_block(&[0]), 16);
+        assert_eq!(aware.group_block(&[0]), 4);
+        // without weights differences, comm-aware degenerates to canonical
+        let flat =
+            Placement::for_config_with_policy(&cfg, 16, PlacementPolicy::CommAware, &[0.0, 0.0]);
+        assert_eq!(flat, canonical);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any pow-2 config and any digit permutation: strides are a
+            /// bijection onto used devices, and every single-dim group block
+            /// divides the used-device count.
+            #[test]
+            fn placement_strides_form_a_bijection(
+                exps in prop::collection::vec(0u32..3, 1..5),
+                seed in 0u64..64,
+            ) {
+                let splits: Vec<u32> = exps.iter().map(|e| 1 << e).collect();
+                let cfg = Config::new(&splits);
+                let used = cfg.product() as u32;
+                let p = used; // exact fit
+                let mut order: Vec<usize> = (0..cfg.rank()).collect();
+                // pseudo-shuffle by seed
+                for i in (1..order.len()).rev() {
+                    order.swap(i, (seed as usize + i) % (i + 1));
+                }
+                let pl = Placement::for_config_with_order(&cfg, p, &order);
+                // enumerate all digit combinations → device ids must be unique
+                let mut ids = std::collections::BTreeSet::new();
+                let mut digits = vec![0u64; cfg.rank()];
+                loop {
+                    let id: u64 = (0..cfg.rank())
+                        .map(|d| digits[d] * pl.stride(d))
+                        .sum();
+                    prop_assert!(ids.insert(id), "duplicate device id {id}");
+                    // odometer increment
+                    let mut d = 0;
+                    loop {
+                        if d == cfg.rank() { break; }
+                        digits[d] += 1;
+                        if digits[d] < u64::from(cfg.split(d)) { break; }
+                        digits[d] = 0;
+                        d += 1;
+                    }
+                    if d == cfg.rank() { break; }
+                }
+                prop_assert_eq!(ids.len() as u32, used);
+                prop_assert!(ids.iter().all(|&id| id < u64::from(p)));
+                for d in 0..cfg.rank() {
+                    let block = pl.group_block(&[d as u32]);
+                    prop_assert!(u64::from(used) % block == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_major_layout_keeps_model_groups_local() {
+        // The hybrid (batch 8, model 4) layout on 32 devices: the model
+        // group (dim 1) occupies an aligned block of 4 ≤ 8 → intra-node;
+        // the batch group spans the whole machine.
+        let p = Placement::for_config(&Config::new(&[8, 4]), 32);
+        assert_eq!(p.group_block(&[1]), 4);
+        assert_eq!(p.group_block(&[0]), 32);
+    }
+}

@@ -1,0 +1,454 @@
+//! Per-step simulation of a complete strategy.
+
+use crate::collectives::{all_gather_time, all_reduce_time, p2p_time};
+use crate::placement::{Placement, PlacementPolicy};
+use crate::topology::Topology;
+use pase_cost::{
+    layer_comm_events, layer_compute_flops, transfer_bytes, Collective, CommKind, Strategy,
+};
+use pase_graph::{DimRole, Graph};
+
+/// Simulation knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Fraction of total compute time that communication can hide behind
+    /// (Mesh-TensorFlow overlaps inter-layer transfers with compute; the
+    /// paper's §IV-B explicitly allows the framework such optimizations
+    /// even though the cost model ignores them).
+    pub overlap: f64,
+    /// How per-node split dimensions map onto the device grid (the §II
+    /// greedy locality assignment vs the canonical batch-major mesh).
+    pub placement: PlacementPolicy,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            overlap: 0.3,
+            placement: PlacementPolicy::Canonical,
+        }
+    }
+}
+
+/// Timing breakdown of one simulated training step.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Per-device compute time on the critical path (seconds).
+    pub compute_seconds: f64,
+    /// Intra-layer collective time (partial reductions, halos, …).
+    pub intra_layer_seconds: f64,
+    /// Inter-layer resharding transfer time.
+    pub transfer_seconds: f64,
+    /// Update-phase gradient synchronization time.
+    pub gradient_sync_seconds: f64,
+    /// Total step time after compute/communication overlap.
+    pub step_seconds: f64,
+    /// Training throughput in samples/second.
+    pub throughput: f64,
+}
+
+impl StepReport {
+    /// Total communication time before overlap.
+    pub fn comm_seconds(&self) -> f64 {
+        self.intra_layer_seconds + self.transfer_seconds + self.gradient_sync_seconds
+    }
+}
+
+/// The mini-batch size of the model: the batch-dimension extent of the
+/// first node that has one.
+pub fn batch_size(graph: &Graph) -> u64 {
+    graph
+        .nodes()
+        .iter()
+        .find_map(|n| {
+            n.iter_space
+                .iter()
+                .find(|d| d.role == DimRole::Batch)
+                .map(|d| d.size)
+        })
+        .unwrap_or(1)
+}
+
+/// Per-layer timing row of a [`simulate_step_trace`].
+#[derive(Clone, Debug)]
+pub struct LayerTiming {
+    /// The layer.
+    pub node: pase_graph::NodeId,
+    /// Per-device compute seconds.
+    pub compute: f64,
+    /// Intra-layer collective seconds (partial reductions, halos, …).
+    pub intra_layer: f64,
+    /// Update-phase gradient-sync seconds.
+    pub gradient_sync: f64,
+}
+
+/// Simulate one training step of `strategy` on `topology`.
+pub fn simulate_step(
+    graph: &Graph,
+    strategy: &Strategy,
+    topology: &Topology,
+    opts: &SimOptions,
+) -> StepReport {
+    simulate_step_trace(graph, strategy, topology, opts).0
+}
+
+/// [`simulate_step`] plus the per-layer breakdown (used by diagnostics and
+/// the CLI's trace output). The row sums equal the report's aggregates
+/// exactly.
+pub fn simulate_step_trace(
+    graph: &Graph,
+    strategy: &Strategy,
+    topology: &Topology,
+    opts: &SimOptions,
+) -> (StepReport, Vec<LayerTiming>) {
+    assert_eq!(
+        strategy.len(),
+        graph.len(),
+        "strategy must cover every node"
+    );
+    let p = topology.devices();
+    let peak = topology.machine().peak_flops;
+
+    let mut compute = 0.0;
+    let mut intra_layer = 0.0;
+    let mut grad_sync = 0.0;
+    let mut rows = Vec::with_capacity(graph.len());
+
+    for (id, node) in graph.iter() {
+        let cfg = strategy.config(id);
+        let mut row = LayerTiming {
+            node: id,
+            compute: layer_compute_flops(node, cfg) / peak,
+            intra_layer: 0.0,
+            gradient_sync: 0.0,
+        };
+        compute += row.compute;
+        let events = layer_comm_events(node, cfg);
+        // Per-dimension communication weights drive the comm-aware digit
+        // assignment.
+        let mut comm_weight = vec![0.0f64; node.rank()];
+        for event in &events {
+            for &d in &event.group_dims {
+                comm_weight[d as usize] += event.volume;
+            }
+        }
+        let placement = Placement::for_config_with_policy(cfg, p, opts.placement, &comm_weight);
+        for event in events {
+            // Locate the group on the device grid, then classify its links.
+            let mut block = placement.group_block(&event.group_dims);
+            if event.kind == CommKind::GradientSync {
+                // Replicas over leftover devices also need their gradients
+                // synchronized; fold them into the sync group's block.
+                block = block.max(placement.replica_block());
+            }
+            let intra = topology.block_is_intra(block);
+            let bw = topology.bandwidth(intra);
+            let alpha = topology.alpha(intra);
+            let group = if event.kind == CommKind::GradientSync {
+                event.group * placement.replicas().max(1) as u32
+            } else {
+                event.group
+            };
+            let t = match event.collective {
+                Collective::AllReduce => all_reduce_time(event.volume, group, bw, alpha),
+                Collective::AllGather => all_gather_time(event.volume, group, bw, alpha),
+                Collective::PointToPoint => p2p_time(event.volume, bw, alpha),
+            };
+            if event.kind == CommKind::GradientSync {
+                grad_sync += t;
+                row.gradient_sync += t;
+            } else {
+                intra_layer += t;
+                row.intra_layer += t;
+            }
+        }
+        // Unsplit replicated parametric layers still sync their gradients
+        // across the replica group even when no event fired (the layer had
+        // no split at all but p devices hold copies).
+        if node.op.has_params() && placement.replicas() > 1 {
+            let already = layer_comm_events(node, cfg)
+                .iter()
+                .any(|e| e.kind == CommKind::GradientSync);
+            if !already {
+                let vol: f64 = node
+                    .params
+                    .iter()
+                    .map(|t| pase_cost::shard_bytes(t, cfg))
+                    .sum();
+                let g = placement.replicas() as u32;
+                let intra = topology.block_is_intra(placement.replica_block());
+                let t = all_reduce_time(vol, g, topology.bandwidth(intra), topology.alpha(intra));
+                grad_sync += t;
+                row.gradient_sync += t;
+            }
+        }
+        rows.push(row);
+    }
+
+    // Inter-layer resharding transfers. Traffic that crosses shard
+    // boundaries is split between intra- and inter-node links in proportion
+    // to the machine's layout (a uniform reshard keeps ~per_node/p of its
+    // traffic inside a node).
+    let mut transfer = 0.0;
+    let intra_frac = f64::from(topology.devices_per_node()) / f64::from(p.max(1));
+    for e in graph.edges() {
+        let bytes = transfer_bytes(
+            graph.node(e.src),
+            strategy.config(e.src),
+            graph.node(e.dst),
+            e.dst_slot as usize,
+            strategy.config(e.dst),
+        );
+        if bytes <= 0.0 {
+            continue;
+        }
+        if p <= topology.devices_per_node() {
+            transfer += p2p_time(bytes, topology.bandwidth(true), topology.alpha(true));
+        } else {
+            transfer += p2p_time(bytes * intra_frac, topology.bandwidth(true), 0.0)
+                + p2p_time(
+                    bytes * (1.0 - intra_frac),
+                    topology.bandwidth(false),
+                    topology.alpha(false),
+                );
+        }
+    }
+
+    let comm = intra_layer + transfer + grad_sync;
+    let hidden = (opts.overlap * compute).min(comm);
+    let step_seconds = compute + comm - hidden;
+    let throughput = batch_size(graph) as f64 / step_seconds;
+
+    (
+        StepReport {
+            compute_seconds: compute,
+            intra_layer_seconds: intra_layer,
+            transfer_seconds: transfer,
+            gradient_sync_seconds: grad_sync,
+            step_seconds,
+            throughput,
+        },
+        rows,
+    )
+}
+
+/// Throughput ratio of `strategy` over `baseline` (Fig. 6's y-axis).
+pub fn speedup_over(
+    graph: &Graph,
+    strategy: &Strategy,
+    baseline: &Strategy,
+    topology: &Topology,
+    opts: &SimOptions,
+) -> f64 {
+    let s = simulate_step(graph, strategy, topology, opts);
+    let b = simulate_step(graph, baseline, topology, opts);
+    s.throughput / b.throughput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_baselines::{data_parallel, owt};
+    use pase_cost::{Config, MachineSpec};
+    use pase_models::{alexnet, mlp, AlexNetConfig, MlpConfig};
+
+    fn topo(p: u32) -> Topology {
+        Topology::cluster(MachineSpec::gtx1080ti(), p)
+    }
+
+    #[test]
+    fn sequential_strategy_is_pure_compute_plus_replica_sync() {
+        let g = mlp(&MlpConfig::default());
+        let seq = Strategy::sequential(&g);
+        let t = Topology::cluster(MachineSpec::gtx1080ti(), 1);
+        let rep = simulate_step(&g, &seq, &t, &SimOptions::default());
+        assert!(
+            rep.comm_seconds() == 0.0,
+            "single device must not communicate"
+        );
+        assert!(rep.compute_seconds > 0.0);
+        assert_eq!(rep.step_seconds, rep.compute_seconds);
+    }
+
+    #[test]
+    fn data_parallel_scales_compute_but_adds_sync() {
+        // A compute-heavy shape (fat batch, modest weights) where data
+        // parallelism genuinely pays off.
+        let g = mlp(&MlpConfig {
+            batch: 16384,
+            input: 1024,
+            hidden: vec![512],
+            classes: 1024,
+        });
+        let t1 = topo(1);
+        let t8 = topo(8);
+        let seq = Strategy::sequential(&g);
+        let dp = data_parallel(&g, 8);
+        let r1 = simulate_step(&g, &seq, &t1, &SimOptions::default());
+        let r8 = simulate_step(&g, &dp, &t8, &SimOptions::default());
+        assert!(r8.compute_seconds < r1.compute_seconds / 7.0);
+        assert!(r8.gradient_sync_seconds > 0.0);
+        assert!(r8.throughput > r1.throughput);
+    }
+
+    #[test]
+    fn data_parallel_sync_dominates_for_small_batch_large_model() {
+        // ... and the opposite shape, where the paper's motivation holds:
+        // gradient sync makes 8-way data parallelism *slower* than one
+        // device.
+        let g = mlp(&MlpConfig::default()); // batch 64, 4096-wide layers
+        let r1 = simulate_step(
+            &g,
+            &Strategy::sequential(&g),
+            &topo(1),
+            &SimOptions::default(),
+        );
+        let r8 = simulate_step(&g, &data_parallel(&g, 8), &topo(8), &SimOptions::default());
+        assert!(r8.gradient_sync_seconds > r8.compute_seconds);
+        assert!(r8.throughput < r1.throughput);
+    }
+
+    #[test]
+    fn owt_beats_data_parallelism_on_alexnet() {
+        // The paper's core observation: AlexNet's giant FC layers make the
+        // data-parallel gradient sync dominate; OWT avoids it.
+        let g = alexnet(&AlexNetConfig::paper());
+        let t = topo(32);
+        let dp = data_parallel(&g, 32);
+        let expert = owt(&g, 32);
+        let s = speedup_over(&g, &expert, &dp, &t, &SimOptions::default());
+        assert!(s > 1.0, "OWT speedup over DP = {s:.3}");
+    }
+
+    #[test]
+    fn low_machine_balance_amplifies_strategy_gaps() {
+        // §IV-B: inefficiencies are much more pronounced on 2080Ti nodes.
+        let g = alexnet(&AlexNetConfig::paper());
+        let dp = data_parallel(&g, 32);
+        let expert = owt(&g, 32);
+        let opts = SimOptions::default();
+        let s_1080 = speedup_over(
+            &g,
+            &expert,
+            &dp,
+            &Topology::cluster(MachineSpec::gtx1080ti(), 32),
+            &opts,
+        );
+        let s_2080 = speedup_over(
+            &g,
+            &expert,
+            &dp,
+            &Topology::cluster(MachineSpec::rtx2080ti(), 32),
+            &opts,
+        );
+        assert!(
+            s_2080 > s_1080,
+            "2080Ti speedup {s_2080:.3} should exceed 1080Ti speedup {s_1080:.3}"
+        );
+    }
+
+    #[test]
+    fn overlap_reduces_step_time() {
+        let g = alexnet(&AlexNetConfig::paper());
+        let t = topo(32);
+        let dp = data_parallel(&g, 32);
+        let none = simulate_step(
+            &g,
+            &dp,
+            &t,
+            &SimOptions {
+                overlap: 0.0,
+                ..SimOptions::default()
+            },
+        );
+        let some = simulate_step(
+            &g,
+            &dp,
+            &t,
+            &SimOptions {
+                overlap: 0.5,
+                ..SimOptions::default()
+            },
+        );
+        assert!(some.step_seconds < none.step_seconds);
+        assert_eq!(none.comm_seconds(), some.comm_seconds());
+    }
+
+    #[test]
+    fn trace_rows_sum_to_the_report() {
+        let g = alexnet(&AlexNetConfig::paper());
+        let t = topo(32);
+        let dp = data_parallel(&g, 32);
+        let (rep, rows) = simulate_step_trace(&g, &dp, &t, &SimOptions::default());
+        assert_eq!(rows.len(), g.len());
+        let compute: f64 = rows.iter().map(|r| r.compute).sum();
+        let intra: f64 = rows.iter().map(|r| r.intra_layer).sum();
+        let sync: f64 = rows.iter().map(|r| r.gradient_sync).sum();
+        assert!((compute - rep.compute_seconds).abs() <= 1e-12 * rep.compute_seconds);
+        assert!((intra - rep.intra_layer_seconds).abs() <= 1e-12 * intra.abs().max(1e-30));
+        assert!((sync - rep.gradient_sync_seconds).abs() <= 1e-12 * sync.abs().max(1e-30));
+        // the big FC layers dominate the sync column under DP
+        let fc1 = g
+            .iter()
+            .find(|(_, n)| n.name == "fc1")
+            .map(|(id, _)| id)
+            .unwrap();
+        let fc_row = rows.iter().find(|r| r.node == fc1).unwrap();
+        assert!(fc_row.gradient_sync > rep.gradient_sync_seconds * 0.4);
+    }
+
+    #[test]
+    fn batch_size_detection() {
+        let g = alexnet(&AlexNetConfig::paper());
+        assert_eq!(batch_size(&g), 128);
+    }
+
+    #[test]
+    fn comm_aware_placement_helps_reduction_heavy_strategies() {
+        use crate::placement::PlacementPolicy;
+        use pase_cost::Config;
+        // A GEMM whose *batch* split carries the gradient-sync traffic:
+        // canonical placement puts batch outermost (inter-node), comm-aware
+        // pulls it innermost.
+        let g = mlp(&MlpConfig {
+            batch: 64,
+            input: 4096,
+            hidden: vec![4096],
+            classes: 4096,
+        });
+        let t = topo(32);
+        // batch 4-way × out-features 8-way on every fc; softmax batch-split
+        let mut cfgs = vec![Config::new(&[4, 8, 1]); 2];
+        cfgs.push(Config::new(&[4, 8]));
+        let s = Strategy::new(cfgs);
+        let canonical = simulate_step(&g, &s, &t, &SimOptions::default());
+        let aware = simulate_step(
+            &g,
+            &s,
+            &t,
+            &SimOptions {
+                placement: PlacementPolicy::CommAware,
+                ..SimOptions::default()
+            },
+        );
+        assert!(
+            aware.gradient_sync_seconds <= canonical.gradient_sync_seconds,
+            "comm-aware {} vs canonical {}",
+            aware.gradient_sync_seconds,
+            canonical.gradient_sync_seconds
+        );
+    }
+
+    #[test]
+    fn misaligned_strategies_pay_transfer_time() {
+        let g = mlp(&MlpConfig::default());
+        let t = topo(8);
+        // fc0 batch-split, fc1 reduction-split → resharding edge
+        let mut configs = vec![Config::new(&[8, 1, 1]); 3];
+        configs[1] = Config::new(&[1, 1, 8]);
+        configs.push(Config::new(&[8, 1])); // softmax (b, n)
+        let s = Strategy::new(configs);
+        let rep = simulate_step(&g, &s, &t, &SimOptions::default());
+        assert!(rep.transfer_seconds > 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cluster topology.
+
+use pase_cost::MachineSpec;
+
+/// A hierarchical cluster: `nodes × devices_per_node` devices, fast
+/// intra-node links (PCIe in the paper's testbeds) and slower inter-node
+/// links (InfiniBand).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    machine: MachineSpec,
+    nodes: u32,
+    devices_per_node: u32,
+}
+
+impl Topology {
+    /// Build a topology with explicit shape.
+    pub fn new(machine: MachineSpec, nodes: u32, devices_per_node: u32) -> Self {
+        assert!(nodes >= 1 && devices_per_node >= 1);
+        Self {
+            machine,
+            nodes,
+            devices_per_node,
+        }
+    }
+
+    /// The paper's testbed shape for `p` GPUs: up to 8 GPUs per node,
+    /// spread across `p / per_node` nodes (§IV-B: 4 GPUs on a single node
+    /// up to 64 across 8 nodes). `per_node` is the largest divisor of `p`
+    /// not exceeding 8, so `devices()` always equals `p` exactly.
+    pub fn cluster(machine: MachineSpec, p: u32) -> Self {
+        assert!(p >= 1, "need at least one device");
+        let per_node = (1..=p.min(8))
+            .rev()
+            .find(|d| p.is_multiple_of(*d))
+            .expect("1 divides p");
+        Self::new(machine, p / per_node, per_node)
+    }
+
+    /// Total number of devices.
+    pub fn devices(&self) -> u32 {
+        self.nodes * self.devices_per_node
+    }
+
+    /// Devices per node.
+    pub fn devices_per_node(&self) -> u32 {
+        self.devices_per_node
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// The machine profile.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Bandwidth (bytes/s) of the link class. A collective that spans
+    /// nodes is bottlenecked by the *slowest* link on its ring — the
+    /// inter-node fabric or the intra-node bus, whichever is worse (on the
+    /// 2080Ti testbed the host-staged PCIe is the bottleneck even for
+    /// cross-node rings).
+    pub fn bandwidth(&self, intra: bool) -> f64 {
+        if intra {
+            self.machine.link_bandwidth
+        } else {
+            self.machine
+                .internode_bandwidth
+                .min(self.machine.link_bandwidth)
+        }
+    }
+
+    /// Per-message latency (seconds) of the link class.
+    pub fn alpha(&self, intra: bool) -> f64 {
+        if intra {
+            5e-6
+        } else {
+            15e-6
+        }
+    }
+
+    /// Whether a communication group confined to an aligned block of
+    /// `block` devices stays within one node.
+    pub fn block_is_intra(&self, block: u64) -> bool {
+        block <= u64::from(self.devices_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_shape_matches_paper_testbed() {
+        let m = MachineSpec::gtx1080ti();
+        let t4 = Topology::cluster(m.clone(), 4);
+        assert_eq!((t4.nodes(), t4.devices_per_node()), (1, 4));
+        let t8 = Topology::cluster(m.clone(), 8);
+        assert_eq!((t8.nodes(), t8.devices_per_node()), (1, 8));
+        let t64 = Topology::cluster(m, 64);
+        assert_eq!((t64.nodes(), t64.devices_per_node()), (8, 8));
+        assert_eq!(t64.devices(), 64);
+    }
+
+    #[test]
+    fn cluster_handles_non_multiples_of_eight() {
+        let m = MachineSpec::gtx1080ti();
+        let t12 = Topology::cluster(m.clone(), 12);
+        assert_eq!(t12.devices(), 12);
+        assert_eq!(t12.devices_per_node(), 6);
+        let t7 = Topology::cluster(m.clone(), 7);
+        assert_eq!(t7.devices(), 7);
+        assert_eq!((t7.nodes(), t7.devices_per_node()), (1, 7));
+        let t1 = Topology::cluster(m, 1);
+        assert_eq!(t1.devices(), 1);
+    }
+
+    #[test]
+    fn interconnect_is_slower_than_intranode() {
+        let t = Topology::cluster(MachineSpec::gtx1080ti(), 16);
+        assert!(t.bandwidth(true) > t.bandwidth(false));
+        assert!(t.alpha(true) < t.alpha(false));
+    }
+
+    #[test]
+    fn block_intra_classification() {
+        let t = Topology::cluster(MachineSpec::gtx1080ti(), 32);
+        assert!(t.block_is_intra(8));
+        assert!(t.block_is_intra(2));
+        assert!(!t.block_is_intra(16));
+    }
+}

@@ -1,0 +1,57 @@
+//! Sweep device counts and machine profiles for one model, printing the
+//! simulated scaling curves of data parallelism vs the PaSE strategy —
+//! the per-model slice of Fig. 6, plus absolute step times.
+//!
+//! ```text
+//! cargo run --release --example cluster_throughput [-- rnnlm|alexnet|inception|transformer]
+//! ```
+
+use pase::baselines::data_parallel;
+use pase::core::{find_best_strategy, DpOptions};
+use pase::cost::{ConfigRule, CostTables, MachineSpec};
+use pase::models::Benchmark;
+use pase::sim::{simulate_step, SimOptions, Topology};
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "rnnlm".to_string());
+    let bench = match which.as_str() {
+        "alexnet" => Benchmark::AlexNet,
+        "inception" => Benchmark::InceptionV3,
+        "rnnlm" => Benchmark::Rnnlm,
+        "transformer" => Benchmark::Transformer,
+        other => panic!("unknown model: {other}"),
+    };
+    println!(
+        "scaling curves for {} (weak scaling, Fig. 6 methodology)\n",
+        bench.name()
+    );
+
+    for machine in [MachineSpec::gtx1080ti(), MachineSpec::rtx2080ti()] {
+        println!("--- {} ---", machine.name);
+        println!(
+            "{:>4} {:>14} {:>14} {:>9}",
+            "p", "DP samples/s", "PaSE samples/s", "speedup"
+        );
+        for p in [4u32, 8, 16, 32, 64] {
+            let graph = bench.build_for(p);
+            let topo = Topology::cluster(machine.clone(), p);
+            let opts = SimOptions::default();
+            let dp = simulate_step(&graph, &data_parallel(&graph, p), &topo, &opts);
+            let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+            let result =
+                find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found("search");
+            let ours = tables.ids_to_strategy(&result.config_ids);
+            let rep = simulate_step(&graph, &ours, &topo, &opts);
+            println!(
+                "{:>4} {:>14.0} {:>14.0} {:>8.2}x",
+                p,
+                dp.throughput,
+                rep.throughput,
+                rep.throughput / dp.throughput
+            );
+        }
+        println!();
+    }
+}

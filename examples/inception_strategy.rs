@@ -1,0 +1,61 @@
+//! Search the full InceptionV3 graph (≈219 nodes) and compare the found
+//! strategy against data parallelism and the OWT expert strategy under the
+//! cluster simulator — the paper's benchmark (b) end to end.
+//!
+//! ```text
+//! cargo run --release --example inception_strategy
+//! ```
+
+use pase::baselines::{data_parallel, owt};
+use pase::core::{dependent_set_sizes, find_best_strategy, generate_seq, DpOptions};
+use pase::cost::{ConfigRule, CostTables, MachineSpec};
+use pase::models::{inception_v3, InceptionConfig};
+use pase::sim::{memory_per_device, simulate_step, SimOptions, Topology};
+
+fn main() {
+    let p = 32;
+    // Weak-scaling batch: 128 samples per device, as in the throughput
+    // protocol of §IV-B.
+    let graph = inception_v3(&InceptionConfig {
+        batch: 128 * u64::from(p),
+        classes: 1000,
+    });
+    println!(
+        "InceptionV3: {} nodes, {} edges, {:.1}M params",
+        graph.len(),
+        graph.edge_count(),
+        graph.total_params() / 1e6
+    );
+
+    // The ordering is what makes the search tractable (§III-C).
+    let order = generate_seq(&graph);
+    let m = dependent_set_sizes(&graph, &order)
+        .into_iter()
+        .max()
+        .unwrap();
+    println!("GenerateSeq max dependent set: {m} (breadth-first reaches ~11 and OOMs)");
+
+    let machine = MachineSpec::gtx1080ti();
+    let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+    let result =
+        find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found("inception search");
+    let ours = tables.ids_to_strategy(&result.config_ids);
+    println!("search took {:?}\n", result.stats.elapsed);
+
+    // Simulated throughput comparison (Fig. 6 methodology).
+    let topo = Topology::cluster(machine, p);
+    let opts = SimOptions::default();
+    for (name, strategy) in [
+        ("data parallel", data_parallel(&graph, p)),
+        ("OWT expert", owt(&graph, p)),
+        ("PaSE (ours)", ours),
+    ] {
+        let rep = simulate_step(&graph, &strategy, &topo, &opts);
+        println!(
+            "{name:<14} step {:.1} ms  throughput {:>8.0} samples/s  mem/device {:>6.0} MiB",
+            rep.step_seconds * 1e3,
+            rep.throughput,
+            memory_per_device(&graph, &strategy, &topo) / (1 << 20) as f64
+        );
+    }
+}

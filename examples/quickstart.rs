@@ -1,0 +1,52 @@
+//! Quickstart: find an efficient parallelization strategy for a small MLP
+//! and inspect it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pase::core::{find_best_strategy, DpOptions};
+use pase::cost::{ConfigRule, CostTables, MachineSpec};
+use pase::models::{mlp, MlpConfig};
+
+fn main() {
+    // 1. Describe the model as a computation graph. Every layer carries an
+    //    iteration space; a parallelization configuration will pick a split
+    //    factor per dimension.
+    let graph = mlp(&MlpConfig {
+        batch: 256,
+        input: 1024,
+        hidden: vec![4096, 4096],
+        classes: 1000,
+    });
+    println!(
+        "model: {} layers, {:.2} GFLOP/step",
+        graph.len(),
+        graph.total_step_flops() / 1e9
+    );
+
+    // 2. Pick a machine (sets the FLOP-to-byte ratio r = F/B of Eq. (1))
+    //    and a device count, and precompute the cost tables.
+    let machine = MachineSpec::gtx1080ti();
+    let p = 8;
+    let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+    println!(
+        "devices: {p}, machine: {} (r = {:.0} FLOP/byte), K = {} configs/layer max",
+        machine.name,
+        machine.flop_byte_ratio(),
+        tables.max_k()
+    );
+
+    // 3. Run FindBestStrategy (GenerateSeq ordering + the recurrence-(4)
+    //    dynamic program).
+    let result = find_best_strategy(&graph, &tables, &DpOptions::default())
+        .expect_found("mlp search fits any budget");
+    println!(
+        "search: {:?}, {} states evaluated, minimum cost {:.4e} FLOP-units\n",
+        result.stats.elapsed, result.stats.states_evaluated, result.cost
+    );
+
+    // 4. Inspect the strategy: which dimension each layer splits.
+    let strategy = tables.ids_to_strategy(&result.config_ids);
+    print!("{}", strategy.report(&graph));
+}

@@ -1,0 +1,70 @@
+//! Find a hybrid strategy for the Transformer NMT model and print it at
+//! module granularity (the paper's Table II reporting style), then compare
+//! against the Mesh-TensorFlow expert strategy under the simulator.
+//!
+//! ```text
+//! cargo run --release --example transformer_strategy
+//! ```
+
+use pase::baselines::{data_parallel, mesh_tf_expert};
+use pase::core::{find_best_strategy, DpOptions};
+use pase::cost::{ConfigRule, CostTables, MachineSpec};
+use pase::models::{transformer, TransformerConfig};
+use pase::sim::{simulate_step, SimOptions, Topology};
+
+fn main() {
+    let p = 16;
+    let graph = transformer(&TransformerConfig {
+        batch: 64 * u64::from(p),
+        ..TransformerConfig::paper()
+    });
+    println!(
+        "Transformer: {} nodes (enc–dec), {:.0}M params",
+        graph.len(),
+        graph.total_params() / 1e6
+    );
+
+    let machine = MachineSpec::rtx2080ti();
+    let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+    let result = find_best_strategy(&graph, &tables, &DpOptions::default())
+        .expect_found("transformer search");
+    let ours = tables.ids_to_strategy(&result.config_ids);
+    println!(
+        "search took {:?} (M = {}, the encoder output's long live range is why\n\
+         Transformer searches are the slowest of the four benchmarks, §IV-A)\n",
+        result.stats.elapsed, result.stats.max_dependent_set
+    );
+
+    // Print one encoder layer, one decoder layer and the head — the rest
+    // repeats.
+    println!("{:<20} {:<7} configuration", "layer", "dims");
+    for (id, node) in graph.iter() {
+        let interesting = node.name.starts_with("enc0/")
+            || node.name.starts_with("dec0/")
+            || !node.name.contains('/');
+        if interesting {
+            println!(
+                "{:<20} {:<7} {}",
+                node.name,
+                node.dims_string(),
+                ours.config(id)
+            );
+        }
+    }
+
+    let topo = Topology::cluster(machine, p);
+    let opts = SimOptions::default();
+    println!();
+    for (name, strategy) in [
+        ("data parallel", data_parallel(&graph, p)),
+        ("Mesh-TF expert", mesh_tf_expert(&graph, p)),
+        ("PaSE (ours)", ours),
+    ] {
+        let rep = simulate_step(&graph, &strategy, &topo, &opts);
+        println!(
+            "{name:<15} step {:.1} ms  throughput {:>8.0} samples/s",
+            rep.step_seconds * 1e3,
+            rep.throughput
+        );
+    }
+}

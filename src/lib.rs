@@ -1,0 +1,32 @@
+//! # pase — facade crate
+//!
+//! Re-exports the entire PaSE workspace behind a single dependency. See the
+//! repository README for an architecture overview, and the `examples/`
+//! directory for runnable entry points.
+//!
+//! ```
+//! use pase::core::{find_best_strategy, DpOptions};
+//! use pase::cost::{ConfigRule, CostTables, MachineSpec};
+//! use pase::models::{mlp, MlpConfig};
+//! use pase::sim::{simulate_step, SimOptions, Topology};
+//!
+//! // Model → cost tables → search → simulate.
+//! let graph = mlp(&MlpConfig::default());
+//! let machine = MachineSpec::gtx1080ti();
+//! let tables = CostTables::build(&graph, ConfigRule::new(8), &machine);
+//! let result = find_best_strategy(&graph, &tables, &DpOptions::default())
+//!     .expect_found("search");
+//! let strategy = tables.ids_to_strategy(&result.config_ids);
+//!
+//! let topology = Topology::cluster(machine, 8);
+//! let report = simulate_step(&graph, &strategy, &topology, &SimOptions::default());
+//! assert!(report.throughput > 0.0);
+//! ```
+
+pub use pase_baselines as baselines;
+pub use pase_core as core;
+pub use pase_cost as cost;
+pub use pase_graph as graph;
+pub use pase_models as models;
+pub use pase_pipeline as pipeline;
+pub use pase_sim as sim;

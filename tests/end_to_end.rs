@@ -1,0 +1,128 @@
+//! End-to-end runs of the full pipeline — model zoo → cost tables → search
+//! → strategy extraction → simulation — on every paper benchmark.
+
+use pase::baselines::data_parallel;
+use pase::core::{find_best_strategy, DpOptions};
+use pase::cost::{evaluate, ConfigRule, CostTables, MachineSpec};
+use pase::models::Benchmark;
+use pase::sim::{memory_per_device, simulate_step, SimOptions, Topology};
+
+#[test]
+fn full_pipeline_on_every_paper_benchmark() {
+    let machine = MachineSpec::gtx1080ti();
+    let p = 8;
+    for bench in Benchmark::all() {
+        let graph = bench.build_for(p);
+        let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+        let result =
+            find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found(bench.name());
+        let strategy = tables.ids_to_strategy(&result.config_ids);
+
+        // The DP's claimed minimum equals the direct evaluation of the
+        // extracted strategy (the cost function is the single source of
+        // truth).
+        let direct = evaluate(&graph, &strategy, machine.flop_byte_ratio());
+        assert!(
+            (direct - result.cost).abs() <= 1e-6 * result.cost,
+            "{}: DP cost {} vs direct {}",
+            bench.name(),
+            result.cost,
+            direct
+        );
+
+        // ... and beats data parallelism under its own objective.
+        let dp_cost = evaluate(&graph, &data_parallel(&graph, p), machine.flop_byte_ratio());
+        assert!(
+            result.cost <= dp_cost * (1.0 + 1e-9),
+            "{}: DP-parallelism {} beats search {}",
+            bench.name(),
+            dp_cost,
+            result.cost
+        );
+
+        // The simulator accepts and times the strategy.
+        let topo = Topology::cluster(machine.clone(), p);
+        let rep = simulate_step(&graph, &strategy, &topo, &SimOptions::default());
+        assert!(rep.step_seconds > 0.0 && rep.step_seconds.is_finite());
+        assert!(rep.throughput > 0.0);
+        let mem = memory_per_device(&graph, &strategy, &topo);
+        assert!(mem > 0.0 && mem.is_finite());
+    }
+}
+
+#[test]
+fn found_strategies_beat_data_parallelism_in_simulation_at_scale() {
+    // The Fig. 6 headline at p = 32 on the low-balance machine: the PaSE
+    // strategy's simulated throughput is at least data parallelism's for
+    // every benchmark, and strictly better for the FC/embedding-heavy ones.
+    let machine = MachineSpec::rtx2080ti();
+    let p = 32;
+    let topo = Topology::cluster(machine.clone(), p);
+    let opts = SimOptions::default();
+    let mut strictly_better = 0;
+    for bench in Benchmark::all() {
+        let graph = bench.build_for(p);
+        let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+        let result =
+            find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found(bench.name());
+        let ours = tables.ids_to_strategy(&result.config_ids);
+        let ours_tp = simulate_step(&graph, &ours, &topo, &opts).throughput;
+        let dp_tp = simulate_step(&graph, &data_parallel(&graph, p), &topo, &opts).throughput;
+        assert!(
+            ours_tp >= dp_tp * 0.99,
+            "{}: ours {} < DP {}",
+            bench.name(),
+            ours_tp,
+            dp_tp
+        );
+        if ours_tp > dp_tp * 1.25 {
+            strictly_better += 1;
+        }
+    }
+    assert!(
+        strictly_better >= 2,
+        "expected clear wins on at least two benchmarks"
+    );
+}
+
+#[test]
+fn search_statistics_match_paper_structure() {
+    // §III-C / §IV-A structural claims, at p = 8.
+    let machine = MachineSpec::gtx1080ti();
+    let inception = Benchmark::InceptionV3.build();
+    let tables = CostTables::build(&inception, ConfigRule::new(8), &machine);
+    let r =
+        find_best_strategy(&inception, &tables, &DpOptions::default()).expect_found("inception");
+    assert!(
+        r.stats.max_dependent_set <= 2,
+        "GenerateSeq must keep |D| ≤ 2 on InceptionV3"
+    );
+
+    for bench in [Benchmark::AlexNet, Benchmark::Rnnlm] {
+        let g = bench.build();
+        let t = CostTables::build(&g, ConfigRule::new(8), &machine);
+        let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found(bench.name());
+        assert!(
+            r.stats.max_dependent_set <= 1,
+            "{} is a path graph",
+            bench.name()
+        );
+    }
+
+    let transformer = Benchmark::Transformer.build();
+    let t = CostTables::build(&transformer, ConfigRule::new(8), &machine);
+    let r = find_best_strategy(&transformer, &t, &DpOptions::default()).expect_found("transformer");
+    assert!(
+        r.stats.max_dependent_set >= 2,
+        "the encoder output's long live range must enlarge Transformer dependent sets"
+    );
+}
+
+#[test]
+fn weak_scaling_batches_grow_with_devices() {
+    for bench in Benchmark::all() {
+        let g1 = bench.build_for(1);
+        let g8 = bench.build_for(8);
+        assert_eq!(pase::sim::batch_size(&g8), 8 * pase::sim::batch_size(&g1));
+    }
+}

@@ -1,0 +1,206 @@
+//! Integration tests of the extension features: memory-constrained search,
+//! GShard export, placement policies, and the unrolled-RNN representation.
+
+use pase::baselines::data_parallel;
+use pase::core::{find_best_strategy, DpOptions};
+use pase::cost::{
+    evaluate, fit_machine, layer_footprint_bytes, strategy_features, to_sharding_json, ConfigRule,
+    CostTables, MachineSpec, Observation,
+};
+use pase::models::{rnnlm, rnnlm_unrolled, Benchmark, RnnlmConfig};
+use pase::sim::{simulate_step, PlacementPolicy, SimOptions, Topology};
+
+#[test]
+fn memory_limited_search_respects_the_cap_everywhere() {
+    // AlexNet at p = 8 with a tight per-device budget: the found strategy
+    // must keep every layer under the cap, and cannot be cheaper than the
+    // unconstrained optimum.
+    let machine = MachineSpec::gtx1080ti();
+    let p = 8;
+    let g = Benchmark::AlexNet.build_for(p);
+    let unconstrained = {
+        let t = CostTables::build(&g, ConfigRule::new(p), &machine);
+        find_best_strategy(&g, &t, &DpOptions::default())
+            .expect_found("unconstrained")
+            .cost
+    };
+    let cap = 300.0 * (1 << 20) as f64; // 300 MiB/device
+    let t = CostTables::build(&g, ConfigRule::new(p).with_memory_limit(cap), &machine);
+    let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found("capped");
+    let s = t.ids_to_strategy(&r.config_ids);
+    for (id, node) in g.iter() {
+        let fp = layer_footprint_bytes(node, s.config(id));
+        assert!(
+            fp <= cap,
+            "layer '{}' footprint {fp:.3e} exceeds the cap",
+            node.name
+        );
+    }
+    assert!(r.cost >= unconstrained * (1.0 - 1e-9));
+    // Pure data parallelism replicates the 37M-element fc1 weight (>400 MiB
+    // with optimizer state), so it must be excluded from the capped space.
+    let dp = data_parallel(&g, p);
+    assert_eq!(
+        t.strategy_to_ids(&dp),
+        None,
+        "DP should not fit a 300 MiB cap"
+    );
+}
+
+#[test]
+fn exported_json_covers_every_layer() {
+    let machine = MachineSpec::gtx1080ti();
+    let g = Benchmark::AlexNet.build();
+    let t = CostTables::build(&g, ConfigRule::new(8), &machine);
+    let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found("alexnet");
+    let json = to_sharding_json(&g, &t.ids_to_strategy(&r.config_ids));
+    for node in g.nodes() {
+        assert!(
+            json.contains(&format!("\"name\": \"{}\"", node.name)),
+            "{}",
+            node.name
+        );
+    }
+    assert_eq!(json.matches("\"splits\"").count(), g.len());
+    assert!(json.contains("\"devices\": 8"));
+}
+
+#[test]
+fn comm_aware_placement_never_hurts_the_searched_strategies() {
+    let machine = MachineSpec::gtx1080ti();
+    for bench in Benchmark::all() {
+        let p = 32;
+        let g = bench.build_for(p);
+        let t = CostTables::build(&g, ConfigRule::new(p), &machine);
+        let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found(bench.name());
+        let s = t.ids_to_strategy(&r.config_ids);
+        let topo = Topology::cluster(machine.clone(), p);
+        let canonical = simulate_step(&g, &s, &topo, &SimOptions::default());
+        let aware = simulate_step(
+            &g,
+            &s,
+            &topo,
+            &SimOptions {
+                placement: PlacementPolicy::CommAware,
+                ..SimOptions::default()
+            },
+        );
+        assert!(
+            aware.step_seconds <= canonical.step_seconds * 1.05,
+            "{}: comm-aware {} vs canonical {}",
+            bench.name(),
+            aware.step_seconds,
+            canonical.step_seconds
+        );
+    }
+}
+
+#[test]
+fn single_vertex_rnn_beats_unrolled_representation() {
+    // §IV-A: the single-vertex encoding finds strategies at least as good
+    // (under a comparable cost accounting) and searches much faster.
+    let machine = MachineSpec::gtx1080ti();
+    let p = 8;
+    let cfg = RnnlmConfig::paper();
+    let single = rnnlm(&cfg);
+    let unrolled = rnnlm_unrolled(&cfg);
+
+    let search = |g: &pase::graph::Graph| {
+        let t = CostTables::build(g, ConfigRule::new(p), &machine);
+        let r = find_best_strategy(g, &t, &DpOptions::default()).expect_found("rnn");
+        (r.cost, r.stats.elapsed)
+    };
+    let (cost_single, time_single) = search(&single);
+    let (cost_unrolled, time_unrolled) = search(&unrolled);
+    assert!(
+        cost_single < cost_unrolled,
+        "single-vertex {cost_single:.4e} vs unrolled {cost_unrolled:.4e}"
+    );
+    assert!(
+        time_unrolled > time_single,
+        "unrolled search should be slower ({time_unrolled:?} vs {time_single:?})"
+    );
+}
+
+#[test]
+fn memory_limit_forbidding_everything_panics_with_context() {
+    let machine = MachineSpec::gtx1080ti();
+    let g = Benchmark::AlexNet.build();
+    let result = std::panic::catch_unwind(|| {
+        CostTables::build(&g, ConfigRule::new(2).with_memory_limit(1024.0), &machine)
+    });
+    let err = result.expect_err("1 KiB/device cannot fit AlexNet");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("memory limit"), "got: {msg}");
+}
+
+#[test]
+fn calibration_recovers_a_machine_from_simulated_runs() {
+    // §V: fit (F, B) from a handful of "profiled" steps — here the
+    // hierarchical simulator stands in for the cluster — then check the
+    // fitted flat model still ranks strategies like the simulator.
+    use pase::baselines::{data_parallel, owt};
+    let truth = MachineSpec::gtx1080ti();
+    let p = 8;
+    let g = Benchmark::AlexNet.build_for(p);
+    let topo = Topology::cluster(truth.clone(), p);
+    let opts = SimOptions {
+        overlap: 0.0,
+        ..SimOptions::default()
+    };
+
+    let tables = CostTables::build(&g, ConfigRule::new(p), &truth);
+    let pase_best = {
+        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("search");
+        tables.ids_to_strategy(&r.config_ids)
+    };
+    let candidates = [data_parallel(&g, p), owt(&g, p), pase_best];
+    let observations: Vec<Observation> = candidates
+        .iter()
+        .map(|s| {
+            let (flops, bytes) = strategy_features(&g, s);
+            Observation {
+                compute_flops: flops,
+                comm_bytes: bytes,
+                seconds: simulate_step(&g, s, &topo, &opts).step_seconds,
+            }
+        })
+        .collect();
+    let fitted = fit_machine(&observations).expect("fit succeeds");
+    assert!(fitted.peak_flops > 0.0 && fitted.link_bandwidth > 0.0);
+    // The fitted flat model must reproduce the simulator's *ranking* of
+    // the observed strategies.
+    let mut by_flat: Vec<usize> = (0..candidates.len()).collect();
+    by_flat.sort_by(|&i, &j| {
+        let fi = evaluate(&g, &candidates[i], fitted.flop_byte_ratio());
+        let fj = evaluate(&g, &candidates[j], fitted.flop_byte_ratio());
+        fi.partial_cmp(&fj).unwrap()
+    });
+    let mut by_sim: Vec<usize> = (0..candidates.len()).collect();
+    by_sim.sort_by(|&i, &j| {
+        observations[i]
+            .seconds
+            .partial_cmp(&observations[j].seconds)
+            .unwrap()
+    });
+    assert_eq!(
+        by_flat, by_sim,
+        "fitted model must preserve the simulator's ranking"
+    );
+}
+
+#[test]
+fn evaluate_is_invariant_to_export_roundtrip_metadata() {
+    // Exporting must not mutate the strategy (regression guard on the
+    // report/export paths sharing Strategy references).
+    let machine = MachineSpec::gtx1080ti();
+    let g = Benchmark::Rnnlm.build();
+    let t = CostTables::build(&g, ConfigRule::new(4), &machine);
+    let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found("rnnlm");
+    let s = t.ids_to_strategy(&r.config_ids);
+    let before = evaluate(&g, &s, machine.flop_byte_ratio());
+    let _ = to_sharding_json(&g, &s);
+    let _ = s.report(&g);
+    let after = evaluate(&g, &s, machine.flop_byte_ratio());
+    assert_eq!(before, after);
+}

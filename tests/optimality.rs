@@ -1,0 +1,166 @@
+//! Theorem 1 cross-checks: the efficient dynamic program (recurrence (4)
+//! with GenerateSeq), the naive recurrence (2) with breadth-first ordering,
+//! and exhaustive brute-force enumeration must all find exactly the same
+//! minimum of `F(G, φ)` — on every graph topology the search handles.
+
+use pase::core::{
+    brute_force, find_best_strategy, naive_best_strategy, ConnectedSetMode, DpOptions,
+    OrderingKind, SearchBudget,
+};
+use pase::cost::{ConfigRule, CostTables, MachineSpec};
+use pase::graph::{Graph, GraphBuilder, NodeId};
+use pase::models::ops;
+
+/// fc chain with distinct layer shapes.
+fn chain(widths: &[u64]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let mut prev: Option<NodeId> = None;
+    for (i, w) in widths.windows(2).enumerate() {
+        let mut node = ops::fully_connected(&format!("fc{i}"), 32, w[1], w[0]);
+        if prev.is_none() {
+            node.inputs.clear();
+        }
+        let id = b.add_node(node);
+        if let Some(p) = prev {
+            b.connect(p, id);
+        }
+        prev = Some(id);
+    }
+    b.build().unwrap()
+}
+
+/// Diamond with a two-input join.
+fn diamond() -> Graph {
+    let mut b = GraphBuilder::new();
+    let mut src = ops::fully_connected("src", 32, 64, 64);
+    src.inputs.clear();
+    let s = b.add_node(src);
+    let l = b.add_node(ops::fully_connected("left", 32, 64, 64));
+    let r = b.add_node(ops::fully_connected("right", 32, 64, 64));
+    let mut join = ops::fully_connected("join", 32, 64, 64);
+    join.inputs = vec![join.inputs[0].clone(), join.inputs[0].clone()];
+    let j = b.add_node(join);
+    b.connect(s, l);
+    b.connect(s, r);
+    b.connect(l, j);
+    b.connect(r, j);
+    b.build().unwrap()
+}
+
+/// Inception-style: fan-out to 3 branches of different depth, concat-free
+/// join via a 3-input elementwise node.
+fn fan() -> Graph {
+    let mut b = GraphBuilder::new();
+    let mut src = ops::fully_connected("src", 32, 64, 64);
+    src.inputs.clear();
+    let s = b.add_node(src);
+    let mut ends = Vec::new();
+    for (br, depth) in [(0usize, 1usize), (1, 2), (2, 3)] {
+        let mut prev = s;
+        for d in 0..depth {
+            let n = b.add_node(ops::fully_connected(&format!("b{br}_{d}"), 32, 64, 64));
+            b.connect(prev, n);
+            prev = n;
+        }
+        ends.push(prev);
+    }
+    use pase::graph::{DimRole, IterDim, Node, OpKind, TensorRef};
+    let join = b.add_node(Node {
+        name: "join".into(),
+        op: OpKind::Elementwise {
+            flops_per_point: 1.0,
+        },
+        iter_space: vec![
+            IterDim::new("b", 32, DimRole::Batch),
+            IterDim::new("n", 64, DimRole::Param),
+        ],
+        inputs: (0..3)
+            .map(|_| TensorRef::new(vec![0, 1], vec![32, 64]))
+            .collect(),
+        output: TensorRef::new(vec![0, 1], vec![32, 64]),
+        params: vec![],
+    });
+    for e in ends {
+        b.connect(e, join);
+    }
+    b.build().unwrap()
+}
+
+fn assert_all_engines_agree(g: &Graph, p: u32) {
+    let tables = CostTables::build(g, ConfigRule::new(p), &MachineSpec::gtx1080ti());
+    let (bf_cost, bf_ids) = brute_force(g, &tables);
+    assert!((tables.evaluate_ids(g, &bf_ids) - bf_cost).abs() <= 1e-9 * bf_cost.abs().max(1.0));
+
+    let eff = find_best_strategy(g, &tables, &DpOptions::default()).expect_found("efficient");
+    let naive = naive_best_strategy(g, &tables, SearchBudget::default()).expect_found("naive");
+    let rnd = find_best_strategy(
+        g,
+        &tables,
+        &DpOptions {
+            ordering: OrderingKind::Random { seed: 99 },
+            mode: ConnectedSetMode::Exact,
+            ..DpOptions::default()
+        },
+    )
+    .expect_found("random ordering");
+
+    for (label, r) in [("efficient", &eff), ("naive", &naive), ("random", &rnd)] {
+        let tol = 1e-9 * bf_cost.abs().max(1.0);
+        assert!(
+            (r.cost - bf_cost).abs() <= tol,
+            "{label} cost {} != brute force {}",
+            r.cost,
+            bf_cost
+        );
+        // The extracted strategy must evaluate to the claimed minimum.
+        let eval = tables.evaluate_ids(g, &r.config_ids);
+        assert!(
+            (eval - r.cost).abs() <= tol,
+            "{label}: extraction inconsistent"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_chains() {
+    assert_all_engines_agree(&chain(&[64, 128, 64]), 4);
+    assert_all_engines_agree(&chain(&[256, 64, 256, 64]), 4);
+}
+
+#[test]
+fn engines_agree_on_diamond() {
+    assert_all_engines_agree(&diamond(), 4);
+}
+
+#[test]
+fn engines_agree_on_fan() {
+    assert_all_engines_agree(&fan(), 2);
+}
+
+#[test]
+fn engines_agree_at_higher_device_counts() {
+    assert_all_engines_agree(&chain(&[512, 512, 512]), 8);
+    assert_all_engines_agree(&diamond(), 8);
+}
+
+#[test]
+fn dp_never_worse_than_sampled_strategies_on_big_models() {
+    // Brute force is infeasible on the real benchmarks, but the DP result
+    // must lower-bound any sampled strategy.
+    use pase::core::random_strategy_costs;
+    use pase::models::Benchmark;
+    for bench in Benchmark::all() {
+        let g = bench.build_tiny();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::gtx1080ti());
+        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found(bench.name());
+        for cost in random_strategy_costs(&g, &tables, 7, 100) {
+            assert!(
+                r.cost <= cost + 1e-6 * cost.abs(),
+                "{}: DP {} beaten by random {}",
+                bench.name(),
+                r.cost,
+                cost
+            );
+        }
+    }
+}

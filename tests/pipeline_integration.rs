@@ -1,0 +1,109 @@
+//! Integration tests of the §VI pipeline composition across paper-scale
+//! models.
+
+use pase::core::{find_best_strategy, DpOptions};
+use pase::cost::{ConfigRule, CostTables, MachineSpec};
+use pase::models::Benchmark;
+use pase::pipeline::{plan_pipeline, simulate_pipeline, PipelineOptions};
+use pase::sim::{simulate_step, SimOptions, Topology};
+
+#[test]
+fn single_stage_pipeline_matches_plain_pase_exactly() {
+    let machine = MachineSpec::gtx1080ti();
+    for bench in Benchmark::all() {
+        let p = 8;
+        let g = bench.build_for(p);
+        let plan = plan_pipeline(
+            &g,
+            p,
+            &machine,
+            &PipelineOptions {
+                stages: 1,
+                microbatches: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let topo = Topology::cluster(machine.clone(), p);
+        let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
+
+        let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
+        let plain =
+            find_best_strategy(&g, &tables, &DpOptions::default()).expect_found(bench.name());
+        let plain_rep = simulate_step(
+            &g,
+            &tables.ids_to_strategy(&plain.config_ids),
+            &topo,
+            &SimOptions::default(),
+        );
+        assert!(
+            (rep.step_seconds - plain_rep.step_seconds).abs() <= 1e-9 * plain_rep.step_seconds,
+            "{}: pipeline {} vs plain {}",
+            bench.name(),
+            rep.step_seconds,
+            plain_rep.step_seconds
+        );
+    }
+}
+
+#[test]
+fn pipeline_plans_are_consistent_across_benchmarks() {
+    let machine = MachineSpec::gtx1080ti();
+    for bench in Benchmark::all() {
+        let p = 16;
+        let g = bench.build_for(p);
+        let stages = if g.len() >= 4 { 4 } else { 2 };
+        let plan = plan_pipeline(
+            &g,
+            p,
+            &machine,
+            &PipelineOptions {
+                stages,
+                microbatches: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        // every node assigned, every stage nonempty
+        assert_eq!(plan.stage_of.len(), g.len());
+        for ((sub, mapping), strategy) in plan.stage_graphs.iter().zip(&plan.stage_strategies) {
+            assert!(!sub.is_empty(), "{}", bench.name());
+            assert_eq!(sub.len(), mapping.len());
+            assert_eq!(strategy.len(), sub.len());
+        }
+        let topo = Topology::cluster(machine.clone(), plan.devices_per_stage);
+        let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
+        assert!(rep.step_seconds.is_finite() && rep.step_seconds > 0.0);
+        assert_eq!(rep.stage_seconds.len(), stages);
+        // bubble factor matches (M + S − 1)/M
+        assert!((rep.bubble_factor - (8.0 + stages as f64 - 1.0) / 8.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn boundary_bytes_count_only_cross_stage_edges() {
+    let machine = MachineSpec::gtx1080ti();
+    let g = Benchmark::AlexNet.build_for(8);
+    let plan = plan_pipeline(
+        &g,
+        8,
+        &machine,
+        &PipelineOptions {
+            stages: 2,
+            microbatches: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let topo = Topology::cluster(machine.clone(), 4);
+    let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
+    // a path graph split in two has exactly one crossing edge (fwd+bwd)
+    let crossing: Vec<_> = g
+        .edges()
+        .iter()
+        .filter(|e| plan.stage_of[e.src.index()] != plan.stage_of[e.dst.index()])
+        .collect();
+    assert_eq!(crossing.len(), 1);
+    let expected = 2.0 * g.node(crossing[0].src).output.bytes();
+    assert!((rep.boundary_bytes - expected).abs() < 1e-9);
+}

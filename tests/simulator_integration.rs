@@ -1,0 +1,163 @@
+//! Integration tests of the execution simulator against the paper's
+//! qualitative claims: machine-balance sensitivity, scaling behavior,
+//! memory accounting, and rank agreement with the analytical cost model.
+
+use pase::baselines::{data_parallel, owt};
+use pase::core::{find_best_strategy, random_strategy_costs, DpOptions};
+use pase::cost::{ConfigRule, CostTables, MachineSpec};
+use pase::models::Benchmark;
+use pase::sim::{batch_size, memory_per_device, simulate_step, SimOptions, Topology};
+
+#[test]
+fn throughput_grows_with_devices_under_weak_scaling() {
+    // Weak scaling: per-device batch constant → throughput should grow
+    // (near-linearly for the compute-bound CNNs).
+    let machine = MachineSpec::gtx1080ti();
+    let opts = SimOptions::default();
+    for bench in Benchmark::all() {
+        let mut prev = 0.0;
+        for p in [4u32, 8, 16, 32] {
+            let g = bench.build_for(p);
+            let topo = Topology::cluster(machine.clone(), p);
+            let rep = simulate_step(&g, &data_parallel(&g, p), &topo, &opts);
+            assert!(
+                rep.throughput > prev,
+                "{} throughput must grow with p (p={p}: {} vs {})",
+                bench.name(),
+                rep.throughput,
+                prev
+            );
+            prev = rep.throughput;
+        }
+    }
+}
+
+#[test]
+fn low_machine_balance_increases_strategy_gaps() {
+    // §IV-B: inefficiencies are more pronounced on the 2080Ti system.
+    let p = 32;
+    let opts = SimOptions::default();
+    let mut wider = 0;
+    for bench in Benchmark::all() {
+        let g = bench.build_for(p);
+        let gap = |machine: MachineSpec| {
+            let topo = Topology::cluster(machine.clone(), p);
+            let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
+            let ours = {
+                let r = find_best_strategy(&g, &tables, &DpOptions::default())
+                    .expect_found(bench.name());
+                tables.ids_to_strategy(&r.config_ids)
+            };
+            simulate_step(&g, &ours, &topo, &opts).throughput
+                / simulate_step(&g, &data_parallel(&g, p), &topo, &opts).throughput
+        };
+        let g1080 = gap(MachineSpec::gtx1080ti());
+        let g2080 = gap(MachineSpec::rtx2080ti());
+        if g2080 > g1080 * 1.02 {
+            wider += 1;
+        }
+        assert!(
+            g2080 >= g1080 * 0.9,
+            "{}: 2080Ti gap collapsed",
+            bench.name()
+        );
+    }
+    assert!(wider >= 2, "2080Ti should widen the gap on most benchmarks");
+}
+
+#[test]
+fn memory_accounting_reproduces_the_dp_replication_argument() {
+    // §I: data parallelism replicates all parameters; parameter-parallel
+    // strategies shard them. The FC-heavy AlexNet shows this starkly.
+    let p = 32;
+    let g = Benchmark::AlexNet.build_for(p);
+    let topo = Topology::cluster(MachineSpec::gtx1080ti(), p);
+    let dp_mem = memory_per_device(&g, &data_parallel(&g, p), &topo);
+    let owt_mem = memory_per_device(&g, &owt(&g, p), &topo);
+    assert!(
+        dp_mem > owt_mem * 1.3,
+        "dp {dp_mem:.3e} vs owt {owt_mem:.3e}"
+    );
+}
+
+#[test]
+fn simulator_and_cost_model_rank_strategies_consistently() {
+    // The paper's premise: the analytical model need only *order*
+    // strategies correctly. Sample random strategies and check rank
+    // correlation between F(G, φ) and simulated step time.
+    let machine = MachineSpec::gtx1080ti();
+    let p = 8;
+    for bench in [Benchmark::AlexNet, Benchmark::Rnnlm] {
+        let g = bench.build_for(p);
+        let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
+        let topo = Topology::cluster(machine.clone(), p);
+        let opts = SimOptions::default();
+
+        let n = g.len();
+        let ks: Vec<u64> = g.node_ids().map(|v| tables.k(v) as u64).collect();
+        let costs = random_strategy_costs(&g, &tables, 42, 40);
+        // Re-derive the same ids to simulate them (same SplitMix stream).
+        let mut state = 42u64.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for cost in costs {
+            let ids: Vec<u16> = (0..n).map(|v| (next() % ks[v].max(1)) as u16).collect();
+            let s = tables.ids_to_strategy(&ids);
+            let sim = simulate_step(&g, &s, &topo, &opts).step_seconds;
+            pairs.push((cost, sim));
+        }
+        // Kendall-tau-style concordance over all pairs.
+        let mut concordant = 0usize;
+        let mut total = 0usize;
+        for i in 0..pairs.len() {
+            for j in (i + 1)..pairs.len() {
+                let (a, b) = (pairs[i], pairs[j]);
+                if (a.0 - b.0).abs() < 1e-9 || (a.1 - b.1).abs() < 1e-12 {
+                    continue;
+                }
+                total += 1;
+                if (a.0 < b.0) == (a.1 < b.1) {
+                    concordant += 1;
+                }
+            }
+        }
+        let tau = concordant as f64 / total.max(1) as f64;
+        assert!(
+            tau > 0.75,
+            "{}: cost model orders only {:.0}% of strategy pairs like the simulator",
+            bench.name(),
+            tau * 100.0
+        );
+    }
+}
+
+#[test]
+fn batch_size_matches_weak_scaling_protocol() {
+    assert_eq!(batch_size(&Benchmark::AlexNet.build_for(4)), 512);
+    assert_eq!(batch_size(&Benchmark::Rnnlm.build_for(4)), 256);
+}
+
+#[test]
+fn step_breakdown_is_consistent() {
+    let p = 16;
+    let g = Benchmark::Transformer.build_for(p);
+    let topo = Topology::cluster(MachineSpec::gtx1080ti(), p);
+    let rep = simulate_step(
+        &g,
+        &data_parallel(&g, p),
+        &topo,
+        &SimOptions {
+            overlap: 0.0,
+            ..SimOptions::default()
+        },
+    );
+    let total = rep.compute_seconds + rep.comm_seconds();
+    assert!((rep.step_seconds - total).abs() <= 1e-12 * total);
+    assert!(rep.gradient_sync_seconds > 0.0, "DP must sync gradients");
+}

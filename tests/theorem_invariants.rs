@@ -1,0 +1,92 @@
+//! Theorem 2 invariants on the real model-zoo graphs: the sets maintained
+//! by GenerateSeq's update rule equal the dependent sets `D(i)` computed
+//! from first principles, and the structural containment the DP relies on
+//! (`D(j) ⊆ D(i) ∪ {v^(i)}` for children) holds.
+
+use pase::core::{generate_seq_with_sets, ConnectedSetMode, VertexStructure};
+use pase::graph::Graph;
+use pase::models::{densenet, resnet, Benchmark, DenseNetConfig, ResNetConfig};
+
+fn check_theorem2(g: &Graph, label: &str) {
+    let (order, maintained) = generate_seq_with_sets(g);
+    let s = VertexStructure::build(g, &order, ConnectedSetMode::Exact);
+    for (i, m) in maintained.iter().enumerate() {
+        assert_eq!(
+            m,
+            s.dependent_set(i),
+            "{label}: maintained set diverges from D({i})"
+        );
+    }
+}
+
+fn check_child_containment(g: &Graph, label: &str) {
+    // Exact connected sets admit *any* ordering; the prefix (naive
+    // recurrence (2)) form is only valid with breadth-first ordering, whose
+    // connected prefixes make D_B(i-1) ⊆ D_B(i) ∪ {v^(i)} — exactly the
+    // pairing the paper uses.
+    let (gs_order, _) = generate_seq_with_sets(g);
+    let bfs = pase::graph::bfs_order(g);
+    for (mode, order) in [
+        (ConnectedSetMode::Exact, &gs_order),
+        (ConnectedSetMode::Prefix, &bfs),
+    ] {
+        let s = VertexStructure::build(g, order, mode);
+        for i in 0..g.len() {
+            let vi = s.vertex(i);
+            let di = s.dependent_set(i);
+            for &j in s.subset_anchors(i) {
+                for &w in s.dependent_set(j) {
+                    assert!(
+                        w == vi || di.binary_search(&w).is_ok(),
+                        "{label} ({mode:?}): D({j}) member {w} outside D({i}) ∪ {{{vi}}}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_holds_on_every_paper_benchmark() {
+    for bench in Benchmark::all() {
+        let g = bench.build();
+        check_theorem2(&g, bench.name());
+    }
+}
+
+#[test]
+fn theorem2_holds_on_dense_and_residual_graphs() {
+    check_theorem2(&densenet(&DenseNetConfig::paper()), "densenet");
+    check_theorem2(&resnet(&ResNetConfig::paper()), "resnet");
+}
+
+#[test]
+fn child_dependent_sets_are_contained() {
+    for bench in Benchmark::all() {
+        let g = bench.build();
+        check_child_containment(&g, bench.name());
+    }
+    check_child_containment(&densenet(&DenseNetConfig::tiny()), "densenet");
+}
+
+#[test]
+fn generate_seq_matches_paper_bounds_per_benchmark() {
+    use pase::core::dependent_set_sizes;
+    // (benchmark, expected max |D(i)| under GenerateSeq)
+    let expected = [
+        (Benchmark::AlexNet, 1),
+        (Benchmark::InceptionV3, 2),
+        (Benchmark::Rnnlm, 1),
+        (Benchmark::Transformer, 3),
+    ];
+    for (bench, bound) in expected {
+        let g = bench.build();
+        let (order, _) = generate_seq_with_sets(&g);
+        let m = dependent_set_sizes(&g, &order).into_iter().max().unwrap();
+        assert!(
+            m <= bound,
+            "{}: max |D| = {m}, expected ≤ {bound}",
+            bench.name()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end search + simulation across the *entire* model zoo — every
+//! builder, not just the four paper benchmarks.
+
+use pase::core::{find_best_strategy, DpOptions, SearchBudget};
+use pase::cost::{evaluate, ConfigRule, CostTables, MachineSpec};
+use pase::graph::Graph;
+use pase::models::*;
+use pase::sim::{simulate_step, SimOptions, Topology};
+use std::time::Duration;
+
+fn zoo() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("alexnet", alexnet(&AlexNetConfig::tiny())),
+        ("inception", inception_v3(&InceptionConfig::tiny())),
+        ("rnnlm", rnnlm(&RnnlmConfig::tiny())),
+        ("rnnlm-unrolled", rnnlm_unrolled(&RnnlmConfig::tiny())),
+        ("gnmt", gnmt(&GnmtConfig::tiny())),
+        ("transformer", transformer(&TransformerConfig::tiny())),
+        ("densenet", densenet(&DenseNetConfig::tiny())),
+        ("resnet", resnet(&ResNetConfig::tiny())),
+        ("vgg", vgg16(&VggConfig::tiny())),
+        ("bert", bert_encoder(&BertConfig::tiny())),
+        ("mlp", mlp(&MlpConfig::default())),
+    ]
+}
+
+#[test]
+fn every_zoo_model_searches_and_simulates() {
+    let machine = MachineSpec::gtx1080ti();
+    let p = 4;
+    let topo = Topology::cluster(machine.clone(), p);
+    for (name, g) in zoo() {
+        validate_edge_tensors(&g, 0.25).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
+        let budget = SearchBudget {
+            max_table_entries: 1 << 26,
+            max_time: Duration::from_secs(120),
+        };
+        let outcome = find_best_strategy(
+            &g,
+            &tables,
+            &DpOptions {
+                budget,
+                ..Default::default()
+            },
+        );
+        let r = match outcome.found() {
+            Some(r) => r.clone(),
+            None => panic!("{name}: search {}", outcome.tag()),
+        };
+        let s = tables.ids_to_strategy(&r.config_ids);
+        // DP result consistent with the direct cost function...
+        let direct = evaluate(&g, &s, machine.flop_byte_ratio());
+        assert!(
+            (direct - r.cost).abs() <= 1e-6 * r.cost.abs().max(1.0),
+            "{name}: {direct} vs {}",
+            r.cost
+        );
+        // ... and executable on the simulator.
+        let rep = simulate_step(&g, &s, &topo, &SimOptions::default());
+        assert!(
+            rep.step_seconds.is_finite() && rep.step_seconds > 0.0,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn zoo_models_have_distinct_structures() {
+    // Guard against builders accidentally collapsing into each other.
+    let sizes: Vec<(usize, usize)> = zoo()
+        .iter()
+        .map(|(_, g)| (g.len(), g.edge_count()))
+        .collect();
+    let mut unique = sizes.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert!(
+        unique.len() >= sizes.len() - 1,
+        "too many identical shapes: {sizes:?}"
+    );
+}
+
+#[test]
+fn tiny_and_paper_configs_scale_consistently() {
+    // paper-scale graphs are structurally identical to the tiny variants
+    // (same node counts) for the fixed-architecture models.
+    assert_eq!(
+        alexnet(&AlexNetConfig::tiny()).len(),
+        alexnet(&AlexNetConfig::paper()).len()
+    );
+    assert_eq!(
+        inception_v3(&InceptionConfig::tiny()).len(),
+        inception_v3(&InceptionConfig::paper()).len()
+    );
+    assert_eq!(
+        vgg16(&VggConfig::tiny()).len(),
+        vgg16(&VggConfig::paper()).len()
+    );
+    assert_eq!(
+        gnmt(&GnmtConfig::tiny()).len(),
+        gnmt(&GnmtConfig::paper()).len()
+    );
+}
