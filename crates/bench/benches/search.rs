@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pase_core::{
     find_best_strategy, generate_seq, naive_best_strategy, optcnn_search, DpOptions, SearchBudget,
 };
-use pase_cost::{ConfigRule, CostTables, MachineSpec};
+use pase_cost::{ConfigRule, CostTables, MachineSpec, TableOptions};
 use pase_models::Benchmark;
 
 fn bench_generate_seq(c: &mut Criterion) {
@@ -19,6 +19,18 @@ fn bench_table_build(c: &mut Criterion) {
     let g = Benchmark::InceptionV3.build_for(8);
     c.bench_function("cost_tables/inception_v3/p8", |b| {
         b.iter(|| CostTables::build(&g, ConfigRule::new(8), &machine))
+    });
+    // A/B baseline: the pre-interning build path (every node and edge gets
+    // its own table, built sequentially).
+    c.bench_function("cost_tables_uninterned/inception_v3/p8", |b| {
+        b.iter(|| {
+            CostTables::build_with(
+                &g,
+                ConfigRule::new(8),
+                &machine,
+                &TableOptions { intern: false, parallel: false },
+            )
+        })
     });
 }
 
@@ -38,6 +50,28 @@ fn bench_find_best_strategy(c: &mut Criterion) {
                 )
             });
         }
+    }
+    group.finish();
+
+    // A/B baseline: the same DP with the wavefront scheduler disabled
+    // (strict sequential fill in position order).
+    let mut group = c.benchmark_group("find_best_strategy_sequential");
+    group.sample_size(10);
+    let opts = DpOptions {
+        parallel: false,
+        ..DpOptions::default()
+    };
+    for bench in Benchmark::all() {
+        let p = 8u32;
+        let g = bench.build_for(p);
+        let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
+        group.bench_function(format!("{}/p{}", bench.name(), p), |b| {
+            b.iter_batched(
+                || (),
+                |_| find_best_strategy(&g, &tables, &opts),
+                BatchSize::PerIteration,
+            )
+        });
     }
     group.finish();
 }

@@ -1,0 +1,89 @@
+//! A/B wall-clock smoke job for the search hot paths.
+//!
+//! Times cost-table construction and the full DP per benchmark model at a
+//! small device count, in both the baseline configuration (no interning,
+//! strict sequential table fill) and the optimized one (structural
+//! interning + wavefront-parallel fill), then writes the medians to
+//! `BENCH_search.json`. Mirrors the criterion benches
+//! `cost_tables/inception_v3/p8` and `find_best_strategy/<model>/p8` but
+//! runs in seconds, so it can gate a PR.
+
+use pase_core::{find_best_strategy, DpOptions};
+use pase_cost::{ConfigRule, CostTables, MachineSpec, TableOptions};
+use pase_models::Benchmark;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SAMPLES: usize = 10;
+const P: u32 = 8;
+
+/// Median wall-clock seconds of `SAMPLES` runs of `f`.
+fn median_secs<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed().as_secs_f64();
+            drop(out);
+            dt
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let machine = MachineSpec::gtx1080ti();
+    let baseline_tables = TableOptions {
+        intern: false,
+        parallel: false,
+    };
+    let optimized_tables = TableOptions::default();
+    let baseline_dp = DpOptions {
+        parallel: false,
+        ..DpOptions::default()
+    };
+    let optimized_dp = DpOptions::default();
+
+    let mut json = String::from("{\n  \"p\": 8,\n  \"samples\": 10,\n  \"models\": {\n");
+    let all = Benchmark::all();
+    for (i, bench) in all.iter().enumerate() {
+        let g = bench.build_for(P);
+        let rule = ConfigRule::new(P);
+
+        let build_base = median_secs(|| CostTables::build_with(&g, rule, &machine, &baseline_tables));
+        let build_opt = median_secs(|| CostTables::build_with(&g, rule, &machine, &optimized_tables));
+
+        let tables = CostTables::build_with(&g, rule, &machine, &optimized_tables);
+        let search_base = median_secs(|| find_best_strategy(&g, &tables, &baseline_dp));
+        let search_opt = median_secs(|| find_best_strategy(&g, &tables, &optimized_dp));
+
+        let hit = tables.intern_stats().hit_rate();
+        println!(
+            "{:<12} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   find_best_strategy {:.2}ms -> {:.2}ms ({:.2}x)   intern hit {:.0}%",
+            bench.name(),
+            build_base * 1e3,
+            build_opt * 1e3,
+            build_base / build_opt.max(1e-12),
+            search_base * 1e3,
+            search_opt * 1e3,
+            search_base / search_opt.max(1e-12),
+            hit * 100.0
+        );
+
+        let _ = write!(
+            json,
+            "    \"{}\": {{\n      \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n      \"find_best_strategy\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n      \"intern_hit_rate\": {:.4}\n    }}{}\n",
+            bench.name(),
+            build_base,
+            build_opt,
+            search_base,
+            search_opt,
+            hit,
+            if i + 1 < all.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    println!("wrote BENCH_search.json");
+}

@@ -19,7 +19,7 @@ use pase_core::{
 };
 use pase_cost::{
     from_sharding_json, to_sharding_json, validate_strategy, ConfigRule, CostTables, MachineSpec,
-    Strategy,
+    Strategy, TableOptions,
 };
 use pase_graph::{bfs_order, Graph, GraphStats};
 use pase_models as models;
@@ -40,6 +40,10 @@ OPTIONS:
   --algorithm <pase|optcnn> search algorithm (default pase; optcnn fails on
                            graphs outside its reducible class, cf. paper §VI)
   --weak-scaling           scale the global batch with the device count
+  --search-threads <n>     worker threads for the wavefront-parallel search
+                           (default: all cores)
+  --no-intern              disable structural cost-table interning (A/B
+                           measurement; results are identical either way)
   --json                   print the strategy as a GShard-style sharding spec
   --out <file>             write output to a file instead of stdout
   --strategy <file>        (simulate) sharding spec produced by `pase export`
@@ -107,18 +111,55 @@ fn machine_profile(name: &str) -> Result<MachineSpec, String> {
     }
 }
 
+/// Engine knobs shared by every searching subcommand.
+#[derive(Clone, Copy, Debug)]
+struct SearchKnobs {
+    /// Worker threads for table building and the wavefront fill (0 = all
+    /// cores).
+    threads: usize,
+    /// Structural cost-table interning (`--no-intern` turns it off).
+    intern: bool,
+}
+
+impl SearchKnobs {
+    fn from_args(args: &Args) -> Result<Self, String> {
+        Ok(Self {
+            threads: args.get_or("search-threads", 0usize)?,
+            intern: !args.has("no-intern"),
+        })
+    }
+}
+
 fn search_strategy(
     graph: &Graph,
     p: u32,
     machine: &MachineSpec,
     memory_limit_gb: Option<f64>,
+    knobs: SearchKnobs,
 ) -> Result<(Strategy, f64, pase_core::SearchStats, CostTables), String> {
     let mut rule = ConfigRule::new(p);
     if let Some(gb) = memory_limit_gb {
         rule = rule.with_memory_limit(gb * (1u64 << 30) as f64);
     }
-    let tables = CostTables::build(graph, rule, machine);
-    match find_best_strategy(graph, &tables, &DpOptions::default()) {
+    let table_opts = TableOptions {
+        intern: knobs.intern,
+        ..TableOptions::default()
+    };
+    let run = || {
+        let tables = CostTables::build_with(graph, rule, machine, &table_opts);
+        let outcome = find_best_strategy(graph, &tables, &DpOptions::default());
+        (tables, outcome)
+    };
+    let (tables, outcome) = if knobs.threads > 0 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(knobs.threads)
+            .build()
+            .map_err(|e| format!("cannot build thread pool: {e}"))?
+            .install(run)
+    } else {
+        run()
+    };
+    match outcome {
         SearchOutcome::Found(r) => {
             let s = tables.ids_to_strategy(&r.config_ids);
             Ok((s, r.cost, r.stats, tables))
@@ -148,6 +189,7 @@ fn run() -> Result<(), String> {
     let p: u32 = args.get_or("devices", 8)?;
     let machine = machine_profile(args.get("machine").unwrap_or("1080ti"))?;
     let weak = args.has("weak-scaling");
+    let knobs = SearchKnobs::from_args(&args)?;
     let graph = build_model(&model, p, weak)?;
 
     match command.as_str() {
@@ -181,14 +223,23 @@ fn run() -> Result<(), String> {
                     )),
                 };
             }
-            let (strategy, cost, stats, _) = search_strategy(&graph, p, &machine, memory_limit)?;
+            let (strategy, cost, stats, tables) =
+                search_strategy(&graph, p, &machine, memory_limit, knobs)?;
             if args.has("json") {
                 emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
             } else {
+                let intern = tables.intern_stats();
                 let mut content = format!(
                     "model {model}, p = {p}, machine {} — search {:?} (K = {}, M = {})\n\
+                     wavefronts {} (max width {}), intern hit rate {:.0}%\n\
                      minimum cost {cost:.4e} FLOP-units\n\n",
-                    machine.name, stats.elapsed, stats.max_configs, stats.max_dependent_set
+                    machine.name,
+                    stats.elapsed,
+                    stats.max_configs,
+                    stats.max_dependent_set,
+                    stats.wavefronts,
+                    stats.max_wavefront_width,
+                    intern.hit_rate() * 100.0
                 );
                 content.push_str(&strategy.report(&graph));
                 emit(args.get("out"), &content)?;
@@ -197,7 +248,7 @@ fn run() -> Result<(), String> {
         "compare" => {
             let topo = Topology::cluster(machine.clone(), p);
             let opts = SimOptions::default();
-            let (ours, _, _, _) = search_strategy(&graph, p, &machine, None)?;
+            let (ours, _, _, _) = search_strategy(&graph, p, &machine, None, knobs)?;
             let expert = match model.as_str() {
                 "rnnlm" | "rnnlm-unrolled" | "gnmt" => gnmt_expert(&graph, p),
                 "transformer" => mesh_tf_expert(&graph, p),
@@ -226,13 +277,29 @@ fn run() -> Result<(), String> {
         }
         "stats" => {
             let stats = GraphStats::of(&graph);
-            let gs = dependent_set_sizes(&graph, &generate_seq(&graph));
+            let order = generate_seq(&graph);
+            let gs = dependent_set_sizes(&graph, &order);
             let bf = dependent_set_sizes(&graph, &bfs_order(&graph));
+            let structure =
+                pase_core::VertexStructure::build(&graph, &order, pase_core::ConnectedSetMode::Exact);
+            let tables = CostTables::build_with(
+                &graph,
+                ConfigRule::new(p),
+                &machine,
+                &TableOptions {
+                    intern: knobs.intern,
+                    ..TableOptions::default()
+                },
+            );
+            let intern = tables.intern_stats();
             let content = format!(
                 "model {model}: {} nodes, {} edges\n\
                  degrees: max {}, mean {:.2}, high-degree (≥5) {}\n\
                  step flops: {:.3e}, parameters: {:.3e}\n\
-                 max |D(i)|: GenerateSeq {}, breadth-first {}\n",
+                 max |D(i)|: GenerateSeq {}, breadth-first {}\n\
+                 wavefronts: {} (max width {})\n\
+                 cost tables (p = {p}): {} layer tables for {} nodes, \
+                 {} edge tables for {} edges — intern hit rate {:.0}%\n",
                 stats.nodes,
                 stats.edges,
                 stats.degrees.max,
@@ -242,11 +309,18 @@ fn run() -> Result<(), String> {
                 stats.params,
                 gs.iter().max().unwrap_or(&0),
                 bf.iter().max().unwrap_or(&0),
+                structure.wavefronts().len(),
+                structure.max_wavefront_width(),
+                intern.unique_layer_tables,
+                intern.nodes,
+                intern.unique_edge_tables,
+                intern.edges,
+                intern.hit_rate() * 100.0,
             );
             emit(args.get("out"), &content)?;
         }
         "export" => {
-            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None)?;
+            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None, knobs)?;
             emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
         }
         "simulate" => {
@@ -285,7 +359,7 @@ fn run() -> Result<(), String> {
         "trace" => {
             // Per-layer timing of the searched strategy: where does the
             // step time actually go?
-            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None)?;
+            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None, knobs)?;
             let topo = Topology::cluster(machine.clone(), p);
             let (rep, mut rows) =
                 simulate_step_trace(&graph, &strategy, &topo, &SimOptions::default());
@@ -415,9 +489,64 @@ mod tests {
     #[test]
     fn search_strategy_produces_complete_cover() {
         let g = build_model("mlp", 4, false).unwrap();
-        let (s, cost, stats, _) = search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None).unwrap();
+        let knobs = SearchKnobs {
+            threads: 0,
+            intern: true,
+        };
+        let (s, cost, stats, _) =
+            search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None, knobs).unwrap();
         assert_eq!(s.len(), g.len());
         assert!(cost > 0.0);
         assert!(stats.max_configs > 0);
+        assert!(stats.wavefronts > 0);
+    }
+
+    #[test]
+    fn search_knobs_parse_from_args() {
+        let a = Args::parse(
+            "search --search-threads 2 --no-intern"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let k = SearchKnobs::from_args(&a).unwrap();
+        assert_eq!(k.threads, 2);
+        assert!(!k.intern);
+        let d = SearchKnobs::from_args(&Args::default()).unwrap();
+        assert_eq!(d.threads, 0);
+        assert!(d.intern);
+    }
+
+    #[test]
+    fn capped_threads_and_no_intern_match_defaults() {
+        let g = build_model("mlp", 4, false).unwrap();
+        let m = MachineSpec::gtx1080ti();
+        let base = search_strategy(
+            &g,
+            4,
+            &m,
+            None,
+            SearchKnobs {
+                threads: 0,
+                intern: true,
+            },
+        )
+        .unwrap();
+        let knobbed = search_strategy(
+            &g,
+            4,
+            &m,
+            None,
+            SearchKnobs {
+                threads: 1,
+                intern: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(base.1.to_bits(), knobbed.1.to_bits());
+        assert_eq!(
+            base.0.configs().len(),
+            knobbed.0.configs().len()
+        );
     }
 }

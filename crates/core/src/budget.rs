@@ -60,6 +60,15 @@ pub struct SearchStats {
     pub table_entries: u64,
     /// Total `(substrategy, configuration)` pairs evaluated.
     pub states_evaluated: u64,
+    /// Number of wavefronts in the table-dependency DAG (tables within a
+    /// wavefront are filled concurrently).
+    pub wavefronts: usize,
+    /// Size of the largest wavefront (peak table-level parallelism).
+    pub max_wavefront_width: usize,
+    /// Fraction of cost-table lookups served by structural interning in the
+    /// [`pase_cost::CostTables`] the search ran on (0 when the tables were
+    /// built without interning).
+    pub intern_hit_rate: f64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
 }

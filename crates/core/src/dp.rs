@@ -20,8 +20,23 @@
 //!   or a member of `D(i)` (see the containment argument in the module
 //!   tests), so the child index is `Σ_t A_t · digit_t + B · C` with
 //!   precomputed coefficients.
-//! * The loop over `Φ_{|D(i)}` is embarrassingly parallel; tables above a
-//!   size threshold are filled with rayon.
+//! * Tables are filled **wavefront-parallel**: the table at position `i`
+//!   reads exactly the tables at `subset_anchors(i)`, so the positions form
+//!   a DAG whose levels ([`VertexStructure::wavefronts`]) can each be
+//!   filled concurrently — parallelism across *tables*, not just across
+//!   one table's entries. Within a wave, every table is cut into fixed-size
+//!   entry chunks and the chunks of all tables share one work queue, so a
+//!   wave with one huge and many tiny tables still balances. Budget
+//!   accounting runs sequentially in position order first (table sizes are
+//!   content-independent), preserving the exact OOM/timeout semantics of a
+//!   sequential fill.
+//! * Each chunk decodes its first substrategy index once and then walks the
+//!   mixed-radix odometer **incrementally** — per entry, only the digits
+//!   that change are touched and the child-table base offsets are adjusted
+//!   by the corresponding coefficient deltas, replacing the per-entry
+//!   div/mod decode and coefficient dot product. Costs and choices are
+//!   written straight into the table's final arrays (no intermediate
+//!   tuple buffer).
 //! * Budgets are enforced *before* each allocation (`Oom`) and per chunk of
 //!   work (`Timeout`), reproducing Table I's failure modes without actually
 //!   exhausting the machine.
@@ -35,6 +50,10 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::time::Instant;
 
+/// Entries per work chunk: the granularity of parallel scheduling and of
+/// deadline checks.
+const CHUNK: usize = 4096;
+
 /// Options for [`find_best_strategy`].
 #[derive(Clone, Copy, Debug)]
 pub struct DpOptions {
@@ -45,7 +64,8 @@ pub struct DpOptions {
     pub mode: ConnectedSetMode,
     /// Resource limits.
     pub budget: SearchBudget,
-    /// Fill large tables with rayon.
+    /// Fill tables wavefront-parallel with rayon; `false` fills strictly
+    /// sequentially in position order (bit-identical results either way).
     pub parallel: bool,
 }
 
@@ -60,7 +80,9 @@ impl Default for DpOptions {
     }
 }
 
-/// Per-thread scratch buffers for the table-fill loop.
+/// Per-thread scratch buffers for the table-fill loop, grown on demand to
+/// the widest dependent set / child list a chunk needs.
+#[derive(Default)]
 struct Scratch {
     digits: Vec<u16>,
     child_base: Vec<u64>,
@@ -80,18 +102,56 @@ struct Table {
 }
 
 impl Table {
+    /// Flat index of the substrategy selecting `assignment`'s configuration
+    /// for every vertex of `dep`. Both `dep` and `assignment` are sorted by
+    /// node id and `assignment ⊇ dep`, so one merge walk suffices.
     fn flat_index_of(&self, assignment: &[(NodeId, u16)]) -> usize {
         let mut idx = 0u64;
+        let mut a = assignment.iter();
         for (t, &w) in self.dep.iter().enumerate() {
-            let cfg = assignment
-                .iter()
-                .find(|(n, _)| *n == w)
-                .map(|(_, c)| *c)
-                .expect("assignment must cover the dependent set");
+            let cfg = loop {
+                let &(n, c) = a.next().expect("assignment must cover the dependent set");
+                if n == w {
+                    break c;
+                }
+                debug_assert!(n < w, "assignment must be sorted by node id");
+            };
             idx += self.strides[t] * u64::from(cfg);
         }
         idx as usize
     }
+}
+
+/// Content-independent fill plan for one position, prepared during the
+/// sequential budget-accounting pass.
+struct Plan {
+    vi: NodeId,
+    dep: Vec<NodeId>,
+    radix: Vec<u32>,
+    strides: Vec<u64>,
+    size: u64,
+    kv: u16,
+    /// Edges from `v^(i)` to its later neighbors: (edge, digit slot of the
+    /// neighbor, whether `v^(i)` is the edge's source).
+    later_edges: Vec<(EdgeId, usize, bool)>,
+}
+
+/// Linear-lookup coefficients of one child table (connected subset):
+/// `child_index = Σ_t parent_coef[t]·digit_t + vi_coef·C`.
+struct ChildCoef {
+    /// Anchor position (index into the `dp` table vector).
+    anchor: usize,
+    parent_coef: Vec<u64>,
+    vi_coef: u64,
+}
+
+/// One unit of fill work: a contiguous entry range of one table, with the
+/// output slices it writes.
+struct FillChunk<'a> {
+    plan_idx: usize,
+    start: u64,
+    costs: &'a mut [f64],
+    choice: &'a mut [u16],
 }
 
 /// Run FindBestStrategy with breadth-first ordering and prefix connected
@@ -112,6 +172,89 @@ pub fn naive_best_strategy(
             parallel: true,
         },
     )
+}
+
+/// Fill `chunk.costs`/`chunk.choice` for the entry range starting at
+/// `chunk.start`. Decodes the first index once, then advances the digit
+/// odometer and the child base offsets incrementally.
+fn fill_chunk(
+    tables: &CostTables,
+    plan: &Plan,
+    children: &[ChildCoef],
+    dp: &[Option<Table>],
+    scratch: &mut Scratch,
+    chunk: &mut FillChunk<'_>,
+) {
+    let n_dep = plan.dep.len();
+    scratch.digits.clear();
+    scratch.digits.resize(n_dep, 0);
+    scratch.child_base.clear();
+    scratch.child_base.resize(children.len(), 0);
+
+    // Initial digit decode and child base offsets for the chunk's first
+    // entry — the only div/mod decode in the whole chunk.
+    for t in 0..n_dep {
+        scratch.digits[t] = ((chunk.start / plan.strides[t]) % u64::from(plan.radix[t])) as u16;
+    }
+    for (ci, ch) in children.iter().enumerate() {
+        let mut b = 0u64;
+        for t in 0..n_dep {
+            b += ch.parent_coef[t] * u64::from(scratch.digits[t]);
+        }
+        scratch.child_base[ci] = b;
+    }
+
+    let vi = plan.vi;
+    let kv = plan.kv;
+    let len = chunk.costs.len();
+    for off in 0..len {
+        let mut best = f64::INFINITY;
+        let mut best_c = 0u16;
+        for c in 0..kv {
+            let mut cost = tables.layer_cost(vi, c);
+            for &(e, slot, vi_is_src) in &plan.later_edges {
+                let w_cfg = scratch.digits[slot];
+                cost += if vi_is_src {
+                    tables.edge_cost(e, c, w_cfg)
+                } else {
+                    tables.edge_cost(e, w_cfg, c)
+                };
+            }
+            for (ci, ch) in children.iter().enumerate() {
+                let idx = scratch.child_base[ci] + ch.vi_coef * u64::from(c);
+                cost += dp[ch.anchor].as_ref().expect("child table").costs[idx as usize];
+            }
+            if cost < best {
+                best = cost;
+                best_c = c;
+            }
+        }
+        chunk.costs[off] = best;
+        chunk.choice[off] = best_c;
+
+        if off + 1 == len {
+            break;
+        }
+        // Advance the odometer: bump the last digit; on wrap, carry. Each
+        // digit change adjusts every child base by the matching coefficient
+        // delta (+coef on increment, −coef·radix on wrap-around).
+        let mut t = n_dep;
+        loop {
+            debug_assert!(t > 0, "odometer overflow before chunk end");
+            t -= 1;
+            scratch.digits[t] += 1;
+            for (ci, ch) in children.iter().enumerate() {
+                scratch.child_base[ci] += ch.parent_coef[t];
+            }
+            if u32::from(scratch.digits[t]) < plan.radix[t] {
+                break;
+            }
+            scratch.digits[t] = 0;
+            for (ci, ch) in children.iter().enumerate() {
+                scratch.child_base[ci] -= ch.parent_coef[t] * u64::from(plan.radix[t]);
+            }
+        }
+    }
 }
 
 /// Compute the best parallelization strategy for `graph` under the cost
@@ -162,16 +305,21 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
     let mut stats = SearchStats {
         max_dependent_set: structure.max_dependent_set(),
         max_configs: tables.max_k(),
+        wavefronts: structure.wavefronts().len(),
+        max_wavefront_width: structure.max_wavefront_width(),
+        intern_hit_rate: tables.intern_stats().hit_rate(),
         ..SearchStats::default()
     };
 
-    let mut dp: Vec<Option<Table>> = (0..n).map(|_| None).collect();
-
+    // Sequential budget-accounting pass. Table sizes are independent of
+    // table *contents*, so accounting in position order here gives exactly
+    // the OOM/timeout behavior of a fully sequential fill, regardless of
+    // how the fill below is scheduled.
+    let mut plans: Vec<Plan> = Vec::with_capacity(n);
     for i in 0..n {
         let vi = structure.vertex(i);
         let dep = structure.dependent_set(i).to_vec();
 
-        // Radices and strides of this table.
         let radix: Vec<u32> = dep.iter().map(|&w| tables.k(w) as u32).collect();
         let mut size: u64 = 1;
         for &k in &radix {
@@ -202,8 +350,6 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
             strides[t] = strides[t + 1] * u64::from(radix[t + 1]);
         }
 
-        // Edges from v^(i) to its later neighbors: (edge, digit slot of the
-        // neighbor, whether v^(i) is the edge's source).
         let mut later_edges: Vec<(EdgeId, usize, bool)> = Vec::new();
         {
             let mut add = |e: EdgeId, other: NodeId, vi_is_src: bool| {
@@ -222,115 +368,173 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
             }
         }
 
-        // Child tables (connected subsets S(i)) with linear index
-        // coefficients: child_index = Σ_t parent_coef[t]·digit_t + vi_coef·C.
-        struct Child<'a> {
-            table: &'a Table,
-            parent_coef: Vec<u64>,
-            vi_coef: u64,
-        }
-        let mut children: Vec<Child<'_>> = Vec::new();
-        // Split borrows: children reference earlier tables only.
-        let (earlier, _rest) = dp.split_at(i);
-        for &j in structure.subset_anchors(i) {
-            let table = earlier[j].as_ref().expect("child table must exist");
-            let mut parent_coef = vec![0u64; dep.len()];
-            let mut vi_coef = 0u64;
-            for (t, &w) in table.dep.iter().enumerate() {
-                if w == vi {
-                    vi_coef += table.strides[t];
-                } else {
-                    let slot = dep.binary_search(&w).unwrap_or_else(|_| {
-                        panic!("D(j) ⊆ D(i) ∪ {{v_i}} violated: {w} not in D({i}) of {vi}")
-                    });
-                    parent_coef[slot] += table.strides[t];
-                }
-            }
-            children.push(Child {
-                table,
-                parent_coef,
-                vi_coef,
-            });
-        }
-
         let kv = tables.k(vi) as u16;
         stats.states_evaluated += size * u64::from(kv);
         stats.table_entries += size;
-
-        // Fill the table: for every substrategy index, the best C. Scratch
-        // buffers are reused per thread to keep the hot loop allocation-free.
-        let timed_out = AtomicBool::new(false);
-        let make_scratch = || Scratch {
-            digits: vec![0u16; dep.len()],
-            child_base: vec![0u64; children.len()],
-        };
-        let compute_entry = |scratch: &mut Scratch, flat: u64| -> (f64, u16) {
-            if flat.is_multiple_of(4096) && Instant::now() > deadline {
-                timed_out.store(true, AtomicOrdering::Relaxed);
-                return (f64::INFINITY, 0);
-            }
-            // Decode digits of the parent substrategy.
-            for t in 0..dep.len() {
-                scratch.digits[t] = ((flat / strides[t]) % u64::from(radix[t])) as u16;
-            }
-            // Child base indices (the C-independent part).
-            for (ci, ch) in children.iter().enumerate() {
-                let mut b = 0u64;
-                for t in 0..dep.len() {
-                    b += ch.parent_coef[t] * u64::from(scratch.digits[t]);
-                }
-                scratch.child_base[ci] = b;
-            }
-            let mut best = f64::INFINITY;
-            let mut best_c = 0u16;
-            for c in 0..kv {
-                let mut cost = tables.layer_cost(vi, c);
-                for &(e, slot, vi_is_src) in &later_edges {
-                    let w_cfg = scratch.digits[slot];
-                    cost += if vi_is_src {
-                        tables.edge_cost(e, c, w_cfg)
-                    } else {
-                        tables.edge_cost(e, w_cfg, c)
-                    };
-                }
-                for (ci, ch) in children.iter().enumerate() {
-                    let idx = scratch.child_base[ci] + ch.vi_coef * u64::from(c);
-                    cost += ch.table.costs[idx as usize];
-                }
-                if cost < best {
-                    best = cost;
-                    best_c = c;
-                }
-            }
-            (best, best_c)
-        };
-
-        let entries: Vec<(f64, u16)> = if opts.parallel && size >= 2048 {
-            (0..size as usize)
-                .into_par_iter()
-                .with_min_len(512)
-                .map_init(make_scratch, |s, flat| compute_entry(s, flat as u64))
-                .collect()
-        } else {
-            let mut s = make_scratch();
-            (0..size).map(|flat| compute_entry(&mut s, flat)).collect()
-        };
-        if timed_out.load(AtomicOrdering::Relaxed) {
-            stats.elapsed = start.elapsed();
-            return SearchOutcome::Timeout { stats };
-        }
-        let mut costs = Vec::with_capacity(entries.len());
-        let mut choice = Vec::with_capacity(entries.len());
-        for (c, ch) in entries {
-            costs.push(c);
-            choice.push(ch);
-        }
-        dp[i] = Some(Table {
+        plans.push(Plan {
+            vi,
             dep,
+            radix,
             strides,
+            size,
+            kv,
+            later_edges,
+        });
+    }
+
+    // Child coefficients need only the child's *plan* (dep + strides), so
+    // they are precomputable for every position up front.
+    let children_of = |i: usize| -> Vec<ChildCoef> {
+        let plan = &plans[i];
+        structure
+            .subset_anchors(i)
+            .iter()
+            .map(|&j| {
+                let child = &plans[j];
+                let mut parent_coef = vec![0u64; plan.dep.len()];
+                let mut vi_coef = 0u64;
+                for (t, &w) in child.dep.iter().enumerate() {
+                    if w == plan.vi {
+                        vi_coef += child.strides[t];
+                    } else {
+                        let slot = plan.dep.binary_search(&w).unwrap_or_else(|_| {
+                            panic!(
+                                "D(j) ⊆ D(i) ∪ {{v_i}} violated: {w} not in D({i}) of {}",
+                                plan.vi
+                            )
+                        });
+                        parent_coef[slot] += child.strides[t];
+                    }
+                }
+                ChildCoef {
+                    anchor: j,
+                    parent_coef,
+                    vi_coef,
+                }
+            })
+            .collect()
+    };
+
+    let timed_out = AtomicBool::new(false);
+    let mut dp: Vec<Option<Table>> = (0..n).map(|_| None).collect();
+
+    // Install a finished (costs, choice) pair as position i's table.
+    let finish = |dp: &mut Vec<Option<Table>>, i: usize, costs: Vec<f64>, choice: Vec<u16>| {
+        let plan = &plans[i];
+        dp[i] = Some(Table {
+            dep: plan.dep.clone(),
+            strides: plan.strides.clone(),
             costs,
             choice,
         });
+    };
+
+    if opts.parallel {
+        // Wavefront schedule: every table of a wave depends only on tables
+        // of earlier waves, so all chunks of all tables in the wave go into
+        // one shared work queue.
+        for wave in structure.wavefronts() {
+            let wave_children: Vec<Vec<ChildCoef>> =
+                wave.iter().map(|&i| children_of(i)).collect();
+            let mut outs: Vec<(Vec<f64>, Vec<u16>)> = wave
+                .iter()
+                .map(|&i| {
+                    let size = plans[i].size as usize;
+                    (vec![0.0f64; size], vec![0u16; size])
+                })
+                .collect();
+            let total_entries: usize = wave.iter().map(|&i| plans[i].size as usize).sum();
+
+            if total_entries >= CHUNK {
+                let mut chunks: Vec<FillChunk<'_>> = Vec::new();
+                for (w, (costs, choice)) in outs.iter_mut().enumerate() {
+                    let mut start = 0u64;
+                    for (cs, ch) in costs.chunks_mut(CHUNK).zip(choice.chunks_mut(CHUNK)) {
+                        let len = cs.len() as u64;
+                        chunks.push(FillChunk {
+                            plan_idx: w,
+                            start,
+                            costs: cs,
+                            choice: ch,
+                        });
+                        start += len;
+                    }
+                }
+                let dp_ref = &dp;
+                let plans_ref = &plans;
+                let wave_children_ref = &wave_children;
+                let timed_out_ref = &timed_out;
+                chunks
+                    .into_par_iter()
+                    .for_each_init(Scratch::default, |scratch, mut chunk| {
+                        if timed_out_ref.load(AtomicOrdering::Relaxed) {
+                            return;
+                        }
+                        if Instant::now() > deadline {
+                            timed_out_ref.store(true, AtomicOrdering::Relaxed);
+                            return;
+                        }
+                        let i = wave[chunk.plan_idx];
+                        fill_chunk(
+                            tables,
+                            &plans_ref[i],
+                            &wave_children_ref[chunk.plan_idx],
+                            dp_ref,
+                            scratch,
+                            &mut chunk,
+                        );
+                    });
+            } else {
+                let mut scratch = Scratch::default();
+                for (w, (costs, choice)) in outs.iter_mut().enumerate() {
+                    if Instant::now() > deadline {
+                        timed_out.store(true, AtomicOrdering::Relaxed);
+                        break;
+                    }
+                    let i = wave[w];
+                    let mut chunk = FillChunk {
+                        plan_idx: w,
+                        start: 0,
+                        costs,
+                        choice,
+                    };
+                    fill_chunk(tables, &plans[i], &wave_children[w], &dp, &mut scratch, &mut chunk);
+                }
+            }
+            if timed_out.load(AtomicOrdering::Relaxed) {
+                stats.elapsed = start.elapsed();
+                return SearchOutcome::Timeout { stats };
+            }
+            for (w, (costs, choice)) in outs.into_iter().enumerate() {
+                finish(&mut dp, wave[w], costs, choice);
+            }
+        }
+    } else {
+        // Strictly sequential fill in position order (the wavefront
+        // schedule produces bit-identical tables; this path exists for
+        // measurement and as the oracle in scheduling tests).
+        let mut scratch = Scratch::default();
+        for i in 0..n {
+            let children = children_of(i);
+            let size = plans[i].size as usize;
+            let mut costs = vec![0.0f64; size];
+            let mut choice = vec![0u16; size];
+            for lo in (0..size).step_by(CHUNK) {
+                if Instant::now() > deadline {
+                    stats.elapsed = start.elapsed();
+                    return SearchOutcome::Timeout { stats };
+                }
+                let hi = (lo + CHUNK).min(size);
+                let mut chunk = FillChunk {
+                    plan_idx: i,
+                    start: lo as u64,
+                    costs: &mut costs[lo..hi],
+                    choice: &mut choice[lo..hi],
+                };
+                fill_chunk(tables, &plans[i], &children, &dp, &mut scratch, &mut chunk);
+            }
+            finish(&mut dp, i, costs, choice);
+        }
     }
 
     // Total minimum cost: sum of the (singleton) root tables.
@@ -343,7 +547,8 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
 
     // Back-substitution: walk from each root, assigning the stored argmin
     // configuration and recursing into the connected subsets with the
-    // restricted substrategy.
+    // restricted substrategy. Assignments are kept sorted by node id so
+    // lookups are binary searches / merge walks instead of linear scans.
     let mut ids = vec![u16::MAX; n];
     let mut stack: Vec<(usize, Vec<(NodeId, u16)>)> =
         structure.roots().iter().map(|&r| (r, Vec::new())).collect();
@@ -354,18 +559,18 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
         let c = t.choice[flat];
         ids[vi.index()] = c;
         let mut extended = assignment;
-        extended.push((vi, c));
+        let at = extended.partition_point(|&(w, _)| w < vi);
+        extended.insert(at, (vi, c));
         for &j in structure.subset_anchors(i) {
             let child_dep = &dp[j].as_ref().expect("child").dep;
+            // child_dep is sorted, so the mapped assignment stays sorted.
             let child_assignment: Vec<(NodeId, u16)> = child_dep
                 .iter()
                 .map(|&w| {
-                    let cfg = extended
-                        .iter()
-                        .find(|(n, _)| *n == w)
-                        .map(|(_, c)| *c)
+                    let slot = extended
+                        .binary_search_by_key(&w, |&(n, _)| n)
                         .expect("child dependent set must be covered");
-                    (w, cfg)
+                    (w, extended[slot].1)
                 })
                 .collect();
             stack.push((j, child_assignment));
@@ -550,6 +755,44 @@ mod tests {
     }
 
     #[test]
+    fn wavefront_and_sequential_schedules_agree_on_benchmarks() {
+        // The wavefront schedule must be a pure reordering of the work: on
+        // every paper benchmark model the costs AND the extracted per-node
+        // configuration ids must match the sequential fill exactly.
+        for bench in pase_models::Benchmark::all() {
+            let g = bench.build();
+            let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+            let wavefront = find_best_strategy(&g, &tables, &DpOptions::default())
+                .expect_found(bench.name());
+            let sequential = find_best_strategy(
+                &g,
+                &tables,
+                &DpOptions {
+                    parallel: false,
+                    ..DpOptions::default()
+                },
+            )
+            .expect_found(bench.name());
+            assert_eq!(
+                wavefront.cost.to_bits(),
+                sequential.cost.to_bits(),
+                "{}: wavefront cost {} != sequential cost {}",
+                bench.name(),
+                wavefront.cost,
+                sequential.cost
+            );
+            assert_eq!(
+                wavefront.config_ids,
+                sequential.config_ids,
+                "{}: schedules disagree on the argmin strategy",
+                bench.name()
+            );
+            assert!(wavefront.stats.wavefronts > 0);
+            assert!(wavefront.stats.max_wavefront_width >= 1);
+        }
+    }
+
+    #[test]
     fn naive_helper_equals_efficient_result() {
         let g = chain3();
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
@@ -609,5 +852,10 @@ mod tests {
         assert!(r.stats.states_evaluated > 0);
         assert!(r.stats.table_entries > 0);
         assert!(r.stats.max_configs > 0);
+        assert!(r.stats.wavefronts > 0);
+        assert!(r.stats.max_wavefront_width >= 1);
+        // Diamond has repeated structures (b/c identical), so the default
+        // interned build must report sharing.
+        assert!(r.stats.intern_hit_rate > 0.0);
     }
 }

@@ -42,6 +42,8 @@ pub struct VertexStructure {
     dep_sets: Vec<Vec<NodeId>>,
     subsets: Vec<Vec<usize>>,
     roots: Vec<usize>,
+    wavefronts: Vec<Vec<usize>>,
+    levels: Vec<u32>,
     mode: ConnectedSetMode,
 }
 
@@ -151,12 +153,35 @@ impl VertexStructure {
                 .collect(),
         };
 
+        // Wavefront levels over the table-dependency DAG: the table at
+        // position `i` reads exactly the tables at `subset_anchors(i)`, all
+        // of which are earlier positions, so
+        // `level(i) = 1 + max level(anchor)` (0 with no anchors) gives a
+        // schedule where every table in one level can be filled
+        // concurrently once the previous levels are done.
+        let mut levels = vec![0u32; n];
+        for i in 0..n {
+            let lvl = subsets[i]
+                .iter()
+                .map(|&j| levels[j] + 1)
+                .max()
+                .unwrap_or(0);
+            levels[i] = lvl;
+        }
+        let n_waves = levels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut wavefronts: Vec<Vec<usize>> = vec![Vec::new(); n_waves];
+        for (i, &l) in levels.iter().enumerate() {
+            wavefronts[l as usize].push(i);
+        }
+
         Self {
             order: order.to_vec(),
             pos,
             dep_sets,
             subsets,
             roots,
+            wavefronts,
+            levels,
             mode,
         }
     }
@@ -201,6 +226,25 @@ impl VertexStructure {
     /// Size of the largest dependent set (the paper's `M`).
     pub fn max_dependent_set(&self) -> usize {
         self.dep_sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Positions grouped by dependency level: all tables of
+    /// `wavefronts()[l]` depend (transitively, via [`Self::subset_anchors`])
+    /// only on tables in waves `< l`, so each wave can be filled
+    /// concurrently. Waves are ordered; positions within a wave are in
+    /// ascending order.
+    pub fn wavefronts(&self) -> &[Vec<usize>] {
+        &self.wavefronts
+    }
+
+    /// Dependency level of position `i` (its index in [`Self::wavefronts`]).
+    pub fn level(&self, i: usize) -> usize {
+        self.levels[i] as usize
+    }
+
+    /// Size of the largest wavefront (peak table-level parallelism).
+    pub fn max_wavefront_width(&self) -> usize {
+        self.wavefronts.iter().map(Vec::len).max().unwrap_or(0)
     }
 
     /// The mode this structure was built with.
@@ -330,6 +374,63 @@ mod tests {
         let order = generate_seq(&g);
         let s = VertexStructure::build(&g, &order, ConnectedSetMode::Exact);
         assert!(s.max_dependent_set() <= 1, "M = {}", s.max_dependent_set());
+    }
+
+    #[test]
+    fn wavefronts_partition_positions_and_respect_anchors() {
+        let g = two_chains_join();
+        for mode in [ConnectedSetMode::Exact, ConnectedSetMode::Prefix] {
+            let order: Vec<NodeId> = g.node_ids().collect();
+            let s = VertexStructure::build(&g, &order, mode);
+            let mut seen = vec![false; g.len()];
+            for (l, wave) in s.wavefronts().iter().enumerate() {
+                assert!(!wave.is_empty(), "empty wave {l}");
+                for &i in wave {
+                    assert_eq!(s.level(i), l);
+                    assert!(!seen[i], "position {i} in two waves");
+                    seen[i] = true;
+                    for &j in s.subset_anchors(i) {
+                        assert!(
+                            s.level(j) < l,
+                            "anchor {j} (level {}) not before {i} (level {l})",
+                            s.level(j)
+                        );
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "wavefronts must cover all positions");
+            assert!(s.max_wavefront_width() >= 1);
+        }
+    }
+
+    #[test]
+    fn prefix_mode_wavefronts_are_singletons() {
+        // Recurrence (2) chains every table to its predecessor, so the
+        // dependency DAG is a path: n waves of width 1.
+        let g = two_chains_join();
+        let order: Vec<NodeId> = g.node_ids().collect();
+        let s = VertexStructure::build(&g, &order, ConnectedSetMode::Prefix);
+        assert_eq!(s.wavefronts().len(), g.len());
+        assert_eq!(s.max_wavefront_width(), 1);
+    }
+
+    #[test]
+    fn independent_chains_share_waves() {
+        // Two disconnected 2-chains: positions 0 and 2 have no anchors
+        // (wave 0), positions 1 and 3 anchor on them (wave 1).
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(ew("a0", 0));
+        let a1 = b.add_node(ew("a1", 1));
+        let c0 = b.add_node(ew("c0", 0));
+        let c1 = b.add_node(ew("c1", 1));
+        b.connect(a0, a1);
+        b.connect(c0, c1);
+        let g = b.build().unwrap();
+        let order: Vec<NodeId> = g.node_ids().collect();
+        let s = VertexStructure::build(&g, &order, ConnectedSetMode::Exact);
+        assert_eq!(s.wavefronts()[0], vec![0, 2]);
+        assert_eq!(s.wavefronts()[1], vec![1, 3]);
+        assert_eq!(s.max_wavefront_width(), 2);
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub use layer::layer_cost;
 pub use machine::MachineSpec;
 pub use sharding::{replication, shard_bytes, shard_elements, tensor_sharding};
 pub use strategy::{evaluate, validate_strategy, Strategy};
-pub use tables::CostTables;
+pub use tables::{CostTables, InternStats, TableOptions};
 pub use transfer::{transfer_bytes, transfer_cost};

@@ -6,19 +6,154 @@
 //! `layer[v][c]` for every configuration `c ∈ C(v)` and
 //! `edge[e][c_u][c_v]` for every configuration pair of an edge's endpoints —
 //! so the search's inner loop is pure dense-array lookups.
+//!
+//! ## Structural interning
+//!
+//! DNN benchmark graphs repeat layer shapes heavily (InceptionV3 stacks the
+//! same convolution/concat blocks, RNNLM unrolls one cell, Transformer
+//! repeats identical encoder layers), and both `enumerate_configs` and the
+//! cost formulas depend only on a node's *structure* — its op, iteration
+//! space, and tensor maps — never on its name or identity. `build` therefore
+//! keys layer tables by that structure (plus the shared [`ConfigRule`]) and
+//! edge tables by `(producer class, consumer class, dst_slot)`, computes
+//! each distinct table once (in parallel across distinct tables), and maps
+//! nodes/edges to indices into the interned pools. Lookups stay `O(1)`;
+//! results are bit-identical to an uninterned build because shared entries
+//! are produced by the very same computation.
 
 use crate::config::{enumerate_configs, Config, ConfigRule};
 use crate::layer::layer_cost;
 use crate::machine::MachineSpec;
 use crate::strategy::Strategy;
 use crate::transfer::transfer_bytes;
-use pase_graph::{EdgeId, Graph, NodeId};
+use pase_graph::{EdgeId, Graph, IterDim, Node, NodeId, OpKind};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
 
-/// Dense transfer-cost matrix for one edge: `costs[cu * k_dst + cv]`.
+/// How [`CostTables::build_with`] constructs the tables.
+#[derive(Clone, Copy, Debug)]
+pub struct TableOptions {
+    /// Share tables between structurally identical nodes/edges (always
+    /// bit-identical to an uninterned build; disable only for A/B
+    /// measurement).
+    pub intern: bool,
+    /// Compute distinct tables in parallel.
+    pub parallel: bool,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        Self {
+            intern: true,
+            parallel: true,
+        }
+    }
+}
+
+/// Interning effectiveness counters (see [`CostTables::intern_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternStats {
+    /// Number of graph nodes covered.
+    pub nodes: usize,
+    /// Distinct layer tables actually computed.
+    pub unique_layer_tables: usize,
+    /// Number of graph edges covered.
+    pub edges: usize,
+    /// Distinct edge tables actually computed.
+    pub unique_edge_tables: usize,
+}
+
+impl InternStats {
+    /// Fraction of all tables (layer + edge) served from the intern pool
+    /// instead of being computed: `1 − unique/total`. 0 for an uninterned
+    /// build or an empty graph.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.nodes + self.edges;
+        if total == 0 {
+            return 0.0;
+        }
+        let unique = self.unique_layer_tables + self.unique_edge_tables;
+        1.0 - unique as f64 / total as f64
+    }
+}
+
+/// Structural identity of a node for interning: everything the
+/// configuration enumeration and cost formulas read, nothing else (in
+/// particular not the node's name). Float op parameters are keyed by their
+/// bit patterns so `Hash`/`Eq` stay consistent.
+#[derive(PartialEq, Eq, Hash)]
+struct NodeKey {
+    op_tag: u8,
+    op_bits: [u64; 3],
+    iter_space: Vec<IterDim>,
+    n_inputs: u32,
+    tensors: Vec<(Vec<u32>, Vec<u64>, u32)>,
+}
+
+fn node_key(n: &Node) -> NodeKey {
+    let (op_tag, op_bits): (u8, [u64; 3]) = match n.op {
+        OpKind::Conv2d {
+            kernel_h,
+            kernel_w,
+            stride,
+        } => (0, [kernel_h.into(), kernel_w.into(), stride.into()]),
+        OpKind::Pool2d { kernel, stride } => (1, [kernel.into(), stride.into(), 0]),
+        OpKind::FullyConnected => (2, [0; 3]),
+        OpKind::Matmul => (3, [0; 3]),
+        OpKind::Softmax => (4, [0; 3]),
+        OpKind::Embedding => (5, [0; 3]),
+        OpKind::Lstm { layers } => (6, [layers.into(), 0, 0]),
+        OpKind::Attention => (7, [0; 3]),
+        OpKind::FeedForward => (8, [0; 3]),
+        OpKind::LayerNorm => (9, [0; 3]),
+        OpKind::BatchNorm => (10, [0; 3]),
+        OpKind::Elementwise { flops_per_point } => (11, [flops_per_point.to_bits(), 0, 0]),
+        OpKind::Concat => (12, [0; 3]),
+    };
+    let tensor = |t: &pase_graph::TensorRef| (t.dims.clone(), t.sizes.clone(), t.elem_bytes);
+    NodeKey {
+        op_tag,
+        op_bits,
+        iter_space: n.iter_space.clone(),
+        n_inputs: n.inputs.len() as u32,
+        tensors: n
+            .inputs
+            .iter()
+            .chain(std::iter::once(&n.output))
+            .chain(n.params.iter())
+            .map(tensor)
+            .collect(),
+    }
+}
+
+/// One interned layer table: the configuration list and per-configuration
+/// layer cost of a structural node class.
+#[derive(Clone, Debug)]
+struct LayerEntry {
+    configs: Vec<Config>,
+    costs: Vec<f64>,
+}
+
+/// Dense transfer-cost matrix for one structural edge class:
+/// `costs[cu * k_dst + cv]`.
 #[derive(Clone, Debug)]
 struct EdgeTable {
     k_dst: u32,
     costs: Vec<f64>,
+}
+
+/// Map `items` through `f`, in parallel when asked and worthwhile.
+fn map_maybe_par<T, U, F>(items: Vec<T>, parallel: bool, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if parallel && items.len() > 1 {
+        items.into_par_iter().map(f).collect()
+    } else {
+        items.into_iter().map(f).collect()
+    }
 }
 
 /// Precomputed configuration lists and cost tables for a (graph, rule,
@@ -27,55 +162,111 @@ struct EdgeTable {
 pub struct CostTables {
     rule: ConfigRule,
     r: f64,
-    configs: Vec<Vec<Config>>,
-    layer: Vec<Vec<f64>>,
-    edges: Vec<EdgeTable>,
+    /// Node → index into `layer_pool`.
+    node_class: Vec<u32>,
+    layer_pool: Vec<LayerEntry>,
+    /// Edge → index into `edge_pool`.
+    edge_class: Vec<u32>,
+    edge_pool: Vec<EdgeTable>,
 }
 
 impl CostTables {
-    /// Enumerate all configurations and precompute every cost entry.
+    /// Enumerate all configurations and precompute every cost entry, with
+    /// structural interning and parallel table construction (the defaults
+    /// of [`TableOptions`]).
     pub fn build(graph: &Graph, rule: ConfigRule, machine: &MachineSpec) -> Self {
+        Self::build_with(graph, rule, machine, &TableOptions::default())
+    }
+
+    /// [`CostTables::build`] with explicit construction options.
+    pub fn build_with(
+        graph: &Graph,
+        rule: ConfigRule,
+        machine: &MachineSpec,
+        opts: &TableOptions,
+    ) -> Self {
         let r = machine.flop_byte_ratio();
-        let configs: Vec<Vec<Config>> = graph
-            .nodes()
-            .iter()
-            .map(|n| enumerate_configs(n, &rule))
-            .collect();
-        let layer: Vec<Vec<f64>> = graph
-            .iter()
-            .map(|(id, n)| {
-                configs[id.index()]
-                    .iter()
-                    .map(|c| layer_cost(n, c, r))
-                    .collect()
-            })
-            .collect();
-        let edges: Vec<EdgeTable> = graph
-            .edges()
-            .iter()
-            .map(|e| {
-                let src = graph.node(e.src);
-                let dst = graph.node(e.dst);
-                let cu_list = &configs[e.src.index()];
-                let cv_list = &configs[e.dst.index()];
-                let mut costs = Vec::with_capacity(cu_list.len() * cv_list.len());
-                for cu in cu_list {
-                    for cv in cv_list {
-                        costs.push(r * transfer_bytes(src, cu, dst, e.dst_slot as usize, cv));
-                    }
+
+        // Node classes: one per distinct structural key when interning,
+        // one per node otherwise. `layer_reps[class]` is a representative.
+        let nodes = graph.nodes();
+        let mut node_class = Vec::with_capacity(nodes.len());
+        let mut layer_reps: Vec<NodeId> = Vec::new();
+        if opts.intern {
+            let mut classes: FxHashMap<NodeKey, u32> = FxHashMap::default();
+            for (i, n) in nodes.iter().enumerate() {
+                let next = layer_reps.len() as u32;
+                let class = *classes.entry(node_key(n)).or_insert_with(|| {
+                    layer_reps.push(NodeId(i as u32));
+                    next
+                });
+                node_class.push(class);
+            }
+        } else {
+            for i in 0..nodes.len() {
+                node_class.push(i as u32);
+                layer_reps.push(NodeId(i as u32));
+            }
+        }
+        let layer_pool: Vec<LayerEntry> = map_maybe_par(layer_reps, opts.parallel, |v| {
+            let n = graph.node(v);
+            let configs = enumerate_configs(n, &rule);
+            let costs = configs.iter().map(|c| layer_cost(n, c, r)).collect();
+            LayerEntry { configs, costs }
+        });
+
+        // Edge classes: the transfer matrix depends only on the endpoint
+        // structures (which determine the config lists under the shared
+        // rule) and the consumer slot.
+        let edges = graph.edges();
+        let mut edge_class = Vec::with_capacity(edges.len());
+        let mut edge_reps: Vec<EdgeId> = Vec::new();
+        if opts.intern {
+            let mut classes: FxHashMap<(u32, u32, u32), u32> = FxHashMap::default();
+            for (i, e) in edges.iter().enumerate() {
+                let key = (
+                    node_class[e.src.index()],
+                    node_class[e.dst.index()],
+                    e.dst_slot,
+                );
+                let next = edge_reps.len() as u32;
+                let class = *classes.entry(key).or_insert_with(|| {
+                    edge_reps.push(EdgeId(i as u32));
+                    next
+                });
+                edge_class.push(class);
+            }
+        } else {
+            for i in 0..edges.len() {
+                edge_class.push(i as u32);
+                edge_reps.push(EdgeId(i as u32));
+            }
+        }
+        let edge_pool: Vec<EdgeTable> = map_maybe_par(edge_reps, opts.parallel, |eid| {
+            let e = graph.edge(eid);
+            let src = graph.node(e.src);
+            let dst = graph.node(e.dst);
+            let cu_list = &layer_pool[node_class[e.src.index()] as usize].configs;
+            let cv_list = &layer_pool[node_class[e.dst.index()] as usize].configs;
+            let mut costs = Vec::with_capacity(cu_list.len() * cv_list.len());
+            for cu in cu_list {
+                for cv in cv_list {
+                    costs.push(r * transfer_bytes(src, cu, dst, e.dst_slot as usize, cv));
                 }
-                EdgeTable {
-                    k_dst: cv_list.len() as u32,
-                    costs,
-                }
-            })
-            .collect();
+            }
+            EdgeTable {
+                k_dst: cv_list.len() as u32,
+                costs,
+            }
+        });
+
         Self {
             rule,
             r,
-            configs,
-            layer,
-            edges,
+            node_class,
+            layer_pool,
+            edge_class,
+            edge_pool,
         }
     }
 
@@ -91,45 +282,64 @@ impl CostTables {
 
     /// Number of nodes covered.
     pub fn len(&self) -> usize {
-        self.configs.len()
+        self.node_class.len()
     }
 
     /// Whether the tables cover no nodes.
     pub fn is_empty(&self) -> bool {
-        self.configs.is_empty()
+        self.node_class.is_empty()
+    }
+
+    /// How much work interning shared (see [`InternStats::hit_rate`]).
+    pub fn intern_stats(&self) -> InternStats {
+        InternStats {
+            nodes: self.node_class.len(),
+            unique_layer_tables: self.layer_pool.len(),
+            edges: self.edge_class.len(),
+            unique_edge_tables: self.edge_pool.len(),
+        }
+    }
+
+    #[inline]
+    fn layer_entry(&self, v: NodeId) -> &LayerEntry {
+        &self.layer_pool[self.node_class[v.index()] as usize]
     }
 
     /// `|C(v)|` — the number of valid configurations of node `v`.
     pub fn k(&self, v: NodeId) -> usize {
-        self.configs[v.index()].len()
+        self.layer_entry(v).configs.len()
     }
 
     /// The largest `|C(v)|` over all nodes (the paper's `K`).
     pub fn max_k(&self) -> usize {
-        self.configs.iter().map(Vec::len).max().unwrap_or(0)
+        self.layer_pool
+            .iter()
+            .map(|e| e.configs.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The configuration list of node `v`.
     pub fn configs_of(&self, v: NodeId) -> &[Config] {
-        &self.configs[v.index()]
+        &self.layer_entry(v).configs
     }
 
     /// The configuration of node `v` with local id `c`.
     pub fn config(&self, v: NodeId, c: u16) -> &Config {
-        &self.configs[v.index()][c as usize]
+        &self.layer_entry(v).configs[c as usize]
     }
 
     /// `t_l(v, C_c, r)` in FLOPs.
     #[inline]
     pub fn layer_cost(&self, v: NodeId, c: u16) -> f64 {
-        self.layer[v.index()][c as usize]
+        self.layer_entry(v).costs[c as usize]
     }
 
     /// `r · t_x` for edge `e` under configuration ids `(cu, cv)` of its
     /// endpoints.
     #[inline]
     pub fn edge_cost(&self, e: EdgeId, cu: u16, cv: u16) -> f64 {
-        let t = &self.edges[e.index()];
+        let t = &self.edge_pool[self.edge_class[e.index()] as usize];
         t.costs[cu as usize * t.k_dst as usize + cv as usize]
     }
 
@@ -150,11 +360,11 @@ impl CostTables {
 
     /// Convert per-node configuration ids into a [`Strategy`].
     pub fn ids_to_strategy(&self, ids: &[u16]) -> Strategy {
-        assert_eq!(ids.len(), self.configs.len());
+        assert_eq!(ids.len(), self.node_class.len());
         Strategy::new(
             ids.iter()
                 .enumerate()
-                .map(|(v, &c)| self.configs[v][c as usize])
+                .map(|(v, &c)| self.layer_entry(NodeId(v as u32)).configs[c as usize])
                 .collect(),
         )
     }
@@ -162,7 +372,7 @@ impl CostTables {
     /// Find the configuration ids of a [`Strategy`]; `None` if any node's
     /// configuration is not in its enumerated list.
     pub fn strategy_to_ids(&self, strategy: &Strategy) -> Option<Vec<u16>> {
-        if strategy.len() != self.configs.len() {
+        if strategy.len() != self.node_class.len() {
             return None;
         }
         strategy
@@ -170,7 +380,7 @@ impl CostTables {
             .iter()
             .enumerate()
             .map(|(v, cfg)| {
-                self.configs[v]
+                self.configs_of(NodeId(v as u32))
                     .iter()
                     .position(|c| c == cfg)
                     .map(|i| i as u16)
@@ -272,5 +482,82 @@ mod tests {
             t.config(NodeId(1), cv),
         );
         assert_eq!(t.edge_cost(EdgeId(0), cu, cv), expect);
+    }
+
+    #[test]
+    fn interning_shares_repeated_structures() {
+        // fc1..fc4 are structurally identical (fc0 differs: no input
+        // tensor), and the three interior edges share one class.
+        let g = fc_chain(5);
+        let t = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let s = t.intern_stats();
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.unique_layer_tables, 2);
+        assert_eq!(s.edges, 4);
+        // Edge fc0→fc1 (src class differs) vs the identical fc_i→fc_{i+1}.
+        assert_eq!(s.unique_edge_tables, 2);
+        assert!(s.hit_rate() > 0.5, "hit rate {}", s.hit_rate());
+    }
+
+    #[test]
+    fn interned_and_uninterned_tables_are_bit_identical() {
+        let g = fc_chain(4);
+        let rule = ConfigRule::new(8);
+        let m = MachineSpec::test_machine();
+        let interned = CostTables::build_with(
+            &g,
+            rule,
+            &m,
+            &TableOptions {
+                intern: true,
+                parallel: true,
+            },
+        );
+        let plain = CostTables::build_with(
+            &g,
+            rule,
+            &m,
+            &TableOptions {
+                intern: false,
+                parallel: false,
+            },
+        );
+        assert_eq!(plain.intern_stats().hit_rate(), 0.0);
+        for v in g.node_ids() {
+            assert_eq!(interned.k(v), plain.k(v));
+            assert_eq!(interned.configs_of(v), plain.configs_of(v));
+            for c in 0..interned.k(v) as u16 {
+                assert_eq!(
+                    interned.layer_cost(v, c).to_bits(),
+                    plain.layer_cost(v, c).to_bits()
+                );
+            }
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            let eid = EdgeId(i as u32);
+            for cu in 0..interned.k(e.src) as u16 {
+                for cv in 0..interned.k(e.dst) as u16 {
+                    assert_eq!(
+                        interned.edge_cost(eid, cu, cv).to_bits(),
+                        plain.edge_cost(eid, cu, cv).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_names_do_not_affect_interning() {
+        let mut b = GraphBuilder::new();
+        let mk = |name: &str| {
+            let mut n = fc_chain(1).nodes()[0].clone();
+            n.name = name.into();
+            n
+        };
+        b.add_node(mk("alpha"));
+        b.add_node(mk("a completely different name"));
+        let g = b.build().unwrap();
+        let t = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        assert_eq!(t.intern_stats().unique_layer_tables, 1);
     }
 }

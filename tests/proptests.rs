@@ -11,9 +11,9 @@ use pase::core::{
 };
 use pase::cost::{
     all_gather_bytes, all_reduce_bytes, enumerate_configs, evaluate, Config, ConfigRule,
-    CostTables, MachineSpec, Strategy as ParallelStrategy,
+    CostTables, MachineSpec, Strategy as ParallelStrategy, TableOptions,
 };
-use pase::graph::{Graph, GraphBuilder, IterDim, Node, NodeId, OpKind, TensorRef};
+use pase::graph::{EdgeId, Graph, GraphBuilder, IterDim, Node, NodeId, OpKind, TensorRef};
 use proptest::prelude::*;
 
 /// A compact description of a random DAG: per node, the (pow-2-ish) width
@@ -213,6 +213,54 @@ proptest! {
         prop_assert!(ar > 0.0 && ar < 2.0 * bytes);
         prop_assert!(ar >= all_gather_bytes(bytes, g1));
         prop_assert!(all_reduce_bytes(bytes, g1 + 1) > ar);
+    }
+
+    /// Structural interning is invisible: on any random DAG the interned
+    /// tables return bit-identical `layer_cost` / `edge_cost` entries to a
+    /// build with interning disabled.
+    #[test]
+    fn interned_tables_are_bit_identical(dag in arb_dag(9)) {
+        let g = build_graph(&dag);
+        let machine = MachineSpec::test_machine();
+        let interned = CostTables::build_with(
+            &g,
+            ConfigRule::new(8),
+            &machine,
+            &TableOptions { intern: true, parallel: false },
+        );
+        let plain = CostTables::build_with(
+            &g,
+            ConfigRule::new(8),
+            &machine,
+            &TableOptions { intern: false, parallel: false },
+        );
+        for v in g.node_ids() {
+            prop_assert_eq!(interned.k(v), plain.k(v));
+            prop_assert_eq!(interned.configs_of(v), plain.configs_of(v));
+            for c in 0..interned.k(v) as u16 {
+                prop_assert_eq!(
+                    interned.layer_cost(v, c).to_bits(),
+                    plain.layer_cost(v, c).to_bits(),
+                    "layer cost differs at node {:?} config {}", v, c
+                );
+            }
+        }
+        for e in 0..g.edge_count() {
+            let e = EdgeId(e as u32);
+            let (u, v) = {
+                let edge = g.edge(e);
+                (edge.src, edge.dst)
+            };
+            for cu in 0..interned.k(u) as u16 {
+                for cv in 0..interned.k(v) as u16 {
+                    prop_assert_eq!(
+                        interned.edge_cost(e, cu, cv).to_bits(),
+                        plain.edge_cost(e, cu, cv).to_bits(),
+                        "edge cost differs at edge {:?} ({}, {})", e, cu, cv
+                    );
+                }
+            }
+        }
     }
 
     /// The sequential strategy's cost is exactly the model FLOPs, for any

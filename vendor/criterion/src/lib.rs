@@ -1,0 +1,249 @@
+//! Offline stub of `criterion`.
+//!
+//! Provides the measurement surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`, [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock sampler: per sample, run the routine enough times to cover a
+//! minimum window and report the mean per-iteration time across samples.
+//!
+//! Command-line handling matches what `cargo bench` passes: flags
+//! (`--bench`, `--save-baseline x`, …) are ignored and the first bare
+//! argument, if any, is a substring filter on benchmark ids.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (the stub runs one setup per
+/// routine call regardless, which matches `PerIteration` semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup runs before every routine call.
+    PerIteration,
+    /// Accepted for compatibility; treated as `PerIteration`.
+    SmallInput,
+    /// Accepted for compatibility; treated as `PerIteration`.
+    LargeInput,
+}
+
+/// Benchmark driver. Holds the id filter and default sample count.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--save-baseline" || a == "--baseline" || a == "--load-baseline" {
+                let _ = args.next(); // consume the flag's value
+            } else if a.starts_with('-') {
+                // --bench, --test, --noplot, ... : ignore
+            } else if filter.is_none() {
+                filter = Some(a);
+            }
+        }
+        Self {
+            filter,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Measure `routine` under the id `id` (skipped if the CLI filter
+    /// doesn't match).
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        routine: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.filter.as_deref(), self.sample_size, routine);
+        self
+    }
+
+    /// Start a named group of benchmarks sharing settings.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            filter: self.filter.clone(),
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run registered group functions against CLI args (used by
+    /// `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks with shared configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure `routine` under `group_name/id`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.filter.as_deref(), self.sample_size, routine);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Passed to routines; records per-iteration timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly per sample.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Calibrate: how many iters cover ~5ms, capped for slow routines.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = ((Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1)
+            as usize)
+            .min(10_000);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Time `routine` on fresh `setup()` input each call; only the routine
+    /// is timed.
+    pub fn iter_batched<I, T, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    mut routine: F,
+) {
+    if let Some(f) = filter {
+        if !id.contains(f) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    routine(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{id:<48} mean {:>12} median {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(median),
+        b.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_filters() {
+        let mut c = Criterion {
+            filter: Some("match".into()),
+            sample_size: 3,
+        };
+        let mut ran = 0u32;
+        c.bench_function("will_match/x", |b| {
+            b.iter(|| 1 + 1);
+        });
+        c.bench_function("skipped", |_b| {
+            ran += 1;
+        });
+        assert_eq!(ran, 0);
+    }
+
+    #[test]
+    fn iter_batched_times_each_sample() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 4,
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::PerIteration);
+        assert_eq!(b.samples.len(), 4);
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline stub of `proptest`.
+//!
+//! Runs each property over `ProptestConfig::cases` deterministic
+//! pseudo-random inputs (fixed seed per case index — reproducible across
+//! runs and platforms). No shrinking: on failure the offending inputs are
+//! printed via `Debug` and the test panics.
+//!
+//! Supported surface (what the workspace uses):
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ...) { ... } }`
+//! * `prop_assert!`, `prop_assert_eq!`
+//! * Strategies: integer/float ranges, `Just`, tuples, `Vec<S>`,
+//!   `prop::collection::vec`, `prop::sample::select`,
+//!   `.prop_map(...)`, `.prop_flat_map(...)`
+
+use std::fmt::Debug;
+
+pub mod prelude {
+    //! The usual glob import.
+    pub use crate::{prop, Just, ProptestConfig, Strategy};
+    // Macros are exported at crate root via #[macro_export]; re-export the
+    // names so `use proptest::prelude::*` brings them in scope like the
+    // real crate does.
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Deterministic SplitMix64 stream used to generate case inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Runner configuration (`cases` is the only knob the stub honors).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values (no shrinking in the stub).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then a second strategy derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.base.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, G: 5);
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Sub-modules mirroring `proptest::prop::*` paths.
+pub mod prop {
+    //! `prop::collection` and `prop::sample`.
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::{Strategy, TestRng};
+        use std::fmt::Debug;
+
+        /// Length specification for [`vec`]: a fixed size or a range.
+        pub trait SizeSpec {
+            /// Draw a length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeSpec for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeSpec for std::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty size range");
+                self.start + rng.below((self.end - self.start) as u64) as usize
+            }
+        }
+
+        impl SizeSpec for std::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty size range");
+                lo + rng.below((hi - lo) as u64 + 1) as usize
+            }
+        }
+
+        /// Strategy for `Vec`s of `elem` values with a length from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl SizeSpec) -> VecStrategy<S, impl SizeSpec>
+        where
+            S::Value: Debug,
+        {
+            VecStrategy { elem, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S, Z> {
+            elem: S,
+            size: Z,
+        }
+
+        impl<S: Strategy, Z: SizeSpec> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling strategies.
+        use crate::{Strategy, TestRng};
+        use std::fmt::Debug;
+
+        /// Uniformly select one of the given values.
+        pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+
+        /// See [`select`].
+        #[derive(Clone, Debug)]
+        pub struct Select<T: Clone + Debug> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.options.len() as u64) as usize;
+                self.options[i].clone()
+            }
+        }
+    }
+}
+
+/// Assert inside a property; on failure the case fails with the formatted
+/// message (no panic until the runner reports it).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                file!(),
+                line!(),
+                a,
+                b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// Define property tests. Each `pat in strategy` argument is generated
+/// fresh per case; the body may use `prop_assert!`/`prop_assert_eq!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                // Distinct but stable seed per test function.
+                let base_seed: u64 = {
+                    let name_bytes = stringify!($name).as_bytes();
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    let mut i = 0;
+                    while i < name_bytes.len() {
+                        h ^= name_bytes[i] as u64;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                        i += 1;
+                    }
+                    h
+                };
+                let strategies = ( $( { $strat }, )+ );
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::new(base_seed ^ (u64::from(case) << 17));
+                    let values = $crate::Strategy::generate(&strategies, &mut rng);
+                    // Debug dump of the inputs for failure reports, captured
+                    // before the body can move them.
+                    let inputs = format!("case {}: {:?}", case, values);
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        let ( $( $pat, )+ ) = values;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = result {
+                        panic!("proptest case failed: {msg}\n  inputs {inputs}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_select_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..100 {
+            let x = Strategy::generate(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&x));
+            let y = Strategy::generate(&prop::sample::select(vec![2u32, 4, 8]), &mut rng);
+            assert!([2, 4, 8].contains(&y));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = prop::collection::vec(1usize..5, 2..6)
+            .prop_flat_map(|v| (Just(v.len()), prop::collection::vec(0usize..2, 1..3)))
+            .prop_map(|(n, tail)| n + tail.len());
+        let mut rng = crate::TestRng::new(9);
+        for _ in 0..50 {
+            let x = Strategy::generate(&strat, &mut rng);
+            assert!((3..=7).contains(&x), "{x}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u64..100, v in prop::collection::vec(0u32..4, 1..=3)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(!v.is_empty(), "vec was empty: {:?}", v);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Parallel-iterator subset: `usize` ranges and owned `Vec`s.
+
+use crate::{run_tasks, run_tasks_init};
+use std::sync::Mutex;
+
+/// Conversion into a parallel iterator (the entry point `rayon::prelude`
+/// re-exports).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangePar;
+    fn into_par_iter(self) -> RangePar {
+        RangePar {
+            start: self.start,
+            end: self.end.max(self.start),
+            min_len: 1,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: self }
+    }
+}
+
+/// Split a length into near-equal chunks of at least `min_len` items,
+/// with no more chunks than `4 × workers` (bounded scheduling overhead).
+fn chunk_bounds(len: usize, min_len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = crate::current_num_threads();
+    let max_chunks = (workers * 4).max(1);
+    let chunk = (len.div_ceil(max_chunks)).max(min_len.max(1));
+    let n_chunks = len.div_ceil(chunk);
+    (0..n_chunks)
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(len)))
+        .collect()
+}
+
+/// Parallel iterator over a `usize` range.
+#[derive(Clone, Copy, Debug)]
+pub struct RangePar {
+    start: usize,
+    end: usize,
+    min_len: usize,
+}
+
+impl RangePar {
+    /// Require at least `n` items per work chunk.
+    pub fn with_min_len(mut self, n: usize) -> Self {
+        self.min_len = n.max(1);
+        self
+    }
+
+    /// Lazily map each index.
+    pub fn map<T, F>(self, f: F) -> MapPar<F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        MapPar { range: self, f }
+    }
+
+    /// Lazily map each index with per-worker scratch from `init`.
+    pub fn map_init<S, T, I, F>(self, init: I, f: F) -> MapInitPar<I, F>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        MapInitPar {
+            range: self,
+            init,
+            f,
+        }
+    }
+
+    /// Run `f` on every index.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        self.for_each_init(|| (), |(), i| f(i));
+    }
+
+    /// Run `f` on every index with per-worker scratch from `init`.
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        let bounds = chunk_bounds(self.end - self.start, self.min_len);
+        let start = self.start;
+        run_tasks_init(bounds.len(), init, |scratch, c| {
+            let (lo, hi) = bounds[c];
+            for i in lo..hi {
+                f(scratch, start + i);
+            }
+        });
+    }
+}
+
+/// Lazy map over a [`RangePar`].
+pub struct MapPar<F> {
+    range: RangePar,
+    f: F,
+}
+
+impl<F> MapPar<F> {
+    /// Evaluate in parallel, collecting results in index order.
+    pub fn collect<T, C>(self) -> C
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FromParallel<T>,
+    {
+        let f = self.f;
+        let bounds = chunk_bounds(self.range.end - self.range.start, self.range.min_len);
+        let start = self.range.start;
+        let chunks: Vec<Vec<T>> = run_tasks(bounds.len(), |c| {
+            let (lo, hi) = bounds[c];
+            (lo..hi).map(|i| f(start + i)).collect()
+        });
+        C::from_chunks(chunks)
+    }
+}
+
+/// Lazy map-with-scratch over a [`RangePar`].
+pub struct MapInitPar<I, F> {
+    range: RangePar,
+    init: I,
+    f: F,
+}
+
+impl<I, F> MapInitPar<I, F> {
+    /// Evaluate in parallel, collecting results in index order.
+    pub fn collect<S, T, C>(self) -> C
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+        C: FromParallel<T>,
+    {
+        let (init, f) = (self.init, self.f);
+        let bounds = chunk_bounds(self.range.end - self.range.start, self.range.min_len);
+        let start = self.range.start;
+        let chunks: Vec<Vec<T>> = run_tasks_init(bounds.len(), init, |scratch, c| {
+            let (lo, hi) = bounds[c];
+            (lo..hi).map(|i| f(scratch, start + i)).collect()
+        });
+        C::from_chunks(chunks)
+    }
+}
+
+/// Parallel iterator over an owned `Vec` (items distributed whole; use for
+/// coarse-grained tasks such as per-table or per-chunk work).
+pub struct VecPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> VecPar<T> {
+    /// Map every item in parallel; results collected in input order.
+    pub fn map<U, F>(self, f: F) -> VecMapPar<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        VecMapPar {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.for_each_init(|| (), |(), t| f(t));
+    }
+
+    /// Run `f` on every item with per-worker scratch from `init`.
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) + Sync,
+    {
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        run_tasks_init(slots.len(), init, |scratch, i| {
+            let item = slots[i].lock().unwrap().take().expect("item taken once");
+            f(scratch, item);
+        });
+    }
+}
+
+/// Lazy map over a [`VecPar`].
+pub struct VecMapPar<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> VecMapPar<T, F> {
+    /// Evaluate in parallel, collecting results in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromParallel<U>,
+    {
+        let f = self.f;
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let out: Vec<U> = run_tasks(slots.len(), |i| {
+            let item = slots[i].lock().unwrap().take().expect("item taken once");
+            f(item)
+        });
+        C::from_chunks(vec![out])
+    }
+}
+
+/// Collection target of a parallel `collect` (only `Vec` is supported).
+pub trait FromParallel<T> {
+    /// Assemble from per-chunk result vectors, already in order.
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}

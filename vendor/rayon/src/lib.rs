@@ -1,0 +1,227 @@
+//! Offline stub of `rayon`.
+//!
+//! Implements the subset of rayon's API the workspace uses with *real*
+//! parallelism over `std::thread::scope` workers pulling tasks from an
+//! atomic counter. Vendored so the workspace builds without network
+//! access; the parallel semantics (worker pool, in-order collection,
+//! per-worker `*_init` scratch) match what the search engine needs.
+//!
+//! Supported surface:
+//!
+//! * `(a..b).into_par_iter()` for `usize` ranges, with `with_min_len`,
+//!   `map`, `map_init`, `for_each`, `for_each_init`, and
+//!   `collect::<Vec<_>>()`;
+//! * `vec.into_par_iter()` with `map`, `for_each`, `for_each_init`, and
+//!   `collect::<Vec<_>>()` (in-order);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] to cap worker counts
+//!   (the cap propagates to nested parallel calls made inside `install`);
+//! * [`current_num_threads`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits that make `.into_par_iter()` available.
+    pub use crate::iter::IntoParallelIterator;
+}
+
+pub mod iter;
+
+thread_local! {
+    /// 0 = no override (use available parallelism).
+    static THREAD_CAP: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let cap = THREAD_CAP.with(Cell::get);
+    if cap > 0 {
+        cap
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Run `tasks` closures on up to [`current_num_threads`] scoped workers,
+/// each worker holding one `init()` scratch value; results are returned in
+/// task order. Falls back to the calling thread when one worker suffices.
+pub(crate) fn run_tasks_init<S, T, I, W>(tasks: usize, init: I, work: W) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = current_num_threads().min(tasks);
+    if threads <= 1 {
+        let mut scratch = init();
+        return (0..tasks).map(|i| work(&mut scratch, i)).collect();
+    }
+    let cap = current_num_threads();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                // Nested parallel calls inside a worker see the same cap.
+                THREAD_CAP.with(|c| c.set(cap));
+                let mut scratch = init();
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    local.push((i, work(&mut scratch, i)));
+                }
+                results.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    let mut v = results.into_inner().unwrap();
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, t)| t).collect()
+}
+
+/// [`run_tasks_init`] without per-worker scratch.
+pub(crate) fn run_tasks<T, W>(tasks: usize, work: W) -> Vec<T>
+where
+    T: Send,
+    W: Fn(usize) -> T + Sync,
+{
+    run_tasks_init(tasks, || (), |(), i| work(i))
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never produced by
+/// the stub, present for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a capped [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` workers (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish; the stub never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes a worker-count cap (the stub has no persistent
+/// worker threads; workers are spawned per parallel operation).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread cap applied to every parallel
+    /// operation `f` performs (including nested ones).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_CAP.with(Cell::get);
+        THREAD_CAP.with(|c| c.set(self.num_threads));
+        let guard = RestoreCap(prev);
+        let r = f();
+        drop(guard);
+        r
+    }
+
+    /// The pool's worker cap (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            crate::current_num_threads()
+        }
+    }
+}
+
+struct RestoreCap(usize);
+
+impl Drop for RestoreCap {
+    fn drop(&mut self) {
+        THREAD_CAP.with(|c| c.set(self.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_is_in_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_per_worker() {
+        let v: Vec<usize> = (0..4096usize)
+            .into_par_iter()
+            .with_min_len(128)
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                i + 1
+            })
+            .collect();
+        assert_eq!(v[10], 11);
+    }
+
+    #[test]
+    fn vec_for_each_visits_everything() {
+        use std::sync::atomic::AtomicUsize;
+        let total = AtomicUsize::new(0);
+        let chunks: Vec<Vec<usize>> = (0..16).map(|c| vec![c; 100]).collect();
+        chunks
+            .into_par_iter()
+            .for_each(|chunk| {
+                total.fetch_add(chunk.len(), Ordering::Relaxed);
+            });
+        assert_eq!(total.load(Ordering::Relaxed), 1600);
+    }
+
+    #[test]
+    fn install_caps_nested_parallelism() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 2);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn vec_map_collect_preserves_order() {
+        let items: Vec<String> = (0..500).map(|i| format!("x{i}")).collect();
+        let lens: Vec<usize> = items.clone().into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 500);
+        assert_eq!(lens[0], 2);
+        assert_eq!(lens[499], 4);
+    }
+}

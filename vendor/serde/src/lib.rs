@@ -1,0 +1,14 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace only *declares* serde derives (no serde-based
+//! serialization is performed; JSON export is hand-written). This stub
+//! provides the `Serialize`/`Deserialize` trait names for imports and
+//! re-exports the no-op derive macros so `#[derive(Serialize)]` compiles.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
