@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pase_core::{
     find_best_strategy, generate_seq, naive_best_strategy, optcnn_search, DpOptions, SearchBudget,
 };
-use pase_cost::{ConfigRule, CostTables, MachineSpec, TableOptions};
+use pase_cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables, TableOptions};
 use pase_models::Benchmark;
 
 fn bench_generate_seq(c: &mut Criterion) {
@@ -28,7 +28,11 @@ fn bench_table_build(c: &mut Criterion) {
                 &g,
                 ConfigRule::new(8),
                 &machine,
-                &TableOptions { intern: false, parallel: false },
+                &TableOptions {
+                    intern: false,
+                    parallel: false,
+                    ..TableOptions::default()
+                },
             )
         })
     });
@@ -76,6 +80,40 @@ fn bench_find_best_strategy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pruned_search(c: &mut Criterion) {
+    // A/B for dominance pruning: the same DP over pruned tables (plus the
+    // standalone cost of the pruning pass itself).
+    let machine = MachineSpec::gtx1080ti();
+    let mut group = c.benchmark_group("find_best_strategy_pruned");
+    group.sample_size(10);
+    for bench in Benchmark::all() {
+        let p = 32u32;
+        let g = bench.build_for(p);
+        let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
+        let pruned = PrunedTables::build(&g, &tables, &PruneOptions::default());
+        group.bench_function(format!("{}/p{}", bench.name(), p), |b| {
+            b.iter_batched(
+                || (),
+                |_| find_best_strategy(&g, pruned.tables(), &DpOptions::default()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("prune_pass");
+    group.sample_size(20);
+    for bench in Benchmark::all() {
+        let p = 32u32;
+        let g = bench.build_for(p);
+        let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
+        group.bench_function(format!("{}/p{}", bench.name(), p), |b| {
+            b.iter(|| PrunedTables::build(&g, &tables, &PruneOptions::default()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_naive_on_path_graphs(c: &mut Criterion) {
     let machine = MachineSpec::gtx1080ti();
     let mut group = c.benchmark_group("naive_bf");
@@ -110,6 +148,7 @@ criterion_group!(
     bench_generate_seq,
     bench_table_build,
     bench_find_best_strategy,
+    bench_pruned_search,
     bench_naive_on_path_graphs,
     bench_optcnn_reduction
 );

@@ -1,25 +1,43 @@
 //! A/B wall-clock smoke job for the search hot paths.
 //!
-//! Times cost-table construction and the full DP per benchmark model at a
-//! small device count, in both the baseline configuration (no interning,
-//! strict sequential table fill) and the optimized one (structural
-//! interning + wavefront-parallel fill), then writes the medians to
-//! `BENCH_search.json`. Mirrors the criterion benches
-//! `cost_tables/inception_v3/p8` and `find_best_strategy/<model>/p8` but
-//! runs in seconds, so it can gate a PR.
+//! For each benchmark model and each `p ∈ {8, 32, 64}` (the regime where
+//! dominance pruning starts to pay), times:
+//!
+//! * cost-table construction, baseline (no interning, sequential fill) vs
+//!   optimized (structural interning + parallel fill);
+//! * the dominance-pruning pass itself, with its K reduction — reported as
+//!   the total configuration-space size `Σ_v |C(v)|` (`k_before`/`k_after`;
+//!   each DP position's work is a product of per-node K's, so the sum is
+//!   the aggregate that pruning shrinks) plus the per-node maximum
+//!   (`max_k_before`/`max_k_after`, which repetition-free conv stacks can
+//!   keep unchanged even when thousands of configs are removed elsewhere);
+//! * the full DP, unpruned vs pruned (identical optimum — asserted here —
+//!   but the pruned tables shrink every dependent-set table
+//!   multiplicatively).
+//!
+//! Medians are written to `BENCH_search.json`. Mirrors the criterion
+//! benches but runs in seconds, so it can gate a PR.
 
 use pase_core::{find_best_strategy, DpOptions};
-use pase_cost::{ConfigRule, CostTables, MachineSpec, TableOptions};
+use pase_cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables, TableOptions};
 use pase_models::Benchmark;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SAMPLES: usize = 10;
-const P: u32 = 8;
+const PS: [u32; 3] = [8, 32, 64];
 
-/// Median wall-clock seconds of `SAMPLES` runs of `f`.
-fn median_secs<T>(mut f: impl FnMut() -> T) -> f64 {
-    let mut times: Vec<f64> = (0..SAMPLES)
+/// Fewer samples at larger `p` keeps the whole job in smoke-test range.
+fn samples_for(p: u32) -> usize {
+    match p {
+        0..=8 => 10,
+        9..=32 => 5,
+        _ => 3,
+    }
+}
+
+/// Median wall-clock seconds of `samples` runs of `f`.
+fn median_secs<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
         .map(|_| {
             let t0 = Instant::now();
             let out = f();
@@ -37,51 +55,88 @@ fn main() {
     let baseline_tables = TableOptions {
         intern: false,
         parallel: false,
+        ..TableOptions::default()
     };
     let optimized_tables = TableOptions::default();
-    let baseline_dp = DpOptions {
-        parallel: false,
-        ..DpOptions::default()
-    };
-    let optimized_dp = DpOptions::default();
+    let dp = DpOptions::default();
 
-    let mut json = String::from("{\n  \"p\": 8,\n  \"samples\": 10,\n  \"models\": {\n");
+    let mut json = String::from("{\n  \"models\": {\n");
     let all = Benchmark::all();
     for (i, bench) in all.iter().enumerate() {
-        let g = bench.build_for(P);
-        let rule = ConfigRule::new(P);
+        let _ = write!(json, "    \"{}\": {{\n", bench.name());
+        for (pi, &p) in PS.iter().enumerate() {
+            let samples = samples_for(p);
+            let g = bench.build_for(p);
+            let rule = ConfigRule::new(p);
 
-        let build_base = median_secs(|| CostTables::build_with(&g, rule, &machine, &baseline_tables));
-        let build_opt = median_secs(|| CostTables::build_with(&g, rule, &machine, &optimized_tables));
+            let build_base = median_secs(samples, || {
+                CostTables::build_with(&g, rule, &machine, &baseline_tables)
+            });
+            let build_opt = median_secs(samples, || {
+                CostTables::build_with(&g, rule, &machine, &optimized_tables)
+            });
 
-        let tables = CostTables::build_with(&g, rule, &machine, &optimized_tables);
-        let search_base = median_secs(|| find_best_strategy(&g, &tables, &baseline_dp));
-        let search_opt = median_secs(|| find_best_strategy(&g, &tables, &optimized_dp));
+            let tables = CostTables::build_with(&g, rule, &machine, &optimized_tables);
+            let prune_s = median_secs(samples, || {
+                PrunedTables::build(&g, &tables, &PruneOptions::default())
+            });
+            let pruned = PrunedTables::build(&g, &tables, &PruneOptions::default());
+            let ps = *pruned.stats();
 
-        let hit = tables.intern_stats().hit_rate();
-        println!(
-            "{:<12} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   find_best_strategy {:.2}ms -> {:.2}ms ({:.2}x)   intern hit {:.0}%",
-            bench.name(),
-            build_base * 1e3,
-            build_opt * 1e3,
-            build_base / build_opt.max(1e-12),
-            search_base * 1e3,
-            search_opt * 1e3,
-            search_base / search_opt.max(1e-12),
-            hit * 100.0
-        );
+            let search_plain = median_secs(samples, || find_best_strategy(&g, &tables, &dp));
+            let search_pruned =
+                median_secs(samples, || find_best_strategy(&g, pruned.tables(), &dp));
 
-        let _ = write!(
-            json,
-            "    \"{}\": {{\n      \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n      \"find_best_strategy\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n      \"intern_hit_rate\": {:.4}\n    }}{}\n",
-            bench.name(),
-            build_base,
-            build_opt,
-            search_base,
-            search_opt,
-            hit,
-            if i + 1 < all.len() { "," } else { "" }
-        );
+            // Exactness gate: the pruned optimum must be bit-identical.
+            let plain_cost = find_best_strategy(&g, &tables, &dp)
+                .expect_found(bench.name())
+                .cost;
+            let pruned_cost = find_best_strategy(&g, pruned.tables(), &dp)
+                .expect_found(bench.name())
+                .cost;
+            assert_eq!(
+                plain_cost.to_bits(),
+                pruned_cost.to_bits(),
+                "{} p={p}: pruned optimum {pruned_cost} != unpruned {plain_cost}",
+                bench.name()
+            );
+
+            let hit = tables.intern_stats().hit_rate();
+            println!(
+                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   find_best_strategy {:.2}ms -> {:.2}ms ({:.2}x)   intern hit {:.0}%",
+                bench.name(),
+                p,
+                build_base * 1e3,
+                build_opt * 1e3,
+                build_base / build_opt.max(1e-12),
+                prune_s * 1e3,
+                ps.configs_before,
+                ps.configs_after,
+                ps.k_before,
+                ps.k_after,
+                search_plain * 1e3,
+                search_pruned * 1e3,
+                search_plain / search_pruned.max(1e-12),
+                hit * 100.0
+            );
+
+            let _ = write!(
+                json,
+                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"find_best_strategy\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"intern_hit_rate\": {:.4}\n      }}{}\n",
+                build_base,
+                build_opt,
+                prune_s,
+                ps.configs_before,
+                ps.configs_after,
+                ps.k_before,
+                ps.k_after,
+                search_plain,
+                search_pruned,
+                hit,
+                if pi + 1 < PS.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(json, "    }}{}\n", if i + 1 < all.len() { "," } else { "" });
     }
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");

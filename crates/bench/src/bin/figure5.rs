@@ -14,14 +14,18 @@
 //! cargo run -p pase-bench --release --bin figure5
 //! ```
 
+use pase_bench::standard_space;
 use pase_core::{dependent_set_sizes, generate_seq, make_ordering, search_profile, OrderingKind};
-use pase_cost::{enumerate_configs, ConfigRule};
 use pase_graph::{bfs_order, GraphStats};
 use pase_models::{inception_v3, InceptionConfig};
 
 fn main() {
     let g = inception_v3(&InceptionConfig::paper());
     let stats = GraphStats::of(&g);
+    // One enumeration per device count, shared by every report below
+    // (previously each section re-ran enumerate_configs over the graph).
+    let space8 = standard_space(&g, 8);
+    let space64 = standard_space(&g, 64);
 
     println!("Fig. 5 / §III-C: InceptionV3 graph structure\n");
     println!("nodes: {} (paper: 218)", stats.nodes);
@@ -41,12 +45,8 @@ fn main() {
     }
     println!("\n");
 
-    for p in [8u32, 64] {
-        let ks: Vec<usize> = g
-            .nodes()
-            .iter()
-            .map(|n| enumerate_configs(n, &ConfigRule::new(p)).len())
-            .collect();
+    for (p, space) in [(8u32, &space8), (64, &space64)] {
+        let ks: Vec<usize> = g.node_ids().map(|v| space.k(v)).collect();
         let (min_k, max_k) = (ks.iter().min().unwrap(), ks.iter().max().unwrap());
         let mean_k = ks.iter().sum::<usize>() as f64 / ks.len() as f64;
         println!(
@@ -64,12 +64,7 @@ fn main() {
             make_ordering(&g, OrderingKind::Random { seed: 1 }),
         ),
     ];
-    let k8 = g
-        .nodes()
-        .iter()
-        .map(|n| enumerate_configs(n, &ConfigRule::new(8)).len())
-        .max()
-        .unwrap() as f64;
+    let k8 = space8.max_k() as f64;
     println!(
         "{:<16} {:>6} {:>14} {:>22}",
         "ordering", "max|D|", "max|D ∪ {v}|", "K^{M+1} (p=8, K=max)"
@@ -107,11 +102,7 @@ fn main() {
     // Where the DP's work concentrates (p = 8): the heaviest positions are
     // the high-degree concat/fan-out vertices sequenced after their
     // neighborhoods.
-    let k: Vec<usize> = g
-        .nodes()
-        .iter()
-        .map(|n| enumerate_configs(n, &ConfigRule::new(8)).len())
-        .collect();
+    let k: Vec<usize> = g.node_ids().map(|v| space8.k(v)).collect();
     let mut profile = search_profile(&g, &order, &k);
     let total_states: u64 = profile.iter().map(|p| p.states).sum();
     profile.sort_by_key(|p| std::cmp::Reverse(p.states));

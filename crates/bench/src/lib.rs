@@ -23,7 +23,7 @@ use pase_baselines::{
     McmcResult,
 };
 use pase_core::{find_best_strategy, DpOptions, SearchOutcome};
-use pase_cost::{ConfigRule, ConfigSpace, CostTables, MachineSpec, Strategy};
+use pase_cost::{ConfigRule, ConfigSpace, CostTables, MachineSpec, Strategy, TableOptions};
 use pase_graph::{Graph, NodeId};
 use pase_models::Benchmark;
 use pase_sim::{simulate_step, SimOptions, Topology};
@@ -42,6 +42,30 @@ pub fn fmt_mins(d: Duration) -> String {
 /// splits, all `p` devices used).
 pub fn standard_tables(graph: &Graph, p: u32, machine: &MachineSpec) -> CostTables {
     CostTables::build(graph, ConfigRule::new(p), machine)
+}
+
+/// The configuration space [`standard_tables`] enumerates, hoisted out so
+/// sweeps can share one enumeration across several machine profiles or
+/// repeated data points (see [`standard_tables_with_space`]).
+pub fn standard_space(graph: &Graph, p: u32) -> ConfigSpace {
+    ConfigSpace::build(graph, &ConfigRule::new(p))
+}
+
+/// [`standard_tables`] over a pre-enumerated [`standard_space`]: identical
+/// tables, minus the redundant per-call `enumerate_configs` pass.
+pub fn standard_tables_with_space(
+    graph: &Graph,
+    p: u32,
+    machine: &MachineSpec,
+    space: &ConfigSpace,
+) -> CostTables {
+    CostTables::build_with_space(
+        graph,
+        ConfigRule::new(p),
+        machine,
+        space,
+        &TableOptions::default(),
+    )
 }
 
 /// Build the *relaxed* configuration space the MCMC search explores

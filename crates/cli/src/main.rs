@@ -14,12 +14,12 @@ mod args;
 use args::Args;
 use pase_baselines::{data_parallel, gnmt_expert, mesh_tf_expert, owt};
 use pase_core::{
-    dependent_set_sizes, find_best_strategy, generate_seq, optcnn_search, DpOptions,
-    ReductionOutcome, SearchOutcome,
+    dependent_set_sizes, find_best_strategy, find_best_strategy_pruned, generate_seq,
+    optcnn_search, DpOptions, ReductionOutcome, SearchOutcome,
 };
 use pase_cost::{
     from_sharding_json, to_sharding_json, validate_strategy, ConfigRule, CostTables, MachineSpec,
-    Strategy, TableOptions,
+    PruneOptions, Strategy, TableOptions,
 };
 use pase_graph::{bfs_order, Graph, GraphStats};
 use pase_models as models;
@@ -44,6 +44,11 @@ OPTIONS:
                            (default: all cores)
   --no-intern              disable structural cost-table interning (A/B
                            measurement; results are identical either way)
+  --no-prune               disable exact dominance pruning of the per-layer
+                           configuration space (A/B measurement; pruning is
+                           exact, so results are identical either way)
+  --prune-epsilon <e>      prune configs dominated within (1+e) — faster on
+                           large p but only (1+e)-optimal (default 0 = exact)
   --json                   print the strategy as a GShard-style sharding spec
   --out <file>             write output to a file instead of stdout
   --strategy <file>        (simulate) sharding spec produced by `pase export`
@@ -119,13 +124,24 @@ struct SearchKnobs {
     threads: usize,
     /// Structural cost-table interning (`--no-intern` turns it off).
     intern: bool,
+    /// Dominance pruning of the configuration space (`--no-prune` turns it
+    /// off).
+    prune: bool,
+    /// Dominance slack ε for `--prune-epsilon` (0 = exact).
+    prune_epsilon: f64,
 }
 
 impl SearchKnobs {
     fn from_args(args: &Args) -> Result<Self, String> {
+        let prune_epsilon: f64 = args.get_or("prune-epsilon", 0.0)?;
+        if !(prune_epsilon >= 0.0) {
+            return Err(format!("--prune-epsilon must be ≥ 0, got {prune_epsilon}"));
+        }
         Ok(Self {
             threads: args.get_or("search-threads", 0usize)?,
             intern: !args.has("no-intern"),
+            prune: !args.has("no-prune"),
+            prune_epsilon,
         })
     }
 }
@@ -147,7 +163,19 @@ fn search_strategy(
     };
     let run = || {
         let tables = CostTables::build_with(graph, rule, machine, &table_opts);
-        let outcome = find_best_strategy(graph, &tables, &DpOptions::default());
+        let outcome = if knobs.prune {
+            find_best_strategy_pruned(
+                graph,
+                &tables,
+                &DpOptions::default(),
+                &PruneOptions {
+                    epsilon: knobs.prune_epsilon,
+                    ..PruneOptions::default()
+                },
+            )
+        } else {
+            find_best_strategy(graph, &tables, &DpOptions::default())
+        };
         (tables, outcome)
     };
     let (tables, outcome) = if knobs.threads > 0 {
@@ -229,9 +257,18 @@ fn run() -> Result<(), String> {
                 emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
             } else {
                 let intern = tables.intern_stats();
+                let prune_line = if stats.k_before > stats.max_configs {
+                    format!(
+                        "dominance pruning: K {} -> {} in {:?}\n",
+                        stats.k_before, stats.max_configs, stats.prune_time
+                    )
+                } else {
+                    String::new()
+                };
                 let mut content = format!(
                     "model {model}, p = {p}, machine {} — search {:?} (K = {}, M = {})\n\
                      wavefronts {} (max width {}), intern hit rate {:.0}%\n\
+                     {prune_line}\
                      minimum cost {cost:.4e} FLOP-units\n\n",
                     machine.name,
                     stats.elapsed,
@@ -489,10 +526,7 @@ mod tests {
     #[test]
     fn search_strategy_produces_complete_cover() {
         let g = build_model("mlp", 4, false).unwrap();
-        let knobs = SearchKnobs {
-            threads: 0,
-            intern: true,
-        };
+        let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
         let (s, cost, stats, _) =
             search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None, knobs).unwrap();
         assert_eq!(s.len(), g.len());
@@ -504,7 +538,7 @@ mod tests {
     #[test]
     fn search_knobs_parse_from_args() {
         let a = Args::parse(
-            "search --search-threads 2 --no-intern"
+            "search --search-threads 2 --no-intern --no-prune"
                 .split_whitespace()
                 .map(String::from),
         )
@@ -512,9 +546,25 @@ mod tests {
         let k = SearchKnobs::from_args(&a).unwrap();
         assert_eq!(k.threads, 2);
         assert!(!k.intern);
+        assert!(!k.prune);
         let d = SearchKnobs::from_args(&Args::default()).unwrap();
         assert_eq!(d.threads, 0);
         assert!(d.intern);
+        assert!(d.prune);
+        assert_eq!(d.prune_epsilon, 0.0);
+        let e = Args::parse(
+            "search --prune-epsilon 0.05"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(SearchKnobs::from_args(&e).unwrap().prune_epsilon, 0.05);
+        let bad = Args::parse(
+            "search --prune-epsilon -1".split_whitespace().map(String::from),
+        );
+        // "-1" is parsed as a flag-less value only if it doesn't look like
+        // an option; either parse or knob construction must reject it.
+        assert!(bad.is_err() || SearchKnobs::from_args(&bad.unwrap()).is_err());
     }
 
     #[test]
@@ -529,6 +579,8 @@ mod tests {
             SearchKnobs {
                 threads: 0,
                 intern: true,
+                prune: true,
+                prune_epsilon: 0.0,
             },
         )
         .unwrap();
@@ -540,6 +592,8 @@ mod tests {
             SearchKnobs {
                 threads: 1,
                 intern: false,
+                prune: false,
+                prune_epsilon: 0.0,
             },
         )
         .unwrap();

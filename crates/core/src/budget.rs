@@ -54,8 +54,16 @@ impl SearchBudget {
 pub struct SearchStats {
     /// `M`: size of the largest dependent set encountered.
     pub max_dependent_set: usize,
-    /// `K`: the largest per-vertex configuration count.
+    /// `K`: the largest per-vertex configuration count of the tables the
+    /// search actually ran on (the post-pruning K when pruning ran).
     pub max_configs: usize,
+    /// `K` before dominance pruning. Equal to `max_configs` when the search
+    /// ran on unpruned tables; strictly larger when
+    /// [`crate::find_best_strategy_pruned`] removed configurations.
+    pub k_before: usize,
+    /// Wall-clock time of the dominance-pruning pass (zero when no pruning
+    /// ran).
+    pub prune_time: Duration,
     /// Total DP table entries allocated.
     pub table_entries: u64,
     /// Total `(substrategy, configuration)` pairs evaluated.

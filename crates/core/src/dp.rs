@@ -44,7 +44,7 @@
 use crate::budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats};
 use crate::ordering::{make_ordering, OrderingKind};
 use crate::structure::{ConnectedSetMode, VertexStructure};
-use pase_cost::CostTables;
+use pase_cost::{CostTables, PruneOptions, PrunedTables};
 use pase_graph::{EdgeId, Graph, NodeId};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
@@ -305,6 +305,7 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
     let mut stats = SearchStats {
         max_dependent_set: structure.max_dependent_set(),
         max_configs: tables.max_k(),
+        k_before: tables.max_k(),
         wavefronts: structure.wavefronts().len(),
         max_wavefront_width: structure.max_wavefront_width(),
         intern_hit_rate: tables.intern_stats().hit_rate(),
@@ -589,6 +590,48 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
     })
 }
 
+/// [`find_best_strategy`] over a dominance-pruned configuration space.
+///
+/// Prunes `tables` first (see [`PrunedTables`]), runs the DP on the
+/// compacted tables — every dependent-set table is `∏ |C(w)|` entries wide,
+/// so the pruned `K` shrinks table sizes, fill work, and the budget
+/// accounting multiplicatively — and maps the argmin configuration ids back
+/// into the id space of the `tables` passed in. With `prune.epsilon == 0.0`
+/// the pruning is exact and the returned cost is bit-identical to
+/// [`find_best_strategy`] on the unpruned tables; with a positive ε it is
+/// only guaranteed within `(1 + ε)` of the true optimum.
+///
+/// `stats.k_before` reports the pre-pruning `K` (while `stats.max_configs`
+/// is the pruned `K` the DP actually saw) and `stats.prune_time` the cost
+/// of the pruning pass, which is *included* in the budget's wall clock.
+pub fn find_best_strategy_pruned(
+    graph: &Graph,
+    tables: &CostTables,
+    opts: &DpOptions,
+    prune: &PruneOptions,
+) -> SearchOutcome {
+    let pruned = PrunedTables::build(graph, tables, prune);
+    let mut remaining = *opts;
+    remaining.budget.max_time = opts
+        .budget
+        .max_time
+        .saturating_sub(pruned.stats().elapsed);
+    let mut outcome = find_best_strategy(graph, pruned.tables(), &remaining);
+    let ps = *pruned.stats();
+    match &mut outcome {
+        SearchOutcome::Found(r) => {
+            r.config_ids = pruned.to_original_ids(&r.config_ids);
+            r.stats.k_before = ps.k_before;
+            r.stats.prune_time = ps.elapsed;
+        }
+        SearchOutcome::Oom { stats, .. } | SearchOutcome::Timeout { stats } => {
+            stats.k_before = ps.k_before;
+            stats.prune_time = ps.elapsed;
+        }
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -847,15 +890,62 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let g = diamond();
-        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        // Force interning despite the tiny graph so the hit-rate stat is
+        // exercised (diamond is below the default size gate).
+        let tables = CostTables::build_with(
+            &g,
+            ConfigRule::new(4),
+            &MachineSpec::test_machine(),
+            &pase_cost::TableOptions {
+                intern_min_nodes: 0,
+                ..pase_cost::TableOptions::default()
+            },
+        );
         let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("stats");
         assert!(r.stats.states_evaluated > 0);
         assert!(r.stats.table_entries > 0);
         assert!(r.stats.max_configs > 0);
+        assert_eq!(r.stats.k_before, r.stats.max_configs);
         assert!(r.stats.wavefronts > 0);
         assert!(r.stats.max_wavefront_width >= 1);
-        // Diamond has repeated structures (b/c identical), so the default
-        // interned build must report sharing.
+        // Diamond has repeated structures (b/c identical), so the interned
+        // build must report sharing.
         assert!(r.stats.intern_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn pruned_search_is_bit_identical_and_back_maps() {
+        for g in [chain3(), diamond()] {
+            for p in [4u32, 8] {
+                let tables =
+                    CostTables::build(&g, ConfigRule::new(p), &MachineSpec::test_machine());
+                let plain =
+                    find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("plain");
+                let pruned = find_best_strategy_pruned(
+                    &g,
+                    &tables,
+                    &DpOptions::default(),
+                    &PruneOptions::default(),
+                )
+                .expect_found("pruned");
+                assert_eq!(
+                    pruned.cost.to_bits(),
+                    plain.cost.to_bits(),
+                    "p = {p}: pruned cost {} != unpruned {}",
+                    pruned.cost,
+                    plain.cost
+                );
+                // Back-mapped ids index the *original* tables and evaluate
+                // to the optimum there (up to summation-order rounding).
+                let eval = tables.evaluate_ids(&g, &pruned.config_ids);
+                assert!(
+                    (eval - plain.cost).abs() <= 1e-9 * plain.cost.abs().max(1.0),
+                    "back-mapped strategy evaluates to {eval}, optimum {}",
+                    plain.cost
+                );
+                assert!(pruned.stats.k_before >= pruned.stats.max_configs);
+                assert!(pruned.stats.k_before > 0);
+            }
+        }
     }
 }

@@ -26,12 +26,12 @@ mod ordering;
 mod reduction;
 mod structure;
 
-pub use brute::{brute_force, random_strategy_costs};
+pub use brute::{brute_force, brute_force_pruned, random_strategy_costs};
 pub use budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats};
-pub use dp::{find_best_strategy, naive_best_strategy, DpOptions};
+pub use dp::{find_best_strategy, find_best_strategy_pruned, naive_best_strategy, DpOptions};
 pub use ordering::{
     dependent_set_sizes, generate_seq, generate_seq_with_sets, make_ordering, search_profile,
     OrderingKind, PositionProfile,
 };
-pub use reduction::{optcnn_search, ReductionOutcome};
+pub use reduction::{optcnn_search, optcnn_search_pruned, ReductionOutcome};
 pub use structure::{ConnectedSetMode, VertexStructure};

@@ -21,7 +21,7 @@
 //! [`ReductionOutcome::Irreducible`], while PaSE's FindBestStrategy handles
 //! every graph.
 
-use pase_cost::CostTables;
+use pase_cost::{CostTables, PruneOptions, PrunedTables};
 use pase_graph::{EdgeId, Graph, NodeId};
 use rustc_hash::FxHashMap;
 
@@ -309,6 +309,32 @@ pub fn optcnn_search(graph: &Graph, tables: &CostTables) -> ReductionOutcome {
         cost,
         config_ids: ids,
         eliminations,
+    }
+}
+
+/// [`optcnn_search`] over a dominance-pruned configuration space, so the
+/// OptCNN comparison runs on the same pruned view as
+/// [`crate::find_best_strategy_pruned`]. Reducibility is a property of the
+/// graph alone, so pruning never changes *whether* the search succeeds —
+/// only how much work the eliminations do. Returned ids are mapped back
+/// into the original `tables`' id space.
+pub fn optcnn_search_pruned(
+    graph: &Graph,
+    tables: &CostTables,
+    prune: &PruneOptions,
+) -> ReductionOutcome {
+    let pruned = PrunedTables::build(graph, tables, prune);
+    match optcnn_search(graph, pruned.tables()) {
+        ReductionOutcome::Reduced {
+            cost,
+            config_ids,
+            eliminations,
+        } => ReductionOutcome::Reduced {
+            cost,
+            config_ids: pruned.to_original_ids(&config_ids),
+            eliminations,
+        },
+        irreducible => irreducible,
     }
 }
 

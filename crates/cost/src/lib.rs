@@ -34,6 +34,7 @@ mod events;
 mod export;
 mod layer;
 mod machine;
+mod prune;
 mod sharding;
 mod strategy;
 mod tables;
@@ -48,6 +49,7 @@ pub use events::{layer_comm_events, layer_compute_flops, Collective, CommEvent, 
 pub use export::{from_sharding_json, to_sharding_json};
 pub use layer::layer_cost;
 pub use machine::MachineSpec;
+pub use prune::{PruneOptions, PruneStats, PrunedTables};
 pub use sharding::{replication, shard_bytes, shard_elements, tensor_sharding};
 pub use strategy::{evaluate, validate_strategy, Strategy};
 pub use tables::{CostTables, InternStats, TableOptions};

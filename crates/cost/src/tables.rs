@@ -37,6 +37,11 @@ pub struct TableOptions {
     /// bit-identical to an uninterned build; disable only for A/B
     /// measurement).
     pub intern: bool,
+    /// Smallest graph (node count) on which interning is attempted. On tiny
+    /// graphs the structural-key hashing costs more than the table work it
+    /// could share (AlexNet/RNNLM regress with 0% hit rate), so interning is
+    /// skipped below this size. Set to 0 to always intern.
+    pub intern_min_nodes: usize,
     /// Compute distinct tables in parallel.
     pub parallel: bool,
 }
@@ -45,10 +50,16 @@ impl Default for TableOptions {
     fn default() -> Self {
         Self {
             intern: true,
+            intern_min_nodes: 16,
             parallel: true,
         }
     }
 }
+
+/// After this many structural-key probes with zero pool hits, interning
+/// gives up on the rest of the graph: a prefix this long with no repeated
+/// structure predicts a heterogeneous graph where keying is pure overhead.
+const INTERN_PROBE_LIMIT: usize = 32;
 
 /// Interning effectiveness counters (see [`CostTables::intern_stats`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,17 +140,17 @@ fn node_key(n: &Node) -> NodeKey {
 /// One interned layer table: the configuration list and per-configuration
 /// layer cost of a structural node class.
 #[derive(Clone, Debug)]
-struct LayerEntry {
-    configs: Vec<Config>,
-    costs: Vec<f64>,
+pub(crate) struct LayerEntry {
+    pub(crate) configs: Vec<Config>,
+    pub(crate) costs: Vec<f64>,
 }
 
 /// Dense transfer-cost matrix for one structural edge class:
 /// `costs[cu * k_dst + cv]`.
 #[derive(Clone, Debug)]
-struct EdgeTable {
-    k_dst: u32,
-    costs: Vec<f64>,
+pub(crate) struct EdgeTable {
+    pub(crate) k_dst: u32,
+    pub(crate) costs: Vec<f64>,
 }
 
 /// Map `items` through `f`, in parallel when asked and worthwhile.
@@ -160,14 +171,14 @@ where
 /// machine) triple.
 #[derive(Clone, Debug)]
 pub struct CostTables {
-    rule: ConfigRule,
-    r: f64,
+    pub(crate) rule: ConfigRule,
+    pub(crate) r: f64,
     /// Node → index into `layer_pool`.
-    node_class: Vec<u32>,
-    layer_pool: Vec<LayerEntry>,
+    pub(crate) node_class: Vec<u32>,
+    pub(crate) layer_pool: Vec<LayerEntry>,
     /// Edge → index into `edge_pool`.
-    edge_class: Vec<u32>,
-    edge_pool: Vec<EdgeTable>,
+    pub(crate) edge_class: Vec<u32>,
+    pub(crate) edge_pool: Vec<EdgeTable>,
 }
 
 impl CostTables {
@@ -185,16 +196,64 @@ impl CostTables {
         machine: &MachineSpec,
         opts: &TableOptions,
     ) -> Self {
+        Self::build_impl(graph, rule, machine, opts, |v| {
+            enumerate_configs(graph.node(v), &rule)
+        })
+    }
+
+    /// [`CostTables::build_with`] over a pre-enumerated [`ConfigSpace`].
+    ///
+    /// The space must cover the same graph and have been built under the
+    /// same `rule` — sweeps that reuse one enumeration across several
+    /// machine profiles (figure6) call this to skip the redundant
+    /// `enumerate_configs` passes.
+    pub fn build_with_space(
+        graph: &Graph,
+        rule: ConfigRule,
+        machine: &MachineSpec,
+        space: &crate::config::ConfigSpace,
+        opts: &TableOptions,
+    ) -> Self {
+        assert_eq!(
+            space.len(),
+            graph.len(),
+            "ConfigSpace does not cover the graph"
+        );
+        Self::build_impl(graph, rule, machine, opts, |v| space.configs_of(v).to_vec())
+    }
+
+    fn build_impl(
+        graph: &Graph,
+        rule: ConfigRule,
+        machine: &MachineSpec,
+        opts: &TableOptions,
+        configs_for: impl Fn(NodeId) -> Vec<Config> + Sync,
+    ) -> Self {
         let r = machine.flop_byte_ratio();
 
         // Node classes: one per distinct structural key when interning,
         // one per node otherwise. `layer_reps[class]` is a representative.
+        // Interning is skipped outright on tiny graphs and abandoned after
+        // a long hit-free probe prefix — in both regimes the keying costs
+        // more than the sharing it could win, and the produced tables are
+        // identical either way.
         let nodes = graph.nodes();
+        let mut intern = opts.intern && nodes.len() >= opts.intern_min_nodes;
         let mut node_class = Vec::with_capacity(nodes.len());
         let mut layer_reps: Vec<NodeId> = Vec::new();
-        if opts.intern {
+        if intern {
             let mut classes: FxHashMap<NodeKey, u32> = FxHashMap::default();
             for (i, n) in nodes.iter().enumerate() {
+                if i >= INTERN_PROBE_LIMIT && layer_reps.len() == i {
+                    // No hit in the whole prefix: stop keying, assign the
+                    // rest fresh classes.
+                    for j in i..nodes.len() {
+                        node_class.push(layer_reps.len() as u32);
+                        layer_reps.push(NodeId(j as u32));
+                    }
+                    intern = false;
+                    break;
+                }
                 let next = layer_reps.len() as u32;
                 let class = *classes.entry(node_key(n)).or_insert_with(|| {
                     layer_reps.push(NodeId(i as u32));
@@ -209,8 +268,8 @@ impl CostTables {
             }
         }
         let layer_pool: Vec<LayerEntry> = map_maybe_par(layer_reps, opts.parallel, |v| {
+            let configs = configs_for(v);
             let n = graph.node(v);
-            let configs = enumerate_configs(n, &rule);
             let costs = configs.iter().map(|c| layer_cost(n, c, r)).collect();
             LayerEntry { configs, costs }
         });
@@ -221,7 +280,7 @@ impl CostTables {
         let edges = graph.edges();
         let mut edge_class = Vec::with_capacity(edges.len());
         let mut edge_reps: Vec<EdgeId> = Vec::new();
-        if opts.intern {
+        if intern {
             let mut classes: FxHashMap<(u32, u32, u32), u32> = FxHashMap::default();
             for (i, e) in edges.iter().enumerate() {
                 let key = (
@@ -484,12 +543,26 @@ mod tests {
         assert_eq!(t.edge_cost(EdgeId(0), cu, cv), expect);
     }
 
+    /// Interning options with the size gate disabled (unit graphs here are
+    /// all below the default `intern_min_nodes`).
+    fn always_intern() -> TableOptions {
+        TableOptions {
+            intern_min_nodes: 0,
+            ..TableOptions::default()
+        }
+    }
+
     #[test]
     fn interning_shares_repeated_structures() {
         // fc1..fc4 are structurally identical (fc0 differs: no input
         // tensor), and the three interior edges share one class.
         let g = fc_chain(5);
-        let t = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let t = CostTables::build_with(
+            &g,
+            ConfigRule::new(4),
+            &MachineSpec::test_machine(),
+            &always_intern(),
+        );
         let s = t.intern_stats();
         assert_eq!(s.nodes, 5);
         assert_eq!(s.unique_layer_tables, 2);
@@ -504,15 +577,7 @@ mod tests {
         let g = fc_chain(4);
         let rule = ConfigRule::new(8);
         let m = MachineSpec::test_machine();
-        let interned = CostTables::build_with(
-            &g,
-            rule,
-            &m,
-            &TableOptions {
-                intern: true,
-                parallel: true,
-            },
-        );
+        let interned = CostTables::build_with(&g, rule, &m, &always_intern());
         let plain = CostTables::build_with(
             &g,
             rule,
@@ -520,6 +585,7 @@ mod tests {
             &TableOptions {
                 intern: false,
                 parallel: false,
+                ..TableOptions::default()
             },
         );
         assert_eq!(plain.intern_stats().hit_rate(), 0.0);
@@ -557,7 +623,68 @@ mod tests {
         b.add_node(mk("alpha"));
         b.add_node(mk("a completely different name"));
         let g = b.build().unwrap();
-        let t = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let t = CostTables::build_with(
+            &g,
+            ConfigRule::new(4),
+            &MachineSpec::test_machine(),
+            &always_intern(),
+        );
         assert_eq!(t.intern_stats().unique_layer_tables, 1);
+    }
+
+    #[test]
+    fn small_graphs_skip_interning_by_default() {
+        // Below `intern_min_nodes`, the default build produces one table
+        // per node/edge (identical values, no keying overhead).
+        let g = fc_chain(5);
+        let t = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let s = t.intern_stats();
+        assert_eq!(s.unique_layer_tables, s.nodes);
+        assert_eq!(s.unique_edge_tables, s.edges);
+        assert_eq!(s.hit_rate(), 0.0);
+        // ... and the tables match an explicitly interned build entry-wise.
+        let interned = CostTables::build_with(
+            &g,
+            ConfigRule::new(4),
+            &MachineSpec::test_machine(),
+            &always_intern(),
+        );
+        for v in g.node_ids() {
+            assert_eq!(t.configs_of(v), interned.configs_of(v));
+            for c in 0..t.k(v) as u16 {
+                assert_eq!(t.layer_cost(v, c).to_bits(), interned.layer_cost(v, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn space_built_tables_match_enumerating_build() {
+        let g = fc_chain(3);
+        let rule = ConfigRule::new(8);
+        let m = MachineSpec::test_machine();
+        let space = crate::config::ConfigSpace::build(&g, &rule);
+        let from_space =
+            CostTables::build_with_space(&g, rule, &m, &space, &TableOptions::default());
+        let direct = CostTables::build(&g, rule, &m);
+        for v in g.node_ids() {
+            assert_eq!(from_space.configs_of(v), direct.configs_of(v));
+            for c in 0..direct.k(v) as u16 {
+                assert_eq!(
+                    from_space.layer_cost(v, c).to_bits(),
+                    direct.layer_cost(v, c).to_bits()
+                );
+            }
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            let eid = EdgeId(i as u32);
+            for cu in 0..direct.k(e.src) as u16 {
+                for cv in 0..direct.k(e.dst) as u16 {
+                    assert_eq!(
+                        from_space.edge_cost(eid, cu, cv).to_bits(),
+                        direct.edge_cost(eid, cu, cv).to_bits()
+                    );
+                }
+            }
+        }
     }
 }

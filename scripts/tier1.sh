@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md): release build, full test
+# suite, and a smoke run of the search A/B benchmark so the exactness
+# assertion in bench_search (pruned optimum bit-identical to unpruned)
+# executes on the real benchmark graphs, not just the tiny test variants.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+# Smoke: regenerates BENCH_search.json; fails if pruning ever changes the
+# optimum on any model at p ∈ {8, 32, 64}.
+cargo run -p pase-bench --release --bin bench_search

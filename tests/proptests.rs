@@ -5,13 +5,14 @@
 //! and every search engine can be cross-checked on thousands of topologies.
 
 use pase::core::{
-    brute_force, dependent_set_sizes, find_best_strategy, generate_seq_with_sets,
-    naive_best_strategy, optcnn_search, random_strategy_costs, ConnectedSetMode, DpOptions,
-    OrderingKind, ReductionOutcome, SearchBudget, VertexStructure,
+    brute_force, dependent_set_sizes, find_best_strategy, find_best_strategy_pruned,
+    generate_seq_with_sets, naive_best_strategy, optcnn_search, random_strategy_costs,
+    ConnectedSetMode, DpOptions, OrderingKind, ReductionOutcome, SearchBudget, VertexStructure,
 };
 use pase::cost::{
     all_gather_bytes, all_reduce_bytes, enumerate_configs, evaluate, Config, ConfigRule,
-    CostTables, MachineSpec, Strategy as ParallelStrategy, TableOptions,
+    CostTables, MachineSpec, PruneOptions, PrunedTables, Strategy as ParallelStrategy,
+    TableOptions,
 };
 use pase::graph::{EdgeId, Graph, GraphBuilder, IterDim, Node, NodeId, OpKind, TensorRef};
 use proptest::prelude::*;
@@ -222,17 +223,19 @@ proptest! {
     fn interned_tables_are_bit_identical(dag in arb_dag(9)) {
         let g = build_graph(&dag);
         let machine = MachineSpec::test_machine();
+        // intern_min_nodes: 0 — random DAGs here are below the default size
+        // gate, and this test is specifically about interning correctness.
         let interned = CostTables::build_with(
             &g,
             ConfigRule::new(8),
             &machine,
-            &TableOptions { intern: true, parallel: false },
+            &TableOptions { intern: true, intern_min_nodes: 0, parallel: false },
         );
         let plain = CostTables::build_with(
             &g,
             ConfigRule::new(8),
             &machine,
-            &TableOptions { intern: false, parallel: false },
+            &TableOptions { intern: false, parallel: false, ..TableOptions::default() },
         );
         for v in g.node_ids() {
             prop_assert_eq!(interned.k(v), plain.k(v));
@@ -259,6 +262,55 @@ proptest! {
                         "edge cost differs at edge {:?} ({}, {})", e, cu, cv
                     );
                 }
+            }
+        }
+    }
+
+    /// Exact dominance pruning is invisible to the search: on any random
+    /// DAG the pruned DP returns the same optimal cost (bit-identical) and
+    /// a strategy that, after id back-mapping, is valid in the original
+    /// configuration space and achieves that optimum.
+    #[test]
+    fn pruned_search_matches_unpruned(dag in arb_dag(8), p in prop::sample::select(vec![2u32, 4, 8])) {
+        let g = build_graph(&dag);
+        let tables = CostTables::build(&g, ConfigRule::new(p), &MachineSpec::test_machine());
+        let plain = find_best_strategy(&g, &tables, &DpOptions::default())
+            .expect_found("unpruned");
+        let pruned = find_best_strategy_pruned(
+            &g, &tables, &DpOptions::default(), &PruneOptions::default())
+            .expect_found("pruned");
+        prop_assert_eq!(
+            pruned.cost.to_bits(), plain.cost.to_bits(),
+            "pruned {} vs unpruned {}", pruned.cost, plain.cost
+        );
+        // The back-mapped ids are valid in the original tables...
+        for v in g.node_ids() {
+            prop_assert!((pruned.config_ids[v.index()] as usize) < tables.k(v));
+        }
+        // ...and evaluate to the optimum there.
+        let eval = tables.evaluate_ids(&g, &pruned.config_ids);
+        prop_assert!((eval - plain.cost).abs() <= 1e-9 * plain.cost.abs().max(1.0),
+            "back-mapped strategy {} vs optimum {}", eval, plain.cost);
+    }
+
+    /// Pruning never empties any per-node configuration list, and every
+    /// survivor is one of the original configurations.
+    #[test]
+    fn pruning_keeps_every_config_list_nonempty(dag in arb_dag(9), p in prop::sample::select(vec![2u32, 4, 8, 16])) {
+        let g = build_graph(&dag);
+        let tables = CostTables::build(&g, ConfigRule::new(p), &MachineSpec::test_machine());
+        let pruned = PrunedTables::build(&g, &tables, &PruneOptions::default());
+        for v in g.node_ids() {
+            let kept = pruned.kept_ids(v);
+            prop_assert!(!kept.is_empty(), "C({:?}) emptied", v);
+            prop_assert!(kept.len() <= tables.k(v));
+            prop_assert_eq!(kept.len(), pruned.tables().k(v));
+            for (new_id, &orig) in kept.iter().enumerate() {
+                prop_assert!((orig as usize) < tables.k(v));
+                prop_assert_eq!(
+                    pruned.tables().config(v, new_id as u16),
+                    tables.config(v, orig)
+                );
             }
         }
     }

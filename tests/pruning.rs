@@ -1,0 +1,87 @@
+//! Dominance pruning must be invisible to the search: on every paper
+//! benchmark and every device count the pruned DP returns the *bit-identical*
+//! optimal cost (see `pase_cost::prune` for why equality is exact, not just
+//! approximate), while strictly shrinking the configuration space whenever a
+//! dominated configuration exists.
+
+use pase::core::{find_best_strategy, find_best_strategy_pruned, DpOptions};
+use pase::cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables};
+use pase::models::Benchmark;
+
+/// The ISSUE acceptance criterion: pruned search is bit-identical to
+/// unpruned search on all four benchmark models at `p ∈ {8, 32, 64}`.
+/// Tiny variants keep the debug-mode DP feasible; the release-mode
+/// `bench_search` binary asserts the same identity on the full graphs.
+#[test]
+fn pruned_search_is_bit_identical_on_all_benchmarks() {
+    let machine = MachineSpec::test_machine();
+    for bench in Benchmark::all() {
+        let graph = bench.build_tiny();
+        for p in [8u32, 32, 64] {
+            let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+            let label = format!("{} p={p}", bench.name());
+
+            let plain = find_best_strategy(&graph, &tables, &DpOptions::default())
+                .expect_found(&label);
+            let pruned = find_best_strategy_pruned(
+                &graph,
+                &tables,
+                &DpOptions::default(),
+                &PruneOptions::default(),
+            )
+            .expect_found(&label);
+
+            assert_eq!(
+                pruned.cost.to_bits(),
+                plain.cost.to_bits(),
+                "{label}: pruned optimum {} != unpruned {}",
+                pruned.cost,
+                plain.cost
+            );
+
+            // The back-mapped strategy is valid in the original space and
+            // achieves the optimum there.
+            assert_eq!(pruned.config_ids.len(), graph.len());
+            for v in graph.node_ids() {
+                assert!(
+                    (pruned.config_ids[v.index()] as usize) < tables.k(v),
+                    "{label}: back-mapped id out of range at {:?}",
+                    v
+                );
+            }
+            let eval = tables.evaluate_ids(&graph, &pruned.config_ids);
+            assert!(
+                (eval - plain.cost).abs() <= 1e-9 * plain.cost.abs().max(1.0),
+                "{label}: back-mapped strategy {} vs optimum {}",
+                eval,
+                plain.cost
+            );
+
+            // Pruning accounting is consistent and visible in the stats.
+            assert_eq!(pruned.stats.k_before, tables.max_k(), "{label}");
+            assert!(pruned.stats.max_configs <= pruned.stats.k_before, "{label}");
+        }
+    }
+}
+
+/// Pruning never empties any per-node configuration list, even at device
+/// counts where most configurations are dominated.
+#[test]
+fn pruning_keeps_every_benchmark_config_list_nonempty() {
+    let machine = MachineSpec::test_machine();
+    for bench in Benchmark::all() {
+        let graph = bench.build_tiny();
+        for p in [8u32, 64] {
+            let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+            let pruned = PrunedTables::build(&graph, &tables, &PruneOptions::default());
+            for v in graph.node_ids() {
+                assert!(
+                    !pruned.kept_ids(v).is_empty(),
+                    "{} p={p}: C({:?}) emptied",
+                    bench.name(),
+                    v
+                );
+            }
+        }
+    }
+}
