@@ -36,7 +36,11 @@ fn main() {
     println!(
         "Table II: best strategies found by FindBestStrategy (p = {p}, {}, {})",
         machine.name,
-        if fixed_batch { "fixed global batch" } else { "weak scaling" }
+        if fixed_batch {
+            "fixed global batch"
+        } else {
+            "weak scaling"
+        }
     );
     println!();
     println!("Legend: conv dims b c h w n r s = batch, in-chan, height, width,");
@@ -46,7 +50,11 @@ fn main() {
     println!("        attention b s h c k = batch, seq, heads, query ch, kv ch.");
 
     for bench in Benchmark::all() {
-        let graph = if fixed_batch { bench.build() } else { bench.build_for(p) };
+        let graph = if fixed_batch {
+            bench.build()
+        } else {
+            bench.build_for(p)
+        };
         let tables = standard_tables(&graph, p, &machine);
         let (outcome, strategy) = pase_strategy(&graph, &tables, &DpOptions::default());
         println!("\n=== {} ===", bench.name());

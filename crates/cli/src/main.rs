@@ -317,8 +317,11 @@ fn run() -> Result<(), String> {
             let order = generate_seq(&graph);
             let gs = dependent_set_sizes(&graph, &order);
             let bf = dependent_set_sizes(&graph, &bfs_order(&graph));
-            let structure =
-                pase_core::VertexStructure::build(&graph, &order, pase_core::ConnectedSetMode::Exact);
+            let structure = pase_core::VertexStructure::build(
+                &graph,
+                &order,
+                pase_core::ConnectedSetMode::Exact,
+            );
             let tables = CostTables::build_with(
                 &graph,
                 ConfigRule::new(p),
@@ -560,7 +563,9 @@ mod tests {
         .unwrap();
         assert_eq!(SearchKnobs::from_args(&e).unwrap().prune_epsilon, 0.05);
         let bad = Args::parse(
-            "search --prune-epsilon -1".split_whitespace().map(String::from),
+            "search --prune-epsilon -1"
+                .split_whitespace()
+                .map(String::from),
         );
         // "-1" is parsed as a flag-less value only if it doesn't look like
         // an option; either parse or knob construction must reject it.
@@ -598,9 +603,6 @@ mod tests {
         )
         .unwrap();
         assert_eq!(base.1.to_bits(), knobbed.1.to_bits());
-        assert_eq!(
-            base.0.configs().len(),
-            knobbed.0.configs().len()
-        );
+        assert_eq!(base.0.configs().len(), knobbed.0.configs().len());
     }
 }

@@ -435,8 +435,7 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
         // of earlier waves, so all chunks of all tables in the wave go into
         // one shared work queue.
         for wave in structure.wavefronts() {
-            let wave_children: Vec<Vec<ChildCoef>> =
-                wave.iter().map(|&i| children_of(i)).collect();
+            let wave_children: Vec<Vec<ChildCoef>> = wave.iter().map(|&i| children_of(i)).collect();
             let mut outs: Vec<(Vec<f64>, Vec<u16>)> = wave
                 .iter()
                 .map(|&i| {
@@ -499,7 +498,14 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
                         costs,
                         choice,
                     };
-                    fill_chunk(tables, &plans[i], &wave_children[w], &dp, &mut scratch, &mut chunk);
+                    fill_chunk(
+                        tables,
+                        &plans[i],
+                        &wave_children[w],
+                        &dp,
+                        &mut scratch,
+                        &mut chunk,
+                    );
                 }
             }
             if timed_out.load(AtomicOrdering::Relaxed) {
@@ -612,10 +618,7 @@ pub fn find_best_strategy_pruned(
 ) -> SearchOutcome {
     let pruned = PrunedTables::build(graph, tables, prune);
     let mut remaining = *opts;
-    remaining.budget.max_time = opts
-        .budget
-        .max_time
-        .saturating_sub(pruned.stats().elapsed);
+    remaining.budget.max_time = opts.budget.max_time.saturating_sub(pruned.stats().elapsed);
     let mut outcome = find_best_strategy(graph, pruned.tables(), &remaining);
     let ps = *pruned.stats();
     match &mut outcome {
@@ -805,8 +808,8 @@ mod tests {
         for bench in pase_models::Benchmark::all() {
             let g = bench.build();
             let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
-            let wavefront = find_best_strategy(&g, &tables, &DpOptions::default())
-                .expect_found(bench.name());
+            let wavefront =
+                find_best_strategy(&g, &tables, &DpOptions::default()).expect_found(bench.name());
             let sequential = find_best_strategy(
                 &g,
                 &tables,

@@ -161,11 +161,7 @@ impl VertexStructure {
         // concurrently once the previous levels are done.
         let mut levels = vec![0u32; n];
         for i in 0..n {
-            let lvl = subsets[i]
-                .iter()
-                .map(|&j| levels[j] + 1)
-                .max()
-                .unwrap_or(0);
+            let lvl = subsets[i].iter().map(|&j| levels[j] + 1).max().unwrap_or(0);
             levels[i] = lvl;
         }
         let n_waves = levels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
@@ -398,7 +394,10 @@ mod tests {
                     }
                 }
             }
-            assert!(seen.iter().all(|&b| b), "wavefronts must cover all positions");
+            assert!(
+                seen.iter().all(|&b| b),
+                "wavefronts must cover all positions"
+            );
             assert!(s.max_wavefront_width() >= 1);
         }
     }

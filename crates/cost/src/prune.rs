@@ -126,11 +126,7 @@ struct Signature {
 
 /// Compute the kept (non-dominated) configuration ids for one signature.
 /// `edge_views` pairs each incident edge table with the orientation flag.
-fn keep_set(
-    layer: &LayerEntry,
-    edge_views: &[(&EdgeTable, bool)],
-    epsilon: f64,
-) -> Vec<u16> {
+fn keep_set(layer: &LayerEntry, edge_views: &[(&EdgeTable, bool)], epsilon: f64) -> Vec<u16> {
     let k = layer.configs.len();
     if k <= 1 {
         return (0..k as u16).collect();
@@ -265,8 +261,7 @@ impl PrunedTables {
                 let id = *seen.entry((old, su, sv)).or_insert_with(|| {
                     let src_table = &tables.edge_pool[old as usize];
                     let kd_old = src_table.k_dst as usize;
-                    let (ku_keep, kv_keep) =
-                        (&keep_of_sig[su as usize], &keep_of_sig[sv as usize]);
+                    let (ku_keep, kv_keep) = (&keep_of_sig[su as usize], &keep_of_sig[sv as usize]);
                     let mut costs = Vec::with_capacity(ku_keep.len() * kv_keep.len());
                     for &cu in ku_keep {
                         let row = &src_table.costs[cu as usize * kd_old..][..kd_old];
@@ -296,10 +291,7 @@ impl PrunedTables {
                 .map(|e| e.configs.len())
                 .max()
                 .unwrap_or(0),
-            configs_before: graph
-                .node_ids()
-                .map(|v| tables.k(v) as u64)
-                .sum(),
+            configs_before: graph.node_ids().map(|v| tables.k(v) as u64).sum(),
             configs_after: keep.iter().map(|k| k.len() as u64).sum(),
             nodes_pruned: graph
                 .node_ids()
@@ -458,17 +450,13 @@ mod tests {
                 }
                 for &c2 in kept {
                     let layer_ok = t.layer_cost(v, c2) <= t.layer_cost(v, c);
-                    let edges_ok = g
-                        .out_edges(v)
-                        .iter()
-                        .all(|&e| {
-                            (0..t.k(g.edge(e).dst) as u16)
-                                .all(|d| t.edge_cost(e, c2, d) <= t.edge_cost(e, c, d))
-                        })
-                        && g.in_edges(v).iter().all(|&e| {
-                            (0..t.k(g.edge(e).src) as u16)
-                                .all(|d| t.edge_cost(e, d, c2) <= t.edge_cost(e, d, c))
-                        });
+                    let edges_ok = g.out_edges(v).iter().all(|&e| {
+                        (0..t.k(g.edge(e).dst) as u16)
+                            .all(|d| t.edge_cost(e, c2, d) <= t.edge_cost(e, c, d))
+                    }) && g.in_edges(v).iter().all(|&e| {
+                        (0..t.k(g.edge(e).src) as u16)
+                            .all(|d| t.edge_cost(e, d, c2) <= t.edge_cost(e, d, c))
+                    });
                     if layer_ok && edges_ok {
                         continue 'outer;
                     }
@@ -563,7 +551,9 @@ mod tests {
         );
         assert_eq!(
             s.configs_after,
-            g.node_ids().map(|v| pruned.tables().k(v) as u64).sum::<u64>()
+            g.node_ids()
+                .map(|v| pruned.tables().k(v) as u64)
+                .sum::<u64>()
         );
         assert!(s.pruned_fraction() >= 0.0 && s.pruned_fraction() < 1.0);
     }

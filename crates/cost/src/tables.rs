@@ -652,7 +652,10 @@ mod tests {
         for v in g.node_ids() {
             assert_eq!(t.configs_of(v), interned.configs_of(v));
             for c in 0..t.k(v) as u16 {
-                assert_eq!(t.layer_cost(v, c).to_bits(), interned.layer_cost(v, c).to_bits());
+                assert_eq!(
+                    t.layer_cost(v, c).to_bits(),
+                    interned.layer_cost(v, c).to_bits()
+                );
             }
         }
     }

@@ -21,8 +21,8 @@ fn pruned_search_is_bit_identical_on_all_benchmarks() {
             let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
             let label = format!("{} p={p}", bench.name());
 
-            let plain = find_best_strategy(&graph, &tables, &DpOptions::default())
-                .expect_found(&label);
+            let plain =
+                find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found(&label);
             let pruned = find_best_strategy_pruned(
                 &graph,
                 &tables,

@@ -61,7 +61,12 @@ impl Criterion {
         id: S,
         routine: F,
     ) -> &mut Self {
-        run_one(id.as_ref(), self.filter.as_deref(), self.sample_size, routine);
+        run_one(
+            id.as_ref(),
+            self.filter.as_deref(),
+            self.sample_size,
+            routine,
+        );
         self
     }
 
@@ -123,9 +128,8 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let per_sample = ((Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1)
-            as usize)
-            .min(10_000);
+        let per_sample =
+            ((Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1) as usize).min(10_000);
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
             for _ in 0..per_sample {

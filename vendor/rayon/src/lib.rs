@@ -200,11 +200,9 @@ mod tests {
         use std::sync::atomic::AtomicUsize;
         let total = AtomicUsize::new(0);
         let chunks: Vec<Vec<usize>> = (0..16).map(|c| vec![c; 100]).collect();
-        chunks
-            .into_par_iter()
-            .for_each(|chunk| {
-                total.fetch_add(chunk.len(), Ordering::Relaxed);
-            });
+        chunks.into_par_iter().for_each(|chunk| {
+            total.fetch_add(chunk.len(), Ordering::Relaxed);
+        });
         assert_eq!(total.load(Ordering::Relaxed), 1600);
     }
 
