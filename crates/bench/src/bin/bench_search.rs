@@ -18,9 +18,10 @@
 //! Medians are written to `BENCH_search.json`. Mirrors the criterion
 //! benches but runs in seconds, so it can gate a PR.
 
-use pase_core::{find_best_strategy, DpOptions};
+use pase_core::{find_best_strategy, find_best_strategy_pruned_traced, DpOptions, SearchReport};
 use pase_cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables, TableOptions};
 use pase_models::Benchmark;
+use pase_obs::Trace;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -88,18 +89,27 @@ fn main() {
                 median_secs(samples, || find_best_strategy(&g, pruned.tables(), &dp));
 
             // Exactness gate: the pruned optimum must be bit-identical.
+            // The pruned run is traced so the cell's search report carries
+            // a per-phase wall-time breakdown.
             let plain_cost = find_best_strategy(&g, &tables, &dp)
                 .expect_found(bench.name())
                 .cost;
-            let pruned_cost = find_best_strategy(&g, pruned.tables(), &dp)
-                .expect_found(bench.name())
-                .cost;
+            let trace = Trace::new();
+            let pruned_outcome = find_best_strategy_pruned_traced(
+                &g,
+                &tables,
+                &dp,
+                &PruneOptions::default(),
+                Some(&trace),
+            );
+            let pruned_cost = pruned_outcome.found().expect(bench.name()).cost;
             assert_eq!(
                 plain_cost.to_bits(),
                 pruned_cost.to_bits(),
                 "{} p={p}: pruned optimum {pruned_cost} != unpruned {plain_cost}",
                 bench.name()
             );
+            let report = SearchReport::new(bench.name(), p, &pruned_outcome, Some(&trace));
 
             let hit = tables.intern_stats().hit_rate();
             println!(
@@ -122,7 +132,7 @@ fn main() {
 
             let _ = write!(
                 json,
-                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"find_best_strategy\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"intern_hit_rate\": {:.4}\n      }}{}\n",
+                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"find_best_strategy\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"intern_hit_rate\": {:.4},\n        \"search_report\": {}\n      }}{}\n",
                 build_base,
                 build_opt,
                 prune_s,
@@ -133,6 +143,7 @@ fn main() {
                 search_plain,
                 search_pruned,
                 hit,
+                report.to_json(),
                 if pi + 1 < PS.len() { "," } else { "" }
             );
         }

@@ -14,17 +14,19 @@ mod args;
 use args::Args;
 use pase_baselines::{data_parallel, gnmt_expert, mesh_tf_expert, owt};
 use pase_core::{
-    dependent_set_sizes, find_best_strategy, find_best_strategy_pruned, generate_seq,
-    optcnn_search, DpOptions, ReductionOutcome, SearchOutcome,
+    dependent_set_sizes, find_best_strategy_pruned_traced, find_best_strategy_traced, generate_seq,
+    optcnn_search, DpOptions, ReductionOutcome, SearchOutcome, SearchReport, SearchResult,
 };
 use pase_cost::{
-    from_sharding_json, to_sharding_json, validate_strategy, ConfigRule, CostTables, MachineSpec,
-    PruneOptions, Strategy, TableOptions,
+    from_sharding_json, to_sharding_json, to_sharding_json_with, validate_strategy, ConfigRule,
+    CostTables, MachineSpec, PruneOptions, Strategy, TableOptions,
 };
 use pase_graph::{bfs_order, Graph, GraphStats};
 use pase_models as models;
+use pase_obs::{chrome_trace_json, Trace};
 use pase_sim::{memory_per_device, simulate_step, simulate_step_trace, SimOptions, Topology};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 pase — parallelization strategies for efficient DNN training
@@ -50,6 +52,10 @@ OPTIONS:
   --prune-epsilon <e>      prune configs dominated within (1+e) — faster on
                            large p but only (1+e)-optimal (default 0 = exact)
   --json                   print the strategy as a GShard-style sharding spec
+                           with an embedded \"search_report\" object
+  --trace-out <file>       (search) write a Chrome-trace JSON timeline of the
+                           search pipeline (open in chrome://tracing or
+                           https://ui.perfetto.dev)
   --out <file>             write output to a file instead of stdout
   --strategy <file>        (simulate) sharding spec produced by `pase export`
   --top <k>                (trace) show the k most expensive layers (default 10)
@@ -152,6 +158,7 @@ fn search_strategy(
     machine: &MachineSpec,
     memory_limit_gb: Option<f64>,
     knobs: SearchKnobs,
+    trace: Option<&Trace>,
 ) -> Result<(Strategy, f64, pase_core::SearchStats, CostTables), String> {
     let mut rule = ConfigRule::new(p);
     if let Some(gb) = memory_limit_gb {
@@ -161,10 +168,11 @@ fn search_strategy(
         intern: knobs.intern,
         ..TableOptions::default()
     };
+    let pipeline_start = Instant::now();
     let run = || {
-        let tables = CostTables::build_with(graph, rule, machine, &table_opts);
+        let tables = CostTables::build_traced(graph, rule, machine, &table_opts, trace);
         let outcome = if knobs.prune {
-            find_best_strategy_pruned(
+            find_best_strategy_pruned_traced(
                 graph,
                 &tables,
                 &DpOptions::default(),
@@ -172,13 +180,14 @@ fn search_strategy(
                     epsilon: knobs.prune_epsilon,
                     ..PruneOptions::default()
                 },
+                trace,
             )
         } else {
-            find_best_strategy(graph, &tables, &DpOptions::default())
+            find_best_strategy_traced(graph, &tables, &DpOptions::default(), trace)
         };
         (tables, outcome)
     };
-    let (tables, outcome) = if knobs.threads > 0 {
+    let (tables, mut outcome) = if knobs.threads > 0 {
         rayon::ThreadPoolBuilder::new()
             .num_threads(knobs.threads)
             .build()
@@ -187,6 +196,15 @@ fn search_strategy(
     } else {
         run()
     };
+    // Report elapsed over the whole pipeline (table build + prune + DP),
+    // matching what the recorded phase spans cover.
+    let elapsed = pipeline_start.elapsed();
+    match &mut outcome {
+        SearchOutcome::Found(r) => r.stats.elapsed = elapsed,
+        SearchOutcome::Oom { stats, .. } | SearchOutcome::Timeout { stats } => {
+            stats.elapsed = elapsed;
+        }
+    }
     match outcome {
         SearchOutcome::Found(r) => {
             let s = tables.ids_to_strategy(&r.config_ids);
@@ -251,10 +269,29 @@ fn run() -> Result<(), String> {
                     )),
                 };
             }
+            // A trace is recorded whenever it has a consumer: an explicit
+            // --trace-out file, or the per-phase breakdown of the --json
+            // search report.
+            let trace = (args.get("trace-out").is_some() || args.has("json")).then(Trace::new);
             let (strategy, cost, stats, tables) =
-                search_strategy(&graph, p, &machine, memory_limit, knobs)?;
+                search_strategy(&graph, p, &machine, memory_limit, knobs, trace.as_ref())?;
+            if let Some(path) = args.get("trace-out") {
+                let t = trace.as_ref().expect("trace was created for --trace-out");
+                std::fs::write(path, chrome_trace_json(t))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
             if args.has("json") {
-                emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
+                let outcome = SearchOutcome::Found(SearchResult {
+                    cost,
+                    config_ids: vec![],
+                    stats: stats.clone(),
+                });
+                let report = SearchReport::new(model.as_str(), p, &outcome, trace.as_ref());
+                let report_json = report.to_json();
+                emit(
+                    args.get("out"),
+                    &to_sharding_json_with(&graph, &strategy, &[("search_report", &report_json)]),
+                )?;
             } else {
                 let intern = tables.intern_stats();
                 let prune_line = if stats.k_before > stats.max_configs {
@@ -285,7 +322,7 @@ fn run() -> Result<(), String> {
         "compare" => {
             let topo = Topology::cluster(machine.clone(), p);
             let opts = SimOptions::default();
-            let (ours, _, _, _) = search_strategy(&graph, p, &machine, None, knobs)?;
+            let (ours, _, _, _) = search_strategy(&graph, p, &machine, None, knobs, None)?;
             let expert = match model.as_str() {
                 "rnnlm" | "rnnlm-unrolled" | "gnmt" => gnmt_expert(&graph, p),
                 "transformer" => mesh_tf_expert(&graph, p),
@@ -360,7 +397,7 @@ fn run() -> Result<(), String> {
             emit(args.get("out"), &content)?;
         }
         "export" => {
-            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None, knobs)?;
+            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None, knobs, None)?;
             emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
         }
         "simulate" => {
@@ -399,7 +436,7 @@ fn run() -> Result<(), String> {
         "trace" => {
             // Per-layer timing of the searched strategy: where does the
             // step time actually go?
-            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None, knobs)?;
+            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None, knobs, None)?;
             let topo = Topology::cluster(machine.clone(), p);
             let (rep, mut rows) =
                 simulate_step_trace(&graph, &strategy, &topo, &SimOptions::default());
@@ -531,11 +568,56 @@ mod tests {
         let g = build_model("mlp", 4, false).unwrap();
         let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
         let (s, cost, stats, _) =
-            search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None, knobs).unwrap();
+            search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None, knobs, None).unwrap();
         assert_eq!(s.len(), g.len());
         assert!(cost > 0.0);
         assert!(stats.max_configs > 0);
         assert!(stats.wavefronts > 0);
+    }
+
+    #[test]
+    fn traced_search_spans_cover_reported_elapsed() {
+        use pase_obs::phase;
+        let g = build_model("mlp", 8, false).unwrap();
+        let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
+        let trace = Trace::new();
+        let (_, _, stats, _) =
+            search_strategy(&g, 8, &MachineSpec::gtx1080ti(), None, knobs, Some(&trace)).unwrap();
+        let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
+        for required in [
+            phase::ENUMERATION,
+            phase::INTERNING,
+            phase::TABLE_BUILD,
+            phase::PRUNE,
+            phase::STRUCTURE,
+            phase::BACKTRACK,
+        ] {
+            assert!(
+                names.iter().any(|n| n == required),
+                "missing {required} in {names:?}"
+            );
+        }
+        assert!(names.iter().any(|n| phase::is_wavefront(n)));
+        // The pipeline spans are disjoint phases of the same run, so their
+        // sum is bounded by the full-pipeline elapsed that search_strategy
+        // reports.
+        let disjoint = trace.span_time_where(|n| {
+            matches!(
+                n,
+                phase::ENUMERATION
+                    | phase::INTERNING
+                    | phase::TABLE_BUILD
+                    | phase::PRUNE
+                    | phase::STRUCTURE
+                    | phase::PLAN
+                    | phase::BACKTRACK
+            ) || phase::is_wavefront(n)
+        });
+        assert!(
+            disjoint <= stats.elapsed,
+            "span sum {disjoint:?} exceeds pipeline elapsed {:?}",
+            stats.elapsed
+        );
     }
 
     #[test]
@@ -587,6 +669,7 @@ mod tests {
                 prune: true,
                 prune_epsilon: 0.0,
             },
+            None,
         )
         .unwrap();
         let knobbed = search_strategy(
@@ -600,6 +683,7 @@ mod tests {
                 prune: false,
                 prune_epsilon: 0.0,
             },
+            None,
         )
         .unwrap();
         assert_eq!(base.1.to_bits(), knobbed.1.to_bits());

@@ -10,13 +10,19 @@
 
 use std::time::Duration;
 
+/// Bytes one DP table entry actually occupies: an `f64` cost plus a `u16`
+/// chosen-configuration id, as allocated by the DP fill
+/// (`Vec<f64>` + `Vec<u16>` of equal length per table). Derived from
+/// `size_of` so the budget arithmetic cannot drift from the entry types.
+pub const DP_ENTRY_BYTES: u64 = (std::mem::size_of::<f64>() + std::mem::size_of::<u16>()) as u64;
+
 /// Resource limits for one search invocation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SearchBudget {
     /// Cap on the total number of DP table entries allocated across the
-    /// whole search (each entry is a cost plus a chosen configuration,
-    /// ~10 bytes). The default of 2^28 entries ≈ 2.7 GiB mirrors a
-    /// memory-constrained workstation.
+    /// whole search. Each entry costs [`DP_ENTRY_BYTES`] (10) bytes, so
+    /// the default of 2^28 entries caps table memory at 2.5 GiB —
+    /// a memory-constrained workstation.
     pub max_table_entries: u64,
     /// Wall-clock cap.
     pub max_time: Duration,
@@ -40,12 +46,24 @@ impl SearchBudget {
         }
     }
 
+    /// A budget capping table memory at `bytes` (rounded down to whole
+    /// entries of [`DP_ENTRY_BYTES`]), with the default time cap.
+    pub fn with_max_bytes(bytes: u64) -> Self {
+        Self::with_max_entries(bytes / DP_ENTRY_BYTES)
+    }
+
     /// A budget with the given time cap and the default entry cap.
     pub fn with_max_time(t: Duration) -> Self {
         Self {
             max_time: t,
             ..Self::default()
         }
+    }
+
+    /// The entry cap expressed in bytes ([`DP_ENTRY_BYTES`] per entry) —
+    /// what [`SearchOutcome::Oom`] actually protects against.
+    pub fn max_table_bytes(&self) -> u64 {
+        self.max_table_entries.saturating_mul(DP_ENTRY_BYTES)
     }
 }
 
@@ -66,6 +84,12 @@ pub struct SearchStats {
     pub prune_time: Duration,
     /// Total DP table entries allocated.
     pub table_entries: u64,
+    /// High-water mark of DP table memory in bytes:
+    /// `table_entries × DP_ENTRY_BYTES` at the point of greatest
+    /// allocation. Tables stay live through back-substitution, so on a
+    /// completed search this equals the final total; on an aborted one it
+    /// is what had been accounted when the budget tripped.
+    pub peak_table_bytes: u64,
     /// Total `(substrategy, configuration)` pairs evaluated.
     pub states_evaluated: u64,
     /// Number of wavefronts in the table-dependency DAG (tables within a
@@ -164,6 +188,25 @@ mod tests {
         let b = SearchBudget::default();
         assert!(b.max_table_entries >= 1 << 20);
         assert!(b.max_time >= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn entry_size_comes_from_the_real_types() {
+        // The DP fill allocates a Vec<f64> and a Vec<u16> per table; the
+        // budget constant must track those types, not a hand-written guess.
+        assert_eq!(DP_ENTRY_BYTES, 10);
+        // Default cap: 2^28 entries × 10 B = 2.5 GiB.
+        let b = SearchBudget::default();
+        assert_eq!(b.max_table_bytes(), (1u64 << 28) * 10);
+        assert_eq!(b.max_table_bytes(), 2_684_354_560); // 2.5 GiB exactly
+    }
+
+    #[test]
+    fn byte_budget_rounds_down_to_whole_entries() {
+        let b = SearchBudget::with_max_bytes(105);
+        assert_eq!(b.max_table_entries, 10);
+        assert_eq!(b.max_table_bytes(), 100);
+        assert_eq!(b.max_time, SearchBudget::default().max_time);
     }
 
     #[test]

@@ -41,11 +41,12 @@
 //!   work (`Timeout`), reproducing Table I's failure modes without actually
 //!   exhausting the machine.
 
-use crate::budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats};
+use crate::budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats, DP_ENTRY_BYTES};
 use crate::ordering::{make_ordering, OrderingKind};
 use crate::structure::{ConnectedSetMode, VertexStructure};
 use pase_cost::{CostTables, PruneOptions, PrunedTables};
 use pase_graph::{EdgeId, Graph, NodeId};
+use pase_obs::{phase, span_in, OptSpan, Trace};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::time::Instant;
@@ -289,6 +290,23 @@ fn fill_chunk(
 /// assert_eq!(result.cost, graph.total_step_flops() / 4.0);
 /// ```
 pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) -> SearchOutcome {
+    find_best_strategy_traced(graph, tables, opts, None)
+}
+
+/// [`find_best_strategy`] with phase spans and counters recorded into
+/// `trace`: a [`pase_obs::phase::STRUCTURE`] span for ordering + structure
+/// construction, [`pase_obs::phase::PLAN`] for the budget-accounting pass,
+/// one `"wavefront <w>"` span per DP wavefront (or one
+/// [`pase_obs::phase::SEQUENTIAL_FILL`] span when `opts.parallel` is off),
+/// [`pase_obs::phase::BACKTRACK`] for strategy extraction, and a
+/// `table_bytes` counter sampled after each wavefront. With `trace = None`
+/// this is exactly [`find_best_strategy`].
+pub fn find_best_strategy_traced(
+    graph: &Graph,
+    tables: &CostTables,
+    opts: &DpOptions,
+    trace: Option<&Trace>,
+) -> SearchOutcome {
     let start = Instant::now();
     let n = graph.len();
     if n == 0 {
@@ -298,8 +316,12 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
             stats: SearchStats::default(),
         });
     }
+    let mut span = span_in(trace, phase::STRUCTURE);
     let order = make_ordering(graph, opts.ordering);
     let structure = VertexStructure::build(graph, &order, opts.mode);
+    span.arg("nodes", n);
+    span.arg("wavefronts", structure.wavefronts().len());
+    drop(span);
     let deadline = start + opts.budget.max_time;
 
     let mut stats = SearchStats {
@@ -316,6 +338,7 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
     // table *contents*, so accounting in position order here gives exactly
     // the OOM/timeout behavior of a fully sequential fill, regardless of
     // how the fill below is scheduled.
+    let mut plan_span = span_in(trace, phase::PLAN);
     let mut plans: Vec<Plan> = Vec::with_capacity(n);
     for i in 0..n {
         let vi = structure.vertex(i);
@@ -372,6 +395,7 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
         let kv = tables.k(vi) as u16;
         stats.states_evaluated += size * u64::from(kv);
         stats.table_entries += size;
+        stats.peak_table_bytes = stats.table_entries.saturating_mul(DP_ENTRY_BYTES);
         plans.push(Plan {
             vi,
             dep,
@@ -382,6 +406,9 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
             later_edges,
         });
     }
+    plan_span.arg("tables", n);
+    plan_span.arg("entries", stats.table_entries);
+    drop(plan_span);
 
     // Child coefficients need only the child's *plan* (dep + strides), so
     // they are precomputable for every position up front.
@@ -430,11 +457,13 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
         });
     };
 
+    let mut allocated_entries = 0u64;
     if opts.parallel {
         // Wavefront schedule: every table of a wave depends only on tables
         // of earlier waves, so all chunks of all tables in the wave go into
         // one shared work queue.
-        for wave in structure.wavefronts() {
+        for (wi, wave) in structure.wavefronts().iter().enumerate() {
+            let mut wave_span = trace.map(|t| t.span(phase::wavefront_name(wi)));
             let wave_children: Vec<Vec<ChildCoef>> = wave.iter().map(|&i| children_of(i)).collect();
             let mut outs: Vec<(Vec<f64>, Vec<u16>)> = wave
                 .iter()
@@ -508,6 +537,9 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
                     );
                 }
             }
+            wave_span.arg("tables", wave.len());
+            wave_span.arg("entries", total_entries);
+            drop(wave_span);
             if timed_out.load(AtomicOrdering::Relaxed) {
                 stats.elapsed = start.elapsed();
                 return SearchOutcome::Timeout { stats };
@@ -515,11 +547,18 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
             for (w, (costs, choice)) in outs.into_iter().enumerate() {
                 finish(&mut dp, wave[w], costs, choice);
             }
+            if let Some(t) = trace {
+                allocated_entries += total_entries as u64;
+                t.counter("table_bytes", allocated_entries * DP_ENTRY_BYTES);
+            }
         }
     } else {
         // Strictly sequential fill in position order (the wavefront
         // schedule produces bit-identical tables; this path exists for
         // measurement and as the oracle in scheduling tests).
+        let mut fill_span = span_in(trace, phase::SEQUENTIAL_FILL);
+        fill_span.arg("tables", n);
+        fill_span.arg("entries", stats.table_entries);
         let mut scratch = Scratch::default();
         for i in 0..n {
             let children = children_of(i);
@@ -545,6 +584,8 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
     }
 
     // Total minimum cost: sum of the (singleton) root tables.
+    let mut backtrack_span = span_in(trace, phase::BACKTRACK);
+    backtrack_span.arg("roots", structure.roots().len());
     let mut total = 0.0;
     for &r in structure.roots() {
         let t = dp[r].as_ref().expect("root table");
@@ -587,6 +628,7 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
         ids.iter().all(|&c| c != u16::MAX),
         "every node must be assigned"
     );
+    drop(backtrack_span);
 
     stats.elapsed = start.elapsed();
     SearchOutcome::Found(SearchResult {
@@ -609,27 +651,58 @@ pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) 
 ///
 /// `stats.k_before` reports the pre-pruning `K` (while `stats.max_configs`
 /// is the pruned `K` the DP actually saw) and `stats.prune_time` the cost
-/// of the pruning pass, which is *included* in the budget's wall clock.
+/// of the pruning pass, which is *included* in the budget's wall clock and
+/// in the reported `stats.elapsed`. If pruning alone exhausts the time
+/// budget the outcome is [`SearchOutcome::Timeout`] — the DP is never
+/// entered with a zero budget.
 pub fn find_best_strategy_pruned(
     graph: &Graph,
     tables: &CostTables,
     opts: &DpOptions,
     prune: &PruneOptions,
 ) -> SearchOutcome {
-    let pruned = PrunedTables::build(graph, tables, prune);
-    let mut remaining = *opts;
-    remaining.budget.max_time = opts.budget.max_time.saturating_sub(pruned.stats().elapsed);
-    let mut outcome = find_best_strategy(graph, pruned.tables(), &remaining);
+    find_best_strategy_pruned_traced(graph, tables, opts, prune, None)
+}
+
+/// [`find_best_strategy_pruned`] with phase spans recorded into `trace`:
+/// a [`pase_obs::phase::PRUNE`] span for the dominance-pruning pass plus
+/// everything [`find_best_strategy_traced`] records for the DP proper.
+pub fn find_best_strategy_pruned_traced(
+    graph: &Graph,
+    tables: &CostTables,
+    opts: &DpOptions,
+    prune: &PruneOptions,
+    trace: Option<&Trace>,
+) -> SearchOutcome {
+    let pruned = PrunedTables::build_traced(graph, tables, prune, trace);
     let ps = *pruned.stats();
+    if ps.elapsed >= opts.budget.max_time {
+        // Pruning alone exhausted the wall clock. Report Timeout directly:
+        // entering the DP with a zero remaining budget could instead trip
+        // its OOM check first and mislabel the failure.
+        let stats = SearchStats {
+            max_configs: pruned.tables().max_k(),
+            k_before: ps.k_before,
+            prune_time: ps.elapsed,
+            elapsed: ps.elapsed,
+            ..SearchStats::default()
+        };
+        return SearchOutcome::Timeout { stats };
+    }
+    let mut remaining = *opts;
+    remaining.budget.max_time = opts.budget.max_time - ps.elapsed;
+    let mut outcome = find_best_strategy_traced(graph, pruned.tables(), &remaining, trace);
     match &mut outcome {
         SearchOutcome::Found(r) => {
             r.config_ids = pruned.to_original_ids(&r.config_ids);
             r.stats.k_before = ps.k_before;
             r.stats.prune_time = ps.elapsed;
+            r.stats.elapsed += ps.elapsed;
         }
         SearchOutcome::Oom { stats, .. } | SearchOutcome::Timeout { stats } => {
             stats.k_before = ps.k_before;
             stats.prune_time = ps.elapsed;
+            stats.elapsed += ps.elapsed;
         }
     }
     outcome
@@ -914,6 +987,143 @@ mod tests {
         // Diamond has repeated structures (b/c identical), so the interned
         // build must report sharing.
         assert!(r.stats.intern_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn budget_exhausted_during_pruning_is_a_timeout() {
+        // Regression: a zero time budget used to be passed on to the DP as
+        // a saturated-to-zero remaining budget; the failure must instead be
+        // reported as Timeout before the DP is entered, with the pruning
+        // time accounted in the stats.
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        let opts = DpOptions {
+            budget: SearchBudget::with_max_time(std::time::Duration::ZERO),
+            ..DpOptions::default()
+        };
+        match find_best_strategy_pruned(&g, &tables, &opts, &PruneOptions::default()) {
+            SearchOutcome::Timeout { stats } => {
+                assert!(stats.prune_time > std::time::Duration::ZERO);
+                assert_eq!(stats.elapsed, stats.prune_time);
+                assert!(stats.k_before > 0);
+                // The DP never ran: no states were evaluated.
+                assert_eq!(stats.states_evaluated, 0);
+            }
+            other => panic!("expected timeout, got {}", other.tag()),
+        }
+    }
+
+    #[test]
+    fn pruned_search_elapsed_includes_prune_time() {
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        let r =
+            find_best_strategy_pruned(&g, &tables, &DpOptions::default(), &PruneOptions::default())
+                .expect_found("pruned");
+        assert!(r.stats.prune_time > std::time::Duration::ZERO);
+        assert!(
+            r.stats.elapsed >= r.stats.prune_time,
+            "elapsed {:?} must include prune_time {:?}",
+            r.stats.elapsed,
+            r.stats.prune_time
+        );
+    }
+
+    #[test]
+    fn peak_table_bytes_tracks_real_entry_size() {
+        use crate::budget::DP_ENTRY_BYTES;
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("peak");
+        // Tables are never freed before back-substitution, so the peak is
+        // exactly the total accounted entries times the real entry size.
+        assert!(r.stats.table_entries > 0);
+        assert_eq!(
+            r.stats.peak_table_bytes,
+            r.stats.table_entries * DP_ENTRY_BYTES
+        );
+    }
+
+    #[test]
+    fn traced_search_records_pipeline_spans() {
+        use pase_obs::Trace;
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let trace = Trace::new();
+        let r = find_best_strategy_traced(&g, &tables, &DpOptions::default(), Some(&trace))
+            .expect_found("traced");
+        let spans = trace.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&phase::STRUCTURE), "spans: {names:?}");
+        assert!(names.contains(&phase::PLAN), "spans: {names:?}");
+        assert!(names.contains(&phase::BACKTRACK), "spans: {names:?}");
+        let waves = names.iter().filter(|n| phase::is_wavefront(n)).count();
+        assert_eq!(waves, r.stats.wavefronts, "one span per DP wavefront");
+        // The table-memory counter was sampled after each wave and ends at
+        // the accounted total.
+        let samples: Vec<u64> = trace
+            .counters()
+            .iter()
+            .filter(|c| c.name == "table_bytes")
+            .map(|c| c.value)
+            .collect();
+        assert_eq!(samples.len(), r.stats.wavefronts);
+        assert_eq!(samples.last().copied(), Some(r.stats.peak_table_bytes));
+        assert!(samples.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn traced_sequential_fill_records_fill_span() {
+        use pase_obs::Trace;
+        let g = chain3();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let trace = Trace::new();
+        find_best_strategy_traced(
+            &g,
+            &tables,
+            &DpOptions {
+                parallel: false,
+                ..DpOptions::default()
+            },
+            Some(&trace),
+        )
+        .expect_found("sequential traced");
+        let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.iter().any(|n| n == phase::SEQUENTIAL_FILL));
+        assert!(!names.iter().any(|n| phase::is_wavefront(n)));
+    }
+
+    #[test]
+    fn traced_pruned_search_records_prune_span() {
+        use pase_obs::Trace;
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        let trace = Trace::new();
+        let r = find_best_strategy_pruned_traced(
+            &g,
+            &tables,
+            &DpOptions::default(),
+            &PruneOptions::default(),
+            Some(&trace),
+        )
+        .expect_found("pruned traced");
+        let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.iter().any(|n| n == phase::PRUNE), "spans: {names:?}");
+        // The disjoint pipeline spans must account for (nearly) all of the
+        // reported elapsed time; they are a partition of the run, so their
+        // sum cannot exceed it either.
+        let sum = trace.span_time_where(|n| {
+            n == phase::PRUNE
+                || n == phase::STRUCTURE
+                || n == phase::PLAN
+                || n == phase::BACKTRACK
+                || phase::is_wavefront(n)
+        });
+        assert!(
+            sum <= r.stats.elapsed * 11 / 10,
+            "span sum {sum:?} exceeds elapsed {:?}",
+            r.stats.elapsed
+        );
     }
 
     #[test]

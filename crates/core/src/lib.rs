@@ -24,14 +24,19 @@ mod budget;
 mod dp;
 mod ordering;
 mod reduction;
+mod report;
 mod structure;
 
 pub use brute::{brute_force, brute_force_pruned, random_strategy_costs};
-pub use budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats};
-pub use dp::{find_best_strategy, find_best_strategy_pruned, naive_best_strategy, DpOptions};
+pub use budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats, DP_ENTRY_BYTES};
+pub use dp::{
+    find_best_strategy, find_best_strategy_pruned, find_best_strategy_pruned_traced,
+    find_best_strategy_traced, naive_best_strategy, DpOptions,
+};
 pub use ordering::{
     dependent_set_sizes, generate_seq, generate_seq_with_sets, make_ordering, search_profile,
     OrderingKind, PositionProfile,
 };
 pub use reduction::{optcnn_search, optcnn_search_pruned, ReductionOutcome};
+pub use report::{PhaseReport, SearchReport};
 pub use structure::{ConnectedSetMode, VertexStructure};

@@ -13,8 +13,11 @@ use crate::strategy::Strategy;
 use pase_graph::Graph;
 use std::fmt::Write;
 
+/// RFC 8259 string escaping (quotes, backslashes, and *all* control
+/// characters — a node name containing `\n` or `\t` must still produce a
+/// valid JSON document).
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    pase_obs::json::escape(s)
 }
 
 /// Serialize `strategy` as a GShard-style JSON sharding specification.
@@ -30,14 +33,27 @@ fn escape(s: &str) -> String {
 /// }
 /// ```
 pub fn to_sharding_json(graph: &Graph, strategy: &Strategy) -> String {
+    to_sharding_json_with(graph, strategy, &[])
+}
+
+/// [`to_sharding_json`] with additional top-level `(key, raw JSON value)`
+/// entries injected before `"devices"` — the CLI uses this to embed the
+/// machine-readable search report alongside the sharding spec. Importers
+/// ([`from_sharding_json`]) ignore unknown keys, so the document remains a
+/// valid input for `pase simulate`.
+pub fn to_sharding_json_with(graph: &Graph, strategy: &Strategy, extra: &[(&str, &str)]) -> String {
     assert_eq!(
         strategy.len(),
         graph.len(),
         "strategy must cover every node"
     );
     let mut out = String::with_capacity(128 * graph.len());
+    out.push_str("{\n");
+    for (key, value) in extra {
+        let _ = write!(out, "  \"{}\": {value},\n", escape(key));
+    }
     let devices = strategy.max_devices_used();
-    let _ = write!(out, "{{\n  \"devices\": {devices},\n  \"layers\": [\n");
+    let _ = write!(out, "  \"devices\": {devices},\n  \"layers\": [\n");
     for (idx, (id, node)) in graph.iter().enumerate() {
         let cfg = strategy.config(id);
         let dims: Vec<String> = node
@@ -111,10 +127,11 @@ pub fn from_sharding_json(graph: &Graph, json: &str) -> Result<Strategy, String>
     Ok(Strategy::new(configs))
 }
 
-/// Minimal JSON subset parser (objects, arrays, strings with `\"`/`\\`
-/// escapes, non-negative integers) — exactly the grammar
-/// [`to_sharding_json`] emits, so strategies round-trip without an external
-/// dependency.
+/// Minimal JSON subset parser (objects, arrays, strings with the full RFC
+/// 8259 escape set, integer and float numbers) — a superset of the grammar
+/// [`to_sharding_json_with`] emits, so strategies round-trip without an
+/// external dependency even when node names contain control characters and
+/// when a search report (with float fields) is embedded in the document.
 mod json {
     #[derive(Debug, PartialEq)]
     pub enum Value {
@@ -122,6 +139,7 @@ mod json {
         Array(Vec<Value>),
         Str(String),
         Num(u64),
+        Float(f64),
     }
 
     impl Value {
@@ -149,6 +167,15 @@ mod json {
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        #[cfg_attr(not(test), allow(dead_code))]
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n as f64),
+                Value::Float(x) => Some(*x),
                 _ => None,
             }
         }
@@ -187,7 +214,7 @@ mod json {
             Some(b'{') => object(b, pos),
             Some(b'[') => array(b, pos),
             Some(b'"') => string(b, pos).map(Value::Str),
-            Some(c) if c.is_ascii_digit() => number(b, pos),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
             other => Err(format!(
                 "unexpected {:?} at byte {pos}",
                 other.map(|&c| c as char)
@@ -242,25 +269,79 @@ mod json {
         }
     }
 
+    /// Parse the four hex digits of a `\uXXXX` escape.
+    fn hex4(b: &[u8], pos: &mut usize) -> Result<u16, String> {
+        let digits = b
+            .get(*pos..*pos + 4)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+        let v =
+            u16::from_str_radix(digits, 16).map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+        *pos += 4;
+        Ok(v)
+    }
+
     fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
         expect(b, pos, b'"')?;
         let mut out = String::new();
+        // Unescaped spans are copied as byte slices, so multi-byte UTF-8
+        // sequences survive intact (byte-at-a-time `c as char` would not).
+        let mut run = *pos;
+        let flush = |out: &mut String, run: usize, end: usize| -> Result<(), String> {
+            out.push_str(std::str::from_utf8(&b[run..end]).map_err(|_| "invalid UTF-8 in string")?);
+            Ok(())
+        };
         while let Some(&c) = b.get(*pos) {
-            *pos += 1;
             match c {
-                b'"' => return Ok(out),
-                b'\\' => match b.get(*pos) {
-                    Some(b'"') => {
-                        out.push('"');
-                        *pos += 1;
+                b'"' => {
+                    flush(&mut out, run, *pos)?;
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    flush(&mut out, run, *pos)?;
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            *pos += 1;
+                            let hi = hex4(b, pos)?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                                    return Err(format!("unpaired surrogate at byte {pos}"));
+                                }
+                                *pos += 2;
+                                let lo = hex4(b, pos)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(format!("bad low surrogate at byte {pos}"));
+                                }
+                                0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00)
+                            } else {
+                                u32::from(hi)
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| format!("bad code point at byte {pos}"))?,
+                            );
+                            run = *pos;
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
                     }
-                    Some(b'\\') => {
-                        out.push('\\');
-                        *pos += 1;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                },
-                c => out.push(c as char),
+                    *pos += 1;
+                    run = *pos;
+                }
+                _ => *pos += 1,
             }
         }
         Err("unterminated string".to_string())
@@ -268,14 +349,29 @@ mod json {
 
     fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         let start = *pos;
-        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        if b.get(*pos) == Some(&b'-') {
             *pos += 1;
         }
-        std::str::from_utf8(&b[start..*pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Value::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
+        let mut is_float = false;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number bytes")?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Num(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("bad number at byte {start}"))
     }
 }
 
@@ -364,6 +460,62 @@ mod tests {
         for bad in ["{", "[1,2", "{\"layers\": [}]}", "{\"layers\": 3}", ""] {
             assert!(from_sharding_json(&g, bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn control_characters_roundtrip() {
+        // Node names with \n, \t, and raw control bytes used to produce
+        // invalid JSON (only '"' and '\\' were escaped). The document must
+        // now be RFC 8259-clean and parse back to the same strategy.
+        let mut b = GraphBuilder::new();
+        b.add_node(Node {
+            name: "weird\n\tname \u{1}\u{7}".into(),
+            op: OpKind::FullyConnected,
+            iter_space: vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+            ],
+            inputs: vec![],
+            output: TensorRef::new(vec![0, 1], vec![64, 128]),
+            params: vec![],
+        });
+        let g = b.build().unwrap();
+        let s = Strategy::new(vec![Config::new(&[2, 2])]);
+        let json = to_sharding_json(&g, &s);
+        // No raw control characters other than the newlines we emit as
+        // layout may remain inside the document.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+        assert!(json.contains("\\n") && json.contains("\\t") && json.contains("\\u0001"));
+        let back = from_sharding_json(&g, &json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parser_handles_unicode_and_floats() {
+        // Multi-byte UTF-8 must survive parsing (the old byte-wise parser
+        // mangled it), and float/negative numbers must be accepted so a
+        // search report can be embedded in the document.
+        let v = json::parse("{\"λ名\": \"καλá\", \"x\": -1.5e2, \"n\": 7}").unwrap();
+        assert_eq!(v.get("λ名").and_then(json::Value::as_str), Some("καλá"));
+        assert_eq!(v.get("x").and_then(json::Value::as_f64), Some(-150.0));
+        assert_eq!(v.get("n").and_then(json::Value::as_u64), Some(7));
+        // Escape sequences including surrogate pairs.
+        let s = json::parse("\"a\\u0041\\ud83d\\ude00\\n\\/\"").unwrap();
+        assert_eq!(s.as_str(), Some("aA😀\n/"));
+        // Malformed escapes are rejected, not mangled.
+        for bad in ["\"\\u12\"", "\"\\ud83d\"", "\"\\q\"", "\"\\ud83d\\u0041\""] {
+            assert!(json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn extra_keys_are_injected_and_ignored_by_import() {
+        let g = tiny_graph();
+        let s = Strategy::new(vec![Config::new(&[4, 2])]);
+        let json = to_sharding_json_with(&g, &s, &[("report", "{\"elapsed\": 0.25}")]);
+        assert!(json.contains("\"report\": {\"elapsed\": 0.25}"));
+        let back = from_sharding_json(&g, &json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

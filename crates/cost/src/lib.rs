@@ -46,11 +46,11 @@ pub use config::{
     enumerate_configs, layer_footprint_bytes, Config, ConfigRule, ConfigSpace, MAX_RANK,
 };
 pub use events::{layer_comm_events, layer_compute_flops, Collective, CommEvent, CommKind};
-pub use export::{from_sharding_json, to_sharding_json};
+pub use export::{from_sharding_json, to_sharding_json, to_sharding_json_with};
 pub use layer::layer_cost;
 pub use machine::MachineSpec;
 pub use prune::{PruneOptions, PruneStats, PrunedTables};
 pub use sharding::{replication, shard_bytes, shard_elements, tensor_sharding};
 pub use strategy::{evaluate, validate_strategy, Strategy};
 pub use tables::{CostTables, InternStats, TableOptions};
-pub use transfer::{transfer_bytes, transfer_cost};
+pub use transfer::{transfer_bytes, transfer_cost, try_transfer_bytes};

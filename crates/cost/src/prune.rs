@@ -50,6 +50,7 @@
 
 use crate::tables::{CostTables, EdgeTable, LayerEntry};
 use pase_graph::{Graph, NodeId};
+use pase_obs::{phase, span_in, OptSpan, Trace};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use std::time::{Duration, Instant};
@@ -179,6 +180,19 @@ impl PrunedTables {
     /// surviving configurations into a standalone [`CostTables`] the search
     /// engines consume unchanged.
     pub fn build(graph: &Graph, tables: &CostTables, opts: &PruneOptions) -> Self {
+        Self::build_traced(graph, tables, opts, None)
+    }
+
+    /// [`PrunedTables::build`], recording a `prune` phase span (with
+    /// before/after configuration counts) into `trace` when one is given.
+    /// The produced tables are identical with and without a trace.
+    pub fn build_traced(
+        graph: &Graph,
+        tables: &CostTables,
+        opts: &PruneOptions,
+        trace: Option<&Trace>,
+    ) -> Self {
+        let mut span = span_in(trace, phase::PRUNE);
         let start = Instant::now();
         let n = graph.len();
 
@@ -299,6 +313,12 @@ impl PrunedTables {
                 .count(),
             elapsed: start.elapsed(),
         };
+        span.arg("k_before", stats.k_before);
+        span.arg("k_after", stats.k_after);
+        span.arg("configs_before", stats.configs_before);
+        span.arg("configs_after", stats.configs_after);
+        span.arg("nodes_pruned", stats.nodes_pruned);
+        drop(span);
 
         Self {
             tables: CostTables {

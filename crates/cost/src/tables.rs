@@ -27,6 +27,7 @@ use crate::machine::MachineSpec;
 use crate::strategy::Strategy;
 use crate::transfer::transfer_bytes;
 use pase_graph::{EdgeId, Graph, IterDim, Node, NodeId, OpKind};
+use pase_obs::{phase, span_in, OptSpan, Trace};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
@@ -196,7 +197,21 @@ impl CostTables {
         machine: &MachineSpec,
         opts: &TableOptions,
     ) -> Self {
-        Self::build_impl(graph, rule, machine, opts, |v| {
+        Self::build_traced(graph, rule, machine, opts, None)
+    }
+
+    /// [`CostTables::build_with`], recording `interning` / `enumeration` /
+    /// `table_build` phase spans (with entry and byte counters) into
+    /// `trace` when one is given. The produced tables are identical with
+    /// and without a trace.
+    pub fn build_traced(
+        graph: &Graph,
+        rule: ConfigRule,
+        machine: &MachineSpec,
+        opts: &TableOptions,
+        trace: Option<&Trace>,
+    ) -> Self {
+        Self::build_impl(graph, rule, machine, opts, trace, |v| {
             enumerate_configs(graph.node(v), &rule)
         })
     }
@@ -219,7 +234,9 @@ impl CostTables {
             graph.len(),
             "ConfigSpace does not cover the graph"
         );
-        Self::build_impl(graph, rule, machine, opts, |v| space.configs_of(v).to_vec())
+        Self::build_impl(graph, rule, machine, opts, None, |v| {
+            space.configs_of(v).to_vec()
+        })
     }
 
     fn build_impl(
@@ -227,16 +244,20 @@ impl CostTables {
         rule: ConfigRule,
         machine: &MachineSpec,
         opts: &TableOptions,
+        trace: Option<&Trace>,
         configs_for: impl Fn(NodeId) -> Vec<Config> + Sync,
     ) -> Self {
         let r = machine.flop_byte_ratio();
 
-        // Node classes: one per distinct structural key when interning,
-        // one per node otherwise. `layer_reps[class]` is a representative.
+        // Phase 1 — interning: node classes (one per distinct structural
+        // key when interning, one per node otherwise; `layer_reps[class]`
+        // is a representative) and edge classes (keyed by endpoint classes
+        // plus consumer slot — independent of the not-yet-built tables).
         // Interning is skipped outright on tiny graphs and abandoned after
         // a long hit-free probe prefix — in both regimes the keying costs
         // more than the sharing it could win, and the produced tables are
         // identical either way.
+        let mut span = span_in(trace, phase::INTERNING);
         let nodes = graph.nodes();
         let mut intern = opts.intern && nodes.len() >= opts.intern_min_nodes;
         let mut node_class = Vec::with_capacity(nodes.len());
@@ -267,16 +288,6 @@ impl CostTables {
                 layer_reps.push(NodeId(i as u32));
             }
         }
-        let layer_pool: Vec<LayerEntry> = map_maybe_par(layer_reps, opts.parallel, |v| {
-            let configs = configs_for(v);
-            let n = graph.node(v);
-            let costs = configs.iter().map(|c| layer_cost(n, c, r)).collect();
-            LayerEntry { configs, costs }
-        });
-
-        // Edge classes: the transfer matrix depends only on the endpoint
-        // structures (which determine the config lists under the shared
-        // rule) and the consumer slot.
         let edges = graph.edges();
         let mut edge_class = Vec::with_capacity(edges.len());
         let mut edge_reps: Vec<EdgeId> = Vec::new();
@@ -301,6 +312,35 @@ impl CostTables {
                 edge_reps.push(EdgeId(i as u32));
             }
         }
+        span.arg("nodes", nodes.len());
+        span.arg("unique_layer_tables", layer_reps.len());
+        span.arg("edges", edges.len());
+        span.arg("unique_edge_tables", edge_reps.len());
+        drop(span);
+
+        // Phase 2 — configuration enumeration, once per layer class.
+        let mut span = span_in(trace, phase::ENUMERATION);
+        let rep_configs: Vec<Vec<Config>> =
+            map_maybe_par(layer_reps.clone(), opts.parallel, |v| configs_for(v));
+        span.arg("tables", rep_configs.len());
+        span.arg(
+            "configs",
+            rep_configs.iter().map(Vec::len).sum::<usize>() as u64,
+        );
+        drop(span);
+
+        // Phase 3 — cost-table fill: layer-cost vectors, then edge
+        // transfer matrices over the enumerated configuration lists.
+        let mut span = span_in(trace, phase::TABLE_BUILD);
+        let layer_pool: Vec<LayerEntry> = map_maybe_par(
+            layer_reps.into_iter().zip(rep_configs).collect(),
+            opts.parallel,
+            |(v, configs)| {
+                let n = graph.node(v);
+                let costs = configs.iter().map(|c| layer_cost(n, c, r)).collect();
+                LayerEntry { configs, costs }
+            },
+        );
         let edge_pool: Vec<EdgeTable> = map_maybe_par(edge_reps, opts.parallel, |eid| {
             let e = graph.edge(eid);
             let src = graph.node(e.src);
@@ -318,6 +358,13 @@ impl CostTables {
                 costs,
             }
         });
+        if span.is_some() {
+            let entries = layer_pool.iter().map(|t| t.costs.len()).sum::<usize>()
+                + edge_pool.iter().map(|t| t.costs.len()).sum::<usize>();
+            span.arg("entries", entries);
+            span.arg("bytes", (entries * std::mem::size_of::<f64>()) as u64);
+        }
+        drop(span);
 
         Self {
             rule,

@@ -26,6 +26,11 @@ use pase_graph::Node;
 /// Transfer volume in bytes along the edge feeding `slot` of `consumer`
 /// from `producer`, when the producer runs under `cfg_u` and the consumer
 /// under `cfg_v`. Covers forward + backward.
+///
+/// # Panics
+///
+/// Panics on a malformed edge (bad `slot`, or producer/consumer tensor
+/// rank mismatch). Use [`try_transfer_bytes`] to get an error instead.
 pub fn transfer_bytes(
     producer: &Node,
     cfg_u: &Config,
@@ -33,15 +38,41 @@ pub fn transfer_bytes(
     slot: usize,
     cfg_v: &Config,
 ) -> f64 {
+    match try_transfer_bytes(producer, cfg_u, consumer, slot, cfg_v) {
+        Ok(bytes) => bytes,
+        Err(e) => panic!("transfer_bytes: {e}"),
+    }
+}
+
+/// Checked form of [`transfer_bytes`]: a malformed edge is a structural
+/// error in the graph, not a costing question, so it is reported instead
+/// of silently mis-costing (longer producer tensor) or panicking on slice
+/// indexing in release builds (shorter producer tensor), which is what the
+/// old `debug_assert_eq!`-only guard allowed.
+pub fn try_transfer_bytes(
+    producer: &Node,
+    cfg_u: &Config,
+    consumer: &Node,
+    slot: usize,
+    cfg_v: &Config,
+) -> Result<f64, String> {
     let out = &producer.output;
-    let inp = &consumer.inputs[slot];
-    debug_assert_eq!(
-        out.rank(),
-        inp.rank(),
-        "edge tensor rank mismatch: '{}' output vs '{}' input[{slot}]",
-        producer.name,
-        consumer.name
-    );
+    let inp = consumer.inputs.get(slot).ok_or_else(|| {
+        format!(
+            "'{}' has {} inputs, no slot {slot}",
+            consumer.name,
+            consumer.inputs.len()
+        )
+    })?;
+    if out.rank() != inp.rank() {
+        return Err(format!(
+            "edge tensor rank mismatch: '{}' output is rank {} but '{}' input[{slot}] is rank {}",
+            producer.name,
+            out.rank(),
+            consumer.name,
+            inp.rank()
+        ));
+    }
     let mut need = 1.0;
     let mut overlap = 1.0;
     for t in 0..inp.rank() {
@@ -51,7 +82,7 @@ pub fn transfer_bytes(
         need *= s_t / b_t;
         overlap *= s_t / a_t.max(b_t);
     }
-    2.0 * (need - overlap).max(0.0) * f64::from(inp.elem_bytes)
+    Ok(2.0 * (need - overlap).max(0.0) * f64::from(inp.elem_bytes))
 }
 
 /// `r · t_x`, the FLOP-normalized edge cost used in Equation (1).
@@ -166,6 +197,51 @@ mod tests {
         let b = transfer_bytes(&u, &cu, &v, 0, &cv);
         assert_eq!(transfer_cost(&u, &cu, &v, 0, &cv, 250.0), 250.0 * b);
         assert_eq!(transfer_cost(&u, &cu, &v, 0, &cv, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rank_mismatch_is_a_checked_error() {
+        // Regression: release builds used to panic on slice indexing when
+        // the producer tensor was shorter, and silently mis-cost when it
+        // was longer — both must now surface as errors.
+        let (mut u, v) = pair();
+        let c = Config::ones(3);
+        // Shorter producer output (rank 1 vs the consumer's rank-2 input).
+        u.output = TensorRef::new(vec![0], vec![64]);
+        let err = try_transfer_bytes(&u, &c, &v, 0, &c).unwrap_err();
+        assert!(err.contains("rank mismatch"), "got: {err}");
+        // Longer producer output (rank 3).
+        u.output = TensorRef::new(vec![0, 1, 2], vec![64, 256, 128]);
+        let err = try_transfer_bytes(&u, &c, &v, 0, &c).unwrap_err();
+        assert!(err.contains("rank mismatch"), "got: {err}");
+    }
+
+    #[test]
+    fn bad_slot_is_a_checked_error() {
+        let (u, v) = pair();
+        let c = Config::ones(3);
+        let err = try_transfer_bytes(&u, &c, &v, 5, &c).unwrap_err();
+        assert!(err.contains("no slot 5"), "got: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn panicking_wrapper_reports_the_same_error() {
+        let (mut u, v) = pair();
+        u.output = TensorRef::new(vec![0], vec![64]);
+        let c = Config::ones(3);
+        transfer_bytes(&u, &c, &v, 0, &c);
+    }
+
+    #[test]
+    fn checked_and_panicking_agree_on_valid_edges() {
+        let (u, v) = pair();
+        let cu = Config::new(&[8, 1, 1]);
+        let cv = Config::new(&[1, 1, 8]);
+        assert_eq!(
+            try_transfer_bytes(&u, &cu, &v, 0, &cv).unwrap(),
+            transfer_bytes(&u, &cu, &v, 0, &cv)
+        );
     }
 
     #[test]

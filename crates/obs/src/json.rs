@@ -1,0 +1,92 @@
+//! RFC 8259-conformant JSON string escaping.
+//!
+//! A JSON string may not contain unescaped control characters
+//! (U+0000–U+001F), `"` or `\`; everything else passes through verbatim.
+//! The named short escapes are used where they exist (`\n`, `\t`, `\r`,
+//! `\b`, `\f`), the generic `\u00XX` form otherwise.
+
+use std::fmt::Write;
+
+/// Append the RFC 8259 escaping of `s` to `out` (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The RFC 8259 escaping of `s` as a new string (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Format `v` as a JSON number: finite floats in shortest round-trip form,
+/// non-finite values (which JSON cannot represent) as `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest round-trip float form and always
+        // contains a '.' or 'e', keeping the token unambiguously a float.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(escape("conv1/3x3"), "conv1/3x3");
+        assert_eq!(escape(""), "");
+        assert_eq!(escape("déjà-vu λ"), "déjà-vu λ");
+    }
+
+    #[test]
+    fn quotes_and_backslashes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+    }
+
+    #[test]
+    fn named_control_escapes() {
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\tb"), "a\\tb");
+        assert_eq!(escape("a\rb"), "a\\rb");
+        assert_eq!(escape("a\u{8}b"), "a\\bb");
+        assert_eq!(escape("a\u{c}b"), "a\\fb");
+    }
+
+    #[test]
+    fn generic_control_escapes() {
+        assert_eq!(escape("\u{0}"), "\\u0000");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("\u{1f}"), "\\u001f");
+        // U+007F DEL is *not* required to be escaped by RFC 8259.
+        assert_eq!(escape("\u{7f}"), "\u{7f}");
+    }
+
+    #[test]
+    fn numbers_are_finite_or_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        let back: f64 = number(1234.5678e9).parse().unwrap();
+        assert_eq!(back, 1234.5678e9);
+    }
+}

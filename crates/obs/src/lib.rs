@@ -1,0 +1,36 @@
+//! # pase-obs — search observability (phase spans, counters, Chrome traces)
+//!
+//! The search pipeline (`enumerate configs → build cost tables → intern →
+//! dominance-prune → wavefront DP fill → backtrack`) is instrumented with
+//! *phase-scoped spans*: wall-clock intervals named after the pipeline
+//! phase, carrying entry/byte counters as arguments. A [`Trace`] collects
+//! spans and counter samples; [`chrome_trace_json`] serializes them into
+//! the JSON event format `chrome://tracing` and Perfetto load directly.
+//!
+//! Everything is `std`-only (the workspace builds offline) and designed so
+//! that a *disabled* trace costs one `Option` check per phase — spans are
+//! recorded at phase/wavefront granularity, never per DP entry, so enabling
+//! tracing is cheap and disabling it is free.
+//!
+//! ```
+//! use pase_obs::{chrome_trace_json, Trace};
+//!
+//! let trace = Trace::new();
+//! {
+//!     let mut span = trace.span("prune");
+//!     span.arg_u64("k_before", 40);
+//! } // recorded on drop
+//! trace.counter("table_bytes", 1024);
+//! let json = chrome_trace_json(&trace);
+//! assert!(json.contains("\"name\": \"prune\""));
+//! ```
+
+#![warn(missing_docs)]
+
+mod chrome;
+pub mod json;
+pub mod phase;
+mod trace;
+
+pub use chrome::chrome_trace_json;
+pub use trace::{span_in, ArgValue, CounterSample, OptSpan, Span, SpanGuard, Trace};

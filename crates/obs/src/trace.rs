@@ -1,0 +1,290 @@
+//! The [`Trace`] collector: phase spans and counter samples.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A span or counter argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (entry counts, byte counts, ids).
+    U64(u64),
+    /// Float (rates, seconds).
+    F64(f64),
+    /// Free-form string.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// One completed phase span: a named wall-clock interval relative to the
+/// owning trace's epoch, with optional counter arguments.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Span name (a `pase_obs::phase` constant for pipeline phases).
+    pub name: String,
+    /// Start offset from the trace epoch.
+    pub start: Duration,
+    /// Duration of the interval.
+    pub dur: Duration,
+    /// Counter/annotation arguments attached while the span was open.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// One sample of a named monotonic counter (e.g. the table-memory
+/// high-water mark after each wavefront).
+#[derive(Clone, Debug)]
+pub struct CounterSample {
+    /// Offset from the trace epoch at which the sample was taken.
+    pub at: Duration,
+    /// Counter name.
+    pub name: &'static str,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// Collects spans and counter samples for one pipeline run.
+///
+/// Thread-safe: spans may be opened and finished from any thread (the DP
+/// records wavefront spans from the coordinating thread, table builders
+/// from wherever the build runs). Recording locks a mutex once per span —
+/// spans are phase-granular, so contention is irrelevant.
+#[derive(Debug)]
+pub struct Trace {
+    epoch: Instant,
+    spans: Mutex<Vec<Span>>,
+    counters: Mutex<Vec<CounterSample>>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// A new, empty trace whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            counters: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Open a span named `name`; it is recorded when the guard drops.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard<'_> {
+        SpanGuard {
+            trace: self,
+            name: name.into(),
+            start: self.epoch.elapsed(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Record a sample of counter `name` at the current time.
+    pub fn counter(&self, name: &'static str, value: u64) {
+        let at = self.epoch.elapsed();
+        self.counters
+            .lock()
+            .expect("trace lock")
+            .push(CounterSample { at, name, value });
+    }
+
+    /// Time elapsed since the trace epoch.
+    pub fn elapsed(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Snapshot of all spans recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().expect("trace lock").clone()
+    }
+
+    /// Snapshot of all counter samples recorded so far.
+    pub fn counters(&self) -> Vec<CounterSample> {
+        self.counters.lock().expect("trace lock").clone()
+    }
+
+    /// Sum of the durations of all spans whose name satisfies `pred`.
+    pub fn span_time_where(&self, pred: impl Fn(&str) -> bool) -> Duration {
+        self.spans
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .filter(|s| pred(&s.name))
+            .map(|s| s.dur)
+            .sum()
+    }
+
+    fn record(&self, span: Span) {
+        self.spans.lock().expect("trace lock").push(span);
+    }
+}
+
+/// An open span; records itself into the owning [`Trace`] on drop.
+#[must_use = "a span measures until it is dropped; binding it to _ drops it immediately"]
+pub struct SpanGuard<'a> {
+    trace: &'a Trace,
+    name: String,
+    start: Duration,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach an argument (entry count, byte count, …) to the span.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        self.args.push((key, value.into()));
+    }
+
+    /// [`SpanGuard::arg`] with an explicit `u64` (avoids inference churn at
+    /// call sites mixing integer types).
+    pub fn arg_u64(&mut self, key: &'static str, value: u64) {
+        self.arg(key, value);
+    }
+
+    /// Close the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.trace.epoch.elapsed();
+        self.trace.record(Span {
+            name: std::mem::take(&mut self.name),
+            start: self.start,
+            dur: end.saturating_sub(self.start),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// Open a span on an optional trace — the idiom for instrumented hot paths
+/// where tracing is usually off: `None` costs exactly this one check.
+pub fn span_in<'a>(trace: Option<&'a Trace>, name: impl Into<String>) -> Option<SpanGuard<'a>> {
+    trace.map(|t| t.span(name))
+}
+
+/// Argument attachment on `Option<SpanGuard>` (the [`span_in`] result)
+/// without unwrapping at every call site.
+pub trait OptSpan {
+    /// Attach an argument if the span exists; no-op when tracing is off.
+    fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>);
+}
+
+impl OptSpan for Option<SpanGuard<'_>> {
+    fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(g) = self.as_mut() {
+            g.arg(key, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop() {
+        let t = Trace::new();
+        {
+            let mut s = t.span("prune");
+            s.arg_u64("k_before", 40);
+            s.arg("hit_rate", 0.5);
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "prune");
+        assert_eq!(spans[0].args[0], ("k_before", ArgValue::U64(40)));
+        assert_eq!(spans[0].args[1], ("hit_rate", ArgValue::F64(0.5)));
+    }
+
+    #[test]
+    fn span_ordering_is_consistent() {
+        let t = Trace::new();
+        t.span("a").finish();
+        std::thread::sleep(Duration::from_millis(2));
+        let s = t.span("b");
+        std::thread::sleep(Duration::from_millis(2));
+        drop(s);
+        let spans = t.spans();
+        assert_eq!(spans[0].name, "a");
+        assert_eq!(spans[1].name, "b");
+        assert!(spans[1].start >= spans[0].start + spans[0].dur);
+        assert!(spans[1].dur >= Duration::from_millis(1));
+        assert!(t.elapsed() >= spans[1].start + spans[1].dur);
+    }
+
+    #[test]
+    fn counters_sample_with_timestamps() {
+        let t = Trace::new();
+        t.counter("table_bytes", 10);
+        t.counter("table_bytes", 30);
+        let cs = t.counters();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].value, 10);
+        assert_eq!(cs[1].value, 30);
+        assert!(cs[1].at >= cs[0].at);
+    }
+
+    #[test]
+    fn optional_span_is_free_when_off() {
+        let mut none = span_in(None, "x");
+        none.arg("k", 1u64); // must be a no-op, not a panic
+        assert!(none.is_none());
+        let t = Trace::new();
+        let mut some = span_in(Some(&t), "x");
+        some.arg("k", 1u64);
+        drop(some);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.spans()[0].args.len(), 1);
+    }
+
+    #[test]
+    fn span_time_where_sums_matching_spans() {
+        let t = Trace::new();
+        t.span("wavefront 0").finish();
+        t.span("wavefront 1").finish();
+        t.span("backtrack").finish();
+        let waves = t.span_time_where(crate::phase::is_wavefront);
+        let all = t.span_time_where(|_| true);
+        assert!(waves <= all);
+        assert_eq!(t.span_time_where(|n| n == "nope"), Duration::ZERO);
+    }
+
+    #[test]
+    fn trace_is_shareable_across_threads() {
+        let t = Trace::new();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let t = &t;
+                scope.spawn(move || {
+                    let mut s = t.span(format!("worker {i}"));
+                    s.arg("i", i as u64);
+                });
+            }
+        });
+        assert_eq!(t.spans().len(), 4);
+    }
+}

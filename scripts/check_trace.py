@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validate a `pase search --trace-out` Chrome trace against its --json spec.
+
+Usage: check_trace.py <trace.json> <spec.json>
+
+Checks:
+  * both files parse as JSON;
+  * the trace contains one "X" span for every pipeline phase (enumeration,
+    interning, table_build, prune, structure, plan, backtrack) and at least
+    one per-wavefront fill span;
+  * the summed span durations are within 10% of the elapsed time reported
+    by the embedded search report (the spans partition the pipeline, so
+    their sum must also not exceed elapsed by more than rounding).
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <trace.json> <spec.json>")
+    trace_path, spec_path = sys.argv[1], sys.argv[2]
+
+    with open(trace_path, encoding="utf-8") as f:
+        trace = json.load(f)
+    with open(spec_path, encoding="utf-8") as f:
+        spec = json.load(f)
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace has no traceEvents array")
+    spans = [e for e in events if e.get("ph") == "X"]
+    names = {e["name"] for e in spans}
+
+    required = {
+        "enumeration",
+        "interning",
+        "table_build",
+        "prune",
+        "structure",
+        "plan",
+        "backtrack",
+    }
+    missing = required - names
+    if missing:
+        fail(f"missing phase spans: {sorted(missing)} (have: {sorted(names)})")
+    wavefronts = [n for n in names if n.startswith("wavefront ")]
+    if not wavefronts:
+        fail(f"no per-wavefront fill spans (have: {sorted(names)})")
+
+    report = spec.get("search_report")
+    if not isinstance(report, dict):
+        fail("spec has no embedded search_report object")
+    elapsed_us = report["stats"]["elapsed"] * 1e6
+    span_sum_us = sum(e["dur"] for e in spans)
+    if elapsed_us <= 0:
+        fail("report elapsed is not positive")
+    ratio = span_sum_us / elapsed_us
+    if not 0.9 <= ratio <= 1.1:
+        fail(
+            f"span sum {span_sum_us / 1e3:.2f}ms vs reported elapsed "
+            f"{elapsed_us / 1e3:.2f}ms (ratio {ratio:.3f}, want 0.9..1.1)"
+        )
+
+    counters = [e for e in events if e.get("ph") == "C"]
+    if not counters:
+        fail("no counter events (expected table_bytes samples)")
+
+    print(
+        f"check_trace: OK — {len(spans)} spans ({len(wavefronts)} wavefronts), "
+        f"{len(counters)} counter samples, span sum covers {ratio:.1%} of elapsed"
+    )
+
+
+if __name__ == "__main__":
+    main()

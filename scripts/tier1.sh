@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate (see ROADMAP.md): release build, full test
-# suite, and a smoke run of the search A/B benchmark so the exactness
-# assertion in bench_search (pruned optimum bit-identical to unpruned)
-# executes on the real benchmark graphs, not just the tiny test variants.
+# Tier-1 verification gate (see ROADMAP.md): formatting, release build,
+# full test suite, a smoke run of the search A/B benchmark so the
+# exactness assertion in bench_search (pruned optimum bit-identical to
+# unpruned) executes on the real benchmark graphs, and a trace smoke test
+# validating the --trace-out Chrome-trace output end to end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 
 # Smoke: regenerates BENCH_search.json; fails if pruning ever changes the
 # optimum on any model at p ∈ {8, 32, 64}.
 cargo run -p pase-bench --release --bin bench_search
+
+# Trace smoke: the acceptance search must write a valid Chrome-trace JSON
+# document containing a span for every pipeline phase, and the spans must
+# account for the reported elapsed time (within 10%).
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -p pase-cli --release --bin pase -- search \
+    --model transformer --devices 64 \
+    --trace-out "$trace_dir/trace.json" --json --out "$trace_dir/spec.json"
+python3 scripts/check_trace.py "$trace_dir/trace.json" "$trace_dir/spec.json"

@@ -28,5 +28,6 @@ pub use pase_core as core;
 pub use pase_cost as cost;
 pub use pase_graph as graph;
 pub use pase_models as models;
+pub use pase_obs as obs;
 pub use pase_pipeline as pipeline;
 pub use pase_sim as sim;
