@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pase_core::{
-    find_best_strategy, generate_seq, naive_best_strategy, optcnn_search, DpOptions, SearchBudget,
+    generate_seq, naive_best_strategy, optcnn_search, DpOptions, Search, SearchBudget,
 };
 use pase_cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables, TableOptions};
 use pase_models::Benchmark;
@@ -49,7 +49,7 @@ fn bench_find_best_strategy(c: &mut Criterion) {
             group.bench_function(format!("{}/p{}", bench.name(), p), |b| {
                 b.iter_batched(
                     || (),
-                    |_| find_best_strategy(&g, &tables, &DpOptions::default()),
+                    |_| Search::new(&g).tables(&tables).run(),
                     BatchSize::PerIteration,
                 )
             });
@@ -72,7 +72,7 @@ fn bench_find_best_strategy(c: &mut Criterion) {
         group.bench_function(format!("{}/p{}", bench.name(), p), |b| {
             b.iter_batched(
                 || (),
-                |_| find_best_strategy(&g, &tables, &opts),
+                |_| Search::new(&g).tables(&tables).dp_options(opts).run(),
                 BatchSize::PerIteration,
             )
         });
@@ -94,7 +94,7 @@ fn bench_pruned_search(c: &mut Criterion) {
         group.bench_function(format!("{}/p{}", bench.name(), p), |b| {
             b.iter_batched(
                 || (),
-                |_| find_best_strategy(&g, pruned.tables(), &DpOptions::default()),
+                |_| Search::new(&g).tables(pruned.tables()).run(),
                 BatchSize::PerIteration,
             )
         });

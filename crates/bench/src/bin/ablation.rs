@@ -16,8 +16,8 @@
 
 use pase_bench::{dp_strategy, pase_strategy, standard_tables};
 use pase_core::{
-    dependent_set_sizes, find_best_strategy, make_ordering, optcnn_search, ConnectedSetMode,
-    DpOptions, OrderingKind, ReductionOutcome, SearchBudget,
+    dependent_set_sizes, make_ordering, optcnn_search, ConnectedSetMode, DpOptions, OrderingKind,
+    ReductionOutcome, Search, SearchBudget,
 };
 use pase_cost::{ConfigRule, CostTables, MachineSpec};
 use pase_models::{densenet, inception_v3, Benchmark, DenseNetConfig, InceptionConfig};
@@ -52,14 +52,11 @@ fn main() {
         max_table_entries: 1 << 24,
         max_time: Duration::from_secs(60),
     };
-    let outcome = find_best_strategy(
-        &dn,
-        &tables,
-        &DpOptions {
-            budget,
-            ..Default::default()
-        },
-    );
+    let outcome = Search::new(&dn)
+        .tables(&tables)
+        .budget(budget)
+        .run()
+        .into_outcome();
     println!(
         "  search at p = 8 under a 2^24-entry budget: {} \
          (no ordering can shrink M on uniformly dense graphs)\n",
@@ -97,19 +94,16 @@ fn main() {
         ),
     ] {
         let t0 = Instant::now();
-        let outcome = find_best_strategy(
-            &g,
-            &tables,
-            &DpOptions {
-                ordering: kind,
-                mode,
-                budget: SearchBudget {
-                    max_table_entries: 1 << 26,
-                    max_time: Duration::from_secs(120),
-                },
-                parallel: true,
-            },
-        );
+        let outcome = Search::new(&g)
+            .tables(&tables)
+            .ordering(kind)
+            .connected_sets(mode)
+            .budget(SearchBudget {
+                max_table_entries: 1 << 26,
+                max_time: Duration::from_secs(120),
+            })
+            .run()
+            .into_outcome();
         let stats = outcome.stats();
         println!(
             "{:<22} {:>7} {:>14} {:>10} {:>12?}",
@@ -137,8 +131,11 @@ fn main() {
     ] {
         let t0 = Instant::now();
         let tables = CostTables::build(&g, rule, &machine);
-        let outcome = find_best_strategy(&g, &tables, &DpOptions::default());
-        let r = outcome.found().expect("alexnet search fits in budget");
+        let run = Search::new(&g).tables(&tables).run();
+        let r = run
+            .outcome()
+            .found()
+            .expect("alexnet search fits in budget");
         println!(
             "{:<28} K = {:>4}  best cost = {:.4e}  time = {:?}",
             name,
@@ -181,17 +178,14 @@ fn main() {
         let row = |label: &str, g: &pase_graph::Graph| {
             let t0 = Instant::now();
             let tables = standard_tables(g, p, &machine);
-            let outcome = find_best_strategy(
-                g,
-                &tables,
-                &DpOptions {
-                    budget: SearchBudget {
-                        max_table_entries: 1 << 26,
-                        max_time: Duration::from_secs(180),
-                    },
-                    ..Default::default()
-                },
-            );
+            let outcome = Search::new(g)
+                .tables(&tables)
+                .budget(SearchBudget {
+                    max_table_entries: 1 << 26,
+                    max_time: Duration::from_secs(180),
+                })
+                .run()
+                .into_outcome();
             match outcome.found() {
                 Some(r) => println!(
                     "  p={p:<3} {label:<14} |V|={:<4} M={} search={:<12?} cost={:.4e}",
@@ -235,17 +229,14 @@ fn main() {
         let reduction = optcnn_search(g, &tables);
         let red_time = t0.elapsed();
         let t1 = Instant::now();
-        let dp = find_best_strategy(
-            g,
-            &tables,
-            &DpOptions {
-                budget: SearchBudget {
-                    max_table_entries: 1 << 26,
-                    max_time: Duration::from_secs(120),
-                },
-                ..Default::default()
-            },
-        );
+        let dp = Search::new(g)
+            .tables(&tables)
+            .budget(SearchBudget {
+                max_table_entries: 1 << 26,
+                max_time: Duration::from_secs(120),
+            })
+            .run()
+            .into_outcome();
         let dp_time = t1.elapsed();
         let dp_cell = match dp.found() {
             Some(r) => format!("cost {:.4e} in {dp_time:?}", r.cost),

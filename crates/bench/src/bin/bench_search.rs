@@ -18,7 +18,7 @@
 //! Medians are written to `BENCH_search.json`. Mirrors the criterion
 //! benches but runs in seconds, so it can gate a PR.
 
-use pase_core::{find_best_strategy, find_best_strategy_pruned_traced, DpOptions, SearchReport};
+use pase_core::{DpOptions, Search, SearchReport};
 use pase_cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables, TableOptions};
 use pase_models::Benchmark;
 use pase_obs::Trace;
@@ -84,24 +84,30 @@ fn main() {
             let pruned = PrunedTables::build(&g, &tables, &PruneOptions::default());
             let ps = *pruned.stats();
 
-            let search_plain = median_secs(samples, || find_best_strategy(&g, &tables, &dp));
-            let search_pruned =
-                median_secs(samples, || find_best_strategy(&g, pruned.tables(), &dp));
+            let search_plain = median_secs(samples, || {
+                Search::new(&g).tables(&tables).dp_options(dp).run()
+            });
+            let search_pruned = median_secs(samples, || {
+                Search::new(&g).tables(pruned.tables()).dp_options(dp).run()
+            });
 
             // Exactness gate: the pruned optimum must be bit-identical.
             // The pruned run is traced so the cell's search report carries
             // a per-phase wall-time breakdown.
-            let plain_cost = find_best_strategy(&g, &tables, &dp)
+            let plain_cost = Search::new(&g)
+                .tables(&tables)
+                .dp_options(dp)
+                .run()
                 .expect_found(bench.name())
                 .cost;
             let trace = Trace::new();
-            let pruned_outcome = find_best_strategy_pruned_traced(
-                &g,
-                &tables,
-                &dp,
-                &PruneOptions::default(),
-                Some(&trace),
-            );
+            let pruned_outcome = Search::new(&g)
+                .tables(&tables)
+                .dp_options(dp)
+                .pruning(PruneOptions::default())
+                .trace(&trace)
+                .run()
+                .into_outcome();
             let pruned_cost = pruned_outcome.found().expect(bench.name()).cost;
             assert_eq!(
                 plain_cost.to_bits(),

@@ -14,7 +14,7 @@
 
 use pase_baselines::McmcOptions;
 use pase_bench::{flexflow_strategy, fmt_mins, relaxed_space, standard_tables};
-use pase_core::{find_best_strategy, naive_best_strategy, DpOptions, SearchBudget};
+use pase_core::{naive_best_strategy, Search, SearchBudget};
 use pase_cost::MachineSpec;
 use pase_models::Benchmark;
 use pase_sim::Topology;
@@ -120,14 +120,11 @@ fn main() {
             // --- Ours: FindBestStrategy with GenerateSeq ----------------
             let t0 = Instant::now();
             let tables = standard_tables(&graph, p, &machine);
-            let outcome = find_best_strategy(
-                &graph,
-                &tables,
-                &DpOptions {
-                    budget,
-                    ..Default::default()
-                },
-            );
+            let outcome = Search::new(&graph)
+                .tables(&tables)
+                .budget(budget)
+                .run()
+                .into_outcome();
             let (ours_cell, note) = match outcome.found() {
                 Some(r) => (
                     fmt_mins(t0.elapsed()),

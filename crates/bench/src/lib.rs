@@ -22,7 +22,7 @@ use pase_baselines::{
     data_parallel, gnmt_expert, mcmc_search, mesh_tf_expert, owt, CostOracle, McmcOptions,
     McmcResult,
 };
-use pase_core::{find_best_strategy, DpOptions, SearchOutcome};
+use pase_core::{DpOptions, Search, SearchOutcome};
 use pase_cost::{ConfigRule, ConfigSpace, CostTables, MachineSpec, Strategy, TableOptions};
 use pase_graph::{Graph, NodeId};
 use pase_models::Benchmark;
@@ -94,11 +94,12 @@ pub fn pase_strategy(
     tables: &CostTables,
     opts: &DpOptions,
 ) -> (SearchOutcome, Option<Strategy>) {
-    let outcome = find_best_strategy(graph, tables, opts);
-    let strategy = outcome
+    let run = Search::new(graph).tables(tables).dp_options(*opts).run();
+    let strategy = run
+        .outcome()
         .found()
         .map(|r| tables.ids_to_strategy(&r.config_ids));
-    (outcome, strategy)
+    (run.into_outcome(), strategy)
 }
 
 /// A cost oracle that scores candidate strategies by *simulating* a

@@ -7,6 +7,8 @@
 //! pase compare --model rnnlm --devices 32 [--machine 2080ti]
 //! pase stats   --model inception
 //! pase export  --model transformer --devices 16 [--out strategy.json]
+//! pase serve   [--addr 127.0.0.1:7878] [--workers 4] [--cache-dir DIR]
+//! pase query   --model alexnet --devices 8 [--addr 127.0.0.1:7878]
 //! ```
 
 mod args;
@@ -14,8 +16,8 @@ mod args;
 use args::Args;
 use pase_baselines::{data_parallel, gnmt_expert, mesh_tf_expert, owt};
 use pase_core::{
-    dependent_set_sizes, find_best_strategy_pruned_traced, find_best_strategy_traced, generate_seq,
-    optcnn_search, DpOptions, ReductionOutcome, SearchOutcome, SearchReport, SearchResult,
+    dependent_set_sizes, generate_seq, optcnn_search, ReductionOutcome, Search, SearchOutcome,
+    SearchReport, SearchResult, SearchStats,
 };
 use pase_cost::{
     from_sharding_json, to_sharding_json, to_sharding_json_with, validate_strategy, ConfigRule,
@@ -24,15 +26,16 @@ use pase_cost::{
 use pase_graph::{bfs_order, Graph, GraphStats};
 use pase_models as models;
 use pase_obs::{chrome_trace_json, Trace};
+use pase_serve::{Server, ServerConfig};
 use pase_sim::{memory_per_device, simulate_step, simulate_step_trace, SimOptions, Topology};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 pase — parallelization strategies for efficient DNN training
 
 USAGE:
-  pase <search|compare|stats|export|simulate|trace|pipeline> [options]
+  pase <search|compare|stats|export|simulate|trace|pipeline|serve|query> [options]
 
 OPTIONS:
   --model <alexnet|inception|rnnlm|rnnlm-unrolled|gnmt|transformer|densenet|resnet|vgg|bert|mlp>
@@ -61,65 +64,22 @@ OPTIONS:
   --top <k>                (trace) show the k most expensive layers (default 10)
   --stages <s>             (pipeline) stage count, must divide p (default 2)
   --microbatches <m>       (pipeline) GPipe chunks per step (default 8)
+  --addr <host:port>       (serve, query) server address
+                           (default 127.0.0.1:7878; serve accepts port 0)
+  --workers <n>            (serve) worker-pool size (default 4)
+  --deadline-ms <ms>       (serve) default per-request deadline
+                           (query) per-request deadline override
+  --cache-capacity <n>     (serve) in-memory strategy-cache entries (default 64)
+  --cache-dir <dir>        (serve) persist cache entries as JSON files
 ";
 
 fn build_model(name: &str, p: u32, weak_scaling: bool) -> Result<Graph, String> {
-    let scale = |b: u64| if weak_scaling { b * u64::from(p) } else { b };
-    Ok(match name {
-        "alexnet" => models::alexnet(&models::AlexNetConfig {
-            batch: scale(128),
-            ..models::AlexNetConfig::paper()
-        }),
-        "inception" => models::inception_v3(&models::InceptionConfig {
-            batch: scale(128),
-            ..models::InceptionConfig::paper()
-        }),
-        "rnnlm" => models::rnnlm(&models::RnnlmConfig {
-            batch: scale(64),
-            ..models::RnnlmConfig::paper()
-        }),
-        "rnnlm-unrolled" => models::rnnlm_unrolled(&models::RnnlmConfig {
-            batch: scale(64),
-            ..models::RnnlmConfig::paper()
-        }),
-        "transformer" => models::transformer(&models::TransformerConfig {
-            batch: scale(64),
-            ..models::TransformerConfig::paper()
-        }),
-        "densenet" => models::densenet(&models::DenseNetConfig {
-            batch: scale(128),
-            ..models::DenseNetConfig::paper()
-        }),
-        "resnet" => models::resnet(&models::ResNetConfig {
-            batch: scale(128),
-            ..models::ResNetConfig::paper()
-        }),
-        "gnmt" => models::gnmt(&models::GnmtConfig {
-            batch: scale(64),
-            ..models::GnmtConfig::paper()
-        }),
-        "vgg" => models::vgg16(&models::VggConfig {
-            batch: scale(128),
-            ..models::VggConfig::paper()
-        }),
-        "bert" => models::bert_encoder(&models::BertConfig {
-            batch: scale(64),
-            ..models::BertConfig::paper()
-        }),
-        "mlp" => models::mlp(&models::MlpConfig {
-            batch: scale(64),
-            ..Default::default()
-        }),
-        other => return Err(format!("unknown model '{other}'\n\n{USAGE}")),
-    })
+    models::build_named(name, p, weak_scaling).map_err(|e| format!("{e}\n\n{USAGE}"))
 }
 
 fn machine_profile(name: &str) -> Result<MachineSpec, String> {
-    match name {
-        "1080ti" => Ok(MachineSpec::gtx1080ti()),
-        "2080ti" => Ok(MachineSpec::rtx2080ti()),
-        other => Err(format!("unknown machine '{other}' (use 1080ti or 2080ti)")),
-    }
+    MachineSpec::by_name(name)
+        .ok_or_else(|| format!("unknown machine '{name}' (use 1080ti, 2080ti, or test)"))
 }
 
 /// Engine knobs shared by every searching subcommand.
@@ -152,6 +112,15 @@ impl SearchKnobs {
     }
 }
 
+/// A completed CLI search: the strategy plus everything the subcommands
+/// print about it.
+struct Searched {
+    strategy: Strategy,
+    cost: f64,
+    stats: SearchStats,
+    intern_hit_rate: f64,
+}
+
 fn search_strategy(
     graph: &Graph,
     p: u32,
@@ -159,57 +128,55 @@ fn search_strategy(
     memory_limit_gb: Option<f64>,
     knobs: SearchKnobs,
     trace: Option<&Trace>,
-) -> Result<(Strategy, f64, pase_core::SearchStats, CostTables), String> {
+) -> Result<Searched, String> {
     let mut rule = ConfigRule::new(p);
     if let Some(gb) = memory_limit_gb {
         rule = rule.with_memory_limit(gb * (1u64 << 30) as f64);
     }
-    let table_opts = TableOptions {
-        intern: knobs.intern,
-        ..TableOptions::default()
-    };
     let pipeline_start = Instant::now();
-    let run = || {
-        let tables = CostTables::build_traced(graph, rule, machine, &table_opts, trace);
-        let outcome = if knobs.prune {
-            find_best_strategy_pruned_traced(
-                graph,
-                &tables,
-                &DpOptions::default(),
-                &PruneOptions {
-                    epsilon: knobs.prune_epsilon,
-                    ..PruneOptions::default()
-                },
-                trace,
-            )
-        } else {
-            find_best_strategy_traced(graph, &tables, &DpOptions::default(), trace)
-        };
-        (tables, outcome)
+    let run_search = || {
+        let mut search = Search::new(graph)
+            .rule(rule)
+            .machine(machine.clone())
+            .table_options(TableOptions {
+                intern: knobs.intern,
+                ..TableOptions::default()
+            });
+        if knobs.prune {
+            search = search.pruning(PruneOptions {
+                epsilon: knobs.prune_epsilon,
+                ..PruneOptions::default()
+            });
+        }
+        if let Some(t) = trace {
+            search = search.trace(t);
+        }
+        search.run()
     };
-    let (tables, mut outcome) = if knobs.threads > 0 {
+    let run = if knobs.threads > 0 {
         rayon::ThreadPoolBuilder::new()
             .num_threads(knobs.threads)
             .build()
             .map_err(|e| format!("cannot build thread pool: {e}"))?
-            .install(run)
+            .install(run_search)
     } else {
-        run()
+        run_search()
     };
     // Report elapsed over the whole pipeline (table build + prune + DP),
     // matching what the recorded phase spans cover.
     let elapsed = pipeline_start.elapsed();
-    match &mut outcome {
-        SearchOutcome::Found(r) => r.stats.elapsed = elapsed,
-        SearchOutcome::Oom { stats, .. } | SearchOutcome::Timeout { stats } => {
-            stats.elapsed = elapsed;
-        }
-    }
-    match outcome {
-        SearchOutcome::Found(r) => {
-            let s = tables.ids_to_strategy(&r.config_ids);
-            Ok((s, r.cost, r.stats, tables))
-        }
+    let intern_hit_rate = run.tables().intern_stats().hit_rate();
+    match run.outcome() {
+        SearchOutcome::Found(r) => Ok(Searched {
+            strategy: run.tables().ids_to_strategy(&r.config_ids),
+            cost: r.cost,
+            stats: {
+                let mut stats = r.stats.clone();
+                stats.elapsed = elapsed;
+                stats
+            },
+            intern_hit_rate,
+        }),
         other => Err(format!("search failed: {}", other.tag())),
     }
 }
@@ -273,8 +240,12 @@ fn run() -> Result<(), String> {
             // --trace-out file, or the per-phase breakdown of the --json
             // search report.
             let trace = (args.get("trace-out").is_some() || args.has("json")).then(Trace::new);
-            let (strategy, cost, stats, tables) =
-                search_strategy(&graph, p, &machine, memory_limit, knobs, trace.as_ref())?;
+            let Searched {
+                strategy,
+                cost,
+                stats,
+                intern_hit_rate,
+            } = search_strategy(&graph, p, &machine, memory_limit, knobs, trace.as_ref())?;
             if let Some(path) = args.get("trace-out") {
                 let t = trace.as_ref().expect("trace was created for --trace-out");
                 std::fs::write(path, chrome_trace_json(t))
@@ -293,7 +264,6 @@ fn run() -> Result<(), String> {
                     &to_sharding_json_with(&graph, &strategy, &[("search_report", &report_json)]),
                 )?;
             } else {
-                let intern = tables.intern_stats();
                 let prune_line = if stats.k_before > stats.max_configs {
                     format!(
                         "dominance pruning: K {} -> {} in {:?}\n",
@@ -313,7 +283,7 @@ fn run() -> Result<(), String> {
                     stats.max_dependent_set,
                     stats.wavefronts,
                     stats.max_wavefront_width,
-                    intern.hit_rate() * 100.0
+                    intern_hit_rate * 100.0
                 );
                 content.push_str(&strategy.report(&graph));
                 emit(args.get("out"), &content)?;
@@ -322,7 +292,7 @@ fn run() -> Result<(), String> {
         "compare" => {
             let topo = Topology::cluster(machine.clone(), p);
             let opts = SimOptions::default();
-            let (ours, _, _, _) = search_strategy(&graph, p, &machine, None, knobs, None)?;
+            let ours = search_strategy(&graph, p, &machine, None, knobs, None)?.strategy;
             let expert = match model.as_str() {
                 "rnnlm" | "rnnlm-unrolled" | "gnmt" => gnmt_expert(&graph, p),
                 "transformer" => mesh_tf_expert(&graph, p),
@@ -397,7 +367,7 @@ fn run() -> Result<(), String> {
             emit(args.get("out"), &content)?;
         }
         "export" => {
-            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None, knobs, None)?;
+            let strategy = search_strategy(&graph, p, &machine, None, knobs, None)?.strategy;
             emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
         }
         "simulate" => {
@@ -436,7 +406,7 @@ fn run() -> Result<(), String> {
         "trace" => {
             // Per-layer timing of the searched strategy: where does the
             // step time actually go?
-            let (strategy, _, _, _) = search_strategy(&graph, p, &machine, None, knobs, None)?;
+            let strategy = search_strategy(&graph, p, &machine, None, knobs, None)?.strategy;
             let topo = Topology::cluster(machine.clone(), p);
             let (rep, mut rows) =
                 simulate_step_trace(&graph, &strategy, &topo, &SimOptions::default());
@@ -509,6 +479,67 @@ fn run() -> Result<(), String> {
             }
             emit(args.get("out"), &content)?;
         }
+        "serve" => {
+            let cfg = ServerConfig {
+                addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+                workers: args.get_or("workers", 4usize)?,
+                deadline: Duration::from_millis(args.get_or("deadline-ms", 120_000u64)?),
+                cache_capacity: args.get_or("cache-capacity", 64usize)?,
+                cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+            };
+            let server = Server::bind(cfg).map_err(|e| format!("cannot bind server: {e}"))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+            // Scripts read the bound address from the first stdout line
+            // (ephemeral ports make this the only way to learn the port).
+            println!("listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            #[cfg(unix)]
+            pase_serve::install_sigint(server.shutdown_handle());
+            let summary = server.run().map_err(|e| format!("server error: {e}"))?;
+            eprintln!(
+                "served {} requests ({} cache hits, {} misses)",
+                summary.requests, summary.cache_hits, summary.cache_misses
+            );
+        }
+        "query" => {
+            use std::io::{BufRead, BufReader, Write as _};
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+            let mut request = format!(
+                "{{\"model\": \"{model}\", \"devices\": {p}, \"machine\": \"{}\", \
+                 \"weak_scaling\": {weak}",
+                machine.name
+            );
+            if knobs.prune && knobs.prune_epsilon > 0.0 {
+                request.push_str(&format!(
+                    ", \"prune\": true, \"epsilon\": {}",
+                    knobs.prune_epsilon
+                ));
+            }
+            if let Some(ms) = args.get("deadline-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("invalid --deadline-ms: {ms}"))?;
+                request.push_str(&format!(", \"deadline_ms\": {ms}"));
+            }
+            request.push('}');
+            let mut stream = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            stream
+                .write_all(request.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .map_err(|e| format!("cannot send request: {e}"))?;
+            let mut response = String::new();
+            BufReader::new(stream)
+                .read_line(&mut response)
+                .map_err(|e| format!("cannot read response: {e}"))?;
+            if response.is_empty() {
+                return Err("server closed the connection without responding".into());
+            }
+            emit(args.get("out"), &response)?;
+        }
         other => return Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
     Ok(())
@@ -567,12 +598,11 @@ mod tests {
     fn search_strategy_produces_complete_cover() {
         let g = build_model("mlp", 4, false).unwrap();
         let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
-        let (s, cost, stats, _) =
-            search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None, knobs, None).unwrap();
-        assert_eq!(s.len(), g.len());
-        assert!(cost > 0.0);
-        assert!(stats.max_configs > 0);
-        assert!(stats.wavefronts > 0);
+        let s = search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None, knobs, None).unwrap();
+        assert_eq!(s.strategy.len(), g.len());
+        assert!(s.cost > 0.0);
+        assert!(s.stats.max_configs > 0);
+        assert!(s.stats.wavefronts > 0);
     }
 
     #[test]
@@ -581,8 +611,9 @@ mod tests {
         let g = build_model("mlp", 8, false).unwrap();
         let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
         let trace = Trace::new();
-        let (_, _, stats, _) =
-            search_strategy(&g, 8, &MachineSpec::gtx1080ti(), None, knobs, Some(&trace)).unwrap();
+        let stats = search_strategy(&g, 8, &MachineSpec::gtx1080ti(), None, knobs, Some(&trace))
+            .unwrap()
+            .stats;
         let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
         for required in [
             phase::ENUMERATION,
@@ -686,7 +717,10 @@ mod tests {
             None,
         )
         .unwrap();
-        assert_eq!(base.1.to_bits(), knobbed.1.to_bits());
-        assert_eq!(base.0.configs().len(), knobbed.0.configs().len());
+        assert_eq!(base.cost.to_bits(), knobbed.cost.to_bits());
+        assert_eq!(
+            base.strategy.configs().len(),
+            knobbed.strategy.configs().len()
+        );
     }
 }

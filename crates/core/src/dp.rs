@@ -163,16 +163,13 @@ pub fn naive_best_strategy(
     tables: &CostTables,
     budget: SearchBudget,
 ) -> SearchOutcome {
-    find_best_strategy(
-        graph,
-        tables,
-        &DpOptions {
-            ordering: OrderingKind::BreadthFirst,
-            mode: ConnectedSetMode::Prefix,
-            budget,
-            parallel: true,
-        },
-    )
+    crate::Search::new(graph)
+        .tables(tables)
+        .ordering(OrderingKind::BreadthFirst)
+        .connected_sets(ConnectedSetMode::Prefix)
+        .budget(budget)
+        .run()
+        .into_outcome()
 }
 
 /// Fill `chunk.costs`/`chunk.choice` for the entry range starting at
@@ -262,46 +259,51 @@ fn fill_chunk(
 /// model captured by `tables` (Theorem 1: the returned cost equals
 /// `min_φ F(G, φ)` over the enumerated configuration space).
 ///
-/// ```
-/// use pase_core::{find_best_strategy, DpOptions};
-/// use pase_cost::{ConfigRule, CostTables, MachineSpec};
-/// use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
-///
-/// // One fully-connected layer on 4 devices.
-/// let mut b = GraphBuilder::new();
-/// b.add_node(Node {
-///     name: "fc".into(),
-///     op: OpKind::FullyConnected,
-///     iter_space: vec![
-///         IterDim::new("b", 64, DimRole::Batch),
-///         IterDim::new("n", 256, DimRole::Param),
-///         IterDim::new("c", 256, DimRole::Reduction),
-///     ],
-///     inputs: vec![],
-///     output: TensorRef::new(vec![0, 1], vec![64, 256]),
-///     params: vec![TensorRef::new(vec![1, 2], vec![256, 256])],
-/// });
-/// let graph = b.build().unwrap();
-/// let tables = CostTables::build(&graph, ConfigRule::new(4), &MachineSpec::gtx1080ti());
-/// let result = find_best_strategy(&graph, &tables, &DpOptions::default())
-///     .expect_found("single layer");
-/// // An isolated layer avoids all communication by sharding its weight:
-/// // the optimum is the ideal compute division.
-/// assert_eq!(result.cost, graph.total_step_flops() / 4.0);
-/// ```
+/// Deprecated: configure the same search as
+/// `Search::new(&graph).tables(&tables).dp_options(opts).run()` — see
+/// [`crate::Search`] for the full builder. This wrapper delegates there
+/// and is bit-identical by construction.
+#[deprecated(since = "0.2.0", note = "use pase_core::Search::new(..).run() instead")]
 pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) -> SearchOutcome {
-    find_best_strategy_traced(graph, tables, opts, None)
+    crate::Search::new(graph)
+        .tables(tables)
+        .dp_options(*opts)
+        .run()
+        .into_outcome()
 }
 
 /// [`find_best_strategy`] with phase spans and counters recorded into
-/// `trace`: a [`pase_obs::phase::STRUCTURE`] span for ordering + structure
-/// construction, [`pase_obs::phase::PLAN`] for the budget-accounting pass,
-/// one `"wavefront <w>"` span per DP wavefront (or one
-/// [`pase_obs::phase::SEQUENTIAL_FILL`] span when `opts.parallel` is off),
-/// [`pase_obs::phase::BACKTRACK`] for strategy extraction, and a
-/// `table_bytes` counter sampled after each wavefront. With `trace = None`
-/// this is exactly [`find_best_strategy`].
+/// `trace`.
+///
+/// Deprecated: use [`crate::Search`] with [`crate::Search::trace`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use pase_core::Search::new(..).trace(&trace).run() instead"
+)]
 pub fn find_best_strategy_traced(
+    graph: &Graph,
+    tables: &CostTables,
+    opts: &DpOptions,
+    trace: Option<&Trace>,
+) -> SearchOutcome {
+    let mut s = crate::Search::new(graph).tables(tables).dp_options(*opts);
+    if let Some(t) = trace {
+        s = s.trace(t);
+    }
+    s.run().into_outcome()
+}
+
+/// The DP engine behind [`crate::Search`]: ordering + structure
+/// construction, budget-accounted planning, wavefront-parallel (or
+/// sequential) table fill, and back-substitution, with phase spans and a
+/// `table_bytes` counter recorded into `trace` when one is given
+/// (a [`pase_obs::phase::STRUCTURE`] span for ordering + structure
+/// construction, [`pase_obs::phase::PLAN`] for the budget-accounting pass,
+/// one `"wavefront <w>"` span per DP wavefront — or one
+/// [`pase_obs::phase::SEQUENTIAL_FILL`] span when `opts.parallel` is off —
+/// and [`pase_obs::phase::BACKTRACK`] for strategy extraction). Results are
+/// identical with and without a trace.
+pub(crate) fn run_traced(
     graph: &Graph,
     tables: &CostTables,
     opts: &DpOptions,
@@ -655,19 +657,55 @@ pub fn find_best_strategy_traced(
 /// in the reported `stats.elapsed`. If pruning alone exhausts the time
 /// budget the outcome is [`SearchOutcome::Timeout`] — the DP is never
 /// entered with a zero budget.
+///
+/// Deprecated: use [`crate::Search`] with [`crate::Search::pruning`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use pase_core::Search::new(..).pruning(opts).run() instead"
+)]
 pub fn find_best_strategy_pruned(
     graph: &Graph,
     tables: &CostTables,
     opts: &DpOptions,
     prune: &PruneOptions,
 ) -> SearchOutcome {
-    find_best_strategy_pruned_traced(graph, tables, opts, prune, None)
+    crate::Search::new(graph)
+        .tables(tables)
+        .dp_options(*opts)
+        .pruning(*prune)
+        .run()
+        .into_outcome()
 }
 
-/// [`find_best_strategy_pruned`] with phase spans recorded into `trace`:
-/// a [`pase_obs::phase::PRUNE`] span for the dominance-pruning pass plus
-/// everything [`find_best_strategy_traced`] records for the DP proper.
+/// [`find_best_strategy_pruned`] with phase spans recorded into `trace`.
+///
+/// Deprecated: use [`crate::Search`] with [`crate::Search::pruning`] and
+/// [`crate::Search::trace`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use pase_core::Search::new(..).pruning(opts).trace(&trace).run() instead"
+)]
 pub fn find_best_strategy_pruned_traced(
+    graph: &Graph,
+    tables: &CostTables,
+    opts: &DpOptions,
+    prune: &PruneOptions,
+    trace: Option<&Trace>,
+) -> SearchOutcome {
+    let mut s = crate::Search::new(graph)
+        .tables(tables)
+        .dp_options(*opts)
+        .pruning(*prune);
+    if let Some(t) = trace {
+        s = s.trace(t);
+    }
+    s.run().into_outcome()
+}
+
+/// The prune-then-search pipeline behind [`crate::Search::pruning`]: a
+/// [`pase_obs::phase::PRUNE`] span for the dominance-pruning pass plus
+/// everything [`run_traced`] records for the DP proper.
+pub(crate) fn run_pruned_traced(
     graph: &Graph,
     tables: &CostTables,
     opts: &DpOptions,
@@ -691,7 +729,7 @@ pub fn find_best_strategy_pruned_traced(
     }
     let mut remaining = *opts;
     remaining.budget.max_time = opts.budget.max_time - ps.elapsed;
-    let mut outcome = find_best_strategy_traced(graph, pruned.tables(), &remaining, trace);
+    let mut outcome = run_traced(graph, pruned.tables(), &remaining, trace);
     match &mut outcome {
         SearchOutcome::Found(r) => {
             r.config_ids = pruned.to_original_ids(&r.config_ids);
@@ -712,6 +750,7 @@ pub fn find_best_strategy_pruned_traced(
 mod tests {
     use super::*;
     use crate::brute::brute_force;
+    use crate::Search;
     use pase_cost::{ConfigRule, MachineSpec};
     use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
 
@@ -779,7 +818,11 @@ mod tests {
                 },
             ),
         ] {
-            let r = find_best_strategy(g, &tables, &opts).expect_found(label);
+            let r = Search::new(g)
+                .tables(&tables)
+                .dp_options(opts)
+                .run()
+                .expect_found(label);
             assert!(
                 (r.cost - bf_cost).abs() <= 1e-6 * bf_cost.abs().max(1.0),
                 "{label}: DP cost {} != brute-force {}",
@@ -822,11 +865,11 @@ mod tests {
     fn oom_budget_aborts_cleanly() {
         let g = diamond();
         let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
-        let opts = DpOptions {
-            budget: SearchBudget::with_max_entries(2),
-            ..DpOptions::default()
-        };
-        match find_best_strategy(&g, &tables, &opts) {
+        let run = Search::new(&g)
+            .tables(&tables)
+            .budget(SearchBudget::with_max_entries(2))
+            .run();
+        match run.into_outcome() {
             SearchOutcome::Oom { needed_entries, .. } => assert!(needed_entries > 2),
             other => panic!("expected OOM, got {}", other.tag()),
         }
@@ -836,11 +879,12 @@ mod tests {
     fn timeout_budget_aborts_cleanly() {
         let g = diamond();
         let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
-        let opts = DpOptions {
-            budget: SearchBudget::with_max_time(std::time::Duration::ZERO),
-            ..DpOptions::default()
-        };
-        match find_best_strategy(&g, &tables, &opts) {
+        let outcome = Search::new(&g)
+            .tables(&tables)
+            .budget(SearchBudget::with_max_time(std::time::Duration::ZERO))
+            .run()
+            .into_outcome();
+        match outcome {
             SearchOutcome::Timeout { .. } => {}
             other => panic!("expected timeout, got {}", other.tag()),
         }
@@ -850,7 +894,7 @@ mod tests {
     fn empty_graph_is_trivially_solved() {
         let g = GraphBuilder::new().build().unwrap();
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
-        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("empty");
+        let r = Search::new(&g).tables(&tables).run().expect_found("empty");
         assert_eq!(r.cost, 0.0);
         assert!(r.config_ids.is_empty());
     }
@@ -859,16 +903,15 @@ mod tests {
     fn serial_and_parallel_agree() {
         let g = diamond();
         let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
-        let par = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("parallel");
-        let ser = find_best_strategy(
-            &g,
-            &tables,
-            &DpOptions {
-                parallel: false,
-                ..DpOptions::default()
-            },
-        )
-        .expect_found("serial");
+        let par = Search::new(&g)
+            .tables(&tables)
+            .run()
+            .expect_found("parallel");
+        let ser = Search::new(&g)
+            .tables(&tables)
+            .parallel(false)
+            .run()
+            .expect_found("serial");
         assert_eq!(par.cost, ser.cost);
         assert_eq!(par.config_ids, ser.config_ids);
     }
@@ -881,17 +924,15 @@ mod tests {
         for bench in pase_models::Benchmark::all() {
             let g = bench.build();
             let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
-            let wavefront =
-                find_best_strategy(&g, &tables, &DpOptions::default()).expect_found(bench.name());
-            let sequential = find_best_strategy(
-                &g,
-                &tables,
-                &DpOptions {
-                    parallel: false,
-                    ..DpOptions::default()
-                },
-            )
-            .expect_found(bench.name());
+            let wavefront = Search::new(&g)
+                .tables(&tables)
+                .run()
+                .expect_found(bench.name());
+            let sequential = Search::new(&g)
+                .tables(&tables)
+                .parallel(false)
+                .run()
+                .expect_found(bench.name());
             assert_eq!(
                 wavefront.cost.to_bits(),
                 sequential.cost.to_bits(),
@@ -915,7 +956,10 @@ mod tests {
     fn naive_helper_equals_efficient_result() {
         let g = chain3();
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
-        let eff = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("efficient");
+        let eff = Search::new(&g)
+            .tables(&tables)
+            .run()
+            .expect_found("efficient");
         let naive = naive_best_strategy(&g, &tables, SearchBudget::default()).expect_found("naive");
         assert!((eff.cost - naive.cost).abs() <= 1e-9 * eff.cost);
     }
@@ -938,23 +982,19 @@ mod tests {
         bld.connect(b1, hub);
         let g = bld.build().unwrap();
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
-        let exact = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("exact");
+        let exact = Search::new(&g).tables(&tables).run().expect_found("exact");
         for ordering in [
             OrderingKind::GenerateSeq,
             OrderingKind::BreadthFirst,
             OrderingKind::Random { seed: 5 },
         ] {
-            let got = find_best_strategy(
-                &g,
-                &tables,
-                &DpOptions {
-                    ordering,
-                    mode: ConnectedSetMode::Prefix,
-                    ..DpOptions::default()
-                },
-            )
-            .expect_found("prefix")
-            .cost;
+            let got = Search::new(&g)
+                .tables(&tables)
+                .ordering(ordering)
+                .connected_sets(ConnectedSetMode::Prefix)
+                .run()
+                .expect_found("prefix")
+                .cost;
             assert!(
                 (got - exact.cost).abs() <= 1e-9 * exact.cost,
                 "{ordering:?}: prefix {got} vs exact {}",
@@ -977,7 +1017,7 @@ mod tests {
                 ..pase_cost::TableOptions::default()
             },
         );
-        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("stats");
+        let r = Search::new(&g).tables(&tables).run().expect_found("stats");
         assert!(r.stats.states_evaluated > 0);
         assert!(r.stats.table_entries > 0);
         assert!(r.stats.max_configs > 0);
@@ -997,11 +1037,13 @@ mod tests {
         // time accounted in the stats.
         let g = diamond();
         let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
-        let opts = DpOptions {
-            budget: SearchBudget::with_max_time(std::time::Duration::ZERO),
-            ..DpOptions::default()
-        };
-        match find_best_strategy_pruned(&g, &tables, &opts, &PruneOptions::default()) {
+        let outcome = Search::new(&g)
+            .tables(&tables)
+            .budget(SearchBudget::with_max_time(std::time::Duration::ZERO))
+            .pruning(PruneOptions::default())
+            .run()
+            .into_outcome();
+        match outcome {
             SearchOutcome::Timeout { stats } => {
                 assert!(stats.prune_time > std::time::Duration::ZERO);
                 assert_eq!(stats.elapsed, stats.prune_time);
@@ -1017,9 +1059,11 @@ mod tests {
     fn pruned_search_elapsed_includes_prune_time() {
         let g = diamond();
         let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
-        let r =
-            find_best_strategy_pruned(&g, &tables, &DpOptions::default(), &PruneOptions::default())
-                .expect_found("pruned");
+        let r = Search::new(&g)
+            .tables(&tables)
+            .pruning(PruneOptions::default())
+            .run()
+            .expect_found("pruned");
         assert!(r.stats.prune_time > std::time::Duration::ZERO);
         assert!(
             r.stats.elapsed >= r.stats.prune_time,
@@ -1034,7 +1078,7 @@ mod tests {
         use crate::budget::DP_ENTRY_BYTES;
         let g = diamond();
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
-        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("peak");
+        let r = Search::new(&g).tables(&tables).run().expect_found("peak");
         // Tables are never freed before back-substitution, so the peak is
         // exactly the total accounted entries times the real entry size.
         assert!(r.stats.table_entries > 0);
@@ -1050,7 +1094,10 @@ mod tests {
         let g = diamond();
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
         let trace = Trace::new();
-        let r = find_best_strategy_traced(&g, &tables, &DpOptions::default(), Some(&trace))
+        let r = Search::new(&g)
+            .tables(&tables)
+            .trace(&trace)
+            .run()
             .expect_found("traced");
         let spans = trace.spans();
         let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
@@ -1078,16 +1125,12 @@ mod tests {
         let g = chain3();
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
         let trace = Trace::new();
-        find_best_strategy_traced(
-            &g,
-            &tables,
-            &DpOptions {
-                parallel: false,
-                ..DpOptions::default()
-            },
-            Some(&trace),
-        )
-        .expect_found("sequential traced");
+        Search::new(&g)
+            .tables(&tables)
+            .parallel(false)
+            .trace(&trace)
+            .run()
+            .expect_found("sequential traced");
         let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
         assert!(names.iter().any(|n| n == phase::SEQUENTIAL_FILL));
         assert!(!names.iter().any(|n| phase::is_wavefront(n)));
@@ -1099,14 +1142,12 @@ mod tests {
         let g = diamond();
         let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
         let trace = Trace::new();
-        let r = find_best_strategy_pruned_traced(
-            &g,
-            &tables,
-            &DpOptions::default(),
-            &PruneOptions::default(),
-            Some(&trace),
-        )
-        .expect_found("pruned traced");
+        let r = Search::new(&g)
+            .tables(&tables)
+            .pruning(PruneOptions::default())
+            .trace(&trace)
+            .run()
+            .expect_found("pruned traced");
         let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
         assert!(names.iter().any(|n| n == phase::PRUNE), "spans: {names:?}");
         // The disjoint pipeline spans must account for (nearly) all of the
@@ -1132,15 +1173,12 @@ mod tests {
             for p in [4u32, 8] {
                 let tables =
                     CostTables::build(&g, ConfigRule::new(p), &MachineSpec::test_machine());
-                let plain =
-                    find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("plain");
-                let pruned = find_best_strategy_pruned(
-                    &g,
-                    &tables,
-                    &DpOptions::default(),
-                    &PruneOptions::default(),
-                )
-                .expect_found("pruned");
+                let plain = Search::new(&g).tables(&tables).run().expect_found("plain");
+                let pruned = Search::new(&g)
+                    .tables(&tables)
+                    .pruning(PruneOptions::default())
+                    .run()
+                    .expect_found("pruned");
                 assert_eq!(
                     pruned.cost.to_bits(),
                     plain.cost.to_bits(),

@@ -9,11 +9,17 @@
 //!   and dependent sets `D(i)` for a given ordering (§III-B definitions),
 //!   in both the *exact* form of recurrence (4) and the *prefix* form
 //!   `X(i) = V_{≤i}` that degenerates to the naive recurrence (2);
-//! * [`find_best_strategy`] — the **FindBestStrategy** dynamic program
-//!   (Fig. 4) over precomputed [`pase_cost::CostTables`], with
-//!   rayon-parallel substrategy loops, strategy extraction by
-//!   back-substitution, and explicit time/memory budgets whose exhaustion
-//!   reproduces the `OOM` entries of Table I;
+//! * [`Search`] — the unified builder entry point
+//!   (`Search::new(&graph).devices(p).run()`) over the **FindBestStrategy**
+//!   dynamic program (Fig. 4): precomputed [`pase_cost::CostTables`],
+//!   rayon-parallel substrategy loops, optional dominance pruning and
+//!   tracing, strategy extraction by back-substitution, and explicit
+//!   time/memory budgets whose exhaustion reproduces the `OOM` entries of
+//!   Table I (the legacy `find_best_strategy*` free functions remain as
+//!   deprecated wrappers that delegate to it);
+//! * [`Error`] — the single error type of the search stack (budget
+//!   exhaustion, cost-model failures, cache I/O, protocol violations,
+//!   schema-version mismatches);
 //! * [`brute_force`] — exhaustive strategy enumeration for small graphs,
 //!   used to validate the DP's optimality (Theorem 1).
 
@@ -22,21 +28,27 @@
 mod brute;
 mod budget;
 mod dp;
+mod error;
 mod ordering;
 mod reduction;
 mod report;
+mod search;
 mod structure;
 
 pub use brute::{brute_force, brute_force_pruned, random_strategy_costs};
 pub use budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats, DP_ENTRY_BYTES};
+#[allow(deprecated)]
 pub use dp::{
     find_best_strategy, find_best_strategy_pruned, find_best_strategy_pruned_traced,
-    find_best_strategy_traced, naive_best_strategy, DpOptions,
+    find_best_strategy_traced,
 };
+pub use dp::{naive_best_strategy, DpOptions};
+pub use error::Error;
 pub use ordering::{
     dependent_set_sizes, generate_seq, generate_seq_with_sets, make_ordering, search_profile,
     OrderingKind, PositionProfile,
 };
 pub use reduction::{optcnn_search, optcnn_search_pruned, ReductionOutcome};
-pub use report::{PhaseReport, SearchReport};
+pub use report::{PhaseReport, SearchReport, SCHEMA_VERSION};
+pub use search::{Search, SearchRun};
 pub use structure::{ConnectedSetMode, VertexStructure};

@@ -354,7 +354,7 @@ fn detach(adj: &mut [Vec<NodeId>], w: NodeId, u: NodeId) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dp::{find_best_strategy, DpOptions};
+    use crate::Search;
     use pase_cost::{ConfigRule, CostTables, MachineSpec};
     use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
 
@@ -378,7 +378,7 @@ mod tests {
 
     fn check_matches_dp(g: &pase_graph::Graph, p: u32) {
         let tables = CostTables::build(g, ConfigRule::new(p), &MachineSpec::test_machine());
-        let dp = find_best_strategy(g, &tables, &DpOptions::default()).expect_found("dp");
+        let dp = Search::new(g).tables(&tables).run().expect_found("dp");
         match optcnn_search(g, &tables) {
             ReductionOutcome::Reduced {
                 cost, config_ids, ..
@@ -459,7 +459,9 @@ mod tests {
                 // the core is the encoder output plus interior rungs
                 assert!(remaining.len() >= 4, "core: {remaining:?}");
                 // ... while FindBestStrategy solves the same graph
-                let dp = find_best_strategy(&deep, &tables, &DpOptions::default())
+                let dp = Search::new(&deep)
+                    .tables(&tables)
+                    .run()
                     .expect_found("transformer");
                 assert!(dp.cost.is_finite());
             }
@@ -484,7 +486,9 @@ mod tests {
             ReductionOutcome::Irreducible { remaining } => {
                 assert!(remaining.len() > 2, "core = {remaining:?}");
                 // ... and the PaSE DP handles it regardless.
-                let dp = find_best_strategy(&g, &tables, &DpOptions::default())
+                let dp = Search::new(&g)
+                    .tables(&tables)
+                    .run()
                     .expect_found("dense graph");
                 assert!(dp.cost.is_finite());
             }

@@ -12,6 +12,13 @@ use pase_obs::{json, phase, Trace};
 use std::fmt::Write;
 use std::time::Duration;
 
+/// Version of every persisted JSON artifact of the search stack — the
+/// [`SearchReport`] wire/`--json` format and the strategy cache's on-disk
+/// entries. Consumers must reject artifacts whose `schema_version` differs
+/// (see [`crate::Error::SchemaVersion`]); bump this whenever a persisted
+/// field changes shape or meaning.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// Aggregated wall time of one pipeline phase.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseReport {
@@ -65,7 +72,8 @@ impl SearchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
-        let _ = write!(out, "\"model\": \"{}\"", json::escape(&self.model));
+        let _ = write!(out, "\"schema_version\": {SCHEMA_VERSION}");
+        let _ = write!(out, ", \"model\": \"{}\"", json::escape(&self.model));
         let _ = write!(out, ", \"devices\": {}", self.devices);
         let _ = write!(out, ", \"outcome\": \"{}\"", json::escape(&self.outcome));
         match self.cost {
@@ -177,6 +185,7 @@ mod tests {
         let r = SearchReport::new("trans\"former", 64, &found_outcome(), None);
         let js = r.to_json();
         assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.starts_with("{\"schema_version\": 1"));
         assert!(js.contains("\"model\": \"trans\\\"former\""));
         assert!(js.contains("\"devices\": 64"));
         assert!(js.contains("\"cost\": 42.5"));

@@ -1,0 +1,390 @@
+//! The unified search entry point.
+//!
+//! Historically every combination of knobs had its own free function —
+//! `find_best_strategy`, `_traced`, `_pruned`, `_pruned_traced` — times the
+//! `CostTables::build{,_with,_traced,_with_space}` constructor family at
+//! every call site. [`Search`] collapses that combinatorial explosion into
+//! one builder:
+//!
+//! ```text
+//! Search::new(&graph).devices(p).machine(m).budget(b).pruning(popts).trace(&t).run()
+//! ```
+//!
+//! Every knob is optional; the defaults reproduce the paper's standard
+//! configuration (GenerateSeq ordering, exact connected sets, wavefront-
+//! parallel fill, GTX 1080 Ti profile, 8 devices, no pruning, no trace).
+//! The legacy free functions still exist as `#[deprecated]` wrappers that
+//! delegate here and are bit-identical by construction.
+
+use crate::budget::{SearchBudget, SearchOutcome, SearchResult};
+use crate::dp::{run_pruned_traced, run_traced, DpOptions};
+use crate::error::Error;
+use crate::ordering::OrderingKind;
+use crate::structure::ConnectedSetMode;
+use pase_cost::{ConfigRule, ConfigSpace, CostTables, MachineSpec, PruneOptions, TableOptions};
+use pase_graph::Graph;
+use pase_obs::Trace;
+
+/// A configured-but-not-yet-run strategy search. See the module docs.
+///
+/// ```
+/// use pase_core::Search;
+/// use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+///
+/// // One fully-connected layer on 4 devices.
+/// let mut b = GraphBuilder::new();
+/// b.add_node(Node {
+///     name: "fc".into(),
+///     op: OpKind::FullyConnected,
+///     iter_space: vec![
+///         IterDim::new("b", 64, DimRole::Batch),
+///         IterDim::new("n", 256, DimRole::Param),
+///         IterDim::new("c", 256, DimRole::Reduction),
+///     ],
+///     inputs: vec![],
+///     output: TensorRef::new(vec![0, 1], vec![64, 256]),
+///     params: vec![TensorRef::new(vec![1, 2], vec![256, 256])],
+/// });
+/// let graph = b.build().unwrap();
+/// let result = Search::new(&graph)
+///     .devices(4)
+///     .run()
+///     .expect_found("single layer");
+/// // An isolated layer avoids all communication by sharding its weight:
+/// // the optimum is the ideal compute division.
+/// assert_eq!(result.cost, graph.total_step_flops() / 4.0);
+/// ```
+#[derive(Clone)]
+pub struct Search<'a> {
+    graph: &'a Graph,
+    devices: u32,
+    machine: MachineSpec,
+    rule: Option<ConfigRule>,
+    table_opts: TableOptions,
+    space: Option<&'a ConfigSpace>,
+    tables: Option<&'a CostTables>,
+    prune: Option<PruneOptions>,
+    dp: DpOptions,
+    trace: Option<&'a Trace>,
+}
+
+impl<'a> Search<'a> {
+    /// Start configuring a search over `graph` with the standard defaults
+    /// (8 devices on the GTX 1080 Ti profile, exact DP, no pruning).
+    pub fn new(graph: &'a Graph) -> Self {
+        Self {
+            graph,
+            devices: 8,
+            machine: MachineSpec::gtx1080ti(),
+            rule: None,
+            table_opts: TableOptions::default(),
+            space: None,
+            tables: None,
+            prune: None,
+            dp: DpOptions::default(),
+            trace: None,
+        }
+    }
+
+    /// Number of devices `p` to parallelize over (default 8). Ignored when
+    /// a full [`ConfigRule`] is supplied via [`Search::rule`].
+    pub fn devices(mut self, p: u32) -> Self {
+        self.devices = p;
+        self
+    }
+
+    /// Machine profile (default [`MachineSpec::gtx1080ti`]).
+    pub fn machine(mut self, m: MachineSpec) -> Self {
+        self.machine = m;
+        self
+    }
+
+    /// Full configuration-enumeration rule, overriding [`Search::devices`]
+    /// (for idle-device, split-cap, or memory-limit variations).
+    pub fn rule(mut self, rule: ConfigRule) -> Self {
+        self.rule = Some(rule);
+        self
+    }
+
+    /// Resource limits for the DP (default [`SearchBudget::default`]).
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.dp.budget = budget;
+        self
+    }
+
+    /// Run dominance pruning over the configuration space before the DP
+    /// (off by default). With `PruneOptions::default()` (ε = 0) the result
+    /// is bit-identical to the unpruned search.
+    pub fn pruning(mut self, opts: PruneOptions) -> Self {
+        self.prune = Some(opts);
+        self
+    }
+
+    /// Vertex ordering (default [`OrderingKind::GenerateSeq`]).
+    pub fn ordering(mut self, ordering: OrderingKind) -> Self {
+        self.dp.ordering = ordering;
+        self
+    }
+
+    /// Connected-set mode (default [`ConnectedSetMode::Exact`];
+    /// [`ConnectedSetMode::Prefix`] gives the naive recurrence (2)).
+    pub fn connected_sets(mut self, mode: ConnectedSetMode) -> Self {
+        self.dp.mode = mode;
+        self
+    }
+
+    /// Wavefront-parallel table fill on or off (default on; both schedules
+    /// are bit-identical).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.dp.parallel = parallel;
+        self
+    }
+
+    /// All DP knobs at once (ordering, mode, budget, parallelism) — the
+    /// bridge for callers still holding a [`DpOptions`].
+    pub fn dp_options(mut self, opts: DpOptions) -> Self {
+        self.dp = opts;
+        self
+    }
+
+    /// Cost-table construction options (interning, parallel build).
+    pub fn table_options(mut self, opts: TableOptions) -> Self {
+        self.table_opts = opts;
+        self
+    }
+
+    /// Reuse a pre-enumerated [`ConfigSpace`] instead of re-enumerating
+    /// per-node configurations (machine-profile sweeps). Ignored when
+    /// prebuilt [`Search::tables`] are supplied.
+    pub fn space(mut self, space: &'a ConfigSpace) -> Self {
+        self.space = Some(space);
+        self
+    }
+
+    /// Run on prebuilt [`CostTables`], skipping table construction
+    /// entirely. The tables must cover `graph`; machine/devices/rule/space
+    /// settings are ignored.
+    pub fn tables(mut self, tables: &'a CostTables) -> Self {
+        self.tables = Some(tables);
+        self
+    }
+
+    /// Record phase spans and counters into `trace` (table build, prune,
+    /// DP wavefronts, backtrack). Results are identical with and without.
+    pub fn trace(mut self, trace: &'a Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Execute the search: build (or borrow) the cost tables, optionally
+    /// prune, run the DP, and return the outcome together with the tables
+    /// the returned configuration ids index into.
+    pub fn run(self) -> SearchRun<'a> {
+        let tables = match self.tables {
+            Some(t) => TablesHandle::Borrowed(t),
+            None => {
+                let rule = self.rule.unwrap_or_else(|| ConfigRule::new(self.devices));
+                let built = match self.space {
+                    Some(space) => CostTables::build_with_space(
+                        self.graph,
+                        rule,
+                        &self.machine,
+                        space,
+                        &self.table_opts,
+                    ),
+                    None => CostTables::build_traced(
+                        self.graph,
+                        rule,
+                        &self.machine,
+                        &self.table_opts,
+                        self.trace,
+                    ),
+                };
+                TablesHandle::Owned(built)
+            }
+        };
+        let outcome = match &self.prune {
+            Some(popts) => run_pruned_traced(self.graph, tables.get(), &self.dp, popts, self.trace),
+            None => run_traced(self.graph, tables.get(), &self.dp, self.trace),
+        };
+        SearchRun { outcome, tables }
+    }
+}
+
+/// The cost tables a [`SearchRun`] ran on: borrowed when the caller
+/// supplied them, owned when the builder constructed them.
+enum TablesHandle<'a> {
+    Owned(CostTables),
+    Borrowed(&'a CostTables),
+}
+
+impl TablesHandle<'_> {
+    fn get(&self) -> &CostTables {
+        match self {
+            TablesHandle::Owned(t) => t,
+            TablesHandle::Borrowed(t) => t,
+        }
+    }
+}
+
+/// The result of [`Search::run`]: the [`SearchOutcome`] plus the
+/// [`CostTables`] whose configuration-id space the result's
+/// `config_ids` index into.
+pub struct SearchRun<'a> {
+    outcome: SearchOutcome,
+    tables: TablesHandle<'a>,
+}
+
+impl<'a> SearchRun<'a> {
+    /// The search outcome.
+    pub fn outcome(&self) -> &SearchOutcome {
+        &self.outcome
+    }
+
+    /// Consume the run, keeping only the outcome.
+    pub fn into_outcome(self) -> SearchOutcome {
+        self.outcome
+    }
+
+    /// The cost tables the search ran on (owned by the run unless they
+    /// were supplied via [`Search::tables`]).
+    pub fn tables(&self) -> &CostTables {
+        self.tables.get()
+    }
+
+    /// The successful result, or the matching [`Error`] ([`Error::Oom`] /
+    /// [`Error::Timeout`]) if a budget was exhausted.
+    pub fn result(&self) -> Result<&SearchResult, Error> {
+        match &self.outcome {
+            SearchOutcome::Found(r) => Ok(r),
+            other => Err(Error::from_outcome(other).expect("non-Found outcome maps to an error")),
+        }
+    }
+
+    /// Unwrap the successful result, panicking with `msg` otherwise
+    /// (mirrors [`SearchOutcome::expect_found`]).
+    pub fn expect_found(self, msg: &str) -> SearchResult {
+        self.outcome.expect_found(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn fc(name: &str, ins: usize) -> Node {
+        Node {
+            name: name.into(),
+            op: OpKind::FullyConnected,
+            iter_space: vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+                IterDim::new("c", 128, DimRole::Reduction),
+            ],
+            inputs: (0..ins)
+                .map(|_| TensorRef::new(vec![0, 2], vec![64, 128]))
+                .collect(),
+            output: TensorRef::new(vec![0, 1], vec![64, 128]),
+            params: vec![TensorRef::new(vec![1, 2], vec![128, 128])],
+        }
+    }
+
+    fn chain2() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(fc("fc1", 0));
+        let y = b.add_node(fc("fc2", 1));
+        b.connect(x, y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_find_a_strategy() {
+        let g = chain2();
+        let run = Search::new(&g).devices(4).run();
+        let r = run.result().expect("found");
+        assert!(r.cost > 0.0);
+        assert_eq!(r.config_ids.len(), g.len());
+        // The returned ids index the run's own tables.
+        let eval = run.tables().evaluate_ids(&g, &r.config_ids);
+        assert!((eval - r.cost).abs() <= 1e-9 * r.cost);
+    }
+
+    #[test]
+    fn prebuilt_tables_are_borrowed_not_rebuilt() {
+        let g = chain2();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let via_tables = Search::new(&g).tables(&tables).run();
+        let via_build = Search::new(&g)
+            .devices(4)
+            .machine(MachineSpec::test_machine())
+            .run();
+        let a = via_tables.result().expect("prebuilt").cost;
+        let b = via_build.result().expect("built").cost;
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!(std::ptr::eq(via_tables.tables(), &tables));
+    }
+
+    #[test]
+    fn space_reuse_matches_direct_enumeration() {
+        let g = chain2();
+        let rule = ConfigRule::new(4);
+        let space = ConfigSpace::build(&g, &rule);
+        let m = MachineSpec::test_machine();
+        let with_space = Search::new(&g)
+            .rule(rule.clone())
+            .machine(m.clone())
+            .space(&space)
+            .run()
+            .expect_found("space");
+        let direct = Search::new(&g)
+            .rule(rule)
+            .machine(m)
+            .run()
+            .expect_found("direct");
+        assert_eq!(with_space.cost.to_bits(), direct.cost.to_bits());
+        assert_eq!(with_space.config_ids, direct.config_ids);
+    }
+
+    #[test]
+    fn pruning_with_zero_epsilon_is_bit_identical() {
+        let g = chain2();
+        let plain = Search::new(&g).devices(8).run().expect_found("plain");
+        let pruned = Search::new(&g)
+            .devices(8)
+            .pruning(PruneOptions::default())
+            .run()
+            .expect_found("pruned");
+        assert_eq!(plain.cost.to_bits(), pruned.cost.to_bits());
+        assert!(pruned.stats.k_before >= pruned.stats.max_configs);
+    }
+
+    #[test]
+    fn budget_failures_surface_as_errors() {
+        let g = chain2();
+        let run = Search::new(&g)
+            .devices(8)
+            .budget(SearchBudget::with_max_entries(1))
+            .run();
+        match run.result() {
+            Err(Error::Oom { needed_entries, .. }) => assert!(needed_entries > 1),
+            other => panic!("expected Err(Oom), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_records_table_build_and_dp_phases() {
+        use pase_obs::phase;
+        let g = chain2();
+        let trace = Trace::new();
+        Search::new(&g)
+            .devices(4)
+            .trace(&trace)
+            .run()
+            .expect_found("traced");
+        let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.iter().any(|n| n == phase::TABLE_BUILD), "{names:?}");
+        assert!(names.iter().any(|n| n == phase::STRUCTURE), "{names:?}");
+        assert!(names.iter().any(|n| phase::is_wavefront(n)), "{names:?}");
+    }
+}

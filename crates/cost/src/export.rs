@@ -127,253 +127,10 @@ pub fn from_sharding_json(graph: &Graph, json: &str) -> Result<Strategy, String>
     Ok(Strategy::new(configs))
 }
 
-/// Minimal JSON subset parser (objects, arrays, strings with the full RFC
-/// 8259 escape set, integer and float numbers) — a superset of the grammar
-/// [`to_sharding_json_with`] emits, so strategies round-trip without an
-/// external dependency even when node names contain control characters and
-/// when a search report (with float fields) is embedded in the document.
-mod json {
-    #[derive(Debug, PartialEq)]
-    pub enum Value {
-        Object(Vec<(String, Value)>),
-        Array(Vec<Value>),
-        Str(String),
-        Num(u64),
-        Float(f64),
-    }
-
-    impl Value {
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Array(v) => Some(v),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub fn as_u64(&self) -> Option<u64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-
-        #[cfg_attr(not(test), allow(dead_code))]
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(n) => Some(*n as f64),
-                Value::Float(x) => Some(*x),
-                _ => None,
-            }
-        }
-    }
-
-    pub fn parse(src: &str) -> Result<Value, String> {
-        let bytes = src.as_bytes();
-        let mut pos = 0usize;
-        let v = value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing input at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&c) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {pos}", c as char))
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'{') => object(b, pos),
-            Some(b'[') => array(b, pos),
-            Some(b'"') => string(b, pos).map(Value::Str),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
-            other => Err(format!(
-                "unexpected {:?} at byte {pos}",
-                other.map(|&c| c as char)
-            )),
-        }
-    }
-
-    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'{')?;
-        let mut pairs = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Object(pairs));
-        }
-        loop {
-            skip_ws(b, pos);
-            let key = string(b, pos)?;
-            expect(b, pos, b':')?;
-            pairs.push((key, value(b, pos)?));
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Object(pairs));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-            }
-        }
-    }
-
-    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            items.push(value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-            }
-        }
-    }
-
-    /// Parse the four hex digits of a `\uXXXX` escape.
-    fn hex4(b: &[u8], pos: &mut usize) -> Result<u16, String> {
-        let digits = b
-            .get(*pos..*pos + 4)
-            .and_then(|d| std::str::from_utf8(d).ok())
-            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
-        let v =
-            u16::from_str_radix(digits, 16).map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-        *pos += 4;
-        Ok(v)
-    }
-
-    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(b, pos, b'"')?;
-        let mut out = String::new();
-        // Unescaped spans are copied as byte slices, so multi-byte UTF-8
-        // sequences survive intact (byte-at-a-time `c as char` would not).
-        let mut run = *pos;
-        let flush = |out: &mut String, run: usize, end: usize| -> Result<(), String> {
-            out.push_str(std::str::from_utf8(&b[run..end]).map_err(|_| "invalid UTF-8 in string")?);
-            Ok(())
-        };
-        while let Some(&c) = b.get(*pos) {
-            match c {
-                b'"' => {
-                    flush(&mut out, run, *pos)?;
-                    *pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    flush(&mut out, run, *pos)?;
-                    *pos += 1;
-                    match b.get(*pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{0008}'),
-                        Some(b'f') => out.push('\u{000C}'),
-                        Some(b'u') => {
-                            *pos += 1;
-                            let hi = hex4(b, pos)?;
-                            let cp = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair: a second \uXXXX must follow.
-                                if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
-                                    return Err(format!("unpaired surrogate at byte {pos}"));
-                                }
-                                *pos += 2;
-                                let lo = hex4(b, pos)?;
-                                if !(0xDC00..0xE000).contains(&lo) {
-                                    return Err(format!("bad low surrogate at byte {pos}"));
-                                }
-                                0x10000
-                                    + ((u32::from(hi) - 0xD800) << 10)
-                                    + (u32::from(lo) - 0xDC00)
-                            } else {
-                                u32::from(hi)
-                            };
-                            out.push(
-                                char::from_u32(cp)
-                                    .ok_or_else(|| format!("bad code point at byte {pos}"))?,
-                            );
-                            run = *pos;
-                            continue;
-                        }
-                        _ => return Err(format!("bad escape at byte {pos}")),
-                    }
-                    *pos += 1;
-                    run = *pos;
-                }
-                _ => *pos += 1,
-            }
-        }
-        Err("unterminated string".to_string())
-    }
-
-    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        if b.get(*pos) == Some(&b'-') {
-            *pos += 1;
-        }
-        let mut is_float = false;
-        while let Some(&c) = b.get(*pos) {
-            match c {
-                b'0'..=b'9' => *pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
-                    *pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number bytes")?;
-        if !is_float {
-            if let Ok(n) = text.parse::<u64>() {
-                return Ok(Value::Num(n));
-            }
-        }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| format!("bad number at byte {start}"))
-    }
-}
+// The JSON subset parser these importers rely on is shared workspace-wide
+// (sharding specs here, cache entries and the planner-service wire protocol
+// in `pase-serve`) and lives in [`pase_obs::json`].
+use pase_obs::json;
 
 #[cfg(test)]
 mod tests {

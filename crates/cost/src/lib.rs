@@ -53,4 +53,4 @@ pub use prune::{PruneOptions, PruneStats, PrunedTables};
 pub use sharding::{replication, shard_bytes, shard_elements, tensor_sharding};
 pub use strategy::{evaluate, validate_strategy, Strategy};
 pub use tables::{CostTables, InternStats, TableOptions};
-pub use transfer::{transfer_bytes, transfer_cost, try_transfer_bytes};
+pub use transfer::{transfer_bytes, transfer_cost, try_transfer_bytes, TransferError};

@@ -81,6 +81,18 @@ impl MachineSpec {
             internode_bandwidth: 1.0e9,
         }
     }
+
+    /// Resolve a cluster profile by its [`MachineSpec::name`] — the shared
+    /// lookup behind the CLI's `--machine` flag and the planner service's
+    /// `"machine"` request field.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "1080ti" => Some(Self::gtx1080ti()),
+            "2080ti" => Some(Self::rtx2080ti()),
+            "test" => Some(Self::test_machine()),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

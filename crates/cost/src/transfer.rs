@@ -22,6 +22,61 @@
 
 use crate::config::Config;
 use pase_graph::Node;
+use std::fmt;
+
+/// A structurally malformed edge detected while costing a transfer
+/// (see [`try_transfer_bytes`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransferError {
+    /// The edge names an input slot the consumer does not have.
+    BadSlot {
+        /// Consumer node name.
+        consumer: String,
+        /// Number of inputs the consumer actually has.
+        n_inputs: usize,
+        /// The out-of-range slot.
+        slot: usize,
+    },
+    /// The producer's output tensor and the consumer's input tensor have
+    /// different ranks.
+    RankMismatch {
+        /// Producer node name.
+        producer: String,
+        /// Producer output rank.
+        out_rank: usize,
+        /// Consumer node name.
+        consumer: String,
+        /// Consumer input slot.
+        slot: usize,
+        /// Consumer input rank.
+        in_rank: usize,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::BadSlot {
+                consumer,
+                n_inputs,
+                slot,
+            } => write!(f, "'{consumer}' has {n_inputs} inputs, no slot {slot}"),
+            TransferError::RankMismatch {
+                producer,
+                out_rank,
+                consumer,
+                slot,
+                in_rank,
+            } => write!(
+                f,
+                "edge tensor rank mismatch: '{producer}' output is rank {out_rank} \
+                 but '{consumer}' input[{slot}] is rank {in_rank}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
 
 /// Transfer volume in bytes along the edge feeding `slot` of `consumer`
 /// from `producer`, when the producer runs under `cfg_u` and the consumer
@@ -45,33 +100,35 @@ pub fn transfer_bytes(
 }
 
 /// Checked form of [`transfer_bytes`]: a malformed edge is a structural
-/// error in the graph, not a costing question, so it is reported instead
-/// of silently mis-costing (longer producer tensor) or panicking on slice
-/// indexing in release builds (shorter producer tensor), which is what the
-/// old `debug_assert_eq!`-only guard allowed.
+/// error in the graph, not a costing question, so it is reported as a
+/// [`TransferError`] instead of silently mis-costing (longer producer
+/// tensor) or panicking on slice indexing in release builds (shorter
+/// producer tensor), which is what the old `debug_assert_eq!`-only guard
+/// allowed.
 pub fn try_transfer_bytes(
     producer: &Node,
     cfg_u: &Config,
     consumer: &Node,
     slot: usize,
     cfg_v: &Config,
-) -> Result<f64, String> {
+) -> Result<f64, TransferError> {
     let out = &producer.output;
-    let inp = consumer.inputs.get(slot).ok_or_else(|| {
-        format!(
-            "'{}' has {} inputs, no slot {slot}",
-            consumer.name,
-            consumer.inputs.len()
-        )
-    })?;
+    let inp = consumer
+        .inputs
+        .get(slot)
+        .ok_or_else(|| TransferError::BadSlot {
+            consumer: consumer.name.clone(),
+            n_inputs: consumer.inputs.len(),
+            slot,
+        })?;
     if out.rank() != inp.rank() {
-        return Err(format!(
-            "edge tensor rank mismatch: '{}' output is rank {} but '{}' input[{slot}] is rank {}",
-            producer.name,
-            out.rank(),
-            consumer.name,
-            inp.rank()
-        ));
+        return Err(TransferError::RankMismatch {
+            producer: producer.name.clone(),
+            out_rank: out.rank(),
+            consumer: consumer.name.clone(),
+            slot,
+            in_rank: inp.rank(),
+        });
     }
     let mut need = 1.0;
     let mut overlap = 1.0;
@@ -209,11 +266,22 @@ mod tests {
         // Shorter producer output (rank 1 vs the consumer's rank-2 input).
         u.output = TensorRef::new(vec![0], vec![64]);
         let err = try_transfer_bytes(&u, &c, &v, 0, &c).unwrap_err();
-        assert!(err.contains("rank mismatch"), "got: {err}");
+        assert!(matches!(err, TransferError::RankMismatch { .. }));
+        assert!(err.to_string().contains("rank mismatch"), "got: {err}");
         // Longer producer output (rank 3).
         u.output = TensorRef::new(vec![0, 1, 2], vec![64, 256, 128]);
         let err = try_transfer_bytes(&u, &c, &v, 0, &c).unwrap_err();
-        assert!(err.contains("rank mismatch"), "got: {err}");
+        assert!(
+            matches!(
+                err,
+                TransferError::RankMismatch {
+                    out_rank: 3,
+                    in_rank: 2,
+                    ..
+                }
+            ),
+            "got: {err}"
+        );
     }
 
     #[test]
@@ -221,7 +289,18 @@ mod tests {
         let (u, v) = pair();
         let c = Config::ones(3);
         let err = try_transfer_bytes(&u, &c, &v, 5, &c).unwrap_err();
-        assert!(err.contains("no slot 5"), "got: {err}");
+        assert!(
+            matches!(
+                err,
+                TransferError::BadSlot {
+                    slot: 5,
+                    n_inputs: 1,
+                    ..
+                }
+            ),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("no slot 5"), "got: {err}");
     }
 
     #[test]

@@ -127,6 +127,87 @@ impl Benchmark {
     }
 }
 
+/// Every model name [`build_named`] resolves, in display order — the shared
+/// vocabulary of the CLI's `--model` flag and the planner service's
+/// `"model"` request field.
+pub const MODEL_NAMES: [&str; 11] = [
+    "alexnet",
+    "inception",
+    "rnnlm",
+    "rnnlm-unrolled",
+    "gnmt",
+    "transformer",
+    "densenet",
+    "resnet",
+    "vgg",
+    "bert",
+    "mlp",
+];
+
+/// Build a zoo model by name at its paper-scale configuration for a
+/// `p`-device run. With `weak_scaling` the global mini-batch is scaled by
+/// `p` (the throughput protocol of §IV); otherwise the paper's fixed batch
+/// is used regardless of `p`.
+///
+/// Returns `Err` with the unknown name for anything outside
+/// [`MODEL_NAMES`].
+pub fn build_named(name: &str, p: u32, weak_scaling: bool) -> Result<Graph, String> {
+    let scale = |b: u64| {
+        if weak_scaling {
+            b * u64::from(p.max(1))
+        } else {
+            b
+        }
+    };
+    Ok(match name {
+        "alexnet" => alexnet(&AlexNetConfig {
+            batch: scale(128),
+            ..AlexNetConfig::paper()
+        }),
+        "inception" => inception_v3(&InceptionConfig {
+            batch: scale(128),
+            ..InceptionConfig::paper()
+        }),
+        "rnnlm" => rnnlm(&RnnlmConfig {
+            batch: scale(64),
+            ..RnnlmConfig::paper()
+        }),
+        "rnnlm-unrolled" => rnnlm_unrolled(&RnnlmConfig {
+            batch: scale(64),
+            ..RnnlmConfig::paper()
+        }),
+        "transformer" => transformer(&TransformerConfig {
+            batch: scale(64),
+            ..TransformerConfig::paper()
+        }),
+        "densenet" => densenet(&DenseNetConfig {
+            batch: scale(128),
+            ..DenseNetConfig::paper()
+        }),
+        "resnet" => resnet(&ResNetConfig {
+            batch: scale(128),
+            ..ResNetConfig::paper()
+        }),
+        "gnmt" => gnmt(&GnmtConfig {
+            batch: scale(64),
+            ..GnmtConfig::paper()
+        }),
+        "vgg" => vgg16(&VggConfig {
+            batch: scale(128),
+            ..VggConfig::paper()
+        }),
+        "bert" => bert_encoder(&BertConfig {
+            batch: scale(64),
+            ..BertConfig::paper()
+        }),
+        "mlp" => mlp(&MlpConfig {
+            batch: scale(64),
+            ..Default::default()
+        }),
+        other => return Err(format!("unknown model '{other}'")),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +233,22 @@ mod tests {
             names,
             vec!["AlexNet", "InceptionV3", "RNNLM", "Transformer"]
         );
+    }
+
+    #[test]
+    fn every_named_model_builds() {
+        for name in MODEL_NAMES {
+            let g = build_named(name, 4, false).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!g.is_empty(), "{name} is empty");
+        }
+        assert!(build_named("nope", 4, false).is_err());
+    }
+
+    #[test]
+    fn weak_scaling_multiplies_the_batch() {
+        let fixed = build_named("mlp", 8, false).unwrap();
+        let weak = build_named("mlp", 8, true).unwrap();
+        let batch = |g: &Graph| g.nodes()[0].iter_space[0].size;
+        assert_eq!(batch(&weak), 8 * batch(&fixed));
     }
 }

@@ -1,9 +1,16 @@
-//! RFC 8259-conformant JSON string escaping.
+//! Hand-rolled RFC 8259 JSON machinery shared across the workspace.
 //!
-//! A JSON string may not contain unescaped control characters
+//! *Escaping*: a JSON string may not contain unescaped control characters
 //! (U+0000–U+001F), `"` or `\`; everything else passes through verbatim.
 //! The named short escapes are used where they exist (`\n`, `\t`, `\r`,
 //! `\b`, `\f`), the generic `\u00XX` form otherwise.
+//!
+//! *Parsing*: [`parse`] covers the JSON subset every producer in the
+//! workspace emits — objects, arrays, strings with the full RFC 8259
+//! escape set (including surrogate pairs), integers, floats, booleans,
+//! and `null` — so sharding specs, search reports, cache entries, and the
+//! planner-service wire protocol all round-trip without an external
+//! dependency.
 
 use std::fmt::Write;
 
@@ -43,6 +50,281 @@ pub fn number(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// A parsed JSON value (see [`parse`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// An object, as key/value pairs in document order (duplicates kept;
+    /// [`Value::get`] returns the first).
+    Object(Vec<(String, Value)>),
+    /// An array.
+    Array(Vec<Value>),
+    /// A string (escapes already resolved).
+    Str(String),
+    /// A non-negative integer that fits `u64`.
+    Num(u64),
+    /// Any other number (floats, negatives, exponents).
+    Float(f64),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Value {
+    /// Member `key` of an object (`None` for other variants or a missing
+    /// key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Any numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing garbage is an error).
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos).map(Value::Str),
+        Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => literal(b, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        other => Err(format!(
+            "unexpected {:?} at byte {pos}",
+            other.map(|&c| c as char)
+        )),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = string(b, pos)?;
+        expect(b, pos, b':')?;
+        pairs.push((key, value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+/// Parse the four hex digits of a `\uXXXX` escape.
+fn hex4(b: &[u8], pos: &mut usize) -> Result<u16, String> {
+    let digits = b
+        .get(*pos..*pos + 4)
+        .and_then(|d| std::str::from_utf8(d).ok())
+        .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+    let v = u16::from_str_radix(digits, 16).map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    // Unescaped spans are copied as byte slices, so multi-byte UTF-8
+    // sequences survive intact (byte-at-a-time `c as char` would not).
+    let mut run = *pos;
+    let flush = |out: &mut String, run: usize, end: usize| -> Result<(), String> {
+        out.push_str(std::str::from_utf8(&b[run..end]).map_err(|_| "invalid UTF-8 in string")?);
+        Ok(())
+    };
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                flush(&mut out, run, *pos)?;
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                flush(&mut out, run, *pos)?;
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let hi = hex4(b, pos)?;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: a second \uXXXX must follow.
+                            if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                                return Err(format!("unpaired surrogate at byte {pos}"));
+                            }
+                            *pos += 2;
+                            let lo = hex4(b, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(format!("bad low surrogate at byte {pos}"));
+                            }
+                            0x10000 + ((u32::from(hi) - 0xD800) << 10) + (u32::from(lo) - 0xDC00)
+                        } else {
+                            u32::from(hi)
+                        };
+                        out.push(
+                            char::from_u32(cp)
+                                .ok_or_else(|| format!("bad code point at byte {pos}"))?,
+                        );
+                        run = *pos;
+                        continue;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+                run = *pos;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number bytes")?;
+    if !is_float {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Num(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| format!("bad number at byte {start}"))
 }
 
 #[cfg(test)]
@@ -88,5 +370,44 @@ mod tests {
         assert_eq!(number(f64::INFINITY), "null");
         let back: f64 = number(1234.5678e9).parse().unwrap();
         assert_eq!(back, 1234.5678e9);
+    }
+
+    #[test]
+    fn parser_handles_objects_arrays_and_numbers() {
+        let v = parse("{\"a\": [1, -2.5, \"x\"], \"b\": {\"c\": 3}}").unwrap();
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_str(), Some("x"));
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Value::as_u64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn parser_handles_literals() {
+        let v = parse("{\"t\": true, \"f\": false, \"n\": null}").unwrap();
+        assert_eq!(v.get("t").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("f").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("n"), Some(&Value::Null));
+        assert!(parse("tru").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parser_round_trips_escaped_strings() {
+        let original = "weird\n\tname \u{1} λ 😀 \"q\" \\";
+        let mut doc = String::from("\"");
+        escape_into(&mut doc, original);
+        doc.push('"');
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "[1,2", "{\"k\": }", "\"\\ud83d\"", "", "1 2"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -1,8 +1,8 @@
 //! Pipeline planning: stage partition + a PaSE search inside each stage.
 
 use crate::partition::{partition_stages, stage_members};
-use pase_core::{find_best_strategy, DpOptions, SearchBudget};
-use pase_cost::{ConfigRule, CostTables, MachineSpec, Strategy};
+use pase_core::{Search, SearchBudget};
+use pase_cost::{ConfigRule, MachineSpec, Strategy};
 use pase_graph::{induced_subgraph, Graph, NodeId};
 
 /// Options for [`plan_pipeline`].
@@ -96,21 +96,17 @@ pub fn plan_pipeline(
     let mut total_search_cost = 0.0;
     for nodes in &members {
         let (sub, mapping) = induced_subgraph(graph, nodes);
-        let tables = CostTables::build(&sub, ConfigRule::new(devices_per_stage), machine);
-        let outcome = find_best_strategy(
-            &sub,
-            &tables,
-            &DpOptions {
-                budget: opts.budget,
-                ..DpOptions::default()
-            },
-        );
-        let result = outcome
+        let run = Search::new(&sub)
+            .rule(ConfigRule::new(devices_per_stage))
+            .machine(machine.clone())
+            .budget(opts.budget)
+            .run();
+        let result = run
+            .outcome()
             .found()
-            .ok_or_else(|| format!("stage search failed: {}", outcome.tag()))?
-            .clone();
+            .ok_or_else(|| format!("stage search failed: {}", run.outcome().tag()))?;
         total_search_cost += result.cost;
-        stage_strategies.push(tables.ids_to_strategy(&result.config_ids));
+        stage_strategies.push(run.tables().ids_to_strategy(&result.config_ids));
         stage_graphs.push((sub, mapping));
     }
 
@@ -145,8 +141,11 @@ mod tests {
         .unwrap();
         assert_eq!(plan.stages(), 1);
         assert_eq!(plan.devices_per_stage, 8);
-        let tables = CostTables::build(&g, ConfigRule::new(8), &machine);
-        let plain = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("plain");
+        let plain = Search::new(&g)
+            .devices(8)
+            .machine(machine.clone())
+            .run()
+            .expect_found("plain");
         assert!((plan.total_search_cost - plain.cost).abs() <= 1e-9 * plain.cost);
     }
 

@@ -1,0 +1,566 @@
+//! Content-addressed strategy cache.
+//!
+//! A strategy search is a pure function of (graph structure, iteration
+//! spaces, [`ConfigRule`], [`MachineSpec`], prune settings) — node *names*
+//! and trace/parallelism knobs do not influence the optimum. The cache key
+//! is therefore a canonical 64-bit FNV-1a hash over exactly those inputs
+//! ([`strategy_cache_key`]); two requests that differ only in naming or
+//! scheduling share an entry, while any change to a tensor extent, a
+//! machine bandwidth, the device count, or the prune ε produces a
+//! different key.
+//!
+//! [`StrategyCache`] keeps entries in a bounded in-memory LRU and can
+//! additionally persist them as one JSON file per key under a cache
+//! directory. On-disk entries carry the workspace-wide
+//! [`pase_core::SCHEMA_VERSION`] and are rejected (treated as misses) when
+//! the version does not match.
+
+use pase_core::{Error, SCHEMA_VERSION};
+use pase_cost::{ConfigRule, MachineSpec};
+use pase_graph::{Graph, OpKind};
+use pase_obs::json;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit, fed with a canonical byte serialization. Deterministic
+/// across runs and platforms (everything is hashed in little-endian /
+/// IEEE-754 bit form), unlike `DefaultHasher`, whose seeds vary per
+/// process — a content *address* must be stable enough to name disk files.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= u64::from(x);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Tag + payload, so adjacent optional fields cannot alias.
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.u64(1);
+                self.u64(v);
+            }
+            None => self.u64(0),
+        }
+    }
+}
+
+/// Canonical hash of everything a search's result depends on. See the
+/// module docs for what is included; notably node names are *not*.
+pub fn strategy_cache_key(
+    graph: &Graph,
+    rule: &ConfigRule,
+    machine: &MachineSpec,
+    prune_epsilon: Option<f64>,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(SCHEMA_VERSION);
+
+    // Graph structure and iteration spaces (name-blind).
+    h.u64(graph.len() as u64);
+    for node in graph.nodes() {
+        hash_op(&mut h, &node.op);
+        h.u64(node.iter_space.len() as u64);
+        for d in &node.iter_space {
+            h.u64(d.size);
+            h.u64(d.role as u64);
+            h.u64(u64::from(d.splittable));
+        }
+        h.u64(node.inputs.len() as u64);
+        for t in node.inputs.iter().chain([&node.output]).chain(&node.params) {
+            h.u64(t.dims.len() as u64);
+            for &dim in &t.dims {
+                h.u64(u64::from(dim));
+            }
+            for &s in &t.sizes {
+                h.u64(s);
+            }
+            h.u64(u64::from(t.elem_bytes));
+        }
+        h.u64(node.params.len() as u64);
+    }
+    h.u64(graph.edges().len() as u64);
+    for e in graph.edges() {
+        h.u64(e.src.index() as u64);
+        h.u64(e.dst.index() as u64);
+        h.u64(u64::from(e.dst_slot));
+    }
+
+    // Configuration-enumeration rule (includes the device count p).
+    h.u64(u64::from(rule.devices));
+    h.u64(u64::from(rule.require_all_devices));
+    h.opt_u64(rule.max_split_per_dim.map(u64::from));
+    match rule.memory_limit {
+        Some(b) => {
+            h.u64(1);
+            h.f64(b);
+        }
+        None => h.u64(0),
+    }
+
+    // Machine profile: only the rates enter the cost model, not the name.
+    h.f64(machine.peak_flops);
+    h.f64(machine.link_bandwidth);
+    h.f64(machine.internode_bandwidth);
+
+    // Prune settings (ε = 0 is exact but still a different search space
+    // reduction pipeline, so it is distinguished from "no pruning").
+    match prune_epsilon {
+        Some(eps) => {
+            h.u64(1);
+            h.f64(eps);
+        }
+        None => h.u64(0),
+    }
+    h.0
+}
+
+fn hash_op(h: &mut Fnv, op: &OpKind) {
+    match op {
+        OpKind::Conv2d {
+            kernel_h,
+            kernel_w,
+            stride,
+        } => {
+            h.u64(0);
+            h.u64(u64::from(*kernel_h));
+            h.u64(u64::from(*kernel_w));
+            h.u64(u64::from(*stride));
+        }
+        OpKind::Pool2d { kernel, stride } => {
+            h.u64(1);
+            h.u64(u64::from(*kernel));
+            h.u64(u64::from(*stride));
+        }
+        OpKind::FullyConnected => h.u64(2),
+        OpKind::Matmul => h.u64(3),
+        OpKind::Softmax => h.u64(4),
+        OpKind::Embedding => h.u64(5),
+        OpKind::Lstm { layers } => {
+            h.u64(6);
+            h.u64(u64::from(*layers));
+        }
+        OpKind::Attention => h.u64(7),
+        OpKind::FeedForward => h.u64(8),
+        OpKind::LayerNorm => h.u64(9),
+        OpKind::BatchNorm => h.u64(10),
+        OpKind::Elementwise { flops_per_point } => {
+            h.u64(11);
+            h.f64(*flops_per_point);
+        }
+        OpKind::Concat => h.u64(12),
+    }
+}
+
+/// One cached search result: the optimum plus the full report JSON that was
+/// served for it, so a cache hit replays a byte-identical report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// Model name of the originating request (informational).
+    pub model: String,
+    /// Device count of the originating request (informational).
+    pub devices: u32,
+    /// The optimal cost in FLOP units.
+    pub cost: f64,
+    /// The argmin strategy as per-node configuration ids.
+    pub config_ids: Vec<u16>,
+    /// The `SearchReport` JSON served on the original miss.
+    pub report_json: String,
+}
+
+impl CacheEntry {
+    /// Serialize as the on-disk JSON document (schema-versioned).
+    pub fn to_json(&self, key: u64) -> String {
+        let mut out = String::with_capacity(256 + self.report_json.len());
+        let _ = write!(
+            out,
+            "{{\"schema_version\": {SCHEMA_VERSION}, \"key\": \"{key:016x}\", \
+             \"model\": \"{}\", \"devices\": {}, \"cost\": {}, \"config_ids\": [",
+            json::escape(&self.model),
+            self.devices,
+            json::number(self.cost),
+        );
+        for (i, id) in self.config_ids.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{id}");
+        }
+        // The report is embedded as an escaped string, not spliced as an
+        // object: the entry parser then never depends on the report's
+        // internal shape.
+        let _ = write!(
+            out,
+            "], \"report\": \"{}\"}}",
+            json::escape(&self.report_json)
+        );
+        out
+    }
+
+    /// Parse an on-disk JSON document, rejecting unknown schema versions
+    /// ([`Error::SchemaVersion`]) and malformed documents
+    /// ([`Error::Protocol`]).
+    pub fn from_json(src: &str) -> Result<(u64, Self), Error> {
+        let v = json::parse(src).map_err(Error::Protocol)?;
+        let version = v
+            .get("schema_version")
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| Error::Protocol("cache entry missing schema_version".into()))?;
+        if version != SCHEMA_VERSION {
+            return Err(Error::SchemaVersion {
+                found: version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| Error::Protocol(format!("cache entry missing {name}")))
+        };
+        let key = u64::from_str_radix(
+            field("key")?
+                .as_str()
+                .ok_or_else(|| Error::Protocol("cache key must be a hex string".into()))?,
+            16,
+        )
+        .map_err(|e| Error::Protocol(format!("bad cache key: {e}")))?;
+        let config_ids = field("config_ids")?
+            .as_array()
+            .ok_or_else(|| Error::Protocol("config_ids must be an array".into()))?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .and_then(|v| u16::try_from(v).ok())
+                    .ok_or_else(|| Error::Protocol("config id out of range".into()))
+            })
+            .collect::<Result<Vec<u16>, Error>>()?;
+        Ok((
+            key,
+            CacheEntry {
+                model: field("model")?
+                    .as_str()
+                    .ok_or_else(|| Error::Protocol("model must be a string".into()))?
+                    .to_string(),
+                devices: field("devices")?
+                    .as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| Error::Protocol("devices out of range".into()))?,
+                cost: field("cost")?
+                    .as_f64()
+                    .ok_or_else(|| Error::Protocol("cost must be a number".into()))?,
+                config_ids,
+                report_json: field("report")?
+                    .as_str()
+                    .ok_or_else(|| Error::Protocol("report must be a string".into()))?
+                    .to_string(),
+            },
+        ))
+    }
+}
+
+struct Slot {
+    entry: CacheEntry,
+    last_used: u64,
+}
+
+/// Bounded LRU of [`CacheEntry`]s keyed by [`strategy_cache_key`], with
+/// optional one-file-per-key JSON persistence.
+pub struct StrategyCache {
+    map: HashMap<u64, Slot>,
+    capacity: usize,
+    disk_dir: Option<PathBuf>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl StrategyCache {
+    /// An in-memory cache holding at most `capacity` entries (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            disk_dir: None,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Additionally persist entries under `dir` (created on first write)
+    /// and consult it on in-memory misses.
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+
+    fn disk_path(&self, key: u64) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.json")))
+    }
+
+    /// Look up `key`, consulting memory first and then the disk directory.
+    /// Counts a hit or a miss; a disk hit is promoted into memory.
+    /// Unreadable, malformed, or wrong-schema disk entries are misses.
+    pub fn get(&mut self, key: u64) -> Option<CacheEntry> {
+        self.tick += 1;
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.last_used = self.tick;
+            self.hits += 1;
+            return Some(slot.entry.clone());
+        }
+        if let Some(path) = self.disk_path(key) {
+            if let Ok(src) = std::fs::read_to_string(&path) {
+                if let Ok((k, entry)) = CacheEntry::from_json(&src) {
+                    if k == key {
+                        self.hits += 1;
+                        self.insert_mem(key, entry.clone());
+                        return Some(entry);
+                    }
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Insert `entry` under `key`, evicting the least-recently-used entry
+    /// if the cache is full, and persisting to disk when configured.
+    /// Disk failures are reported but the in-memory insert still happens.
+    pub fn put(&mut self, key: u64, entry: CacheEntry) -> Result<(), Error> {
+        self.insert_mem(key, entry);
+        if let Some(path) = self.disk_path(key) {
+            let dir = path.parent().expect("cache file has a parent");
+            std::fs::create_dir_all(dir).map_err(|source| Error::CacheIo {
+                path: dir.to_path_buf(),
+                source,
+            })?;
+            let json = self.map[&key].entry.to_json(key);
+            std::fs::write(&path, json).map_err(|source| Error::CacheIo { path, source })?;
+        }
+        Ok(())
+    }
+
+    fn insert_mem(&mut self, key: u64, entry: CacheEntry) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, s)| s.last_used) {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(
+            key,
+            Slot {
+                entry,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups answered from cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to a fresh search.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The configured disk directory, if any.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_cost::PruneOptions;
+
+    fn entry(tag: &str) -> CacheEntry {
+        CacheEntry {
+            model: tag.to_string(),
+            devices: 8,
+            cost: 1.5e9,
+            config_ids: vec![0, 3, 1],
+            report_json: format!("{{\"model\": \"{tag}\"}}"),
+        }
+    }
+
+    fn mlp4() -> Graph {
+        pase_models::build_named("mlp", 4, false).unwrap()
+    }
+
+    fn fc_pair(names: [&str; 2]) -> Graph {
+        use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+        let fc = |name: &str, ins: usize| Node {
+            name: name.into(),
+            op: OpKind::FullyConnected,
+            iter_space: vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+                IterDim::new("c", 128, DimRole::Reduction),
+            ],
+            inputs: (0..ins)
+                .map(|_| TensorRef::new(vec![0, 2], vec![64, 128]))
+                .collect(),
+            output: TensorRef::new(vec![0, 1], vec![64, 128]),
+            params: vec![TensorRef::new(vec![1, 2], vec![128, 128])],
+        };
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(fc(names[0], 0));
+        let y = b.add_node(fc(names[1], 1));
+        b.connect(x, y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn key_is_deterministic_and_name_blind() {
+        let g = mlp4();
+        let rule = ConfigRule::new(4);
+        let m = MachineSpec::test_machine();
+        let k1 = strategy_cache_key(&g, &rule, &m, None);
+        let k2 = strategy_cache_key(&g, &rule, &m, None);
+        assert_eq!(k1, k2);
+
+        // Renaming nodes must not change the key: the search result cannot
+        // depend on display names.
+        assert_eq!(
+            strategy_cache_key(&fc_pair(["a", "b"]), &rule, &m, None),
+            strategy_cache_key(&fc_pair(["x", "y"]), &rule, &m, None),
+        );
+    }
+
+    #[test]
+    fn key_separates_every_input_dimension() {
+        let g = mlp4();
+        let rule = ConfigRule::new(4);
+        let m = MachineSpec::test_machine();
+        let base = strategy_cache_key(&g, &rule, &m, None);
+
+        // Device count.
+        assert_ne!(strategy_cache_key(&g, &ConfigRule::new(8), &m, None), base);
+        // Rule variations.
+        assert_ne!(
+            strategy_cache_key(&g, &ConfigRule::new(4).allow_idle(), &m, None),
+            base
+        );
+        assert_ne!(
+            strategy_cache_key(&g, &ConfigRule::new(4).with_max_split(2), &m, None),
+            base
+        );
+        // Machine profile.
+        assert_ne!(
+            strategy_cache_key(&g, &rule, &MachineSpec::gtx1080ti(), None),
+            base
+        );
+        // Prune pipeline on/off, and ε value.
+        let pruned = strategy_cache_key(&g, &rule, &m, Some(0.0));
+        assert_ne!(pruned, base);
+        assert_ne!(strategy_cache_key(&g, &rule, &m, Some(0.1)), pruned);
+        // Graph contents.
+        let other = pase_models::build_named("mlp", 4, true).unwrap();
+        assert_ne!(strategy_cache_key(&other, &rule, &m, None), base);
+        // PruneOptions default epsilon matches the exact pipeline key.
+        assert_eq!(
+            strategy_cache_key(&g, &rule, &m, Some(PruneOptions::default().epsilon)),
+            pruned
+        );
+    }
+
+    #[test]
+    fn lru_hit_miss_and_eviction() {
+        let mut c = StrategyCache::new(2);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.misses(), 1);
+
+        c.put(1, entry("a")).unwrap();
+        c.put(2, entry("b")).unwrap();
+        assert_eq!(c.get(1).unwrap().model, "a");
+        assert_eq!(c.hits(), 1);
+
+        // Key 2 is now least recently used; inserting key 3 evicts it.
+        c.put(3, entry("c")).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn disk_round_trip_and_schema_gate() {
+        let dir = std::env::temp_dir().join(format!("pase-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let key = 0xdead_beef_u64;
+        {
+            let mut c = StrategyCache::new(4).with_disk_dir(&dir);
+            c.put(key, entry("persisted")).unwrap();
+        }
+        // A fresh cache (cold memory) finds the entry on disk.
+        let mut c2 = StrategyCache::new(4).with_disk_dir(&dir);
+        let got = c2.get(key).expect("disk hit");
+        assert_eq!(got, entry("persisted"));
+        assert_eq!(c2.hits(), 1);
+        // ... and promoted it into memory.
+        assert_eq!(c2.len(), 1);
+
+        // An entry from an incompatible build is rejected, not misparsed.
+        let path = dir.join(format!("{key:016x}.json"));
+        let bumped = std::fs::read_to_string(&path).unwrap().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+        );
+        match CacheEntry::from_json(&bumped) {
+            Err(Error::SchemaVersion { found: 999, .. }) => {}
+            other => panic!("expected SchemaVersion error, got {other:?}"),
+        }
+        std::fs::write(&path, bumped).unwrap();
+        let mut c3 = StrategyCache::new(4).with_disk_dir(&dir);
+        assert!(c3.get(key).is_none(), "wrong schema must be a miss");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_json_round_trips_exactly() {
+        let e = CacheEntry {
+            model: "trans\"former".into(),
+            devices: 32,
+            cost: 0.1 + 0.2, // not exactly representable — bit round-trip
+            config_ids: vec![65535, 0, 7],
+            report_json: "{\"cost\": 0.30000000000000004}".into(),
+        };
+        let (key, back) = CacheEntry::from_json(&e.to_json(42)).unwrap();
+        assert_eq!(key, 42);
+        assert_eq!(back.cost.to_bits(), e.cost.to_bits());
+        assert_eq!(back, e);
+    }
+}

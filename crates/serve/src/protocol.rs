@@ -1,0 +1,279 @@
+//! The planner service's wire protocol: newline-delimited JSON.
+//!
+//! A client sends one JSON object per line and receives one JSON object per
+//! line in return. Requests name a model from [`pase_models::MODEL_NAMES`]
+//! and a machine profile from [`MachineSpec::by_name`]; responses embed a
+//! full [`pase_core::SearchReport`] plus the strategy and cache metadata.
+//!
+//! ## Request
+//!
+//! ```json
+//! {"model": "alexnet", "devices": 8, "machine": "1080ti",
+//!  "weak_scaling": true, "prune": true, "epsilon": 0.0,
+//!  "budget_entries": 268435456, "budget_seconds": 600.0,
+//!  "deadline_ms": 30000}
+//! ```
+//!
+//! Only `"model"` is required. Defaults: 8 devices, the `1080ti` profile,
+//! weak scaling on, pruning off, the standard [`SearchBudget`], and the
+//! server's configured per-request deadline.
+//!
+//! ## Response
+//!
+//! ```json
+//! {"schema_version": 1, "cached": false, "cache_key": "9a3f…",
+//!  "cost": 1.23e9, "strategy": [0, 4, 2],
+//!  "report": {"schema_version": 1, "model": "alexnet", …}}
+//! ```
+//!
+//! or, on failure, `{"schema_version": 1, "error": "…"}`.
+
+use pase_core::{Error, SearchBudget, SCHEMA_VERSION};
+use pase_cost::MachineSpec;
+use pase_obs::json;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A parsed, validated planner request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Model name (must resolve via [`pase_models::build_named`]).
+    pub model: String,
+    /// Device count `p` (default 8).
+    pub devices: u32,
+    /// Machine profile (default GTX 1080 Ti).
+    pub machine: MachineSpec,
+    /// Scale the global mini-batch by `p` (default true, the §IV
+    /// throughput protocol).
+    pub weak_scaling: bool,
+    /// Run dominance pruning before the DP (default false).
+    pub prune: bool,
+    /// Prune slack ε (default 0.0 = exact; only meaningful with `prune`).
+    pub epsilon: f64,
+    /// Search budget (entry cap / wall clock from the request, with the
+    /// time cap still subject to the server's per-request deadline).
+    pub budget: SearchBudget,
+    /// Explicit per-request deadline, if the client sent one.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// Parse one request line. Unknown models/machines and malformed JSON
+    /// become [`Error::UnknownName`] / [`Error::Protocol`].
+    pub fn parse(line: &str) -> Result<Self, Error> {
+        let v = json::parse(line).map_err(Error::Protocol)?;
+        let model = v
+            .get("model")
+            .and_then(|m| m.as_str())
+            .ok_or_else(|| Error::Protocol("request must have a string \"model\" field".into()))?
+            .to_string();
+        if !pase_models::MODEL_NAMES.contains(&model.as_str()) {
+            return Err(Error::UnknownName {
+                kind: "model",
+                name: model,
+            });
+        }
+        let devices = match v.get("devices") {
+            Some(d) => d
+                .as_u64()
+                .and_then(|d| u32::try_from(d).ok())
+                .filter(|&d| d >= 1)
+                .ok_or_else(|| Error::Protocol("\"devices\" must be a positive integer".into()))?,
+            None => 8,
+        };
+        let machine = match v.get("machine") {
+            Some(m) => {
+                let name = m
+                    .as_str()
+                    .ok_or_else(|| Error::Protocol("\"machine\" must be a string".into()))?;
+                MachineSpec::by_name(name).ok_or_else(|| Error::UnknownName {
+                    kind: "machine",
+                    name: name.to_string(),
+                })?
+            }
+            None => MachineSpec::gtx1080ti(),
+        };
+        let bool_field = |name: &str, default: bool| match v.get(name) {
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| Error::Protocol(format!("\"{name}\" must be a boolean"))),
+            None => Ok(default),
+        };
+        let mut budget = SearchBudget::default();
+        if let Some(e) = v.get("budget_entries") {
+            budget.max_table_entries = e
+                .as_u64()
+                .ok_or_else(|| Error::Protocol("\"budget_entries\" must be an integer".into()))?;
+        }
+        if let Some(s) = v.get("budget_seconds") {
+            let secs = s
+                .as_f64()
+                .filter(|s| *s >= 0.0)
+                .ok_or_else(|| Error::Protocol("\"budget_seconds\" must be a number ≥ 0".into()))?;
+            budget.max_time = Duration::from_secs_f64(secs);
+        }
+        let deadline = match v.get("deadline_ms") {
+            Some(d) => Some(Duration::from_millis(d.as_u64().ok_or_else(|| {
+                Error::Protocol("\"deadline_ms\" must be an integer".into())
+            })?)),
+            None => None,
+        };
+        let epsilon = match v.get("epsilon") {
+            Some(e) => e
+                .as_f64()
+                .filter(|e| *e >= 0.0)
+                .ok_or_else(|| Error::Protocol("\"epsilon\" must be a number ≥ 0".into()))?,
+            None => 0.0,
+        };
+        Ok(Request {
+            model,
+            devices,
+            machine,
+            weak_scaling: bool_field("weak_scaling", true)?,
+            prune: bool_field("prune", false)?,
+            epsilon,
+            budget,
+            deadline,
+        })
+    }
+}
+
+/// Render a success response line (no trailing newline).
+///
+/// `report_json` is spliced in verbatim — it is already a JSON object —
+/// and `strategy` is `Some` only when the search found an optimum.
+pub fn response_json(
+    cache_key: u64,
+    cached: bool,
+    cost: Option<f64>,
+    strategy: Option<&[u16]>,
+    report_json: &str,
+) -> String {
+    let mut out = String::with_capacity(128 + report_json.len());
+    let _ = write!(
+        out,
+        "{{\"schema_version\": {SCHEMA_VERSION}, \"cached\": {cached}, \
+         \"cache_key\": \"{cache_key:016x}\", \"cost\": "
+    );
+    match cost {
+        Some(c) => out.push_str(&json::number(c)),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"strategy\": ");
+    match strategy {
+        Some(ids) => {
+            out.push('[');
+            for (i, id) in ids.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{id}");
+            }
+            out.push(']');
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ", \"report\": {report_json}}}");
+    out
+}
+
+/// Render an error response line (no trailing newline).
+pub fn error_json(err: &Error) -> String {
+    format!(
+        "{{\"schema_version\": {SCHEMA_VERSION}, \"error\": \"{}\"}}",
+        json::escape(&err.to_string())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_uses_defaults() {
+        let r = Request::parse("{\"model\": \"alexnet\"}").unwrap();
+        assert_eq!(r.model, "alexnet");
+        assert_eq!(r.devices, 8);
+        assert_eq!(r.machine, MachineSpec::gtx1080ti());
+        assert!(r.weak_scaling);
+        assert!(!r.prune);
+        assert_eq!(r.budget, SearchBudget::default());
+        assert_eq!(r.deadline, None);
+    }
+
+    #[test]
+    fn full_request_round_trips_every_field() {
+        let r = Request::parse(
+            "{\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \
+             \"weak_scaling\": false, \"prune\": true, \"epsilon\": 0.25, \
+             \"budget_entries\": 1024, \"budget_seconds\": 1.5, \
+             \"deadline_ms\": 250}",
+        )
+        .unwrap();
+        assert_eq!(r.devices, 4);
+        assert_eq!(r.machine, MachineSpec::test_machine());
+        assert!(!r.weak_scaling);
+        assert!(r.prune);
+        assert_eq!(r.epsilon, 0.25);
+        assert_eq!(r.budget.max_table_entries, 1024);
+        assert_eq!(r.budget.max_time, Duration::from_secs_f64(1.5));
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_specific_errors() {
+        assert!(matches!(
+            Request::parse("not json"),
+            Err(Error::Protocol(_))
+        ));
+        assert!(matches!(
+            Request::parse("{\"devices\": 8}"),
+            Err(Error::Protocol(_))
+        ));
+        assert!(matches!(
+            Request::parse("{\"model\": \"gpt5\"}"),
+            Err(Error::UnknownName { kind: "model", .. })
+        ));
+        assert!(matches!(
+            Request::parse("{\"model\": \"mlp\", \"machine\": \"abacus\"}"),
+            Err(Error::UnknownName {
+                kind: "machine",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Request::parse("{\"model\": \"mlp\", \"devices\": 0}"),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let ok = response_json(0xabc, true, Some(2.5), Some(&[1, 2]), "{\"x\": 1}");
+        let v = json::parse(&ok).unwrap();
+        assert_eq!(v.get("cached").and_then(|c| c.as_bool()), Some(true));
+        assert_eq!(
+            v.get("cache_key").and_then(|k| k.as_str()),
+            Some("0000000000000abc")
+        );
+        assert_eq!(v.get("cost").and_then(|c| c.as_f64()), Some(2.5));
+        assert_eq!(
+            v.get("strategy")
+                .and_then(|s| s.as_array())
+                .map(|a| a.len()),
+            Some(2)
+        );
+        assert!(v.get("report").and_then(|r| r.get("x")).is_some());
+
+        let fail = response_json(1, false, None, None, "{}");
+        let v = json::parse(&fail).unwrap();
+        assert!(v.get("cost").unwrap().as_f64().is_none());
+
+        let err = error_json(&Error::Protocol("bad \"line\"".into()));
+        let v = json::parse(&err).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.as_str()),
+            Some("protocol: bad \"line\"")
+        );
+    }
+}

@@ -1,0 +1,584 @@
+//! The planner service: a multi-threaded TCP server for strategy searches.
+//!
+//! Pure std: a nonblocking [`TcpListener`] accept loop feeds connections to
+//! a bounded worker pool over an `mpsc` channel; each worker speaks the
+//! newline-delimited JSON protocol of [`crate::protocol`] and answers
+//! through the [`StrategyCache`]. Shutdown is cooperative — an
+//! [`AtomicBool`] flag (typically wired to SIGINT via
+//! [`crate::install_sigint`]) stops the accept loop, after which workers
+//! drain buffered and in-flight requests before the pool joins.
+//!
+//! Observability rides on a [`pase_obs::Trace`]: one `"request"` span per
+//! request (latency), plus `requests` / `cache_hits` / `cache_misses`
+//! counter samples.
+
+use crate::cache::{strategy_cache_key, CacheEntry, StrategyCache};
+use crate::protocol::{error_json, response_json, Request};
+use pase_core::{Search, SearchOutcome, SearchReport};
+use pase_cost::{ConfigRule, PruneOptions};
+use pase_obs::Trace;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// How long the accept loop sleeps between polls, and the read timeout
+/// granularity at which idle connections notice a shutdown.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Planner service configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size (bounds concurrent searches).
+    pub workers: usize,
+    /// Default per-request deadline; a request's `deadline_ms` or
+    /// `budget_seconds` may shorten but never extend it.
+    pub deadline: Duration,
+    /// In-memory strategy-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Directory for persistent cache entries (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            deadline: Duration::from_secs(120),
+            cache_capacity: 64,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Totals reported by [`Server::run`] after shutdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered (including error responses).
+    pub requests: u64,
+    /// Requests answered from the strategy cache.
+    pub cache_hits: u64,
+    /// Requests that ran a fresh search.
+    pub cache_misses: u64,
+}
+
+/// Shared per-server state handed to every worker.
+struct Shared {
+    cfg: ServerConfig,
+    cache: Mutex<StrategyCache>,
+    shutdown: AtomicBool,
+    trace: Trace,
+    requests: AtomicU64,
+}
+
+/// A bound planner service. Construct with [`Server::bind`], then call
+/// [`Server::run`] (blocking) from the serving thread.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener and assemble the cache. The server does not
+    /// accept connections until [`Server::run`].
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let mut cache = StrategyCache::new(cfg.cache_capacity);
+        if let Some(dir) = &cfg.cache_dir {
+            cache = cache.with_disk_dir(dir);
+        }
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                cache: Mutex::new(cache),
+                shutdown: AtomicBool::new(false),
+                trace: Trace::new(),
+                requests: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the server when set to `true`: the accept loop
+    /// exits, in-flight requests drain, and [`Server::run`] returns.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Accept connections and serve until the shutdown flag is set.
+    /// Returns the request/cache totals once every worker has drained.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.shared.cfg.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || loop {
+                    // Holding the lock only for recv() keeps the pool
+                    // work-stealing: whichever worker is idle takes the
+                    // next connection.
+                    let next = rx.lock().expect("worker queue").recv();
+                    match next {
+                        Ok(stream) => handle_connection(stream, &shared),
+                        Err(_) => break, // accept loop closed the channel
+                    }
+                })
+            })
+            .collect();
+
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // A send can only fail if all workers died; surface
+                    // that as a server error rather than spinning.
+                    if tx.send(stream).is_err() {
+                        return Err(std::io::Error::new(
+                            ErrorKind::Other,
+                            "worker pool terminated unexpectedly",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain the listen backlog: connections whose handshake completed
+        // before shutdown was requested still get served.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        // Closing the channel lets each worker finish its queued and
+        // in-flight connections, then exit — the graceful drain.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        let cache = self.shared.cache.lock().expect("cache lock");
+        Ok(ServeSummary {
+            requests: self.shared.requests.load(Ordering::SeqCst),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        })
+    }
+}
+
+/// Clonable stop signal for a [`Server`] (see [`Server::shutdown_handle`]).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown: stop accepting, drain in-flight work, return from
+    /// [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Reads newline-delimited lines from a stream with a poll-granularity
+/// read timeout, so idle connections notice shutdown without losing
+/// partially received lines (BufReader's `read_line` may drop a partial
+/// line on timeout; this accumulator never does).
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+enum Line {
+    /// A complete line (without the trailing newline).
+    Full(String),
+    /// No complete line yet; the read timed out.
+    Pending,
+    /// The peer closed the connection.
+    Eof,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_read_timeout(Some(POLL))?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    fn next_line(&mut self) -> std::io::Result<Line> {
+        loop {
+            if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(nl + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Line::Full(String::from_utf8_lossy(&line).into_owned()));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Line::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(Line::Pending)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Serve one connection until EOF, an I/O error, or (once shutdown has
+/// been requested) the first idle poll. Buffered requests are always
+/// answered before the connection closes — that is the drain guarantee.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = match LineReader::new(stream) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    loop {
+        match reader.next_line() {
+            Ok(Line::Full(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = handle_request(&line, shared);
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Line::Pending) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(Line::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Answer one request line: parse, consult the cache, search on a miss.
+fn handle_request(line: &str, shared: &Shared) -> String {
+    let mut span = shared.trace.span("request");
+    let n = shared.requests.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.trace.counter("requests", n);
+
+    let req = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return error_json(&e),
+    };
+    span.arg("model", req.model.as_str());
+    let graph = match pase_models::build_named(&req.model, req.devices, req.weak_scaling) {
+        Ok(g) => g,
+        Err(msg) => return error_json(&pase_core::Error::Protocol(msg)),
+    };
+    let rule = ConfigRule::new(req.devices);
+    let key = strategy_cache_key(
+        &graph,
+        &rule,
+        &req.machine,
+        req.prune.then_some(req.epsilon),
+    );
+
+    // One lock scope for the lookup and its counters: locking again while
+    // holding the `if let` scrutinee's guard would self-deadlock.
+    let cached = {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        let entry = cache.get(key);
+        let (hits, misses) = (cache.hits(), cache.misses());
+        drop(cache);
+        match &entry {
+            Some(_) => shared.trace.counter("cache_hits", hits),
+            None => shared.trace.counter("cache_misses", misses),
+        }
+        entry
+    };
+    if let Some(entry) = cached {
+        return response_json(
+            key,
+            true,
+            Some(entry.cost),
+            Some(&entry.config_ids),
+            &entry.report_json,
+        );
+    }
+
+    // The effective wall clock is the tightest of the client's budget, the
+    // client's explicit deadline, and the server's deadline policy.
+    let mut budget = req.budget;
+    budget.max_time = budget
+        .max_time
+        .min(req.deadline.unwrap_or(shared.cfg.deadline));
+
+    let trace = Trace::new();
+    let mut search = Search::new(&graph)
+        .rule(rule)
+        .machine(req.machine.clone())
+        .budget(budget)
+        .trace(&trace);
+    if req.prune {
+        search = search.pruning(PruneOptions {
+            epsilon: req.epsilon,
+            ..PruneOptions::default()
+        });
+    }
+    let run = search.run();
+    let report = SearchReport::new(&req.model, req.devices, run.outcome(), Some(&trace)).to_json();
+
+    match run.outcome() {
+        SearchOutcome::Found(r) => {
+            let entry = CacheEntry {
+                model: req.model.clone(),
+                devices: req.devices,
+                cost: r.cost,
+                config_ids: r.config_ids.clone(),
+                report_json: report.clone(),
+            };
+            if let Err(e) = shared.cache.lock().expect("cache lock").put(key, entry) {
+                // Persistence is best-effort: the response is still served
+                // from the in-memory entry.
+                eprintln!("pase-serve: cache persistence failed: {e}");
+            }
+            response_json(key, false, Some(r.cost), Some(&r.config_ids), &report)
+        }
+        _ => response_json(key, false, None, None, &report),
+    }
+}
+
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Install a SIGINT (ctrl-c) handler that triggers `handle` — the handler
+/// itself only sets a static flag (async-signal-safe); a forwarder thread
+/// relays it to the [`ShutdownHandle`]. Call at most once per process.
+#[cfg(unix)]
+pub fn install_sigint(handle: ShutdownHandle) {
+    extern "C" fn on_sigint(_sig: i32) {
+        SIGINT_FLAG.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        // POSIX signal(2); libc is always linked into std binaries on unix,
+        // so no external crate is needed.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    let f: extern "C" fn(i32) = on_sigint;
+    unsafe {
+        signal(SIGINT, f as usize);
+    }
+    std::thread::spawn(move || loop {
+        if SIGINT_FLAG.load(Ordering::SeqCst) {
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(POLL);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pase_obs::json;
+    use std::io::{BufRead, BufReader};
+
+    fn start(
+        cfg: ServerConfig,
+    ) -> (
+        SocketAddr,
+        ShutdownHandle,
+        std::thread::JoinHandle<ServeSummary>,
+    ) {
+        let server = Server::bind(cfg).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run().expect("run"));
+        (addr, handle, join)
+    }
+
+    fn query(addr: SocketAddr, line: &str) -> json::Value {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response");
+        json::parse(&response).expect("valid response JSON")
+    }
+
+    const MLP: &str =
+        "{\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \"weak_scaling\": false}";
+
+    #[test]
+    fn concurrent_clients_all_get_answers() {
+        let (addr, handle, join) = start(ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        });
+        let clients: Vec<_> = (0..3)
+            .map(|_| std::thread::spawn(move || query(addr, MLP)))
+            .collect();
+        let responses: Vec<json::Value> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let costs: Vec<f64> = responses
+            .iter()
+            .map(|v| v.get("cost").and_then(|c| c.as_f64()).expect("a cost"))
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
+        for v in &responses {
+            assert_eq!(
+                v.get("report")
+                    .and_then(|r| r.get("outcome"))
+                    .and_then(|o| o.as_str()),
+                Some("ok")
+            );
+            assert!(v.get("strategy").and_then(|s| s.as_array()).is_some());
+        }
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        assert_eq!(summary.requests, 3);
+        // All three raced the same key: at least one search, the rest may
+        // hit depending on interleaving.
+        assert_eq!(summary.cache_hits + summary.cache_misses, 3);
+    }
+
+    #[test]
+    fn repeated_query_hits_the_cache_with_identical_strategy() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut ask = || {
+            stream.write_all(MLP.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            json::parse(&response).expect("valid response JSON")
+        };
+        let first = ask();
+        let second = ask();
+        assert_eq!(first.get("cached").and_then(|c| c.as_bool()), Some(false));
+        assert_eq!(second.get("cached").and_then(|c| c.as_bool()), Some(true));
+        assert_eq!(first.get("strategy"), second.get("strategy"));
+        assert_eq!(first.get("cost"), second.get("cost"));
+        assert_eq!(first.get("cache_key"), second.get("cache_key"));
+        drop(stream);
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.cache_misses, 1);
+    }
+
+    #[test]
+    fn per_request_deadline_becomes_a_timeout_outcome() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let v = query(
+            addr,
+            "{\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \"deadline_ms\": 0}",
+        );
+        assert_eq!(
+            v.get("report")
+                .and_then(|r| r.get("outcome"))
+                .and_then(|o| o.as_str()),
+            Some("timeout")
+        );
+        assert!(v.get("cost").unwrap().as_f64().is_none());
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_error_responses() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let v = query(addr, "{\"model\": \"gpt5\"}");
+        assert_eq!(
+            v.get("error").and_then(|e| e.as_str()),
+            Some("unknown model 'gpt5'")
+        );
+        let v = query(addr, "not json at all");
+        assert!(v
+            .get("error")
+            .and_then(|e| e.as_str())
+            .expect("an error")
+            .starts_with("protocol:"));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_requests() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(MLP.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        // Shut down while the request is (at latest) buffered in the
+        // socket: the drain guarantee says it must still be answered.
+        handle.shutdown();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("drained response");
+        let v = json::parse(&response).expect("valid JSON");
+        assert!(v.get("cost").and_then(|c| c.as_f64()).is_some());
+        let summary = join.join().unwrap();
+        assert_eq!(summary.requests, 1);
+    }
+
+    #[test]
+    fn request_latency_spans_and_counters_are_recorded() {
+        let server = Server::bind(ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let shared = Arc::clone(&server.shared);
+        let join = std::thread::spawn(move || server.run().expect("run"));
+        query(addr, MLP);
+        query(addr, MLP);
+        handle.shutdown();
+        join.join().unwrap();
+        let spans = shared.trace.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "request").count(), 2);
+        let counters = shared.trace.counters();
+        assert!(counters
+            .iter()
+            .any(|c| c.name == "requests" && c.value == 2));
+        assert!(counters
+            .iter()
+            .any(|c| c.name == "cache_hits" && c.value == 1));
+        assert!(counters
+            .iter()
+            .any(|c| c.name == "cache_misses" && c.value == 1));
+    }
+}

@@ -7,7 +7,7 @@
 //! ```
 
 use pase::baselines::data_parallel;
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::models::Benchmark;
 use pase::sim::{simulate_step, SimOptions, Topology};
@@ -40,8 +40,10 @@ fn main() {
             let opts = SimOptions::default();
             let dp = simulate_step(&graph, &data_parallel(&graph, p), &topo, &opts);
             let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
-            let result =
-                find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found("search");
+            let result = Search::new(&graph)
+                .tables(&tables)
+                .run()
+                .expect_found("search");
             let ours = tables.ids_to_strategy(&result.config_ids);
             let rep = simulate_step(&graph, &ours, &topo, &opts);
             println!(

@@ -8,7 +8,7 @@
 //! ```
 
 use pase::baselines::data_parallel;
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::graph::GraphBuilder;
 use pase::models::ops;
@@ -49,7 +49,10 @@ fn main() {
     let p = 16;
     let machine = MachineSpec::gtx1080ti();
     let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
-    let result = find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found("search");
+    let result = Search::new(&graph)
+        .tables(&tables)
+        .run()
+        .expect_found("search");
     let ours = tables.ids_to_strategy(&result.config_ids);
     println!("\nfound strategy (cost {:.3e}):", result.cost);
     print!("{}", ours.report(&graph));

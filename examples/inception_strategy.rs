@@ -7,7 +7,7 @@
 //! ```
 
 use pase::baselines::{data_parallel, owt};
-use pase::core::{dependent_set_sizes, find_best_strategy, generate_seq, DpOptions};
+use pase::core::{dependent_set_sizes, generate_seq, Search};
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::models::{inception_v3, InceptionConfig};
 use pase::sim::{memory_per_device, simulate_step, SimOptions, Topology};
@@ -37,8 +37,10 @@ fn main() {
 
     let machine = MachineSpec::gtx1080ti();
     let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
-    let result =
-        find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found("inception search");
+    let result = Search::new(&graph)
+        .tables(&tables)
+        .run()
+        .expect_found("inception search");
     let ours = tables.ids_to_strategy(&result.config_ids);
     println!("search took {:?}\n", result.stats.elapsed);
 

@@ -10,7 +10,7 @@
 //! ```
 
 use pase::baselines::data_parallel;
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{validate_strategy, ConfigRule, CostTables, MachineSpec};
 use pase::models::{vgg16, VggConfig};
 use pase::sim::{memory_per_device, Topology};
@@ -46,8 +46,10 @@ fn main() {
             rule = rule.with_memory_limit(budget_mib * (1 << 20) as f64);
         }
         let tables = CostTables::build(&graph, rule, &machine);
-        let result =
-            find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found("vgg search");
+        let result = Search::new(&graph)
+            .tables(&tables)
+            .run()
+            .expect_found("vgg search");
         let strategy = tables.ids_to_strategy(&result.config_ids);
         let mem = memory_per_device(&graph, &strategy, &topo);
         let fc6 = graph
@@ -77,7 +79,10 @@ fn main() {
 
     // Sanity: the strategies above remain valid under the base rule.
     let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
-    let r = find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found("base");
+    let r = Search::new(&graph)
+        .tables(&tables)
+        .run()
+        .expect_found("base");
     validate_strategy(
         &graph,
         &tables.ids_to_strategy(&r.config_ids),

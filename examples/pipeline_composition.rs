@@ -7,7 +7,7 @@
 //! cargo run --release --example pipeline_composition
 //! ```
 
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::models::{transformer, TransformerConfig};
 use pase::pipeline::{plan_pipeline, simulate_pipeline, PipelineOptions};
@@ -28,8 +28,10 @@ fn main() {
 
     // Plain PaSE: all p devices on every layer.
     let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
-    let plain =
-        find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found("plain search");
+    let plain = Search::new(&graph)
+        .tables(&tables)
+        .run()
+        .expect_found("plain search");
     let plain_rep = simulate_step(
         &graph,
         &tables.ids_to_strategy(&plain.config_ids),

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::models::{mlp, MlpConfig};
 
@@ -39,7 +39,9 @@ fn main() {
 
     // 3. Run FindBestStrategy (GenerateSeq ordering + the recurrence-(4)
     //    dynamic program).
-    let result = find_best_strategy(&graph, &tables, &DpOptions::default())
+    let result = Search::new(&graph)
+        .tables(&tables)
+        .run()
         .expect_found("mlp search fits any budget");
     println!(
         "search: {:?}, {} states evaluated, minimum cost {:.4e} FLOP-units\n",

@@ -7,7 +7,7 @@
 //! ```
 
 use pase::baselines::{data_parallel, mesh_tf_expert};
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::models::{transformer, TransformerConfig};
 use pase::sim::{simulate_step, SimOptions, Topology};
@@ -26,7 +26,9 @@ fn main() {
 
     let machine = MachineSpec::rtx2080ti();
     let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
-    let result = find_best_strategy(&graph, &tables, &DpOptions::default())
+    let result = Search::new(&graph)
+        .tables(&tables)
+        .run()
         .expect_found("transformer search");
     let ours = tables.ids_to_strategy(&result.config_ids);
     println!(

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Planner-service smoke assertions (see scripts/tier1.sh).
+
+Takes the response files of two identical `pase query` calls against one
+server and checks the content-addressed cache contract: the first response
+is a miss, the second is a hit, and both carry the same cache key, cost,
+and strategy (the hit must be byte-for-byte the cached answer, not a
+re-search).
+"""
+
+import json
+import sys
+
+
+def main() -> None:
+    with open(sys.argv[1]) as f:
+        q1 = json.load(f)
+    with open(sys.argv[2]) as f:
+        q2 = json.load(f)
+
+    for i, q in enumerate((q1, q2), 1):
+        assert "error" not in q, f"query {i} failed: {q['error']}"
+        assert q["schema_version"] == 1, f"query {i}: bad schema_version: {q}"
+        assert q["report"]["outcome"] == "ok", f"query {i}: {q['report']}"
+        assert q["strategy"], f"query {i}: empty strategy"
+
+    assert q1["cached"] is False, "first query must be a cache miss"
+    assert q2["cached"] is True, "second identical query must be a cache hit"
+    assert q1["cache_key"] == q2["cache_key"], "cache keys differ"
+    assert q1["strategy"] == q2["strategy"], "cache hit returned a different strategy"
+    assert q1["cost"] == q2["cost"], "cache hit returned a different cost"
+
+    print(
+        f"serve smoke OK: key {q1['cache_key']}, "
+        f"{len(q1['strategy'])} node configs, cost {q1['cost']:.6g}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -19,8 +19,34 @@ cargo run -p pase-bench --release --bin bench_search
 # document containing a span for every pipeline phase, and the spans must
 # account for the reported elapsed time (within 10%).
 trace_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir"' EXIT
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$serve_dir"' EXIT
 cargo run -p pase-cli --release --bin pase -- search \
     --model transformer --devices 64 \
     --trace-out "$trace_dir/trace.json" --json --out "$trace_dir/spec.json"
 python3 scripts/check_trace.py "$trace_dir/trace.json" "$trace_dir/spec.json"
+
+# Planner-service smoke: start `pase serve` on an ephemeral port, issue the
+# same query twice, require the second to be a cache hit returning the
+# identical strategy, then shut down cleanly (SIGINT must drain and exit 0).
+./target/release/pase serve --addr 127.0.0.1:0 --workers 2 \
+    > "$serve_dir/serve.out" 2> "$serve_dir/serve.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_dir/serve.out")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "pase serve never reported its address:" >&2
+    cat "$serve_dir/serve.err" >&2
+    exit 1
+fi
+./target/release/pase query --model alexnet --devices 8 --addr "$addr" \
+    --out "$serve_dir/q1.json"
+./target/release/pase query --model alexnet --devices 8 --addr "$addr" \
+    --out "$serve_dir/q2.json"
+kill -INT "$serve_pid"
+wait "$serve_pid"
+python3 scripts/check_serve.py "$serve_dir/q1.json" "$serve_dir/q2.json"

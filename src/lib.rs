@@ -5,18 +5,17 @@
 //! directory for runnable entry points.
 //!
 //! ```
-//! use pase::core::{find_best_strategy, DpOptions};
-//! use pase::cost::{ConfigRule, CostTables, MachineSpec};
+//! use pase::core::Search;
+//! use pase::cost::MachineSpec;
 //! use pase::models::{mlp, MlpConfig};
 //! use pase::sim::{simulate_step, SimOptions, Topology};
 //!
-//! // Model → cost tables → search → simulate.
+//! // Model → search (tables are built internally) → simulate.
 //! let graph = mlp(&MlpConfig::default());
 //! let machine = MachineSpec::gtx1080ti();
-//! let tables = CostTables::build(&graph, ConfigRule::new(8), &machine);
-//! let result = find_best_strategy(&graph, &tables, &DpOptions::default())
-//!     .expect_found("search");
-//! let strategy = tables.ids_to_strategy(&result.config_ids);
+//! let run = Search::new(&graph).devices(8).machine(machine.clone()).run();
+//! let result = run.outcome().found().expect("search");
+//! let strategy = run.tables().ids_to_strategy(&result.config_ids);
 //!
 //! let topology = Topology::cluster(machine, 8);
 //! let report = simulate_step(&graph, &strategy, &topology, &SimOptions::default());
@@ -30,4 +29,5 @@ pub use pase_graph as graph;
 pub use pase_models as models;
 pub use pase_obs as obs;
 pub use pase_pipeline as pipeline;
+pub use pase_serve as serve;
 pub use pase_sim as sim;

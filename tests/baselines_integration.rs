@@ -4,7 +4,7 @@
 use pase::baselines::{
     data_parallel, gnmt_expert, mcmc_search, mesh_tf_expert, owt, McmcOptions, TableOracle,
 };
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{evaluate, ConfigRule, CostTables, MachineSpec};
 use pase::models::Benchmark;
 
@@ -42,7 +42,9 @@ fn search_beats_every_baseline_under_the_cost_model() {
         let p = 16;
         let g = bench.build_for(p);
         let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
-        let best = find_best_strategy(&g, &tables, &DpOptions::default())
+        let best = Search::new(&g)
+            .tables(&tables)
+            .run()
             .expect_found(bench.name())
             .cost;
         for (name, s) in [
@@ -73,7 +75,9 @@ fn analytic_mcmc_converges_toward_dp_optimum_on_path_graph() {
     let p = 8;
     let g = Benchmark::AlexNet.build_for(p);
     let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
-    let dp_best = find_best_strategy(&g, &tables, &DpOptions::default())
+    let dp_best = Search::new(&g)
+        .tables(&tables)
+        .run()
         .expect_found("alexnet")
         .cost;
 

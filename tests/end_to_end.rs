@@ -2,7 +2,7 @@
 //! → strategy extraction → simulation — on every paper benchmark.
 
 use pase::baselines::data_parallel;
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{evaluate, ConfigRule, CostTables, MachineSpec};
 use pase::models::Benchmark;
 use pase::sim::{memory_per_device, simulate_step, SimOptions, Topology};
@@ -14,8 +14,10 @@ fn full_pipeline_on_every_paper_benchmark() {
     for bench in Benchmark::all() {
         let graph = bench.build_for(p);
         let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
-        let result =
-            find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found(bench.name());
+        let result = Search::new(&graph)
+            .tables(&tables)
+            .run()
+            .expect_found(bench.name());
         let strategy = tables.ids_to_strategy(&result.config_ids);
 
         // The DP's claimed minimum equals the direct evaluation of the
@@ -63,8 +65,10 @@ fn found_strategies_beat_data_parallelism_in_simulation_at_scale() {
     for bench in Benchmark::all() {
         let graph = bench.build_for(p);
         let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
-        let result =
-            find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found(bench.name());
+        let result = Search::new(&graph)
+            .tables(&tables)
+            .run()
+            .expect_found(bench.name());
         let ours = tables.ids_to_strategy(&result.config_ids);
         let ours_tp = simulate_step(&graph, &ours, &topo, &opts).throughput;
         let dp_tp = simulate_step(&graph, &data_parallel(&graph, p), &topo, &opts).throughput;
@@ -91,8 +95,10 @@ fn search_statistics_match_paper_structure() {
     let machine = MachineSpec::gtx1080ti();
     let inception = Benchmark::InceptionV3.build();
     let tables = CostTables::build(&inception, ConfigRule::new(8), &machine);
-    let r =
-        find_best_strategy(&inception, &tables, &DpOptions::default()).expect_found("inception");
+    let r = Search::new(&inception)
+        .tables(&tables)
+        .run()
+        .expect_found("inception");
     assert!(
         r.stats.max_dependent_set <= 2,
         "GenerateSeq must keep |D| ≤ 2 on InceptionV3"
@@ -101,7 +107,7 @@ fn search_statistics_match_paper_structure() {
     for bench in [Benchmark::AlexNet, Benchmark::Rnnlm] {
         let g = bench.build();
         let t = CostTables::build(&g, ConfigRule::new(8), &machine);
-        let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found(bench.name());
+        let r = Search::new(&g).tables(&t).run().expect_found(bench.name());
         assert!(
             r.stats.max_dependent_set <= 1,
             "{} is a path graph",
@@ -111,7 +117,10 @@ fn search_statistics_match_paper_structure() {
 
     let transformer = Benchmark::Transformer.build();
     let t = CostTables::build(&transformer, ConfigRule::new(8), &machine);
-    let r = find_best_strategy(&transformer, &t, &DpOptions::default()).expect_found("transformer");
+    let r = Search::new(&transformer)
+        .tables(&t)
+        .run()
+        .expect_found("transformer");
     assert!(
         r.stats.max_dependent_set >= 2,
         "the encoder output's long live range must enlarge Transformer dependent sets"

@@ -2,7 +2,7 @@
 //! GShard export, placement policies, and the unrolled-RNN representation.
 
 use pase::baselines::data_parallel;
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{
     evaluate, fit_machine, layer_footprint_bytes, strategy_features, to_sharding_json, ConfigRule,
     CostTables, MachineSpec, Observation,
@@ -20,13 +20,15 @@ fn memory_limited_search_respects_the_cap_everywhere() {
     let g = Benchmark::AlexNet.build_for(p);
     let unconstrained = {
         let t = CostTables::build(&g, ConfigRule::new(p), &machine);
-        find_best_strategy(&g, &t, &DpOptions::default())
+        Search::new(&g)
+            .tables(&t)
+            .run()
             .expect_found("unconstrained")
             .cost
     };
     let cap = 300.0 * (1 << 20) as f64; // 300 MiB/device
     let t = CostTables::build(&g, ConfigRule::new(p).with_memory_limit(cap), &machine);
-    let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found("capped");
+    let r = Search::new(&g).tables(&t).run().expect_found("capped");
     let s = t.ids_to_strategy(&r.config_ids);
     for (id, node) in g.iter() {
         let fp = layer_footprint_bytes(node, s.config(id));
@@ -52,7 +54,7 @@ fn exported_json_covers_every_layer() {
     let machine = MachineSpec::gtx1080ti();
     let g = Benchmark::AlexNet.build();
     let t = CostTables::build(&g, ConfigRule::new(8), &machine);
-    let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found("alexnet");
+    let r = Search::new(&g).tables(&t).run().expect_found("alexnet");
     let json = to_sharding_json(&g, &t.ids_to_strategy(&r.config_ids));
     for node in g.nodes() {
         assert!(
@@ -72,7 +74,7 @@ fn comm_aware_placement_never_hurts_the_searched_strategies() {
         let p = 32;
         let g = bench.build_for(p);
         let t = CostTables::build(&g, ConfigRule::new(p), &machine);
-        let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found(bench.name());
+        let r = Search::new(&g).tables(&t).run().expect_found(bench.name());
         let s = t.ids_to_strategy(&r.config_ids);
         let topo = Topology::cluster(machine.clone(), p);
         let canonical = simulate_step(&g, &s, &topo, &SimOptions::default());
@@ -107,7 +109,7 @@ fn single_vertex_rnn_beats_unrolled_representation() {
 
     let search = |g: &pase::graph::Graph| {
         let t = CostTables::build(g, ConfigRule::new(p), &machine);
-        let r = find_best_strategy(g, &t, &DpOptions::default()).expect_found("rnn");
+        let r = Search::new(g).tables(&t).run().expect_found("rnn");
         (r.cost, r.stats.elapsed)
     };
     let (cost_single, time_single) = search(&single);
@@ -151,7 +153,7 @@ fn calibration_recovers_a_machine_from_simulated_runs() {
 
     let tables = CostTables::build(&g, ConfigRule::new(p), &truth);
     let pase_best = {
-        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("search");
+        let r = Search::new(&g).tables(&tables).run().expect_found("search");
         tables.ids_to_strategy(&r.config_ids)
     };
     let candidates = [data_parallel(&g, p), owt(&g, p), pase_best];
@@ -196,7 +198,7 @@ fn evaluate_is_invariant_to_export_roundtrip_metadata() {
     let machine = MachineSpec::gtx1080ti();
     let g = Benchmark::Rnnlm.build();
     let t = CostTables::build(&g, ConfigRule::new(4), &machine);
-    let r = find_best_strategy(&g, &t, &DpOptions::default()).expect_found("rnnlm");
+    let r = Search::new(&g).tables(&t).run().expect_found("rnnlm");
     let s = t.ids_to_strategy(&r.config_ids);
     let before = evaluate(&g, &s, machine.flop_byte_ratio());
     let _ = to_sharding_json(&g, &s);

@@ -4,8 +4,7 @@
 //! minimum of `F(G, φ)` — on every graph topology the search handles.
 
 use pase::core::{
-    brute_force, find_best_strategy, naive_best_strategy, ConnectedSetMode, DpOptions,
-    OrderingKind, SearchBudget,
+    brute_force, naive_best_strategy, ConnectedSetMode, OrderingKind, Search, SearchBudget,
 };
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::graph::{Graph, GraphBuilder, NodeId};
@@ -91,18 +90,17 @@ fn assert_all_engines_agree(g: &Graph, p: u32) {
     let (bf_cost, bf_ids) = brute_force(g, &tables);
     assert!((tables.evaluate_ids(g, &bf_ids) - bf_cost).abs() <= 1e-9 * bf_cost.abs().max(1.0));
 
-    let eff = find_best_strategy(g, &tables, &DpOptions::default()).expect_found("efficient");
+    let eff = Search::new(g)
+        .tables(&tables)
+        .run()
+        .expect_found("efficient");
     let naive = naive_best_strategy(g, &tables, SearchBudget::default()).expect_found("naive");
-    let rnd = find_best_strategy(
-        g,
-        &tables,
-        &DpOptions {
-            ordering: OrderingKind::Random { seed: 99 },
-            mode: ConnectedSetMode::Exact,
-            ..DpOptions::default()
-        },
-    )
-    .expect_found("random ordering");
+    let rnd = Search::new(g)
+        .tables(&tables)
+        .ordering(OrderingKind::Random { seed: 99 })
+        .connected_sets(ConnectedSetMode::Exact)
+        .run()
+        .expect_found("random ordering");
 
     for (label, r) in [("efficient", &eff), ("naive", &naive), ("random", &rnd)] {
         let tol = 1e-9 * bf_cost.abs().max(1.0);
@@ -152,7 +150,10 @@ fn dp_never_worse_than_sampled_strategies_on_big_models() {
     for bench in Benchmark::all() {
         let g = bench.build_tiny();
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::gtx1080ti());
-        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found(bench.name());
+        let r = Search::new(&g)
+            .tables(&tables)
+            .run()
+            .expect_found(bench.name());
         for cost in random_strategy_costs(&g, &tables, 7, 100) {
             assert!(
                 r.cost <= cost + 1e-6 * cost.abs(),

@@ -1,0 +1,179 @@
+//! Parity: the `Search` builder must be **bit-identical** to the
+//! deprecated free-function entrypoints it replaces — same optimal cost
+//! (compared via `to_bits`, not a tolerance) and the same per-node
+//! configuration ids, with and without pruning, tracing, and custom DP
+//! options. This is the contract that lets callers migrate mechanically.
+
+#![allow(deprecated)]
+
+use pase::core::{
+    find_best_strategy, find_best_strategy_pruned, find_best_strategy_pruned_traced,
+    find_best_strategy_traced, DpOptions, OrderingKind, Search, SearchOutcome,
+};
+use pase::cost::{ConfigRule, CostTables, MachineSpec, PruneOptions};
+use pase::graph::{Graph, GraphBuilder, IterDim, Node, NodeId, OpKind, TensorRef};
+use pase::models::Benchmark;
+use pase::obs::Trace;
+use proptest::prelude::*;
+
+fn fc_node(name: &str, batch: u64, out_w: u64, in_w: u64, ins: usize) -> Node {
+    let dims = vec![
+        IterDim::new("b", batch, pase::graph::DimRole::Batch),
+        IterDim::new("n", out_w, pase::graph::DimRole::Param),
+        IterDim::new("c", in_w, pase::graph::DimRole::Reduction),
+    ];
+    Node {
+        name: name.into(),
+        op: OpKind::FullyConnected,
+        iter_space: dims,
+        inputs: (0..ins)
+            .map(|_| TensorRef::new(vec![0, 2], vec![batch, in_w]))
+            .collect(),
+        output: TensorRef::new(vec![0, 1], vec![batch, out_w]),
+        params: vec![TensorRef::new(vec![1, 2], vec![out_w, in_w])],
+    }
+}
+
+/// A random chain-with-skips DAG of fully-connected layers, mirroring the
+/// generator in `proptests.rs` but compact enough for a per-case DP.
+fn random_graph(widths: &[u64], skips: &[bool]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let batch = 32;
+    let mut ids: Vec<NodeId> = Vec::new();
+    for (i, &w) in widths.iter().enumerate() {
+        let in_w = if i == 0 { 16 } else { widths[i - 1] };
+        let extra = i >= 2 && skips[i % skips.len()];
+        let node = fc_node(
+            &format!("n{i}"),
+            batch,
+            w,
+            in_w,
+            usize::from(i > 0) + usize::from(extra),
+        );
+        ids.push(b.add_node(node));
+    }
+    for i in 1..widths.len() {
+        b.connect(ids[i - 1], ids[i]);
+        if i >= 2 && skips[i % skips.len()] {
+            b.connect(ids[i - 2], ids[i]);
+        }
+    }
+    b.build().expect("parity graph builds")
+}
+
+fn assert_identical(label: &str, legacy: &SearchOutcome, builder: &SearchOutcome) {
+    let l = legacy
+        .found()
+        .unwrap_or_else(|| panic!("{label}: legacy failed"));
+    let b = builder
+        .found()
+        .unwrap_or_else(|| panic!("{label}: builder failed"));
+    assert_eq!(
+        l.cost.to_bits(),
+        b.cost.to_bits(),
+        "{label}: builder cost {} != legacy cost {}",
+        b.cost,
+        l.cost
+    );
+    assert_eq!(
+        l.config_ids, b.config_ids,
+        "{label}: builder strategy differs from legacy"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Builder == legacy on random DAGs, across plain/pruned/custom-order
+    /// entrypoints.
+    #[test]
+    fn builder_matches_legacy_on_random_dags(
+        widths in prop::collection::vec(prop::sample::select(vec![16u64, 32, 64]), 2..7),
+        skips in prop::collection::vec(prop::sample::select(vec![false, true]), 3..=3),
+        p in prop::sample::select(vec![2u32, 4, 8]),
+    ) {
+        let g = random_graph(&widths, &skips);
+        let tables = CostTables::build(&g, ConfigRule::new(p), &MachineSpec::test_machine());
+
+        let legacy = find_best_strategy(&g, &tables, &DpOptions::default());
+        let builder = Search::new(&g).tables(&tables).run().into_outcome();
+        assert_identical("plain", &legacy, &builder);
+
+        let legacy = find_best_strategy_pruned(
+            &g, &tables, &DpOptions::default(), &PruneOptions::default());
+        let builder = Search::new(&g).tables(&tables)
+            .pruning(PruneOptions::default())
+            .run().into_outcome();
+        assert_identical("pruned", &legacy, &builder);
+
+        let opts = DpOptions {
+            ordering: OrderingKind::Random { seed: widths.len() as u64 },
+            ..DpOptions::default()
+        };
+        let legacy = find_best_strategy(&g, &tables, &opts);
+        let builder = Search::new(&g).tables(&tables).dp_options(opts).run().into_outcome();
+        assert_identical("custom ordering", &legacy, &builder);
+    }
+}
+
+/// The ISSUE acceptance criterion: builder output is bit-identical to the
+/// deprecated entrypoints on AlexNet, InceptionV3, RNNLM, and Transformer
+/// (tiny variants keep the debug-mode DP feasible, as in `pruning.rs`).
+#[test]
+fn builder_matches_legacy_on_paper_benchmarks() {
+    let machine = MachineSpec::test_machine();
+    for bench in Benchmark::all() {
+        let graph = bench.build_tiny();
+        let p = 8;
+        let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+        let label = format!("{} p={p}", bench.name());
+
+        let legacy = find_best_strategy(&graph, &tables, &DpOptions::default());
+        let builder = Search::new(&graph).tables(&tables).run().into_outcome();
+        assert_identical(&label, &legacy, &builder);
+
+        let legacy_trace = Trace::new();
+        let builder_trace = Trace::new();
+        let legacy =
+            find_best_strategy_traced(&graph, &tables, &DpOptions::default(), Some(&legacy_trace));
+        let builder = Search::new(&graph)
+            .tables(&tables)
+            .trace(&builder_trace)
+            .run()
+            .into_outcome();
+        assert_identical(&format!("{label} traced"), &legacy, &builder);
+        // Both paths record the same DP phases.
+        let names = |t: &Trace| {
+            let mut v: Vec<String> = t.spans().iter().map(|s| s.name.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            names(&legacy_trace),
+            names(&builder_trace),
+            "{label}: traced phases differ"
+        );
+
+        let legacy = find_best_strategy_pruned(
+            &graph,
+            &tables,
+            &DpOptions::default(),
+            &PruneOptions::default(),
+        );
+        let builder = Search::new(&graph)
+            .tables(&tables)
+            .pruning(PruneOptions::default())
+            .run()
+            .into_outcome();
+        assert_identical(&format!("{label} pruned"), &legacy, &builder);
+
+        let legacy = find_best_strategy_pruned_traced(
+            &graph,
+            &tables,
+            &DpOptions::default(),
+            &PruneOptions::default(),
+            None,
+        );
+        assert_identical(&format!("{label} pruned_traced"), &legacy, &builder);
+    }
+}

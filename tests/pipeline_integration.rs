@@ -1,7 +1,7 @@
 //! Integration tests of the §VI pipeline composition across paper-scale
 //! models.
 
-use pase::core::{find_best_strategy, DpOptions};
+use pase::core::Search;
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::models::Benchmark;
 use pase::pipeline::{plan_pipeline, simulate_pipeline, PipelineOptions};
@@ -28,8 +28,10 @@ fn single_stage_pipeline_matches_plain_pase_exactly() {
         let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
 
         let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
-        let plain =
-            find_best_strategy(&g, &tables, &DpOptions::default()).expect_found(bench.name());
+        let plain = Search::new(&g)
+            .tables(&tables)
+            .run()
+            .expect_found(bench.name());
         let plain_rep = simulate_step(
             &g,
             &tables.ids_to_strategy(&plain.config_ids),

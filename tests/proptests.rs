@@ -5,9 +5,9 @@
 //! and every search engine can be cross-checked on thousands of topologies.
 
 use pase::core::{
-    brute_force, dependent_set_sizes, find_best_strategy, find_best_strategy_pruned,
-    generate_seq_with_sets, naive_best_strategy, optcnn_search, random_strategy_costs,
-    ConnectedSetMode, DpOptions, OrderingKind, ReductionOutcome, SearchBudget, VertexStructure,
+    brute_force, dependent_set_sizes, generate_seq_with_sets, naive_best_strategy, optcnn_search,
+    random_strategy_costs, ConnectedSetMode, OrderingKind, ReductionOutcome, Search, SearchBudget,
+    VertexStructure,
 };
 use pase::cost::{
     all_gather_bytes, all_reduce_bytes, enumerate_configs, evaluate, Config, ConfigRule,
@@ -95,7 +95,7 @@ proptest! {
         let g = build_graph(&dag);
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
         let (bf, _) = brute_force(&g, &tables);
-        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("dp");
+        let r = Search::new(&g).tables(&tables).run().expect_found("dp");
         prop_assert!((r.cost - bf).abs() <= 1e-9 * bf.abs().max(1.0),
             "dp {} vs brute {}", r.cost, bf);
         // extraction consistency
@@ -108,14 +108,13 @@ proptest! {
     fn orderings_agree(dag in arb_dag(8), seed in 0u64..1000) {
         let g = build_graph(&dag);
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
-        let base = find_best_strategy(&g, &tables, &DpOptions::default())
+        let base = Search::new(&g).tables(&tables).run()
             .expect_found("generate-seq").cost;
         let naive = naive_best_strategy(&g, &tables, SearchBudget::default())
             .expect_found("naive").cost;
-        let rnd = find_best_strategy(&g, &tables, &DpOptions {
-            ordering: OrderingKind::Random { seed },
-            ..DpOptions::default()
-        }).expect_found("random").cost;
+        let rnd = Search::new(&g).tables(&tables)
+            .ordering(OrderingKind::Random { seed })
+            .run().expect_found("random").cost;
         let tol = 1e-9 * base.abs().max(1.0);
         prop_assert!((base - naive).abs() <= tol);
         prop_assert!((base - rnd).abs() <= tol);
@@ -140,7 +139,7 @@ proptest! {
     fn optcnn_agrees_with_dp_when_reducible(dag in arb_dag(9)) {
         let g = build_graph(&dag);
         let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
-        let dp = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("dp");
+        let dp = Search::new(&g).tables(&tables).run().expect_found("dp");
         match optcnn_search(&g, &tables) {
             ReductionOutcome::Reduced { cost, config_ids, .. } => {
                 prop_assert!((cost - dp.cost).abs() <= 1e-9 * dp.cost.abs().max(1.0),
@@ -159,7 +158,7 @@ proptest! {
     fn dp_lower_bounds_samples(dag in arb_dag(9), seed in 0u64..1000) {
         let g = build_graph(&dag);
         let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
-        let r = find_best_strategy(&g, &tables, &DpOptions::default()).expect_found("dp");
+        let r = Search::new(&g).tables(&tables).run().expect_found("dp");
         for cost in random_strategy_costs(&g, &tables, seed, 25) {
             prop_assert!(r.cost <= cost + 1e-9 * cost.abs().max(1.0));
         }
@@ -274,11 +273,11 @@ proptest! {
     fn pruned_search_matches_unpruned(dag in arb_dag(8), p in prop::sample::select(vec![2u32, 4, 8])) {
         let g = build_graph(&dag);
         let tables = CostTables::build(&g, ConfigRule::new(p), &MachineSpec::test_machine());
-        let plain = find_best_strategy(&g, &tables, &DpOptions::default())
+        let plain = Search::new(&g).tables(&tables).run()
             .expect_found("unpruned");
-        let pruned = find_best_strategy_pruned(
-            &g, &tables, &DpOptions::default(), &PruneOptions::default())
-            .expect_found("pruned");
+        let pruned = Search::new(&g).tables(&tables)
+            .pruning(PruneOptions::default())
+            .run().expect_found("pruned");
         prop_assert_eq!(
             pruned.cost.to_bits(), plain.cost.to_bits(),
             "pruned {} vs unpruned {}", pruned.cost, plain.cost

@@ -4,7 +4,7 @@
 //! approximate), while strictly shrinking the configuration space whenever a
 //! dominated configuration exists.
 
-use pase::core::{find_best_strategy, find_best_strategy_pruned, DpOptions};
+use pase::core::Search;
 use pase::cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables};
 use pase::models::Benchmark;
 
@@ -21,15 +21,15 @@ fn pruned_search_is_bit_identical_on_all_benchmarks() {
             let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
             let label = format!("{} p={p}", bench.name());
 
-            let plain =
-                find_best_strategy(&graph, &tables, &DpOptions::default()).expect_found(&label);
-            let pruned = find_best_strategy_pruned(
-                &graph,
-                &tables,
-                &DpOptions::default(),
-                &PruneOptions::default(),
-            )
-            .expect_found(&label);
+            let plain = Search::new(&graph)
+                .tables(&tables)
+                .run()
+                .expect_found(&label);
+            let pruned = Search::new(&graph)
+                .tables(&tables)
+                .pruning(PruneOptions::default())
+                .run()
+                .expect_found(&label);
 
             assert_eq!(
                 pruned.cost.to_bits(),

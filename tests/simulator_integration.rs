@@ -3,7 +3,7 @@
 //! memory accounting, and rank agreement with the analytical cost model.
 
 use pase::baselines::{data_parallel, owt};
-use pase::core::{find_best_strategy, random_strategy_costs, DpOptions};
+use pase::core::{random_strategy_costs, Search};
 use pase::cost::{ConfigRule, CostTables, MachineSpec};
 use pase::models::Benchmark;
 use pase::sim::{batch_size, memory_per_device, simulate_step, SimOptions, Topology};
@@ -44,7 +44,9 @@ fn low_machine_balance_increases_strategy_gaps() {
             let topo = Topology::cluster(machine.clone(), p);
             let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
             let ours = {
-                let r = find_best_strategy(&g, &tables, &DpOptions::default())
+                let r = Search::new(&g)
+                    .tables(&tables)
+                    .run()
                     .expect_found(bench.name());
                 tables.ids_to_strategy(&r.config_ids)
             };

@@ -1,7 +1,7 @@
 //! End-to-end search + simulation across the *entire* model zoo — every
 //! builder, not just the four paper benchmarks.
 
-use pase::core::{find_best_strategy, DpOptions, SearchBudget};
+use pase::core::{Search, SearchBudget};
 use pase::cost::{evaluate, ConfigRule, CostTables, MachineSpec};
 use pase::graph::Graph;
 use pase::models::*;
@@ -36,14 +36,11 @@ fn every_zoo_model_searches_and_simulates() {
             max_table_entries: 1 << 26,
             max_time: Duration::from_secs(120),
         };
-        let outcome = find_best_strategy(
-            &g,
-            &tables,
-            &DpOptions {
-                budget,
-                ..Default::default()
-            },
-        );
+        let outcome = Search::new(&g)
+            .tables(&tables)
+            .budget(budget)
+            .run()
+            .into_outcome();
         let r = match outcome.found() {
             Some(r) => r.clone(),
             None => panic!("{name}: search {}", outcome.tag()),
