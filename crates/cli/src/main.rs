@@ -71,6 +71,7 @@ OPTIONS:
                            (query) per-request deadline override
   --cache-capacity <n>     (serve) in-memory strategy-cache entries (default 64)
   --cache-dir <dir>        (serve) persist cache entries as JSON files
+  --idle-timeout-ms <ms>   (serve) close connections idle this long (default 30000)
 ";
 
 fn build_model(name: &str, p: u32, weak_scaling: bool) -> Result<Graph, String> {
@@ -486,6 +487,7 @@ fn run() -> Result<(), String> {
                 deadline: Duration::from_millis(args.get_or("deadline-ms", 120_000u64)?),
                 cache_capacity: args.get_or("cache-capacity", 64usize)?,
                 cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+                idle_timeout: Duration::from_millis(args.get_or("idle-timeout-ms", 30_000u64)?),
             };
             let server = Server::bind(cfg).map_err(|e| format!("cannot bind server: {e}"))?;
             let addr = server

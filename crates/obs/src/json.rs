@@ -124,11 +124,16 @@ impl Value {
     }
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses once
+/// per `[`/`{`, so untrusted input (e.g. a request line of 100k `[`s)
+/// must be bounded before it overflows the stack and aborts the process.
+const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document (trailing garbage is an error).
 pub fn parse(src: &str) -> Result<Value, String> {
     let bytes = src.as_bytes();
     let mut pos = 0usize;
-    let v = value(bytes, &mut pos)?;
+    let v = value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing input at byte {pos}"));
@@ -161,11 +166,11 @@ fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, Str
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
     skip_ws(b, pos);
     match b.get(*pos) {
-        Some(b'{') => object(b, pos),
-        Some(b'[') => array(b, pos),
+        Some(b'{') => object(b, pos, depth),
+        Some(b'[') => array(b, pos, depth),
         Some(b'"') => string(b, pos).map(Value::Str),
         Some(b't') => literal(b, pos, "true", Value::Bool(true)),
         Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
@@ -178,7 +183,10 @@ fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth >= MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     expect(b, pos, b'{')?;
     let mut pairs = Vec::new();
     skip_ws(b, pos);
@@ -190,7 +198,7 @@ fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         skip_ws(b, pos);
         let key = string(b, pos)?;
         expect(b, pos, b':')?;
-        pairs.push((key, value(b, pos)?));
+        pairs.push((key, value(b, pos, depth + 1)?));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -203,7 +211,10 @@ fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth >= MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -212,7 +223,7 @@ fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         return Ok(Value::Array(items));
     }
     loop {
-        items.push(value(b, pos)?);
+        items.push(value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -409,5 +420,21 @@ mod tests {
         for bad in ["{", "[1,2", "{\"k\": }", "\"\\ud83d\"", "", "1 2"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth() {
+        // Recursion must be bounded: 100k brackets would otherwise
+        // overflow the stack and abort the process, not unwind.
+        let deep = "[".repeat(100_000);
+        assert!(parse(&deep).unwrap_err().contains("nesting"));
+        let at_limit = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at_limit).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).is_err());
     }
 }

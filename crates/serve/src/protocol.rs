@@ -106,11 +106,14 @@ impl Request {
                 .ok_or_else(|| Error::Protocol("\"budget_entries\" must be an integer".into()))?;
         }
         if let Some(s) = v.get("budget_seconds") {
-            let secs = s
+            // try_from_secs_f64 rejects NaN, negatives, and values that
+            // overflow Duration — from_secs_f64 would panic on those.
+            budget.max_time = s
                 .as_f64()
-                .filter(|s| *s >= 0.0)
-                .ok_or_else(|| Error::Protocol("\"budget_seconds\" must be a number ≥ 0".into()))?;
-            budget.max_time = Duration::from_secs_f64(secs);
+                .and_then(|secs| Duration::try_from_secs_f64(secs).ok())
+                .ok_or_else(|| {
+                    Error::Protocol("\"budget_seconds\" must be a finite number ≥ 0".into())
+                })?;
         }
         let deadline = match v.get("deadline_ms") {
             Some(d) => Some(Duration::from_millis(d.as_u64().ok_or_else(|| {
@@ -245,6 +248,17 @@ mod tests {
             Request::parse("{\"model\": \"mlp\", \"devices\": 0}"),
             Err(Error::Protocol(_))
         ));
+        // Values Duration cannot represent must be a protocol error, not a
+        // from_secs_f64 panic that kills the worker thread.
+        for bad in [
+            "{\"model\": \"mlp\", \"budget_seconds\": 1e20}",
+            "{\"model\": \"mlp\", \"budget_seconds\": -1}",
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(Error::Protocol(_))),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@ use std::time::Duration;
 /// granularity at which idle connections notice a shutdown.
 const POLL: Duration = Duration::from_millis(20);
 
+/// Maximum accepted request-line length. A client streaming bytes without
+/// a newline is cut off here instead of growing the buffer unboundedly.
+const MAX_LINE: usize = 4 << 20;
+
 /// Planner service configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -42,6 +46,11 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Directory for persistent cache entries (`None` = memory only).
     pub cache_dir: Option<PathBuf>,
+    /// Connections with no complete request line for this long are closed,
+    /// so idle keep-alive clients cannot pin workers (each connection
+    /// occupies a worker for its whole lifetime) and starve the accept
+    /// queue.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +61,7 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(120),
             cache_capacity: 64,
             cache_dir: None,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -221,6 +231,8 @@ enum Line {
     Pending,
     /// The peer closed the connection.
     Eof,
+    /// The line exceeded [`MAX_LINE`] before a newline arrived.
+    TooLong,
 }
 
 impl LineReader {
@@ -243,6 +255,9 @@ impl LineReader {
                 }
                 return Ok(Line::Full(String::from_utf8_lossy(&line).into_owned()));
             }
+            if self.buf.len() > MAX_LINE {
+                return Ok(Line::TooLong);
+            }
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Ok(Line::Eof),
@@ -257,9 +272,10 @@ impl LineReader {
     }
 }
 
-/// Serve one connection until EOF, an I/O error, or (once shutdown has
-/// been requested) the first idle poll. Buffered requests are always
-/// answered before the connection closes — that is the drain guarantee.
+/// Serve one connection until EOF, an I/O error, the configured idle
+/// timeout, or (once shutdown has been requested) the first idle poll. Buffered
+/// requests are always answered before the connection closes — that is
+/// the drain guarantee.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -269,26 +285,37 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Ok(r) => r,
         Err(_) => return,
     };
+    let mut respond = |response: &str| {
+        writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    let max_idle_polls = (shared.cfg.idle_timeout.as_millis() / POLL.as_millis()).max(1);
+    let mut idle_polls = 0u128;
     loop {
         match reader.next_line() {
             Ok(Line::Full(line)) => {
+                idle_polls = 0;
                 if line.trim().is_empty() {
                     continue;
                 }
-                let response = handle_request(&line, shared);
-                if writer
-                    .write_all(response.as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"))
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
+                if !respond(&handle_request(&line, shared)) {
                     return;
                 }
             }
             Ok(Line::Pending) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                idle_polls += 1;
+                if shared.shutdown.load(Ordering::SeqCst) || idle_polls >= max_idle_polls {
                     return;
                 }
+            }
+            Ok(Line::TooLong) => {
+                respond(&error_json(&pase_core::Error::Protocol(format!(
+                    "request line exceeds {MAX_LINE} bytes"
+                ))));
+                return;
             }
             Ok(Line::Eof) | Err(_) => return,
         }
@@ -535,6 +562,49 @@ mod tests {
             .and_then(|e| e.as_str())
             .expect("an error")
             .starts_with("protocol:"));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_an_error_and_the_connection_closes() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // One byte over the cap, no newline: the server must answer with a
+        // protocol error instead of buffering without bound.
+        let big = vec![b'x'; MAX_LINE + 1];
+        stream.write_all(&big).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("error response");
+        let v = json::parse(&response).expect("valid JSON");
+        assert!(v
+            .get("error")
+            .and_then(|e| e.as_str())
+            .expect("an error")
+            .contains("exceeds"));
+        let mut rest = String::new();
+        assert_eq!(
+            reader.read_line(&mut rest).unwrap(),
+            0,
+            "closed after error"
+        );
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_are_closed_after_the_idle_timeout() {
+        let (addr, handle, join) = start(ServerConfig {
+            idle_timeout: Duration::from_millis(60),
+            ..ServerConfig::default()
+        });
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        // A client that never sends a request must not pin the worker
+        // forever: the server closes the connection (EOF) on its own.
+        assert_eq!(reader.read_line(&mut line).expect("eof"), 0);
         handle.shutdown();
         join.join().unwrap();
     }
