@@ -1,0 +1,262 @@
+//! Concurrent load benchmark for the planner service.
+//!
+//! A/B-compares the PR 4 serve path (one cache mutex, no request
+//! coalescing — reproduced exactly by `cache_shards = 1` +
+//! `singleflight = false`) against the sharded + singleflight path, by
+//! driving N concurrent connections of mixed cached/uncached queries
+//! against an in-process server and measuring client-observed latency.
+//!
+//! Each client cycles through a small set of distinct cache keys (the
+//! prune ε is part of the key, so varying it makes fresh keys without
+//! changing the search difficulty), offset per client so the first wave
+//! contends on identical keys — the singleflight case — while steady
+//! state is cache-hit dominated, the lock-striping case.
+//!
+//! Per (model, p, concurrency, server config) the job reports req/s and
+//! p50/p95/p99 latency, and writes everything to `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p pase-bench --release --bin bench_serve            # full sweep
+//! cargo run -p pase-bench --release --bin bench_serve -- --smoke # tier-1 gate
+//! ```
+//!
+//! `--smoke` runs 4 connections × 20 requests against the sharded server
+//! only, asserts at least one request coalesced and that shutdown drains
+//! cleanly, and writes nothing.
+
+use pase_serve::{ServeSummary, Server, ServerConfig};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Distinct cache keys per (model, p) cell: each key is a different prune
+/// ε. Key 0 (ε = 0) is shared across clients' first requests, so wave one
+/// exercises singleflight; the rest spread load across shards.
+const KEYS: usize = 4;
+
+/// Per-client request count in the full sweep.
+const REQUESTS: usize = 50;
+
+/// Concurrency sweep (connections = worker threads on both sides).
+const CONCURRENCY: [usize; 3] = [2, 8, 16];
+
+/// (wire model name, devices): "mlp" and "alexnet" are hit-dominated
+/// cells where lock striping is the lever; "inception" searches are slow
+/// enough that the first wave overlaps and singleflight decides how many
+/// duplicate searches the tail pays for.
+const MODELS: [(&str, u32); 3] = [("mlp", 8), ("alexnet", 8), ("inception", 8)];
+
+fn request_line(model: &str, devices: u32, key: usize) -> String {
+    format!(
+        "{{\"model\": \"{model}\", \"devices\": {devices}, \"machine\": \"test\", \
+         \"weak_scaling\": false, \"prune\": true, \"epsilon\": {}}}",
+        key as f64 * 1e-6
+    )
+}
+
+struct ClientStats {
+    latencies: Vec<Duration>,
+    elapsed: Duration,
+}
+
+/// One client: connect, wait on the barrier, send `requests` queries on a
+/// single connection, timing each round trip.
+fn run_client(
+    addr: SocketAddr,
+    barrier: Arc<Barrier>,
+    client: usize,
+    requests: usize,
+    model: &str,
+    devices: u32,
+) -> ClientStats {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(requests);
+    // Warm the connection with a stats probe before the barrier: by the
+    // time timing starts every connection is accepted and owned by a
+    // worker, so the measurements cover the serve path, not the accept
+    // queue.
+    writer.write_all(b"{\"stats\": true}\n").unwrap();
+    let mut warmup = String::new();
+    reader.read_line(&mut warmup).expect("warmup response");
+    barrier.wait();
+    let t0 = Instant::now();
+    for i in 0..requests {
+        // First request of every client is key 0 (maximal contention);
+        // afterwards clients walk the key set from per-client offsets.
+        let key = if i == 0 { 0 } else { (client + i) % KEYS };
+        let mut line = request_line(model, devices, key);
+        line.push('\n');
+        let sent = Instant::now();
+        writer.write_all(line.as_bytes()).unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response");
+        latencies.push(sent.elapsed());
+        assert!(
+            response.contains("\"cost\""),
+            "search response expected, got: {response}"
+        );
+    }
+    ClientStats {
+        latencies,
+        elapsed: t0.elapsed(),
+    }
+}
+
+struct CellResult {
+    req_per_s: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    summary: ServeSummary,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64()
+}
+
+/// Run one (model, p, concurrency, config) cell against a fresh server.
+fn run_cell(
+    model: &str,
+    devices: u32,
+    concurrency: usize,
+    requests: usize,
+    sharded: bool,
+) -> CellResult {
+    let cfg = ServerConfig {
+        workers: concurrency,
+        cache_shards: if sharded { 16 } else { 1 },
+        singleflight: sharded,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    let barrier = Arc::new(Barrier::new(concurrency));
+    let clients: Vec<_> = (0..concurrency)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            let model = model.to_string();
+            std::thread::spawn(move || run_client(addr, barrier, c, requests, &model, devices))
+        })
+        .collect();
+    let stats: Vec<ClientStats> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    handle.shutdown();
+    let summary = join.join().unwrap();
+
+    let wall = stats
+        .iter()
+        .map(|s| s.elapsed)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let mut latencies: Vec<Duration> = stats.into_iter().flat_map(|s| s.latencies).collect();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    CellResult {
+        req_per_s: total as f64 / wall.as_secs_f64().max(1e-12),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        summary,
+    }
+}
+
+fn smoke() {
+    let concurrency = 4;
+    let requests = 20;
+    // "inception" searches take long enough (several ms) that the four
+    // barrier-released identical first requests reliably overlap.
+    let r = run_cell("inception", 8, concurrency, requests, true);
+    assert_eq!(
+        r.summary.requests,
+        (concurrency * (requests + 1)) as u64,
+        "every request (plus one warmup stats probe per client) answered \
+         before shutdown"
+    );
+    assert_eq!(
+        r.summary.cache_hits + r.summary.cache_misses + r.summary.coalesced,
+        (concurrency * requests) as u64,
+        "every search request accounted as exactly one of hit/miss/coalesced"
+    );
+    assert!(
+        r.summary.coalesced > 0,
+        "4 clients racing the same first key must coalesce at least once: {:?}",
+        r.summary
+    );
+    println!(
+        "bench_serve smoke OK: {} requests, {} hits, {} misses, {} coalesced, \
+         p99 {:.3} ms",
+        r.summary.requests,
+        r.summary.cache_hits,
+        r.summary.cache_misses,
+        r.summary.coalesced,
+        r.p99 * 1e3
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let mut json = String::from("{\n  \"cells\": [\n");
+    let mut first = true;
+    for (model, devices) in MODELS {
+        for concurrency in CONCURRENCY {
+            println!("== {model} p={devices} c={concurrency} ==");
+            let mut per_config = Vec::new();
+            for (name, sharded) in [("baseline", false), ("sharded", true)] {
+                let r = run_cell(model, devices, concurrency, REQUESTS, sharded);
+                println!(
+                    "  {name:<9} {:>9.0} req/s  p50 {:>7.3} ms  p95 {:>7.3} ms  \
+                     p99 {:>7.3} ms  (hits {}, misses {}, coalesced {})",
+                    r.req_per_s,
+                    r.p50 * 1e3,
+                    r.p95 * 1e3,
+                    r.p99 * 1e3,
+                    r.summary.cache_hits,
+                    r.summary.cache_misses,
+                    r.summary.coalesced
+                );
+                per_config.push((name, r));
+            }
+            for (name, r) in per_config {
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    json,
+                    "    {{\"model\": \"{model}\", \"devices\": {devices}, \
+                     \"concurrency\": {concurrency}, \"config\": \"{name}\", \
+                     \"requests\": {}, \"req_per_s\": {:.1}, \
+                     \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+                     \"cache_hits\": {}, \"cache_misses\": {}, \"coalesced\": {}}}",
+                    r.summary.requests,
+                    r.req_per_s,
+                    r.p50 * 1e3,
+                    r.p95 * 1e3,
+                    r.p99 * 1e3,
+                    r.summary.cache_hits,
+                    r.summary.cache_misses,
+                    r.summary.coalesced
+                );
+            }
+        }
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"keys_per_cell\": {KEYS},\n  \"requests_per_client\": {REQUESTS}\n}}\n"
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

@@ -16,8 +16,8 @@ mod args;
 use args::Args;
 use pase_baselines::{data_parallel, gnmt_expert, mesh_tf_expert, owt};
 use pase_core::{
-    dependent_set_sizes, generate_seq, optcnn_search, ReductionOutcome, Search, SearchOutcome,
-    SearchReport, SearchResult, SearchStats,
+    dependent_set_sizes, generate_seq, optcnn_search, PruneGate, ReductionOutcome, Search,
+    SearchOutcome, SearchReport, SearchResult, SearchStats,
 };
 use pase_cost::{
     from_sharding_json, to_sharding_json, to_sharding_json_with, validate_strategy, ConfigRule,
@@ -54,6 +54,10 @@ OPTIONS:
                            exact, so results are identical either way)
   --prune-epsilon <e>      prune configs dominated within (1+e) — faster on
                            large p but only (1+e)-optimal (default 0 = exact)
+  --prune-gate <on|off|auto> when to run the dominance prune: \"auto\" skips it
+                           whenever its fixed cost exceeds the predicted DP
+                           savings (never changes results, only time;
+                           default on)
   --json                   print the strategy as a GShard-style sharding spec
                            with an embedded \"search_report\" object
   --trace-out <file>       (search) write a Chrome-trace JSON timeline of the
@@ -71,7 +75,13 @@ OPTIONS:
                            (query) per-request deadline override
   --cache-capacity <n>     (serve) in-memory strategy-cache entries (default 64)
   --cache-dir <dir>        (serve) persist cache entries as JSON files
+  --cache-shards <n>       (serve) cache lock stripes, rounded up to a power of
+                           two (default 16; 1 = single-mutex cache)
+  --no-singleflight        (serve) do not coalesce concurrent identical
+                           queries into one search
   --idle-timeout-ms <ms>   (serve) close connections idle this long (default 30000)
+  --stats                  (query) ask the server for its counters instead of
+                           a strategy
 ";
 
 fn build_model(name: &str, p: u32, weak_scaling: bool) -> Result<Graph, String> {
@@ -96,6 +106,8 @@ struct SearchKnobs {
     prune: bool,
     /// Dominance slack ε for `--prune-epsilon` (0 = exact).
     prune_epsilon: f64,
+    /// `--prune-gate`: when to run the prune (`auto` decides per graph).
+    gate: PruneGate,
 }
 
 impl SearchKnobs {
@@ -104,11 +116,17 @@ impl SearchKnobs {
         if !(prune_epsilon >= 0.0) {
             return Err(format!("--prune-epsilon must be ≥ 0, got {prune_epsilon}"));
         }
+        let gate = match args.get("prune-gate") {
+            None => PruneGate::default(),
+            Some(s) => PruneGate::parse(s)
+                .ok_or_else(|| format!("--prune-gate must be on, off, or auto, got '{s}'"))?,
+        };
         Ok(Self {
             threads: args.get_or("search-threads", 0usize)?,
             intern: !args.has("no-intern"),
             prune: !args.has("no-prune"),
             prune_epsilon,
+            gate,
         })
     }
 }
@@ -139,6 +157,13 @@ fn search_strategy(
         let mut search = Search::new(graph)
             .rule(rule)
             .machine(machine.clone())
+            // --no-prune wins over the gate: never let `auto` re-enable a
+            // prune the user explicitly disabled.
+            .prune_gate(if knobs.prune {
+                knobs.gate
+            } else {
+                PruneGate::Off
+            })
             .table_options(TableOptions {
                 intern: knobs.intern,
                 ..TableOptions::default()
@@ -488,6 +513,8 @@ fn run() -> Result<(), String> {
                 cache_capacity: args.get_or("cache-capacity", 64usize)?,
                 cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
                 idle_timeout: Duration::from_millis(args.get_or("idle-timeout-ms", 30_000u64)?),
+                cache_shards: args.get_or("cache-shards", 16usize)?,
+                singleflight: !args.has("no-singleflight"),
             };
             let server = Server::bind(cfg).map_err(|e| format!("cannot bind server: {e}"))?;
             let addr = server
@@ -502,31 +529,39 @@ fn run() -> Result<(), String> {
             pase_serve::install_sigint(server.shutdown_handle());
             let summary = server.run().map_err(|e| format!("server error: {e}"))?;
             eprintln!(
-                "served {} requests ({} cache hits, {} misses)",
-                summary.requests, summary.cache_hits, summary.cache_misses
+                "served {} requests ({} cache hits, {} misses, {} coalesced)",
+                summary.requests, summary.cache_hits, summary.cache_misses, summary.coalesced
             );
         }
         "query" => {
             use std::io::{BufRead, BufReader, Write as _};
             let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
-            let mut request = format!(
-                "{{\"model\": \"{model}\", \"devices\": {p}, \"machine\": \"{}\", \
-                 \"weak_scaling\": {weak}",
-                machine.name
-            );
-            if knobs.prune && knobs.prune_epsilon > 0.0 {
-                request.push_str(&format!(
-                    ", \"prune\": true, \"epsilon\": {}",
-                    knobs.prune_epsilon
-                ));
-            }
-            if let Some(ms) = args.get("deadline-ms") {
-                let ms: u64 = ms
-                    .parse()
-                    .map_err(|_| format!("invalid --deadline-ms: {ms}"))?;
-                request.push_str(&format!(", \"deadline_ms\": {ms}"));
-            }
-            request.push('}');
+            let request = if args.has("stats") {
+                "{\"stats\": true}".to_string()
+            } else {
+                let mut request = format!(
+                    "{{\"model\": \"{model}\", \"devices\": {p}, \"machine\": \"{}\", \
+                     \"weak_scaling\": {weak}",
+                    machine.name
+                );
+                if knobs.prune && knobs.prune_epsilon > 0.0 {
+                    request.push_str(&format!(
+                        ", \"prune\": true, \"epsilon\": {}",
+                        knobs.prune_epsilon
+                    ));
+                }
+                if knobs.gate != PruneGate::default() {
+                    request.push_str(&format!(", \"prune_gate\": \"{}\"", knobs.gate.as_str()));
+                }
+                if let Some(ms) = args.get("deadline-ms") {
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("invalid --deadline-ms: {ms}"))?;
+                    request.push_str(&format!(", \"deadline_ms\": {ms}"));
+                }
+                request.push('}');
+                request
+            };
             let mut stream = std::net::TcpStream::connect(addr)
                 .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             stream
@@ -677,6 +712,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(SearchKnobs::from_args(&e).unwrap().prune_epsilon, 0.05);
+        let g = Args::parse(
+            "search --prune-gate auto"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(SearchKnobs::from_args(&g).unwrap().gate, PruneGate::Auto);
+        assert_eq!(d.gate, PruneGate::On);
+        let bad_gate = Args::parse(
+            "search --prune-gate maybe"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(SearchKnobs::from_args(&bad_gate).is_err());
         let bad = Args::parse(
             "search --prune-epsilon -1"
                 .split_whitespace()
@@ -701,6 +751,7 @@ mod tests {
                 intern: true,
                 prune: true,
                 prune_epsilon: 0.0,
+                gate: PruneGate::On,
             },
             None,
         )
@@ -715,6 +766,7 @@ mod tests {
                 intern: false,
                 prune: false,
                 prune_epsilon: 0.0,
+                gate: PruneGate::On,
             },
             None,
         )

@@ -101,6 +101,16 @@ pub struct SearchStats {
     /// [`pase_cost::CostTables`] the search ran on (0 when the tables were
     /// built without interning).
     pub intern_hit_rate: f64,
+    /// `true` when the adaptive prune gate (`PruneGate::Auto`) decided to
+    /// skip the dominance prune because its fixed cost was predicted to
+    /// exceed the DP savings. Always `false` for `PruneGate::On`/`Off`.
+    pub prune_skipped: bool,
+    /// The gate's DP-work estimate (total `(substrategy, configuration)`
+    /// evaluations over the unpruned tables); `0` when the gate did not run.
+    pub gate_dp_est: u64,
+    /// The gate's prune-work estimate (dominance cost comparisons across
+    /// distinct pruning signatures); `0` when the gate did not run.
+    pub gate_prune_est: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
 }

@@ -43,6 +43,7 @@
 
 use crate::budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats, DP_ENTRY_BYTES};
 use crate::ordering::{make_ordering, OrderingKind};
+use crate::pool::{self, Scratch};
 use crate::structure::{ConnectedSetMode, VertexStructure};
 use pase_cost::{CostTables, PruneOptions, PrunedTables};
 use pase_graph::{EdgeId, Graph, NodeId};
@@ -79,14 +80,6 @@ impl Default for DpOptions {
             parallel: true,
         }
     }
-}
-
-/// Per-thread scratch buffers for the table-fill loop, grown on demand to
-/// the widest dependent set / child list a chunk needs.
-#[derive(Default)]
-struct Scratch {
-    digits: Vec<u16>,
-    child_base: Vec<u64>,
 }
 
 /// One DP table: `R_V(i, ·)` and the argmin configurations over the dense
@@ -153,6 +146,14 @@ struct FillChunk<'a> {
     start: u64,
     costs: &'a mut [f64],
     choice: &'a mut [u16],
+}
+
+/// Return every finished table's buffers to this thread's pool (see
+/// [`crate::pool`]) once the search no longer reads them.
+fn recycle_tables(dp: Vec<Option<Table>>) {
+    for t in dp.into_iter().flatten() {
+        pool::recycle_table(t.costs, t.choice);
+    }
 }
 
 /// Run FindBestStrategy with breadth-first ordering and prefix connected
@@ -303,11 +304,18 @@ pub fn find_best_strategy_traced(
 /// [`pase_obs::phase::SEQUENTIAL_FILL`] span when `opts.parallel` is off —
 /// and [`pase_obs::phase::BACKTRACK`] for strategy extraction). Results are
 /// identical with and without a trace.
-pub(crate) fn run_traced(
+///
+/// Accepts a caller-supplied [`VertexStructure`] (which depends only on the
+/// graph, ordering, and connected-set mode — never on the tables, so one
+/// build serves the adaptive gate's estimation, a pruned DP, and an
+/// unpruned DP alike). With `None` the structure is built here under the
+/// usual [`pase_obs::phase::STRUCTURE`] span.
+pub(crate) fn run_with_structure(
     graph: &Graph,
     tables: &CostTables,
     opts: &DpOptions,
     trace: Option<&Trace>,
+    prebuilt: Option<VertexStructure>,
 ) -> SearchOutcome {
     let start = Instant::now();
     let n = graph.len();
@@ -318,12 +326,17 @@ pub(crate) fn run_traced(
             stats: SearchStats::default(),
         });
     }
-    let mut span = span_in(trace, phase::STRUCTURE);
-    let order = make_ordering(graph, opts.ordering);
-    let structure = VertexStructure::build(graph, &order, opts.mode);
-    span.arg("nodes", n);
-    span.arg("wavefronts", structure.wavefronts().len());
-    drop(span);
+    let structure = match prebuilt {
+        Some(s) => s,
+        None => {
+            let mut span = span_in(trace, phase::STRUCTURE);
+            let order = make_ordering(graph, opts.ordering);
+            let s = VertexStructure::build(graph, &order, opts.mode);
+            span.arg("nodes", n);
+            span.arg("wavefronts", s.wavefronts().len());
+            s
+        }
+    };
     let deadline = start + opts.budget.max_time;
 
     let mut stats = SearchStats {
@@ -469,10 +482,7 @@ pub(crate) fn run_traced(
             let wave_children: Vec<Vec<ChildCoef>> = wave.iter().map(|&i| children_of(i)).collect();
             let mut outs: Vec<(Vec<f64>, Vec<u16>)> = wave
                 .iter()
-                .map(|&i| {
-                    let size = plans[i].size as usize;
-                    (vec![0.0f64; size], vec![0u16; size])
-                })
+                .map(|&i| pool::take_table(plans[i].size as usize))
                 .collect();
             let total_entries: usize = wave.iter().map(|&i| plans[i].size as usize).sum();
 
@@ -497,7 +507,7 @@ pub(crate) fn run_traced(
                 let timed_out_ref = &timed_out;
                 chunks
                     .into_par_iter()
-                    .for_each_init(Scratch::default, |scratch, mut chunk| {
+                    .for_each_init(pool::take_scratch, |scratch, mut chunk| {
                         if timed_out_ref.load(AtomicOrdering::Relaxed) {
                             return;
                         }
@@ -516,7 +526,7 @@ pub(crate) fn run_traced(
                         );
                     });
             } else {
-                let mut scratch = Scratch::default();
+                let mut scratch = pool::take_scratch();
                 for (w, (costs, choice)) in outs.iter_mut().enumerate() {
                     if Instant::now() > deadline {
                         timed_out.store(true, AtomicOrdering::Relaxed);
@@ -543,6 +553,10 @@ pub(crate) fn run_traced(
             wave_span.arg("entries", total_entries);
             drop(wave_span);
             if timed_out.load(AtomicOrdering::Relaxed) {
+                for (costs, choice) in outs {
+                    pool::recycle_table(costs, choice);
+                }
+                recycle_tables(dp);
                 stats.elapsed = start.elapsed();
                 return SearchOutcome::Timeout { stats };
             }
@@ -561,14 +575,15 @@ pub(crate) fn run_traced(
         let mut fill_span = span_in(trace, phase::SEQUENTIAL_FILL);
         fill_span.arg("tables", n);
         fill_span.arg("entries", stats.table_entries);
-        let mut scratch = Scratch::default();
+        let mut scratch = pool::take_scratch();
         for i in 0..n {
             let children = children_of(i);
             let size = plans[i].size as usize;
-            let mut costs = vec![0.0f64; size];
-            let mut choice = vec![0u16; size];
+            let (mut costs, mut choice) = pool::take_table(size);
             for lo in (0..size).step_by(CHUNK) {
                 if Instant::now() > deadline {
+                    pool::recycle_table(costs, choice);
+                    recycle_tables(dp);
                     stats.elapsed = start.elapsed();
                     return SearchOutcome::Timeout { stats };
                 }
@@ -631,6 +646,7 @@ pub(crate) fn run_traced(
         "every node must be assigned"
     );
     drop(backtrack_span);
+    recycle_tables(dp);
 
     stats.elapsed = start.elapsed();
     SearchOutcome::Found(SearchResult {
@@ -704,13 +720,18 @@ pub fn find_best_strategy_pruned_traced(
 
 /// The prune-then-search pipeline behind [`crate::Search::pruning`]: a
 /// [`pase_obs::phase::PRUNE`] span for the dominance-pruning pass plus
-/// everything [`run_traced`] records for the DP proper.
-pub(crate) fn run_pruned_traced(
+/// everything [`run_with_structure`] records for the DP proper.
+///
+/// The caller-supplied [`VertexStructure`] (if any) is table-independent,
+/// so the one the adaptive gate built for its estimate drives the pruned
+/// DP unchanged.
+pub(crate) fn run_pruned_with_structure(
     graph: &Graph,
     tables: &CostTables,
     opts: &DpOptions,
     prune: &PruneOptions,
     trace: Option<&Trace>,
+    prebuilt: Option<VertexStructure>,
 ) -> SearchOutcome {
     let pruned = PrunedTables::build_traced(graph, tables, prune, trace);
     let ps = *pruned.stats();
@@ -729,7 +750,7 @@ pub(crate) fn run_pruned_traced(
     }
     let mut remaining = *opts;
     remaining.budget.max_time = opts.budget.max_time - ps.elapsed;
-    let mut outcome = run_traced(graph, pruned.tables(), &remaining, trace);
+    let mut outcome = run_with_structure(graph, pruned.tables(), &remaining, trace, prebuilt);
     match &mut outcome {
         SearchOutcome::Found(r) => {
             r.config_ids = pruned.to_original_ids(&r.config_ids);

@@ -29,7 +29,9 @@ mod brute;
 mod budget;
 mod dp;
 mod error;
+mod gate;
 mod ordering;
+mod pool;
 mod reduction;
 mod report;
 mod search;
@@ -44,6 +46,7 @@ pub use dp::{
 };
 pub use dp::{naive_best_strategy, DpOptions};
 pub use error::Error;
+pub use gate::PruneGate;
 pub use ordering::{
     dependent_set_sizes, generate_seq, generate_seq_with_sets, make_ordering, search_profile,
     OrderingKind, PositionProfile,

@@ -1,0 +1,166 @@
+//! Thread-local buffer pools for the DP hot path.
+//!
+//! Every search allocates one `(Vec<f64>, Vec<u16>)` pair per DP table plus
+//! per-thread odometer scratch. A standalone search pays that once, but the
+//! planner service runs many small searches per second on a fixed worker
+//! pool — the same sizes over and over — so the allocations are pure churn.
+//! These pools recycle the buffers per thread: a serve worker's second
+//! request on a model reuses its first request's tables.
+//!
+//! Reuse is bounded and safe:
+//! * table buffers are handed out zero-filled via `clear()` + `resize(…, 0)`
+//!   — content-identical to a fresh `vec![0; n]`, no `unsafe`;
+//! * only buffers of at most [`MAX_POOLED_ENTRIES`] entries are retained,
+//!   and at most [`MAX_POOLED_TABLES`] of them, so a worker thread never
+//!   pins more than ~26 MiB (the Transformer-p64-class giants are freed
+//!   normally);
+//! * pools are `thread_local!`, so there is no locking and no cross-thread
+//!   aliasing.
+
+use std::cell::RefCell;
+
+/// Per-thread scratch buffers for the table-fill loop, grown on demand to
+/// the widest dependent set / child list a chunk needs.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    pub(crate) digits: Vec<u16>,
+    pub(crate) child_base: Vec<u64>,
+}
+
+/// Retain at most this many `(costs, choice)` pairs per thread.
+const MAX_POOLED_TABLES: usize = 32;
+
+/// Do not retain buffers above this capacity (entries): 2^18 entries is
+/// 2 MiB of `f64` + 0.5 MiB of `u16`, so the per-thread high-water mark is
+/// bounded at `MAX_POOLED_TABLES × 2.5 MiB`.
+const MAX_POOLED_ENTRIES: usize = 1 << 18;
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+    static TABLES: RefCell<Vec<(Vec<f64>, Vec<u16>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A pooled [`Scratch`] that returns itself to the thread's pool on drop.
+pub(crate) struct PooledScratch(Scratch);
+
+impl std::ops::Deref for PooledScratch {
+    type Target = Scratch;
+    fn deref(&self) -> &Scratch {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        &mut self.0
+    }
+}
+
+impl Drop for PooledScratch {
+    fn drop(&mut self) {
+        let s = std::mem::take(&mut self.0);
+        SCRATCH.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < MAX_POOLED_TABLES {
+                pool.push(s);
+            }
+        });
+    }
+}
+
+/// Take a scratch buffer from this thread's pool (or a fresh one).
+pub(crate) fn take_scratch() -> PooledScratch {
+    PooledScratch(
+        SCRATCH
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default(),
+    )
+}
+
+/// Take a zero-filled `(costs, choice)` pair of length `size` — recycled
+/// from this thread's pool when a buffer is available, freshly allocated
+/// otherwise. Content is identical to `(vec![0.0; size], vec![0; size])`.
+pub(crate) fn take_table(size: usize) -> (Vec<f64>, Vec<u16>) {
+    let pooled = TABLES.with(|pool| pool.borrow_mut().pop());
+    match pooled {
+        Some((mut costs, mut choice)) => {
+            costs.clear();
+            costs.resize(size, 0.0);
+            choice.clear();
+            choice.resize(size, 0);
+            (costs, choice)
+        }
+        None => (vec![0.0; size], vec![0; size]),
+    }
+}
+
+/// Return a `(costs, choice)` pair to this thread's pool. Oversized or
+/// surplus buffers are dropped (freed) instead of retained.
+pub(crate) fn recycle_table(costs: Vec<f64>, choice: Vec<u16>) {
+    if costs.capacity() > MAX_POOLED_ENTRIES {
+        return;
+    }
+    TABLES.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED_TABLES {
+            pool.push((costs, choice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_tables_come_back_zeroed() {
+        let (mut costs, mut choice) = take_table(8);
+        costs.fill(7.5);
+        choice.fill(3);
+        recycle_table(costs, choice);
+        let (costs, choice) = take_table(16);
+        assert_eq!(costs.len(), 16);
+        assert_eq!(choice.len(), 16);
+        assert!(costs.iter().all(|&c| c == 0.0));
+        assert!(choice.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        recycle_table(
+            vec![0.0; MAX_POOLED_ENTRIES + 1],
+            vec![0; MAX_POOLED_ENTRIES + 1],
+        );
+        TABLES.with(|pool| {
+            assert!(pool
+                .borrow()
+                .iter()
+                .all(|(c, _)| c.capacity() <= MAX_POOLED_ENTRIES));
+        });
+    }
+
+    #[test]
+    fn pool_size_is_bounded() {
+        for _ in 0..3 * MAX_POOLED_TABLES {
+            recycle_table(vec![0.0; 4], vec![0; 4]);
+        }
+        TABLES.with(|pool| assert!(pool.borrow().len() <= MAX_POOLED_TABLES));
+        for _ in 0..3 * MAX_POOLED_TABLES {
+            let _ = take_scratch();
+        }
+        SCRATCH.with(|pool| assert!(pool.borrow().len() <= MAX_POOLED_TABLES));
+    }
+
+    #[test]
+    fn scratch_round_trips_through_the_pool() {
+        {
+            let mut s = take_scratch();
+            s.digits.resize(5, 1);
+            s.child_base.resize(5, 2);
+        } // dropped → pooled
+        let s = take_scratch();
+        // Capacity may be reused; the DP clears before use, so content is
+        // irrelevant — only that we got a scratch at all.
+        let _ = (s.digits.capacity(), s.child_base.capacity());
+    }
+}

@@ -89,7 +89,8 @@ impl SearchReport {
              \"k_before\": {}, \"prune_time\": {}, \"table_entries\": {}, \
              \"peak_table_bytes\": {}, \"states_evaluated\": {}, \
              \"wavefronts\": {}, \"max_wavefront_width\": {}, \
-             \"intern_hit_rate\": {}, \"elapsed\": {}}}",
+             \"intern_hit_rate\": {}, \"prune_skipped\": {}, \
+             \"gate_dp_est\": {}, \"gate_prune_est\": {}, \"elapsed\": {}}}",
             s.max_dependent_set,
             s.max_configs,
             s.k_before,
@@ -100,6 +101,9 @@ impl SearchReport {
             s.wavefronts,
             s.max_wavefront_width,
             json::number(s.intern_hit_rate),
+            s.prune_skipped,
+            s.gate_dp_est,
+            s.gate_prune_est,
             json::number(s.elapsed.as_secs_f64())
         );
         out.push_str(", \"phases\": {");

@@ -17,13 +17,17 @@
 //! delegate here and are bit-identical by construction.
 
 use crate::budget::{SearchBudget, SearchOutcome, SearchResult};
-use crate::dp::{run_pruned_traced, run_traced, DpOptions};
+use crate::dp::{run_pruned_with_structure, run_with_structure, DpOptions};
 use crate::error::Error;
-use crate::ordering::OrderingKind;
-use crate::structure::ConnectedSetMode;
-use pase_cost::{ConfigRule, ConfigSpace, CostTables, MachineSpec, PruneOptions, TableOptions};
+use crate::gate::{self, PruneGate};
+use crate::ordering::{make_ordering, OrderingKind};
+use crate::structure::{ConnectedSetMode, VertexStructure};
+use pase_cost::{
+    estimate_prune_work, ConfigRule, ConfigSpace, CostTables, MachineSpec, PruneOptions,
+    TableOptions,
+};
 use pase_graph::Graph;
-use pase_obs::Trace;
+use pase_obs::{phase, span_in, OptSpan, Trace};
 
 /// A configured-but-not-yet-run strategy search. See the module docs.
 ///
@@ -64,6 +68,7 @@ pub struct Search<'a> {
     space: Option<&'a ConfigSpace>,
     tables: Option<&'a CostTables>,
     prune: Option<PruneOptions>,
+    gate: PruneGate,
     dp: DpOptions,
     trace: Option<&'a Trace>,
 }
@@ -81,6 +86,7 @@ impl<'a> Search<'a> {
             space: None,
             tables: None,
             prune: None,
+            gate: PruneGate::On,
             dp: DpOptions::default(),
             trace: None,
         }
@@ -117,6 +123,25 @@ impl<'a> Search<'a> {
     /// is bit-identical to the unpruned search.
     pub fn pruning(mut self, opts: PruneOptions) -> Self {
         self.prune = Some(opts);
+        self
+    }
+
+    /// When to run the dominance prune (default [`PruneGate::On`]):
+    ///
+    /// * [`PruneGate::On`] — prune iff [`Search::pruning`] was called (the
+    ///   historical behavior);
+    /// * [`PruneGate::Off`] — never prune, even with options supplied;
+    /// * [`PruneGate::Auto`] — estimate DP work vs. prune work and prune
+    ///   only when predicted to pay off, using the supplied
+    ///   [`PruneOptions`] (or the exact-mode default when none were given).
+    ///   The decision and both estimates land in
+    ///   [`crate::SearchStats::prune_skipped`] / `gate_dp_est` /
+    ///   `gate_prune_est`.
+    ///
+    /// Exact (ε = 0) pruning is bit-identical to not pruning, so with
+    /// default prune options every gate mode returns the same optimum.
+    pub fn prune_gate(mut self, gate: PruneGate) -> Self {
+        self.gate = gate;
         self
     }
 
@@ -203,10 +228,57 @@ impl<'a> Search<'a> {
                 TablesHandle::Owned(built)
             }
         };
-        let outcome = match &self.prune {
-            Some(popts) => run_pruned_traced(self.graph, tables.get(), &self.dp, popts, self.trace),
-            None => run_traced(self.graph, tables.get(), &self.dp, self.trace),
+        // Resolve the gate into (prune options to use, gate telemetry).
+        // Auto builds the ordering + structure up front — the structure
+        // depends only on (graph, ordering, mode), so the DP reuses it
+        // verbatim and the gate's only extra work is the two estimates.
+        let mut prebuilt: Option<VertexStructure> = None;
+        let mut gate_stats: Option<(bool, u64, u64)> = None;
+        let popts: Option<PruneOptions> = match self.gate {
+            PruneGate::On => self.prune,
+            PruneGate::Off => None,
+            PruneGate::Auto if self.graph.is_empty() => self.prune,
+            PruneGate::Auto => {
+                let structure = {
+                    let mut span = span_in(self.trace, phase::STRUCTURE);
+                    let order = make_ordering(self.graph, self.dp.ordering);
+                    let s = VertexStructure::build(self.graph, &order, self.dp.mode);
+                    span.arg("nodes", self.graph.len());
+                    span.arg("wavefronts", s.wavefronts().len());
+                    s
+                };
+                let dp_est = gate::estimate_dp_work(&structure, tables.get());
+                let prune_est = estimate_prune_work(self.graph, tables.get());
+                let keep = gate::prune_pays_off(dp_est, prune_est);
+                prebuilt = Some(structure);
+                gate_stats = Some((!keep, dp_est, prune_est));
+                if keep {
+                    Some(self.prune.unwrap_or_default())
+                } else {
+                    None
+                }
+            }
         };
+        let mut outcome = match &popts {
+            Some(popts) => run_pruned_with_structure(
+                self.graph,
+                tables.get(),
+                &self.dp,
+                popts,
+                self.trace,
+                prebuilt,
+            ),
+            None => run_with_structure(self.graph, tables.get(), &self.dp, self.trace, prebuilt),
+        };
+        if let Some((skipped, dp_est, prune_est)) = gate_stats {
+            let stats = match &mut outcome {
+                SearchOutcome::Found(r) => &mut r.stats,
+                SearchOutcome::Oom { stats, .. } | SearchOutcome::Timeout { stats } => stats,
+            };
+            stats.prune_skipped = skipped;
+            stats.gate_dp_est = dp_est;
+            stats.gate_prune_est = prune_est;
+        }
         SearchRun { outcome, tables }
     }
 }

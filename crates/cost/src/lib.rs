@@ -49,7 +49,7 @@ pub use events::{layer_comm_events, layer_compute_flops, Collective, CommEvent, 
 pub use export::{from_sharding_json, to_sharding_json, to_sharding_json_with};
 pub use layer::layer_cost;
 pub use machine::MachineSpec;
-pub use prune::{PruneOptions, PruneStats, PrunedTables};
+pub use prune::{estimate_prune_work, PruneOptions, PruneStats, PrunedTables};
 pub use sharding::{replication, shard_bytes, shard_elements, tensor_sharding};
 pub use strategy::{evaluate, validate_strategy, Strategy};
 pub use tables::{CostTables, InternStats, TableOptions};

@@ -174,6 +174,58 @@ fn keep_set(layer: &LayerEntry, edge_views: &[(&EdgeTable, bool)], epsilon: f64)
     kept
 }
 
+/// Estimate the cost-comparison count a [`PrunedTables::build`] over these
+/// tables would pay, for the adaptive prune gate: per distinct pruning
+/// signature, the worst-case dominance scan is `k²` candidate pairs, each
+/// comparing one layer cost plus every entry of every incident edge view
+/// (`k_dst` per out-edge row, `k_src` per in-edge column). This
+/// deliberately re-runs only the cheap `O(|V| + |E|)` signature-grouping
+/// pass — never the scans themselves — so the gate's overhead stays
+/// negligible against either branch of its decision. Saturating, for the
+/// same reason the DP estimate saturates: enormous estimates only ever
+/// compare against other enormous numbers.
+pub fn estimate_prune_work(graph: &Graph, tables: &CostTables) -> u64 {
+    let mut seen: FxHashMap<Signature, ()> = FxHashMap::default();
+    let mut total: u64 = 0;
+    for v in graph.node_ids() {
+        let mut edges: Vec<(u32, bool)> = graph
+            .out_edges(v)
+            .iter()
+            .map(|&e| (tables.edge_class[e.index()], true))
+            .chain(
+                graph
+                    .in_edges(v)
+                    .iter()
+                    .map(|&e| (tables.edge_class[e.index()], false)),
+            )
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let sig = Signature {
+            layer_class: tables.node_class[v.index()],
+            edges,
+        };
+        if seen.contains_key(&sig) {
+            continue;
+        }
+        let k = tables.layer_pool[sig.layer_class as usize].configs.len() as u64;
+        let mut per_pair: u64 = 1; // the layer-cost comparison
+        for &(ec, is_src) in &sig.edges {
+            let table = &tables.edge_pool[ec as usize];
+            let kd = table.k_dst as usize;
+            let len = if is_src {
+                kd
+            } else {
+                table.costs.len() / kd.max(1)
+            };
+            per_pair = per_pair.saturating_add(len as u64);
+        }
+        total = total.saturating_add(k.saturating_mul(k).saturating_mul(per_pair));
+        seen.insert(sig, ());
+    }
+    total
+}
+
 impl PrunedTables {
     /// Prune `tables` (built for `graph`) by exact dominance — or
     /// ε-approximate dominance when `opts.epsilon > 0` — and compact the

@@ -319,24 +319,35 @@ impl StrategyCache {
     /// Counts a hit or a miss; a disk hit is promoted into memory.
     /// Unreadable, malformed, or wrong-schema disk entries are misses.
     pub fn get(&mut self, key: u64) -> Option<CacheEntry> {
+        let entry = self.peek(key);
+        match entry {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        entry
+    }
+
+    /// [`StrategyCache::get`] without touching the hit/miss counters, for
+    /// callers (the sharded serve-path cache) that account hits, misses,
+    /// and singleflight-coalesced lookups themselves — a coalesced request
+    /// re-probes the cache after waiting and must not inflate `hits`.
+    /// Still refreshes LRU recency and promotes disk entries into memory.
+    pub fn peek(&mut self, key: u64) -> Option<CacheEntry> {
         self.tick += 1;
         if let Some(slot) = self.map.get_mut(&key) {
             slot.last_used = self.tick;
-            self.hits += 1;
             return Some(slot.entry.clone());
         }
         if let Some(path) = self.disk_path(key) {
             if let Ok(src) = std::fs::read_to_string(&path) {
                 if let Ok((k, entry)) = CacheEntry::from_json(&src) {
                     if k == key {
-                        self.hits += 1;
                         self.insert_mem(key, entry.clone());
                         return Some(entry);
                     }
                 }
             }
         }
-        self.misses += 1;
         None
     }
 

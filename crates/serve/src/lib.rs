@@ -33,9 +33,14 @@
 pub mod cache;
 pub mod protocol;
 mod server;
+pub mod sharded;
 
 pub use cache::{strategy_cache_key, CacheEntry, StrategyCache};
-pub use protocol::{error_json, response_json, Request};
+pub use protocol::{
+    error_json, response_json, write_error_json, write_response_json, write_stats_json, Request,
+    RequestKind,
+};
 #[cfg(unix)]
 pub use server::install_sigint;
 pub use server::{ServeSummary, Server, ServerConfig, ShutdownHandle};
+pub use sharded::{CacheCounters, Lookup, MissGuard, ShardedCache};

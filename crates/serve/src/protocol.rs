@@ -15,8 +15,11 @@
 //! ```
 //!
 //! Only `"model"` is required. Defaults: 8 devices, the `1080ti` profile,
-//! weak scaling on, pruning off, the standard [`SearchBudget`], and the
-//! server's configured per-request deadline.
+//! weak scaling on, pruning off, prune gate `"on"`, the standard
+//! [`SearchBudget`], and the server's configured per-request deadline.
+//! `"prune_gate"` may be `"on"`, `"off"`, or `"auto"` (the adaptive gate;
+//! never changes the returned optimum, only whether the dominance prune
+//! runs).
 //!
 //! ## Response
 //!
@@ -27,12 +30,49 @@
 //! ```
 //!
 //! or, on failure, `{"schema_version": 1, "error": "…"}`.
+//!
+//! ## Stats
+//!
+//! `{"stats": true}` returns the server's counters instead of running a
+//! search:
+//!
+//! ```json
+//! {"schema_version": 1, "stats": {"requests": 120, "cache_hits": 80,
+//!  "cache_misses": 25, "coalesced": 15, "in_flight": 2}}
+//! ```
+//!
+//! `coalesced` counts requests answered by waiting on another request's
+//! identical in-flight search (the singleflight layer); `in_flight` is the
+//! number of searches running at the instant of the probe.
 
-use pase_core::{Error, SearchBudget, SCHEMA_VERSION};
+use pase_core::{Error, PruneGate, SearchBudget, SCHEMA_VERSION};
 use pase_cost::MachineSpec;
 use pase_obs::json;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// One parsed request line: a strategy search or a stats probe.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestKind {
+    /// A strategy-search request.
+    Search(Box<Request>),
+    /// A `{"stats": true}` counter probe.
+    Stats,
+}
+
+impl RequestKind {
+    /// Parse one request line, dispatching on the `"stats"` marker.
+    pub fn parse(line: &str) -> Result<Self, Error> {
+        let v = json::parse(line).map_err(Error::Protocol)?;
+        if let Some(s) = v.get("stats") {
+            return match s.as_bool() {
+                Some(true) => Ok(RequestKind::Stats),
+                _ => Err(Error::Protocol("\"stats\" must be true".into())),
+            };
+        }
+        Request::parse(line).map(|r| RequestKind::Search(Box::new(r)))
+    }
+}
 
 /// A parsed, validated planner request.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,6 +90,9 @@ pub struct Request {
     pub prune: bool,
     /// Prune slack ε (default 0.0 = exact; only meaningful with `prune`).
     pub epsilon: f64,
+    /// When to run the prune: `"on"` (iff `prune`), `"off"`, or `"auto"`
+    /// (the adaptive gate; default `"on"`).
+    pub prune_gate: PruneGate,
     /// Search budget (entry cap / wall clock from the request, with the
     /// time cap still subject to the server's per-request deadline).
     pub budget: SearchBudget,
@@ -128,6 +171,12 @@ impl Request {
                 .ok_or_else(|| Error::Protocol("\"epsilon\" must be a number ≥ 0".into()))?,
             None => 0.0,
         };
+        let prune_gate = match v.get("prune_gate") {
+            Some(g) => g.as_str().and_then(PruneGate::parse).ok_or_else(|| {
+                Error::Protocol("\"prune_gate\" must be \"auto\", \"on\", or \"off\"".into())
+            })?,
+            None => PruneGate::On,
+        };
         Ok(Request {
             model,
             devices,
@@ -135,24 +184,28 @@ impl Request {
             weak_scaling: bool_field("weak_scaling", true)?,
             prune: bool_field("prune", false)?,
             epsilon,
+            prune_gate,
             budget,
             deadline,
         })
     }
 }
 
-/// Render a success response line (no trailing newline).
+/// Render a success response line (no trailing newline) into `out`,
+/// appending — clear the buffer first to reuse it across requests (the
+/// serve workers hold one buffer each instead of allocating per response).
 ///
 /// `report_json` is spliced in verbatim — it is already a JSON object —
 /// and `strategy` is `Some` only when the search found an optimum.
-pub fn response_json(
+pub fn write_response_json(
+    out: &mut String,
     cache_key: u64,
     cached: bool,
     cost: Option<f64>,
     strategy: Option<&[u16]>,
     report_json: &str,
-) -> String {
-    let mut out = String::with_capacity(128 + report_json.len());
+) {
+    out.reserve(128 + report_json.len());
     let _ = write!(
         out,
         "{{\"schema_version\": {SCHEMA_VERSION}, \"cached\": {cached}, \
@@ -177,15 +230,55 @@ pub fn response_json(
         None => out.push_str("null"),
     }
     let _ = write!(out, ", \"report\": {report_json}}}");
+}
+
+/// [`write_response_json`] into a fresh `String`.
+pub fn response_json(
+    cache_key: u64,
+    cached: bool,
+    cost: Option<f64>,
+    strategy: Option<&[u16]>,
+    report_json: &str,
+) -> String {
+    let mut out = String::new();
+    write_response_json(&mut out, cache_key, cached, cost, strategy, report_json);
     out
 }
 
-/// Render an error response line (no trailing newline).
-pub fn error_json(err: &Error) -> String {
-    format!(
+/// Render an error response line (no trailing newline) into `out`,
+/// appending.
+pub fn write_error_json(out: &mut String, err: &Error) {
+    let _ = write!(
+        out,
         "{{\"schema_version\": {SCHEMA_VERSION}, \"error\": \"{}\"}}",
         json::escape(&err.to_string())
-    )
+    );
+}
+
+/// [`write_error_json`] into a fresh `String`.
+pub fn error_json(err: &Error) -> String {
+    let mut out = String::new();
+    write_error_json(&mut out, err);
+    out
+}
+
+/// Render the `stats` response line (no trailing newline) into `out`,
+/// appending. Field meanings are documented in the module docs.
+pub fn write_stats_json(
+    out: &mut String,
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    in_flight: u64,
+) {
+    let _ = write!(
+        out,
+        "{{\"schema_version\": {SCHEMA_VERSION}, \"stats\": {{\
+         \"requests\": {requests}, \"cache_hits\": {hits}, \
+         \"cache_misses\": {misses}, \"coalesced\": {coalesced}, \
+         \"in_flight\": {in_flight}}}}}"
+    );
 }
 
 #[cfg(test)]
@@ -259,6 +352,54 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn stats_requests_and_gate_values_parse() {
+        assert_eq!(
+            RequestKind::parse("{\"stats\": true}").unwrap(),
+            RequestKind::Stats
+        );
+        assert!(matches!(
+            RequestKind::parse("{\"stats\": 1}"),
+            Err(Error::Protocol(_))
+        ));
+        match RequestKind::parse("{\"model\": \"mlp\", \"prune_gate\": \"auto\"}").unwrap() {
+            RequestKind::Search(r) => assert_eq!(r.prune_gate, PruneGate::Auto),
+            other => panic!("expected a search request, got {other:?}"),
+        }
+        assert_eq!(
+            Request::parse("{\"model\": \"mlp\"}").unwrap().prune_gate,
+            PruneGate::On
+        );
+        assert!(matches!(
+            Request::parse("{\"model\": \"mlp\", \"prune_gate\": \"maybe\"}"),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn stats_response_shape() {
+        let mut out = String::new();
+        write_stats_json(&mut out, 10, 5, 3, 2, 1);
+        let v = json::parse(&out).unwrap();
+        let stats = v.get("stats").expect("stats object");
+        assert_eq!(stats.get("requests").and_then(|x| x.as_u64()), Some(10));
+        assert_eq!(stats.get("cache_hits").and_then(|x| x.as_u64()), Some(5));
+        assert_eq!(stats.get("cache_misses").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(stats.get("coalesced").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(stats.get("in_flight").and_then(|x| x.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn buffered_writers_match_the_allocating_forms() {
+        let mut buf = String::from("junk");
+        buf.clear();
+        write_response_json(&mut buf, 7, false, Some(1.0), Some(&[3]), "{}");
+        assert_eq!(buf, response_json(7, false, Some(1.0), Some(&[3]), "{}"));
+        buf.clear();
+        write_error_json(&mut buf, &Error::Protocol("x".into()));
+        assert_eq!(buf, error_json(&Error::Protocol("x".into())));
     }
 
     #[test]

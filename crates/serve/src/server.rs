@@ -9,11 +9,17 @@
 //! drain buffered and in-flight requests before the pool joins.
 //!
 //! Observability rides on a [`pase_obs::Trace`]: one `"request"` span per
-//! request (latency), plus `requests` / `cache_hits` / `cache_misses`
-//! counter samples.
+//! request (latency), plus `requests` / `cache_hits` / `cache_misses` /
+//! `coalesced` counter samples.
+//!
+//! The cache sits behind a [`ShardedCache`] — lock-striped stripes plus a
+//! singleflight layer that coalesces concurrent identical queries into one
+//! search (see [`crate::sharded`]); the `{"stats": true}` wire request
+//! exposes its counters.
 
-use crate::cache::{strategy_cache_key, CacheEntry, StrategyCache};
-use crate::protocol::{error_json, response_json, Request};
+use crate::cache::{strategy_cache_key, CacheEntry};
+use crate::protocol::{write_error_json, write_response_json, write_stats_json, RequestKind};
+use crate::sharded::{Lookup, ShardedCache};
 use pase_core::{Search, SearchOutcome, SearchReport};
 use pase_cost::{ConfigRule, PruneOptions};
 use pase_obs::Trace;
@@ -27,6 +33,12 @@ use std::time::Duration;
 /// How long the accept loop sleeps between polls, and the read timeout
 /// granularity at which idle connections notice a shutdown.
 const POLL: Duration = Duration::from_millis(20);
+
+/// Accept-loop sleep. Unlike the read timeout (which wakes as soon as
+/// bytes arrive), this sleep bounds how long a queued connection waits to
+/// be accepted, so it is kept much shorter than [`POLL`] — at 20ms it was
+/// the p99 of every benchmarked request mix.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
 /// Maximum accepted request-line length. A client streaming bytes without
 /// a newline is cut off here instead of growing the buffer unboundedly.
@@ -51,6 +63,11 @@ pub struct ServerConfig {
     /// occupies a worker for its whole lifetime) and starve the accept
     /// queue.
     pub idle_timeout: Duration,
+    /// Cache lock stripes (rounded up to a power of two; default 16).
+    /// `1` reproduces the single-mutex PR 4 cache for A/B benchmarking.
+    pub cache_shards: usize,
+    /// Coalesce concurrent identical queries into one search (default on).
+    pub singleflight: bool,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +79,8 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             cache_dir: None,
             idle_timeout: Duration::from_secs(30),
+            cache_shards: 16,
+            singleflight: true,
         }
     }
 }
@@ -69,18 +88,21 @@ impl Default for ServerConfig {
 /// Totals reported by [`Server::run`] after shutdown.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Requests answered (including error responses).
+    /// Requests answered (including error and stats responses).
     pub requests: u64,
     /// Requests answered from the strategy cache.
     pub cache_hits: u64,
     /// Requests that ran a fresh search.
     pub cache_misses: u64,
+    /// Requests answered by waiting on another request's identical
+    /// in-flight search (the singleflight layer).
+    pub coalesced: u64,
 }
 
 /// Shared per-server state handed to every worker.
 struct Shared {
     cfg: ServerConfig,
-    cache: Mutex<StrategyCache>,
+    cache: ShardedCache,
     shutdown: AtomicBool,
     trace: Trace,
     requests: AtomicU64,
@@ -98,15 +120,17 @@ impl Server {
     /// accept connections until [`Server::run`].
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        let mut cache = StrategyCache::new(cfg.cache_capacity);
-        if let Some(dir) = &cfg.cache_dir {
-            cache = cache.with_disk_dir(dir);
-        }
+        let cache = ShardedCache::new(
+            cfg.cache_shards,
+            cfg.cache_capacity,
+            cfg.cache_dir.clone(),
+            cfg.singleflight,
+        );
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
                 cfg,
-                cache: Mutex::new(cache),
+                cache,
                 shutdown: AtomicBool::new(false),
                 trace: Trace::new(),
                 requests: AtomicU64::new(0),
@@ -137,14 +161,19 @@ impl Server {
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let shared = Arc::clone(&self.shared);
-                std::thread::spawn(move || loop {
-                    // Holding the lock only for recv() keeps the pool
-                    // work-stealing: whichever worker is idle takes the
-                    // next connection.
-                    let next = rx.lock().expect("worker queue").recv();
-                    match next {
-                        Ok(stream) => handle_connection(stream, &shared),
-                        Err(_) => break, // accept loop closed the channel
+                std::thread::spawn(move || {
+                    // One response buffer per worker, reused across every
+                    // connection and request this worker ever serves.
+                    let mut buf = String::new();
+                    loop {
+                        // Holding the lock only for recv() keeps the pool
+                        // work-stealing: whichever worker is idle takes the
+                        // next connection.
+                        let next = rx.lock().expect("worker queue").recv();
+                        match next {
+                            Ok(stream) => handle_connection(stream, &shared, &mut buf),
+                            Err(_) => break, // accept loop closed the channel
+                        }
                     }
                 })
             })
@@ -153,6 +182,9 @@ impl Server {
         while !self.shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    // Request/response lines are tiny; Nagle + delayed ACK
+                    // would add tens of ms to every round trip.
+                    let _ = stream.set_nodelay(true);
                     // A send can only fail if all workers died; surface
                     // that as a server error rather than spinning.
                     if tx.send(stream).is_err() {
@@ -162,7 +194,7 @@ impl Server {
                         ));
                     }
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
@@ -173,6 +205,7 @@ impl Server {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
                     if tx.send(stream).is_err() {
                         break;
                     }
@@ -187,11 +220,12 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
-        let cache = self.shared.cache.lock().expect("cache lock");
+        let counters = self.shared.cache.counters();
         Ok(ServeSummary {
             requests: self.shared.requests.load(Ordering::SeqCst),
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
+            cache_hits: counters.hits,
+            cache_misses: counters.misses,
+            coalesced: counters.coalesced,
         })
     }
 }
@@ -276,7 +310,7 @@ impl LineReader {
 /// timeout, or (once shutdown has been requested) the first idle poll. Buffered
 /// requests are always answered before the connection closes — that is
 /// the drain guarantee.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection(stream: TcpStream, shared: &Shared, out: &mut String) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -285,10 +319,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Ok(r) => r,
         Err(_) => return,
     };
+    // `out` is the worker's reusable response buffer: every response is
+    // rendered into it (after a clear) and written straight to the socket,
+    // so the steady-state serve path allocates nothing per response.
+    // One write per response: the newline is appended into the reused
+    // buffer so the whole line goes out in a single segment.
     let mut respond = |response: &str| {
         writer
             .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
             .and_then(|()| writer.flush())
             .is_ok()
     };
@@ -301,7 +339,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                if !respond(&handle_request(&line, shared)) {
+                out.clear();
+                handle_request(&line, shared, out);
+                out.push('\n');
+                if !respond(out) {
                     return;
                 }
             }
@@ -312,9 +353,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 }
             }
             Ok(Line::TooLong) => {
-                respond(&error_json(&pase_core::Error::Protocol(format!(
-                    "request line exceeds {MAX_LINE} bytes"
-                ))));
+                out.clear();
+                write_error_json(
+                    out,
+                    &pase_core::Error::Protocol(format!("request line exceeds {MAX_LINE} bytes")),
+                );
+                out.push('\n');
+                respond(out);
                 return;
             }
             Ok(Line::Eof) | Err(_) => return,
@@ -322,20 +367,33 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Answer one request line: parse, consult the cache, search on a miss.
-fn handle_request(line: &str, shared: &Shared) -> String {
+/// Answer one request line into `out` (cleared by the caller): parse,
+/// consult the sharded cache (possibly coalescing onto an identical
+/// in-flight search), search on a miss.
+fn handle_request(line: &str, shared: &Shared, out: &mut String) {
     let mut span = shared.trace.span("request");
     let n = shared.requests.fetch_add(1, Ordering::SeqCst) + 1;
     shared.trace.counter("requests", n);
 
-    let req = match Request::parse(line) {
-        Ok(r) => r,
-        Err(e) => return error_json(&e),
+    let req = match RequestKind::parse(line) {
+        Ok(RequestKind::Search(r)) => r,
+        Ok(RequestKind::Stats) => {
+            let counters = shared.cache.counters();
+            return write_stats_json(
+                out,
+                n,
+                counters.hits,
+                counters.misses,
+                counters.coalesced,
+                counters.in_flight,
+            );
+        }
+        Err(e) => return write_error_json(out, &e),
     };
     span.arg("model", req.model.as_str());
     let graph = match pase_models::build_named(&req.model, req.devices, req.weak_scaling) {
         Ok(g) => g,
-        Err(msg) => return error_json(&pase_core::Error::Protocol(msg)),
+        Err(msg) => return write_error_json(out, &pase_core::Error::Protocol(msg)),
     };
     let rule = ConfigRule::new(req.devices);
     let key = strategy_cache_key(
@@ -345,28 +403,27 @@ fn handle_request(line: &str, shared: &Shared) -> String {
         req.prune.then_some(req.epsilon),
     );
 
-    // One lock scope for the lookup and its counters: locking again while
-    // holding the `if let` scrutinee's guard would self-deadlock.
-    let cached = {
-        let mut cache = shared.cache.lock().expect("cache lock");
-        let entry = cache.get(key);
-        let (hits, misses) = (cache.hits(), cache.misses());
-        drop(cache);
-        match &entry {
-            Some(_) => shared.trace.counter("cache_hits", hits),
-            None => shared.trace.counter("cache_misses", misses),
+    let guard = match shared.cache.lookup(key) {
+        Lookup::Hit(entry) | Lookup::Coalesced(entry) => {
+            let counters = shared.cache.counters();
+            shared.trace.counter("cache_hits", counters.hits);
+            shared.trace.counter("coalesced", counters.coalesced);
+            return write_response_json(
+                out,
+                key,
+                true,
+                Some(entry.cost),
+                Some(&entry.config_ids),
+                &entry.report_json,
+            );
         }
-        entry
+        Lookup::Miss(guard) => {
+            shared
+                .trace
+                .counter("cache_misses", shared.cache.counters().misses);
+            guard
+        }
     };
-    if let Some(entry) = cached {
-        return response_json(
-            key,
-            true,
-            Some(entry.cost),
-            Some(&entry.config_ids),
-            &entry.report_json,
-        );
-    }
 
     // The effective wall clock is the tightest of the client's budget, the
     // client's explicit deadline, and the server's deadline policy.
@@ -380,6 +437,7 @@ fn handle_request(line: &str, shared: &Shared) -> String {
         .rule(rule)
         .machine(req.machine.clone())
         .budget(budget)
+        .prune_gate(req.prune_gate)
         .trace(&trace);
     if req.prune {
         search = search.pruning(PruneOptions {
@@ -399,14 +457,17 @@ fn handle_request(line: &str, shared: &Shared) -> String {
                 config_ids: r.config_ids.clone(),
                 report_json: report.clone(),
             };
-            if let Err(e) = shared.cache.lock().expect("cache lock").put(key, entry) {
+            write_response_json(out, key, false, Some(r.cost), Some(&r.config_ids), &report);
+            // Fulfilling releases any coalesced waiters; failed outcomes
+            // instead drop the guard below, letting a waiter retry with
+            // its own deadline.
+            if let Err(e) = guard.fulfill(entry) {
                 // Persistence is best-effort: the response is still served
                 // from the in-memory entry.
                 eprintln!("pase-serve: cache persistence failed: {e}");
             }
-            response_json(key, false, Some(r.cost), Some(&r.config_ids), &report)
         }
-        _ => response_json(key, false, None, None, &report),
+        _ => write_response_json(out, key, false, None, None, &report),
     }
 }
 
@@ -499,9 +560,14 @@ mod tests {
         handle.shutdown();
         let summary = join.join().unwrap();
         assert_eq!(summary.requests, 3);
-        // All three raced the same key: at least one search, the rest may
-        // hit depending on interleaving.
-        assert_eq!(summary.cache_hits + summary.cache_misses, 3);
+        // All three raced the same key: exactly one search (singleflight),
+        // the rest hit the cache or coalesced onto the in-flight search
+        // depending on interleaving.
+        assert_eq!(
+            summary.cache_hits + summary.cache_misses + summary.coalesced,
+            3
+        );
+        assert_eq!(summary.cache_misses, 1, "{summary:?}");
     }
 
     #[test]
@@ -625,6 +691,23 @@ mod tests {
         assert!(v.get("cost").and_then(|c| c.as_f64()).is_some());
         let summary = join.join().unwrap();
         assert_eq!(summary.requests, 1);
+    }
+
+    #[test]
+    fn stats_request_reports_server_counters() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        query(addr, MLP);
+        query(addr, MLP); // hit
+        let v = query(addr, "{\"stats\": true}");
+        let stats = v.get("stats").expect("a stats object");
+        let field = |name: &str| stats.get(name).and_then(|x| x.as_u64()).expect(name);
+        assert_eq!(field("requests"), 3, "the stats probe itself is counted");
+        assert_eq!(field("cache_hits"), 1);
+        assert_eq!(field("cache_misses"), 1);
+        assert_eq!(field("coalesced"), 0);
+        assert_eq!(field("in_flight"), 0);
+        handle.shutdown();
+        join.join().unwrap();
     }
 
     #[test]

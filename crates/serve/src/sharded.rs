@@ -1,0 +1,405 @@
+//! Lock-striped strategy cache with singleflight, for the serve hot path.
+//!
+//! The PR 4 server funneled every request through one global
+//! `Mutex<StrategyCache>`, serializing even pure cache hits, and ran N
+//! concurrent identical queries as N redundant searches. This module fixes
+//! both:
+//!
+//! * **Sharding** — the cache is split into [`ShardedCache::shard_count`]
+//!   independent [`StrategyCache`] shards, each behind its own mutex,
+//!   selected by bits of the content-addressed key (already a well-mixed
+//!   FNV-1a hash, so no re-hashing is needed). Hits on different keys
+//!   proceed in parallel; a shard mutex is only ever held for an LRU probe
+//!   or insert, never across a search.
+//! * **Singleflight** — the first request to miss on a key becomes the
+//!   *leader* and registers an in-flight marker; concurrent requests for
+//!   the same key block on that marker instead of searching, then answer
+//!   from the entry the leader cached (counted as `coalesced`, not `hits`).
+//!   If the leader fails to produce an entry (budget exhausted, I/O error),
+//!   each waiter retries the full lookup — one of them becomes the next
+//!   leader, so a poisoned key degrades to the unshared behavior instead of
+//!   wedging.
+//!
+//! Every lookup is counted as exactly one of `hits`, `misses` (the caller
+//! got a [`MissGuard`] and must search), or `coalesced`. The counters are
+//! process-wide atomics, readable lock-free for the `stats` wire request.
+
+use crate::cache::{CacheEntry, StrategyCache};
+use pase_core::Error;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight search marker. Waiters block on the condvar until the
+/// leader (the [`MissGuard`] holder) finishes — successfully or not.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight lock");
+        while !*done {
+            done = self.cv.wait(done).expect("flight wait");
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().expect("flight lock") = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Shard {
+    cache: Mutex<StrategyCache>,
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+/// Aggregated lookup counters (see [`ShardedCache::counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered directly from a shard (memory or disk).
+    pub hits: u64,
+    /// Lookups that obtained a [`MissGuard`] (the caller searched).
+    pub misses: u64,
+    /// Lookups answered by waiting on another request's in-flight search.
+    pub coalesced: u64,
+    /// Searches currently in flight (outstanding [`MissGuard`]s).
+    pub in_flight: u64,
+}
+
+/// A sharded, singleflight-coalescing [`StrategyCache`] front. See the
+/// module docs.
+pub struct ShardedCache {
+    shards: Vec<Shard>,
+    singleflight: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// What [`ShardedCache::lookup`] resolved to.
+pub enum Lookup<'a> {
+    /// The entry was cached (counted as a hit).
+    Hit(CacheEntry),
+    /// Another request searched this key while we waited (counted as
+    /// coalesced).
+    Coalesced(CacheEntry),
+    /// Nobody has this key: the caller is now the leader and must search,
+    /// then [`MissGuard::fulfill`] (or drop the guard on failure).
+    Miss(MissGuard<'a>),
+}
+
+impl ShardedCache {
+    /// Build a cache of `shards` stripes (rounded up to a power of two,
+    /// minimum 1) holding `capacity` entries in total, optionally persisted
+    /// under `disk_dir` (shared by all stripes — entry filenames embed the
+    /// full key, so stripes never collide on disk).
+    pub fn new(
+        shards: usize,
+        capacity: usize,
+        disk_dir: Option<PathBuf>,
+        singleflight: bool,
+    ) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(n).max(1);
+        let shards = (0..n)
+            .map(|_| {
+                let mut cache = StrategyCache::new(per_shard);
+                if let Some(dir) = &disk_dir {
+                    cache = cache.with_disk_dir(dir);
+                }
+                Shard {
+                    cache: Mutex::new(cache),
+                    flights: Mutex::new(HashMap::new()),
+                }
+            })
+            .collect();
+        Self {
+            shards,
+            singleflight,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of stripes (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        // The key is an FNV-1a hash; fold the high half in so shard choice
+        // does not depend on low-byte patterns alone.
+        &self.shards[((key ^ (key >> 32)) as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Resolve `key`: a cached entry, a coalesced wait on someone else's
+    /// search, or a [`MissGuard`] making the caller the searcher. Each call
+    /// increments exactly one of the hit/miss/coalesced counters.
+    pub fn lookup(&self, key: u64) -> Lookup<'_> {
+        let shard = self.shard(key);
+        loop {
+            if let Some(entry) = shard.cache.lock().expect("shard cache").peek(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Hit(entry);
+            }
+            if !self.singleflight {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.in_flight.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Miss(MissGuard {
+                    owner: self,
+                    key,
+                    flight: None,
+                });
+            }
+            let flight = {
+                let mut flights = shard.flights.lock().expect("shard flights");
+                match flights.get(&key) {
+                    Some(f) => Some(Arc::clone(f)),
+                    None => {
+                        flights.insert(key, Arc::new(Flight::new()));
+                        None
+                    }
+                }
+            };
+            match flight {
+                None => {
+                    // We registered the flight: we are the leader.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.in_flight.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Miss(MissGuard {
+                        owner: self,
+                        key,
+                        flight: Some(()),
+                    });
+                }
+                Some(f) => {
+                    f.wait();
+                    if let Some(entry) = shard.cache.lock().expect("shard cache").peek(key) {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Lookup::Coalesced(entry);
+                    }
+                    // The leader failed without caching an entry; retry the
+                    // lookup — one waiter will become the next leader.
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the lookup counters. `hits + misses + coalesced` equals
+    /// the number of completed [`ShardedCache::lookup`] calls.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total entries across all stripes' in-memory maps.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.cache.lock().expect("shard cache").len())
+            .sum()
+    }
+
+    /// Whether every stripe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Leadership over one in-flight search, returned by a miss. Call
+/// [`MissGuard::fulfill`] with the search result to cache it and release
+/// the waiters; dropping the guard without fulfilling (the search failed)
+/// releases them empty-handed so one of them can take over.
+pub struct MissGuard<'a> {
+    owner: &'a ShardedCache,
+    key: u64,
+    /// `Some` iff a flight marker was registered (singleflight on).
+    flight: Option<()>,
+}
+
+impl MissGuard<'_> {
+    /// The key this guard leads.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Cache `entry` under the guarded key (memory + disk when configured)
+    /// and release any coalesced waiters. Disk failures are returned after
+    /// the in-memory insert — waiters are still served.
+    pub fn fulfill(self, entry: CacheEntry) -> Result<(), Error> {
+        // The put happens before Drop runs (Drop wakes the waiters), so a
+        // woken waiter's re-probe is guaranteed to see the entry.
+        self.owner
+            .shard(self.key)
+            .cache
+            .lock()
+            .expect("shard cache")
+            .put(self.key, entry)
+    }
+}
+
+impl Drop for MissGuard<'_> {
+    fn drop(&mut self) {
+        self.owner.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if self.flight.is_some() {
+            let removed = self
+                .owner
+                .shard(self.key)
+                .flights
+                .lock()
+                .expect("shard flights")
+                .remove(&self.key);
+            if let Some(f) = removed {
+                // Remove before notify: a waiter that re-probes and misses
+                // must find the flight slot free so it can become leader.
+                f.finish();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: &str) -> CacheEntry {
+        CacheEntry {
+            model: tag.to_string(),
+            devices: 8,
+            cost: 2.5e9,
+            config_ids: vec![1, 2, 3],
+            report_json: "{}".to_string(),
+        }
+    }
+
+    #[test]
+    fn miss_fulfill_hit_cycle_counts_each_phase_once() {
+        let c = ShardedCache::new(16, 64, None, true);
+        match c.lookup(42) {
+            Lookup::Miss(guard) => guard.fulfill(entry("a")).unwrap(),
+            _ => panic!("first lookup must miss"),
+        }
+        match c.lookup(42) {
+            Lookup::Hit(e) => assert_eq!(e.model, "a"),
+            _ => panic!("second lookup must hit"),
+        }
+        let counters = c.counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.coalesced, 0);
+        assert_eq!(counters.in_flight, 0);
+    }
+
+    #[test]
+    fn shard_count_is_a_power_of_two_and_capacity_splits() {
+        assert_eq!(ShardedCache::new(16, 64, None, true).shard_count(), 16);
+        assert_eq!(ShardedCache::new(9, 64, None, true).shard_count(), 16);
+        assert_eq!(ShardedCache::new(0, 64, None, true).shard_count(), 1);
+        // Tiny capacity still gives every stripe at least one slot.
+        let c = ShardedCache::new(16, 1, None, true);
+        for key in 0..32u64 {
+            if let Lookup::Miss(g) = c.lookup(key) {
+                g.fulfill(entry("x")).unwrap();
+            }
+        }
+        assert!(c.len() >= 16, "each stripe retains its own LRU");
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_coalesce_into_one_search() {
+        let c = Arc::new(ShardedCache::new(16, 64, None, true));
+        let key = 7u64;
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || match c.lookup(key) {
+                    Lookup::Miss(guard) => {
+                        // Simulate a search long enough for others to pile up.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        guard.fulfill(entry("searched")).unwrap();
+                        "miss"
+                    }
+                    Lookup::Coalesced(e) => {
+                        assert_eq!(e.model, "searched");
+                        "coalesced"
+                    }
+                    Lookup::Hit(e) => {
+                        assert_eq!(e.model, "searched");
+                        "hit"
+                    }
+                })
+            })
+            .collect();
+        let outcomes: Vec<&str> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let misses = outcomes.iter().filter(|&&o| o == "miss").count();
+        assert_eq!(misses, 1, "exactly one search: {outcomes:?}");
+        let counters = c.counters();
+        assert_eq!(counters.hits + counters.misses + counters.coalesced, 8);
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.in_flight, 0);
+    }
+
+    #[test]
+    fn failed_leader_hands_off_to_a_waiter() {
+        let c = Arc::new(ShardedCache::new(4, 16, None, true));
+        let key = 9u64;
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let waiter = {
+            let c = Arc::clone(&c);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait(); // leader holds the flight before we look up
+                match c.lookup(key) {
+                    Lookup::Miss(guard) => {
+                        guard.fulfill(entry("second-try")).unwrap();
+                        true
+                    }
+                    _ => false,
+                }
+            })
+        };
+        match c.lookup(key) {
+            Lookup::Miss(guard) => {
+                barrier.wait();
+                // Give the waiter time to block on the flight, then fail.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                drop(guard); // search failed: no fulfill
+            }
+            _ => panic!("leader must miss"),
+        }
+        assert!(
+            waiter.join().unwrap(),
+            "waiter must become the next leader after a failed flight"
+        );
+        assert_eq!(c.counters().misses, 2);
+    }
+
+    #[test]
+    fn singleflight_off_lets_same_key_searches_race() {
+        let c = ShardedCache::new(1, 16, None, false);
+        let a = c.lookup(5);
+        let b = c.lookup(5);
+        assert!(matches!(a, Lookup::Miss(_)));
+        assert!(matches!(b, Lookup::Miss(_)), "no coalescing when off");
+        assert_eq!(c.counters().misses, 2);
+        assert_eq!(c.counters().in_flight, 2);
+    }
+}

@@ -6,10 +6,36 @@ server and checks the content-addressed cache contract: the first response
 is a miss, the second is a hit, and both carry the same cache key, cost,
 and strategy (the hit must be byte-for-byte the cached answer, not a
 re-search).
+
+An optional third file is the response of a `pase query --stats` probe
+issued after the two queries; it must report the server's counters with
+the two search requests accounted for (one miss, one hit) and nothing
+left in flight.
 """
 
 import json
 import sys
+
+
+def check_stats(path: str) -> None:
+    with open(path) as f:
+        resp = json.load(f)
+    assert "error" not in resp, f"stats query failed: {resp['error']}"
+    assert resp["schema_version"] == 1, f"stats: bad schema_version: {resp}"
+    stats = resp["stats"]
+    hits, misses = stats["cache_hits"], stats["cache_misses"]
+    coalesced, in_flight = stats["coalesced"], stats["in_flight"]
+    assert stats["requests"] >= 3, f"expected >= 3 requests (incl. probe): {stats}"
+    assert misses >= 1, f"the first search query must be a miss: {stats}"
+    assert hits >= 1, f"the second search query must be a hit: {stats}"
+    assert hits + misses + coalesced == 2, (
+        f"exactly the two search queries must be accounted: {stats}"
+    )
+    assert in_flight == 0, f"no search may be left in flight: {stats}"
+    print(
+        f"serve stats OK: {stats['requests']} requests, {hits} hits, "
+        f"{misses} misses, {coalesced} coalesced"
+    )
 
 
 def main() -> None:
@@ -34,6 +60,9 @@ def main() -> None:
         f"serve smoke OK: key {q1['cache_key']}, "
         f"{len(q1['strategy'])} node configs, cost {q1['cost']:.6g}"
     )
+
+    if len(sys.argv) > 3:
+        check_stats(sys.argv[3])
 
 
 if __name__ == "__main__":

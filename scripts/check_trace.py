@@ -7,7 +7,8 @@ Checks:
   * both files parse as JSON;
   * the trace contains one "X" span for every pipeline phase (enumeration,
     interning, table_build, prune, structure, plan, backtrack) and at least
-    one per-wavefront fill span;
+    one per-wavefront fill span; when the adaptive gate skipped the prune
+    (stats.prune_skipped), the prune span must be ABSENT instead of empty;
   * the summed span durations are within 10% of the elapsed time reported
     by the embedded search report (the spans partition the pipeline, so
     their sum must also not exceed elapsed by more than rounding).
@@ -38,25 +39,32 @@ def main() -> None:
     spans = [e for e in events if e.get("ph") == "X"]
     names = {e["name"] for e in spans}
 
+    report = spec.get("search_report")
+    if not isinstance(report, dict):
+        fail("spec has no embedded search_report object")
+    prune_skipped = bool(report["stats"].get("prune_skipped", False))
+
     required = {
         "enumeration",
         "interning",
         "table_build",
-        "prune",
         "structure",
         "plan",
         "backtrack",
     }
+    if prune_skipped:
+        # The adaptive gate decided the prune would not pay off: the phase
+        # never ran, so it must not leave an empty span behind.
+        if "prune" in names:
+            fail("stats.prune_skipped is set but the trace has a prune span")
+    else:
+        required.add("prune")
     missing = required - names
     if missing:
         fail(f"missing phase spans: {sorted(missing)} (have: {sorted(names)})")
     wavefronts = [n for n in names if n.startswith("wavefront ")]
     if not wavefronts:
         fail(f"no per-wavefront fill spans (have: {sorted(names)})")
-
-    report = spec.get("search_report")
-    if not isinstance(report, dict):
-        fail("spec has no embedded search_report object")
     elapsed_us = report["stats"]["elapsed"] * 1e6
     span_sum_us = sum(e["dur"] for e in spans)
     if elapsed_us <= 0:

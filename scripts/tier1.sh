@@ -26,6 +26,27 @@ cargo run -p pase-cli --release --bin pase -- search \
     --trace-out "$trace_dir/trace.json" --json --out "$trace_dir/spec.json"
 python3 scripts/check_trace.py "$trace_dir/trace.json" "$trace_dir/spec.json"
 
+# Gate smoke: with --prune-gate=auto on AlexNet the prune must be skipped
+# (stats.prune_skipped in the report) and the trace must then contain NO
+# prune span — check_trace.py asserts both directions.
+./target/release/pase search --model alexnet --devices 32 --prune-gate auto \
+    --trace-out "$trace_dir/gate_trace.json" --json \
+    --out "$trace_dir/gate_spec.json"
+python3 - "$trace_dir/gate_spec.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))["search_report"]["stats"]
+assert stats["prune_skipped"], f"gate=auto must skip the prune on alexnet p=32: {stats}"
+assert stats["gate_dp_est"] > 0 and stats["gate_prune_est"] > 0, stats
+print("gate smoke OK: prune skipped, dp_est", stats["gate_dp_est"],
+      "prune_est", stats["gate_prune_est"])
+EOF
+python3 scripts/check_trace.py "$trace_dir/gate_trace.json" "$trace_dir/gate_spec.json"
+
+# Concurrent-serve smoke: 4 connections x 20 requests against the sharded
+# + singleflight server; asserts at least one request coalesced and that
+# shutdown drains every request.
+cargo run -p pase-bench --release --bin bench_serve -- --smoke
+
 # Planner-service smoke: start `pase serve` on an ephemeral port, issue the
 # same query twice, require the second to be a cache hit returning the
 # identical strategy, then shut down cleanly (SIGINT must drain and exit 0).
@@ -47,6 +68,8 @@ fi
     --out "$serve_dir/q1.json"
 ./target/release/pase query --model alexnet --devices 8 --addr "$addr" \
     --out "$serve_dir/q2.json"
+./target/release/pase query --stats --addr "$addr" --out "$serve_dir/stats.json"
 kill -INT "$serve_pid"
 wait "$serve_pid"
-python3 scripts/check_serve.py "$serve_dir/q1.json" "$serve_dir/q2.json"
+python3 scripts/check_serve.py "$serve_dir/q1.json" "$serve_dir/q2.json" \
+    "$serve_dir/stats.json"

@@ -1,0 +1,148 @@
+//! Adaptive-gate parity: `--prune-gate` may change *when* the dominance
+//! prune runs, never *what* the search returns. Every gate mode must give
+//! bit-identical cost and config ids on random DAGs and on the four paper
+//! benchmarks — the Auto mode's decision is purely a time/work tradeoff.
+
+use pase::core::{PruneGate, Search, SearchResult};
+use pase::cost::{ConfigRule, CostTables, MachineSpec, PruneOptions};
+use pase::graph::{DimRole, Graph, GraphBuilder, IterDim, Node, NodeId, OpKind, TensorRef};
+use pase::models::Benchmark;
+use proptest::prelude::*;
+
+/// A compact description of a random DAG (same generator family as
+/// `proptests.rs`): per node, a width and the earlier nodes feeding it.
+#[derive(Clone, Debug)]
+struct RandomDag {
+    widths: Vec<u64>,
+    feeds: Vec<Vec<usize>>,
+}
+
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = RandomDag> {
+    let widths =
+        prop::collection::vec(prop::sample::select(vec![16u64, 32, 64, 128]), 2..max_nodes);
+    widths.prop_flat_map(|widths| {
+        let n = widths.len();
+        let feeds = (1..n)
+            .map(|i| prop::collection::vec(0..i, 1..=i.min(3)))
+            .collect::<Vec<_>>();
+        (Just(widths), feeds).prop_map(|(widths, mut feeds)| {
+            for f in &mut feeds {
+                f.sort_unstable();
+                f.dedup();
+            }
+            let mut all = vec![Vec::new()];
+            all.extend(feeds);
+            RandomDag { widths, feeds: all }
+        })
+    })
+}
+
+fn fc_node(name: &str, batch: u64, out_w: u64, in_w: u64, ins: usize) -> Node {
+    Node {
+        name: name.into(),
+        op: OpKind::FullyConnected,
+        iter_space: vec![
+            IterDim::new("b", batch, DimRole::Batch),
+            IterDim::new("n", out_w, DimRole::Param),
+            IterDim::new("c", in_w, DimRole::Reduction),
+        ],
+        inputs: (0..ins)
+            .map(|_| TensorRef::new(vec![0, 2], vec![batch, in_w]))
+            .collect(),
+        output: TensorRef::new(vec![0, 1], vec![batch, out_w]),
+        params: vec![TensorRef::new(vec![1, 2], vec![out_w, in_w])],
+    }
+}
+
+fn build_graph(dag: &RandomDag) -> Graph {
+    let mut b = GraphBuilder::new();
+    let batch = 32;
+    let mut ids: Vec<NodeId> = Vec::new();
+    for (i, &w) in dag.widths.iter().enumerate() {
+        let producers = &dag.feeds[i];
+        let in_w = producers.first().map(|&p| dag.widths[p]).unwrap_or(16);
+        ids.push(b.add_node(fc_node(&format!("n{i}"), batch, w, in_w, producers.len())));
+    }
+    for (i, producers) in dag.feeds.iter().enumerate() {
+        for &p in producers {
+            b.connect(ids[p], ids[i]);
+        }
+    }
+    b.build().expect("random dag builds")
+}
+
+/// Run the search over prebuilt tables in one gate mode, pruning requested.
+fn run_gated(graph: &Graph, tables: &CostTables, gate: PruneGate) -> SearchResult {
+    Search::new(graph)
+        .tables(tables)
+        .pruning(PruneOptions::default())
+        .prune_gate(gate)
+        .run()
+        .expect_found("gated search")
+}
+
+fn assert_parity(graph: &Graph, tables: &CostTables, label: &str) {
+    let on = run_gated(graph, tables, PruneGate::On);
+    let off = run_gated(graph, tables, PruneGate::Off);
+    let auto = run_gated(graph, tables, PruneGate::Auto);
+    assert_eq!(
+        on.cost.to_bits(),
+        off.cost.to_bits(),
+        "{label}: gate=on vs gate=off cost"
+    );
+    assert_eq!(
+        on.cost.to_bits(),
+        auto.cost.to_bits(),
+        "{label}: gate=on vs gate=auto cost"
+    );
+    assert_eq!(on.config_ids, off.config_ids, "{label}: on vs off ids");
+    assert_eq!(on.config_ids, auto.config_ids, "{label}: on vs auto ids");
+    // Gate bookkeeping invariants: only Auto records estimates or skips.
+    assert!(!on.stats.prune_skipped);
+    assert!(!off.stats.prune_skipped);
+    assert_eq!(on.stats.gate_dp_est, 0);
+    assert!(
+        auto.stats.gate_dp_est > 0,
+        "{label}: auto must record its DP estimate"
+    );
+    assert!(auto.stats.gate_prune_est > 0);
+    if auto.stats.prune_skipped {
+        assert_eq!(
+            auto.stats.prune_time.as_nanos(),
+            0,
+            "{label}: a skipped prune must not cost prune time"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// gate=auto is bit-identical to gate=on and gate=off on random DAGs,
+    /// whichever way its estimate falls.
+    #[test]
+    fn gate_modes_agree_on_random_dags(dag in arb_dag(7)) {
+        let g = build_graph(&dag);
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let on = run_gated(&g, &tables, PruneGate::On);
+        let off = run_gated(&g, &tables, PruneGate::Off);
+        let auto = run_gated(&g, &tables, PruneGate::Auto);
+        prop_assert_eq!(on.cost.to_bits(), off.cost.to_bits());
+        prop_assert_eq!(on.cost.to_bits(), auto.cost.to_bits());
+        prop_assert_eq!(&on.config_ids, &off.config_ids);
+        prop_assert_eq!(&on.config_ids, &auto.config_ids);
+    }
+}
+
+/// The four paper benchmarks at a mid-size p: parity must hold on the real
+/// workloads, including the cells where Auto decides differently from On
+/// (AlexNet skips, Transformer prunes).
+#[test]
+fn gate_modes_agree_on_paper_benchmarks() {
+    for bench in Benchmark::all() {
+        let p = 8;
+        let graph = bench.build_for(p);
+        let tables = CostTables::build(&graph, ConfigRule::new(p), &MachineSpec::gtx1080ti());
+        assert_parity(&graph, &tables, bench.name());
+    }
+}
