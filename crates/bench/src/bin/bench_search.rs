@@ -13,15 +13,21 @@
 //!   keep unchanged even when thousands of configs are removed elsewhere);
 //! * the full DP, unpruned vs pruned (identical optimum — asserted here —
 //!   but the pruned tables shrink every dependent-set table
-//!   multiplicatively).
+//!   multiplicatively);
+//! * the DP table fill alone, single-threaded, with each [`DpKernel`]
+//!   (`dp_fill_scalar_s` / `dp_fill_tiled_s` — the sequential-fill span of
+//!   a traced `parallel(false)` run, so scheduling noise is excluded and
+//!   the kernels are compared core-for-core). The tiled kernel's speedup
+//!   on the two biggest cells is asserted, and both kernels must agree on
+//!   the optimum bit-for-bit.
 //!
 //! Medians are written to `BENCH_search.json`. Mirrors the criterion
 //! benches but runs in seconds, so it can gate a PR.
 
-use pase_core::{DpOptions, Search, SearchReport};
+use pase_core::{DpKernel, DpOptions, Search, SearchReport};
 use pase_cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables, TableOptions};
 use pase_models::Benchmark;
-use pase_obs::Trace;
+use pase_obs::{phase, Trace};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -49,6 +55,14 @@ fn median_secs<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
         .collect();
     times.sort_by(f64::total_cmp);
     times[times.len() / 2]
+}
+
+/// Median of `samples` values of `f` (for measurements that are not plain
+/// wall-clock, e.g. a traced span's duration).
+fn median_of(samples: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut vals: Vec<f64> = (0..samples).map(|_| f()).collect();
+    vals.sort_by(f64::total_cmp);
+    vals[vals.len() / 2]
 }
 
 fn main() {
@@ -91,6 +105,48 @@ fn main() {
                 Search::new(&g).tables(pruned.tables()).dp_options(dp).run()
             });
 
+            // Kernel A/B: the sequential-fill span of a single-threaded
+            // traced run isolates the table-fill inner loop from rayon
+            // scheduling, so scalar vs tiled is a core-for-core comparison.
+            // The big p=64 cells are slow single-threaded — keep samples low.
+            let fill_samples = samples.min(3);
+            let fill_secs = |kernel: DpKernel| -> (f64, f64) {
+                let mut cost = f64::NAN;
+                let s = median_of(fill_samples, || {
+                    let trace = Trace::new();
+                    cost = Search::new(&g)
+                        .tables(&tables)
+                        .dp_options(dp)
+                        .parallel(false)
+                        .dp_kernel(kernel)
+                        .trace(&trace)
+                        .run()
+                        .expect_found(bench.name())
+                        .cost;
+                    trace
+                        .span_time_where(|n| n == phase::SEQUENTIAL_FILL)
+                        .as_secs_f64()
+                });
+                (s, cost)
+            };
+            let (fill_scalar, scalar_cost) = fill_secs(DpKernel::Scalar);
+            let (fill_tiled, tiled_cost) = fill_secs(DpKernel::Tiled);
+            assert_eq!(
+                scalar_cost.to_bits(),
+                tiled_cost.to_bits(),
+                "{} p={p}: tiled optimum {tiled_cost} != scalar {scalar_cost}",
+                bench.name()
+            );
+            // Acceptance floor for the microkernel on the two biggest
+            // cells (the rest are too fast for a stable ratio).
+            if p == 64 && matches!(bench, Benchmark::InceptionV3 | Benchmark::Transformer) {
+                assert!(
+                    fill_tiled * 3.0 <= fill_scalar,
+                    "{} p={p}: tiled fill {fill_tiled:.4}s not >=3x faster than scalar {fill_scalar:.4}s",
+                    bench.name()
+                );
+            }
+
             // Exactness gate: the pruned optimum must be bit-identical.
             // The pruned run is traced so the cell's search report carries
             // a per-phase wall-time breakdown.
@@ -117,9 +173,10 @@ fn main() {
             );
             let report = SearchReport::new(bench.name(), p, &pruned_outcome, Some(&trace));
 
-            let hit = tables.intern_stats().hit_rate();
+            let hit = tables.intern_stats().hit_rate_opt();
+            let hit_pct = hit.map_or_else(|| "n/a".to_string(), |h| format!("{:.0}%", h * 100.0));
             println!(
-                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   find_best_strategy {:.2}ms -> {:.2}ms ({:.2}x)   intern hit {:.0}%",
+                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   find_best_strategy {:.2}ms -> {:.2}ms ({:.2}x)   dp_fill(1t) scalar {:.2}ms -> tiled {:.2}ms ({:.2}x)   intern hit {}",
                 bench.name(),
                 p,
                 build_base * 1e3,
@@ -133,12 +190,16 @@ fn main() {
                 search_plain * 1e3,
                 search_pruned * 1e3,
                 search_plain / search_pruned.max(1e-12),
-                hit * 100.0
+                fill_scalar * 1e3,
+                fill_tiled * 1e3,
+                fill_scalar / fill_tiled.max(1e-12),
+                hit_pct
             );
 
+            let hit_json = hit.map_or_else(|| "null".to_string(), |h| format!("{h:.4}"));
             let _ = write!(
                 json,
-                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"find_best_strategy\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"intern_hit_rate\": {:.4},\n        \"search_report\": {}\n      }}{}\n",
+                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"find_best_strategy\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"dp_fill\": {{\"dp_fill_scalar_s\": {:.6}, \"dp_fill_tiled_s\": {:.6}}},\n        \"intern_hit_rate\": {hit_json},\n        \"search_report\": {}\n      }}{}\n",
                 build_base,
                 build_opt,
                 prune_s,
@@ -148,7 +209,8 @@ fn main() {
                 ps.k_after,
                 search_plain,
                 search_pruned,
-                hit,
+                fill_scalar,
+                fill_tiled,
                 report.to_json(),
                 if pi + 1 < PS.len() { "," } else { "" }
             );

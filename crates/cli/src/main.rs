@@ -16,8 +16,8 @@ mod args;
 use args::Args;
 use pase_baselines::{data_parallel, gnmt_expert, mesh_tf_expert, owt};
 use pase_core::{
-    dependent_set_sizes, generate_seq, optcnn_search, PruneGate, ReductionOutcome, Search,
-    SearchOutcome, SearchReport, SearchResult, SearchStats,
+    dependent_set_sizes, generate_seq, optcnn_search, DpKernel, PruneGate, ReductionOutcome,
+    Search, SearchOutcome, SearchReport, SearchResult, SearchStats,
 };
 use pase_cost::{
     from_sharding_json, to_sharding_json, to_sharding_json_with, validate_strategy, ConfigRule,
@@ -58,6 +58,11 @@ OPTIONS:
                            whenever its fixed cost exceeds the predicted DP
                            savings (never changes results, only time;
                            default on)
+  --dp-kernel <scalar|tiled> DP table-fill inner loop: \"tiled\" packs
+                           chunk-invariant cost rows and runs a blocked
+                           min+add microkernel, \"scalar\" is the per-entry
+                           reference loop (A/B measurement; bit-identical
+                           results either way; default tiled)
   --json                   print the strategy as a GShard-style sharding spec
                            with an embedded \"search_report\" object
   --trace-out <file>       (search) write a Chrome-trace JSON timeline of the
@@ -108,6 +113,8 @@ struct SearchKnobs {
     prune_epsilon: f64,
     /// `--prune-gate`: when to run the prune (`auto` decides per graph).
     gate: PruneGate,
+    /// `--dp-kernel`: which inner loop fills the DP tables.
+    kernel: DpKernel,
 }
 
 impl SearchKnobs {
@@ -121,12 +128,18 @@ impl SearchKnobs {
             Some(s) => PruneGate::parse(s)
                 .ok_or_else(|| format!("--prune-gate must be on, off, or auto, got '{s}'"))?,
         };
+        let kernel = match args.get("dp-kernel") {
+            None => DpKernel::default(),
+            Some(s) => DpKernel::parse(s)
+                .ok_or_else(|| format!("--dp-kernel must be scalar or tiled, got '{s}'"))?,
+        };
         Ok(Self {
             threads: args.get_or("search-threads", 0usize)?,
             intern: !args.has("no-intern"),
             prune: !args.has("no-prune"),
             prune_epsilon,
             gate,
+            kernel,
         })
     }
 }
@@ -137,7 +150,9 @@ struct Searched {
     strategy: Strategy,
     cost: f64,
     stats: SearchStats,
-    intern_hit_rate: f64,
+    /// `None` when the interning size gate skipped the pass entirely
+    /// (printed as "n/a" — distinct from a measured 0%).
+    intern_hit_rate: Option<f64>,
 }
 
 fn search_strategy(
@@ -164,6 +179,7 @@ fn search_strategy(
             } else {
                 PruneGate::Off
             })
+            .dp_kernel(knobs.kernel)
             .table_options(TableOptions {
                 intern: knobs.intern,
                 ..TableOptions::default()
@@ -191,7 +207,7 @@ fn search_strategy(
     // Report elapsed over the whole pipeline (table build + prune + DP),
     // matching what the recorded phase spans cover.
     let elapsed = pipeline_start.elapsed();
-    let intern_hit_rate = run.tables().intern_stats().hit_rate();
+    let intern_hit_rate = run.tables().intern_stats().hit_rate_opt();
     match run.outcome() {
         SearchOutcome::Found(r) => Ok(Searched {
             strategy: run.tables().ids_to_strategy(&r.config_ids),
@@ -298,9 +314,13 @@ fn run() -> Result<(), String> {
                 } else {
                     String::new()
                 };
+                let hit_rate = match intern_hit_rate {
+                    Some(h) => format!("{:.0}%", h * 100.0),
+                    None => "n/a (interning skipped)".to_string(),
+                };
                 let mut content = format!(
                     "model {model}, p = {p}, machine {} — search {:?} (K = {}, M = {})\n\
-                     wavefronts {} (max width {}), intern hit rate {:.0}%\n\
+                     wavefronts {} (max width {}), intern hit rate {hit_rate}\n\
                      {prune_line}\
                      minimum cost {cost:.4e} FLOP-units\n\n",
                     machine.name,
@@ -309,7 +329,6 @@ fn run() -> Result<(), String> {
                     stats.max_dependent_set,
                     stats.wavefronts,
                     stats.max_wavefront_width,
-                    intern_hit_rate * 100.0
                 );
                 content.push_str(&strategy.report(&graph));
                 emit(args.get("out"), &content)?;
@@ -365,6 +384,10 @@ fn run() -> Result<(), String> {
                 },
             );
             let intern = tables.intern_stats();
+            let hit_rate = match intern.hit_rate_opt() {
+                Some(h) => format!("{:.0}%", h * 100.0),
+                None => "n/a (interning skipped)".to_string(),
+            };
             let content = format!(
                 "model {model}: {} nodes, {} edges\n\
                  degrees: max {}, mean {:.2}, high-degree (≥5) {}\n\
@@ -372,7 +395,7 @@ fn run() -> Result<(), String> {
                  max |D(i)|: GenerateSeq {}, breadth-first {}\n\
                  wavefronts: {} (max width {})\n\
                  cost tables (p = {p}): {} layer tables for {} nodes, \
-                 {} edge tables for {} edges — intern hit rate {:.0}%\n",
+                 {} edge tables for {} edges — intern hit rate {hit_rate}\n",
                 stats.nodes,
                 stats.edges,
                 stats.degrees.max,
@@ -388,7 +411,6 @@ fn run() -> Result<(), String> {
                 intern.nodes,
                 intern.unique_edge_tables,
                 intern.edges,
-                intern.hit_rate() * 100.0,
             );
             emit(args.get("out"), &content)?;
         }
@@ -720,6 +742,21 @@ mod tests {
         .unwrap();
         assert_eq!(SearchKnobs::from_args(&g).unwrap().gate, PruneGate::Auto);
         assert_eq!(d.gate, PruneGate::On);
+        assert_eq!(d.kernel, DpKernel::Tiled);
+        let k = Args::parse(
+            "search --dp-kernel scalar"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(SearchKnobs::from_args(&k).unwrap().kernel, DpKernel::Scalar);
+        let bad_kernel = Args::parse(
+            "search --dp-kernel simd"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(SearchKnobs::from_args(&bad_kernel).is_err());
         let bad_gate = Args::parse(
             "search --prune-gate maybe"
                 .split_whitespace()
@@ -752,6 +789,7 @@ mod tests {
                 prune: true,
                 prune_epsilon: 0.0,
                 gate: PruneGate::On,
+                kernel: DpKernel::Tiled,
             },
             None,
         )
@@ -767,6 +805,7 @@ mod tests {
                 prune: false,
                 prune_epsilon: 0.0,
                 gate: PruneGate::On,
+                kernel: DpKernel::Scalar,
             },
             None,
         )

@@ -98,9 +98,15 @@ pub struct SearchStats {
     /// Size of the largest wavefront (peak table-level parallelism).
     pub max_wavefront_width: usize,
     /// Fraction of cost-table lookups served by structural interning in the
-    /// [`pase_cost::CostTables`] the search ran on (0 when the tables were
-    /// built without interning).
-    pub intern_hit_rate: f64,
+    /// [`pase_cost::CostTables`] the search ran on. `None` when the tables
+    /// were built without interning (e.g. the `intern_min_nodes` size gate
+    /// skipped it) — a skipped pass is *not* the same as a measured 0% hit
+    /// rate.
+    pub intern_hit_rate: Option<f64>,
+    /// Which DP fill kernel ran (`"scalar"` or `"tiled"`, the
+    /// [`crate::DpKernel`] wire spelling; empty on stats that never reached
+    /// the DP).
+    pub dp_kernel: &'static str,
     /// `true` when the adaptive prune gate (`PruneGate::Auto`) decided to
     /// skip the dominance prune because its fixed cost was predicted to
     /// exceed the DP savings. Always `false` for `PruneGate::On`/`Off`.

@@ -42,14 +42,16 @@
 //!   exhausting the machine.
 
 use crate::budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats, DP_ENTRY_BYTES};
+use crate::kernel::{self, DpKernel};
 use crate::ordering::{make_ordering, OrderingKind};
 use crate::pool::{self, Scratch};
 use crate::structure::{ConnectedSetMode, VertexStructure};
 use pase_cost::{CostTables, PruneOptions, PrunedTables};
-use pase_graph::{EdgeId, Graph, NodeId};
+use pase_graph::{EdgeId, Graph, GraphError, NodeId};
 use pase_obs::{phase, span_in, OptSpan, Trace};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Entries per work chunk: the granularity of parallel scheduling and of
@@ -69,6 +71,9 @@ pub struct DpOptions {
     /// Fill tables wavefront-parallel with rayon; `false` fills strictly
     /// sequentially in position order (bit-identical results either way).
     pub parallel: bool,
+    /// Inner-loop implementation for the table fill (bit-identical results
+    /// either way; see [`DpKernel`]).
+    pub kernel: DpKernel,
 }
 
 impl Default for DpOptions {
@@ -78,19 +83,20 @@ impl Default for DpOptions {
             mode: ConnectedSetMode::Exact,
             budget: SearchBudget::default(),
             parallel: true,
+            kernel: DpKernel::default(),
         }
     }
 }
 
 /// One DP table: `R_V(i, ·)` and the argmin configurations over the dense
 /// substrategy space of `D(i)`.
-struct Table {
+pub(crate) struct Table {
     /// `D(i)`, sorted by node id (canonical digit order).
     dep: Vec<NodeId>,
     /// Mixed-radix strides per digit (row-major, last digit contiguous).
     strides: Vec<u64>,
     /// `R_V(i, φ)` per flat index.
-    costs: Vec<f64>,
+    pub(crate) costs: Vec<f64>,
     /// Argmin configuration id of `v^(i)` per flat index.
     choice: Vec<u16>,
 }
@@ -118,34 +124,34 @@ impl Table {
 
 /// Content-independent fill plan for one position, prepared during the
 /// sequential budget-accounting pass.
-struct Plan {
-    vi: NodeId,
-    dep: Vec<NodeId>,
-    radix: Vec<u32>,
-    strides: Vec<u64>,
-    size: u64,
-    kv: u16,
+pub(crate) struct Plan {
+    pub(crate) vi: NodeId,
+    pub(crate) dep: Vec<NodeId>,
+    pub(crate) radix: Vec<u32>,
+    pub(crate) strides: Vec<u64>,
+    pub(crate) size: u64,
+    pub(crate) kv: u16,
     /// Edges from `v^(i)` to its later neighbors: (edge, digit slot of the
     /// neighbor, whether `v^(i)` is the edge's source).
-    later_edges: Vec<(EdgeId, usize, bool)>,
+    pub(crate) later_edges: Vec<(EdgeId, usize, bool)>,
 }
 
 /// Linear-lookup coefficients of one child table (connected subset):
 /// `child_index = Σ_t parent_coef[t]·digit_t + vi_coef·C`.
-struct ChildCoef {
+pub(crate) struct ChildCoef {
     /// Anchor position (index into the `dp` table vector).
-    anchor: usize,
-    parent_coef: Vec<u64>,
-    vi_coef: u64,
+    pub(crate) anchor: usize,
+    pub(crate) parent_coef: Vec<u64>,
+    pub(crate) vi_coef: u64,
 }
 
 /// One unit of fill work: a contiguous entry range of one table, with the
 /// output slices it writes.
-struct FillChunk<'a> {
-    plan_idx: usize,
-    start: u64,
-    costs: &'a mut [f64],
-    choice: &'a mut [u16],
+pub(crate) struct FillChunk<'a> {
+    pub(crate) plan_idx: usize,
+    pub(crate) start: u64,
+    pub(crate) costs: &'a mut [f64],
+    pub(crate) choice: &'a mut [u16],
 }
 
 /// Return every finished table's buffers to this thread's pool (see
@@ -174,16 +180,41 @@ pub fn naive_best_strategy(
 }
 
 /// Fill `chunk.costs`/`chunk.choice` for the entry range starting at
-/// `chunk.start`. Decodes the first index once, then advances the digit
-/// odometer and the child base offsets incrementally.
+/// `chunk.start`, dispatching on the configured kernel. Both kernels are
+/// bit-identical; see [`DpKernel`]. The tiled kernel reads the vertex's
+/// shared operand pack (`packed`, built once per vertex by
+/// [`kernel::pack_vertex`]); the scalar kernel ignores it. Raises the
+/// odometer-overflow error a malformed plan causes.
 fn fill_chunk(
+    tables: &CostTables,
+    plan: &Plan,
+    children: &[ChildCoef],
+    packed: Option<&kernel::PackedVertex>,
+    dp: &[Option<Table>],
+    scratch: &mut Scratch,
+    chunk: &mut FillChunk<'_>,
+    which: DpKernel,
+) -> Result<(), GraphError> {
+    match which {
+        DpKernel::Scalar => fill_chunk_scalar(tables, plan, children, dp, scratch, chunk),
+        DpKernel::Tiled => {
+            let packed = packed.expect("tiled kernel requires a packed vertex");
+            kernel::fill_chunk_tiled(tables, plan, packed, dp, scratch, chunk)
+        }
+    }
+}
+
+/// The scalar fill: decodes the first index once, then advances the digit
+/// odometer and the child base offsets incrementally, resolving every cost
+/// operand per `(entry, config)` pair through the table accessors.
+fn fill_chunk_scalar(
     tables: &CostTables,
     plan: &Plan,
     children: &[ChildCoef],
     dp: &[Option<Table>],
     scratch: &mut Scratch,
     chunk: &mut FillChunk<'_>,
-) {
+) -> Result<(), GraphError> {
     let n_dep = plan.dep.len();
     scratch.digits.clear();
     scratch.digits.resize(n_dep, 0);
@@ -195,12 +226,13 @@ fn fill_chunk(
     for t in 0..n_dep {
         scratch.digits[t] = ((chunk.start / plan.strides[t]) % u64::from(plan.radix[t])) as u16;
     }
-    for (ci, ch) in children.iter().enumerate() {
-        let mut b = 0u64;
-        for t in 0..n_dep {
-            b += ch.parent_coef[t] * u64::from(scratch.digits[t]);
-        }
-        scratch.child_base[ci] = b;
+    for (b, ch) in scratch.child_base.iter_mut().zip(children) {
+        *b = ch
+            .parent_coef
+            .iter()
+            .zip(scratch.digits.iter())
+            .map(|(&coef, &d)| coef * u64::from(d))
+            .sum();
     }
 
     let vi = plan.vi;
@@ -219,8 +251,8 @@ fn fill_chunk(
                     tables.edge_cost(e, w_cfg, c)
                 };
             }
-            for (ci, ch) in children.iter().enumerate() {
-                let idx = scratch.child_base[ci] + ch.vi_coef * u64::from(c);
+            for (b, ch) in scratch.child_base.iter().zip(children) {
+                let idx = b + ch.vi_coef * u64::from(c);
                 cost += dp[ch.anchor].as_ref().expect("child table").costs[idx as usize];
             }
             if cost < best {
@@ -239,21 +271,24 @@ fn fill_chunk(
         // delta (+coef on increment, −coef·radix on wrap-around).
         let mut t = n_dep;
         loop {
-            debug_assert!(t > 0, "odometer overflow before chunk end");
+            if t == 0 {
+                return Err(kernel::odometer_overflow(plan, chunk.start));
+            }
             t -= 1;
             scratch.digits[t] += 1;
-            for (ci, ch) in children.iter().enumerate() {
-                scratch.child_base[ci] += ch.parent_coef[t];
+            for (b, ch) in scratch.child_base.iter_mut().zip(children) {
+                *b += ch.parent_coef[t];
             }
             if u32::from(scratch.digits[t]) < plan.radix[t] {
                 break;
             }
             scratch.digits[t] = 0;
-            for (ci, ch) in children.iter().enumerate() {
-                scratch.child_base[ci] -= ch.parent_coef[t] * u64::from(plan.radix[t]);
+            for (b, ch) in scratch.child_base.iter_mut().zip(children) {
+                *b -= ch.parent_coef[t] * u64::from(plan.radix[t]);
             }
         }
     }
+    Ok(())
 }
 
 /// Compute the best parallelization strategy for `graph` under the cost
@@ -316,15 +351,18 @@ pub(crate) fn run_with_structure(
     opts: &DpOptions,
     trace: Option<&Trace>,
     prebuilt: Option<VertexStructure>,
-) -> SearchOutcome {
+) -> Result<SearchOutcome, GraphError> {
     let start = Instant::now();
     let n = graph.len();
     if n == 0 {
-        return SearchOutcome::Found(SearchResult {
+        return Ok(SearchOutcome::Found(SearchResult {
             cost: 0.0,
             config_ids: vec![],
-            stats: SearchStats::default(),
-        });
+            stats: SearchStats {
+                dp_kernel: opts.kernel.as_str(),
+                ..SearchStats::default()
+            },
+        }));
     }
     let structure = match prebuilt {
         Some(s) => s,
@@ -345,7 +383,8 @@ pub(crate) fn run_with_structure(
         k_before: tables.max_k(),
         wavefronts: structure.wavefronts().len(),
         max_wavefront_width: structure.max_wavefront_width(),
-        intern_hit_rate: tables.intern_stats().hit_rate(),
+        intern_hit_rate: tables.intern_stats().hit_rate_opt(),
+        dp_kernel: opts.kernel.as_str(),
         ..SearchStats::default()
     };
 
@@ -366,23 +405,23 @@ pub(crate) fn run_with_structure(
                 Some(s) => size = s,
                 None => {
                     stats.elapsed = start.elapsed();
-                    return SearchOutcome::Oom {
+                    return Ok(SearchOutcome::Oom {
                         needed_entries: u64::MAX,
                         stats,
-                    };
+                    });
                 }
             }
         }
         if stats.table_entries.saturating_add(size) > opts.budget.max_table_entries {
             stats.elapsed = start.elapsed();
-            return SearchOutcome::Oom {
+            return Ok(SearchOutcome::Oom {
                 needed_entries: stats.table_entries.saturating_add(size),
                 stats,
-            };
+            });
         }
         if Instant::now() > deadline {
             stats.elapsed = start.elapsed();
-            return SearchOutcome::Timeout { stats };
+            return Ok(SearchOutcome::Timeout { stats });
         }
         let mut strides = vec![1u64; dep.len()];
         for t in (0..dep.len().saturating_sub(1)).rev() {
@@ -459,6 +498,19 @@ pub(crate) fn run_with_structure(
     };
 
     let timed_out = AtomicBool::new(false);
+    let errored = AtomicBool::new(false);
+    // First fill error (the kernels only fail on a malformed plan); chunks
+    // observe `errored` and drain without working, like a timeout.
+    let fill_error: Mutex<Option<GraphError>> = Mutex::new(None);
+    // Cumulative bytes transposed into panel scratch by the tiled kernel
+    // (the pase-obs `packed_bytes` counter).
+    let packed_bytes = AtomicU64::new(0);
+    // The kernel sub-span is only recorded for the tiled kernel.
+    let ktrace = if opts.kernel == DpKernel::Tiled {
+        trace
+    } else {
+        None
+    };
     let mut dp: Vec<Option<Table>> = (0..n).map(|_| None).collect();
 
     // Install a finished (costs, choice) pair as position i's table.
@@ -486,6 +538,33 @@ pub(crate) fn run_with_structure(
                 .collect();
             let total_entries: usize = wave.iter().map(|&i| plans[i].size as usize).sum();
 
+            let kernel_span = span_in(ktrace, phase::KERNEL);
+            // Pack each table's entry-invariant operands once, up front and
+            // in parallel; every chunk of a table shares its pack.
+            let wave_packed: Vec<Option<kernel::PackedVertex>> = if opts.kernel == DpKernel::Tiled {
+                let dp_ref = &dp;
+                (0..wave.len())
+                    .into_par_iter()
+                    .map(|w| {
+                        Some(kernel::pack_vertex(
+                            tables,
+                            &plans[wave[w]],
+                            &wave_children[w],
+                            dp_ref,
+                        ))
+                    })
+                    .collect()
+            } else {
+                wave.iter().map(|_| None).collect()
+            };
+            packed_bytes.fetch_add(
+                wave_packed
+                    .iter()
+                    .flatten()
+                    .map(|p| p.packed_bytes)
+                    .sum::<u64>(),
+                AtomicOrdering::Relaxed,
+            );
             if total_entries >= CHUNK {
                 let mut chunks: Vec<FillChunk<'_>> = Vec::new();
                 for (w, (costs, choice)) in outs.iter_mut().enumerate() {
@@ -504,11 +583,16 @@ pub(crate) fn run_with_structure(
                 let dp_ref = &dp;
                 let plans_ref = &plans;
                 let wave_children_ref = &wave_children;
+                let wave_packed_ref = &wave_packed;
                 let timed_out_ref = &timed_out;
+                let errored_ref = &errored;
+                let fill_error_ref = &fill_error;
                 chunks
                     .into_par_iter()
                     .for_each_init(pool::take_scratch, |scratch, mut chunk| {
-                        if timed_out_ref.load(AtomicOrdering::Relaxed) {
+                        if timed_out_ref.load(AtomicOrdering::Relaxed)
+                            || errored_ref.load(AtomicOrdering::Relaxed)
+                        {
                             return;
                         }
                         if Instant::now() > deadline {
@@ -516,14 +600,19 @@ pub(crate) fn run_with_structure(
                             return;
                         }
                         let i = wave[chunk.plan_idx];
-                        fill_chunk(
+                        if let Err(e) = fill_chunk(
                             tables,
                             &plans_ref[i],
                             &wave_children_ref[chunk.plan_idx],
+                            wave_packed_ref[chunk.plan_idx].as_ref(),
                             dp_ref,
                             scratch,
                             &mut chunk,
-                        );
+                            opts.kernel,
+                        ) {
+                            errored_ref.store(true, AtomicOrdering::Relaxed);
+                            fill_error_ref.lock().unwrap().get_or_insert(e);
+                        }
                     });
             } else {
                 let mut scratch = pool::take_scratch();
@@ -539,26 +628,36 @@ pub(crate) fn run_with_structure(
                         costs,
                         choice,
                     };
-                    fill_chunk(
+                    if let Err(e) = fill_chunk(
                         tables,
                         &plans[i],
                         &wave_children[w],
+                        wave_packed[w].as_ref(),
                         &dp,
                         &mut scratch,
                         &mut chunk,
-                    );
+                        opts.kernel,
+                    ) {
+                        errored.store(true, AtomicOrdering::Relaxed);
+                        fill_error.lock().unwrap().get_or_insert(e);
+                        break;
+                    }
                 }
             }
+            drop(kernel_span);
             wave_span.arg("tables", wave.len());
             wave_span.arg("entries", total_entries);
             drop(wave_span);
-            if timed_out.load(AtomicOrdering::Relaxed) {
+            if timed_out.load(AtomicOrdering::Relaxed) || errored.load(AtomicOrdering::Relaxed) {
                 for (costs, choice) in outs {
                     pool::recycle_table(costs, choice);
                 }
                 recycle_tables(dp);
+                if let Some(e) = fill_error.lock().unwrap().take() {
+                    return Err(e);
+                }
                 stats.elapsed = start.elapsed();
-                return SearchOutcome::Timeout { stats };
+                return Ok(SearchOutcome::Timeout { stats });
             }
             for (w, (costs, choice)) in outs.into_iter().enumerate() {
                 finish(&mut dp, wave[w], costs, choice);
@@ -566,6 +665,9 @@ pub(crate) fn run_with_structure(
             if let Some(t) = trace {
                 allocated_entries += total_entries as u64;
                 t.counter("table_bytes", allocated_entries * DP_ENTRY_BYTES);
+                if opts.kernel == DpKernel::Tiled {
+                    t.counter("packed_bytes", packed_bytes.load(AtomicOrdering::Relaxed));
+                }
             }
         }
     } else {
@@ -575,9 +677,15 @@ pub(crate) fn run_with_structure(
         let mut fill_span = span_in(trace, phase::SEQUENTIAL_FILL);
         fill_span.arg("tables", n);
         fill_span.arg("entries", stats.table_entries);
+        let kernel_span = span_in(ktrace, phase::KERNEL);
         let mut scratch = pool::take_scratch();
         for i in 0..n {
             let children = children_of(i);
+            let packed = (opts.kernel == DpKernel::Tiled)
+                .then(|| kernel::pack_vertex(tables, &plans[i], &children, &dp));
+            if let Some(p) = &packed {
+                packed_bytes.fetch_add(p.packed_bytes, AtomicOrdering::Relaxed);
+            }
             let size = plans[i].size as usize;
             let (mut costs, mut choice) = pool::take_table(size);
             for lo in (0..size).step_by(CHUNK) {
@@ -585,7 +693,7 @@ pub(crate) fn run_with_structure(
                     pool::recycle_table(costs, choice);
                     recycle_tables(dp);
                     stats.elapsed = start.elapsed();
-                    return SearchOutcome::Timeout { stats };
+                    return Ok(SearchOutcome::Timeout { stats });
                 }
                 let hi = (lo + CHUNK).min(size);
                 let mut chunk = FillChunk {
@@ -594,9 +702,28 @@ pub(crate) fn run_with_structure(
                     costs: &mut costs[lo..hi],
                     choice: &mut choice[lo..hi],
                 };
-                fill_chunk(tables, &plans[i], &children, &dp, &mut scratch, &mut chunk);
+                if let Err(e) = fill_chunk(
+                    tables,
+                    &plans[i],
+                    &children,
+                    packed.as_ref(),
+                    &dp,
+                    &mut scratch,
+                    &mut chunk,
+                    opts.kernel,
+                ) {
+                    pool::recycle_table(costs, choice);
+                    recycle_tables(dp);
+                    return Err(e);
+                }
             }
             finish(&mut dp, i, costs, choice);
+        }
+        drop(kernel_span);
+        if let Some(t) = trace {
+            if opts.kernel == DpKernel::Tiled {
+                t.counter("packed_bytes", packed_bytes.load(AtomicOrdering::Relaxed));
+            }
         }
     }
 
@@ -649,11 +776,11 @@ pub(crate) fn run_with_structure(
     recycle_tables(dp);
 
     stats.elapsed = start.elapsed();
-    SearchOutcome::Found(SearchResult {
+    Ok(SearchOutcome::Found(SearchResult {
         cost: total,
         config_ids: ids,
         stats,
-    })
+    }))
 }
 
 /// [`find_best_strategy`] over a dominance-pruned configuration space.
@@ -732,7 +859,7 @@ pub(crate) fn run_pruned_with_structure(
     prune: &PruneOptions,
     trace: Option<&Trace>,
     prebuilt: Option<VertexStructure>,
-) -> SearchOutcome {
+) -> Result<SearchOutcome, GraphError> {
     let pruned = PrunedTables::build_traced(graph, tables, prune, trace);
     let ps = *pruned.stats();
     if ps.elapsed >= opts.budget.max_time {
@@ -744,13 +871,14 @@ pub(crate) fn run_pruned_with_structure(
             k_before: ps.k_before,
             prune_time: ps.elapsed,
             elapsed: ps.elapsed,
+            dp_kernel: opts.kernel.as_str(),
             ..SearchStats::default()
         };
-        return SearchOutcome::Timeout { stats };
+        return Ok(SearchOutcome::Timeout { stats });
     }
     let mut remaining = *opts;
     remaining.budget.max_time = opts.budget.max_time - ps.elapsed;
-    let mut outcome = run_with_structure(graph, pruned.tables(), &remaining, trace, prebuilt);
+    let mut outcome = run_with_structure(graph, pruned.tables(), &remaining, trace, prebuilt)?;
     match &mut outcome {
         SearchOutcome::Found(r) => {
             r.config_ids = pruned.to_original_ids(&r.config_ids);
@@ -764,7 +892,7 @@ pub(crate) fn run_pruned_with_structure(
             stats.elapsed += ps.elapsed;
         }
     }
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -1047,7 +1175,73 @@ mod tests {
         assert!(r.stats.max_wavefront_width >= 1);
         // Diamond has repeated structures (b/c identical), so the interned
         // build must report sharing.
-        assert!(r.stats.intern_hit_rate > 0.0);
+        assert!(r.stats.intern_hit_rate.expect("interning ran") > 0.0);
+        assert_eq!(r.stats.dp_kernel, DpKernel::default().as_str());
+    }
+
+    #[test]
+    fn skipped_interning_reports_no_hit_rate() {
+        // Diamond is below the default `intern_min_nodes` size gate, so the
+        // interning pass never runs — the hit rate must be absent, not a
+        // misleading 0%.
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(4), &MachineSpec::test_machine());
+        let r = Search::new(&g).tables(&tables).run().expect_found("gated");
+        assert_eq!(r.stats.intern_hit_rate, None);
+    }
+
+    #[test]
+    fn scalar_and_tiled_kernels_agree_bitwise() {
+        for g in [chain3(), diamond()] {
+            let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+            let scalar = Search::new(&g)
+                .tables(&tables)
+                .dp_kernel(DpKernel::Scalar)
+                .run()
+                .expect_found("scalar");
+            let tiled = Search::new(&g)
+                .tables(&tables)
+                .dp_kernel(DpKernel::Tiled)
+                .run()
+                .expect_found("tiled");
+            assert_eq!(scalar.cost.to_bits(), tiled.cost.to_bits());
+            assert_eq!(scalar.config_ids, tiled.config_ids);
+            assert_eq!(scalar.stats.dp_kernel, "scalar");
+            assert_eq!(tiled.stats.dp_kernel, "tiled");
+        }
+    }
+
+    #[test]
+    fn tiled_search_records_kernel_span_and_packed_bytes() {
+        use pase_obs::Trace;
+        let g = diamond();
+        let tables = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        let trace = Trace::new();
+        Search::new(&g)
+            .tables(&tables)
+            .dp_kernel(DpKernel::Tiled)
+            .trace(&trace)
+            .run()
+            .expect_found("tiled traced");
+        let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.iter().any(|n| n == phase::KERNEL), "spans: {names:?}");
+        // Diamond has at least one later edge with the vertex on the source
+        // side, so the tiled kernel must report transposed panel bytes.
+        assert!(trace
+            .counters()
+            .iter()
+            .any(|c| c.name == "packed_bytes" && c.value > 0));
+
+        // The scalar kernel records neither.
+        let trace = Trace::new();
+        Search::new(&g)
+            .tables(&tables)
+            .dp_kernel(DpKernel::Scalar)
+            .trace(&trace)
+            .run()
+            .expect_found("scalar traced");
+        assert!(!trace.spans().iter().any(|s| s.name == phase::KERNEL));
+        assert!(!trace.counters().iter().any(|c| c.name == "packed_bytes"));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   time/memory budgets whose exhaustion reproduces the `OOM` entries of
 //!   Table I (the legacy `find_best_strategy*` free functions remain as
 //!   deprecated wrappers that delegate to it);
+//! * [`DpKernel`] — the DP's inner-loop implementations: today's scalar
+//!   per-entry loop, and the packed/tiled min-plus microkernel
+//!   ([`kernel`]) that treats the combine step as a GEMM-shaped min-plus
+//!   matrix product (bit-identical results, one flag to A/B);
 //! * [`Error`] — the single error type of the search stack (budget
 //!   exhaustion, cost-model failures, cache I/O, protocol violations,
 //!   schema-version mismatches);
@@ -30,6 +34,7 @@ mod budget;
 mod dp;
 mod error;
 mod gate;
+pub mod kernel;
 mod ordering;
 mod pool;
 mod reduction;
@@ -47,6 +52,7 @@ pub use dp::{
 pub use dp::{naive_best_strategy, DpOptions};
 pub use error::Error;
 pub use gate::PruneGate;
+pub use kernel::DpKernel;
 pub use ordering::{
     dependent_set_sizes, generate_seq, generate_seq_with_sets, make_ordering, search_profile,
     OrderingKind, PositionProfile,

@@ -20,15 +20,32 @@
 use std::cell::RefCell;
 
 /// Per-thread scratch buffers for the table-fill loop, grown on demand to
-/// the widest dependent set / child list a chunk needs.
+/// the widest dependent set / child list a chunk needs. The last two
+/// fields are the tiled kernel's working set (see `crate::kernel`): one
+/// `kv`-wide accumulator row and one `kv`-wide hoisted-prefix row. The
+/// scalar kernel leaves them empty. (The packed operand *panels* are not
+/// per-chunk scratch — they are packed once per vertex and shared by all
+/// of its chunks; see [`take_panel`].)
 #[derive(Default)]
 pub(crate) struct Scratch {
     pub(crate) digits: Vec<u16>,
     pub(crate) child_base: Vec<u64>,
+    /// The fused min-plus accumulator row (`kv` wide).
+    pub(crate) acc: Vec<f64>,
+    /// The hoisted invariant-prefix row (`kv` wide): layer cost plus every
+    /// leading operand that is constant within an innermost-digit run,
+    /// summed once per run instead of once per entry.
+    pub(crate) pre: Vec<f64>,
 }
 
 /// Retain at most this many `(costs, choice)` pairs per thread.
 const MAX_POOLED_TABLES: usize = 32;
+
+/// Do not retain kernel panel/accumulator scratch above this element count
+/// (2 MiB of `f64`): panels scale with `Σ kw·kv` over packed edges plus the
+/// transposed child tables, and a one-off giant vertex must not pin its
+/// high-water mark on the thread.
+const MAX_POOLED_PANEL: usize = 1 << 18;
 
 /// Do not retain buffers above this capacity (entries): 2^18 entries is
 /// 2 MiB of `f64` + 0.5 MiB of `u16`, so the per-thread high-water mark is
@@ -38,6 +55,33 @@ const MAX_POOLED_ENTRIES: usize = 1 << 18;
 thread_local! {
     static SCRATCH: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
     static TABLES: RefCell<Vec<(Vec<f64>, Vec<u16>)>> = const { RefCell::new(Vec::new()) };
+    static PANELS: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Take an empty panel buffer for the tiled kernel's per-vertex operand
+/// pack (recycled from this thread's pool when available).
+pub(crate) fn take_panel() -> Vec<f64> {
+    PANELS
+        .with(|pool| pool.borrow_mut().pop())
+        .map(|mut p| {
+            p.clear();
+            p
+        })
+        .unwrap_or_default()
+}
+
+/// Return a panel buffer to this thread's pool. Oversized (above
+/// [`MAX_POOLED_PANEL`] elements) or surplus buffers are freed instead.
+pub(crate) fn recycle_panel(panel: Vec<f64>) {
+    if panel.capacity() > MAX_POOLED_PANEL {
+        return;
+    }
+    PANELS.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED_TABLES {
+            pool.push(panel);
+        }
+    });
 }
 
 /// A pooled [`Scratch`] that returns itself to the thread's pool on drop.
@@ -58,7 +102,13 @@ impl std::ops::DerefMut for PooledScratch {
 
 impl Drop for PooledScratch {
     fn drop(&mut self) {
-        let s = std::mem::take(&mut self.0);
+        let mut s = std::mem::take(&mut self.0);
+        if s.acc.capacity() > MAX_POOLED_PANEL {
+            s.acc = Vec::new();
+        }
+        if s.pre.capacity() > MAX_POOLED_PANEL {
+            s.pre = Vec::new();
+        }
         SCRATCH.with(|pool| {
             let mut pool = pool.borrow_mut();
             if pool.len() < MAX_POOLED_TABLES {
@@ -149,6 +199,40 @@ mod tests {
             let _ = take_scratch();
         }
         SCRATCH.with(|pool| assert!(pool.borrow().len() <= MAX_POOLED_TABLES));
+    }
+
+    #[test]
+    fn oversized_panels_are_dropped_on_recycle() {
+        {
+            let mut s = take_scratch();
+            s.acc.resize(MAX_POOLED_PANEL + 1, 0.0);
+        } // dropped → pooled, but with the giant accumulator released
+        SCRATCH.with(|pool| {
+            assert!(pool
+                .borrow()
+                .iter()
+                .all(|s| s.acc.capacity() <= MAX_POOLED_PANEL));
+        });
+        recycle_panel(vec![0.0; MAX_POOLED_PANEL + 1]);
+        PANELS.with(|pool| {
+            assert!(pool
+                .borrow()
+                .iter()
+                .all(|p| p.capacity() <= MAX_POOLED_PANEL));
+        });
+    }
+
+    #[test]
+    fn panels_round_trip_and_come_back_empty() {
+        let mut p = take_panel();
+        p.extend_from_slice(&[1.0, 2.0, 3.0]);
+        recycle_panel(p);
+        let p = take_panel();
+        assert!(p.is_empty(), "recycled panels must be cleared");
+        for _ in 0..3 * MAX_POOLED_TABLES {
+            recycle_panel(vec![0.0; 4]);
+        }
+        PANELS.with(|pool| assert!(pool.borrow().len() <= MAX_POOLED_TABLES));
     }
 
     #[test]

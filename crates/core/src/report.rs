@@ -17,7 +17,11 @@ use std::time::Duration;
 /// entries. Consumers must reject artifacts whose `schema_version` differs
 /// (see [`crate::Error::SchemaVersion`]); bump this whenever a persisted
 /// field changes shape or meaning.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 2 made `stats.intern_hit_rate` nullable (`null` =
+/// interning never ran, distinct from a measured 0%) and added
+/// `stats.dp_kernel`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Aggregated wall time of one pipeline phase.
 #[derive(Clone, Debug, PartialEq)]
@@ -89,7 +93,8 @@ impl SearchReport {
              \"k_before\": {}, \"prune_time\": {}, \"table_entries\": {}, \
              \"peak_table_bytes\": {}, \"states_evaluated\": {}, \
              \"wavefronts\": {}, \"max_wavefront_width\": {}, \
-             \"intern_hit_rate\": {}, \"prune_skipped\": {}, \
+             \"intern_hit_rate\": {}, \"dp_kernel\": \"{}\", \
+             \"prune_skipped\": {}, \
              \"gate_dp_est\": {}, \"gate_prune_est\": {}, \"elapsed\": {}}}",
             s.max_dependent_set,
             s.max_configs,
@@ -100,7 +105,9 @@ impl SearchReport {
             s.states_evaluated,
             s.wavefronts,
             s.max_wavefront_width,
-            json::number(s.intern_hit_rate),
+            s.intern_hit_rate
+                .map_or_else(|| "null".to_string(), |h| json::number(h).to_string()),
+            json::escape(s.dp_kernel),
             s.prune_skipped,
             s.gate_dp_est,
             s.gate_prune_est,
@@ -189,13 +196,31 @@ mod tests {
         let r = SearchReport::new("trans\"former", 64, &found_outcome(), None);
         let js = r.to_json();
         assert!(js.starts_with('{') && js.ends_with('}'));
-        assert!(js.starts_with("{\"schema_version\": 1"));
+        assert!(js.starts_with("{\"schema_version\": 2"));
         assert!(js.contains("\"model\": \"trans\\\"former\""));
         assert!(js.contains("\"devices\": 64"));
         assert!(js.contains("\"cost\": 42.5"));
         assert!(js.contains("\"peak_table_bytes\": 1000"));
+        // Interning never ran for these stats: absent, not 0.
+        assert!(js.contains("\"intern_hit_rate\": null"));
         assert!(js.contains("\"phases\": {}"));
         assert_eq!(js.matches('{').count(), js.matches('}').count());
+    }
+
+    #[test]
+    fn measured_hit_rate_and_kernel_are_reported() {
+        let outcome = SearchOutcome::Found(SearchResult {
+            cost: 1.0,
+            config_ids: vec![0],
+            stats: SearchStats {
+                intern_hit_rate: Some(0.25),
+                dp_kernel: "tiled",
+                ..SearchStats::default()
+            },
+        });
+        let js = SearchReport::new("m", 8, &outcome, None).to_json();
+        assert!(js.contains("\"intern_hit_rate\": 0.25"));
+        assert!(js.contains("\"dp_kernel\": \"tiled\""));
     }
 
     #[test]

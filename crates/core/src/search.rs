@@ -20,13 +20,14 @@ use crate::budget::{SearchBudget, SearchOutcome, SearchResult};
 use crate::dp::{run_pruned_with_structure, run_with_structure, DpOptions};
 use crate::error::Error;
 use crate::gate::{self, PruneGate};
+use crate::kernel::DpKernel;
 use crate::ordering::{make_ordering, OrderingKind};
 use crate::structure::{ConnectedSetMode, VertexStructure};
 use pase_cost::{
     estimate_prune_work, ConfigRule, ConfigSpace, CostTables, MachineSpec, PruneOptions,
     TableOptions,
 };
-use pase_graph::Graph;
+use pase_graph::{Graph, GraphError};
 use pase_obs::{phase, span_in, OptSpan, Trace};
 
 /// A configured-but-not-yet-run strategy search. See the module docs.
@@ -165,8 +166,16 @@ impl<'a> Search<'a> {
         self
     }
 
-    /// All DP knobs at once (ordering, mode, budget, parallelism) — the
-    /// bridge for callers still holding a [`DpOptions`].
+    /// Which inner-loop implementation fills the DP tables (default
+    /// [`DpKernel::Tiled`]; both kernels are bit-identical — see
+    /// [`DpKernel`]).
+    pub fn dp_kernel(mut self, kernel: DpKernel) -> Self {
+        self.dp.kernel = kernel;
+        self
+    }
+
+    /// All DP knobs at once (ordering, mode, budget, parallelism, kernel) —
+    /// the bridge for callers still holding a [`DpOptions`].
     pub fn dp_options(mut self, opts: DpOptions) -> Self {
         self.dp = opts;
         self
@@ -270,8 +279,8 @@ impl<'a> Search<'a> {
             ),
             None => run_with_structure(self.graph, tables.get(), &self.dp, self.trace, prebuilt),
         };
-        if let Some((skipped, dp_est, prune_est)) = gate_stats {
-            let stats = match &mut outcome {
+        if let (Some((skipped, dp_est, prune_est)), Ok(outcome)) = (gate_stats, &mut outcome) {
+            let stats = match outcome {
                 SearchOutcome::Found(r) => &mut r.stats,
                 SearchOutcome::Oom { stats, .. } | SearchOutcome::Timeout { stats } => stats,
             };
@@ -302,20 +311,34 @@ impl TablesHandle<'_> {
 /// The result of [`Search::run`]: the [`SearchOutcome`] plus the
 /// [`CostTables`] whose configuration-id space the result's
 /// `config_ids` index into.
+///
+/// A structurally malformed fill plan (an internal invariant violation the
+/// DP kernels detect rather than silently wrap on) is carried as a
+/// [`GraphError`]: [`SearchRun::result`] surfaces it as [`Error::Graph`],
+/// while the infallible accessors panic — such a plan means the search
+/// produced no tables at all.
 pub struct SearchRun<'a> {
-    outcome: SearchOutcome,
+    outcome: Result<SearchOutcome, GraphError>,
     tables: TablesHandle<'a>,
 }
 
 impl<'a> SearchRun<'a> {
-    /// The search outcome.
+    /// The search outcome. Panics if the fill failed structurally (see the
+    /// type docs); use [`SearchRun::result`] to handle that case.
     pub fn outcome(&self) -> &SearchOutcome {
-        &self.outcome
+        match &self.outcome {
+            Ok(o) => o,
+            Err(e) => panic!("search failed structurally: {e}"),
+        }
     }
 
-    /// Consume the run, keeping only the outcome.
+    /// Consume the run, keeping only the outcome. Panics like
+    /// [`SearchRun::outcome`] on a structural failure.
     pub fn into_outcome(self) -> SearchOutcome {
-        self.outcome
+        match self.outcome {
+            Ok(o) => o,
+            Err(e) => panic!("search failed structurally: {e}"),
+        }
     }
 
     /// The cost tables the search ran on (owned by the run unless they
@@ -325,18 +348,25 @@ impl<'a> SearchRun<'a> {
     }
 
     /// The successful result, or the matching [`Error`] ([`Error::Oom`] /
-    /// [`Error::Timeout`]) if a budget was exhausted.
+    /// [`Error::Timeout`] for an exhausted budget, [`Error::Graph`] for a
+    /// structural failure).
     pub fn result(&self) -> Result<&SearchResult, Error> {
         match &self.outcome {
-            SearchOutcome::Found(r) => Ok(r),
-            other => Err(Error::from_outcome(other).expect("non-Found outcome maps to an error")),
+            Ok(SearchOutcome::Found(r)) => Ok(r),
+            Ok(other) => {
+                Err(Error::from_outcome(other).expect("non-Found outcome maps to an error"))
+            }
+            Err(e) => Err(Error::Graph(e.clone())),
         }
     }
 
     /// Unwrap the successful result, panicking with `msg` otherwise
     /// (mirrors [`SearchOutcome::expect_found`]).
     pub fn expect_found(self, msg: &str) -> SearchResult {
-        self.outcome.expect_found(msg)
+        match self.outcome {
+            Ok(o) => o.expect_found(msg),
+            Err(e) => panic!("{msg}: search failed structurally: {e}"),
+        }
     }
 }
 

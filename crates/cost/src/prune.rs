@@ -380,6 +380,7 @@ impl PrunedTables {
                 layer_pool,
                 edge_class,
                 edge_pool,
+                intern_attempted: tables.intern_attempted,
             },
             keep,
             stats,

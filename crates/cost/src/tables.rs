@@ -65,6 +65,12 @@ const INTERN_PROBE_LIMIT: usize = 32;
 /// Interning effectiveness counters (see [`CostTables::intern_stats`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InternStats {
+    /// Whether structural interning was attempted at all. `false` when the
+    /// build disabled it (`TableOptions::intern = false`) or the
+    /// `intern_min_nodes` size gate skipped it; `true` when keying ran,
+    /// even if the probe limit later abandoned a hit-free prefix (that is
+    /// a *measured* ~0% hit rate, not a skipped measurement).
+    pub attempted: bool,
     /// Number of graph nodes covered.
     pub nodes: usize,
     /// Distinct layer tables actually computed.
@@ -86,6 +92,14 @@ impl InternStats {
         }
         let unique = self.unique_layer_tables + self.unique_edge_tables;
         1.0 - unique as f64 / total as f64
+    }
+
+    /// [`InternStats::hit_rate`], distinguishing "interning never ran"
+    /// (`None` — the size gate or `intern: false` skipped it) from a
+    /// measured rate (`Some`, possibly 0.0). Reports that would otherwise
+    /// print a misleading `0.0` for a skipped pass use this.
+    pub fn hit_rate_opt(&self) -> Option<f64> {
+        self.attempted.then(|| self.hit_rate())
     }
 }
 
@@ -180,6 +194,9 @@ pub struct CostTables {
     /// Edge → index into `edge_pool`.
     pub(crate) edge_class: Vec<u32>,
     pub(crate) edge_pool: Vec<EdgeTable>,
+    /// Whether structural interning was attempted for this build (see
+    /// [`InternStats::attempted`]).
+    pub(crate) intern_attempted: bool,
 }
 
 impl CostTables {
@@ -260,6 +277,9 @@ impl CostTables {
         let mut span = span_in(trace, phase::INTERNING);
         let nodes = graph.nodes();
         let mut intern = opts.intern && nodes.len() >= opts.intern_min_nodes;
+        // "Attempted" is the *initial* decision: a probe-limit abandonment
+        // below still measured a real (near-zero) hit rate.
+        let intern_attempted = intern;
         let mut node_class = Vec::with_capacity(nodes.len());
         let mut layer_reps: Vec<NodeId> = Vec::new();
         if intern {
@@ -373,6 +393,7 @@ impl CostTables {
             layer_pool,
             edge_class,
             edge_pool,
+            intern_attempted,
         }
     }
 
@@ -399,6 +420,7 @@ impl CostTables {
     /// How much work interning shared (see [`InternStats::hit_rate`]).
     pub fn intern_stats(&self) -> InternStats {
         InternStats {
+            attempted: self.intern_attempted,
             nodes: self.node_class.len(),
             unique_layer_tables: self.layer_pool.len(),
             edges: self.edge_class.len(),
@@ -447,6 +469,25 @@ impl CostTables {
     pub fn edge_cost(&self, e: EdgeId, cu: u16, cv: u16) -> f64 {
         let t = &self.edge_pool[self.edge_class[e.index()] as usize];
         t.costs[cu as usize * t.k_dst as usize + cv as usize]
+    }
+
+    /// The contiguous per-configuration layer-cost row of node `v`:
+    /// `row[c] == layer_cost(v, c)` for every `c < k(v)`. Lets the DP's
+    /// tiled kernel hoist the row once per chunk instead of re-resolving
+    /// the class indirection per entry.
+    #[inline]
+    pub fn layer_cost_row(&self, v: NodeId) -> &[f64] {
+        &self.layer_entry(v).costs
+    }
+
+    /// The dense transfer matrix of edge `e` plus its row length:
+    /// `(matrix, k_dst)` with `matrix[cu * k_dst + cv] == edge_cost(e, cu,
+    /// cv)` and `matrix.len() == k(src) * k_dst`. The DP's tiled kernel
+    /// packs rows (or transposed columns) of this into panel-major scratch.
+    #[inline]
+    pub fn edge_cost_matrix(&self, e: EdgeId) -> (&[f64], usize) {
+        let t = &self.edge_pool[self.edge_class[e.index()] as usize];
+        (&t.costs, t.k_dst as usize)
     }
 
     /// Evaluate `F(G, φ)` for a strategy given as per-node configuration
@@ -703,6 +744,65 @@ mod tests {
                     t.layer_cost(v, c).to_bits(),
                     interned.layer_cost(v, c).to_bits()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn attempted_distinguishes_skipped_from_measured_zero() {
+        let g = fc_chain(5);
+        let m = MachineSpec::test_machine();
+        // Size gate skips interning (5 < intern_min_nodes): not attempted.
+        let gated = CostTables::build(&g, ConfigRule::new(4), &m);
+        assert!(!gated.intern_stats().attempted);
+        assert_eq!(gated.intern_stats().hit_rate_opt(), None);
+        // Explicitly disabled: not attempted either.
+        let off = CostTables::build_with(
+            &g,
+            ConfigRule::new(4),
+            &m,
+            &TableOptions {
+                intern: false,
+                ..always_intern()
+            },
+        );
+        assert!(!off.intern_stats().attempted);
+        // Forced on: attempted, with a measured (here positive) rate.
+        let on = CostTables::build_with(&g, ConfigRule::new(4), &m, &always_intern());
+        let s = on.intern_stats();
+        assert!(s.attempted);
+        assert_eq!(s.hit_rate_opt(), Some(s.hit_rate()));
+        assert!(s.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn panel_accessors_match_scalar_lookups() {
+        let g = fc_chain(3);
+        let t = CostTables::build_with(
+            &g,
+            ConfigRule::new(8),
+            &MachineSpec::test_machine(),
+            &always_intern(),
+        );
+        for v in g.node_ids() {
+            let row = t.layer_cost_row(v);
+            assert_eq!(row.len(), t.k(v));
+            for c in 0..t.k(v) as u16 {
+                assert_eq!(row[c as usize].to_bits(), t.layer_cost(v, c).to_bits());
+            }
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            let eid = EdgeId(i as u32);
+            let (mat, k_dst) = t.edge_cost_matrix(eid);
+            assert_eq!(k_dst, t.k(e.dst));
+            assert_eq!(mat.len(), t.k(e.src) * k_dst);
+            for cu in 0..t.k(e.src) as u16 {
+                for cv in 0..k_dst as u16 {
+                    assert_eq!(
+                        mat[cu as usize * k_dst + cv as usize].to_bits(),
+                        t.edge_cost(eid, cu, cv).to_bits()
+                    );
+                }
             }
         }
     }

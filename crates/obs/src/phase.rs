@@ -34,6 +34,13 @@ pub const BACKTRACK: &str = "backtrack";
 /// path, which fills in position order rather than by wavefront.
 pub const SEQUENTIAL_FILL: &str = "sequential_fill";
 
+/// The tiled min-plus microkernel's time inside a fill span — a *nested*
+/// sub-span of the enclosing `"wavefront <w>"` (or
+/// [`SEQUENTIAL_FILL`]) span, recorded only when the DP runs with
+/// `DpKernel::Tiled`. Consumers summing disjoint pipeline phases must
+/// exclude it (its time is already counted by the parent span).
+pub const KERNEL: &str = "kernel";
+
 /// Span name of DP wavefront `w`.
 pub fn wavefront_name(w: usize) -> String {
     format!("{WAVEFRONT_PREFIX}{w}")

@@ -24,12 +24,12 @@
 //! ## Response
 //!
 //! ```json
-//! {"schema_version": 1, "cached": false, "cache_key": "9a3f…",
+//! {"schema_version": 2, "cached": false, "cache_key": "9a3f…",
 //!  "cost": 1.23e9, "strategy": [0, 4, 2],
-//!  "report": {"schema_version": 1, "model": "alexnet", …}}
+//!  "report": {"schema_version": 2, "model": "alexnet", …}}
 //! ```
 //!
-//! or, on failure, `{"schema_version": 1, "error": "…"}`.
+//! or, on failure, `{"schema_version": 2, "error": "…"}`.
 //!
 //! ## Stats
 //!
@@ -37,7 +37,7 @@
 //! search:
 //!
 //! ```json
-//! {"schema_version": 1, "stats": {"requests": 120, "cache_hits": 80,
+//! {"schema_version": 2, "stats": {"requests": 120, "cache_hits": 80,
 //!  "cache_misses": 25, "coalesced": 15, "in_flight": 2}}
 //! ```
 //!

@@ -21,7 +21,7 @@ def check_stats(path: str) -> None:
     with open(path) as f:
         resp = json.load(f)
     assert "error" not in resp, f"stats query failed: {resp['error']}"
-    assert resp["schema_version"] == 1, f"stats: bad schema_version: {resp}"
+    assert resp["schema_version"] == 2, f"stats: bad schema_version: {resp}"
     stats = resp["stats"]
     hits, misses = stats["cache_hits"], stats["cache_misses"]
     coalesced, in_flight = stats["coalesced"], stats["in_flight"]
@@ -46,7 +46,7 @@ def main() -> None:
 
     for i, q in enumerate((q1, q2), 1):
         assert "error" not in q, f"query {i} failed: {q['error']}"
-        assert q["schema_version"] == 1, f"query {i}: bad schema_version: {q}"
+        assert q["schema_version"] == 2, f"query {i}: bad schema_version: {q}"
         assert q["report"]["outcome"] == "ok", f"query {i}: {q['report']}"
         assert q["strategy"], f"query {i}: empty strategy"
 

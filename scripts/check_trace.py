@@ -9,9 +9,14 @@ Checks:
     interning, table_build, prune, structure, plan, backtrack) and at least
     one per-wavefront fill span; when the adaptive gate skipped the prune
     (stats.prune_skipped), the prune span must be ABSENT instead of empty;
+  * when stats.dp_kernel is "tiled", the trace must contain the nested
+    "kernel" sub-span and a packed_bytes counter sample; with the scalar
+    kernel neither may appear;
   * the summed span durations are within 10% of the elapsed time reported
     by the embedded search report (the spans partition the pipeline, so
-    their sum must also not exceed elapsed by more than rounding).
+    their sum must also not exceed elapsed by more than rounding). The
+    "kernel" span is nested inside its fill span, so it is excluded from
+    the disjoint sum.
 """
 
 import json
@@ -65,8 +70,24 @@ def main() -> None:
     wavefronts = [n for n in names if n.startswith("wavefront ")]
     if not wavefronts:
         fail(f"no per-wavefront fill spans (have: {sorted(names)})")
+
+    dp_kernel = report["stats"].get("dp_kernel")
+    counter_names = {e["name"] for e in events if e.get("ph") == "C"}
+    if dp_kernel == "tiled":
+        if "kernel" not in names:
+            fail("stats.dp_kernel is tiled but the trace has no kernel span")
+        if "packed_bytes" not in counter_names:
+            fail("stats.dp_kernel is tiled but the trace has no packed_bytes counter")
+    else:
+        if "kernel" in names:
+            fail(f"dp_kernel={dp_kernel!r} must not record a kernel span")
+        if "packed_bytes" in counter_names:
+            fail(f"dp_kernel={dp_kernel!r} must not record a packed_bytes counter")
+
     elapsed_us = report["stats"]["elapsed"] * 1e6
-    span_sum_us = sum(e["dur"] for e in spans)
+    # The kernel sub-span nests inside its fill span — its time is already
+    # counted by the parent, so it stays out of the disjoint sum.
+    span_sum_us = sum(e["dur"] for e in spans if e["name"] != "kernel")
     if elapsed_us <= 0:
         fail("report elapsed is not positive")
     ratio = span_sum_us / elapsed_us

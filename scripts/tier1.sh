@@ -17,14 +17,26 @@ cargo run -p pase-bench --release --bin bench_search
 
 # Trace smoke: the acceptance search must write a valid Chrome-trace JSON
 # document containing a span for every pipeline phase, and the spans must
-# account for the reported elapsed time (within 10%).
+# account for the reported elapsed time (within 10%). Run explicitly with
+# the tiled DP kernel: check_trace.py then also asserts the nested
+# "kernel" sub-span and the packed_bytes counter are present.
 trace_dir="$(mktemp -d)"
 serve_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$serve_dir"' EXIT
 cargo run -p pase-cli --release --bin pase -- search \
-    --model transformer --devices 64 \
+    --model transformer --devices 64 --dp-kernel tiled \
     --trace-out "$trace_dir/trace.json" --json --out "$trace_dir/spec.json"
 python3 scripts/check_trace.py "$trace_dir/trace.json" "$trace_dir/spec.json"
+
+# Scalar-kernel trace smoke: the same search with --dp-kernel scalar must
+# record NO kernel span and NO packed_bytes counter — check_trace.py
+# asserts both directions from stats.dp_kernel.
+./target/release/pase search --model transformer --devices 64 \
+    --dp-kernel scalar \
+    --trace-out "$trace_dir/scalar_trace.json" --json \
+    --out "$trace_dir/scalar_spec.json"
+python3 scripts/check_trace.py "$trace_dir/scalar_trace.json" \
+    "$trace_dir/scalar_spec.json"
 
 # Gate smoke: with --prune-gate=auto on AlexNet the prune must be skipped
 # (stats.prune_skipped in the report) and the trace must then contain NO
