@@ -1,10 +1,17 @@
 //! Concurrent load benchmark for the planner service.
 //!
-//! A/B-compares the PR 4 serve path (one cache mutex, no request
-//! coalescing — reproduced exactly by `cache_shards = 1` +
-//! `singleflight = false`) against the sharded + singleflight path, by
-//! driving N concurrent connections of mixed cached/uncached queries
-//! against an in-process server and measuring client-observed latency.
+//! A/B-compares three server configurations per (model, p, concurrency)
+//! cell, driving N concurrent connections of mixed cached/uncached
+//! queries against an in-process server and measuring client-observed
+//! latency:
+//!
+//! - `baseline` — the PR 4 serve path: thread-per-connection, one cache
+//!   mutex, no request coalescing (`cache_shards = 1`,
+//!   `singleflight = false`).
+//! - `sharded`  — the PR 5 path: thread-per-connection with the
+//!   worker-derived stripe count and singleflight.
+//! - `event`    — the epoll readiness loop front end over the same
+//!   sharded cache and worker pool.
 //!
 //! Each client cycles through a small set of distinct cache keys (the
 //! prune ε is part of the key, so varying it makes fresh keys without
@@ -12,21 +19,30 @@
 //! contends on identical keys — the singleflight case — while steady
 //! state is cache-hit dominated, the lock-striping case.
 //!
-//! Per (model, p, concurrency, server config) the job reports req/s and
-//! p50/p95/p99 latency, and writes everything to `BENCH_serve.json`.
+//! Two further dimensions target the event front end specifically:
+//!
+//! - **Idle swarm** (`idle_cells`): 512 idle keep-alive connections plus
+//!   16 active clients for a fixed window. Thread-per-connection pins its
+//!   whole worker pool on the swarm and serves (almost) nothing; the
+//!   event loop is unaffected.
+//! - **Batch** (`batch_cells`): 16 warmed queries as one wire batch vs 16
+//!   sequential round trips, comparing per-query p50.
+//!
+//! Per cell the job reports req/s and p50/p95/p99 latency, and writes
+//! everything to `BENCH_serve.json`.
 //!
 //! ```text
 //! cargo run -p pase-bench --release --bin bench_serve            # full sweep
 //! cargo run -p pase-bench --release --bin bench_serve -- --smoke # tier-1 gate
 //! ```
 //!
-//! `--smoke` runs 4 connections × 20 requests against the sharded server
-//! only, asserts at least one request coalesced and that shutdown drains
-//! cleanly, and writes nothing.
+//! `--smoke` runs a small cell against the sharded and event servers,
+//! a nonzero idle-swarm cell, and a batch-coalescing check, asserting
+//! counters and clean drains; it writes nothing.
 
-use pase_serve::{ServeSummary, Server, ServerConfig};
+use pase_serve::{FrontEnd, ServeSummary, Server, ServerConfig};
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -47,6 +63,58 @@ const CONCURRENCY: [usize; 3] = [2, 8, 16];
 /// enough that the first wave overlaps and singleflight decides how many
 /// duplicate searches the tail pays for.
 const MODELS: [(&str, u32); 3] = [("mlp", 8), ("alexnet", 8), ("inception", 8)];
+
+/// Idle-swarm dimension: this many silent keep-alive connections…
+const IDLE_SWARM: usize = 512;
+/// …alongside this many active clients…
+const IDLE_ACTIVE: usize = 16;
+/// …for this long.
+const IDLE_WINDOW: Duration = Duration::from_secs(2);
+
+/// Queries per wire batch in the batch dimension.
+const BATCH: usize = 16;
+/// Measured rounds per batch cell.
+const BATCH_ROUNDS: usize = 30;
+
+/// The three benchmarked server configurations.
+#[derive(Clone, Copy, PartialEq)]
+enum Config {
+    Baseline,
+    Sharded,
+    Event,
+}
+
+impl Config {
+    fn name(self) -> &'static str {
+        match self {
+            Config::Baseline => "baseline",
+            Config::Sharded => "sharded",
+            Config::Event => "event",
+        }
+    }
+
+    fn server(self, workers: usize) -> ServerConfig {
+        let (frontend, shards, singleflight) = match self {
+            Config::Baseline => (FrontEnd::Threaded, 1, false),
+            Config::Sharded => (FrontEnd::Threaded, 0, true),
+            Config::Event => (FrontEnd::Event, 0, true),
+        };
+        ServerConfig {
+            workers,
+            cache_shards: shards,
+            singleflight,
+            frontend,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn frontend_name(self) -> &'static str {
+        match self {
+            Config::Event => "event",
+            _ => "threaded",
+        }
+    }
+}
 
 fn request_line(model: &str, devices: u32, key: usize) -> String {
     format!(
@@ -77,9 +145,8 @@ fn run_client(
     let mut reader = BufReader::new(stream);
     let mut latencies = Vec::with_capacity(requests);
     // Warm the connection with a stats probe before the barrier: by the
-    // time timing starts every connection is accepted and owned by a
-    // worker, so the measurements cover the serve path, not the accept
-    // queue.
+    // time timing starts every connection is accepted and registered, so
+    // the measurements cover the serve path, not the accept queue.
     writer.write_all(b"{\"stats\": true}\n").unwrap();
     let mut warmup = String::new();
     reader.read_line(&mut warmup).expect("warmup response");
@@ -120,25 +187,29 @@ fn percentile(sorted: &[Duration], q: f64) -> f64 {
     sorted[idx].as_secs_f64()
 }
 
+fn start(
+    cfg: ServerConfig,
+) -> (
+    SocketAddr,
+    pase_serve::ShutdownHandle,
+    std::thread::JoinHandle<ServeSummary>,
+) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+    (addr, handle, join)
+}
+
 /// Run one (model, p, concurrency, config) cell against a fresh server.
 fn run_cell(
     model: &str,
     devices: u32,
     concurrency: usize,
     requests: usize,
-    sharded: bool,
+    config: Config,
 ) -> CellResult {
-    let cfg = ServerConfig {
-        workers: concurrency,
-        cache_shards: if sharded { 16 } else { 1 },
-        singleflight: sharded,
-        ..ServerConfig::default()
-    };
-    let server = Server::bind(cfg).expect("bind");
-    let addr = server.local_addr().expect("addr");
-    let handle = server.shutdown_handle();
-    let join = std::thread::spawn(move || server.run().expect("run"));
-
+    let (addr, handle, join) = start(config.server(concurrency));
     let barrier = Arc::new(Barrier::new(concurrency));
     let clients: Vec<_> = (0..concurrency)
         .map(|c| {
@@ -169,36 +240,210 @@ fn run_cell(
     }
 }
 
+struct IdleCellResult {
+    completed: usize,
+    req_per_s: f64,
+    summary: ServeSummary,
+}
+
+/// The idle-swarm cell: `idle` silent keep-alive connections, then
+/// `active` clients hammering a warmed key for a fixed `window`. Clients
+/// use read timeouts and count only completed round trips, so a starved
+/// server scores ~0 instead of hanging the benchmark.
+fn run_idle_cell(config: Config, idle: usize, active: usize, window: Duration) -> IdleCellResult {
+    let (addr, handle, join) = start(config.server(IDLE_ACTIVE));
+    // The swarm connects first, exactly the deployment order that pins a
+    // thread-per-connection pool.
+    let swarm: Vec<TcpStream> = (0..idle)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+    // Give the server time to accept (and, threaded, dispatch) the swarm.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let barrier = Arc::new(Barrier::new(active));
+    let clients: Vec<_> = (0..active)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let Ok(stream) = TcpStream::connect(addr) else {
+                    return 0usize; // rejected: scored as zero completions
+                };
+                let _ = stream.set_nodelay(true);
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut line = request_line("mlp", 8, 0);
+                line.push('\n');
+                barrier.wait();
+                let t0 = Instant::now();
+                let mut completed = 0usize;
+                loop {
+                    let left = window.saturating_sub(t0.elapsed());
+                    if left.is_zero() {
+                        break;
+                    }
+                    if writer.write_all(line.as_bytes()).is_err() {
+                        break;
+                    }
+                    if reader.get_ref().set_read_timeout(Some(left)).is_err() {
+                        break;
+                    }
+                    let mut response = String::new();
+                    match reader.read_line(&mut response) {
+                        Ok(n) if n > 0 => completed += 1,
+                        Ok(_) => break,
+                        Err(e)
+                            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+                        {
+                            break; // starved past the window
+                        }
+                        Err(_) => break,
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+    let completed: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    drop(swarm);
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    IdleCellResult {
+        completed,
+        req_per_s: completed as f64 / window.as_secs_f64(),
+        summary,
+    }
+}
+
+struct BatchCellResult {
+    batch_p50_per_query: f64,
+    seq_p50_per_query: f64,
+    summary: ServeSummary,
+}
+
+/// The batch cell: per-query p50 of `BATCH` warmed queries sent as one
+/// wire batch vs the same queries as sequential round trips, on one
+/// connection each, against the event front end.
+fn run_batch_cell(config: Config, batch: usize, rounds: usize) -> BatchCellResult {
+    let (addr, handle, join) = start(config.server(4));
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    let single = request_line("mlp", 8, 0);
+    // Warm the cache: the measured rounds are all hits on both sides.
+    writer.write_all(single.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("warm response");
+
+    let mut seq = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            writer.write_all(single.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            response.clear();
+            reader.read_line(&mut response).expect("seq response");
+        }
+        seq.push(t0.elapsed() / batch as u32);
+    }
+
+    let batch_line = format!(
+        "{{\"batch\": [{}]}}\n",
+        vec![single.clone(); batch].join(",")
+    );
+    let mut batched = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        writer.write_all(batch_line.as_bytes()).unwrap();
+        response.clear();
+        reader.read_line(&mut response).expect("batch response");
+        batched.push(t0.elapsed() / batch as u32);
+        assert!(
+            response.contains("\"batch\""),
+            "batch response expected, got: {response}"
+        );
+    }
+
+    drop(writer);
+    drop(reader);
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    seq.sort_unstable();
+    batched.sort_unstable();
+    BatchCellResult {
+        batch_p50_per_query: percentile(&batched, 0.50),
+        seq_p50_per_query: percentile(&seq, 0.50),
+        summary,
+    }
+}
+
 fn smoke() {
-    let concurrency = 4;
-    let requests = 20;
     // "inception" searches take long enough (several ms) that the four
     // barrier-released identical first requests reliably overlap.
-    let r = run_cell("inception", 8, concurrency, requests, true);
-    assert_eq!(
-        r.summary.requests,
-        (concurrency * (requests + 1)) as u64,
-        "every request (plus one warmup stats probe per client) answered \
-         before shutdown"
-    );
-    assert_eq!(
-        r.summary.cache_hits + r.summary.cache_misses + r.summary.coalesced,
-        (concurrency * requests) as u64,
-        "every search request accounted as exactly one of hit/miss/coalesced"
-    );
+    let concurrency = 4;
+    let requests = 20;
+    for config in [Config::Sharded, Config::Event] {
+        let r = run_cell("inception", 8, concurrency, requests, config);
+        assert_eq!(
+            r.summary.requests,
+            (concurrency * (requests + 1)) as u64,
+            "every request (plus one warmup stats probe per client) answered \
+             before shutdown ({})",
+            config.name()
+        );
+        assert_eq!(
+            r.summary.cache_hits + r.summary.cache_misses + r.summary.coalesced,
+            (concurrency * requests) as u64,
+            "every search request accounted as exactly one of hit/miss/coalesced"
+        );
+        assert!(
+            r.summary.coalesced > 0,
+            "4 clients racing the same first key must coalesce at least once \
+             ({}): {:?}",
+            config.name(),
+            r.summary
+        );
+        println!(
+            "bench_serve smoke OK [{}]: {} requests, {} hits, {} misses, \
+             {} coalesced, p99 {:.3} ms",
+            config.name(),
+            r.summary.requests,
+            r.summary.cache_hits,
+            r.summary.cache_misses,
+            r.summary.coalesced,
+            r.p99 * 1e3
+        );
+    }
+
+    // Nonzero idle-swarm cell: a small swarm must not stop the event
+    // front end from serving.
+    let idle = run_idle_cell(Config::Event, 32, 2, Duration::from_millis(500));
     assert!(
-        r.summary.coalesced > 0,
-        "4 clients racing the same first key must coalesce at least once: {:?}",
-        r.summary
+        idle.completed > 0,
+        "event front end must serve under an idle swarm: {:?}",
+        idle.summary
     );
     println!(
-        "bench_serve smoke OK: {} requests, {} hits, {} misses, {} coalesced, \
-         p99 {:.3} ms",
-        r.summary.requests,
-        r.summary.cache_hits,
-        r.summary.cache_misses,
-        r.summary.coalesced,
-        r.p99 * 1e3
+        "bench_serve smoke OK [idle-swarm]: {} completions under 32 idle conns",
+        idle.completed
+    );
+
+    // Batch coalescing: N identical queries in one batch are 1 search +
+    // N−1 hits.
+    let batch = run_batch_cell(Config::Event, 8, 2);
+    assert_eq!(batch.summary.cache_misses, 1, "{:?}", batch.summary);
+    assert_eq!(
+        batch.summary.cache_hits,
+        batch.summary.requests - 1,
+        "{:?}",
+        batch.summary
+    );
+    println!(
+        "bench_serve smoke OK [batch]: batch p50/query {:.3} ms vs sequential {:.3} ms",
+        batch.batch_p50_per_query * 1e3,
+        batch.seq_p50_per_query * 1e3
     );
 }
 
@@ -214,11 +459,12 @@ fn main() {
         for concurrency in CONCURRENCY {
             println!("== {model} p={devices} c={concurrency} ==");
             let mut per_config = Vec::new();
-            for (name, sharded) in [("baseline", false), ("sharded", true)] {
-                let r = run_cell(model, devices, concurrency, REQUESTS, sharded);
+            for config in [Config::Baseline, Config::Sharded, Config::Event] {
+                let r = run_cell(model, devices, concurrency, REQUESTS, config);
                 println!(
-                    "  {name:<9} {:>9.0} req/s  p50 {:>7.3} ms  p95 {:>7.3} ms  \
+                    "  {:<9} {:>9.0} req/s  p50 {:>7.3} ms  p95 {:>7.3} ms  \
                      p99 {:>7.3} ms  (hits {}, misses {}, coalesced {})",
+                    config.name(),
                     r.req_per_s,
                     r.p50 * 1e3,
                     r.p95 * 1e3,
@@ -227,9 +473,9 @@ fn main() {
                     r.summary.cache_misses,
                     r.summary.coalesced
                 );
-                per_config.push((name, r));
+                per_config.push((config, r));
             }
-            for (name, r) in per_config {
+            for (config, r) in per_config {
                 if !first {
                     json.push_str(",\n");
                 }
@@ -237,10 +483,13 @@ fn main() {
                 let _ = write!(
                     json,
                     "    {{\"model\": \"{model}\", \"devices\": {devices}, \
-                     \"concurrency\": {concurrency}, \"config\": \"{name}\", \
+                     \"concurrency\": {concurrency}, \"config\": \"{}\", \
+                     \"frontend\": \"{}\", \
                      \"requests\": {}, \"req_per_s\": {:.1}, \
                      \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
                      \"cache_hits\": {}, \"cache_misses\": {}, \"coalesced\": {}}}",
+                    config.name(),
+                    config.frontend_name(),
                     r.summary.requests,
                     r.req_per_s,
                     r.p50 * 1e3,
@@ -252,6 +501,62 @@ fn main() {
                 );
             }
         }
+    }
+    json.push_str("\n  ],\n  \"idle_cells\": [\n");
+
+    println!("== idle swarm: {IDLE_SWARM} idle + {IDLE_ACTIVE} active, {IDLE_WINDOW:?} ==");
+    let mut first = true;
+    for config in [Config::Sharded, Config::Event] {
+        let r = run_idle_cell(config, IDLE_SWARM, IDLE_ACTIVE, IDLE_WINDOW);
+        println!(
+            "  {:<9} {:>6} completed  {:>9.0} req/s",
+            config.name(),
+            r.completed,
+            r.req_per_s
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"config\": \"{}\", \"frontend\": \"{}\", \
+             \"idle_connections\": {IDLE_SWARM}, \"active_clients\": {IDLE_ACTIVE}, \
+             \"window_s\": {}, \"completed\": {}, \"req_per_s\": {:.1}}}",
+            config.name(),
+            config.frontend_name(),
+            IDLE_WINDOW.as_secs_f64(),
+            r.completed,
+            r.req_per_s
+        );
+    }
+    json.push_str("\n  ],\n  \"batch_cells\": [\n");
+
+    println!("== batch: {BATCH} queries per line vs sequential ==");
+    let mut first = true;
+    for config in [Config::Sharded, Config::Event] {
+        let r = run_batch_cell(config, BATCH, BATCH_ROUNDS);
+        println!(
+            "  {:<9} batch p50/query {:>7.4} ms  sequential p50/query {:>7.4} ms  ({:.2}x)",
+            config.name(),
+            r.batch_p50_per_query * 1e3,
+            r.seq_p50_per_query * 1e3,
+            r.seq_p50_per_query / r.batch_p50_per_query.max(1e-12)
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"config\": \"{}\", \"frontend\": \"{}\", \"batch\": {BATCH}, \
+             \"rounds\": {BATCH_ROUNDS}, \"batch_p50_per_query_ms\": {:.4}, \
+             \"sequential_p50_per_query_ms\": {:.4}}}",
+            config.name(),
+            config.frontend_name(),
+            r.batch_p50_per_query * 1e3,
+            r.seq_p50_per_query * 1e3
+        );
     }
     let _ = write!(
         json,

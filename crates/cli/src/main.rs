@@ -81,12 +81,23 @@ OPTIONS:
   --cache-capacity <n>     (serve) in-memory strategy-cache entries (default 64)
   --cache-dir <dir>        (serve) persist cache entries as JSON files
   --cache-shards <n>       (serve) cache lock stripes, rounded up to a power of
-                           two (default 16; 1 = single-mutex cache)
+                           two (default 0 = min(16, workers rounded up to a
+                           power of two); 1 = single-mutex cache)
   --no-singleflight        (serve) do not coalesce concurrent identical
                            queries into one search
   --idle-timeout-ms <ms>   (serve) close connections idle this long (default 30000)
+  --frontend <event|threaded> (serve) connection front end: \"event\" is the
+                           epoll readiness loop (idle connections cost bytes,
+                           not threads; linux only), \"threaded\" the
+                           thread-per-connection A/B baseline (default event
+                           on linux, threaded elsewhere)
+  --prewarm <spec>         (serve) fill the cache before accepting:
+                           models:devices[:machines], each comma-separated,
+                           e.g. \"mlp,resnet:4,8:1080ti\"
   --stats                  (query) ask the server for its counters instead of
                            a strategy
+  --batch <n>              (query) send the query n times as one wire batch
+                           (one request line, one response array)
 ";
 
 fn build_model(name: &str, p: u32, weak_scaling: bool) -> Result<Graph, String> {
@@ -535,9 +546,18 @@ fn run() -> Result<(), String> {
                 cache_capacity: args.get_or("cache-capacity", 64usize)?,
                 cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
                 idle_timeout: Duration::from_millis(args.get_or("idle-timeout-ms", 30_000u64)?),
-                cache_shards: args.get_or("cache-shards", 16usize)?,
+                cache_shards: args.get_or("cache-shards", 0usize)?,
                 singleflight: !args.has("no-singleflight"),
+                frontend: match args.get("frontend") {
+                    Some(name) => pase_serve::FrontEnd::parse(name)?,
+                    None => pase_serve::FrontEnd::default(),
+                },
+                prewarm: args.get("prewarm").map(str::to_string),
             };
+            if let Some(spec) = &cfg.prewarm {
+                // Fail on a bad spec before binding, not after "listening".
+                pase_serve::parse_prewarm_spec(spec)?;
+            }
             let server = Server::bind(cfg).map_err(|e| format!("cannot bind server: {e}"))?;
             let addr = server
                 .local_addr()
@@ -551,8 +571,12 @@ fn run() -> Result<(), String> {
             pase_serve::install_sigint(server.shutdown_handle());
             let summary = server.run().map_err(|e| format!("server error: {e}"))?;
             eprintln!(
-                "served {} requests ({} cache hits, {} misses, {} coalesced)",
-                summary.requests, summary.cache_hits, summary.cache_misses, summary.coalesced
+                "served {} requests ({} cache hits, {} misses, {} coalesced, {} prewarmed)",
+                summary.requests,
+                summary.cache_hits,
+                summary.cache_misses,
+                summary.coalesced,
+                summary.prewarmed
             );
         }
         "query" => {
@@ -561,6 +585,10 @@ fn run() -> Result<(), String> {
             let request = if args.has("stats") {
                 "{\"stats\": true}".to_string()
             } else {
+                let copies: usize = args.get_or("batch", 1usize)?;
+                if copies == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
                 let mut request = format!(
                     "{{\"model\": \"{model}\", \"devices\": {p}, \"machine\": \"{}\", \
                      \"weak_scaling\": {weak}",
@@ -582,7 +610,13 @@ fn run() -> Result<(), String> {
                     request.push_str(&format!(", \"deadline_ms\": {ms}"));
                 }
                 request.push('}');
-                request
+                if copies > 1 {
+                    // One wire line, one response array — the batch path.
+                    let elems = vec![request; copies].join(",");
+                    format!("{{\"batch\": [{elems}]}}")
+                } else {
+                    request
+                }
             };
             let mut stream = std::net::TcpStream::connect(addr)
                 .map_err(|e| format!("cannot connect to {addr}: {e}"))?;

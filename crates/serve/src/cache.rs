@@ -309,7 +309,9 @@ impl StrategyCache {
         self
     }
 
-    fn disk_path(&self, key: u64) -> Option<PathBuf> {
+    /// The persistence path for `key` under the configured disk
+    /// directory, if any.
+    pub fn disk_path(&self, key: u64) -> Option<PathBuf> {
         self.disk_dir
             .as_ref()
             .map(|d| d.join(format!("{key:016x}.json")))
@@ -319,7 +321,7 @@ impl StrategyCache {
     /// Counts a hit or a miss; a disk hit is promoted into memory.
     /// Unreadable, malformed, or wrong-schema disk entries are misses.
     pub fn get(&mut self, key: u64) -> Option<CacheEntry> {
-        let entry = self.peek(key);
+        let entry = self.probe(key);
         match entry {
             Some(_) => self.hits += 1,
             None => self.misses += 1,
@@ -332,7 +334,7 @@ impl StrategyCache {
     /// and singleflight-coalesced lookups themselves — a coalesced request
     /// re-probes the cache after waiting and must not inflate `hits`.
     /// Still refreshes LRU recency and promotes disk entries into memory.
-    pub fn peek(&mut self, key: u64) -> Option<CacheEntry> {
+    pub fn probe(&mut self, key: u64) -> Option<CacheEntry> {
         self.tick += 1;
         if let Some(slot) = self.map.get_mut(&key) {
             slot.last_used = self.tick;
@@ -351,21 +353,37 @@ impl StrategyCache {
         None
     }
 
+    /// A genuinely non-mutating in-memory lookup: no counter updates, no
+    /// LRU-recency refresh, no disk consultation or promotion. This is the
+    /// inspection path — stats probes and prewarm checks must be able to
+    /// ask "is this cached?" without perturbing eviction order; serving
+    /// paths use [`StrategyCache::get`] / [`StrategyCache::probe`].
+    pub fn peek(&self, key: u64) -> Option<CacheEntry> {
+        self.map.get(&key).map(|slot| slot.entry.clone())
+    }
+
     /// Insert `entry` under `key`, evicting the least-recently-used entry
     /// if the cache is full, and persisting to disk when configured.
     /// Disk failures are reported but the in-memory insert still happens.
+    ///
+    /// Callers that hold this cache behind a contended lock should instead
+    /// use [`StrategyCache::put_memory`] inside the critical section and
+    /// perform the disk write themselves outside it (see
+    /// [`crate::sharded::MissGuard::fulfill`]) — this combined form keeps
+    /// the file write inside whatever lock protects `&mut self`.
     pub fn put(&mut self, key: u64, entry: CacheEntry) -> Result<(), Error> {
+        let json = self.disk_path(key).map(|path| (path, entry.to_json(key)));
         self.insert_mem(key, entry);
-        if let Some(path) = self.disk_path(key) {
-            let dir = path.parent().expect("cache file has a parent");
-            std::fs::create_dir_all(dir).map_err(|source| Error::CacheIo {
-                path: dir.to_path_buf(),
-                source,
-            })?;
-            let json = self.map[&key].entry.to_json(key);
-            std::fs::write(&path, json).map_err(|source| Error::CacheIo { path, source })?;
+        if let Some((path, json)) = json {
+            write_entry_file(&path, &json)?;
         }
         Ok(())
+    }
+
+    /// The in-memory half of [`StrategyCache::put`]: insert + LRU eviction
+    /// only, never any I/O.
+    pub fn put_memory(&mut self, key: u64, entry: CacheEntry) {
+        self.insert_mem(key, entry);
     }
 
     fn insert_mem(&mut self, key: u64, entry: CacheEntry) {
@@ -408,6 +426,21 @@ impl StrategyCache {
     pub fn disk_dir(&self) -> Option<&Path> {
         self.disk_dir.as_deref()
     }
+}
+
+/// Persist one serialized entry, creating the cache directory on first
+/// use. Kept free of `&StrategyCache` so callers can run it outside the
+/// lock that guards the cache.
+pub(crate) fn write_entry_file(path: &Path, json: &str) -> Result<(), Error> {
+    let dir = path.parent().expect("cache file has a parent");
+    std::fs::create_dir_all(dir).map_err(|source| Error::CacheIo {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    std::fs::write(path, json).map_err(|source| Error::CacheIo {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 #[cfg(test)]
@@ -523,6 +556,46 @@ mod tests {
         assert!(c.get(2).is_none());
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn peek_is_non_mutating() {
+        let mut c = StrategyCache::new(2);
+        c.put(1, entry("a")).unwrap();
+        c.put(2, entry("b")).unwrap();
+        // Peeking key 1 must NOT refresh its recency: key 1 stays the LRU
+        // victim and is evicted by the next insert.
+        assert_eq!(c.peek(1).unwrap().model, "a");
+        assert_eq!(c.hits(), 0, "peek never counts");
+        c.put(3, entry("c")).unwrap();
+        assert!(c.peek(1).is_none(), "peek must not have refreshed LRU");
+        assert!(c.peek(2).is_some());
+
+        // probe (the serving path) DOES refresh recency.
+        let mut c = StrategyCache::new(2);
+        c.put(1, entry("a")).unwrap();
+        c.put(2, entry("b")).unwrap();
+        assert!(c.probe(1).is_some());
+        c.put(3, entry("c")).unwrap();
+        assert!(c.peek(1).is_some(), "probe refreshed key 1");
+        assert!(c.peek(2).is_none(), "key 2 became the victim");
+    }
+
+    #[test]
+    fn peek_never_promotes_disk_entries() {
+        let dir = std::env::temp_dir().join(format!("pase-peek-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = 77u64;
+        {
+            let mut c = StrategyCache::new(4).with_disk_dir(&dir);
+            c.put(key, entry("on-disk")).unwrap();
+        }
+        let mut c2 = StrategyCache::new(4).with_disk_dir(&dir);
+        assert!(c2.peek(key).is_none(), "peek is memory-only");
+        assert_eq!(c2.len(), 0, "nothing promoted");
+        assert!(c2.probe(key).is_some(), "probe consults disk");
+        assert_eq!(c2.len(), 1, "probe promoted the entry");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! The event-driven front end: one epoll readiness loop owns every
+//! connection, a bounded worker pool runs the searches.
+//!
+//! The thread-per-connection front end ([`crate::server`]) pins a worker
+//! per connection for its whole lifetime, so 512 idle keep-alive clients
+//! starve a 16-worker pool outright. Here the roles are split:
+//!
+//! - **The event thread** owns the listener and every connection's
+//!   read/write buffers. It accepts, reads nonblocking sockets into
+//!   per-connection buffers, splits out complete request lines, flushes
+//!   responses, and closes idle or hostile connections. An idle
+//!   connection costs the bytes of its [`Conn`] struct — no thread, no
+//!   sleep-poll.
+//! - **The worker pool** (same size and channel discipline as the
+//!   threaded front end) only ever sees complete request lines as
+//!   [`Job`]s. Finished responses come back through a completion queue
+//!   plus a [`WakePipe`] byte, so the reactor wakes exactly when there is
+//!   work, not on a timer.
+//!
+//! At most one job per connection is in flight at a time — responses
+//! stay in request order and one chatty client cannot monopolize the
+//! pool; its later lines wait in `Conn::pending` until the earlier
+//! response is handed back.
+//!
+//! Idle-timeout semantics are deliberately stricter than the threaded
+//! loop: only a *complete* request line (or a served response) refreshes
+//! the activity clock, so a slow-loris client dribbling bytes without a
+//! newline is closed at the same deadline as a silent one.
+
+#![cfg(target_os = "linux")]
+
+use crate::protocol::write_error_json;
+use crate::reactor::{Interest, Reactor, WakePipe, Waker};
+use crate::server::{handle_line, summarize, ServeSummary, Shared, MAX_LINE};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const LISTENER: u64 = 0;
+const WAKER: u64 = 1;
+const FIRST_CONN: u64 = 2;
+
+/// Reactor wait granularity: bounds how stale the idle sweep and the
+/// shutdown-flag check can be. Nothing sleeps at this cadence — readiness
+/// and completions wake the loop immediately.
+const TICK: Duration = Duration::from_millis(10);
+
+/// Per-event read cap. Level-triggered epoll re-reports a socket with
+/// unread bytes, so stopping here bounds one connection's share of a loop
+/// iteration without losing data.
+const READ_BUDGET: usize = 16 * 4096;
+
+/// How long after a shutdown request idle connections are kept so that
+/// requests already in their socket buffers can be read and served — the
+/// drain guarantee. Matches the threaded front end, which notices
+/// shutdown on the first idle read poll (one `POLL` tick).
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(20);
+
+/// A complete request line headed for the worker pool.
+struct Job {
+    token: u64,
+    line: String,
+}
+
+/// A rendered response (newline included) headed back to its connection.
+struct Done {
+    token: u64,
+    response: String,
+}
+
+/// Per-connection state owned by the event thread.
+struct Conn {
+    stream: TcpStream,
+    /// Raw bytes read but not yet split into lines.
+    inbuf: Vec<u8>,
+    /// Complete lines waiting their turn in the worker pool.
+    pending: VecDeque<String>,
+    /// Rendered-but-unflushed response bytes.
+    out: Vec<u8>,
+    /// A job for this connection is in the pool right now.
+    in_flight: bool,
+    /// The peer sent EOF (or hung up); serve what is buffered, then close.
+    read_closed: bool,
+    /// Close as soon as `out` drains (protocol violation, e.g. oversized
+    /// line).
+    closing: bool,
+    /// What the fd is currently registered for (`None` = deregistered).
+    registered: Option<Interest>,
+    /// Last complete request line or served response — the idle clock.
+    /// Partial input does *not* refresh it (slow-loris).
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+            out: Vec::new(),
+            in_flight: false,
+            read_closed: false,
+            closing: false,
+            registered: Some(Interest::READ),
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// Nothing buffered, nothing in flight: safe to close without losing
+    /// a request or a response.
+    fn is_idle(&self) -> bool {
+        !self.in_flight && self.pending.is_empty() && self.out.is_empty()
+    }
+
+    /// Read until `WouldBlock`, EOF, or the per-event budget; split
+    /// complete lines into `pending`. Returns `false` on a fatal error.
+    fn read_ready(&mut self) -> bool {
+        if !self.read_closed {
+            let mut taken = 0;
+            loop {
+                let mut chunk = [0u8; 4096];
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        self.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.inbuf.extend_from_slice(&chunk[..n]);
+                        taken += n;
+                        if taken >= READ_BUDGET {
+                            break; // level-triggered: epoll re-notifies
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            }
+        }
+        while let Some(nl) = self.inbuf.iter().position(|&b| b == b'\n') {
+            let rest = self.inbuf.split_off(nl + 1);
+            let mut line = std::mem::replace(&mut self.inbuf, rest);
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            self.last_activity = Instant::now();
+            let line = String::from_utf8_lossy(&line).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.pending.push_back(line);
+        }
+        if !self.closing && self.inbuf.len() > MAX_LINE {
+            let mut err = String::new();
+            write_error_json(
+                &mut err,
+                &pase_core::Error::Protocol(format!("request line exceeds {MAX_LINE} bytes")),
+            );
+            err.push('\n');
+            // Answer the violation, drop everything else, close after the
+            // in-flight job (if any) and this error flush.
+            self.out.extend_from_slice(err.as_bytes());
+            self.inbuf = Vec::new();
+            self.pending.clear();
+            self.read_closed = true;
+            self.closing = true;
+        }
+        true
+    }
+
+    /// Write as much of `out` as the socket takes. Returns `false` on a
+    /// fatal error.
+    fn flush(&mut self) -> bool {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.out.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+/// The event loop. Called from [`crate::Server::run`] with the bound
+/// listener; returns the same [`ServeSummary`] as the threaded front end.
+pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) -> std::io::Result<ServeSummary> {
+    listener.set_nonblocking(true)?;
+    let mut reactor = Reactor::new()?;
+    let wake = WakePipe::new()?;
+    reactor.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+    reactor.register(wake.read_fd(), WAKER, Interest::READ)?;
+
+    let (tx, rx) = mpsc::channel::<Job>();
+    let rx = Arc::new(Mutex::new(rx));
+    let completions: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
+    let workers: Vec<_> = (0..shared.cfg.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            let completions = Arc::clone(&completions);
+            let waker: Waker = wake.waker();
+            std::thread::spawn(move || loop {
+                let job = match rx.lock().expect("worker queue").recv() {
+                    Ok(job) => job,
+                    Err(_) => break, // event loop closed the channel
+                };
+                let mut response = String::new();
+                handle_line(&job.line, &shared, &mut response);
+                response.push('\n');
+                completions.lock().expect("completions").push(Done {
+                    token: job.token,
+                    response,
+                });
+                waker.wake();
+            })
+        })
+        .collect();
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    let mut events = Vec::new();
+    let mut listening = true;
+    let mut wakeups = 0u64;
+    let mut depth = 0u64; // jobs dispatched but not yet completed
+
+    let dispatch = |conn: &mut Conn, token: u64, depth: &mut u64| {
+        if conn.in_flight || conn.closing {
+            return;
+        }
+        if let Some(line) = conn.pending.pop_front() {
+            conn.in_flight = true;
+            *depth += 1;
+            shared.trace.counter("queue_depth", *depth);
+            // A send can only fail if all workers died; the conn is then
+            // torn down by the idle sweep once nothing completes.
+            let _ = tx.send(Job { token, line });
+        }
+    };
+
+    let mut shutdown_at: Option<Instant> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && listening {
+            // Connections whose handshake completed before shutdown still
+            // get served: drain the backlog once, then stop listening.
+            accept_all(&listener, &reactor, &mut conns, &mut next_token);
+            let _ = reactor.deregister(listener.as_raw_fd());
+            listening = false;
+            shutdown_at = Some(Instant::now());
+        }
+        if let Some(t0) = shutdown_at {
+            if t0.elapsed() >= SHUTDOWN_GRACE {
+                // Grace over: one final read per idle connection (bytes
+                // already in the socket buffer must still be answered),
+                // then close whatever has no work.
+                let idle: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| c.is_idle())
+                    .map(|(&t, _)| t)
+                    .collect();
+                for token in idle {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut keep = conn.read_ready();
+                    if keep {
+                        dispatch(conn, token, &mut depth);
+                        keep = !conn.is_idle() && settle(conn, token, &reactor);
+                    }
+                    if !keep {
+                        close_conn(&reactor, &mut conns, token);
+                    }
+                }
+            }
+            if conns.is_empty() {
+                break;
+            }
+        }
+
+        events.clear();
+        let n = reactor.wait(TICK, |ev| events.push(ev))?;
+        if n > 0 {
+            wakeups += 1;
+            shared.trace.counter("loop_wakeups", wakeups);
+        }
+
+        for ev in &events {
+            match ev.token {
+                LISTENER => {
+                    if listening {
+                        accept_all(&listener, &reactor, &mut conns, &mut next_token);
+                    }
+                }
+                WAKER => wake.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut keep = true;
+                    if ev.readable || ev.hangup {
+                        // A hangup may still have final bytes buffered;
+                        // read_ready picks up both the data and the EOF.
+                        keep = conn.read_ready();
+                    }
+                    if keep && ev.writable {
+                        keep = conn.flush();
+                    }
+                    if keep {
+                        dispatch(conn, token, &mut depth);
+                        keep = settle(conn, token, &reactor);
+                    }
+                    if !keep {
+                        close_conn(&reactor, &mut conns, token);
+                    }
+                }
+            }
+        }
+
+        // Hand completed responses back to their connections.
+        let done: Vec<Done> = std::mem::take(&mut *completions.lock().expect("completions"));
+        for d in done {
+            depth = depth.saturating_sub(1);
+            shared.trace.counter("queue_depth", depth);
+            let Some(conn) = conns.get_mut(&d.token) else {
+                continue; // connection died while its search ran
+            };
+            conn.in_flight = false;
+            conn.out.extend_from_slice(d.response.as_bytes());
+            conn.last_activity = Instant::now();
+            let keep = conn.flush() && {
+                dispatch(conn, d.token, &mut depth);
+                settle(conn, d.token, &reactor)
+            };
+            if !keep {
+                close_conn(&reactor, &mut conns, d.token);
+            }
+        }
+
+        // Idle sweep: a connection with no complete line and no pending
+        // work for idle_timeout is closed — this is what makes slow-loris
+        // and silent keep-alive clients cost nothing but these bytes. A
+        // connection whose peer stopped reading its response is caught by
+        // the same clock (flush progress does not refresh it).
+        let now = Instant::now();
+        let timeout = shared.cfg.idle_timeout;
+        let expired: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| {
+                !c.in_flight
+                    && c.pending.is_empty()
+                    && now.duration_since(c.last_activity) >= timeout
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            close_conn(&reactor, &mut conns, token);
+        }
+    }
+
+    // Joining before `wake` drops keeps every Waker fd-copy valid.
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(summarize(&shared))
+}
+
+/// Accept until the backlog is empty, registering each connection
+/// read-only under a fresh token.
+fn accept_all(
+    listener: &TcpListener,
+    reactor: &Reactor,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Request/response lines are tiny; Nagle + delayed ACK
+                // would add tens of ms to every round trip.
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if reactor
+                    .register(stream.as_raw_fd(), token, Interest::READ)
+                    .is_err()
+                {
+                    continue;
+                }
+                conns.insert(token, Conn::new(stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Post-I/O bookkeeping: close finished connections, and re-register the
+/// fd for exactly the events that can make progress (write interest only
+/// while `out` has bytes; read interest only until EOF — both are
+/// level-triggered, so a stale interest would spin the loop).
+fn settle(conn: &mut Conn, token: u64, reactor: &Reactor) -> bool {
+    if conn.is_idle() && (conn.closing || conn.read_closed) {
+        return false; // drained: nothing pending, nothing to flush
+    }
+    let want = Interest {
+        readable: !conn.read_closed,
+        writable: !conn.out.is_empty(),
+    };
+    let fd = conn.stream.as_raw_fd();
+    match (conn.registered, want.readable || want.writable) {
+        (Some(cur), true) if cur != want => {
+            if reactor.modify(fd, token, want).is_err() {
+                return false;
+            }
+            conn.registered = Some(want);
+        }
+        (Some(_), false) => {
+            // Read side closed, response still being computed: nothing to
+            // wait for until the completion queue delivers it.
+            let _ = reactor.deregister(fd);
+            conn.registered = None;
+        }
+        (None, true) => {
+            if reactor.register(fd, token, want).is_err() {
+                return false;
+            }
+            conn.registered = Some(want);
+        }
+        _ => {}
+    }
+    true
+}
+
+/// Deregister and drop one connection (dropping the stream closes the
+/// fd).
+fn close_conn(reactor: &Reactor, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        if conn.registered.is_some() {
+            let _ = reactor.deregister(conn.stream.as_raw_fd());
+        }
+    }
+}

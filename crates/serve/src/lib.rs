@@ -31,16 +31,22 @@
 //! `pase query`.
 
 pub mod cache;
+#[cfg(target_os = "linux")]
+mod event;
+mod prewarm;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 mod server;
 pub mod sharded;
 
 pub use cache::{strategy_cache_key, CacheEntry, StrategyCache};
+pub use prewarm::parse_prewarm_spec;
 pub use protocol::{
-    error_json, response_json, write_error_json, write_response_json, write_stats_json, Request,
-    RequestKind,
+    error_json, response_json, write_batch_close, write_batch_open, write_error_json,
+    write_response_json, write_stats_json, Request, RequestKind, MAX_BATCH,
 };
 #[cfg(unix)]
 pub use server::install_sigint;
-pub use server::{ServeSummary, Server, ServerConfig, ShutdownHandle};
+pub use server::{FrontEnd, ServeSummary, Server, ServerConfig, ShutdownHandle};
 pub use sharded::{CacheCounters, Lookup, MissGuard, ShardedCache};

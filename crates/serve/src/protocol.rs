@@ -31,6 +31,21 @@
 //!
 //! or, on failure, `{"schema_version": 2, "error": "…"}`.
 //!
+//! ## Batch
+//!
+//! `{"batch": [{"model": "mlp", "devices": 4}, {"model": "alexnet"}, …]}`
+//! runs up to [`MAX_BATCH`] searches and answers them as **one** response
+//! array written in a single syscall:
+//!
+//! ```json
+//! {"schema_version": 2, "batch": [{"cached": false, …}, {"cached": true, …}]}
+//! ```
+//!
+//! Elements are answered in order through the same cache/singleflight
+//! path as single requests, so a batch of N identical queries costs one
+//! search plus N−1 cache hits. Batches parse strictly: one malformed
+//! element rejects the whole line with an error naming its index.
+//!
 //! ## Stats
 //!
 //! `{"stats": true}` returns the server's counters instead of running a
@@ -38,12 +53,13 @@
 //!
 //! ```json
 //! {"schema_version": 2, "stats": {"requests": 120, "cache_hits": 80,
-//!  "cache_misses": 25, "coalesced": 15, "in_flight": 2}}
+//!  "cache_misses": 25, "coalesced": 15, "in_flight": 2, "entries": 31}}
 //! ```
 //!
 //! `coalesced` counts requests answered by waiting on another request's
 //! identical in-flight search (the singleflight layer); `in_flight` is the
-//! number of searches running at the instant of the probe.
+//! number of searches running at the instant of the probe; `entries` is
+//! the in-memory strategy-cache population.
 
 use pase_core::{Error, PruneGate, SearchBudget, SCHEMA_VERSION};
 use pase_cost::MachineSpec;
@@ -51,26 +67,61 @@ use pase_obs::json;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-/// One parsed request line: a strategy search or a stats probe.
+/// Maximum number of search requests in one `{"batch": […]}` line. Bounds
+/// the time a single wire request can hold a worker; clients wanting more
+/// split into multiple batch lines.
+pub const MAX_BATCH: usize = 1024;
+
+/// One parsed request line: a strategy search, a batch of searches, or a
+/// stats probe.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RequestKind {
     /// A strategy-search request.
     Search(Box<Request>),
+    /// A `{"batch": […]}` request: several searches answered as one
+    /// response array in one write.
+    Batch(Vec<Request>),
     /// A `{"stats": true}` counter probe.
     Stats,
 }
 
 impl RequestKind {
-    /// Parse one request line, dispatching on the `"stats"` marker.
+    /// Parse one request line, dispatching on the `"batch"` / `"stats"`
+    /// markers. A batch is parsed strictly: any malformed element rejects
+    /// the whole line with an error naming the element index, so a client
+    /// never has to correlate partial failures.
     pub fn parse(line: &str) -> Result<Self, Error> {
         let v = json::parse(line).map_err(Error::Protocol)?;
+        if let Some(b) = v.get("batch") {
+            let elems = b
+                .as_array()
+                .ok_or_else(|| Error::Protocol("\"batch\" must be an array".into()))?;
+            if elems.is_empty() {
+                return Err(Error::Protocol("\"batch\" must not be empty".into()));
+            }
+            if elems.len() > MAX_BATCH {
+                return Err(Error::Protocol(format!(
+                    "\"batch\" holds {} requests, the limit is {MAX_BATCH}",
+                    elems.len()
+                )));
+            }
+            let requests = elems
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    Request::from_value(e)
+                        .map_err(|err| Error::Protocol(format!("batch[{i}]: {err}")))
+                })
+                .collect::<Result<Vec<Request>, Error>>()?;
+            return Ok(RequestKind::Batch(requests));
+        }
         if let Some(s) = v.get("stats") {
             return match s.as_bool() {
                 Some(true) => Ok(RequestKind::Stats),
                 _ => Err(Error::Protocol("\"stats\" must be true".into())),
             };
         }
-        Request::parse(line).map(|r| RequestKind::Search(Box::new(r)))
+        Request::from_value(&v).map(|r| RequestKind::Search(Box::new(r)))
     }
 }
 
@@ -105,6 +156,12 @@ impl Request {
     /// become [`Error::UnknownName`] / [`Error::Protocol`].
     pub fn parse(line: &str) -> Result<Self, Error> {
         let v = json::parse(line).map_err(Error::Protocol)?;
+        Self::from_value(&v)
+    }
+
+    /// Parse one already-parsed request object (a top-level line or one
+    /// element of a `"batch"` array).
+    pub fn from_value(v: &json::Value) -> Result<Self, Error> {
         let model = v
             .get("model")
             .and_then(|m| m.as_str())
@@ -262,6 +319,19 @@ pub fn error_json(err: &Error) -> String {
     out
 }
 
+/// Open the envelope of a batch response: every per-request response
+/// object is appended between [`write_batch_open`] and
+/// [`write_batch_close`], comma-separated by the caller, and the whole
+/// array goes to the client as one line in one write.
+pub fn write_batch_open(out: &mut String) {
+    let _ = write!(out, "{{\"schema_version\": {SCHEMA_VERSION}, \"batch\": [");
+}
+
+/// Close the batch-response envelope opened by [`write_batch_open`].
+pub fn write_batch_close(out: &mut String) {
+    out.push_str("]}");
+}
+
 /// Render the `stats` response line (no trailing newline) into `out`,
 /// appending. Field meanings are documented in the module docs.
 pub fn write_stats_json(
@@ -271,13 +341,14 @@ pub fn write_stats_json(
     misses: u64,
     coalesced: u64,
     in_flight: u64,
+    entries: u64,
 ) {
     let _ = write!(
         out,
         "{{\"schema_version\": {SCHEMA_VERSION}, \"stats\": {{\
          \"requests\": {requests}, \"cache_hits\": {hits}, \
          \"cache_misses\": {misses}, \"coalesced\": {coalesced}, \
-         \"in_flight\": {in_flight}}}}}"
+         \"in_flight\": {in_flight}, \"entries\": {entries}}}}}"
     );
 }
 
@@ -381,7 +452,7 @@ mod tests {
     #[test]
     fn stats_response_shape() {
         let mut out = String::new();
-        write_stats_json(&mut out, 10, 5, 3, 2, 1);
+        write_stats_json(&mut out, 10, 5, 3, 2, 1, 4);
         let v = json::parse(&out).unwrap();
         let stats = v.get("stats").expect("stats object");
         assert_eq!(stats.get("requests").and_then(|x| x.as_u64()), Some(10));
@@ -389,6 +460,75 @@ mod tests {
         assert_eq!(stats.get("cache_misses").and_then(|x| x.as_u64()), Some(3));
         assert_eq!(stats.get("coalesced").and_then(|x| x.as_u64()), Some(2));
         assert_eq!(stats.get("in_flight").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(stats.get("entries").and_then(|x| x.as_u64()), Some(4));
+    }
+
+    #[test]
+    fn batch_requests_parse_in_order_with_per_element_defaults() {
+        let kind = RequestKind::parse(
+            "{\"batch\": [{\"model\": \"mlp\", \"devices\": 4}, \
+             {\"model\": \"alexnet\"}]}",
+        )
+        .unwrap();
+        let reqs = match kind {
+            RequestKind::Batch(reqs) => reqs,
+            other => panic!("expected a batch, got {other:?}"),
+        };
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].model, "mlp");
+        assert_eq!(reqs[0].devices, 4);
+        assert_eq!(reqs[1].model, "alexnet");
+        assert_eq!(reqs[1].devices, 8, "element defaults match single requests");
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_whole() {
+        // Not an array, empty, element without a model, element with an
+        // unknown model — each rejects the entire line.
+        for bad in [
+            "{\"batch\": true}",
+            "{\"batch\": []}",
+            "{\"batch\": [{\"devices\": 4}]}",
+            "{\"batch\": [{\"model\": \"mlp\"}, {\"model\": \"gpt5\"}]}",
+        ] {
+            assert!(
+                matches!(RequestKind::parse(bad), Err(Error::Protocol(_))),
+                "{bad}"
+            );
+        }
+        // The error names the offending element.
+        let err = RequestKind::parse("{\"batch\": [{\"model\": \"mlp\"}, {\"model\": \"gpt5\"}]}")
+            .unwrap_err();
+        assert!(err.to_string().contains("batch[1]"), "{err}");
+        // Oversized batches are refused up front.
+        let mut line = String::from("{\"batch\": [");
+        for i in 0..=MAX_BATCH {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            line.push_str("{\"model\": \"mlp\"}");
+        }
+        line.push_str("]}");
+        let err = RequestKind::parse(&line).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn batch_envelope_is_valid_json() {
+        let mut out = String::new();
+        write_batch_open(&mut out);
+        write_response_json(&mut out, 1, false, Some(1.0), Some(&[2]), "{}");
+        out.push_str(", ");
+        write_response_json(&mut out, 1, true, Some(1.0), Some(&[2]), "{}");
+        write_batch_close(&mut out);
+        let v = json::parse(&out).unwrap();
+        let batch = v.get("batch").and_then(|b| b.as_array()).expect("array");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch[0].get("cached").and_then(|c| c.as_bool()),
+            Some(false)
+        );
+        assert_eq!(batch[1].get("cached").and_then(|c| c.as_bool()), Some(true));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! exposes its counters.
 
 use crate::cache::{strategy_cache_key, CacheEntry};
-use crate::protocol::{write_error_json, write_response_json, write_stats_json, RequestKind};
+use crate::protocol::{
+    write_batch_close, write_batch_open, write_error_json, write_response_json, write_stats_json,
+    Request, RequestKind,
+};
 use crate::sharded::{Lookup, ShardedCache};
 use pase_core::{Search, SearchOutcome, SearchReport};
 use pase_cost::{ConfigRule, PruneOptions};
@@ -42,7 +45,50 @@ const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
 /// Maximum accepted request-line length. A client streaming bytes without
 /// a newline is cut off here instead of growing the buffer unboundedly.
-const MAX_LINE: usize = 4 << 20;
+pub(crate) const MAX_LINE: usize = 4 << 20;
+
+/// Which connection front end [`Server::run`] drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// Thread-per-connection loop: each accepted connection occupies a
+    /// worker thread for its whole lifetime. Kept as the A/B baseline.
+    Threaded,
+    /// Event-driven epoll readiness loop (linux only): one event thread
+    /// owns every connection's buffers and workers only ever see complete
+    /// request lines, so idle connections cost bytes, not threads.
+    Event,
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            FrontEnd::Event
+        } else {
+            FrontEnd::Threaded
+        }
+    }
+}
+
+impl FrontEnd {
+    /// Parse a CLI-style name (`"event"` / `"threaded"`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "event" => Ok(FrontEnd::Event),
+            "threaded" => Ok(FrontEnd::Threaded),
+            other => Err(format!(
+                "unknown front end '{other}' (expected 'event' or 'threaded')"
+            )),
+        }
+    }
+
+    /// The CLI-style name (inverse of [`FrontEnd::parse`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrontEnd::Event => "event",
+            FrontEnd::Threaded => "threaded",
+        }
+    }
+}
 
 /// Planner service configuration.
 #[derive(Clone, Debug)]
@@ -63,11 +109,23 @@ pub struct ServerConfig {
     /// occupies a worker for its whole lifetime) and starve the accept
     /// queue.
     pub idle_timeout: Duration,
-    /// Cache lock stripes (rounded up to a power of two; default 16).
-    /// `1` reproduces the single-mutex PR 4 cache for A/B benchmarking.
+    /// Cache lock stripes (rounded up to a power of two). `0` (the
+    /// default) derives the count from the worker pool:
+    /// `min(16, workers.next_power_of_two())`, so a 2-worker server does
+    /// not pay 16-stripe overhead. `1` reproduces the single-mutex PR 4
+    /// cache for A/B benchmarking.
     pub cache_shards: usize,
     /// Coalesce concurrent identical queries into one search (default on).
     pub singleflight: bool,
+    /// Connection front end (see [`FrontEnd`]; default [`FrontEnd::Event`]
+    /// on linux, [`FrontEnd::Threaded`] elsewhere).
+    pub frontend: FrontEnd,
+    /// Optional zoo-prewarm spec (`models:devices:machines`, each a
+    /// comma-separated list — e.g. `"mlp,resnet:4,8:test"`). The
+    /// cross-product is searched through the normal singleflight lookup
+    /// path before the server accepts its first connection, so a
+    /// prewarmed server answers matching queries as cache hits.
+    pub prewarm: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -79,8 +137,10 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             cache_dir: None,
             idle_timeout: Duration::from_secs(30),
-            cache_shards: 16,
+            cache_shards: 0,
             singleflight: true,
+            frontend: FrontEnd::default(),
+            prewarm: None,
         }
     }
 }
@@ -97,15 +157,18 @@ pub struct ServeSummary {
     /// Requests answered by waiting on another request's identical
     /// in-flight search (the singleflight layer).
     pub coalesced: u64,
+    /// Cache entries filled by `--prewarm` before the first accept.
+    pub prewarmed: u64,
 }
 
 /// Shared per-server state handed to every worker.
-struct Shared {
-    cfg: ServerConfig,
-    cache: ShardedCache,
-    shutdown: AtomicBool,
-    trace: Trace,
-    requests: AtomicU64,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) cache: ShardedCache,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) trace: Trace,
+    pub(crate) requests: AtomicU64,
+    pub(crate) prewarmed: AtomicU64,
 }
 
 /// A bound planner service. Construct with [`Server::bind`], then call
@@ -120,8 +183,15 @@ impl Server {
     /// accept connections until [`Server::run`].
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        // Stripe count follows the worker pool unless pinned: more stripes
+        // than workers only buys lock padding nobody contends on.
+        let shards = if cfg.cache_shards == 0 {
+            cfg.workers.max(1).next_power_of_two().min(16)
+        } else {
+            cfg.cache_shards
+        };
         let cache = ShardedCache::new(
-            cfg.cache_shards,
+            shards,
             cfg.cache_capacity,
             cfg.cache_dir.clone(),
             cfg.singleflight,
@@ -134,6 +204,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 trace: Trace::new(),
                 requests: AtomicU64::new(0),
+                prewarmed: AtomicU64::new(0),
             }),
         })
     }
@@ -153,7 +224,29 @@ impl Server {
 
     /// Accept connections and serve until the shutdown flag is set.
     /// Returns the request/cache totals once every worker has drained.
+    ///
+    /// If [`ServerConfig::prewarm`] is set, the zoo is searched first —
+    /// clients that connect during the prewarm wait in the listen backlog.
     pub fn run(self) -> std::io::Result<ServeSummary> {
+        if let Some(spec) = self.shared.cfg.prewarm.clone() {
+            let n = crate::prewarm::prewarm(&spec, &self.shared)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
+            self.shared.prewarmed.store(n, Ordering::SeqCst);
+        }
+        match self.shared.cfg.frontend {
+            FrontEnd::Threaded => self.run_threaded(),
+            #[cfg(target_os = "linux")]
+            FrontEnd::Event => crate::event::run(self.listener, self.shared),
+            #[cfg(not(target_os = "linux"))]
+            FrontEnd::Event => Err(std::io::Error::new(
+                ErrorKind::Unsupported,
+                "the event front end needs linux epoll; use FrontEnd::Threaded",
+            )),
+        }
+    }
+
+    /// The thread-per-connection front end ([`FrontEnd::Threaded`]).
+    fn run_threaded(self) -> std::io::Result<ServeSummary> {
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
@@ -220,13 +313,20 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
-        let counters = self.shared.cache.counters();
-        Ok(ServeSummary {
-            requests: self.shared.requests.load(Ordering::SeqCst),
-            cache_hits: counters.hits,
-            cache_misses: counters.misses,
-            coalesced: counters.coalesced,
-        })
+        Ok(summarize(&self.shared))
+    }
+}
+
+/// Snapshot the request/cache totals for [`ServeSummary`] — shared by
+/// both front ends at shutdown.
+pub(crate) fn summarize(shared: &Shared) -> ServeSummary {
+    let counters = shared.cache.counters();
+    ServeSummary {
+        requests: shared.requests.load(Ordering::SeqCst),
+        cache_hits: counters.hits,
+        cache_misses: counters.misses,
+        coalesced: counters.coalesced,
+        prewarmed: shared.prewarmed.load(Ordering::SeqCst),
     }
 }
 
@@ -340,7 +440,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, out: &mut String) {
                     continue;
                 }
                 out.clear();
-                handle_request(&line, shared, out);
+                handle_line(&line, shared, out);
                 out.push('\n');
                 if !respond(out) {
                     return;
@@ -367,30 +467,63 @@ fn handle_connection(stream: TcpStream, shared: &Shared, out: &mut String) {
     }
 }
 
-/// Answer one request line into `out` (cleared by the caller): parse,
-/// consult the sharded cache (possibly coalescing onto an identical
-/// in-flight search), search on a miss.
-fn handle_request(line: &str, shared: &Shared, out: &mut String) {
-    let mut span = shared.trace.span("request");
-    let n = shared.requests.fetch_add(1, Ordering::SeqCst) + 1;
-    shared.trace.counter("requests", n);
-
-    let req = match RequestKind::parse(line) {
-        Ok(RequestKind::Search(r)) => r,
+/// Answer one request line into `out` (cleared by the caller). A line is
+/// a single search, a `batch` of searches (answered in order as one
+/// response array), or a `stats` probe; each batch element is counted
+/// and spanned as its own request.
+pub(crate) fn handle_line(line: &str, shared: &Shared, out: &mut String) {
+    match RequestKind::parse(line) {
+        Ok(RequestKind::Batch(reqs)) => {
+            shared.trace.counter("batch_size", reqs.len() as u64);
+            write_batch_open(out);
+            for (i, req) in reqs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let mut span = shared.trace.span("request");
+                let n = shared.requests.fetch_add(1, Ordering::SeqCst) + 1;
+                shared.trace.counter("requests", n);
+                span.arg("model", req.model.as_str());
+                answer_search(req, shared, out);
+            }
+            write_batch_close(out);
+        }
+        Ok(RequestKind::Search(req)) => {
+            let mut span = shared.trace.span("request");
+            let n = shared.requests.fetch_add(1, Ordering::SeqCst) + 1;
+            shared.trace.counter("requests", n);
+            span.arg("model", req.model.as_str());
+            answer_search(&req, shared, out);
+        }
         Ok(RequestKind::Stats) => {
+            let _span = shared.trace.span("request");
+            let n = shared.requests.fetch_add(1, Ordering::SeqCst) + 1;
+            shared.trace.counter("requests", n);
             let counters = shared.cache.counters();
-            return write_stats_json(
+            write_stats_json(
                 out,
                 n,
                 counters.hits,
                 counters.misses,
                 counters.coalesced,
                 counters.in_flight,
+                shared.cache.len() as u64,
             );
         }
-        Err(e) => return write_error_json(out, &e),
-    };
-    span.arg("model", req.model.as_str());
+        Err(e) => {
+            let _span = shared.trace.span("request");
+            let n = shared.requests.fetch_add(1, Ordering::SeqCst) + 1;
+            shared.trace.counter("requests", n);
+            write_error_json(out, &e);
+        }
+    }
+}
+
+/// Answer one parsed search request into `out`: consult the sharded cache
+/// (possibly coalescing onto an identical in-flight search), run a fresh
+/// search on a miss. Also the prewarm path — zoo entries are filled
+/// through exactly this lookup.
+pub(crate) fn answer_search(req: &Request, shared: &Shared, out: &mut String) {
     let graph = match pase_models::build_named(&req.model, req.devices, req.weak_scaling) {
         Ok(g) => g,
         Err(msg) => return write_error_json(out, &pase_core::Error::Protocol(msg)),
@@ -706,8 +839,127 @@ mod tests {
         assert_eq!(field("cache_misses"), 1);
         assert_eq!(field("coalesced"), 0);
         assert_eq!(field("in_flight"), 0);
+        assert_eq!(field("entries"), 1, "one cached strategy");
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    #[test]
+    fn both_front_ends_serve_identical_answers() {
+        let mut answers = Vec::new();
+        for frontend in [FrontEnd::Threaded, FrontEnd::default()] {
+            let (addr, handle, join) = start(ServerConfig {
+                frontend,
+                ..ServerConfig::default()
+            });
+            let v = query(addr, MLP);
+            assert_eq!(
+                v.get("cached").and_then(|c| c.as_bool()),
+                Some(false),
+                "{frontend:?}"
+            );
+            answers.push((v.get("cost").cloned(), v.get("strategy").cloned()));
+            handle.shutdown();
+            let summary = join.join().unwrap();
+            assert_eq!(summary.requests, 1, "{frontend:?}");
+        }
+        assert_eq!(answers[0], answers[1]);
+    }
+
+    #[test]
+    fn batch_requests_are_answered_in_order_as_one_array() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let v = query(
+            addr,
+            "{\"batch\": [\
+             {\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \"weak_scaling\": false},\
+             {\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \"weak_scaling\": false},\
+             {\"model\": \"mlp\", \"devices\": 2, \"machine\": \"test\", \"weak_scaling\": false}\
+             ]}",
+        );
+        let batch = v.get("batch").and_then(|b| b.as_array()).expect("an array");
+        assert_eq!(batch.len(), 3);
+        // Identical consecutive queries: the second is served from cache.
+        assert_eq!(
+            batch[0].get("cached").and_then(|c| c.as_bool()),
+            Some(false)
+        );
+        assert_eq!(batch[1].get("cached").and_then(|c| c.as_bool()), Some(true));
+        assert_eq!(batch[0].get("cost"), batch[1].get("cost"));
+        // The third is a different key, answered in position.
+        assert_eq!(
+            batch[2].get("cached").and_then(|c| c.as_bool()),
+            Some(false)
+        );
+        assert_ne!(batch[0].get("cache_key"), batch[2].get("cache_key"));
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        assert_eq!(summary.requests, 3, "each batch element is a request");
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.cache_misses, 2);
+    }
+
+    #[test]
+    fn malformed_batch_element_rejects_the_whole_line() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let v = query(
+            addr,
+            "{\"batch\": [{\"model\": \"mlp\", \"machine\": \"test\"}, {\"model\": \"gpt5\"}]}",
+        );
+        let err = v.get("error").and_then(|e| e.as_str()).expect("an error");
+        assert!(err.contains("batch[1]"), "{err}");
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        assert_eq!(summary.cache_misses, 0, "no element was searched");
+    }
+
+    #[test]
+    fn prewarmed_server_answers_its_first_query_as_a_hit() {
+        let (addr, handle, join) = start(ServerConfig {
+            prewarm: Some("mlp:2,4:test".into()),
+            ..ServerConfig::default()
+        });
+        // Wire-default options (weak scaling on, no pruning) — the same
+        // cells the prewarm filled.
+        let v = query(
+            addr,
+            "{\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\"}",
+        );
+        assert_eq!(v.get("cached").and_then(|c| c.as_bool()), Some(true));
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        assert_eq!(summary.prewarmed, 2);
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.cache_misses, 2, "the prewarm searches");
+    }
+
+    #[test]
+    fn bad_prewarm_spec_fails_bind_run_with_invalid_input() {
+        let server = Server::bind(ServerConfig {
+            prewarm: Some("gpt5:4".into()),
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let err = server.run().expect_err("bad spec must not serve");
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("gpt5"), "{err}");
+    }
+
+    #[test]
+    fn shard_count_follows_the_worker_pool_unless_pinned() {
+        for (workers, shards, expect) in [(2, 0, 2), (5, 0, 8), (64, 0, 16), (2, 4, 4)] {
+            let server = Server::bind(ServerConfig {
+                workers,
+                cache_shards: shards,
+                ..ServerConfig::default()
+            })
+            .expect("bind");
+            assert_eq!(
+                server.shared.cache.shard_count(),
+                expect,
+                "workers={workers} cache_shards={shards}"
+            );
+        }
     }
 
     #[test]

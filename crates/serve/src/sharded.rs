@@ -24,12 +24,13 @@
 //! got a [`MissGuard`] and must search), or `coalesced`. The counters are
 //! process-wide atomics, readable lock-free for the `stats` wire request.
 
-use crate::cache::{CacheEntry, StrategyCache};
+use crate::cache::{write_entry_file, CacheEntry, StrategyCache};
 use pase_core::Error;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// One in-flight search marker. Waiters block on the condvar until the
 /// leader (the [`MissGuard`] holder) finishes — successfully or not.
@@ -82,10 +83,18 @@ pub struct CacheCounters {
 pub struct ShardedCache {
     shards: Vec<Shard>,
     singleflight: bool,
+    /// Shared by all stripes; entry filenames embed the full key, so the
+    /// stripes never collide on disk. Held here (in addition to each
+    /// stripe's [`StrategyCache`]) so [`MissGuard::fulfill`] can build the
+    /// entry's path and JSON without taking the stripe lock.
+    disk_dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
     in_flight: AtomicU64,
+    /// Test-only artificial latency injected into disk writes, in
+    /// milliseconds (see [`ShardedCache::set_disk_write_delay_for_tests`]).
+    disk_write_delay_ms: AtomicU64,
 }
 
 /// What [`ShardedCache::lookup`] resolved to.
@@ -128,11 +137,22 @@ impl ShardedCache {
         Self {
             shards,
             singleflight,
+            disk_dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            disk_write_delay_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Inject artificial latency into every entry-persistence write, to
+    /// let tests pin down *where* slow disk I/O is paid. Not part of the
+    /// serving API.
+    #[doc(hidden)]
+    pub fn set_disk_write_delay_for_tests(&self, delay: Duration) {
+        self.disk_write_delay_ms
+            .store(delay.as_millis() as u64, Ordering::Relaxed);
     }
 
     /// Number of stripes (a power of two).
@@ -152,7 +172,7 @@ impl ShardedCache {
     pub fn lookup(&self, key: u64) -> Lookup<'_> {
         let shard = self.shard(key);
         loop {
-            if let Some(entry) = shard.cache.lock().expect("shard cache").peek(key) {
+            if let Some(entry) = shard.cache.lock().expect("shard cache").probe(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Lookup::Hit(entry);
             }
@@ -163,6 +183,7 @@ impl ShardedCache {
                     owner: self,
                     key,
                     flight: None,
+                    released: false,
                 });
             }
             let flight = {
@@ -184,11 +205,12 @@ impl ShardedCache {
                         owner: self,
                         key,
                         flight: Some(()),
+                        released: false,
                     });
                 }
                 Some(f) => {
                     f.wait();
-                    if let Some(entry) = shard.cache.lock().expect("shard cache").peek(key) {
+                    if let Some(entry) = shard.cache.lock().expect("shard cache").probe(key) {
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
                         return Lookup::Coalesced(entry);
                     }
@@ -208,6 +230,14 @@ impl ShardedCache {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
         }
+    }
+
+    /// Non-mutating in-memory lookup: no counters, no LRU refresh, no
+    /// disk promotion (see [`StrategyCache::peek`]). The inspection path
+    /// for prewarm checks and tests; serving goes through
+    /// [`ShardedCache::lookup`].
+    pub fn peek(&self, key: u64) -> Option<CacheEntry> {
+        self.shard(key).cache.lock().expect("shard cache").peek(key)
     }
 
     /// Total entries across all stripes' in-memory maps.
@@ -233,6 +263,9 @@ pub struct MissGuard<'a> {
     key: u64,
     /// `Some` iff a flight marker was registered (singleflight on).
     flight: Option<()>,
+    /// Whether the flight was already released (fulfill releases early,
+    /// before its disk write; Drop is then a no-op).
+    released: bool,
 }
 
 impl MissGuard<'_> {
@@ -242,22 +275,46 @@ impl MissGuard<'_> {
     }
 
     /// Cache `entry` under the guarded key (memory + disk when configured)
-    /// and release any coalesced waiters. Disk failures are returned after
-    /// the in-memory insert — waiters are still served.
-    pub fn fulfill(self, entry: CacheEntry) -> Result<(), Error> {
-        // The put happens before Drop runs (Drop wakes the waiters), so a
-        // woken waiter's re-probe is guaranteed to see the entry.
+    /// and release any coalesced waiters. The stripe lock is held only
+    /// for the in-memory insert; the entry is serialized before and the
+    /// file is written after, so a slow disk never stalls hits on the
+    /// stripe — and the waiters are woken *before* the disk write, so
+    /// coalesced requests are answered at memory speed too. Disk failures
+    /// are returned after the in-memory insert; waiters are still served.
+    pub fn fulfill(mut self, entry: CacheEntry) -> Result<(), Error> {
+        let json = self.owner.disk_dir.as_ref().map(|dir| {
+            (
+                dir.join(format!("{:016x}.json", self.key)),
+                entry.to_json(self.key),
+            )
+        });
         self.owner
             .shard(self.key)
             .cache
             .lock()
             .expect("shard cache")
-            .put(self.key, entry)
+            .put_memory(self.key, entry);
+        // The entry is visible in memory: release the waiters now — their
+        // re-probe is guaranteed to hit — and keep only the file write.
+        self.release();
+        if let Some((path, json)) = json {
+            let delay = self.owner.disk_write_delay_ms.load(Ordering::Relaxed);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            write_entry_file(&path, &json)?;
+        }
+        Ok(())
     }
-}
 
-impl Drop for MissGuard<'_> {
-    fn drop(&mut self) {
+    /// Decrement `in_flight` and wake any coalesced waiters. Idempotent;
+    /// called by [`MissGuard::fulfill`] before its disk write and by Drop
+    /// for the failure path.
+    fn release(&mut self) {
+        if self.released {
+            return;
+        }
+        self.released = true;
         self.owner.in_flight.fetch_sub(1, Ordering::Relaxed);
         if self.flight.is_some() {
             let removed = self
@@ -273,6 +330,12 @@ impl Drop for MissGuard<'_> {
                 f.finish();
             }
         }
+    }
+}
+
+impl Drop for MissGuard<'_> {
+    fn drop(&mut self) {
+        self.release();
     }
 }
 
@@ -390,6 +453,75 @@ mod tests {
             "waiter must become the next leader after a failed flight"
         );
         assert_eq!(c.counters().misses, 2);
+    }
+
+    #[test]
+    fn slow_disk_writes_do_not_stall_hits_or_waiters_on_the_stripe() {
+        use std::time::{Duration, Instant};
+        let dir = std::env::temp_dir().join(format!(
+            "pase-slow-disk-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // One stripe: every key contends on the same lock, the worst case.
+        let c = Arc::new(ShardedCache::new(1, 16, Some(dir.clone()), true));
+        let (hot, cold) = (1u64, 2u64);
+        match c.lookup(hot) {
+            Lookup::Miss(g) => g.fulfill(entry("hot")).unwrap(),
+            _ => panic!("first lookup must miss"),
+        }
+
+        const DELAY: Duration = Duration::from_millis(400);
+        c.set_disk_write_delay_for_tests(DELAY);
+        // A waiter coalesces onto the cold key while the leader's disk
+        // write crawls; it must be released at memory speed.
+        let leader = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || match c.lookup(cold) {
+                Lookup::Miss(g) => g.fulfill(entry("cold")).unwrap(),
+                _ => panic!("leader must miss"),
+            })
+        };
+        // Wait until the leader holds the flight (its miss is counted).
+        while c.counters().misses < 2 {
+            std::thread::yield_now();
+        }
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                match c.lookup(cold) {
+                    Lookup::Coalesced(e) | Lookup::Hit(e) => assert_eq!(e.model, "cold"),
+                    Lookup::Miss(_) => panic!("must ride the in-flight search"),
+                }
+                t0.elapsed()
+            })
+        };
+
+        // Meanwhile, hits on OTHER keys of the same stripe must not queue
+        // behind the leader's slow write.
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        match c.lookup(hot) {
+            Lookup::Hit(e) => assert_eq!(e.model, "hot"),
+            _ => panic!("hot key must hit"),
+        }
+        let hit_latency = t0.elapsed();
+        assert!(
+            hit_latency < DELAY / 2,
+            "a slow disk write stalled a same-stripe hit for {hit_latency:?}"
+        );
+        let waiter_latency = waiter.join().unwrap();
+        assert!(
+            waiter_latency < DELAY + DELAY / 2,
+            "waiter blocked past the search itself: {waiter_latency:?}"
+        );
+        leader.join().unwrap();
+        // The write did land, after the delay.
+        assert!(dir.join(format!("{cold:016x}.json")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,20 +1,67 @@
 #!/usr/bin/env python3
 """Planner-service smoke assertions (see scripts/tier1.sh).
 
-Takes the response files of two identical `pase query` calls against one
-server and checks the content-addressed cache contract: the first response
-is a miss, the second is a hit, and both carry the same cache key, cost,
-and strategy (the hit must be byte-for-byte the cached answer, not a
-re-search).
+Default mode takes the response files of two identical `pase query` calls
+against one server and checks the content-addressed cache contract: the
+first response is a miss, the second is a hit, and both carry the same
+cache key, cost, and strategy (the hit must be byte-for-byte the cached
+answer, not a re-search).
 
 An optional third file is the response of a `pase query --stats` probe
 issued after the two queries; it must report the server's counters with
 the two search requests accounted for (one miss, one hit) and nothing
 left in flight.
+
+Two further modes:
+
+  check_serve.py --batch FILE N    FILE is the response of a
+                                   `pase query --batch N` for a key the
+                                   server had not seen: one response array
+                                   of N elements, element 0 a miss and the
+                                   other N-1 cache hits of the identical
+                                   strategy (1 search + N-1 hits).
+  check_serve.py --prewarm FILE    FILE is the response of the FIRST query
+                                   against a `--prewarm`ed server; it must
+                                   already be a cache hit.
 """
 
 import json
 import sys
+
+
+def check_batch(path: str, n: int) -> None:
+    with open(path) as f:
+        resp = json.load(f)
+    assert "error" not in resp, f"batch query failed: {resp['error']}"
+    assert resp["schema_version"] == 2, f"batch: bad schema_version: {resp}"
+    batch = resp["batch"]
+    assert len(batch) == n, f"expected {n} batch responses, got {len(batch)}"
+    for i, q in enumerate(batch):
+        assert "error" not in q, f"batch[{i}] failed: {q['error']}"
+        assert q["report"]["outcome"] == "ok", f"batch[{i}]: {q['report']}"
+        assert q["cached"] is (i > 0), (
+            f"batch[{i}]: identical queries must be 1 search + {n - 1} hits: "
+            f"cached={q['cached']}"
+        )
+        assert q["cache_key"] == batch[0]["cache_key"], f"batch[{i}]: key differs"
+        assert q["strategy"] == batch[0]["strategy"], f"batch[{i}]: strategy differs"
+        assert q["cost"] == batch[0]["cost"], f"batch[{i}]: cost differs"
+    print(
+        f"serve batch OK: {n} identical queries -> 1 search + {n - 1} hits, "
+        f"key {batch[0]['cache_key']}"
+    )
+
+
+def check_prewarm(path: str) -> None:
+    with open(path) as f:
+        q = json.load(f)
+    assert "error" not in q, f"prewarm query failed: {q['error']}"
+    assert q["report"]["outcome"] == "ok", f"prewarm query: {q['report']}"
+    assert q["cached"] is True, (
+        "the first query against a prewarmed server must be a cache hit"
+    )
+    assert q["strategy"], "prewarm query: empty strategy"
+    print(f"serve prewarm OK: first query hit, key {q['cache_key']}")
 
 
 def check_stats(path: str) -> None:
@@ -39,6 +86,12 @@ def check_stats(path: str) -> None:
 
 
 def main() -> None:
+    if sys.argv[1] == "--batch":
+        check_batch(sys.argv[2], int(sys.argv[3]))
+        return
+    if sys.argv[1] == "--prewarm":
+        check_prewarm(sys.argv[2])
+        return
     with open(sys.argv[1]) as f:
         q1 = json.load(f)
     with open(sys.argv[2]) as f:

@@ -54,34 +54,68 @@ print("gate smoke OK: prune skipped, dp_est", stats["gate_dp_est"],
 EOF
 python3 scripts/check_trace.py "$trace_dir/gate_trace.json" "$trace_dir/gate_spec.json"
 
-# Concurrent-serve smoke: 4 connections x 20 requests against the sharded
-# + singleflight server; asserts at least one request coalesced and that
-# shutdown drains every request.
+# Concurrent-serve smoke: small load cells against the sharded (threaded)
+# and event front ends, a nonzero idle-swarm cell (32 idle connections
+# must not stop the event loop from serving), and a batch-coalescing
+# check (N identical queries in one batch = 1 search + N-1 hits).
 cargo run -p pase-bench --release --bin bench_serve -- --smoke
 
-# Planner-service smoke: start `pase serve` on an ephemeral port, issue the
-# same query twice, require the second to be a cache hit returning the
-# identical strategy, then shut down cleanly (SIGINT must drain and exit 0).
+# Planner-service smoke, once per front end: start `pase serve` on an
+# ephemeral port, issue the same query twice, require the second to be a
+# cache hit returning the identical strategy, probe the counters, then
+# send a batch of 8 identical queries for a fresh key (1 search + 7
+# hits), and shut down cleanly (SIGINT must drain and exit 0).
+for frontend in event threaded; do
+    ./target/release/pase serve --addr 127.0.0.1:0 --workers 2 \
+        --frontend "$frontend" \
+        > "$serve_dir/serve.out" 2> "$serve_dir/serve.err" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$serve_dir/serve.out")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "pase serve ($frontend) never reported its address:" >&2
+        cat "$serve_dir/serve.err" >&2
+        exit 1
+    fi
+    ./target/release/pase query --model alexnet --devices 8 --addr "$addr" \
+        --out "$serve_dir/q1.json"
+    ./target/release/pase query --model alexnet --devices 8 --addr "$addr" \
+        --out "$serve_dir/q2.json"
+    ./target/release/pase query --stats --addr "$addr" --out "$serve_dir/stats.json"
+    ./target/release/pase query --model mlp --devices 8 --batch 8 --addr "$addr" \
+        --out "$serve_dir/batch.json"
+    kill -INT "$serve_pid"
+    wait "$serve_pid"
+    echo "== serve smoke ($frontend front end) =="
+    python3 scripts/check_serve.py "$serve_dir/q1.json" "$serve_dir/q2.json" \
+        "$serve_dir/stats.json"
+    python3 scripts/check_serve.py --batch "$serve_dir/batch.json" 8
+done
+
+# Prewarm smoke: a server started with --prewarm answers its first query
+# for a prewarmed cell as a cache hit (prewarm fills wire-default cells,
+# so the query passes --weak-scaling to match).
 ./target/release/pase serve --addr 127.0.0.1:0 --workers 2 \
-    > "$serve_dir/serve.out" 2> "$serve_dir/serve.err" &
+    --prewarm alexnet:8:1080ti \
+    > "$serve_dir/prewarm.out" 2> "$serve_dir/prewarm.err" &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
-    addr="$(sed -n 's/^listening on //p' "$serve_dir/serve.out")"
+    addr="$(sed -n 's/^listening on //p' "$serve_dir/prewarm.out")"
     [ -n "$addr" ] && break
     sleep 0.1
 done
 if [ -z "$addr" ]; then
-    echo "pase serve never reported its address:" >&2
-    cat "$serve_dir/serve.err" >&2
+    echo "pase serve --prewarm never reported its address:" >&2
+    cat "$serve_dir/prewarm.err" >&2
     exit 1
 fi
-./target/release/pase query --model alexnet --devices 8 --addr "$addr" \
-    --out "$serve_dir/q1.json"
-./target/release/pase query --model alexnet --devices 8 --addr "$addr" \
-    --out "$serve_dir/q2.json"
-./target/release/pase query --stats --addr "$addr" --out "$serve_dir/stats.json"
+./target/release/pase query --model alexnet --devices 8 --weak-scaling \
+    --addr "$addr" --out "$serve_dir/prewarm_q.json"
 kill -INT "$serve_pid"
 wait "$serve_pid"
-python3 scripts/check_serve.py "$serve_dir/q1.json" "$serve_dir/q2.json" \
-    "$serve_dir/stats.json"
+python3 scripts/check_serve.py --prewarm "$serve_dir/prewarm_q.json"
