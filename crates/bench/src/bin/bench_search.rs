@@ -147,6 +147,36 @@ fn main() {
                 );
             }
 
+            // Frontier A/B: the same single-threaded sequential-fill span
+            // with the Pareto DP on. One sample — this column tracks the
+            // frontier value type's overhead over the scalar DP, and the
+            // big cells are slow single-threaded. The min-time point must
+            // stay bit-identical to the scalar optimum (the ISSUE
+            // acceptance criterion, asserted on every cell of this grid).
+            let mut frontier_len = 0usize;
+            let dp_fill_frontier_s = median_of(1, || {
+                let trace = Trace::new();
+                let r = Search::new(&g)
+                    .tables(&tables)
+                    .dp_options(dp)
+                    .parallel(false)
+                    .trace(&trace)
+                    .frontier()
+                    .run()
+                    .expect_found(bench.name());
+                assert_eq!(
+                    r.cost.to_bits(),
+                    scalar_cost.to_bits(),
+                    "{} p={p}: frontier min-time {} != scalar optimum {scalar_cost}",
+                    bench.name(),
+                    r.cost
+                );
+                frontier_len = r.stats.frontier_len;
+                trace
+                    .span_time_where(|n| n == phase::SEQUENTIAL_FILL)
+                    .as_secs_f64()
+            });
+
             // Exactness gate: the pruned optimum must be bit-identical.
             // The pruned run is traced so the cell's search report carries
             // a per-phase wall-time breakdown.
@@ -176,7 +206,7 @@ fn main() {
             let hit = tables.intern_stats().hit_rate_opt();
             let hit_pct = hit.map_or_else(|| "n/a".to_string(), |h| format!("{:.0}%", h * 100.0));
             println!(
-                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   find_best_strategy {:.2}ms -> {:.2}ms ({:.2}x)   dp_fill(1t) scalar {:.2}ms -> tiled {:.2}ms ({:.2}x)   intern hit {}",
+                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   find_best_strategy {:.2}ms -> {:.2}ms ({:.2}x)   dp_fill(1t) scalar {:.2}ms -> tiled {:.2}ms ({:.2}x)   frontier {:.2}ms ({} points)   intern hit {}",
                 bench.name(),
                 p,
                 build_base * 1e3,
@@ -193,13 +223,15 @@ fn main() {
                 fill_scalar * 1e3,
                 fill_tiled * 1e3,
                 fill_scalar / fill_tiled.max(1e-12),
+                dp_fill_frontier_s * 1e3,
+                frontier_len,
                 hit_pct
             );
 
             let hit_json = hit.map_or_else(|| "null".to_string(), |h| format!("{h:.4}"));
             let _ = write!(
                 json,
-                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"find_best_strategy\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"dp_fill\": {{\"dp_fill_scalar_s\": {:.6}, \"dp_fill_tiled_s\": {:.6}}},\n        \"intern_hit_rate\": {hit_json},\n        \"search_report\": {}\n      }}{}\n",
+                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"find_best_strategy\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"dp_fill\": {{\"dp_fill_scalar_s\": {:.6}, \"dp_fill_tiled_s\": {:.6}, \"dp_fill_frontier_s\": {dp_fill_frontier_s:.6}}},\n        \"frontier_len\": {frontier_len},\n        \"intern_hit_rate\": {hit_json},\n        \"search_report\": {}\n      }}{}\n",
                 build_base,
                 build_opt,
                 prune_s,

@@ -16,8 +16,8 @@ mod args;
 use args::Args;
 use pase_baselines::{data_parallel, gnmt_expert, mesh_tf_expert, owt};
 use pase_core::{
-    dependent_set_sizes, generate_seq, optcnn_search, DpKernel, PruneGate, ReductionOutcome,
-    Search, SearchOutcome, SearchReport, SearchResult, SearchStats,
+    dependent_set_sizes, generate_seq, optcnn_search, DpKernel, FrontierPoint, PruneGate,
+    ReductionOutcome, Search, SearchOutcome, SearchReport, SearchResult, SearchStats,
 };
 use pase_cost::{
     from_sharding_json, to_sharding_json, to_sharding_json_with, validate_strategy, ConfigRule,
@@ -63,6 +63,12 @@ OPTIONS:
                            min+add microkernel, \"scalar\" is the per-entry
                            reference loop (A/B measurement; bit-identical
                            results either way; default tiled)
+  --frontier               (search, query) compute the whole (step-time x
+                           peak-memory) Pareto frontier instead of a single
+                           optimum
+  --max-memory <bytes>     (search, query) fastest strategy whose peak
+                           per-device memory fits the cap; reports the
+                           frontier's memory floor when nothing fits
   --json                   print the strategy as a GShard-style sharding spec
                            with an embedded \"search_report\" object
   --trace-out <file>       (search) write a Chrome-trace JSON timeline of the
@@ -79,6 +85,9 @@ OPTIONS:
   --deadline-ms <ms>       (serve) default per-request deadline
                            (query) per-request deadline override
   --cache-capacity <n>     (serve) in-memory strategy-cache entries (default 64)
+  --cache-max-bytes <n>    (serve) approximate in-memory cache byte budget
+                           (default 0 = unbounded; evicts by bytes before
+                           the entry cap)
   --cache-dir <dir>        (serve) persist cache entries as JSON files
   --cache-shards <n>       (serve) cache lock stripes, rounded up to a power of
                            two (default 0 = min(16, workers rounded up to a
@@ -234,6 +243,96 @@ fn search_strategy(
     }
 }
 
+/// Run a frontier-mode search: render the (step-time × peak-memory)
+/// Pareto frontier plus the selected point's layer report. With
+/// `max_memory`, selection is the fastest point whose peak per-device
+/// strategy memory fits the cap; an impossible cap is a clean error
+/// naming the frontier's memory floor.
+fn frontier_search(
+    graph: &Graph,
+    model: &str,
+    p: u32,
+    machine: &MachineSpec,
+    memory_limit_gb: Option<f64>,
+    max_memory: Option<u64>,
+    knobs: SearchKnobs,
+) -> Result<String, String> {
+    let mut rule = ConfigRule::new(p);
+    if let Some(gb) = memory_limit_gb {
+        rule = rule.with_memory_limit(gb * (1u64 << 30) as f64);
+    }
+    let mut search = Search::new(graph)
+        .rule(rule)
+        .machine(machine.clone())
+        .prune_gate(if knobs.prune {
+            knobs.gate
+        } else {
+            PruneGate::Off
+        })
+        .dp_kernel(knobs.kernel)
+        .table_options(TableOptions {
+            intern: knobs.intern,
+            ..TableOptions::default()
+        })
+        .frontier();
+    if knobs.prune {
+        search = search.pruning(PruneOptions {
+            epsilon: knobs.prune_epsilon,
+            ..PruneOptions::default()
+        });
+    }
+    if let Some(bytes) = max_memory {
+        search = search.max_memory_bytes(bytes);
+    }
+    let run = search.run();
+    let points: Vec<FrontierPoint> = run
+        .frontier()
+        .map_or_else(Vec::new, |f| f.points().to_vec());
+    match run.outcome() {
+        SearchOutcome::Found(r) => {
+            let mut content = format!(
+                "model {model}, p = {p}, machine {} — Pareto frontier: {} points \
+                 (search {:?})\n\n      {:>16}  {:>12}\n",
+                machine.name,
+                points.len(),
+                r.stats.elapsed,
+                "cost",
+                "peak memory",
+            );
+            for pt in &points {
+                let mark = if pt.config_ids == r.config_ids {
+                    '*'
+                } else {
+                    ' '
+                };
+                content.push_str(&format!(
+                    "  {mark}   {:>16.4e}  {:>8.1} MiB\n",
+                    pt.cost,
+                    pt.memory_bytes as f64 / (1 << 20) as f64,
+                ));
+            }
+            content.push_str(&match max_memory {
+                Some(bytes) => format!(
+                    "\nselected: fastest point within {bytes} bytes \
+                     (cost {:.4e}, peak {} bytes)\n\n",
+                    r.cost, r.stats.peak_strategy_bytes,
+                ),
+                None => format!("\nselected: the min-time point (cost {:.4e})\n\n", r.cost),
+            });
+            content.push_str(&run.tables().ids_to_strategy(&r.config_ids).report(graph));
+            Ok(content)
+        }
+        SearchOutcome::Infeasible {
+            min_memory_bytes, ..
+        } => Err(format!(
+            "no strategy fits --max-memory {}: the cheapest frontier point needs \
+             {min_memory_bytes} bytes per device",
+            max_memory.unwrap_or(0),
+        )),
+        other => Err(format!("search failed: {}", other.tag())),
+    }
+}
+
 fn emit(out_path: Option<&str>, content: &str) -> Result<(), String> {
     match out_path {
         Some(path) => {
@@ -288,6 +387,18 @@ fn run() -> Result<(), String> {
                         remaining.len()
                     )),
                 };
+            }
+            let max_memory = args
+                .get("max-memory")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid --max-memory: {v}"))
+                })
+                .transpose()?;
+            if args.has("frontier") || max_memory.is_some() {
+                let content =
+                    frontier_search(&graph, &model, p, &machine, memory_limit, max_memory, knobs)?;
+                return emit(args.get("out"), &content);
             }
             // A trace is recorded whenever it has a consumer: an explicit
             // --trace-out file, or the per-phase breakdown of the --json
@@ -544,6 +655,7 @@ fn run() -> Result<(), String> {
                 workers: args.get_or("workers", 4usize)?,
                 deadline: Duration::from_millis(args.get_or("deadline-ms", 120_000u64)?),
                 cache_capacity: args.get_or("cache-capacity", 64usize)?,
+                cache_max_bytes: args.get_or("cache-max-bytes", 0u64)?,
                 cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
                 idle_timeout: Duration::from_millis(args.get_or("idle-timeout-ms", 30_000u64)?),
                 cache_shards: args.get_or("cache-shards", 0usize)?,
@@ -608,6 +720,15 @@ fn run() -> Result<(), String> {
                         .parse()
                         .map_err(|_| format!("invalid --deadline-ms: {ms}"))?;
                     request.push_str(&format!(", \"deadline_ms\": {ms}"));
+                }
+                if let Some(v) = args.get("max-memory") {
+                    let bytes: u64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid --max-memory: {v}"))?;
+                    request.push_str(&format!(", \"max_memory_bytes\": {bytes}"));
+                }
+                if args.has("frontier") {
+                    request.push_str(", \"frontier\": true");
                 }
                 request.push('}');
                 if copies > 1 {
@@ -696,6 +817,25 @@ mod tests {
         assert!(s.cost > 0.0);
         assert!(s.stats.max_configs > 0);
         assert!(s.stats.wavefronts > 0);
+    }
+
+    #[test]
+    fn frontier_search_matches_the_scalar_optimum_and_rejects_impossible_caps() {
+        let g = build_model("mlp", 4, false).unwrap();
+        let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
+        let m = MachineSpec::gtx1080ti();
+        let scalar = search_strategy(&g, 4, &m, None, knobs, None).unwrap();
+        let content = frontier_search(&g, "mlp", 4, &m, None, None, knobs).unwrap();
+        assert!(content.contains("Pareto frontier"));
+        // The frontier's min-time point is the scalar optimum, bit for bit.
+        assert!(
+            content.contains(&format!("{:.4e}", scalar.cost)),
+            "frontier output lacks the scalar optimum {:.4e}:\n{content}",
+            scalar.cost
+        );
+        // A one-byte cap cannot fit any strategy: clean error, not a panic.
+        let err = frontier_search(&g, "mlp", 4, &m, None, Some(1), knobs).unwrap_err();
+        assert!(err.contains("no strategy fits"), "{err}");
     }
 
     #[test]

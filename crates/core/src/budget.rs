@@ -47,9 +47,12 @@ impl SearchBudget {
     }
 
     /// A budget capping table memory at `bytes` (rounded down to whole
-    /// entries of [`DP_ENTRY_BYTES`]), with the default time cap.
+    /// entries of [`DP_ENTRY_BYTES`]), with the default time cap. Clamped
+    /// to at least one entry: a sub-entry byte count used to truncate to a
+    /// 0-entry budget, making every search — even on an empty graph's
+    /// zero-entry tables — report Oom before evaluating anything.
     pub fn with_max_bytes(bytes: u64) -> Self {
-        Self::with_max_entries(bytes / DP_ENTRY_BYTES)
+        Self::with_max_entries((bytes / DP_ENTRY_BYTES).max(1))
     }
 
     /// A budget with the given time cap and the default entry cap.
@@ -117,6 +120,13 @@ pub struct SearchStats {
     /// The gate's prune-work estimate (dominance cost comparisons across
     /// distinct pruning signatures); `0` when the gate did not run.
     pub gate_prune_est: u64,
+    /// Number of Pareto points on the strategy frontier the search
+    /// produced. `0` for a scalar (non-frontier) search.
+    pub frontier_len: usize,
+    /// Peak per-device memory in bytes of the returned strategy under the
+    /// additive model of [`pase_cost::config_memory_bytes`]. `0` on stats
+    /// that never reached a result.
+    pub peak_strategy_bytes: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
 }
@@ -152,6 +162,17 @@ pub enum SearchOutcome {
         /// Statistics up to the abort.
         stats: SearchStats,
     },
+    /// A memory-constrained search completed, but no strategy fits the
+    /// requested `max_memory_bytes`: even the frontier's smallest-memory
+    /// point needs more. Distinct from [`SearchOutcome::Oom`], which is
+    /// about the *search's own* table memory, not the strategy's.
+    Infeasible {
+        /// The smallest peak strategy memory any enumerated strategy
+        /// achieves (the frontier's min-memory point).
+        min_memory_bytes: u64,
+        /// Statistics of the completed frontier search.
+        stats: SearchStats,
+    },
 }
 
 impl SearchOutcome {
@@ -173,6 +194,11 @@ impl SearchOutcome {
             SearchOutcome::Timeout { stats } => {
                 panic!("{msg}: search timed out after {:?}", stats.elapsed)
             }
+            SearchOutcome::Infeasible {
+                min_memory_bytes, ..
+            } => {
+                panic!("{msg}: no strategy fits the memory budget (min {min_memory_bytes} B)")
+            }
         }
     }
 
@@ -182,15 +208,18 @@ impl SearchOutcome {
             SearchOutcome::Found(r) => &r.stats,
             SearchOutcome::Oom { stats, .. } => stats,
             SearchOutcome::Timeout { stats } => stats,
+            SearchOutcome::Infeasible { stats, .. } => stats,
         }
     }
 
-    /// Short tag for report tables: `ok`, `OOM`, or `timeout`.
+    /// Short tag for report tables: `ok`, `OOM`, `timeout`, or
+    /// `infeasible`.
     pub fn tag(&self) -> &'static str {
         match self {
             SearchOutcome::Found(_) => "ok",
             SearchOutcome::Oom { .. } => "OOM",
             SearchOutcome::Timeout { .. } => "timeout",
+            SearchOutcome::Infeasible { .. } => "infeasible",
         }
     }
 }
@@ -223,6 +252,26 @@ mod tests {
         assert_eq!(b.max_table_entries, 10);
         assert_eq!(b.max_table_bytes(), 100);
         assert_eq!(b.max_time, SearchBudget::default().max_time);
+    }
+
+    #[test]
+    fn sub_entry_byte_budget_clamps_to_one_entry() {
+        // Regression: bytes < DP_ENTRY_BYTES used to truncate to a
+        // 0-entry budget, so every search instantly reported Oom. The
+        // caller asked for "as little memory as possible", not "none".
+        for bytes in [0u64, 1, DP_ENTRY_BYTES - 1] {
+            let b = SearchBudget::with_max_bytes(bytes);
+            assert_eq!(b.max_table_entries, 1, "bytes = {bytes}");
+        }
+        // At exactly one entry and beyond, the rounding is unchanged.
+        assert_eq!(
+            SearchBudget::with_max_bytes(DP_ENTRY_BYTES).max_table_entries,
+            1
+        );
+        assert_eq!(
+            SearchBudget::with_max_bytes(2 * DP_ENTRY_BYTES + 3).max_table_entries,
+            2
+        );
     }
 
     #[test]

@@ -74,7 +74,19 @@ pub struct DpOptions {
     /// Inner-loop implementation for the table fill (bit-identical results
     /// either way; see [`DpKernel`]).
     pub kernel: DpKernel,
+    /// Frontier searches only: maximum points kept per DP state (and in
+    /// the returned frontier). Per-state Pareto sets can grow
+    /// combinatorially on deep graphs, so each state's frontier is
+    /// deterministically thinned to this width after exact dominance
+    /// pruning — both endpoints (the min-time point, preserving scalar
+    /// bit-parity, and the min-memory point, preserving the feasibility
+    /// floor) always survive. `0` disables thinning (exact, and
+    /// potentially exponential). Ignored by scalar searches.
+    pub frontier_width: usize,
 }
+
+/// Default per-state frontier width (see [`DpOptions::frontier_width`]).
+pub const DEFAULT_FRONTIER_WIDTH: usize = 8;
 
 impl Default for DpOptions {
     fn default() -> Self {
@@ -84,6 +96,7 @@ impl Default for DpOptions {
             budget: SearchBudget::default(),
             parallel: true,
             kernel: DpKernel::default(),
+            frontier_width: DEFAULT_FRONTIER_WIDTH,
         }
     }
 }
@@ -291,6 +304,140 @@ fn fill_chunk_scalar(
     Ok(())
 }
 
+/// Outcome of the sequential budget-accounting plan pass: either every
+/// position's fill plan, or the early abort the budget forced.
+pub(crate) enum PlanPass {
+    Plans(Vec<Plan>),
+    Abort(SearchOutcome),
+}
+
+/// The sequential budget-accounting pass shared by the scalar and frontier
+/// engines. Table sizes are independent of table *contents*, so accounting
+/// in position order gives exactly the OOM/timeout behavior of a fully
+/// sequential fill, regardless of how the fill is later scheduled.
+/// Accumulates entry/state counts into `stats`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_plans(
+    graph: &Graph,
+    tables: &CostTables,
+    structure: &VertexStructure,
+    budget: &SearchBudget,
+    start: Instant,
+    deadline: Instant,
+    stats: &mut SearchStats,
+    trace: Option<&Trace>,
+) -> PlanPass {
+    let n = graph.len();
+    let mut plan_span = span_in(trace, phase::PLAN);
+    let mut plans: Vec<Plan> = Vec::with_capacity(n);
+    for i in 0..n {
+        let vi = structure.vertex(i);
+        let dep = structure.dependent_set(i).to_vec();
+
+        let radix: Vec<u32> = dep.iter().map(|&w| tables.k(w) as u32).collect();
+        let mut size: u64 = 1;
+        for &k in &radix {
+            match size.checked_mul(u64::from(k)) {
+                Some(s) => size = s,
+                None => {
+                    stats.elapsed = start.elapsed();
+                    return PlanPass::Abort(SearchOutcome::Oom {
+                        needed_entries: u64::MAX,
+                        stats: stats.clone(),
+                    });
+                }
+            }
+        }
+        if stats.table_entries.saturating_add(size) > budget.max_table_entries {
+            stats.elapsed = start.elapsed();
+            return PlanPass::Abort(SearchOutcome::Oom {
+                needed_entries: stats.table_entries.saturating_add(size),
+                stats: stats.clone(),
+            });
+        }
+        if Instant::now() > deadline {
+            stats.elapsed = start.elapsed();
+            return PlanPass::Abort(SearchOutcome::Timeout {
+                stats: stats.clone(),
+            });
+        }
+        let mut strides = vec![1u64; dep.len()];
+        for t in (0..dep.len().saturating_sub(1)).rev() {
+            strides[t] = strides[t + 1] * u64::from(radix[t + 1]);
+        }
+
+        let mut later_edges: Vec<(EdgeId, usize, bool)> = Vec::new();
+        {
+            let mut add = |e: EdgeId, other: NodeId, vi_is_src: bool| {
+                if structure.position(other) > i {
+                    let slot = dep
+                        .binary_search(&other)
+                        .expect("later neighbor must be in the dependent set");
+                    later_edges.push((e, slot, vi_is_src));
+                }
+            };
+            for &e in graph.out_edges(vi) {
+                add(e, graph.edge(e).dst, true);
+            }
+            for &e in graph.in_edges(vi) {
+                add(e, graph.edge(e).src, false);
+            }
+        }
+
+        let kv = tables.k(vi) as u16;
+        stats.states_evaluated += size * u64::from(kv);
+        stats.table_entries += size;
+        stats.peak_table_bytes = stats.table_entries.saturating_mul(DP_ENTRY_BYTES);
+        plans.push(Plan {
+            vi,
+            dep,
+            radix,
+            strides,
+            size,
+            kv,
+            later_edges,
+        });
+    }
+    plan_span.arg("tables", n);
+    plan_span.arg("entries", stats.table_entries);
+    drop(plan_span);
+    PlanPass::Plans(plans)
+}
+
+/// Linear-lookup coefficients of position `i`'s child tables. Needs only
+/// the plans (dep + strides), never table contents — shared by the scalar
+/// and frontier fills.
+pub(crate) fn child_coefs(plans: &[Plan], structure: &VertexStructure, i: usize) -> Vec<ChildCoef> {
+    let plan = &plans[i];
+    structure
+        .subset_anchors(i)
+        .iter()
+        .map(|&j| {
+            let child = &plans[j];
+            let mut parent_coef = vec![0u64; plan.dep.len()];
+            let mut vi_coef = 0u64;
+            for (t, &w) in child.dep.iter().enumerate() {
+                if w == plan.vi {
+                    vi_coef += child.strides[t];
+                } else {
+                    let slot = plan.dep.binary_search(&w).unwrap_or_else(|_| {
+                        panic!(
+                            "D(j) ⊆ D(i) ∪ {{v_i}} violated: {w} not in D({i}) of {}",
+                            plan.vi
+                        )
+                    });
+                    parent_coef[slot] += child.strides[t];
+                }
+            }
+            ChildCoef {
+                anchor: j,
+                parent_coef,
+                vi_coef,
+            }
+        })
+        .collect()
+}
+
 /// Compute the best parallelization strategy for `graph` under the cost
 /// model captured by `tables` (Theorem 1: the returned cost equals
 /// `min_φ F(G, φ)` over the enumerated configuration space).
@@ -388,114 +535,23 @@ pub(crate) fn run_with_structure(
         ..SearchStats::default()
     };
 
-    // Sequential budget-accounting pass. Table sizes are independent of
-    // table *contents*, so accounting in position order here gives exactly
-    // the OOM/timeout behavior of a fully sequential fill, regardless of
-    // how the fill below is scheduled.
-    let mut plan_span = span_in(trace, phase::PLAN);
-    let mut plans: Vec<Plan> = Vec::with_capacity(n);
-    for i in 0..n {
-        let vi = structure.vertex(i);
-        let dep = structure.dependent_set(i).to_vec();
-
-        let radix: Vec<u32> = dep.iter().map(|&w| tables.k(w) as u32).collect();
-        let mut size: u64 = 1;
-        for &k in &radix {
-            match size.checked_mul(u64::from(k)) {
-                Some(s) => size = s,
-                None => {
-                    stats.elapsed = start.elapsed();
-                    return Ok(SearchOutcome::Oom {
-                        needed_entries: u64::MAX,
-                        stats,
-                    });
-                }
-            }
-        }
-        if stats.table_entries.saturating_add(size) > opts.budget.max_table_entries {
-            stats.elapsed = start.elapsed();
-            return Ok(SearchOutcome::Oom {
-                needed_entries: stats.table_entries.saturating_add(size),
-                stats,
-            });
-        }
-        if Instant::now() > deadline {
-            stats.elapsed = start.elapsed();
-            return Ok(SearchOutcome::Timeout { stats });
-        }
-        let mut strides = vec![1u64; dep.len()];
-        for t in (0..dep.len().saturating_sub(1)).rev() {
-            strides[t] = strides[t + 1] * u64::from(radix[t + 1]);
-        }
-
-        let mut later_edges: Vec<(EdgeId, usize, bool)> = Vec::new();
-        {
-            let mut add = |e: EdgeId, other: NodeId, vi_is_src: bool| {
-                if structure.position(other) > i {
-                    let slot = dep
-                        .binary_search(&other)
-                        .expect("later neighbor must be in the dependent set");
-                    later_edges.push((e, slot, vi_is_src));
-                }
-            };
-            for &e in graph.out_edges(vi) {
-                add(e, graph.edge(e).dst, true);
-            }
-            for &e in graph.in_edges(vi) {
-                add(e, graph.edge(e).src, false);
-            }
-        }
-
-        let kv = tables.k(vi) as u16;
-        stats.states_evaluated += size * u64::from(kv);
-        stats.table_entries += size;
-        stats.peak_table_bytes = stats.table_entries.saturating_mul(DP_ENTRY_BYTES);
-        plans.push(Plan {
-            vi,
-            dep,
-            radix,
-            strides,
-            size,
-            kv,
-            later_edges,
-        });
-    }
-    plan_span.arg("tables", n);
-    plan_span.arg("entries", stats.table_entries);
-    drop(plan_span);
+    let plans = match build_plans(
+        graph,
+        tables,
+        &structure,
+        &opts.budget,
+        start,
+        deadline,
+        &mut stats,
+        trace,
+    ) {
+        PlanPass::Plans(p) => p,
+        PlanPass::Abort(outcome) => return Ok(outcome),
+    };
 
     // Child coefficients need only the child's *plan* (dep + strides), so
     // they are precomputable for every position up front.
-    let children_of = |i: usize| -> Vec<ChildCoef> {
-        let plan = &plans[i];
-        structure
-            .subset_anchors(i)
-            .iter()
-            .map(|&j| {
-                let child = &plans[j];
-                let mut parent_coef = vec![0u64; plan.dep.len()];
-                let mut vi_coef = 0u64;
-                for (t, &w) in child.dep.iter().enumerate() {
-                    if w == plan.vi {
-                        vi_coef += child.strides[t];
-                    } else {
-                        let slot = plan.dep.binary_search(&w).unwrap_or_else(|_| {
-                            panic!(
-                                "D(j) ⊆ D(i) ∪ {{v_i}} violated: {w} not in D({i}) of {}",
-                                plan.vi
-                            )
-                        });
-                        parent_coef[slot] += child.strides[t];
-                    }
-                }
-                ChildCoef {
-                    anchor: j,
-                    parent_coef,
-                    vi_coef,
-                }
-            })
-            .collect()
-    };
+    let children_of = |i: usize| -> Vec<ChildCoef> { child_coefs(&plans, &structure, i) };
 
     let timed_out = AtomicBool::new(false);
     let errored = AtomicBool::new(false);
@@ -886,7 +942,9 @@ pub(crate) fn run_pruned_with_structure(
             r.stats.prune_time = ps.elapsed;
             r.stats.elapsed += ps.elapsed;
         }
-        SearchOutcome::Oom { stats, .. } | SearchOutcome::Timeout { stats } => {
+        SearchOutcome::Oom { stats, .. }
+        | SearchOutcome::Timeout { stats }
+        | SearchOutcome::Infeasible { stats, .. } => {
             stats.k_before = ps.k_before;
             stats.prune_time = ps.elapsed;
             stats.elapsed += ps.elapsed;

@@ -13,7 +13,7 @@
 //! `Display` and `std::error::Error` with `source()` chaining.
 
 use crate::budget::SearchStats;
-use pase_cost::TransferError;
+use pase_cost::{NonFiniteCost, TransferError};
 use pase_graph::GraphError;
 use std::fmt;
 use std::path::PathBuf;
@@ -38,9 +38,22 @@ pub enum Error {
         /// Statistics up to the abort.
         stats: SearchStats,
     },
+    /// A memory-constrained search completed but no strategy fits the
+    /// requested budget — the programmatic form of
+    /// [`crate::SearchOutcome::Infeasible`].
+    Infeasible {
+        /// The smallest peak strategy memory any strategy achieves.
+        min_memory_bytes: u64,
+        /// Statistics of the completed frontier search.
+        stats: SearchStats,
+    },
     /// A structurally malformed edge surfaced by the cost model
     /// ([`pase_cost::try_transfer_bytes`]).
     Transfer(TransferError),
+    /// The cost tables contain a NaN or infinite entry (a degenerate
+    /// [`pase_cost::MachineSpec`] rate); rejected before it can silently
+    /// poison the dominance prune or the DP argmin.
+    NonFiniteCost(NonFiniteCost),
     /// Graph construction failed.
     Graph(GraphError),
     /// Reading or writing a persisted strategy-cache entry failed.
@@ -86,6 +99,13 @@ impl Error {
                 elapsed: stats.elapsed,
                 stats: stats.clone(),
             }),
+            crate::SearchOutcome::Infeasible {
+                min_memory_bytes,
+                stats,
+            } => Some(Error::Infeasible {
+                min_memory_bytes: *min_memory_bytes,
+                stats: stats.clone(),
+            }),
         }
     }
 }
@@ -100,7 +120,14 @@ impl fmt::Display for Error {
             Error::Timeout { elapsed, .. } => {
                 write!(f, "search exceeded its time budget after {elapsed:?}")
             }
+            Error::Infeasible {
+                min_memory_bytes, ..
+            } => write!(
+                f,
+                "no strategy fits the memory budget (the cheapest needs {min_memory_bytes} B)"
+            ),
             Error::Transfer(e) => write!(f, "cost model: {e}"),
+            Error::NonFiniteCost(e) => write!(f, "cost model: {e}"),
             Error::Graph(e) => write!(f, "graph: {e}"),
             Error::CacheIo { path, source } => {
                 write!(f, "strategy cache I/O on {}: {source}", path.display())
@@ -120,6 +147,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Transfer(e) => Some(e),
+            Error::NonFiniteCost(e) => Some(e),
             Error::Graph(e) => Some(e),
             Error::CacheIo { source, .. } => Some(source),
             _ => None,

@@ -1,0 +1,1049 @@
+//! Pareto-frontier dynamic program over (step-time, peak-memory).
+//!
+//! The scalar DP in [`crate::dp`] carries one number per state — the
+//! minimum step time `R_V(i, φ)`. This module generalizes the value to a
+//! **dominance-pruned frontier** of `(time, memory)` pairs per state, where
+//! memory is the additive per-node model of
+//! [`pase_cost::config_memory_bytes`]. One frontier fill then answers every
+//! memory-budget variant of the same `(graph, machine)` query: the
+//! unconstrained optimum is the frontier's min-time point, and a
+//! `max_memory_bytes` query is the cheapest point that fits.
+//!
+//! ## Exactness and the width cap
+//!
+//! Per-state Pareto sets can grow combinatorially with graph depth (every
+//! distinct downstream (time, memory) tradeoff survives dominance), so
+//! each state's frontier is deterministically thinned to
+//! [`crate::DpOptions::frontier_width`] points after exact pruning. The
+//! thinning always keeps both endpoints — the min-time point (so the
+//! bit-parity argument below is unaffected) and the min-memory point (so
+//! the feasibility floor reported by `Infeasible` stays exact) — and
+//! evenly index-samples the interior. With `frontier_width = 0` the fill
+//! is fully exact; the properties below hold at any width.
+//!
+//! * **Component-wise combine.** Both coordinates are sums over nodes
+//!   (time in f64, memory in exact u64), so the recurrence combines child
+//!   values by a Minkowski sum: every combination of one point per child,
+//!   added coordinate-wise to the head vertex's base cost.
+//! * **Pruning between children is lossless.** If partial sum `a` is
+//!   dominated by `a'` (`time' ≤ time` and `mem' ≤ mem`), then for any
+//!   completion `z`, `a' + z ≤ a + z` in both coordinates — float addition
+//!   is monotone in each argument — so every final point reachable from
+//!   `a` is matched-or-beaten from `a'`. The surviving point *set* is the
+//!   exact frontier.
+//! * **Min-time bit-parity.** The base cost uses the same addition order
+//!   as the scalar kernel (layer cost, then later-edge costs in plan
+//!   order), children are folded in the same order the scalar loop adds
+//!   child table values, and the root frontiers are combined in the same
+//!   root order the scalar path sums. Each child frontier's min-time point
+//!   equals the child's scalar table value bit-for-bit (induction), and
+//!   `min(a + b) = min(a) + min(b)` under monotone addition, so the global
+//!   frontier's min-time point is **bit-identical** to the scalar optimum.
+//!
+//! Entries are computed independently (per-entry div/mod digit decode), so
+//! the sequential and wavefront schedules are trivially bit-identical. The
+//! tiled microkernel has no frontier counterpart; a frontier search always
+//! uses this scalar-style fill regardless of [`crate::DpKernel`]
+//! (`stats.dp_kernel` reports `"frontier"`).
+
+use crate::budget::{SearchOutcome, SearchStats, DP_ENTRY_BYTES};
+use crate::dp::{build_plans, child_coefs, ChildCoef, DpOptions, Plan, PlanPass};
+use crate::ordering::make_ordering;
+use crate::structure::VertexStructure;
+use pase_cost::{CostTables, PruneOptions, PrunedTables};
+use pase_graph::Graph;
+use pase_obs::{phase, span_in, OptSpan, Trace};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::time::Instant;
+
+/// Entries per deadline check in the frontier fill.
+const CHUNK: usize = 1024;
+
+/// Approximate bytes one frontier point occupies (time + memory + choice),
+/// excluding the per-child backtrack indices accounted separately.
+const POINT_BYTES: u64 = 18;
+
+/// One Pareto point of a [`StrategyFrontier`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontierPoint {
+    /// Step time `F(G, φ)` of the strategy, in FLOP units — same scale as
+    /// [`crate::SearchResult::cost`].
+    pub cost: f64,
+    /// Peak per-device memory of the strategy under the additive model
+    /// (see [`pase_cost::config_memory_bytes`]).
+    pub memory_bytes: u64,
+    /// The strategy, as per-node configuration ids into the
+    /// [`pase_cost::CostTables`] the search ran on.
+    pub config_ids: Vec<u16>,
+}
+
+/// The Pareto frontier of `(step time, peak memory)` over the whole
+/// strategy space: points sorted by ascending cost with strictly
+/// decreasing memory (no point dominates another).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StrategyFrontier {
+    points: Vec<FrontierPoint>,
+}
+
+impl StrategyFrontier {
+    pub(crate) fn new(points: Vec<FrontierPoint>) -> Self {
+        debug_assert!(points
+            .windows(2)
+            .all(|w| w[0].cost <= w[1].cost && w[0].memory_bytes > w[1].memory_bytes));
+        Self { points }
+    }
+
+    /// All points, cost ascending / memory strictly descending.
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// Number of Pareto points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty (only for a search that never ran).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The unconstrained optimum: the minimum-cost point. Bit-identical in
+    /// cost to the scalar search's optimum.
+    pub fn min_time(&self) -> &FrontierPoint {
+        &self.points[0]
+    }
+
+    /// The smallest peak memory any strategy achieves (the last point's).
+    pub fn min_memory_bytes(&self) -> u64 {
+        self.points.last().map_or(0, |p| p.memory_bytes)
+    }
+
+    /// The cheapest point whose memory fits `max_bytes`, or `None` when
+    /// even the min-memory point exceeds the budget.
+    pub fn cheapest_within(&self, max_bytes: u64) -> Option<&FrontierPoint> {
+        self.points.iter().find(|p| p.memory_bytes <= max_bytes)
+    }
+}
+
+/// Result of a frontier fill: the frontier plus stats, or a budget abort.
+pub(crate) enum FrontierFill {
+    Done(StrategyFrontier, SearchStats),
+    Abort(SearchOutcome),
+}
+
+/// One `(time, memory, choice)` triple of a per-state frontier.
+#[derive(Clone, Copy)]
+struct Pt {
+    time: f64,
+    mem: u64,
+    choice: u16,
+}
+
+/// The frontier of one table entry: points plus, per point, the index of
+/// the chosen point on each child's frontier (`kids` stride = number of
+/// children of the position).
+#[derive(Default)]
+struct EntryFrontier {
+    pts: Vec<Pt>,
+    kids: Vec<u32>,
+}
+
+/// Frontier analogue of the scalar DP table, stored flat: entry `i`'s
+/// points are `pts[offsets[i]..offsets[i+1]]` and its packed child-choice
+/// rows sit at the same positions (× children) in `kids`. Child lookups
+/// are the hottest reads of the fill; one contiguous buffer per table
+/// keeps them prefetchable instead of chasing a `Vec` header per entry.
+#[derive(Default)]
+struct FTable {
+    offsets: Vec<u32>,
+    pts: Vec<Pt>,
+    kids: Vec<u32>,
+}
+
+impl FTable {
+    fn with_entries(n: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        FTable {
+            offsets,
+            pts: Vec::new(),
+            kids: Vec::new(),
+        }
+    }
+
+    /// Entry `i`'s frontier points.
+    fn entry_pts(&self, i: usize) -> &[Pt] {
+        &self.pts[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Entry `i`'s packed child rows (`stride` = children of the position).
+    fn entry_kids(&self, i: usize, stride: usize) -> &[u32] {
+        &self.kids[self.offsets[i] as usize * stride..self.offsets[i + 1] as usize * stride]
+    }
+
+    fn push_entry(&mut self, e: &EntryFrontier) {
+        self.pts.extend_from_slice(&e.pts);
+        self.kids.extend_from_slice(&e.kids);
+        self.offsets.push(self.pts.len() as u32);
+    }
+}
+
+/// A partial Minkowski sum during the per-entry child fold.
+struct Partial {
+    time: f64,
+    mem: u64,
+    kids: Vec<u32>,
+}
+
+/// Reusable buffers for [`fill_entry`]. The hot fold works on flat
+/// parallel arrays — coordinates separate from the packed child-choice
+/// rows — so the combine/merge/prune inner loop moves small tuples
+/// instead of allocating a `Vec<u32>` per candidate point.
+#[derive(Default)]
+struct Scratch {
+    digits: Vec<u16>,
+    /// Current partial set for one configuration: `(time, mem)` pairs …
+    acc: Vec<(f64, u64)>,
+    /// … and, row-parallel, their child choices so far (stride = number
+    /// of children folded in).
+    acc_kids: Vec<u32>,
+    /// Merge buffer, `(time, mem, run index, point index)` …
+    cand: Vec<(f64, u64, u32, u32)>,
+    /// … and its double buffer for the incremental merge.
+    cand2: Vec<(f64, u64, u32, u32)>,
+    /// Double buffer for rebuilding `acc_kids` after a fold stage.
+    new_kids: Vec<u32>,
+    /// Per-entry result across configurations (kids stride = children).
+    result: Vec<Pt>,
+    result_kids: Vec<u32>,
+    /// Per-configuration `[start, end)` ranges into `result`.
+    run_ranges: Vec<(u32, u32)>,
+    /// The runs fed to each merge.
+    runs: Vec<MergeRun>,
+    /// The finished entry, reused across calls.
+    out: EntryFrontier,
+}
+
+/// One cursor of [`merge_pruned_runs`]: a contiguous, already-pruned run
+/// of a shared `&[Pt]` buffer (time ascending, memory strictly
+/// descending), shifted by a per-run base `(bt, bm)`.
+struct MergeRun {
+    bt: f64,
+    bm: u64,
+    head: u32,
+    end: u32,
+}
+
+/// Merge already-pruned runs into the dominance-pruned frontier of their
+/// union, leaving `(time, mem, run, point index)` survivors in `m` in
+/// exactly the order — including tie-breaking — that a stable
+/// `(time, mem)` sort over all materialized candidates (in run-major
+/// insertion order) followed by a best-memory sweep would produce: the
+/// Pareto set is unique up to exact `(time, mem)` duplicates, which both
+/// formulations resolve to the lowest run index.
+///
+/// The fold is incremental — each run merges into the running frontier
+/// `m` — so two properties keep it near-linear in the *surviving* points:
+///
+/// * **Wholesale rejection.** If some merged point sits at-or-left of the
+///   run's first point in time and at-or-below its last point in memory,
+///   it dominates every point of the run (time only grows along the run,
+///   memory only shrinks to the last), and the run is skipped after one
+///   binary search.
+/// * **Span skipping.** Memory strictly decreases within both inputs of
+///   the two-pointer merge, so once a side's next point fails
+///   `mem < best` the whole dominated span is skipped with one binary
+///   search — those candidates sort later, where the sweep's `best` can
+///   only be smaller, so the sweep would drop them too.
+fn merge_pruned_runs(
+    runs: &[MergeRun],
+    pts: &[Pt],
+    width: usize,
+    m: &mut Vec<(f64, u64, u32, u32)>,
+    m2: &mut Vec<(f64, u64, u32, u32)>,
+) {
+    m.clear();
+    for (r, run) in runs.iter().enumerate() {
+        if run.head >= run.end {
+            continue;
+        }
+        let r = r as u32;
+        let emit = |h: u32| {
+            let p = &pts[h as usize];
+            (run.bt + p.time, run.bm + p.mem, r, h)
+        };
+        if m.is_empty() {
+            m.extend((run.head..run.end).map(emit));
+            thin_frontier(m, width);
+            continue;
+        }
+        // Contribution scan, read-only: a run point survives the sweep
+        // iff the merged prefix at-or-left of it in time (whose last
+        // element holds the prefix's minimum memory) does not already
+        // match-or-beat its memory. Within the run, earlier points never
+        // dominate later ones (memory strictly decreases), so domination
+        // can only come from `m` — the scan is exact, and a
+        // no-contribution run leaves `m` untouched at zero copy cost.
+        let mut contributes = false;
+        let mut i = 0usize;
+        for h in run.head..run.end {
+            let (t, mm, _, _) = emit(h);
+            while i < m.len() && m[i].0.total_cmp(&t).is_le() {
+                i += 1;
+            }
+            if i == 0 || m[i - 1].1 > mm {
+                contributes = true;
+                break;
+            }
+        }
+        if !contributes {
+            continue;
+        }
+        // Two-pointer merge of `m` and the run, existing points winning
+        // exact ties.
+        m2.clear();
+        let mut i = 0usize;
+        let mut h = run.head;
+        let mut best = u64::MAX;
+        loop {
+            let from_m = if i < m.len() && h < run.end {
+                let e = &m[i];
+                let (t, mm, _, _) = emit(h);
+                e.0.total_cmp(&t).then(e.1.cmp(&mm)).is_le()
+            } else if i < m.len() {
+                true
+            } else if h < run.end {
+                false
+            } else {
+                break;
+            };
+            if from_m {
+                let e = m[i];
+                i += 1;
+                if e.1 < best {
+                    best = e.1;
+                    m2.push(e);
+                } else {
+                    i += m[i..].partition_point(|e| e.1 >= best);
+                }
+            } else {
+                let e = emit(h);
+                h += 1;
+                if e.1 < best {
+                    best = e.1;
+                    m2.push(e);
+                } else {
+                    let tail = &pts[h as usize..run.end as usize];
+                    h += tail.partition_point(|p| run.bm + p.mem >= best) as u32;
+                }
+            }
+        }
+        std::mem::swap(m, m2);
+        // Keep the running frontier within the width cap between runs so
+        // later merges copy a bounded set. Thinning keeps index 0 and the
+        // last index, and later runs can only improve them, so the global
+        // min-time point (bit-parity) and the memory floor stay exact.
+        thin_frontier(m, width);
+    }
+}
+
+/// Dominance-prune `v` in place: sort by (time, memory) ascending — the
+/// sort is stable, so insertion order (configuration id, then child point
+/// combination) breaks exact ties deterministically — then keep each point
+/// only if its memory strictly improves on everything cheaper.
+fn prune_pareto<T>(v: &mut Vec<T>, key: impl Fn(&T) -> (f64, u64)) {
+    v.sort_by(|a, b| {
+        let (ta, ma) = key(a);
+        let (tb, mb) = key(b);
+        ta.total_cmp(&tb).then(ma.cmp(&mb))
+    });
+    let mut best = u64::MAX;
+    v.retain(|x| {
+        let (_, m) = key(x);
+        if m < best {
+            best = m;
+            true
+        } else {
+            false
+        }
+    });
+}
+
+/// Deterministically thin a dominance-pruned frontier to at most `width`
+/// points: keep both endpoints — index 0 is the min-time point (required
+/// for scalar bit-parity) and the last index is the min-memory point
+/// (required for an exact feasibility floor) — plus evenly index-sampled
+/// interior points. Any subset of a dominance-free sorted set is itself a
+/// valid frontier. `width == 0` disables thinning; `width == 1` would
+/// lose the memory floor, so it is clamped to 2.
+fn thin_frontier<T>(v: &mut Vec<T>, width: usize) {
+    if width == 0 || v.len() <= width {
+        return;
+    }
+    let width = width.max(2);
+    let last = v.len() - 1;
+    // i*last/(width-1) is strictly increasing (len > width ⇒ step ≥ 1),
+    // hits 0 and `last`, and is pure integer math — deterministic across
+    // schedulers.
+    let mut kept = 0usize;
+    let mut idx = 0usize;
+    v.retain(|_| {
+        let keep = kept < width && idx == kept * last / (width - 1);
+        kept += usize::from(keep);
+        idx += 1;
+        keep
+    });
+}
+
+/// Compute the frontier of one table entry into `s.out`. Mirrors the
+/// scalar kernel's addition order exactly: layer cost, later-edge costs in
+/// plan order, then child values in child order.
+fn fill_entry(
+    tables: &CostTables,
+    plan: &Plan,
+    children: &[ChildCoef],
+    dp: &[Option<FTable>],
+    flat: u64,
+    width: usize,
+    s: &mut Scratch,
+) {
+    s.digits.clear();
+    for t in 0..plan.dep.len() {
+        s.digits
+            .push(((flat / plan.strides[t]) % u64::from(plan.radix[t])) as u16);
+    }
+    let vi = plan.vi;
+    let mem_row = tables.memory_row(vi);
+    let n_children = children.len();
+
+    s.result.clear();
+    s.result_kids.clear();
+    s.run_ranges.clear();
+    for c in 0..plan.kv {
+        let mut time = tables.layer_cost(vi, c);
+        for &(e, slot, vi_is_src) in &plan.later_edges {
+            let w_cfg = s.digits[slot];
+            time += if vi_is_src {
+                tables.edge_cost(e, c, w_cfg)
+            } else {
+                tables.edge_cost(e, w_cfg, c)
+            };
+        }
+        s.acc.clear();
+        s.acc_kids.clear();
+        s.acc.push((time, mem_row[c as usize]));
+        for (depth, ch) in children.iter().enumerate() {
+            let base: u64 = ch
+                .parent_coef
+                .iter()
+                .zip(s.digits.iter())
+                .map(|(&coef, &d)| coef * u64::from(d))
+                .sum();
+            let idx = (base + ch.vi_coef * u64::from(c)) as usize;
+            let cf_pts = dp[ch.anchor]
+                .as_ref()
+                .expect("child frontier")
+                .entry_pts(idx);
+            // Combine: one run per partial, all over the child's frontier.
+            // Run order is acc-major, so the merge's tie-break reproduces
+            // the insertion order a materialize-and-stable-sort had.
+            s.runs.clear();
+            for &(at, am) in s.acc.iter() {
+                s.runs.push(MergeRun {
+                    bt: at,
+                    bm: am,
+                    head: 0,
+                    end: cf_pts.len() as u32,
+                });
+            }
+            merge_pruned_runs(&s.runs, cf_pts, width, &mut s.cand, &mut s.cand2);
+            thin_frontier(&mut s.cand, width);
+            // Rebuild the partial set (rows grow by one choice per stage).
+            s.new_kids.clear();
+            for &(_, _, ai, pi) in &s.cand {
+                s.new_kids
+                    .extend_from_slice(&s.acc_kids[ai as usize * depth..][..depth]);
+                s.new_kids.push(pi);
+            }
+            std::mem::swap(&mut s.acc_kids, &mut s.new_kids);
+            s.acc.clear();
+            s.acc.extend(s.cand.iter().map(|&(t, m, _, _)| (t, m)));
+        }
+        let start = s.result.len() as u32;
+        for (i, &(t, m)) in s.acc.iter().enumerate() {
+            s.result.push(Pt {
+                time: t,
+                mem: m,
+                choice: c,
+            });
+            s.result_kids
+                .extend_from_slice(&s.acc_kids[i * n_children..][..n_children]);
+        }
+        s.run_ranges.push((start, s.result.len() as u32));
+    }
+
+    // Final prune across configurations: each configuration's partial set
+    // is already a frontier, so this is another pruned merge — run order
+    // is configuration-major, matching the old index-sort's stable
+    // tie-break — collecting surviving indices so the packed kids rows
+    // move once.
+    s.runs.clear();
+    for &(start, end) in &s.run_ranges {
+        s.runs.push(MergeRun {
+            bt: 0.0,
+            bm: 0,
+            head: start,
+            end,
+        });
+    }
+    merge_pruned_runs(&s.runs, &s.result, width, &mut s.cand, &mut s.cand2);
+    thin_frontier(&mut s.cand, width);
+
+    s.out.pts.clear();
+    s.out.kids.clear();
+    for &(_, _, _, i) in &s.cand {
+        s.out.pts.push(s.result[i as usize]);
+        s.out
+            .kids
+            .extend_from_slice(&s.result_kids[i as usize * n_children..][..n_children]);
+    }
+}
+
+/// Approximate heap bytes of one table's frontiers, for budget accounting.
+fn table_bytes(t: &FTable, n_children: usize) -> u64 {
+    t.pts.len() as u64 * (POINT_BYTES + 4 * n_children as u64)
+}
+
+/// The frontier engine behind [`crate::Search::frontier`] /
+/// [`crate::Search::max_memory_bytes`]: same ordering, structure, planning,
+/// budget accounting, and scheduling shell as the scalar
+/// `run_with_structure`, with a frontier of `(time, memory)` points per
+/// table entry and a backtrack that extracts the full strategy of *every*
+/// global Pareto point.
+pub(crate) fn run_frontier_with_structure(
+    graph: &Graph,
+    tables: &CostTables,
+    opts: &DpOptions,
+    trace: Option<&Trace>,
+    prebuilt: Option<VertexStructure>,
+) -> FrontierFill {
+    let start = Instant::now();
+    let n = graph.len();
+    if n == 0 {
+        let frontier = StrategyFrontier::new(vec![FrontierPoint {
+            cost: 0.0,
+            memory_bytes: 0,
+            config_ids: vec![],
+        }]);
+        let stats = SearchStats {
+            dp_kernel: "frontier",
+            frontier_len: 1,
+            ..SearchStats::default()
+        };
+        return FrontierFill::Done(frontier, stats);
+    }
+    let structure = match prebuilt {
+        Some(s) => s,
+        None => {
+            let mut span = span_in(trace, phase::STRUCTURE);
+            let order = make_ordering(graph, opts.ordering);
+            let s = VertexStructure::build(graph, &order, opts.mode);
+            span.arg("nodes", n);
+            span.arg("wavefronts", s.wavefronts().len());
+            s
+        }
+    };
+    let deadline = start + opts.budget.max_time;
+
+    let mut stats = SearchStats {
+        max_dependent_set: structure.max_dependent_set(),
+        max_configs: tables.max_k(),
+        k_before: tables.max_k(),
+        wavefronts: structure.wavefronts().len(),
+        max_wavefront_width: structure.max_wavefront_width(),
+        intern_hit_rate: tables.intern_stats().hit_rate_opt(),
+        dp_kernel: "frontier",
+        ..SearchStats::default()
+    };
+
+    let plans = match build_plans(
+        graph,
+        tables,
+        &structure,
+        &opts.budget,
+        start,
+        deadline,
+        &mut stats,
+        trace,
+    ) {
+        PlanPass::Plans(p) => p,
+        PlanPass::Abort(outcome) => return FrontierFill::Abort(outcome),
+    };
+
+    let timed_out = AtomicBool::new(false);
+    let mut dp: Vec<Option<FTable>> = (0..n).map(|_| None).collect();
+    // Real bytes held by frontier points, checked against the budget's
+    // byte cap after every table (point counts are content-dependent, so —
+    // unlike the scalar entry accounting — this cannot run up front).
+    let mut frontier_bytes: u64 = 0;
+    let byte_cap = opts.budget.max_table_bytes();
+
+    // Fill one position's table, parallel over entries when asked.
+    let fill_table = |i: usize,
+                      children: &[ChildCoef],
+                      dp: &[Option<FTable>],
+                      timed_out: &AtomicBool|
+     -> FTable {
+        let size = plans[i].size as usize;
+        let plan = &plans[i];
+        // Fill into the scratch's reusable `out` buffers; the sequential
+        // path appends straight into the flat table, the parallel path
+        // clones each finished entry out of its worker's scratch and
+        // compacts afterwards.
+        let entry = |scratch: &mut Scratch, flat: usize| {
+            if timed_out.load(AtomicOrdering::Relaxed) {
+                scratch.out.pts.clear();
+                scratch.out.kids.clear();
+                return;
+            }
+            if flat % CHUNK == 0 && Instant::now() > deadline {
+                timed_out.store(true, AtomicOrdering::Relaxed);
+                scratch.out.pts.clear();
+                scratch.out.kids.clear();
+                return;
+            }
+            fill_entry(
+                tables,
+                plan,
+                children,
+                dp,
+                flat as u64,
+                opts.frontier_width,
+                scratch,
+            )
+        };
+        if opts.parallel && size >= CHUNK {
+            let entries: Vec<EntryFrontier> = (0..size)
+                .into_par_iter()
+                .with_min_len(CHUNK.min(size))
+                .map_init(Scratch::default, |scratch, flat| {
+                    entry(scratch, flat);
+                    EntryFrontier {
+                        pts: scratch.out.pts.clone(),
+                        kids: scratch.out.kids.clone(),
+                    }
+                })
+                .collect();
+            let mut table = FTable::with_entries(size);
+            for e in &entries {
+                table.push_entry(e);
+            }
+            table
+        } else {
+            let mut scratch = Scratch::default();
+            let mut table = FTable::with_entries(size);
+            for flat in 0..size {
+                entry(&mut scratch, flat);
+                table.push_entry(&scratch.out);
+            }
+            table
+        }
+    };
+
+    if opts.parallel {
+        for (wi, wave) in structure.wavefronts().iter().enumerate() {
+            let mut wave_span = trace.map(|t| t.span(phase::wavefront_name(wi)));
+            for &i in wave {
+                let children = child_coefs(&plans, &structure, i);
+                let t = fill_table(i, &children, &dp, &timed_out);
+                frontier_bytes += table_bytes(&t, children.len());
+                dp[i] = Some(t);
+            }
+            wave_span.arg("tables", wave.len());
+            drop(wave_span);
+            if timed_out.load(AtomicOrdering::Relaxed) {
+                stats.elapsed = start.elapsed();
+                return FrontierFill::Abort(SearchOutcome::Timeout { stats });
+            }
+            if frontier_bytes > byte_cap {
+                stats.peak_table_bytes = stats.peak_table_bytes.max(frontier_bytes);
+                stats.elapsed = start.elapsed();
+                return FrontierFill::Abort(SearchOutcome::Oom {
+                    needed_entries: frontier_bytes / DP_ENTRY_BYTES,
+                    stats,
+                });
+            }
+        }
+    } else {
+        let mut fill_span = span_in(trace, phase::SEQUENTIAL_FILL);
+        fill_span.arg("tables", n);
+        for i in 0..n {
+            let children = child_coefs(&plans, &structure, i);
+            let t = fill_table(i, &children, &dp, &timed_out);
+            frontier_bytes += table_bytes(&t, children.len());
+            dp[i] = Some(t);
+            if timed_out.load(AtomicOrdering::Relaxed) {
+                stats.elapsed = start.elapsed();
+                return FrontierFill::Abort(SearchOutcome::Timeout { stats });
+            }
+            if frontier_bytes > byte_cap {
+                stats.peak_table_bytes = stats.peak_table_bytes.max(frontier_bytes);
+                stats.elapsed = start.elapsed();
+                return FrontierFill::Abort(SearchOutcome::Oom {
+                    needed_entries: frontier_bytes / DP_ENTRY_BYTES,
+                    stats,
+                });
+            }
+        }
+        drop(fill_span);
+    }
+    stats.peak_table_bytes = stats.peak_table_bytes.max(frontier_bytes);
+
+    // Combine the (singleton) root frontiers in root order — the same
+    // order, and therefore the same addition tree, as the scalar root sum.
+    let mut backtrack_span = span_in(trace, phase::BACKTRACK);
+    backtrack_span.arg("roots", structure.roots().len());
+    let mut acc = vec![Partial {
+        time: 0.0,
+        mem: 0,
+        kids: Vec::new(),
+    }];
+    for &r in structure.roots() {
+        let rf = dp[r].as_ref().expect("root frontier").entry_pts(0);
+        let mut next: Vec<Partial> = Vec::with_capacity(acc.len() * rf.len());
+        for a in &acc {
+            for (pi, p) in rf.iter().enumerate() {
+                let mut kids = a.kids.clone();
+                kids.push(pi as u32);
+                next.push(Partial {
+                    time: a.time + p.time,
+                    mem: a.mem + p.mem,
+                    kids,
+                });
+            }
+        }
+        prune_pareto(&mut next, |p| (p.time, p.mem));
+        thin_frontier(&mut next, opts.frontier_width);
+        acc = next;
+    }
+
+    // Back-substitute every global Pareto point into a full strategy.
+    let children_all: Vec<Vec<ChildCoef>> =
+        (0..n).map(|i| child_coefs(&plans, &structure, i)).collect();
+    let points: Vec<FrontierPoint> = acc
+        .into_iter()
+        .map(|global| {
+            let mut ids = vec![u16::MAX; n];
+            let mut stack: Vec<(usize, u64, u32)> = structure
+                .roots()
+                .iter()
+                .zip(&global.kids)
+                .map(|(&r, &pi)| (r, 0u64, pi))
+                .collect();
+            while let Some((i, flat, pi)) = stack.pop() {
+                let table = dp[i].as_ref().expect("table");
+                let children = &children_all[i];
+                let pt = table.entry_pts(flat as usize)[pi as usize];
+                ids[plans[i].vi.index()] = pt.choice;
+                let kids = &table.entry_kids(flat as usize, children.len())
+                    [pi as usize * children.len()..][..children.len()];
+                for (ch, &kid) in children.iter().zip(kids) {
+                    let base: u64 = ch
+                        .parent_coef
+                        .iter()
+                        .enumerate()
+                        .map(|(t, &coef)| {
+                            let d = (flat / plans[i].strides[t]) % u64::from(plans[i].radix[t]);
+                            coef * d
+                        })
+                        .sum();
+                    let child_flat = base + ch.vi_coef * u64::from(pt.choice);
+                    stack.push((ch.anchor, child_flat, kid));
+                }
+            }
+            debug_assert!(ids.iter().all(|&c| c != u16::MAX));
+            debug_assert_eq!(tables.strategy_memory_bytes(&ids), global.mem);
+            FrontierPoint {
+                cost: global.time,
+                memory_bytes: global.mem,
+                config_ids: ids,
+            }
+        })
+        .collect();
+    drop(backtrack_span);
+
+    stats.frontier_len = points.len();
+    stats.elapsed = start.elapsed();
+    FrontierFill::Done(StrategyFrontier::new(points), stats)
+}
+
+/// The prune-then-frontier pipeline: dominance-prunes the tables with the
+/// **memory-aware** condition forced on (a time-only dominator with more
+/// memory could delete a Pareto point; the memory-aware keep set is a
+/// superset of the time-only one, so min-time parity is unaffected), runs
+/// the frontier fill on the compacted tables, and maps every point's
+/// configuration ids back to the original id space.
+pub(crate) fn run_frontier_pruned_with_structure(
+    graph: &Graph,
+    tables: &CostTables,
+    opts: &DpOptions,
+    prune: &PruneOptions,
+    trace: Option<&Trace>,
+    prebuilt: Option<VertexStructure>,
+) -> FrontierFill {
+    let mut popts = *prune;
+    popts.memory_aware = true;
+    let pruned = PrunedTables::build_traced(graph, tables, &popts, trace);
+    let ps = *pruned.stats();
+    if ps.elapsed >= opts.budget.max_time {
+        let stats = SearchStats {
+            max_configs: pruned.tables().max_k(),
+            k_before: ps.k_before,
+            prune_time: ps.elapsed,
+            elapsed: ps.elapsed,
+            dp_kernel: "frontier",
+            ..SearchStats::default()
+        };
+        return FrontierFill::Abort(SearchOutcome::Timeout { stats });
+    }
+    let mut remaining = *opts;
+    remaining.budget.max_time = opts.budget.max_time - ps.elapsed;
+    match run_frontier_with_structure(graph, pruned.tables(), &remaining, trace, prebuilt) {
+        FrontierFill::Done(frontier, mut stats) => {
+            let points = frontier
+                .points
+                .into_iter()
+                .map(|mut p| {
+                    p.config_ids = pruned.to_original_ids(&p.config_ids);
+                    p
+                })
+                .collect();
+            stats.k_before = ps.k_before;
+            stats.prune_time = ps.elapsed;
+            stats.elapsed += ps.elapsed;
+            FrontierFill::Done(StrategyFrontier { points }, stats)
+        }
+        FrontierFill::Abort(mut outcome) => {
+            match &mut outcome {
+                SearchOutcome::Oom { stats, .. }
+                | SearchOutcome::Timeout { stats }
+                | SearchOutcome::Infeasible { stats, .. } => {
+                    stats.k_before = ps.k_before;
+                    stats.prune_time = ps.elapsed;
+                    stats.elapsed += ps.elapsed;
+                }
+                SearchOutcome::Found(_) => unreachable!("fill abort is never Found"),
+            }
+            FrontierFill::Abort(outcome)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Search;
+    use pase_cost::MachineSpec;
+    use pase_graph::{DimRole, GraphBuilder, IterDim, Node, OpKind, TensorRef};
+
+    fn fc(name: &str, ins: usize) -> Node {
+        Node {
+            name: name.into(),
+            op: OpKind::FullyConnected,
+            iter_space: vec![
+                IterDim::new("b", 64, DimRole::Batch),
+                IterDim::new("n", 128, DimRole::Param),
+                IterDim::new("c", 128, DimRole::Reduction),
+            ],
+            inputs: (0..ins)
+                .map(|_| TensorRef::new(vec![0, 2], vec![64, 128]))
+                .collect(),
+            output: TensorRef::new(vec![0, 1], vec![64, 128]),
+            params: vec![TensorRef::new(vec![1, 2], vec![128, 128])],
+        }
+    }
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(fc("a", 0));
+        let l = b.add_node(fc("l", 1));
+        let r = b.add_node(fc("r", 1));
+        let d = b.add_node(fc("d", 2));
+        b.connect(a, l);
+        b.connect(a, r);
+        b.connect(l, d);
+        b.connect(r, d);
+        b.build().unwrap()
+    }
+
+    /// The exact frontier by exhaustive enumeration: every strategy's
+    /// (cost, memory), Pareto-pruned with the same tie-breaking as the DP.
+    fn brute_frontier(g: &Graph, tables: &CostTables) -> Vec<(f64, u64)> {
+        let n = g.len();
+        let ks: Vec<u64> = g.node_ids().map(|v| tables.k(v) as u64).collect();
+        let total: u64 = ks.iter().product();
+        let mut pts: Vec<(f64, u64)> = (0..total)
+            .map(|flat| {
+                let mut ids = vec![0u16; n];
+                let mut rem = flat;
+                for v in (0..n).rev() {
+                    ids[v] = (rem % ks[v]) as u16;
+                    rem /= ks[v];
+                }
+                (
+                    tables.evaluate_ids(g, &ids),
+                    tables.strategy_memory_bytes(&ids),
+                )
+            })
+            .collect();
+        prune_pareto(&mut pts, |&(t, m)| (t, m));
+        pts
+    }
+
+    #[test]
+    fn frontier_matches_exhaustive_enumeration() {
+        let g = diamond();
+        for p in [4u32, 8] {
+            let run = Search::new(&g)
+                .devices(p)
+                .machine(MachineSpec::test_machine())
+                .frontier()
+                .frontier_width(0)
+                .run();
+            let f = run.frontier().expect("frontier");
+            let brute = brute_frontier(&g, run.tables());
+            assert_eq!(f.len(), brute.len(), "p = {p}");
+            for (got, want) in f.points().iter().zip(&brute) {
+                // Times agree to float identity; memory is exact. (The DP's
+                // addition tree differs from evaluate_ids' flat sum, so
+                // compare with an ulp-scale tolerance, not to_bits.)
+                assert!(
+                    (got.cost - want.0).abs() <= 1e-9 * want.0.abs(),
+                    "p = {p}: {} vs {}",
+                    got.cost,
+                    want.0
+                );
+                assert_eq!(got.memory_bytes, want.1, "p = {p}");
+                // Each point's ids reproduce its coordinates.
+                assert_eq!(
+                    run.tables().strategy_memory_bytes(&got.config_ids),
+                    got.memory_bytes
+                );
+                let eval = run.tables().evaluate_ids(&g, &got.config_ids);
+                assert!((eval - got.cost).abs() <= 1e-9 * eval.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_frontier_equals_the_unpruned_one() {
+        let g = diamond();
+        let plain = Search::new(&g)
+            .devices(8)
+            .machine(MachineSpec::test_machine())
+            .frontier()
+            .run();
+        let pruned = Search::new(&g)
+            .devices(8)
+            .machine(MachineSpec::test_machine())
+            .frontier()
+            .pruning(PruneOptions::default())
+            .run();
+        let (pf, qf) = (
+            plain.frontier().expect("plain"),
+            pruned.frontier().expect("pruned"),
+        );
+        assert_eq!(pf.len(), qf.len());
+        for (a, b) in pf.points().iter().zip(qf.points()) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.memory_bytes, b.memory_bytes);
+        }
+        assert!(pruned.result().expect("found").stats.k_before >= pruned.tables().max_k());
+    }
+
+    #[test]
+    fn both_schedulers_produce_the_same_frontier() {
+        let g = diamond();
+        let seq = Search::new(&g).devices(8).parallel(false).frontier().run();
+        let par = Search::new(&g).devices(8).parallel(true).frontier().run();
+        let (sf, pf) = (seq.frontier().expect("seq"), par.frontier().expect("par"));
+        assert_eq!(sf.len(), pf.len());
+        for (a, b) in sf.points().iter().zip(pf.points()) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.memory_bytes, b.memory_bytes);
+            assert_eq!(a.config_ids, b.config_ids);
+        }
+    }
+
+    #[test]
+    fn the_width_cap_keeps_both_endpoints() {
+        let g = diamond();
+        let exact = Search::new(&g)
+            .devices(8)
+            .machine(MachineSpec::test_machine())
+            .frontier()
+            .frontier_width(0)
+            .run();
+        let capped = Search::new(&g)
+            .devices(8)
+            .machine(MachineSpec::test_machine())
+            .frontier()
+            .frontier_width(2)
+            .run();
+        let (ef, cf) = (
+            exact.frontier().expect("exact"),
+            capped.frontier().expect("capped"),
+        );
+        assert!(cf.len() <= 2, "cap of 2 exceeded: {}", cf.len());
+        // Min-time survives thinning bit-for-bit (per-state index 0 is
+        // always kept), and so does the global memory floor (per-state
+        // last index is always kept).
+        assert_eq!(cf.min_time().cost.to_bits(), ef.min_time().cost.to_bits());
+        assert_eq!(cf.min_memory_bytes(), ef.min_memory_bytes());
+        // Every capped point is a real strategy reproducing its own
+        // coordinates.
+        for p in cf.points() {
+            assert_eq!(
+                capped.tables().strategy_memory_bytes(&p.config_ids),
+                p.memory_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn thin_frontier_is_deterministic_and_keeps_endpoints() {
+        let mut v: Vec<u32> = (0..10).collect();
+        thin_frontier(&mut v, 4);
+        assert_eq!(v, vec![0, 3, 6, 9]);
+        let mut w: Vec<u32> = (0..3).collect();
+        thin_frontier(&mut w, 4);
+        assert_eq!(w, vec![0, 1, 2]);
+        let mut x: Vec<u32> = (0..100).collect();
+        thin_frontier(&mut x, 0);
+        assert_eq!(x.len(), 100);
+        let mut y: Vec<u32> = (0..100).collect();
+        thin_frontier(&mut y, 1);
+        assert_eq!(y, vec![0, 99], "width 1 clamps to 2 to keep the floor");
+    }
+
+    #[test]
+    fn prune_pareto_is_exact_and_deterministic() {
+        let mut v = vec![(2.0, 5u64), (1.0, 10), (1.0, 10), (3.0, 1), (2.5, 9)];
+        prune_pareto(&mut v, |&(t, m)| (t, m));
+        assert_eq!(v, vec![(1.0, 10), (2.0, 5), (3.0, 1)]);
+        // NaN-free inputs only: tables are checked finite before any fill.
+    }
+
+    #[test]
+    fn empty_graph_has_the_trivial_frontier() {
+        let g = GraphBuilder::new().build().unwrap();
+        let run = Search::new(&g).frontier().run();
+        let f = run.frontier().expect("frontier");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.min_time().cost, 0.0);
+        assert_eq!(f.min_memory_bytes(), 0);
+        assert_eq!(run.result().expect("found").cost, 0.0);
+    }
+}

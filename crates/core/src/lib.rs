@@ -33,6 +33,7 @@ mod brute;
 mod budget;
 mod dp;
 mod error;
+mod frontier;
 mod gate;
 pub mod kernel;
 mod ordering;
@@ -51,6 +52,7 @@ pub use dp::{
 };
 pub use dp::{naive_best_strategy, DpOptions};
 pub use error::Error;
+pub use frontier::{FrontierPoint, StrategyFrontier};
 pub use gate::PruneGate;
 pub use kernel::DpKernel;
 pub use ordering::{

@@ -20,8 +20,10 @@ use std::time::Duration;
 ///
 /// Version history: 2 made `stats.intern_hit_rate` nullable (`null` =
 /// interning never ran, distinct from a measured 0%) and added
-/// `stats.dp_kernel`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `stats.dp_kernel`. 3 added the frontier fields
+/// (`stats.frontier_len`, `stats.peak_strategy_bytes`) and the
+/// `"infeasible"` outcome tag of memory-constrained searches.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Aggregated wall time of one pipeline phase.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,7 +45,7 @@ pub struct SearchReport {
     pub model: String,
     /// Device count the strategy was searched for.
     pub devices: u32,
-    /// Outcome tag: `"ok"`, `"OOM"`, or `"timeout"`.
+    /// Outcome tag: `"ok"`, `"OOM"`, `"timeout"`, or `"infeasible"`.
     pub outcome: String,
     /// Optimal cost in FLOP units (`None` unless the outcome is `"ok"`).
     pub cost: Option<f64>,
@@ -95,7 +97,9 @@ impl SearchReport {
              \"wavefronts\": {}, \"max_wavefront_width\": {}, \
              \"intern_hit_rate\": {}, \"dp_kernel\": \"{}\", \
              \"prune_skipped\": {}, \
-             \"gate_dp_est\": {}, \"gate_prune_est\": {}, \"elapsed\": {}}}",
+             \"gate_dp_est\": {}, \"gate_prune_est\": {}, \
+             \"frontier_len\": {}, \"peak_strategy_bytes\": {}, \
+             \"elapsed\": {}}}",
             s.max_dependent_set,
             s.max_configs,
             s.k_before,
@@ -111,6 +115,8 @@ impl SearchReport {
             s.prune_skipped,
             s.gate_dp_est,
             s.gate_prune_est,
+            s.frontier_len,
+            s.peak_strategy_bytes,
             json::number(s.elapsed.as_secs_f64())
         );
         out.push_str(", \"phases\": {");
@@ -196,7 +202,7 @@ mod tests {
         let r = SearchReport::new("trans\"former", 64, &found_outcome(), None);
         let js = r.to_json();
         assert!(js.starts_with('{') && js.ends_with('}'));
-        assert!(js.starts_with("{\"schema_version\": 2"));
+        assert!(js.starts_with("{\"schema_version\": 3"));
         assert!(js.contains("\"model\": \"trans\\\"former\""));
         assert!(js.contains("\"devices\": 64"));
         assert!(js.contains("\"cost\": 42.5"));
@@ -221,6 +227,22 @@ mod tests {
         let js = SearchReport::new("m", 8, &outcome, None).to_json();
         assert!(js.contains("\"intern_hit_rate\": 0.25"));
         assert!(js.contains("\"dp_kernel\": \"tiled\""));
+    }
+
+    #[test]
+    fn frontier_fields_and_infeasible_tag_are_reported() {
+        let inf = SearchOutcome::Infeasible {
+            min_memory_bytes: 123,
+            stats: SearchStats {
+                frontier_len: 4,
+                ..SearchStats::default()
+            },
+        };
+        let js = SearchReport::new("m", 8, &inf, None).to_json();
+        assert!(js.contains("\"outcome\": \"infeasible\""));
+        assert!(js.contains("\"cost\": null"));
+        assert!(js.contains("\"frontier_len\": 4"));
+        assert!(js.contains("\"peak_strategy_bytes\": 0"));
     }
 
     #[test]

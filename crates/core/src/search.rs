@@ -16,19 +16,23 @@
 //! The legacy free functions still exist as `#[deprecated]` wrappers that
 //! delegate here and are bit-identical by construction.
 
-use crate::budget::{SearchBudget, SearchOutcome, SearchResult};
+use crate::budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats};
 use crate::dp::{run_pruned_with_structure, run_with_structure, DpOptions};
 use crate::error::Error;
+use crate::frontier::{
+    run_frontier_pruned_with_structure, run_frontier_with_structure, FrontierFill, StrategyFrontier,
+};
 use crate::gate::{self, PruneGate};
 use crate::kernel::DpKernel;
 use crate::ordering::{make_ordering, OrderingKind};
 use crate::structure::{ConnectedSetMode, VertexStructure};
 use pase_cost::{
-    estimate_prune_work, ConfigRule, ConfigSpace, CostTables, MachineSpec, PruneOptions,
-    TableOptions,
+    estimate_prune_work, ConfigRule, ConfigSpace, CostTables, MachineSpec, NonFiniteCost,
+    PruneOptions, TableOptions,
 };
 use pase_graph::{Graph, GraphError};
 use pase_obs::{phase, span_in, OptSpan, Trace};
+use std::fmt;
 
 /// A configured-but-not-yet-run strategy search. See the module docs.
 ///
@@ -72,6 +76,8 @@ pub struct Search<'a> {
     gate: PruneGate,
     dp: DpOptions,
     trace: Option<&'a Trace>,
+    max_memory_bytes: Option<u64>,
+    want_frontier: bool,
 }
 
 impl<'a> Search<'a> {
@@ -90,6 +96,8 @@ impl<'a> Search<'a> {
             gate: PruneGate::On,
             dp: DpOptions::default(),
             trace: None,
+            max_memory_bytes: None,
+            want_frontier: false,
         }
     }
 
@@ -210,6 +218,38 @@ impl<'a> Search<'a> {
         self
     }
 
+    /// Constrain the returned strategy's peak per-device memory (the
+    /// additive model of [`pase_cost::config_memory_bytes`]) to at most
+    /// `bytes`. Switches the search to the frontier engine: the result is
+    /// the *fastest strategy that fits*, or
+    /// [`SearchOutcome::Infeasible`] when even the smallest-memory
+    /// strategy exceeds the budget. Without this knob the search is
+    /// unconstrained and the optimum is bit-identical to the scalar DP.
+    pub fn max_memory_bytes(mut self, bytes: u64) -> Self {
+        self.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Compute the full (step-time × peak-memory) Pareto frontier instead
+    /// of just the single optimum. The returned [`SearchResult`] is still
+    /// the selected point (min-time, or the cheapest fitting one under
+    /// [`Search::max_memory_bytes`]); the whole frontier is available via
+    /// [`SearchRun::frontier`]. The frontier engine always uses the scalar
+    /// per-entry fill (`stats.dp_kernel == "frontier"`); a
+    /// [`DpKernel::Tiled`] request falls back cleanly.
+    pub fn frontier(mut self) -> Self {
+        self.want_frontier = true;
+        self
+    }
+
+    /// Cap the per-state (and returned) frontier at `width` points; `0`
+    /// disables the cap (exact, potentially exponential). See
+    /// [`DpOptions::frontier_width`]. Only affects frontier searches.
+    pub fn frontier_width(mut self, width: usize) -> Self {
+        self.dp.frontier_width = width;
+        self
+    }
+
     /// Execute the search: build (or borrow) the cost tables, optionally
     /// prune, run the DP, and return the outcome together with the tables
     /// the returned configuration ids index into.
@@ -237,6 +277,16 @@ impl<'a> Search<'a> {
                 TablesHandle::Owned(built)
             }
         };
+        // A NaN/∞ table entry silently poisons both the dominance prune
+        // (`total_cmp` sorts NaN largest; it survives `fold(∞, min)`) and
+        // the DP argmin — reject it before any search runs.
+        if let Err(e) = tables.get().check_finite() {
+            return SearchRun {
+                outcome: Err(BuildFailure::NonFinite(e)),
+                tables,
+                frontier: None,
+            };
+        }
         // Resolve the gate into (prune options to use, gate telemetry).
         // Auto builds the ordering + structure up front — the structure
         // depends only on (graph, ordering, mode), so the DP reuses it
@@ -268,6 +318,58 @@ impl<'a> Search<'a> {
                 }
             }
         };
+        if self.want_frontier || self.max_memory_bytes.is_some() {
+            let fill = match &popts {
+                Some(popts) => run_frontier_pruned_with_structure(
+                    self.graph,
+                    tables.get(),
+                    &self.dp,
+                    popts,
+                    self.trace,
+                    prebuilt,
+                ),
+                None => run_frontier_with_structure(
+                    self.graph,
+                    tables.get(),
+                    &self.dp,
+                    self.trace,
+                    prebuilt,
+                ),
+            };
+            let (mut outcome, frontier) = match fill {
+                FrontierFill::Done(frontier, stats) => {
+                    // Unconstrained: the min-time point (bit-identical to
+                    // the scalar optimum). Constrained: the cheapest point
+                    // that fits, or Infeasible when none does.
+                    let picked = match self.max_memory_bytes {
+                        Some(b) => frontier.cheapest_within(b),
+                        None => Some(frontier.min_time()),
+                    };
+                    let outcome = match picked {
+                        Some(p) => SearchOutcome::Found(SearchResult {
+                            cost: p.cost,
+                            config_ids: p.config_ids.clone(),
+                            stats: SearchStats {
+                                peak_strategy_bytes: p.memory_bytes,
+                                ..stats
+                            },
+                        }),
+                        None => SearchOutcome::Infeasible {
+                            min_memory_bytes: frontier.min_memory_bytes(),
+                            stats,
+                        },
+                    };
+                    (outcome, Some(frontier))
+                }
+                FrontierFill::Abort(o) => (o, None),
+            };
+            apply_gate_stats(&mut outcome, gate_stats);
+            return SearchRun {
+                outcome: Ok(outcome),
+                tables,
+                frontier,
+            };
+        }
         let mut outcome = match &popts {
             Some(popts) => run_pruned_with_structure(
                 self.graph,
@@ -279,16 +381,33 @@ impl<'a> Search<'a> {
             ),
             None => run_with_structure(self.graph, tables.get(), &self.dp, self.trace, prebuilt),
         };
-        if let (Some((skipped, dp_est, prune_est)), Ok(outcome)) = (gate_stats, &mut outcome) {
-            let stats = match outcome {
-                SearchOutcome::Found(r) => &mut r.stats,
-                SearchOutcome::Oom { stats, .. } | SearchOutcome::Timeout { stats } => stats,
-            };
-            stats.prune_skipped = skipped;
-            stats.gate_dp_est = dp_est;
-            stats.gate_prune_est = prune_est;
+        if let Ok(outcome) = &mut outcome {
+            apply_gate_stats(outcome, gate_stats);
+            if let SearchOutcome::Found(r) = outcome {
+                r.stats.peak_strategy_bytes = tables.get().strategy_memory_bytes(&r.config_ids);
+            }
         }
-        SearchRun { outcome, tables }
+        SearchRun {
+            outcome: outcome.map_err(BuildFailure::Graph),
+            tables,
+            frontier: None,
+        }
+    }
+}
+
+/// Fold the `PruneGate::Auto` telemetry into whichever stats the outcome
+/// carries (no-op when the gate did not run).
+fn apply_gate_stats(outcome: &mut SearchOutcome, gate_stats: Option<(bool, u64, u64)>) {
+    if let Some((skipped, dp_est, prune_est)) = gate_stats {
+        let stats = match outcome {
+            SearchOutcome::Found(r) => &mut r.stats,
+            SearchOutcome::Oom { stats, .. }
+            | SearchOutcome::Timeout { stats }
+            | SearchOutcome::Infeasible { stats, .. } => stats,
+        };
+        stats.prune_skipped = skipped;
+        stats.gate_dp_est = dp_est;
+        stats.gate_prune_est = prune_est;
     }
 }
 
@@ -308,22 +427,43 @@ impl TablesHandle<'_> {
     }
 }
 
+/// A failure that prevented the search from running at all: a
+/// structurally malformed fill plan, or cost tables containing a
+/// non-finite entry. Kept private — [`SearchRun::result`] maps it onto
+/// the public [`Error`].
+#[derive(Clone, Debug)]
+enum BuildFailure {
+    Graph(GraphError),
+    NonFinite(NonFiniteCost),
+}
+
+impl fmt::Display for BuildFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildFailure::Graph(e) => write!(f, "{e}"),
+            BuildFailure::NonFinite(e) => write!(f, "{e}"),
+        }
+    }
+}
+
 /// The result of [`Search::run`]: the [`SearchOutcome`] plus the
 /// [`CostTables`] whose configuration-id space the result's
-/// `config_ids` index into.
+/// `config_ids` index into, and — for frontier searches — the full
+/// [`StrategyFrontier`].
 ///
 /// A structurally malformed fill plan (an internal invariant violation the
-/// DP kernels detect rather than silently wrap on) is carried as a
-/// [`GraphError`]: [`SearchRun::result`] surfaces it as [`Error::Graph`],
-/// while the infallible accessors panic — such a plan means the search
-/// produced no tables at all.
+/// DP kernels detect rather than silently wrap on) and non-finite cost
+/// tables are carried as a build failure: [`SearchRun::result`] surfaces
+/// them as [`Error::Graph`] / [`Error::NonFiniteCost`], while the
+/// infallible accessors panic — either way the search ran no DP at all.
 pub struct SearchRun<'a> {
-    outcome: Result<SearchOutcome, GraphError>,
+    outcome: Result<SearchOutcome, BuildFailure>,
     tables: TablesHandle<'a>,
+    frontier: Option<StrategyFrontier>,
 }
 
 impl<'a> SearchRun<'a> {
-    /// The search outcome. Panics if the fill failed structurally (see the
+    /// The search outcome. Panics if the search could not run (see the
     /// type docs); use [`SearchRun::result`] to handle that case.
     pub fn outcome(&self) -> &SearchOutcome {
         match &self.outcome {
@@ -347,16 +487,33 @@ impl<'a> SearchRun<'a> {
         self.tables.get()
     }
 
+    /// The full Pareto frontier of a completed frontier search (requested
+    /// via [`Search::frontier`] or [`Search::max_memory_bytes`]); `None`
+    /// for scalar searches and aborted frontier fills. Present even when
+    /// the outcome is [`SearchOutcome::Infeasible`] — the frontier is what
+    /// proves infeasibility.
+    pub fn frontier(&self) -> Option<&StrategyFrontier> {
+        self.frontier.as_ref()
+    }
+
+    /// Consume the run, keeping only the frontier (see
+    /// [`SearchRun::frontier`]).
+    pub fn into_frontier(self) -> Option<StrategyFrontier> {
+        self.frontier
+    }
+
     /// The successful result, or the matching [`Error`] ([`Error::Oom`] /
-    /// [`Error::Timeout`] for an exhausted budget, [`Error::Graph`] for a
-    /// structural failure).
+    /// [`Error::Timeout`] for an exhausted budget, [`Error::Infeasible`]
+    /// for an unsatisfiable memory constraint, [`Error::Graph`] /
+    /// [`Error::NonFiniteCost`] for a search that could not run).
     pub fn result(&self) -> Result<&SearchResult, Error> {
         match &self.outcome {
             Ok(SearchOutcome::Found(r)) => Ok(r),
             Ok(other) => {
                 Err(Error::from_outcome(other).expect("non-Found outcome maps to an error"))
             }
-            Err(e) => Err(Error::Graph(e.clone())),
+            Err(BuildFailure::Graph(e)) => Err(Error::Graph(e.clone())),
+            Err(BuildFailure::NonFinite(e)) => Err(Error::NonFiniteCost(*e)),
         }
     }
 
@@ -471,6 +628,104 @@ mod tests {
         match run.result() {
             Err(Error::Oom { needed_entries, .. }) => assert!(needed_entries > 1),
             other => panic!("expected Err(Oom), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontier_min_time_is_bit_identical_to_the_scalar_optimum() {
+        let g = chain2();
+        for parallel in [false, true] {
+            let scalar = Search::new(&g)
+                .devices(8)
+                .parallel(parallel)
+                .run()
+                .expect_found("scalar");
+            let run = Search::new(&g)
+                .devices(8)
+                .parallel(parallel)
+                .frontier()
+                .run();
+            let r = run.result().expect("frontier");
+            assert_eq!(r.cost.to_bits(), scalar.cost.to_bits());
+            assert_eq!(r.stats.dp_kernel, "frontier");
+            let f = run.frontier().expect("frontier retained");
+            assert_eq!(r.stats.frontier_len, f.len());
+            assert!(!f.is_empty());
+            // The selected point IS the frontier's min-time point, and the
+            // ids it carries reproduce the cost through the cost model.
+            assert_eq!(f.min_time().cost.to_bits(), r.cost.to_bits());
+            let eval = run.tables().evaluate_ids(&g, &r.config_ids);
+            assert_eq!(eval.to_bits(), r.cost.to_bits());
+            assert_eq!(
+                run.tables().strategy_memory_bytes(&r.config_ids),
+                r.stats.peak_strategy_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_picks_the_cheapest_fitting_point_or_infeasible() {
+        let g = chain2();
+        let full = Search::new(&g).devices(8).frontier().run();
+        let f = full.frontier().expect("frontier");
+        // Querying with exactly each point's memory must return that point.
+        for p in f.points() {
+            let run = Search::new(&g)
+                .devices(8)
+                .max_memory_bytes(p.memory_bytes)
+                .run();
+            let r = run.result().expect("fits");
+            assert_eq!(r.cost.to_bits(), p.cost.to_bits());
+            assert_eq!(r.stats.peak_strategy_bytes, p.memory_bytes);
+        }
+        // Below the min-memory point nothing fits: Infeasible, reporting
+        // how much the cheapest strategy actually needs.
+        let min_mem = f.min_memory_bytes();
+        let run = Search::new(&g)
+            .devices(8)
+            .max_memory_bytes(min_mem - 1)
+            .run();
+        match run.result() {
+            Err(Error::Infeasible {
+                min_memory_bytes, ..
+            }) => assert_eq!(min_memory_bytes, min_mem),
+            other => panic!("expected Err(Infeasible), got {other:?}"),
+        }
+        // The frontier that proved infeasibility is still available.
+        assert_eq!(run.frontier().expect("kept").len(), f.len());
+        assert_eq!(run.outcome().tag(), "infeasible");
+    }
+
+    #[test]
+    fn frontier_budget_failures_surface_like_scalar_ones() {
+        let g = chain2();
+        let run = Search::new(&g)
+            .devices(8)
+            .frontier()
+            .budget(SearchBudget::with_max_entries(1))
+            .run();
+        match run.result() {
+            Err(Error::Oom { needed_entries, .. }) => assert!(needed_entries > 1),
+            other => panic!("expected Err(Oom), got {other:?}"),
+        }
+        assert!(run.frontier().is_none());
+    }
+
+    #[test]
+    fn non_finite_tables_are_rejected_before_the_dp_runs() {
+        // A zero-bandwidth machine makes every communication cost infinite;
+        // such tables used to poison the prune and the argmin silently.
+        let g = chain2();
+        let hostile = MachineSpec {
+            name: "hostile",
+            peak_flops: 1.0,
+            link_bandwidth: 0.0,
+            internode_bandwidth: 0.0,
+        };
+        let run = Search::new(&g).devices(8).machine(hostile).run();
+        match run.result() {
+            Err(Error::NonFiniteCost(e)) => assert!(!e.value.is_finite()),
+            other => panic!("expected Err(NonFiniteCost), got {other:?}"),
         }
     }
 

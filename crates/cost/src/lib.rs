@@ -34,6 +34,7 @@ mod events;
 mod export;
 mod layer;
 mod machine;
+mod memory;
 mod prune;
 mod sharding;
 mod strategy;
@@ -49,8 +50,9 @@ pub use events::{layer_comm_events, layer_compute_flops, Collective, CommEvent, 
 pub use export::{from_sharding_json, to_sharding_json, to_sharding_json_with};
 pub use layer::layer_cost;
 pub use machine::MachineSpec;
+pub use memory::config_memory_bytes;
 pub use prune::{estimate_prune_work, PruneOptions, PruneStats, PrunedTables};
 pub use sharding::{replication, shard_bytes, shard_elements, tensor_sharding};
 pub use strategy::{evaluate, validate_strategy, Strategy};
-pub use tables::{CostTables, InternStats, TableOptions};
+pub use tables::{CostTables, InternStats, NonFiniteCost, TableOptions};
 pub use transfer::{transfer_bytes, transfer_cost, try_transfer_bytes, TransferError};

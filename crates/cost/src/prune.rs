@@ -65,6 +65,13 @@ pub struct PruneOptions {
     pub epsilon: f64,
     /// Run the per-signature dominance checks in parallel.
     pub parallel: bool,
+    /// Also require `memory_bytes(c') ≤ memory_bytes(c)` for `c'` to
+    /// dominate `c` (always exact on the memory coordinate — ε applies to
+    /// costs only). The frontier search needs this: a time-dominator with
+    /// *more* memory could prune away a Pareto point. The memory-aware
+    /// keep set is a superset of the time-only one, so the scalar min-time
+    /// optimum stays bit-identical under either setting.
+    pub memory_aware: bool,
 }
 
 impl Default for PruneOptions {
@@ -72,6 +79,7 @@ impl Default for PruneOptions {
         Self {
             epsilon: 0.0,
             parallel: true,
+            memory_aware: false,
         }
     }
 }
@@ -127,7 +135,12 @@ struct Signature {
 
 /// Compute the kept (non-dominated) configuration ids for one signature.
 /// `edge_views` pairs each incident edge table with the orientation flag.
-fn keep_set(layer: &LayerEntry, edge_views: &[(&EdgeTable, bool)], epsilon: f64) -> Vec<u16> {
+fn keep_set(
+    layer: &LayerEntry,
+    edge_views: &[(&EdgeTable, bool)],
+    epsilon: f64,
+    memory_aware: bool,
+) -> Vec<u16> {
     let k = layer.configs.len();
     if k <= 1 {
         return (0..k as u16).collect();
@@ -162,6 +175,7 @@ fn keep_set(layer: &LayerEntry, edge_views: &[(&EdgeTable, bool)], epsilon: f64)
     for &c in &order {
         let dominated = kept.iter().any(|&c2| {
             layer.costs[c2 as usize] <= t * layer.costs[c as usize]
+                && (!memory_aware || layer.mem[c2 as usize] <= layer.mem[c as usize])
                 && edge_views
                     .iter()
                     .all(|view| edge_dominates(c2 as usize, c as usize, view))
@@ -288,7 +302,7 @@ impl PrunedTables {
                 .iter()
                 .map(|&(ec, is_src)| (&tables.edge_pool[ec as usize], is_src))
                 .collect();
-            keep_set(layer, &views, opts.epsilon)
+            keep_set(layer, &views, opts.epsilon, opts.memory_aware)
         };
         let keep_of_sig: Vec<Vec<u16>> = if opts.parallel && sigs.len() > 1 {
             (0..sigs.len())
@@ -309,6 +323,7 @@ impl PrunedTables {
                 LayerEntry {
                     configs: kept.iter().map(|&c| src.configs[c as usize]).collect(),
                     costs: kept.iter().map(|&c| src.costs[c as usize]).collect(),
+                    mem: kept.iter().map(|&c| src.mem[c as usize]).collect(),
                 }
             })
             .collect();
@@ -607,6 +622,34 @@ mod tests {
         );
         for v in g.node_ids() {
             assert_eq!(par.kept_ids(v), seq.kept_ids(v));
+        }
+    }
+
+    #[test]
+    fn memory_aware_keep_set_is_a_superset_of_the_time_only_one() {
+        // Every time-only keep decision must survive when the memory
+        // coordinate is added (the extra condition can only *block*
+        // dominations, never create new ones) — this is the superset
+        // property the frontier-exactness argument rests on.
+        for p in [8u32, 16, 32] {
+            let (g, t) = chain(4, p);
+            let plain = PrunedTables::build(&g, &t, &PruneOptions::default());
+            let mem = PrunedTables::build(
+                &g,
+                &t,
+                &PruneOptions {
+                    memory_aware: true,
+                    ..PruneOptions::default()
+                },
+            );
+            for v in g.node_ids() {
+                for c in plain.kept_ids(v) {
+                    assert!(
+                        mem.kept_ids(v).binary_search(c).is_ok(),
+                        "p = {p}: time-only keeper {c} of {v} dropped by memory-aware prune"
+                    );
+                }
+            }
         }
     }
 

@@ -152,13 +152,42 @@ fn node_key(n: &Node) -> NodeKey {
     }
 }
 
-/// One interned layer table: the configuration list and per-configuration
-/// layer cost of a structural node class.
+/// One interned layer table: the configuration list, per-configuration
+/// layer cost, and per-configuration memory charge of a structural node
+/// class.
 #[derive(Clone, Debug)]
 pub(crate) struct LayerEntry {
     pub(crate) configs: Vec<Config>,
     pub(crate) costs: Vec<f64>,
+    pub(crate) mem: Vec<u64>,
 }
+
+/// A non-finite entry found by [`CostTables::check_finite`]: which pool
+/// (`"layer"` or `"edge"`), which interned class, the flat index within
+/// that class's cost vector, and the offending value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NonFiniteCost {
+    /// `"layer"` or `"edge"`.
+    pub kind: &'static str,
+    /// Index of the interned table class containing the entry.
+    pub class: usize,
+    /// Flat index of the entry within the class's cost vector.
+    pub index: usize,
+    /// The non-finite cost itself (NaN or ±∞).
+    pub value: f64,
+}
+
+impl std::fmt::Display for NonFiniteCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite {} cost {} at class {} entry {} (check the MachineSpec rates)",
+            self.kind, self.value, self.class, self.index
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteCost {}
 
 /// Dense transfer-cost matrix for one structural edge class:
 /// `costs[cu * k_dst + cv]`.
@@ -358,7 +387,15 @@ impl CostTables {
             |(v, configs)| {
                 let n = graph.node(v);
                 let costs = configs.iter().map(|c| layer_cost(n, c, r)).collect();
-                LayerEntry { configs, costs }
+                let mem = configs
+                    .iter()
+                    .map(|c| crate::memory::config_memory_bytes(n, c))
+                    .collect();
+                LayerEntry {
+                    configs,
+                    costs,
+                    mem,
+                }
             },
         );
         let edge_pool: Vec<EdgeTable> = map_maybe_par(edge_reps, opts.parallel, |eid| {
@@ -469,6 +506,60 @@ impl CostTables {
     pub fn edge_cost(&self, e: EdgeId, cu: u16, cv: u16) -> f64 {
         let t = &self.edge_pool[self.edge_class[e.index()] as usize];
         t.costs[cu as usize * t.k_dst as usize + cv as usize]
+    }
+
+    /// Per-device memory charge in bytes of node `v` under its local
+    /// configuration id `c` (see [`crate::config_memory_bytes`]).
+    #[inline]
+    pub fn memory_bytes(&self, v: NodeId, c: u16) -> u64 {
+        self.layer_entry(v).mem[c as usize]
+    }
+
+    /// The contiguous per-configuration memory row of node `v`:
+    /// `row[c] == memory_bytes(v, c)` for every `c < k(v)`.
+    #[inline]
+    pub fn memory_row(&self, v: NodeId) -> &[u64] {
+        &self.layer_entry(v).mem
+    }
+
+    /// Peak per-device memory of a complete strategy given as per-node
+    /// configuration ids: the sum of every node's charge (the additive
+    /// model the frontier DP optimizes).
+    pub fn strategy_memory_bytes(&self, ids: &[u16]) -> u64 {
+        assert_eq!(ids.len(), self.node_class.len());
+        ids.iter()
+            .enumerate()
+            .map(|(v, &c)| self.memory_bytes(NodeId(v as u32), c))
+            .sum()
+    }
+
+    /// Verify every layer and edge cost is finite. A hostile or
+    /// miscalibrated [`MachineSpec`] (zero/NaN bandwidth) yields NaN or
+    /// infinite table entries that would silently poison the dominance
+    /// prune (`total_cmp` sorts NaN largest, `fold(INFINITY, min)` keeps
+    /// it) and the DP argmin — reject them loudly at build time instead.
+    pub fn check_finite(&self) -> Result<(), NonFiniteCost> {
+        for (class, entry) in self.layer_pool.iter().enumerate() {
+            if let Some(c) = entry.costs.iter().position(|x| !x.is_finite()) {
+                return Err(NonFiniteCost {
+                    kind: "layer",
+                    class,
+                    index: c,
+                    value: entry.costs[c],
+                });
+            }
+        }
+        for (class, table) in self.edge_pool.iter().enumerate() {
+            if let Some(i) = table.costs.iter().position(|x| !x.is_finite()) {
+                return Err(NonFiniteCost {
+                    kind: "edge",
+                    class,
+                    index: i,
+                    value: table.costs[i],
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The contiguous per-configuration layer-cost row of node `v`:
@@ -805,6 +896,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn memory_rows_match_the_direct_model() {
+        let g = fc_chain(3);
+        let t = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        for v in g.node_ids() {
+            let row = t.memory_row(v);
+            assert_eq!(row.len(), t.k(v));
+            for c in 0..t.k(v) as u16 {
+                let direct = crate::memory::config_memory_bytes(g.node(v), t.config(v, c));
+                assert_eq!(t.memory_bytes(v, c), direct);
+                assert_eq!(row[c as usize], direct);
+            }
+        }
+        let ids: Vec<u16> = g.node_ids().map(|_| 0).collect();
+        assert_eq!(
+            t.strategy_memory_bytes(&ids),
+            g.node_ids().map(|v| t.memory_bytes(v, 0)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn non_finite_costs_are_rejected_by_check_finite() {
+        // A zero-bandwidth machine yields r = ∞, so any config with
+        // nonzero communication produces an infinite layer cost; NaN
+        // arises from ∞·0 in edge entries. Before check_finite existed,
+        // these silently poisoned the dominance prune and the DP argmin.
+        let g = fc_chain(2);
+        let hostile = MachineSpec {
+            name: "hostile",
+            peak_flops: 1.0,
+            link_bandwidth: 0.0,
+            internode_bandwidth: 0.0,
+        };
+        let t = CostTables::build(&g, ConfigRule::new(8), &hostile);
+        let err = t.check_finite().expect_err("NaN/∞ table passed the check");
+        assert!(!err.value.is_finite());
+        assert!(err.to_string().contains("non-finite"));
+        // ... while a sane machine passes.
+        let ok = CostTables::build(&g, ConfigRule::new(8), &MachineSpec::test_machine());
+        assert!(ok.check_finite().is_ok());
     }
 
     #[test]

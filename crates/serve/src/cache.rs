@@ -15,7 +15,7 @@
 //! [`pase_core::SCHEMA_VERSION`] and are rejected (treated as misses) when
 //! the version does not match.
 
-use pase_core::{Error, SCHEMA_VERSION};
+use pase_core::{Error, FrontierPoint, SCHEMA_VERSION};
 use pase_cost::{ConfigRule, MachineSpec};
 use pase_graph::{Graph, OpKind};
 use pase_obs::json;
@@ -63,11 +63,18 @@ impl Fnv {
 
 /// Canonical hash of everything a search's result depends on. See the
 /// module docs for what is included; notably node names are *not*.
+///
+/// `frontier` distinguishes frontier-family entries (which carry the full
+/// Pareto set) from scalar ones. The request's `max_memory_bytes` budget is
+/// deliberately **not** hashed: a cached frontier answers every budget
+/// variant of the same search by point selection, so all budgets share one
+/// entry and one DP fill.
 pub fn strategy_cache_key(
     graph: &Graph,
     rule: &ConfigRule,
     machine: &MachineSpec,
     prune_epsilon: Option<f64>,
+    frontier: bool,
 ) -> u64 {
     let mut h = Fnv::new();
     h.u64(SCHEMA_VERSION);
@@ -128,6 +135,10 @@ pub fn strategy_cache_key(
         }
         None => h.u64(0),
     }
+
+    // Frontier-family entries store a different payload (the full Pareto
+    // set) and must not alias scalar entries for the same search.
+    h.u64(u64::from(frontier));
     h.0
 }
 
@@ -180,6 +191,12 @@ pub struct CacheEntry {
     pub cost: f64,
     /// The argmin strategy as per-node configuration ids.
     pub config_ids: Vec<u16>,
+    /// The `(step time, peak memory)` Pareto frontier, sorted by
+    /// increasing cost / strictly decreasing memory — empty for scalar
+    /// (non-frontier) entries. A populated frontier lets the server answer
+    /// any `max_memory_bytes` variant of the search by point selection,
+    /// without another DP fill.
+    pub frontier: Vec<FrontierPoint>,
     /// The `SearchReport` JSON served on the original miss.
     pub report_json: String,
 }
@@ -202,6 +219,22 @@ impl CacheEntry {
             }
             let _ = write!(out, "{id}");
         }
+        // Each frontier point is a compact [cost, memory_bytes, [ids...]]
+        // triple; the array is empty for scalar entries.
+        out.push_str("], \"frontier\": [");
+        for (i, p) in self.frontier.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{}, {}, [", json::number(p.cost), p.memory_bytes);
+            for (j, id) in p.config_ids.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{id}");
+            }
+            out.push_str("]]");
+        }
         // The report is embedded as an escaped string, not spliced as an
         // object: the entry parser then never depends on the report's
         // internal shape.
@@ -211,6 +244,23 @@ impl CacheEntry {
             json::escape(&self.report_json)
         );
         out
+    }
+
+    /// Approximate heap footprint of this entry, used for the cache's
+    /// byte-weighted accounting. An estimate (struct size + owned buffers),
+    /// not an allocator-exact measurement — it only needs to scale with
+    /// the real cost so large frontier entries are charged as such.
+    pub fn approx_bytes(&self) -> u64 {
+        let frontier: usize = self
+            .frontier
+            .iter()
+            .map(|p| std::mem::size_of::<FrontierPoint>() + 2 * p.config_ids.len())
+            .sum();
+        (std::mem::size_of::<Self>()
+            + self.model.len()
+            + 2 * self.config_ids.len()
+            + frontier
+            + self.report_json.len()) as u64
     }
 
     /// Parse an on-disk JSON document, rejecting unknown schema versions
@@ -239,16 +289,37 @@ impl CacheEntry {
             16,
         )
         .map_err(|e| Error::Protocol(format!("bad cache key: {e}")))?;
-        let config_ids = field("config_ids")?
+        let ids_of = |x: &json::Value| {
+            x.as_array()
+                .ok_or_else(|| Error::Protocol("config_ids must be an array".into()))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .and_then(|v| u16::try_from(v).ok())
+                        .ok_or_else(|| Error::Protocol("config id out of range".into()))
+                })
+                .collect::<Result<Vec<u16>, Error>>()
+        };
+        let config_ids = ids_of(field("config_ids")?)?;
+        let frontier = field("frontier")?
             .as_array()
-            .ok_or_else(|| Error::Protocol("config_ids must be an array".into()))?
+            .ok_or_else(|| Error::Protocol("frontier must be an array".into()))?
             .iter()
-            .map(|x| {
-                x.as_u64()
-                    .and_then(|v| u16::try_from(v).ok())
-                    .ok_or_else(|| Error::Protocol("config id out of range".into()))
+            .map(|p| {
+                let triple = p.as_array().filter(|t| t.len() == 3).ok_or_else(|| {
+                    Error::Protocol("frontier point must be [cost, bytes, ids]".into())
+                })?;
+                Ok(FrontierPoint {
+                    cost: triple[0]
+                        .as_f64()
+                        .ok_or_else(|| Error::Protocol("frontier cost must be a number".into()))?,
+                    memory_bytes: triple[1].as_u64().ok_or_else(|| {
+                        Error::Protocol("frontier memory_bytes out of range".into())
+                    })?,
+                    config_ids: ids_of(&triple[2])?,
+                })
             })
-            .collect::<Result<Vec<u16>, Error>>()?;
+            .collect::<Result<Vec<FrontierPoint>, Error>>()?;
         Ok((
             key,
             CacheEntry {
@@ -264,6 +335,7 @@ impl CacheEntry {
                     .as_f64()
                     .ok_or_else(|| Error::Protocol("cost must be a number".into()))?,
                 config_ids,
+                frontier,
                 report_json: field("report")?
                     .as_str()
                     .ok_or_else(|| Error::Protocol("report must be a string".into()))?
@@ -276,13 +348,24 @@ impl CacheEntry {
 struct Slot {
     entry: CacheEntry,
     last_used: u64,
+    bytes: u64,
 }
 
 /// Bounded LRU of [`CacheEntry`]s keyed by [`strategy_cache_key`], with
 /// optional one-file-per-key JSON persistence.
+///
+/// Two independent bounds apply: an entry-count capacity and an optional
+/// byte budget ([`StrategyCache::with_max_bytes`]). Entries vary wildly in
+/// size — a frontier entry for a deep model can be hundreds of times
+/// larger than a scalar MLP one — so counting entries alone lets the
+/// resident bytes grow unbounded; the byte budget is checked first on
+/// every insert. The last remaining entry is never evicted, even when it
+/// alone exceeds the byte budget.
 pub struct StrategyCache {
     map: HashMap<u64, Slot>,
     capacity: usize,
+    max_bytes: Option<u64>,
+    bytes: u64,
     disk_dir: Option<PathBuf>,
     tick: u64,
     hits: u64,
@@ -295,11 +378,27 @@ impl StrategyCache {
         Self {
             map: HashMap::new(),
             capacity: capacity.max(1),
+            max_bytes: None,
+            bytes: 0,
             disk_dir: None,
             tick: 0,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Additionally bound the resident entries to roughly `max_bytes`
+    /// (per [`CacheEntry::approx_bytes`]); 0 is treated as unbounded.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.set_max_bytes(max_bytes);
+        self
+    }
+
+    /// Mutating form of [`StrategyCache::with_max_bytes`] and immediately
+    /// evicts down to the new budget.
+    pub fn set_max_bytes(&mut self, max_bytes: u64) {
+        self.max_bytes = (max_bytes > 0).then_some(max_bytes);
+        self.evict_over_budget();
     }
 
     /// Additionally persist entries under `dir` (created on first write)
@@ -388,23 +487,50 @@ impl StrategyCache {
 
     fn insert_mem(&mut self, key: u64, entry: CacheEntry) {
         self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, s)| s.last_used) {
-                self.map.remove(&lru);
-            }
-        }
-        self.map.insert(
+        let bytes = entry.approx_bytes();
+        if let Some(old) = self.map.insert(
             key,
             Slot {
                 entry,
                 last_used: self.tick,
+                bytes,
             },
-        );
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.evict_over_budget();
+    }
+
+    /// Evict least-recently-used entries until both bounds hold: the byte
+    /// budget first (the binding constraint for mixed entry sizes), then
+    /// the entry-count capacity. The most recent entry always survives.
+    fn evict_over_budget(&mut self) {
+        while self.map.len() > 1 && self.max_bytes.is_some_and(|m| self.bytes > m) {
+            self.evict_lru();
+        }
+        while self.map.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, s)| s.last_used) {
+            if let Some(slot) = self.map.remove(&lru) {
+                self.bytes -= slot.bytes;
+            }
+        }
     }
 
     /// Number of in-memory entries.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Approximate resident bytes of the in-memory entries (per
+    /// [`CacheEntry::approx_bytes`]).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Whether the in-memory cache is empty.
@@ -454,6 +580,7 @@ mod tests {
             devices: 8,
             cost: 1.5e9,
             config_ids: vec![0, 3, 1],
+            frontier: vec![],
             report_json: format!("{{\"model\": \"{tag}\"}}"),
         }
     }
@@ -490,15 +617,15 @@ mod tests {
         let g = mlp4();
         let rule = ConfigRule::new(4);
         let m = MachineSpec::test_machine();
-        let k1 = strategy_cache_key(&g, &rule, &m, None);
-        let k2 = strategy_cache_key(&g, &rule, &m, None);
+        let k1 = strategy_cache_key(&g, &rule, &m, None, false);
+        let k2 = strategy_cache_key(&g, &rule, &m, None, false);
         assert_eq!(k1, k2);
 
         // Renaming nodes must not change the key: the search result cannot
         // depend on display names.
         assert_eq!(
-            strategy_cache_key(&fc_pair(["a", "b"]), &rule, &m, None),
-            strategy_cache_key(&fc_pair(["x", "y"]), &rule, &m, None),
+            strategy_cache_key(&fc_pair(["a", "b"]), &rule, &m, None, false),
+            strategy_cache_key(&fc_pair(["x", "y"]), &rule, &m, None, false),
         );
     }
 
@@ -507,34 +634,39 @@ mod tests {
         let g = mlp4();
         let rule = ConfigRule::new(4);
         let m = MachineSpec::test_machine();
-        let base = strategy_cache_key(&g, &rule, &m, None);
+        let base = strategy_cache_key(&g, &rule, &m, None, false);
 
         // Device count.
-        assert_ne!(strategy_cache_key(&g, &ConfigRule::new(8), &m, None), base);
+        assert_ne!(
+            strategy_cache_key(&g, &ConfigRule::new(8), &m, None, false),
+            base
+        );
         // Rule variations.
         assert_ne!(
-            strategy_cache_key(&g, &ConfigRule::new(4).allow_idle(), &m, None),
+            strategy_cache_key(&g, &ConfigRule::new(4).allow_idle(), &m, None, false),
             base
         );
         assert_ne!(
-            strategy_cache_key(&g, &ConfigRule::new(4).with_max_split(2), &m, None),
+            strategy_cache_key(&g, &ConfigRule::new(4).with_max_split(2), &m, None, false),
             base
         );
         // Machine profile.
         assert_ne!(
-            strategy_cache_key(&g, &rule, &MachineSpec::gtx1080ti(), None),
+            strategy_cache_key(&g, &rule, &MachineSpec::gtx1080ti(), None, false),
             base
         );
         // Prune pipeline on/off, and ε value.
-        let pruned = strategy_cache_key(&g, &rule, &m, Some(0.0));
+        let pruned = strategy_cache_key(&g, &rule, &m, Some(0.0), false);
         assert_ne!(pruned, base);
-        assert_ne!(strategy_cache_key(&g, &rule, &m, Some(0.1)), pruned);
+        assert_ne!(strategy_cache_key(&g, &rule, &m, Some(0.1), false), pruned);
         // Graph contents.
         let other = pase_models::build_named("mlp", 4, true).unwrap();
-        assert_ne!(strategy_cache_key(&other, &rule, &m, None), base);
+        assert_ne!(strategy_cache_key(&other, &rule, &m, None, false), base);
+        // Frontier-family entries never alias scalar ones.
+        assert_ne!(strategy_cache_key(&g, &rule, &m, None, true), base);
         // PruneOptions default epsilon matches the exact pipeline key.
         assert_eq!(
-            strategy_cache_key(&g, &rule, &m, Some(PruneOptions::default().epsilon)),
+            strategy_cache_key(&g, &rule, &m, Some(PruneOptions::default().epsilon), false),
             pruned
         );
     }
@@ -640,11 +772,93 @@ mod tests {
             devices: 32,
             cost: 0.1 + 0.2, // not exactly representable — bit round-trip
             config_ids: vec![65535, 0, 7],
+            frontier: vec![],
             report_json: "{\"cost\": 0.30000000000000004}".into(),
         };
         let (key, back) = CacheEntry::from_json(&e.to_json(42)).unwrap();
         assert_eq!(key, 42);
         assert_eq!(back.cost.to_bits(), e.cost.to_bits());
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn frontier_payload_round_trips_exactly() {
+        let mut e = entry("frontier");
+        e.frontier = vec![
+            FrontierPoint {
+                cost: 0.1 + 0.2,
+                memory_bytes: 9_000_000_000,
+                config_ids: vec![4, 2, 0],
+            },
+            FrontierPoint {
+                cost: 7.5e9,
+                memory_bytes: 1_000_000,
+                config_ids: vec![0, 0, 0],
+            },
+        ];
+        let (key, back) = CacheEntry::from_json(&e.to_json(7)).unwrap();
+        assert_eq!(key, 7);
+        assert_eq!(back.frontier.len(), 2);
+        assert_eq!(
+            back.frontier[0].cost.to_bits(),
+            e.frontier[0].cost.to_bits()
+        );
+        assert_eq!(back, e);
+        // A frontier entry weighs more than its scalar twin.
+        assert!(e.approx_bytes() > entry("frontier").approx_bytes());
+    }
+
+    fn sized_entry(tag: &str, report_bytes: usize) -> CacheEntry {
+        CacheEntry {
+            report_json: "x".repeat(report_bytes),
+            ..entry(tag)
+        }
+    }
+
+    #[test]
+    fn byte_budget_evicts_before_the_entry_cap() {
+        // Regression: capacity used to be entry-count only, so a handful
+        // of huge entries could pin unbounded memory. With a byte budget,
+        // the resident bytes stay under it even while the entry cap is
+        // nowhere near exhausted.
+        let per = entry("big").approx_bytes() + 4096;
+        let mut c = StrategyCache::new(64).with_max_bytes(2 * per + per / 2);
+        c.put(1, sized_entry("a", 4096)).unwrap();
+        c.put(2, sized_entry("b", 4096)).unwrap();
+        assert_eq!(c.len(), 2);
+        // A third large entry pushes past the byte budget: the LRU entry
+        // (key 1) goes, even though 64 slots remain.
+        c.put(3, sized_entry("c", 4096)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(1).is_none(), "byte budget evicted the LRU entry");
+        assert!(c.peek(2).is_some() && c.peek(3).is_some());
+        assert!(c.bytes() <= 2 * per + per / 2);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_replacements_and_evictions() {
+        let mut c = StrategyCache::new(2);
+        assert_eq!(c.bytes(), 0);
+        c.put(1, sized_entry("a", 100)).unwrap();
+        let one = c.bytes();
+        assert_eq!(one, sized_entry("a", 100).approx_bytes());
+        // Replacement swaps the charge rather than double-counting.
+        c.put(1, sized_entry("a", 5000)).unwrap();
+        assert_eq!(c.bytes(), sized_entry("a", 5000).approx_bytes());
+        // Entry-cap eviction releases the victim's bytes.
+        c.put(2, sized_entry("b", 100)).unwrap();
+        c.put(3, sized_entry("c", 100)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.bytes(), 2 * sized_entry("x", 100).approx_bytes());
+    }
+
+    #[test]
+    fn the_last_entry_is_never_evicted_by_the_byte_budget() {
+        let mut c = StrategyCache::new(8).with_max_bytes(1);
+        c.put(1, sized_entry("a", 4096)).unwrap();
+        assert_eq!(c.len(), 1, "an oversized sole entry stays resident");
+        c.put(2, sized_entry("b", 4096)).unwrap();
+        assert_eq!(c.len(), 1, "but it is the first victim of the next put");
+        assert!(c.peek(2).is_some());
     }
 }

@@ -44,7 +44,8 @@ pub use cache::{strategy_cache_key, CacheEntry, StrategyCache};
 pub use prewarm::parse_prewarm_spec;
 pub use protocol::{
     error_json, response_json, write_batch_close, write_batch_open, write_error_json,
-    write_response_json, write_stats_json, Request, RequestKind, MAX_BATCH,
+    write_frontier_response_json, write_response_json, write_stats_json, Request, RequestKind,
+    MAX_BATCH,
 };
 #[cfg(unix)]
 pub use server::install_sigint;

@@ -78,6 +78,8 @@ pub fn parse_prewarm_spec(spec: &str) -> Result<Vec<Request>, String> {
                     prune_gate: Default::default(),
                     budget: SearchBudget::default(),
                     deadline: None,
+                    max_memory_bytes: None,
+                    frontier: false,
                 });
             }
         }

@@ -21,15 +21,33 @@
 //! never changes the returned optimum, only whether the dominance prune
 //! runs).
 //!
+//! Two optional fields select the **frontier family** of searches:
+//! `"max_memory_bytes": N` asks for the fastest strategy whose peak
+//! per-device memory fits in `N` bytes, and `"frontier": true` asks for
+//! the whole `(step time, peak memory)` Pareto frontier. Either one makes
+//! the server run (and cache) a frontier search; the cache key excludes
+//! the budget, so any number of `max_memory_bytes` variants of the same
+//! search are answered from one cached frontier by point selection — only
+//! the first costs a DP fill.
+//!
 //! ## Response
 //!
 //! ```json
-//! {"schema_version": 2, "cached": false, "cache_key": "9a3f…",
+//! {"schema_version": 3, "cached": false, "cache_key": "9a3f…",
 //!  "cost": 1.23e9, "strategy": [0, 4, 2],
-//!  "report": {"schema_version": 2, "model": "alexnet", …}}
+//!  "report": {"schema_version": 3, "model": "alexnet", …}}
 //! ```
 //!
-//! or, on failure, `{"schema_version": 2, "error": "…"}`.
+//! or, on failure, `{"schema_version": 3, "error": "…"}`.
+//!
+//! Frontier-family responses add `"peak_memory_bytes"` (the selected
+//! strategy's peak per-device memory) and `"infeasible"`; when no point
+//! fits the requested budget, `"infeasible"` is `true`, `"cost"` and
+//! `"strategy"` are `null`, and `"min_memory_bytes"` reports the smallest
+//! peak memory any strategy achieves. A `"frontier": true` request
+//! additionally gets the full frontier as
+//! `"frontier": [{"cost": …, "memory_bytes": …, "strategy": […]}, …]`,
+//! sorted by increasing cost / strictly decreasing memory.
 //!
 //! ## Batch
 //!
@@ -38,7 +56,7 @@
 //! array written in a single syscall:
 //!
 //! ```json
-//! {"schema_version": 2, "batch": [{"cached": false, …}, {"cached": true, …}]}
+//! {"schema_version": 3, "batch": [{"cached": false, …}, {"cached": true, …}]}
 //! ```
 //!
 //! Elements are answered in order through the same cache/singleflight
@@ -52,16 +70,19 @@
 //! search:
 //!
 //! ```json
-//! {"schema_version": 2, "stats": {"requests": 120, "cache_hits": 80,
-//!  "cache_misses": 25, "coalesced": 15, "in_flight": 2, "entries": 31}}
+//! {"schema_version": 3, "stats": {"requests": 120, "cache_hits": 80,
+//!  "cache_misses": 25, "coalesced": 15, "in_flight": 2, "entries": 31,
+//!  "cache_bytes": 48123}}
 //! ```
 //!
 //! `coalesced` counts requests answered by waiting on another request's
 //! identical in-flight search (the singleflight layer); `in_flight` is the
 //! number of searches running at the instant of the probe; `entries` is
-//! the in-memory strategy-cache population.
+//! the in-memory strategy-cache population and `cache_bytes` its
+//! approximate resident footprint (the byte-weighted LRU's accounting
+//! unit).
 
-use pase_core::{Error, PruneGate, SearchBudget, SCHEMA_VERSION};
+use pase_core::{Error, FrontierPoint, PruneGate, SearchBudget, SCHEMA_VERSION};
 use pase_cost::MachineSpec;
 use pase_obs::json;
 use std::fmt::Write as _;
@@ -149,6 +170,18 @@ pub struct Request {
     pub budget: SearchBudget,
     /// Explicit per-request deadline, if the client sent one.
     pub deadline: Option<Duration>,
+    /// Peak per-device memory cap for the returned strategy, in bytes
+    /// (`None` = unconstrained). Selects the frontier search family.
+    pub max_memory_bytes: Option<u64>,
+    /// Return the whole `(step time, peak memory)` Pareto frontier.
+    pub frontier: bool,
+}
+
+impl Request {
+    /// Whether this request runs the frontier DP (either facet of it).
+    pub fn wants_frontier(&self) -> bool {
+        self.frontier || self.max_memory_bytes.is_some()
+    }
 }
 
 impl Request {
@@ -234,6 +267,12 @@ impl Request {
             })?,
             None => PruneGate::On,
         };
+        let max_memory_bytes = match v.get("max_memory_bytes") {
+            Some(b) => Some(b.as_u64().ok_or_else(|| {
+                Error::Protocol("\"max_memory_bytes\" must be a non-negative integer".into())
+            })?),
+            None => None,
+        };
         Ok(Request {
             model,
             devices,
@@ -244,6 +283,8 @@ impl Request {
             prune_gate,
             budget,
             deadline,
+            max_memory_bytes,
+            frontier: bool_field("frontier", false)?,
         })
     }
 }
@@ -285,6 +326,75 @@ pub fn write_response_json(
             out.push(']');
         }
         None => out.push_str("null"),
+    }
+    let _ = write!(out, ", \"report\": {report_json}}}");
+}
+
+/// Render a frontier-family success response line (no trailing newline)
+/// into `out`, appending. `picked` is the selected Pareto point as
+/// `(cost, peak_memory_bytes, strategy)`, or `None` when no point fits the
+/// requested budget — then `min_memory_bytes` (the frontier's smallest
+/// peak memory) is reported alongside `"infeasible": true`. `frontier` is
+/// `Some` only when the client asked for the full Pareto set.
+pub fn write_frontier_response_json(
+    out: &mut String,
+    cache_key: u64,
+    cached: bool,
+    picked: Option<(f64, u64, &[u16])>,
+    min_memory_bytes: u64,
+    frontier: Option<&[FrontierPoint]>,
+    report_json: &str,
+) {
+    out.reserve(192 + report_json.len());
+    let _ = write!(
+        out,
+        "{{\"schema_version\": {SCHEMA_VERSION}, \"cached\": {cached}, \
+         \"cache_key\": \"{cache_key:016x}\", \"cost\": "
+    );
+    let write_ids = |out: &mut String, ids: &[u16]| {
+        out.push('[');
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{id}");
+        }
+        out.push(']');
+    };
+    match picked {
+        Some((cost, peak, ids)) => {
+            out.push_str(&json::number(cost));
+            out.push_str(", \"strategy\": ");
+            write_ids(out, ids);
+            let _ = write!(
+                out,
+                ", \"peak_memory_bytes\": {peak}, \"infeasible\": false"
+            );
+        }
+        None => {
+            let _ = write!(
+                out,
+                "null, \"strategy\": null, \"peak_memory_bytes\": null, \
+                 \"infeasible\": true, \"min_memory_bytes\": {min_memory_bytes}"
+            );
+        }
+    }
+    if let Some(points) = frontier {
+        out.push_str(", \"frontier\": [");
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"cost\": {}, \"memory_bytes\": {}, \"strategy\": ",
+                json::number(p.cost),
+                p.memory_bytes
+            );
+            write_ids(out, &p.config_ids);
+            out.push('}');
+        }
+        out.push(']');
     }
     let _ = write!(out, ", \"report\": {report_json}}}");
 }
@@ -334,6 +444,7 @@ pub fn write_batch_close(out: &mut String) {
 
 /// Render the `stats` response line (no trailing newline) into `out`,
 /// appending. Field meanings are documented in the module docs.
+#[allow(clippy::too_many_arguments)]
 pub fn write_stats_json(
     out: &mut String,
     requests: u64,
@@ -342,13 +453,15 @@ pub fn write_stats_json(
     coalesced: u64,
     in_flight: u64,
     entries: u64,
+    cache_bytes: u64,
 ) {
     let _ = write!(
         out,
         "{{\"schema_version\": {SCHEMA_VERSION}, \"stats\": {{\
          \"requests\": {requests}, \"cache_hits\": {hits}, \
          \"cache_misses\": {misses}, \"coalesced\": {coalesced}, \
-         \"in_flight\": {in_flight}, \"entries\": {entries}}}}}"
+         \"in_flight\": {in_flight}, \"entries\": {entries}, \
+         \"cache_bytes\": {cache_bytes}}}}}"
     );
 }
 
@@ -366,6 +479,29 @@ mod tests {
         assert!(!r.prune);
         assert_eq!(r.budget, SearchBudget::default());
         assert_eq!(r.deadline, None);
+        assert_eq!(r.max_memory_bytes, None);
+        assert!(!r.frontier && !r.wants_frontier());
+    }
+
+    #[test]
+    fn frontier_fields_parse_and_select_the_frontier_family() {
+        let r = Request::parse("{\"model\": \"mlp\", \"max_memory_bytes\": 1000000}").unwrap();
+        assert_eq!(r.max_memory_bytes, Some(1_000_000));
+        assert!(!r.frontier);
+        assert!(r.wants_frontier());
+        let r = Request::parse("{\"model\": \"mlp\", \"frontier\": true}").unwrap();
+        assert!(r.frontier && r.wants_frontier());
+        assert_eq!(r.max_memory_bytes, None);
+        for bad in [
+            "{\"model\": \"mlp\", \"max_memory_bytes\": -1}",
+            "{\"model\": \"mlp\", \"max_memory_bytes\": \"lots\"}",
+            "{\"model\": \"mlp\", \"frontier\": 1}",
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(Error::Protocol(_))),
+                "{bad}"
+            );
+        }
     }
 
     #[test]
@@ -452,7 +588,7 @@ mod tests {
     #[test]
     fn stats_response_shape() {
         let mut out = String::new();
-        write_stats_json(&mut out, 10, 5, 3, 2, 1, 4);
+        write_stats_json(&mut out, 10, 5, 3, 2, 1, 4, 2048);
         let v = json::parse(&out).unwrap();
         let stats = v.get("stats").expect("stats object");
         assert_eq!(stats.get("requests").and_then(|x| x.as_u64()), Some(10));
@@ -461,6 +597,81 @@ mod tests {
         assert_eq!(stats.get("coalesced").and_then(|x| x.as_u64()), Some(2));
         assert_eq!(stats.get("in_flight").and_then(|x| x.as_u64()), Some(1));
         assert_eq!(stats.get("entries").and_then(|x| x.as_u64()), Some(4));
+        assert_eq!(
+            stats.get("cache_bytes").and_then(|x| x.as_u64()),
+            Some(2048)
+        );
+    }
+
+    #[test]
+    fn frontier_responses_are_valid_json_in_every_shape() {
+        let points = vec![
+            FrontierPoint {
+                cost: 1.0,
+                memory_bytes: 900,
+                config_ids: vec![1, 2],
+            },
+            FrontierPoint {
+                cost: 2.0,
+                memory_bytes: 400,
+                config_ids: vec![0, 0],
+            },
+        ];
+
+        // A budgeted request: selected point, no frontier array.
+        let mut out = String::new();
+        write_frontier_response_json(
+            &mut out,
+            9,
+            true,
+            Some((2.0, 400, &[0, 0])),
+            400,
+            None,
+            "{}",
+        );
+        let v = json::parse(&out).unwrap();
+        assert_eq!(v.get("cost").and_then(|c| c.as_f64()), Some(2.0));
+        assert_eq!(
+            v.get("peak_memory_bytes").and_then(|p| p.as_u64()),
+            Some(400)
+        );
+        assert_eq!(v.get("infeasible").and_then(|i| i.as_bool()), Some(false));
+        assert!(v.get("frontier").is_none());
+        assert!(v.get("min_memory_bytes").is_none());
+
+        // An infeasible budget: null cost/strategy, the floor reported.
+        let mut out = String::new();
+        write_frontier_response_json(&mut out, 9, true, None, 400, None, "{}");
+        let v = json::parse(&out).unwrap();
+        assert!(v.get("cost").unwrap().as_f64().is_none());
+        assert!(v.get("strategy").unwrap().as_array().is_none());
+        assert_eq!(v.get("infeasible").and_then(|i| i.as_bool()), Some(true));
+        assert_eq!(
+            v.get("min_memory_bytes").and_then(|m| m.as_u64()),
+            Some(400)
+        );
+
+        // A frontier request: the full Pareto set rides along.
+        let mut out = String::new();
+        write_frontier_response_json(
+            &mut out,
+            9,
+            false,
+            Some((1.0, 900, &[1, 2])),
+            400,
+            Some(&points),
+            "{}",
+        );
+        let v = json::parse(&out).unwrap();
+        let f = v.get("frontier").and_then(|f| f.as_array()).expect("array");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[1].get("memory_bytes").and_then(|m| m.as_u64()), Some(400));
+        assert_eq!(
+            f[0].get("strategy")
+                .and_then(|s| s.as_array())
+                .map(<[_]>::len),
+            Some(2)
+        );
     }
 
     #[test]

@@ -19,11 +19,11 @@
 
 use crate::cache::{strategy_cache_key, CacheEntry};
 use crate::protocol::{
-    write_batch_close, write_batch_open, write_error_json, write_response_json, write_stats_json,
-    Request, RequestKind,
+    write_batch_close, write_batch_open, write_error_json, write_frontier_response_json,
+    write_response_json, write_stats_json, Request, RequestKind,
 };
 use crate::sharded::{Lookup, ShardedCache};
-use pase_core::{Search, SearchOutcome, SearchReport};
+use pase_core::{FrontierPoint, Search, SearchOutcome, SearchReport};
 use pase_cost::{ConfigRule, PruneOptions};
 use pase_obs::Trace;
 use std::io::{ErrorKind, Read, Write};
@@ -102,6 +102,11 @@ pub struct ServerConfig {
     pub deadline: Duration,
     /// In-memory strategy-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Approximate in-memory strategy-cache byte budget (0 = unbounded).
+    /// Entries vary wildly in size — frontier entries carry the whole
+    /// Pareto set — so the byte-weighted LRU evicts by bytes before the
+    /// entry cap (see [`crate::StrategyCache::with_max_bytes`]).
+    pub cache_max_bytes: u64,
     /// Directory for persistent cache entries (`None` = memory only).
     pub cache_dir: Option<PathBuf>,
     /// Connections with no complete request line for this long are closed,
@@ -135,6 +140,7 @@ impl Default for ServerConfig {
             workers: 4,
             deadline: Duration::from_secs(120),
             cache_capacity: 64,
+            cache_max_bytes: 0,
             cache_dir: None,
             idle_timeout: Duration::from_secs(30),
             cache_shards: 0,
@@ -195,7 +201,8 @@ impl Server {
             cfg.cache_capacity,
             cfg.cache_dir.clone(),
             cfg.singleflight,
-        );
+        )
+        .with_max_bytes(cfg.cache_max_bytes);
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
@@ -508,6 +515,7 @@ pub(crate) fn handle_line(line: &str, shared: &Shared, out: &mut String) {
                 counters.coalesced,
                 counters.in_flight,
                 shared.cache.len() as u64,
+                shared.cache.bytes(),
             );
         }
         Err(e) => {
@@ -519,21 +527,58 @@ pub(crate) fn handle_line(line: &str, shared: &Shared, out: &mut String) {
     }
 }
 
+/// Answer a frontier-family request from a Pareto point set (cached or
+/// fresh): select the cheapest point that fits `max_memory_bytes` (the
+/// min-time point when unconstrained), falling back to an
+/// `"infeasible": true` response when nothing fits. The selection runs at
+/// response time, never at search time — that is what lets one cached
+/// frontier serve every budget variant of the same search.
+fn write_frontier_from_points(
+    req: &Request,
+    key: u64,
+    cached: bool,
+    points: &[FrontierPoint],
+    report_json: &str,
+    out: &mut String,
+) {
+    let picked = match req.max_memory_bytes {
+        Some(budget) => points.iter().find(|p| p.memory_bytes <= budget),
+        None => points.first(),
+    };
+    let min_memory_bytes = points.last().map_or(0, |p| p.memory_bytes);
+    write_frontier_response_json(
+        out,
+        key,
+        cached,
+        picked.map(|p| (p.cost, p.memory_bytes, p.config_ids.as_slice())),
+        min_memory_bytes,
+        req.frontier.then_some(points),
+        report_json,
+    );
+}
+
 /// Answer one parsed search request into `out`: consult the sharded cache
 /// (possibly coalescing onto an identical in-flight search), run a fresh
 /// search on a miss. Also the prewarm path — zoo entries are filled
 /// through exactly this lookup.
+///
+/// Frontier-family requests (`max_memory_bytes` / `frontier`) run the
+/// frontier DP *unconstrained* and cache the whole Pareto set under a key
+/// that excludes the budget; the budget is applied by point selection on
+/// the way out, so follow-up queries with any other budget are cache hits.
 pub(crate) fn answer_search(req: &Request, shared: &Shared, out: &mut String) {
     let graph = match pase_models::build_named(&req.model, req.devices, req.weak_scaling) {
         Ok(g) => g,
         Err(msg) => return write_error_json(out, &pase_core::Error::Protocol(msg)),
     };
     let rule = ConfigRule::new(req.devices);
+    let wants_frontier = req.wants_frontier();
     let key = strategy_cache_key(
         &graph,
         &rule,
         &req.machine,
         req.prune.then_some(req.epsilon),
+        wants_frontier,
     );
 
     let guard = match shared.cache.lookup(key) {
@@ -541,6 +586,16 @@ pub(crate) fn answer_search(req: &Request, shared: &Shared, out: &mut String) {
             let counters = shared.cache.counters();
             shared.trace.counter("cache_hits", counters.hits);
             shared.trace.counter("coalesced", counters.coalesced);
+            if wants_frontier {
+                return write_frontier_from_points(
+                    req,
+                    key,
+                    true,
+                    &entry.frontier,
+                    &entry.report_json,
+                    out,
+                );
+            }
             return write_response_json(
                 out,
                 key,
@@ -578,19 +633,34 @@ pub(crate) fn answer_search(req: &Request, shared: &Shared, out: &mut String) {
             ..PruneOptions::default()
         });
     }
+    if wants_frontier {
+        // Deliberately only `.frontier()`, never `.max_memory_bytes()`:
+        // the engine computes the full Pareto set and the budget is
+        // applied per-response above, keeping the cached entry
+        // budget-agnostic.
+        search = search.frontier();
+    }
     let run = search.run();
     let report = SearchReport::new(&req.model, req.devices, run.outcome(), Some(&trace)).to_json();
 
     match run.outcome() {
         SearchOutcome::Found(r) => {
+            let frontier = run
+                .frontier()
+                .map_or_else(Vec::new, |f| f.points().to_vec());
             let entry = CacheEntry {
                 model: req.model.clone(),
                 devices: req.devices,
                 cost: r.cost,
                 config_ids: r.config_ids.clone(),
+                frontier: frontier.clone(),
                 report_json: report.clone(),
             };
-            write_response_json(out, key, false, Some(r.cost), Some(&r.config_ids), &report);
+            if wants_frontier {
+                write_frontier_from_points(req, key, false, &frontier, &report, out);
+            } else {
+                write_response_json(out, key, false, Some(r.cost), Some(&r.config_ids), &report);
+            }
             // Fulfilling releases any coalesced waiters; failed outcomes
             // instead drop the guard below, letting a waiter retry with
             // its own deadline.
@@ -840,6 +910,116 @@ mod tests {
         assert_eq!(field("coalesced"), 0);
         assert_eq!(field("in_flight"), 0);
         assert_eq!(field("entries"), 1, "one cached strategy");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn one_cached_frontier_serves_every_budget_variant() {
+        let (addr, handle, join) = start(ServerConfig::default());
+
+        // The scalar optimum, for the bit-parity check.
+        let scalar = query(addr, MLP);
+        let scalar_cost = scalar.get("cost").and_then(|c| c.as_f64()).expect("cost");
+
+        // A frontier query: full Pareto set, min-time point selected.
+        let f = query(
+            addr,
+            "{\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \
+             \"weak_scaling\": false, \"frontier\": true}",
+        );
+        assert_eq!(f.get("cached").and_then(|c| c.as_bool()), Some(false));
+        assert_eq!(f.get("cost").and_then(|c| c.as_f64()), Some(scalar_cost));
+        assert_eq!(f.get("infeasible").and_then(|i| i.as_bool()), Some(false));
+        let points = f.get("frontier").and_then(|x| x.as_array()).expect("array");
+        assert!(!points.is_empty());
+        let min_mem = points
+            .last()
+            .and_then(|p| p.get("memory_bytes"))
+            .and_then(|m| m.as_u64())
+            .expect("memory");
+        let max_mem = f
+            .get("peak_memory_bytes")
+            .and_then(|m| m.as_u64())
+            .expect("peak memory");
+
+        // Two different memory budgets: both must be served from the one
+        // cached frontier — no new DP fill, same cache entry.
+        let generous = query(
+            addr,
+            &format!(
+                "{{\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \
+                 \"weak_scaling\": false, \"max_memory_bytes\": {}}}",
+                max_mem + 1
+            ),
+        );
+        assert_eq!(generous.get("cached").and_then(|c| c.as_bool()), Some(true));
+        assert_eq!(
+            generous.get("cost").and_then(|c| c.as_f64()),
+            Some(scalar_cost)
+        );
+        assert_eq!(generous.get("cache_key"), f.get("cache_key"));
+        assert!(generous.get("frontier").is_none(), "not asked for");
+
+        let tight = query(
+            addr,
+            &format!(
+                "{{\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \
+                 \"weak_scaling\": false, \"max_memory_bytes\": {min_mem}}}"
+            ),
+        );
+        assert_eq!(tight.get("cached").and_then(|c| c.as_bool()), Some(true));
+        assert_eq!(tight.get("cache_key"), f.get("cache_key"));
+        assert_eq!(
+            tight.get("peak_memory_bytes").and_then(|m| m.as_u64()),
+            Some(min_mem),
+            "tightest budget selects the min-memory point"
+        );
+
+        // An unsatisfiable budget is answered from cache too, as
+        // infeasible with the frontier's memory floor.
+        let impossible = query(
+            addr,
+            &format!(
+                "{{\"model\": \"mlp\", \"devices\": 4, \"machine\": \"test\", \
+                 \"weak_scaling\": false, \"max_memory_bytes\": {}}}",
+                min_mem - 1
+            ),
+        );
+        assert_eq!(
+            impossible.get("cached").and_then(|c| c.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            impossible.get("infeasible").and_then(|i| i.as_bool()),
+            Some(true)
+        );
+        assert!(impossible.get("cost").unwrap().as_f64().is_none());
+        assert_eq!(
+            impossible.get("min_memory_bytes").and_then(|m| m.as_u64()),
+            Some(min_mem)
+        );
+
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        // Five requests, two searches: the scalar one and the single
+        // frontier fill all budget variants shared.
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.cache_misses, 2, "{summary:?}");
+        assert_eq!(summary.cache_hits, 3, "{summary:?}");
+    }
+
+    #[test]
+    fn stats_report_the_cache_byte_accounting() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        query(addr, MLP);
+        let v = query(addr, "{\"stats\": true}");
+        let bytes = v
+            .get("stats")
+            .and_then(|s| s.get("cache_bytes"))
+            .and_then(|b| b.as_u64())
+            .expect("cache_bytes");
+        assert!(bytes > 0, "one resident entry must be accounted");
         handle.shutdown();
         join.join().unwrap();
     }

@@ -155,6 +155,25 @@ impl ShardedCache {
             .store(delay.as_millis() as u64, Ordering::Relaxed);
     }
 
+    /// Bound the resident entry bytes to roughly `max_bytes` in total,
+    /// split evenly across the stripes (0 = unbounded). Each stripe evicts
+    /// by bytes before its entry cap (see [`StrategyCache::with_max_bytes`]).
+    pub fn with_max_bytes(self, max_bytes: u64) -> Self {
+        let per_shard = if max_bytes == 0 {
+            0
+        } else {
+            max_bytes.div_ceil(self.shards.len() as u64)
+        };
+        for shard in &self.shards {
+            shard
+                .cache
+                .lock()
+                .expect("shard cache")
+                .set_max_bytes(per_shard);
+        }
+        self
+    }
+
     /// Number of stripes (a power of two).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -251,6 +270,15 @@ impl ShardedCache {
     /// Whether every stripe is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate resident bytes across all stripes (per
+    /// [`CacheEntry::approx_bytes`]), for the `stats` wire request.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.cache.lock().expect("shard cache").bytes())
+            .sum()
     }
 }
 
@@ -349,8 +377,24 @@ mod tests {
             devices: 8,
             cost: 2.5e9,
             config_ids: vec![1, 2, 3],
+            frontier: vec![],
             report_json: "{}".to_string(),
         }
+    }
+
+    #[test]
+    fn byte_budget_applies_per_stripe_and_is_reported() {
+        let c = ShardedCache::new(1, 64, None, true)
+            .with_max_bytes(2 * entry("a").approx_bytes() + entry("a").approx_bytes() / 2);
+        assert_eq!(c.bytes(), 0);
+        for key in 0..3u64 {
+            if let Lookup::Miss(g) = c.lookup(key) {
+                g.fulfill(entry("a")).unwrap();
+            }
+        }
+        // Three same-size entries exceed the 2.5-entry budget: one evicted.
+        assert_eq!(c.len(), 2, "byte budget evicted despite 64 free slots");
+        assert_eq!(c.bytes(), 2 * entry("a").approx_bytes());
     }
 
     #[test]

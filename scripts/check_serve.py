@@ -23,17 +23,29 @@ Two further modes:
   check_serve.py --prewarm FILE    FILE is the response of the FIRST query
                                    against a `--prewarm`ed server; it must
                                    already be a cache hit.
+  check_serve.py --frontier F B1 B2 STATS
+                                   F is the response of a `--frontier`
+                                   query (a miss carrying the Pareto set);
+                                   B1/B2 are two different `--max-memory`
+                                   queries for the same cell. The cache key
+                                   drops the budget, so both must be cache
+                                   hits on F's entry — one DP fill serves
+                                   every budget variant — and each answer
+                                   must be a point of F's frontier. STATS
+                                   must account exactly 1 miss + 2 hits.
 """
 
 import json
 import sys
+
+SCHEMA_VERSION = 3
 
 
 def check_batch(path: str, n: int) -> None:
     with open(path) as f:
         resp = json.load(f)
     assert "error" not in resp, f"batch query failed: {resp['error']}"
-    assert resp["schema_version"] == 2, f"batch: bad schema_version: {resp}"
+    assert resp["schema_version"] == SCHEMA_VERSION, f"batch: bad schema_version: {resp}"
     batch = resp["batch"]
     assert len(batch) == n, f"expected {n} batch responses, got {len(batch)}"
     for i, q in enumerate(batch):
@@ -68,8 +80,9 @@ def check_stats(path: str) -> None:
     with open(path) as f:
         resp = json.load(f)
     assert "error" not in resp, f"stats query failed: {resp['error']}"
-    assert resp["schema_version"] == 2, f"stats: bad schema_version: {resp}"
+    assert resp["schema_version"] == SCHEMA_VERSION, f"stats: bad schema_version: {resp}"
     stats = resp["stats"]
+    assert stats["cache_bytes"] > 0, f"a populated cache must report bytes: {stats}"
     hits, misses = stats["cache_hits"], stats["cache_misses"]
     coalesced, in_flight = stats["coalesced"], stats["in_flight"]
     assert stats["requests"] >= 3, f"expected >= 3 requests (incl. probe): {stats}"
@@ -85,12 +98,61 @@ def check_stats(path: str) -> None:
     )
 
 
+def check_frontier(f_path: str, b1_path: str, b2_path: str, stats_path: str) -> None:
+    with open(f_path) as f:
+        fr = json.load(f)
+    assert "error" not in fr, f"frontier query failed: {fr['error']}"
+    assert fr["schema_version"] == SCHEMA_VERSION, f"frontier: bad schema_version: {fr}"
+    assert fr["cached"] is False, "the frontier query must be the one DP fill"
+    points = fr["frontier"]
+    assert points, "frontier query returned an empty frontier"
+    for a, b in zip(points, points[1:]):
+        assert a["cost"] < b["cost"] and a["memory_bytes"] > b["memory_bytes"], (
+            f"frontier is not dominance-pruned: {a} vs {b}"
+        )
+    assert fr["cost"] == points[0]["cost"], (
+        "an unbudgeted frontier query must answer the min-time point"
+    )
+
+    answers = {(p["cost"], p["memory_bytes"]) for p in points}
+    for i, path in enumerate((b1_path, b2_path), 1):
+        with open(path) as f:
+            q = json.load(f)
+        assert "error" not in q, f"budget query {i} failed: {q['error']}"
+        assert q["cached"] is True, (
+            f"budget query {i} must be served from the cached frontier "
+            f"(the cache key drops the budget): {q}"
+        )
+        assert q["cache_key"] == fr["cache_key"], (
+            f"budget query {i} hit a different entry than the frontier query"
+        )
+        assert q["infeasible"] is False, f"budget query {i}: {q}"
+        assert (q["cost"], q["peak_memory_bytes"]) in answers, (
+            f"budget query {i} answered ({q['cost']}, {q['peak_memory_bytes']}), "
+            f"which is not a point of the cached frontier"
+        )
+
+    with open(stats_path) as f:
+        stats = json.load(f)["stats"]
+    assert stats["cache_misses"] == 1, (
+        f"one DP fill must serve every budget variant: {stats}"
+    )
+    assert stats["cache_hits"] == 2, f"both budget queries must be hits: {stats}"
+    print(
+        f"serve frontier OK: {len(points)}-point frontier, key {fr['cache_key']}, "
+        f"1 fill + 2 budget hits"
+    )
+
+
 def main() -> None:
     if sys.argv[1] == "--batch":
         check_batch(sys.argv[2], int(sys.argv[3]))
         return
     if sys.argv[1] == "--prewarm":
         check_prewarm(sys.argv[2])
+        return
+    if sys.argv[1] == "--frontier":
+        check_frontier(sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
         return
     with open(sys.argv[1]) as f:
         q1 = json.load(f)
@@ -99,7 +161,7 @@ def main() -> None:
 
     for i, q in enumerate((q1, q2), 1):
         assert "error" not in q, f"query {i} failed: {q['error']}"
-        assert q["schema_version"] == 2, f"query {i}: bad schema_version: {q}"
+        assert q["schema_version"] == SCHEMA_VERSION, f"query {i}: bad schema_version: {q}"
         assert q["report"]["outcome"] == "ok", f"query {i}: {q['report']}"
         assert q["strategy"], f"query {i}: empty strategy"
 

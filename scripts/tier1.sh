@@ -119,3 +119,38 @@ fi
 kill -INT "$serve_pid"
 wait "$serve_pid"
 python3 scripts/check_serve.py --prewarm "$serve_dir/prewarm_q.json"
+
+# Frontier smoke: one --frontier query pays the only DP fill; two
+# different --max-memory queries for the same cell (one generous, one
+# equal to the frontier's memory floor) must then both be cache hits on
+# the same entry — the cache key deliberately drops the memory budget —
+# and must answer points of the cached frontier.
+./target/release/pase serve --addr 127.0.0.1:0 --workers 2 \
+    > "$serve_dir/frontier.out" 2> "$serve_dir/frontier.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_dir/frontier.out")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "pase serve (frontier smoke) never reported its address:" >&2
+    cat "$serve_dir/frontier.err" >&2
+    exit 1
+fi
+./target/release/pase query --model mlp --devices 8 --frontier \
+    --addr "$addr" --out "$serve_dir/f.json"
+generous="$(python3 -c "import json; \
+print(max(p['memory_bytes'] for p in json.load(open('$serve_dir/f.json'))['frontier']))")"
+floor="$(python3 -c "import json; \
+print(min(p['memory_bytes'] for p in json.load(open('$serve_dir/f.json'))['frontier']))")"
+./target/release/pase query --model mlp --devices 8 --max-memory "$generous" \
+    --addr "$addr" --out "$serve_dir/b1.json"
+./target/release/pase query --model mlp --devices 8 --max-memory "$floor" \
+    --addr "$addr" --out "$serve_dir/b2.json"
+./target/release/pase query --stats --addr "$addr" --out "$serve_dir/fstats.json"
+kill -INT "$serve_pid"
+wait "$serve_pid"
+python3 scripts/check_serve.py --frontier "$serve_dir/f.json" \
+    "$serve_dir/b1.json" "$serve_dir/b2.json" "$serve_dir/fstats.json"
