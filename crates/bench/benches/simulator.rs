@@ -11,7 +11,7 @@ use pase_sim::{memory_per_device, simulate_step, SimOptions, Topology};
 use std::time::Duration;
 
 fn bench_simulate_step(c: &mut Criterion) {
-    let topo = Topology::cluster(MachineSpec::gtx1080ti(), 32);
+    let topo = Topology::cluster(MachineSpec::gtx1080ti(), 32).unwrap();
     for bench in Benchmark::all() {
         let g = bench.build_for(32);
         let s = data_parallel(&g, 32);
@@ -22,7 +22,7 @@ fn bench_simulate_step(c: &mut Criterion) {
 }
 
 fn bench_memory(c: &mut Criterion) {
-    let topo = Topology::cluster(MachineSpec::gtx1080ti(), 32);
+    let topo = Topology::cluster(MachineSpec::gtx1080ti(), 32).unwrap();
     let g = Benchmark::InceptionV3.build_for(32);
     let s = data_parallel(&g, 32);
     c.bench_function("memory_per_device/inception_v3/dp32", |b| {
@@ -32,7 +32,7 @@ fn bench_memory(c: &mut Criterion) {
 
 fn bench_mcmc_short(c: &mut Criterion) {
     let machine = MachineSpec::gtx1080ti();
-    let topo = Topology::cluster(machine, 8);
+    let topo = Topology::cluster(machine, 8).unwrap();
     let bench = Benchmark::Rnnlm;
     let g = bench.build_for(8);
     let space = relaxed_space(&g, 8);

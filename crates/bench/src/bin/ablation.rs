@@ -151,7 +151,7 @@ fn main() {
     println!("\n== 4. Simulator overlap sensitivity (AlexNet, p = 32, 1080Ti) ==\n");
     let p = 32;
     let g = Benchmark::AlexNet.build_for(p);
-    let topo = Topology::cluster(machine.clone(), p);
+    let topo = Topology::cluster(machine.clone(), p).unwrap();
     let tables = standard_tables(&g, p, &machine);
     let (_, ours) = pase_strategy(&g, &tables, &DpOptions::default());
     let ours = ours.expect("alexnet search succeeds");

@@ -25,7 +25,9 @@
 //! benches but runs in seconds, so it can gate a PR.
 
 use pase_core::{DpKernel, DpOptions, Search, SearchReport};
-use pase_cost::{ConfigRule, CostTables, MachineSpec, PruneOptions, PrunedTables, TableOptions};
+use pase_cost::{
+    ConfigRule, CostTables, DeviceMesh, MachineSpec, PruneOptions, PrunedTables, TableOptions,
+};
 use pase_models::Benchmark;
 use pase_obs::{phase, Trace};
 use std::fmt::Write as _;
@@ -76,6 +78,11 @@ fn main() {
     let dp = DpOptions::default();
 
     let mut json = String::from("{\n  \"models\": {\n");
+    // How many cells the two-tier cluster mesh moved away from the flat
+    // optimum (cost bits or chosen strategy) — at least one must, or the
+    // topology-aware model is not actually being exercised.
+    let mut mesh_diverged = 0usize;
+    let mut mesh_moved_strategy = 0usize;
     let all = Benchmark::all();
     for (i, bench) in all.iter().enumerate() {
         let _ = write!(json, "    \"{}\": {{\n", bench.name());
@@ -203,10 +210,62 @@ fn main() {
             );
             let report = SearchReport::new(bench.name(), p, &pruned_outcome, Some(&trace));
 
+            // Mesh sweep: the same cell planned on its explicit flat mesh
+            // (must stay bit-identical to the scalar tables — the
+            // tentpole's parity anchor, asserted on every cell of this
+            // grid) and on the paper's two-tier testbed mesh (8 devices
+            // per node over the slower inter-node fabric), which may move
+            // the optimum.
+            let flat_best = Search::new(&g)
+                .tables(&CostTables::build_mesh(
+                    &g,
+                    rule,
+                    &DeviceMesh::flat(&machine),
+                    &optimized_tables,
+                    None,
+                ))
+                .dp_options(dp)
+                .run()
+                .expect_found(bench.name());
+            assert_eq!(
+                flat_best.cost.to_bits(),
+                plain_cost.to_bits(),
+                "{} p={p}: flat mesh optimum {} != scalar optimum {plain_cost}",
+                bench.name(),
+                flat_best.cost
+            );
+            let tiered = DeviceMesh::cluster(&machine, (p / 8).max(1), p.min(8));
+            let t0 = Instant::now();
+            let tiered_best = Search::new(&g)
+                .tables(&CostTables::build_mesh(
+                    &g,
+                    rule,
+                    &tiered,
+                    &optimized_tables,
+                    None,
+                ))
+                .dp_options(dp)
+                .run()
+                .expect_found(bench.name());
+            let mesh_tiered_s = t0.elapsed().as_secs_f64();
+            assert!(
+                tiered_best.cost >= flat_best.cost,
+                "{} p={p}: a slower inter-node fabric cannot make the optimum cheaper \
+                 (flat {}, tiered {})",
+                bench.name(),
+                flat_best.cost,
+                tiered_best.cost
+            );
+            let strategy_moved = tiered_best.config_ids != flat_best.config_ids;
+            let cell_diverged =
+                strategy_moved || tiered_best.cost.to_bits() != flat_best.cost.to_bits();
+            mesh_diverged += usize::from(cell_diverged);
+            mesh_moved_strategy += usize::from(strategy_moved);
+
             let hit = tables.intern_stats().hit_rate_opt();
             let hit_pct = hit.map_or_else(|| "n/a".to_string(), |h| format!("{:.0}%", h * 100.0));
             println!(
-                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   find_best_strategy {:.2}ms -> {:.2}ms ({:.2}x)   dp_fill(1t) scalar {:.2}ms -> tiled {:.2}ms ({:.2}x)   frontier {:.2}ms ({} points)   intern hit {}",
+                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   search {:.2}ms -> {:.2}ms ({:.2}x)   dp_fill(1t) scalar {:.2}ms -> tiled {:.2}ms ({:.2}x)   frontier {:.2}ms ({} points)   mesh flat {:.4e} -> tiered {:.4e}{}   intern hit {}",
                 bench.name(),
                 p,
                 build_base * 1e3,
@@ -225,13 +284,22 @@ fn main() {
                 fill_scalar / fill_tiled.max(1e-12),
                 dp_fill_frontier_s * 1e3,
                 frontier_len,
+                flat_best.cost,
+                tiered_best.cost,
+                if strategy_moved {
+                    " (strategy moved)"
+                } else if cell_diverged {
+                    " (cost moved)"
+                } else {
+                    ""
+                },
                 hit_pct
             );
 
             let hit_json = hit.map_or_else(|| "null".to_string(), |h| format!("{h:.4}"));
             let _ = write!(
                 json,
-                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"find_best_strategy\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"dp_fill\": {{\"dp_fill_scalar_s\": {:.6}, \"dp_fill_tiled_s\": {:.6}, \"dp_fill_frontier_s\": {dp_fill_frontier_s:.6}}},\n        \"frontier_len\": {frontier_len},\n        \"intern_hit_rate\": {hit_json},\n        \"search_report\": {}\n      }}{}\n",
+                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"search\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"dp_fill\": {{\"dp_fill_scalar_s\": {:.6}, \"dp_fill_tiled_s\": {:.6}, \"dp_fill_frontier_s\": {dp_fill_frontier_s:.6}}},\n        \"frontier_len\": {frontier_len},\n        \"mesh\": {{\"flat_cost\": {}, \"tiered_cost\": {}, \"tiered_axes\": {}, \"tiered_s\": {mesh_tiered_s:.6}, \"diverged\": {cell_diverged}, \"strategy_moved\": {strategy_moved}}},\n        \"intern_hit_rate\": {hit_json},\n        \"search_report\": {}\n      }}{}\n",
                 build_base,
                 build_opt,
                 prune_s,
@@ -243,13 +311,28 @@ fn main() {
                 search_pruned,
                 fill_scalar,
                 fill_tiled,
+                flat_best.cost,
+                tiered_best.cost,
+                tiered.axes.len(),
                 report.to_json(),
                 if pi + 1 < PS.len() { "," } else { "" }
             );
         }
         let _ = write!(json, "    }}{}\n", if i + 1 < all.len() { "," } else { "" });
     }
-    json.push_str("  }\n}\n");
+    assert!(
+        mesh_diverged >= 1,
+        "no two-tier mesh cell moved the optimum away from flat — the \
+         topology-aware cost model is not being exercised"
+    );
+    let _ = write!(
+        json,
+        "  }},\n  \"mesh_cells_diverged\": {mesh_diverged},\n  \
+         \"mesh_cells_strategy_moved\": {mesh_moved_strategy}\n}}\n"
+    );
     std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
-    println!("wrote BENCH_search.json");
+    println!(
+        "wrote BENCH_search.json ({mesh_diverged}/12 tiered-mesh cells diverged from flat, \
+         {mesh_moved_strategy} moved the strategy)"
+    );
 }

@@ -121,7 +121,7 @@ fn main() {
         );
         for point in &points {
             let (bench, p, graph) = (point.bench, point.p, &point.graph);
-            let topo = Topology::cluster(machine.clone(), p);
+            let topo = Topology::cluster(machine.clone(), p).unwrap();
             let dp = dp_strategy(graph, p);
             let dp_rep = simulate_step(graph, &dp, &topo, &sim_opts);
 

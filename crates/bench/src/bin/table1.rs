@@ -100,7 +100,7 @@ fn main() {
             let ff_cell = if args.skip_flexflow {
                 "-".to_string()
             } else {
-                let topo = Topology::cluster(machine.clone(), p);
+                let topo = Topology::cluster(machine.clone(), p).unwrap();
                 let t0 = Instant::now();
                 let space = relaxed_space(&graph, p);
                 let _res = flexflow_strategy(

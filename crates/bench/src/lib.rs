@@ -23,7 +23,9 @@ use pase_baselines::{
     McmcResult,
 };
 use pase_core::{DpOptions, Search, SearchOutcome};
-use pase_cost::{ConfigRule, ConfigSpace, CostTables, MachineSpec, Strategy, TableOptions};
+use pase_cost::{
+    ConfigRule, ConfigSpace, CostTables, DeviceMesh, MachineSpec, Strategy, TableOptions,
+};
 use pase_graph::{Graph, NodeId};
 use pase_models::Benchmark;
 use pase_sim::{simulate_step, SimOptions, Topology};
@@ -59,10 +61,10 @@ pub fn standard_tables_with_space(
     machine: &MachineSpec,
     space: &ConfigSpace,
 ) -> CostTables {
-    CostTables::build_with_space(
+    CostTables::build_mesh_with_space(
         graph,
         ConfigRule::new(p),
-        machine,
+        &DeviceMesh::flat(machine),
         space,
         &TableOptions::default(),
     )
@@ -251,7 +253,7 @@ mod tests {
         let g = b.build_tiny();
         let machine = MachineSpec::test_machine();
         let space = relaxed_space(&g, 4);
-        let topo = Topology::cluster(machine, 4);
+        let topo = Topology::cluster(machine, 4).unwrap();
         let res = flexflow_strategy(
             b,
             &g,

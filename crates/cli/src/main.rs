@@ -21,7 +21,7 @@ use pase_core::{
 };
 use pase_cost::{
     from_sharding_json, to_sharding_json, to_sharding_json_with, validate_strategy, ConfigRule,
-    CostTables, MachineSpec, PruneOptions, Strategy, TableOptions,
+    CostTables, DeviceMesh, MachineSpec, PruneOptions, Strategy, TableOptions,
 };
 use pase_graph::{bfs_order, Graph, GraphStats};
 use pase_models as models;
@@ -40,7 +40,12 @@ USAGE:
 OPTIONS:
   --model <alexnet|inception|rnnlm|rnnlm-unrolled|gnmt|transformer|densenet|resnet|vgg|bert|mlp>
   --devices <p>            device count (default 8)
-  --machine <1080ti|2080ti> cluster profile (default 1080ti)
+  --machine <1080ti|2080ti|test> named machine profile (default 1080ti)
+  --machine-file <json>    plan against a machine loaded from a JSON file:
+                           either a scalar profile object or a topology mesh
+                           {\"name\": .., \"axes\": [{\"name\", \"size\", \"alpha\",
+                           \"bandwidth\", \"peak_flops\"}, ..]} with axes listed
+                           innermost first (overrides --machine)
   --memory-limit-gb <g>    per-device memory cap for the search
   --algorithm <pase|optcnn> search algorithm (default pase; optcnn fails on
                            graphs outside its reducible class, cf. paper §VI)
@@ -114,8 +119,34 @@ fn build_model(name: &str, p: u32, weak_scaling: bool) -> Result<Graph, String> 
 }
 
 fn machine_profile(name: &str) -> Result<MachineSpec, String> {
-    MachineSpec::by_name(name)
-        .ok_or_else(|| format!("unknown machine '{name}' (use 1080ti, 2080ti, or test)"))
+    MachineSpec::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown machine '{name}'; known profiles: {}",
+            MachineSpec::known_names().join(", ")
+        )
+    })
+}
+
+/// Resolve `--machine` / `--machine-file` into the mesh the search plans
+/// against plus the scalar profile the execution simulator consumes. A
+/// `--machine-file` mesh degrades to its [`DeviceMesh::effective_spec`]
+/// for the simulator; a named profile keeps its exact spec (including the
+/// profile's internode rate) and plans on its flat mesh.
+fn machine_and_mesh(args: &Args) -> Result<(MachineSpec, DeviceMesh), String> {
+    match args.get("machine-file") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --machine-file {path}: {e}"))?;
+            let mesh = DeviceMesh::from_json_str(&text)
+                .map_err(|e| format!("invalid machine file {path}: {e}"))?;
+            Ok((mesh.effective_spec(), mesh))
+        }
+        None => {
+            let machine = machine_profile(args.get("machine").unwrap_or("1080ti"))?;
+            let mesh = DeviceMesh::flat(&machine);
+            Ok((machine, mesh))
+        }
+    }
 }
 
 /// Engine knobs shared by every searching subcommand.
@@ -178,7 +209,7 @@ struct Searched {
 fn search_strategy(
     graph: &Graph,
     p: u32,
-    machine: &MachineSpec,
+    mesh: &DeviceMesh,
     memory_limit_gb: Option<f64>,
     knobs: SearchKnobs,
     trace: Option<&Trace>,
@@ -191,7 +222,7 @@ fn search_strategy(
     let run_search = || {
         let mut search = Search::new(graph)
             .rule(rule)
-            .machine(machine.clone())
+            .mesh(mesh.clone())
             // --no-prune wins over the gate: never let `auto` re-enable a
             // prune the user explicitly disabled.
             .prune_gate(if knobs.prune {
@@ -252,7 +283,7 @@ fn frontier_search(
     graph: &Graph,
     model: &str,
     p: u32,
-    machine: &MachineSpec,
+    mesh: &DeviceMesh,
     memory_limit_gb: Option<f64>,
     max_memory: Option<u64>,
     knobs: SearchKnobs,
@@ -263,7 +294,7 @@ fn frontier_search(
     }
     let mut search = Search::new(graph)
         .rule(rule)
-        .machine(machine.clone())
+        .mesh(mesh.clone())
         .prune_gate(if knobs.prune {
             knobs.gate
         } else {
@@ -293,7 +324,7 @@ fn frontier_search(
             let mut content = format!(
                 "model {model}, p = {p}, machine {} — Pareto frontier: {} points \
                  (search {:?})\n\n      {:>16}  {:>12}\n",
-                machine.name,
+                mesh.name,
                 points.len(),
                 r.stats.elapsed,
                 "cost",
@@ -352,7 +383,7 @@ fn run() -> Result<(), String> {
     };
     let model = args.get("model").unwrap_or("mlp").to_string();
     let p: u32 = args.get_or("devices", 8)?;
-    let machine = machine_profile(args.get("machine").unwrap_or("1080ti"))?;
+    let (machine, mesh) = machine_and_mesh(&args)?;
     let weak = args.has("weak-scaling");
     let knobs = SearchKnobs::from_args(&args)?;
     let graph = build_model(&model, p, weak)?;
@@ -365,7 +396,13 @@ fn run() -> Result<(), String> {
             });
             let memory_limit = memory_limit.transpose()?;
             if args.get("algorithm") == Some("optcnn") {
-                let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
+                let tables = CostTables::build_mesh(
+                    &graph,
+                    ConfigRule::new(p),
+                    &mesh,
+                    &TableOptions::default(),
+                    None,
+                );
                 return match optcnn_search(&graph, &tables) {
                     ReductionOutcome::Reduced {
                         cost,
@@ -397,7 +434,7 @@ fn run() -> Result<(), String> {
                 .transpose()?;
             if args.has("frontier") || max_memory.is_some() {
                 let content =
-                    frontier_search(&graph, &model, p, &machine, memory_limit, max_memory, knobs)?;
+                    frontier_search(&graph, &model, p, &mesh, memory_limit, max_memory, knobs)?;
                 return emit(args.get("out"), &content);
             }
             // A trace is recorded whenever it has a consumer: an explicit
@@ -409,7 +446,7 @@ fn run() -> Result<(), String> {
                 cost,
                 stats,
                 intern_hit_rate,
-            } = search_strategy(&graph, p, &machine, memory_limit, knobs, trace.as_ref())?;
+            } = search_strategy(&graph, p, &mesh, memory_limit, knobs, trace.as_ref())?;
             if let Some(path) = args.get("trace-out") {
                 let t = trace.as_ref().expect("trace was created for --trace-out");
                 std::fs::write(path, chrome_trace_json(t))
@@ -457,9 +494,9 @@ fn run() -> Result<(), String> {
             }
         }
         "compare" => {
-            let topo = Topology::cluster(machine.clone(), p);
+            let topo = Topology::cluster(machine.clone(), p).map_err(|e| e.to_string())?;
             let opts = SimOptions::default();
-            let ours = search_strategy(&graph, p, &machine, None, knobs, None)?.strategy;
+            let ours = search_strategy(&graph, p, &mesh, None, knobs, None)?.strategy;
             let expert = match model.as_str() {
                 "rnnlm" | "rnnlm-unrolled" | "gnmt" => gnmt_expert(&graph, p),
                 "transformer" => mesh_tf_expert(&graph, p),
@@ -496,14 +533,15 @@ fn run() -> Result<(), String> {
                 &order,
                 pase_core::ConnectedSetMode::Exact,
             );
-            let tables = CostTables::build_with(
+            let tables = CostTables::build_mesh(
                 &graph,
                 ConfigRule::new(p),
-                &machine,
+                &mesh,
                 &TableOptions {
                     intern: knobs.intern,
                     ..TableOptions::default()
                 },
+                None,
             );
             let intern = tables.intern_stats();
             let hit_rate = match intern.hit_rate_opt() {
@@ -537,7 +575,7 @@ fn run() -> Result<(), String> {
             emit(args.get("out"), &content)?;
         }
         "export" => {
-            let strategy = search_strategy(&graph, p, &machine, None, knobs, None)?.strategy;
+            let strategy = search_strategy(&graph, p, &mesh, None, knobs, None)?.strategy;
             emit(args.get("out"), &to_sharding_json(&graph, &strategy))?;
         }
         "simulate" => {
@@ -551,7 +589,7 @@ fn run() -> Result<(), String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let strategy = from_sharding_json(&graph, &json)?;
             validate_strategy(&graph, &strategy, &ConfigRule::new(p))?;
-            let topo = Topology::cluster(machine.clone(), p);
+            let topo = Topology::cluster(machine.clone(), p).map_err(|e| e.to_string())?;
             let rep = simulate_step(&graph, &strategy, &topo, &SimOptions::default());
             let content = format!(
                 "model {model}, p = {p}, machine {}\n\
@@ -576,8 +614,8 @@ fn run() -> Result<(), String> {
         "trace" => {
             // Per-layer timing of the searched strategy: where does the
             // step time actually go?
-            let strategy = search_strategy(&graph, p, &machine, None, knobs, None)?.strategy;
-            let topo = Topology::cluster(machine.clone(), p);
+            let strategy = search_strategy(&graph, p, &mesh, None, knobs, None)?.strategy;
+            let topo = Topology::cluster(machine.clone(), p).map_err(|e| e.to_string())?;
             let (rep, mut rows) =
                 simulate_step_trace(&graph, &strategy, &topo, &SimOptions::default());
             let top: usize = args.get_or("top", 10)?;
@@ -626,7 +664,8 @@ fn run() -> Result<(), String> {
                     ..Default::default()
                 },
             )?;
-            let stage_topo = Topology::cluster(machine.clone(), plan.devices_per_stage);
+            let stage_topo = Topology::cluster(machine.clone(), plan.devices_per_stage)
+                .map_err(|e| e.to_string())?;
             let rep = simulate_pipeline(&graph, &plan, &stage_topo, &SimOptions::default());
             let mut content = format!(
                 "model {model}, p = {p}: {stages} stages x {} devices, \
@@ -701,10 +740,17 @@ fn run() -> Result<(), String> {
                 if copies == 0 {
                     return Err("--batch must be at least 1".into());
                 }
+                // With --machine-file the wire request carries the full
+                // mesh inline (the server has no file to read); a named
+                // profile travels as its registry name.
+                let machine_field = if args.get("machine-file").is_some() {
+                    mesh.to_json()
+                } else {
+                    format!("\"{}\"", machine.name)
+                };
                 let mut request = format!(
-                    "{{\"model\": \"{model}\", \"devices\": {p}, \"machine\": \"{}\", \
-                     \"weak_scaling\": {weak}",
-                    machine.name
+                    "{{\"model\": \"{model}\", \"devices\": {p}, \
+                     \"machine\": {machine_field}, \"weak_scaling\": {weak}"
                 );
                 if knobs.prune && knobs.prune_epsilon > 0.0 {
                     request.push_str(&format!(
@@ -803,16 +849,73 @@ mod tests {
 
     #[test]
     fn machine_profiles_resolve() {
-        assert_eq!(machine_profile("1080ti").unwrap().name, "1080ti");
-        assert_eq!(machine_profile("2080ti").unwrap().name, "2080ti");
-        assert!(machine_profile("v100").is_err());
+        for name in MachineSpec::known_names() {
+            assert_eq!(machine_profile(&name).unwrap().name, name);
+        }
+        // Unknown names fail with the full registry listing, so the
+        // message stays correct as profiles are added.
+        let err = machine_profile("v100").unwrap_err();
+        for name in MachineSpec::known_names() {
+            assert!(err.contains(&name), "{err}");
+        }
+    }
+
+    #[test]
+    fn machine_file_overrides_the_profile_and_rejects_bad_meshes() {
+        let dir = std::env::temp_dir().join("pase-cli-machine-file-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("mesh.json");
+        std::fs::write(
+            &good,
+            "{\"name\": \"testbed\", \"axes\": [\
+             {\"name\": \"gpu\", \"size\": 4, \"alpha\": 5e-6, \
+              \"bandwidth\": 1e10, \"peak_flops\": 1e13},\
+             {\"name\": \"node\", \"size\": 2, \"alpha\": 15e-6, \
+              \"bandwidth\": 1e9, \"peak_flops\": 1e13}]}",
+        )
+        .unwrap();
+        let argv = |path: &str| {
+            Args::parse(
+                ["search", "--machine-file", path]
+                    .into_iter()
+                    .map(str::to_string),
+            )
+            .unwrap()
+        };
+        let (machine, mesh) = machine_and_mesh(&argv(good.to_str().unwrap())).unwrap();
+        assert_eq!(mesh.name, "testbed");
+        assert_eq!(mesh.axes.len(), 2);
+        // The simulator-facing spec degrades to the mesh's weakest links.
+        assert_eq!(machine.name, "testbed");
+        assert_eq!(machine.internode_bandwidth, 1e9);
+
+        // Without --machine-file the named profile wins, on its flat mesh.
+        let (machine, mesh) = machine_and_mesh(&Args::default()).unwrap();
+        assert_eq!(machine.name, "1080ti");
+        assert_eq!(mesh, DeviceMesh::flat(&MachineSpec::gtx1080ti()));
+
+        // Hostile meshes are clean errors naming the file, not panics.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"name\": \"x\", \"axes\": []}").unwrap();
+        let err = machine_and_mesh(&argv(bad.to_str().unwrap())).unwrap_err();
+        assert!(err.contains("invalid machine file"), "{err}");
+        let err = machine_and_mesh(&argv("/nonexistent/mesh.json")).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 
     #[test]
     fn search_strategy_produces_complete_cover() {
         let g = build_model("mlp", 4, false).unwrap();
         let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
-        let s = search_strategy(&g, 4, &MachineSpec::gtx1080ti(), None, knobs, None).unwrap();
+        let s = search_strategy(
+            &g,
+            4,
+            &DeviceMesh::flat(&MachineSpec::gtx1080ti()),
+            None,
+            knobs,
+            None,
+        )
+        .unwrap();
         assert_eq!(s.strategy.len(), g.len());
         assert!(s.cost > 0.0);
         assert!(s.stats.max_configs > 0);
@@ -823,7 +926,7 @@ mod tests {
     fn frontier_search_matches_the_scalar_optimum_and_rejects_impossible_caps() {
         let g = build_model("mlp", 4, false).unwrap();
         let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
-        let m = MachineSpec::gtx1080ti();
+        let m = DeviceMesh::flat(&MachineSpec::gtx1080ti());
         let scalar = search_strategy(&g, 4, &m, None, knobs, None).unwrap();
         let content = frontier_search(&g, "mlp", 4, &m, None, None, knobs).unwrap();
         assert!(content.contains("Pareto frontier"));
@@ -844,7 +947,8 @@ mod tests {
         let g = build_model("mlp", 8, false).unwrap();
         let knobs = SearchKnobs::from_args(&Args::default()).unwrap();
         let trace = Trace::new();
-        let stats = search_strategy(&g, 8, &MachineSpec::gtx1080ti(), None, knobs, Some(&trace))
+        let mesh = DeviceMesh::flat(&MachineSpec::gtx1080ti());
+        let stats = search_strategy(&g, 8, &mesh, None, knobs, Some(&trace))
             .unwrap()
             .stats;
         let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
@@ -951,7 +1055,7 @@ mod tests {
     #[test]
     fn capped_threads_and_no_intern_match_defaults() {
         let g = build_model("mlp", 4, false).unwrap();
-        let m = MachineSpec::gtx1080ti();
+        let m = DeviceMesh::flat(&MachineSpec::gtx1080ti());
         let base = search_strategy(
             &g,
             4,

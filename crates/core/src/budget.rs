@@ -79,8 +79,8 @@ pub struct SearchStats {
     /// search actually ran on (the post-pruning K when pruning ran).
     pub max_configs: usize,
     /// `K` before dominance pruning. Equal to `max_configs` when the search
-    /// ran on unpruned tables; strictly larger when
-    /// [`crate::find_best_strategy_pruned`] removed configurations.
+    /// ran on unpruned tables; strictly larger when the dominance prune of
+    /// [`crate::Search::pruning`] removed configurations.
     pub k_before: usize,
     /// Wall-clock time of the dominance-pruning pass (zero when no pruning
     /// ran).
@@ -123,6 +123,10 @@ pub struct SearchStats {
     /// Number of Pareto points on the strategy frontier the search
     /// produced. `0` for a scalar (non-frontier) search.
     pub frontier_len: usize,
+    /// Number of axes of the [`pase_cost::DeviceMesh`] the cost tables
+    /// were built against (1 = flat scalar-equivalent mesh; `0` only on
+    /// stats that never reached a table build).
+    pub mesh_axes: usize,
     /// Peak per-device memory in bytes of the returned strategy under the
     /// additive model of [`pase_cost::config_memory_bytes`]. `0` on stats
     /// that never reached a result.

@@ -58,7 +58,8 @@ use std::time::Instant;
 /// deadline checks.
 const CHUNK: usize = 4096;
 
-/// Options for [`find_best_strategy`].
+/// Options for the DP engine, assembled by [`crate::Search`] from its
+/// builder knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct DpOptions {
     /// Vertex ordering (GenerateSeq by default).
@@ -438,44 +439,6 @@ pub(crate) fn child_coefs(plans: &[Plan], structure: &VertexStructure, i: usize)
         .collect()
 }
 
-/// Compute the best parallelization strategy for `graph` under the cost
-/// model captured by `tables` (Theorem 1: the returned cost equals
-/// `min_φ F(G, φ)` over the enumerated configuration space).
-///
-/// Deprecated: configure the same search as
-/// `Search::new(&graph).tables(&tables).dp_options(opts).run()` — see
-/// [`crate::Search`] for the full builder. This wrapper delegates there
-/// and is bit-identical by construction.
-#[deprecated(since = "0.2.0", note = "use pase_core::Search::new(..).run() instead")]
-pub fn find_best_strategy(graph: &Graph, tables: &CostTables, opts: &DpOptions) -> SearchOutcome {
-    crate::Search::new(graph)
-        .tables(tables)
-        .dp_options(*opts)
-        .run()
-        .into_outcome()
-}
-
-/// [`find_best_strategy`] with phase spans and counters recorded into
-/// `trace`.
-///
-/// Deprecated: use [`crate::Search`] with [`crate::Search::trace`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use pase_core::Search::new(..).trace(&trace).run() instead"
-)]
-pub fn find_best_strategy_traced(
-    graph: &Graph,
-    tables: &CostTables,
-    opts: &DpOptions,
-    trace: Option<&Trace>,
-) -> SearchOutcome {
-    let mut s = crate::Search::new(graph).tables(tables).dp_options(*opts);
-    if let Some(t) = trace {
-        s = s.trace(t);
-    }
-    s.run().into_outcome()
-}
-
 /// The DP engine behind [`crate::Search`]: ordering + structure
 /// construction, budget-accounted planning, wavefront-parallel (or
 /// sequential) table fill, and back-substitution, with phase spans and a
@@ -839,16 +802,18 @@ pub(crate) fn run_with_structure(
     }))
 }
 
-/// [`find_best_strategy`] over a dominance-pruned configuration space.
+/// The prune-then-search pipeline behind [`crate::Search::pruning`]: a
+/// [`pase_obs::phase::PRUNE`] span for the dominance-pruning pass plus
+/// everything [`run_with_structure`] records for the DP proper.
 ///
 /// Prunes `tables` first (see [`PrunedTables`]), runs the DP on the
 /// compacted tables — every dependent-set table is `∏ |C(w)|` entries wide,
 /// so the pruned `K` shrinks table sizes, fill work, and the budget
 /// accounting multiplicatively — and maps the argmin configuration ids back
 /// into the id space of the `tables` passed in. With `prune.epsilon == 0.0`
-/// the pruning is exact and the returned cost is bit-identical to
-/// [`find_best_strategy`] on the unpruned tables; with a positive ε it is
-/// only guaranteed within `(1 + ε)` of the true optimum.
+/// the pruning is exact and the returned cost is bit-identical to the
+/// unpruned DP on the same tables; with a positive ε it is only guaranteed
+/// within `(1 + ε)` of the true optimum.
 ///
 /// `stats.k_before` reports the pre-pruning `K` (while `stats.max_configs`
 /// is the pruned `K` the DP actually saw) and `stats.prune_time` the cost
@@ -856,54 +821,6 @@ pub(crate) fn run_with_structure(
 /// in the reported `stats.elapsed`. If pruning alone exhausts the time
 /// budget the outcome is [`SearchOutcome::Timeout`] — the DP is never
 /// entered with a zero budget.
-///
-/// Deprecated: use [`crate::Search`] with [`crate::Search::pruning`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use pase_core::Search::new(..).pruning(opts).run() instead"
-)]
-pub fn find_best_strategy_pruned(
-    graph: &Graph,
-    tables: &CostTables,
-    opts: &DpOptions,
-    prune: &PruneOptions,
-) -> SearchOutcome {
-    crate::Search::new(graph)
-        .tables(tables)
-        .dp_options(*opts)
-        .pruning(*prune)
-        .run()
-        .into_outcome()
-}
-
-/// [`find_best_strategy_pruned`] with phase spans recorded into `trace`.
-///
-/// Deprecated: use [`crate::Search`] with [`crate::Search::pruning`] and
-/// [`crate::Search::trace`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use pase_core::Search::new(..).pruning(opts).trace(&trace).run() instead"
-)]
-pub fn find_best_strategy_pruned_traced(
-    graph: &Graph,
-    tables: &CostTables,
-    opts: &DpOptions,
-    prune: &PruneOptions,
-    trace: Option<&Trace>,
-) -> SearchOutcome {
-    let mut s = crate::Search::new(graph)
-        .tables(tables)
-        .dp_options(*opts)
-        .pruning(*prune);
-    if let Some(t) = trace {
-        s = s.trace(t);
-    }
-    s.run().into_outcome()
-}
-
-/// The prune-then-search pipeline behind [`crate::Search::pruning`]: a
-/// [`pase_obs::phase::PRUNE`] span for the dominance-pruning pass plus
-/// everything [`run_with_structure`] records for the DP proper.
 ///
 /// The caller-supplied [`VertexStructure`] (if any) is table-independent,
 /// so the one the adaptive gate built for its estimate drives the pruned

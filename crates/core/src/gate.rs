@@ -159,7 +159,7 @@ mod tests {
         use pase_cost::{estimate_prune_work, ConfigRule, MachineSpec};
         use pase_models::Benchmark;
 
-        let mut decide = |bench: Benchmark, p: u32| -> bool {
+        let decide = |bench: Benchmark, p: u32| -> bool {
             let graph = bench.build_for(p);
             let tables = CostTables::build(&graph, ConfigRule::new(p), &MachineSpec::gtx1080ti());
             let order = make_ordering(&graph, OrderingKind::GenerateSeq);

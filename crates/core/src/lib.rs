@@ -15,8 +15,10 @@
 //!   rayon-parallel substrategy loops, optional dominance pruning and
 //!   tracing, strategy extraction by back-substitution, and explicit
 //!   time/memory budgets whose exhaustion reproduces the `OOM` entries of
-//!   Table I (the legacy `find_best_strategy*` free functions remain as
-//!   deprecated wrappers that delegate to it);
+//!   Table I — it is the sole search entry point (the legacy
+//!   `find_best_strategy*` free-function grid has been removed), and costs
+//!   against a [`pase_cost::DeviceMesh`] (flat single-axis meshes
+//!   reproduce the scalar machine model bit-identically);
 //! * [`DpKernel`] — the DP's inner-loop implementations: today's scalar
 //!   per-entry loop, and the packed/tiled min-plus microkernel
 //!   ([`kernel`]) that treats the combine step as a GEMM-shaped min-plus
@@ -45,11 +47,6 @@ mod structure;
 
 pub use brute::{brute_force, brute_force_pruned, random_strategy_costs};
 pub use budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats, DP_ENTRY_BYTES};
-#[allow(deprecated)]
-pub use dp::{
-    find_best_strategy, find_best_strategy_pruned, find_best_strategy_pruned_traced,
-    find_best_strategy_traced,
-};
 pub use dp::{naive_best_strategy, DpOptions};
 pub use error::Error;
 pub use frontier::{FrontierPoint, StrategyFrontier};

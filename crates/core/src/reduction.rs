@@ -313,8 +313,8 @@ pub fn optcnn_search(graph: &Graph, tables: &CostTables) -> ReductionOutcome {
 }
 
 /// [`optcnn_search`] over a dominance-pruned configuration space, so the
-/// OptCNN comparison runs on the same pruned view as
-/// [`crate::find_best_strategy_pruned`]. Reducibility is a property of the
+/// OptCNN comparison runs on the same pruned view as a pruning
+/// [`crate::Search`]. Reducibility is a property of the
 /// graph alone, so pruning never changes *whether* the search succeeds —
 /// only how much work the eliminations do. Returned ids are mapped back
 /// into the original `tables`' id space.

@@ -22,8 +22,11 @@ use std::time::Duration;
 /// interning never ran, distinct from a measured 0%) and added
 /// `stats.dp_kernel`. 3 added the frontier fields
 /// (`stats.frontier_len`, `stats.peak_strategy_bytes`) and the
-/// `"infeasible"` outcome tag of memory-constrained searches.
-pub const SCHEMA_VERSION: u64 = 3;
+/// `"infeasible"` outcome tag of memory-constrained searches. 4
+/// introduced topology-aware device meshes: `stats.mesh_axes`, the wire
+/// protocol's inline `"machine"` object, and a cache key that hashes the
+/// full mesh-axis list instead of three scalar machine rates.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Aggregated wall time of one pipeline phase.
 #[derive(Clone, Debug, PartialEq)]
@@ -99,7 +102,7 @@ impl SearchReport {
              \"prune_skipped\": {}, \
              \"gate_dp_est\": {}, \"gate_prune_est\": {}, \
              \"frontier_len\": {}, \"peak_strategy_bytes\": {}, \
-             \"elapsed\": {}}}",
+             \"mesh_axes\": {}, \"elapsed\": {}}}",
             s.max_dependent_set,
             s.max_configs,
             s.k_before,
@@ -117,6 +120,7 @@ impl SearchReport {
             s.gate_prune_est,
             s.frontier_len,
             s.peak_strategy_bytes,
+            s.mesh_axes,
             json::number(s.elapsed.as_secs_f64())
         );
         out.push_str(", \"phases\": {");
@@ -202,7 +206,8 @@ mod tests {
         let r = SearchReport::new("trans\"former", 64, &found_outcome(), None);
         let js = r.to_json();
         assert!(js.starts_with('{') && js.ends_with('}'));
-        assert!(js.starts_with("{\"schema_version\": 3"));
+        assert!(js.starts_with("{\"schema_version\": 4"));
+        assert!(js.contains("\"mesh_axes\": 0"));
         assert!(js.contains("\"model\": \"trans\\\"former\""));
         assert!(js.contains("\"devices\": 64"));
         assert!(js.contains("\"cost\": 42.5"));

@@ -13,8 +13,12 @@
 //! Every knob is optional; the defaults reproduce the paper's standard
 //! configuration (GenerateSeq ordering, exact connected sets, wavefront-
 //! parallel fill, GTX 1080 Ti profile, 8 devices, no pruning, no trace).
-//! The legacy free functions still exist as `#[deprecated]` wrappers that
-//! delegate here and are bit-identical by construction.
+//! The legacy free-function grid has been removed; this builder is the
+//! only entry point. Machines are modeled as [`pase_cost::DeviceMesh`]es —
+//! [`Search::machine`] wraps a scalar profile in its flat single-axis
+//! mesh (bit-identical to the historical scalar model), while
+//! [`Search::mesh`] runs the topology-aware cost model on a hierarchical
+//! mesh.
 
 use crate::budget::{SearchBudget, SearchOutcome, SearchResult, SearchStats};
 use crate::dp::{run_pruned_with_structure, run_with_structure, DpOptions};
@@ -27,8 +31,8 @@ use crate::kernel::DpKernel;
 use crate::ordering::{make_ordering, OrderingKind};
 use crate::structure::{ConnectedSetMode, VertexStructure};
 use pase_cost::{
-    estimate_prune_work, ConfigRule, ConfigSpace, CostTables, MachineSpec, NonFiniteCost,
-    PruneOptions, TableOptions,
+    estimate_prune_work, ConfigRule, ConfigSpace, CostTables, DeviceMesh, MachineSpec,
+    NonFiniteCost, PruneOptions, TableOptions,
 };
 use pase_graph::{Graph, GraphError};
 use pase_obs::{phase, span_in, OptSpan, Trace};
@@ -67,7 +71,7 @@ use std::fmt;
 pub struct Search<'a> {
     graph: &'a Graph,
     devices: u32,
-    machine: MachineSpec,
+    mesh: DeviceMesh,
     rule: Option<ConfigRule>,
     table_opts: TableOptions,
     space: Option<&'a ConfigSpace>,
@@ -87,7 +91,7 @@ impl<'a> Search<'a> {
         Self {
             graph,
             devices: 8,
-            machine: MachineSpec::gtx1080ti(),
+            mesh: DeviceMesh::flat(&MachineSpec::gtx1080ti()),
             rule: None,
             table_opts: TableOptions::default(),
             space: None,
@@ -108,9 +112,19 @@ impl<'a> Search<'a> {
         self
     }
 
-    /// Machine profile (default [`MachineSpec::gtx1080ti`]).
+    /// Machine profile (default [`MachineSpec::gtx1080ti`]), costed as its
+    /// flat single-axis [`DeviceMesh`] — bit-identical to the historical
+    /// scalar `r = F/B` model.
     pub fn machine(mut self, m: MachineSpec) -> Self {
-        self.machine = m;
+        self.mesh = DeviceMesh::flat(&m);
+        self
+    }
+
+    /// Hierarchical device mesh to cost against — the topology-aware
+    /// model: each collective is charged at the slowest link its group
+    /// spans, plus per-ring-step latency. Overrides [`Search::machine`].
+    pub fn mesh(mut self, mesh: DeviceMesh) -> Self {
+        self.mesh = mesh;
         self
     }
 
@@ -259,17 +273,17 @@ impl<'a> Search<'a> {
             None => {
                 let rule = self.rule.unwrap_or_else(|| ConfigRule::new(self.devices));
                 let built = match self.space {
-                    Some(space) => CostTables::build_with_space(
+                    Some(space) => CostTables::build_mesh_with_space(
                         self.graph,
                         rule,
-                        &self.machine,
+                        &self.mesh,
                         space,
                         &self.table_opts,
                     ),
-                    None => CostTables::build_traced(
+                    None => CostTables::build_mesh(
                         self.graph,
                         rule,
-                        &self.machine,
+                        &self.mesh,
                         &self.table_opts,
                         self.trace,
                     ),
@@ -364,6 +378,7 @@ impl<'a> Search<'a> {
                 FrontierFill::Abort(o) => (o, None),
             };
             apply_gate_stats(&mut outcome, gate_stats);
+            stats_of(&mut outcome).mesh_axes = tables.get().mesh().axes.len();
             return SearchRun {
                 outcome: Ok(outcome),
                 tables,
@@ -383,6 +398,7 @@ impl<'a> Search<'a> {
         };
         if let Ok(outcome) = &mut outcome {
             apply_gate_stats(outcome, gate_stats);
+            stats_of(outcome).mesh_axes = tables.get().mesh().axes.len();
             if let SearchOutcome::Found(r) = outcome {
                 r.stats.peak_strategy_bytes = tables.get().strategy_memory_bytes(&r.config_ids);
             }
@@ -395,16 +411,21 @@ impl<'a> Search<'a> {
     }
 }
 
+/// The stats of whichever variant the outcome carries.
+fn stats_of(outcome: &mut SearchOutcome) -> &mut SearchStats {
+    match outcome {
+        SearchOutcome::Found(r) => &mut r.stats,
+        SearchOutcome::Oom { stats, .. }
+        | SearchOutcome::Timeout { stats }
+        | SearchOutcome::Infeasible { stats, .. } => stats,
+    }
+}
+
 /// Fold the `PruneGate::Auto` telemetry into whichever stats the outcome
 /// carries (no-op when the gate did not run).
 fn apply_gate_stats(outcome: &mut SearchOutcome, gate_stats: Option<(bool, u64, u64)>) {
     if let Some((skipped, dp_est, prune_est)) = gate_stats {
-        let stats = match outcome {
-            SearchOutcome::Found(r) => &mut r.stats,
-            SearchOutcome::Oom { stats, .. }
-            | SearchOutcome::Timeout { stats }
-            | SearchOutcome::Infeasible { stats, .. } => stats,
-        };
+        let stats = stats_of(outcome);
         stats.prune_skipped = skipped;
         stats.gate_dp_est = dp_est;
         stats.gate_prune_est = prune_est;
@@ -717,7 +738,7 @@ mod tests {
         // such tables used to poison the prune and the argmin silently.
         let g = chain2();
         let hostile = MachineSpec {
-            name: "hostile",
+            name: "hostile".to_string(),
             peak_flops: 1.0,
             link_bandwidth: 0.0,
             internode_bandwidth: 0.0,

@@ -86,7 +86,7 @@ pub fn fit_machine(observations: &[Observation]) -> Result<MachineSpec, String> 
         return Err(format!("fit is non-physical: 1/F = {x:.3e}, 1/B = {y:.3e}"));
     }
     Ok(MachineSpec {
-        name: "calibrated",
+        name: "calibrated".to_string(),
         peak_flops: 1.0 / x,
         link_bandwidth: 1.0 / y,
         internode_bandwidth: 1.0 / y,

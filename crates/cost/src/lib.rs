@@ -12,6 +12,11 @@
 //! * [`MachineSpec`] — peak per-device FLOPs `F`, link bandwidth `B`, and
 //!   the FLOP-to-byte ratio `r = F/B` that converts communication bytes
 //!   into FLOP-equivalent cost;
+//! * [`DeviceMesh`] — the hierarchical refinement of [`MachineSpec`]: a
+//!   list of mesh axes (innermost first) with per-link α/bandwidth and
+//!   per-device FLOPs, charging each collective at the slowest link its
+//!   group spans; [`DeviceMesh::flat`] reproduces the scalar model
+//!   bit-identically;
 //! * [`layer_cost`] — `t_l(v, φ, r)`: compute divided by the split product,
 //!   plus intra-layer communication (gradient all-reduce, partial-sum
 //!   reduction of split contraction dims, convolution halo exchange, RNN
@@ -35,6 +40,7 @@ mod export;
 mod layer;
 mod machine;
 mod memory;
+mod mesh;
 mod prune;
 mod sharding;
 mod strategy;
@@ -51,6 +57,7 @@ pub use export::{from_sharding_json, to_sharding_json, to_sharding_json_with};
 pub use layer::layer_cost;
 pub use machine::MachineSpec;
 pub use memory::config_memory_bytes;
+pub use mesh::{mesh_layer_cost, mesh_transfer_cost, DeviceMesh, MeshAxis};
 pub use prune::{estimate_prune_work, PruneOptions, PruneStats, PrunedTables};
 pub use sharding::{replication, shard_bytes, shard_elements, tensor_sharding};
 pub use strategy::{evaluate, validate_strategy, Strategy};

@@ -12,8 +12,9 @@ use serde::{Deserialize, Serialize};
 /// Per-device compute and per-link communication characteristics.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MachineSpec {
-    /// Profile name (reports / logs).
-    pub name: &'static str,
+    /// Profile name (reports / logs). Owned, so calibrated fits, wire
+    /// requests, and `--machine-file` profiles can carry arbitrary names.
+    pub name: String,
     /// Peak FLOP/s per device (`F`).
     pub peak_flops: f64,
     /// Intra-node per-link bandwidth in bytes/s (`B`) — the bandwidth the
@@ -37,7 +38,7 @@ impl MachineSpec {
     /// linked by InfiniBand. Relatively high machine balance.
     pub fn gtx1080ti() -> Self {
         Self {
-            name: "1080ti",
+            name: "1080ti".to_string(),
             peak_flops: 11.3e12,
             link_bandwidth: 12.0e9,
             internode_bandwidth: 6.0e9,
@@ -50,7 +51,7 @@ impl MachineSpec {
     /// paper sees up to 4× gains over data parallelism there.
     pub fn rtx2080ti() -> Self {
         Self {
-            name: "2080ti",
+            name: "2080ti".to_string(),
             peak_flops: 13.4e12,
             link_bandwidth: 5.0e9,
             internode_bandwidth: 6.0e9,
@@ -61,11 +62,11 @@ impl MachineSpec {
     /// FLOP and bandwidth, of the weakest computation node and
     /// communication link, respectively, are used to compute t_l and t_x,
     /// as they form the primary bottlenecks."
-    pub fn heterogeneous(name: &'static str, members: &[MachineSpec]) -> Self {
+    pub fn heterogeneous(name: impl Into<String>, members: &[MachineSpec]) -> Self {
         assert!(!members.is_empty(), "need at least one member profile");
         let min = |f: fn(&MachineSpec) -> f64| members.iter().map(f).fold(f64::INFINITY, f64::min);
         Self {
-            name,
+            name: name.into(),
             peak_flops: min(|m| m.peak_flops),
             link_bandwidth: min(|m| m.link_bandwidth),
             internode_bandwidth: min(|m| m.internode_bandwidth),
@@ -75,23 +76,29 @@ impl MachineSpec {
     /// A neutral test machine with `r = 1000` and symmetric links.
     pub fn test_machine() -> Self {
         Self {
-            name: "test",
+            name: "test".to_string(),
             peak_flops: 1.0e12,
             link_bandwidth: 1.0e9,
             internode_bandwidth: 1.0e9,
         }
     }
 
+    /// The built-in profile registry, in presentation order.
+    pub fn profiles() -> Vec<Self> {
+        vec![Self::gtx1080ti(), Self::rtx2080ti(), Self::test_machine()]
+    }
+
+    /// Names of every registered profile — what the CLI and the planner
+    /// service list in their unknown-machine errors.
+    pub fn known_names() -> Vec<String> {
+        Self::profiles().into_iter().map(|m| m.name).collect()
+    }
+
     /// Resolve a cluster profile by its [`MachineSpec::name`] — the shared
     /// lookup behind the CLI's `--machine` flag and the planner service's
     /// `"machine"` request field.
     pub fn by_name(name: &str) -> Option<Self> {
-        match name {
-            "1080ti" => Some(Self::gtx1080ti()),
-            "2080ti" => Some(Self::rtx2080ti()),
-            "test" => Some(Self::test_machine()),
-            _ => None,
-        }
+        Self::profiles().into_iter().find(|m| m.name == name)
     }
 }
 
@@ -138,5 +145,17 @@ mod tests {
             assert!(m.link_bandwidth > 0.0);
             assert!(m.internode_bandwidth > 0.0);
         }
+    }
+
+    #[test]
+    fn registry_resolves_every_known_name() {
+        for name in MachineSpec::known_names() {
+            assert_eq!(MachineSpec::by_name(&name).unwrap().name, name);
+        }
+        assert!(MachineSpec::by_name("gtx9000").is_none());
+        assert_eq!(
+            MachineSpec::known_names().join(", "),
+            "1080ti, 2080ti, test"
+        );
     }
 }

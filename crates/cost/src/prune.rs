@@ -391,6 +391,7 @@ impl PrunedTables {
             tables: CostTables {
                 rule: tables.rule,
                 r: tables.r,
+                mesh: tables.mesh.clone(),
                 node_class,
                 layer_pool,
                 edge_class,
@@ -403,7 +404,7 @@ impl PrunedTables {
     }
 
     /// The compacted cost tables over the surviving configurations. Every
-    /// search engine (`find_best_strategy`, `brute_force`, `optcnn_search`)
+    /// search engine (the `Search` DP, `brute_force`, `optcnn_search`)
     /// consumes this exactly like an unpruned build — table sizes, and with
     /// them the DP's `K^{M+1}` budget accounting, shrink multiplicatively.
     pub fn tables(&self) -> &CostTables {

@@ -22,10 +22,9 @@
 //! are produced by the very same computation.
 
 use crate::config::{enumerate_configs, Config, ConfigRule};
-use crate::layer::layer_cost;
 use crate::machine::MachineSpec;
+use crate::mesh::{mesh_layer_cost, mesh_transfer_cost, DeviceMesh};
 use crate::strategy::Strategy;
-use crate::transfer::transfer_bytes;
 use pase_graph::{EdgeId, Graph, IterDim, Node, NodeId, OpKind};
 use pase_obs::{phase, span_in, OptSpan, Trace};
 use rayon::prelude::*;
@@ -212,11 +211,12 @@ where
 }
 
 /// Precomputed configuration lists and cost tables for a (graph, rule,
-/// machine) triple.
+/// mesh) triple.
 #[derive(Clone, Debug)]
 pub struct CostTables {
     pub(crate) rule: ConfigRule,
     pub(crate) r: f64,
+    pub(crate) mesh: DeviceMesh,
     /// Node → index into `layer_pool`.
     pub(crate) node_class: Vec<u32>,
     pub(crate) layer_pool: Vec<LayerEntry>,
@@ -231,7 +231,9 @@ pub struct CostTables {
 impl CostTables {
     /// Enumerate all configurations and precompute every cost entry, with
     /// structural interning and parallel table construction (the defaults
-    /// of [`TableOptions`]).
+    /// of [`TableOptions`]). The scalar `machine` is costed as its flat
+    /// single-axis mesh ([`DeviceMesh::flat`]) — bit-identical to the
+    /// historical `compute + r·bytes` model.
     pub fn build(graph: &Graph, rule: ConfigRule, machine: &MachineSpec) -> Self {
         Self::build_with(graph, rule, machine, &TableOptions::default())
     }
@@ -243,35 +245,35 @@ impl CostTables {
         machine: &MachineSpec,
         opts: &TableOptions,
     ) -> Self {
-        Self::build_traced(graph, rule, machine, opts, None)
+        Self::build_mesh(graph, rule, &DeviceMesh::flat(machine), opts, None)
     }
 
-    /// [`CostTables::build_with`], recording `interning` / `enumeration` /
-    /// `table_build` phase spans (with entry and byte counters) into
-    /// `trace` when one is given. The produced tables are identical with
-    /// and without a trace.
-    pub fn build_traced(
+    /// Build topology-aware tables for a [`DeviceMesh`], recording
+    /// `interning` / `enumeration` / `table_build` phase spans (with entry
+    /// and byte counters) into `trace` when one is given. The produced
+    /// tables are identical with and without a trace.
+    pub fn build_mesh(
         graph: &Graph,
         rule: ConfigRule,
-        machine: &MachineSpec,
+        mesh: &DeviceMesh,
         opts: &TableOptions,
         trace: Option<&Trace>,
     ) -> Self {
-        Self::build_impl(graph, rule, machine, opts, trace, |v| {
+        Self::build_impl(graph, rule, mesh, opts, trace, |v| {
             enumerate_configs(graph.node(v), &rule)
         })
     }
 
-    /// [`CostTables::build_with`] over a pre-enumerated [`ConfigSpace`].
+    /// [`CostTables::build_mesh`] over a pre-enumerated [`ConfigSpace`].
     ///
     /// The space must cover the same graph and have been built under the
     /// same `rule` — sweeps that reuse one enumeration across several
-    /// machine profiles (figure6) call this to skip the redundant
-    /// `enumerate_configs` passes.
-    pub fn build_with_space(
+    /// machine profiles (figure6, the mesh sweep of `bench_search`) call
+    /// this to skip the redundant `enumerate_configs` passes.
+    pub fn build_mesh_with_space(
         graph: &Graph,
         rule: ConfigRule,
-        machine: &MachineSpec,
+        mesh: &DeviceMesh,
         space: &crate::config::ConfigSpace,
         opts: &TableOptions,
     ) -> Self {
@@ -280,7 +282,7 @@ impl CostTables {
             graph.len(),
             "ConfigSpace does not cover the graph"
         );
-        Self::build_impl(graph, rule, machine, opts, None, |v| {
+        Self::build_impl(graph, rule, mesh, opts, None, |v| {
             space.configs_of(v).to_vec()
         })
     }
@@ -288,12 +290,12 @@ impl CostTables {
     fn build_impl(
         graph: &Graph,
         rule: ConfigRule,
-        machine: &MachineSpec,
+        mesh: &DeviceMesh,
         opts: &TableOptions,
         trace: Option<&Trace>,
         configs_for: impl Fn(NodeId) -> Vec<Config> + Sync,
     ) -> Self {
-        let r = machine.flop_byte_ratio();
+        let r = mesh.ratio_for_group(1);
 
         // Phase 1 — interning: node classes (one per distinct structural
         // key when interning, one per node otherwise; `layer_reps[class]`
@@ -386,7 +388,10 @@ impl CostTables {
             opts.parallel,
             |(v, configs)| {
                 let n = graph.node(v);
-                let costs = configs.iter().map(|c| layer_cost(n, c, r)).collect();
+                let costs = configs
+                    .iter()
+                    .map(|c| mesh_layer_cost(n, c, mesh))
+                    .collect();
                 let mem = configs
                     .iter()
                     .map(|c| crate::memory::config_memory_bytes(n, c))
@@ -407,7 +412,14 @@ impl CostTables {
             let mut costs = Vec::with_capacity(cu_list.len() * cv_list.len());
             for cu in cu_list {
                 for cv in cv_list {
-                    costs.push(r * transfer_bytes(src, cu, dst, e.dst_slot as usize, cv));
+                    costs.push(mesh_transfer_cost(
+                        src,
+                        cu,
+                        dst,
+                        e.dst_slot as usize,
+                        cv,
+                        mesh,
+                    ));
                 }
             }
             EdgeTable {
@@ -426,6 +438,7 @@ impl CostTables {
         Self {
             rule,
             r,
+            mesh: mesh.clone(),
             node_class,
             layer_pool,
             edge_class,
@@ -439,9 +452,16 @@ impl CostTables {
         &self.rule
     }
 
-    /// The machine's FLOP-to-byte ratio `r`.
+    /// The innermost-axis FLOP-to-byte ratio `r` — on flat meshes, the
+    /// scalar machine balance the historical model used everywhere.
     pub fn flop_byte_ratio(&self) -> f64 {
         self.r
+    }
+
+    /// The device mesh the tables were costed against (a flat single-axis
+    /// mesh when built from a scalar [`MachineSpec`]).
+    pub fn mesh(&self) -> &DeviceMesh {
+        &self.mesh
     }
 
     /// Number of nodes covered.
@@ -926,7 +946,7 @@ mod tests {
         // these silently poisoned the dominance prune and the DP argmin.
         let g = fc_chain(2);
         let hostile = MachineSpec {
-            name: "hostile",
+            name: "hostile".to_string(),
             peak_flops: 1.0,
             link_bandwidth: 0.0,
             internode_bandwidth: 0.0,
@@ -946,8 +966,13 @@ mod tests {
         let rule = ConfigRule::new(8);
         let m = MachineSpec::test_machine();
         let space = crate::config::ConfigSpace::build(&g, &rule);
-        let from_space =
-            CostTables::build_with_space(&g, rule, &m, &space, &TableOptions::default());
+        let from_space = CostTables::build_mesh_with_space(
+            &g,
+            rule,
+            &DeviceMesh::flat(&m),
+            &space,
+            &TableOptions::default(),
+        );
         let direct = CostTables::build(&g, rule, &m);
         for v in g.node_ids() {
             assert_eq!(from_space.configs_of(v), direct.configs_of(v));

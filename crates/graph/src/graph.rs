@@ -26,6 +26,12 @@ pub enum GraphError {
     /// An edge references a slot that the destination node does not declare,
     /// or a slot is fed by more than one edge / left unconnected.
     InvalidEdge(String),
+    /// A cluster/topology shape is degenerate (zero devices or nodes).
+    /// Raised by consumers that validate execution shapes (e.g. the
+    /// simulator's `Topology`) rather than by [`GraphBuilder::build`]
+    /// itself, so shape violations flow through the same error channel as
+    /// graph violations instead of panicking.
+    InvalidShape(String),
 }
 
 impl fmt::Display for GraphError {
@@ -33,6 +39,7 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::InvalidNode(m) => write!(f, "invalid node: {m}"),
             GraphError::InvalidEdge(m) => write!(f, "invalid edge: {m}"),
+            GraphError::InvalidShape(m) => write!(f, "invalid shape: {m}"),
         }
     }
 }

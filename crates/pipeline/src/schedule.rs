@@ -99,7 +99,7 @@ mod tests {
             },
         )
         .unwrap();
-        let topo = Topology::cluster(machine, 8);
+        let topo = Topology::cluster(machine, 8).unwrap();
         let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
         assert_eq!(rep.boundary_bytes, 0.0);
         assert_eq!(rep.bubble_factor, 1.0);
@@ -124,7 +124,7 @@ mod tests {
                 },
             )
             .unwrap();
-            let topo = Topology::cluster(machine.clone(), p / stages as u32);
+            let topo = Topology::cluster(machine.clone(), p / stages as u32).unwrap();
             simulate_pipeline(&g, &plan, &topo, &SimOptions::default())
         };
         let two = mk(2);
@@ -157,7 +157,7 @@ mod tests {
                 },
             )
             .unwrap();
-            let topo = Topology::cluster(machine.clone(), p / 2);
+            let topo = Topology::cluster(machine.clone(), p / 2).unwrap();
             simulate_pipeline(&g, &plan, &topo, &SimOptions::default())
         };
         assert!(mk(16).step_seconds < mk(2).step_seconds);

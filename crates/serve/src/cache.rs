@@ -1,13 +1,14 @@
 //! Content-addressed strategy cache.
 //!
 //! A strategy search is a pure function of (graph structure, iteration
-//! spaces, [`ConfigRule`], [`MachineSpec`], prune settings) — node *names*
-//! and trace/parallelism knobs do not influence the optimum. The cache key
-//! is therefore a canonical 64-bit FNV-1a hash over exactly those inputs
-//! ([`strategy_cache_key`]); two requests that differ only in naming or
-//! scheduling share an entry, while any change to a tensor extent, a
-//! machine bandwidth, the device count, or the prune ε produces a
-//! different key.
+//! spaces, [`ConfigRule`], [`DeviceMesh`], prune settings) — node *names*,
+//! mesh/axis names, and trace/parallelism knobs do not influence the
+//! optimum. The cache key is therefore a canonical 64-bit FNV-1a hash
+//! over exactly those inputs ([`strategy_cache_key`]); two requests that
+//! differ only in naming or scheduling share an entry, while any change
+//! to a tensor extent, a mesh axis (size, α, bandwidth, FLOPS), the
+//! device count, or the prune ε produces a different key — distinct mesh
+//! shapes over the same rates are distinct searches.
 //!
 //! [`StrategyCache`] keeps entries in a bounded in-memory LRU and can
 //! additionally persist them as one JSON file per key under a cache
@@ -16,7 +17,7 @@
 //! the version does not match.
 
 use pase_core::{Error, FrontierPoint, SCHEMA_VERSION};
-use pase_cost::{ConfigRule, MachineSpec};
+use pase_cost::{ConfigRule, DeviceMesh};
 use pase_graph::{Graph, OpKind};
 use pase_obs::json;
 use std::collections::HashMap;
@@ -72,7 +73,7 @@ impl Fnv {
 pub fn strategy_cache_key(
     graph: &Graph,
     rule: &ConfigRule,
-    machine: &MachineSpec,
+    machine: &DeviceMesh,
     prune_epsilon: Option<f64>,
     frontier: bool,
 ) -> u64 {
@@ -121,10 +122,15 @@ pub fn strategy_cache_key(
         None => h.u64(0),
     }
 
-    // Machine profile: only the rates enter the cost model, not the name.
-    h.f64(machine.peak_flops);
-    h.f64(machine.link_bandwidth);
-    h.f64(machine.internode_bandwidth);
+    // Device mesh: every axis's shape and rates enter the cost model;
+    // mesh and axis names do not.
+    h.u64(machine.axes.len() as u64);
+    for a in &machine.axes {
+        h.u64(u64::from(a.size));
+        h.f64(a.alpha);
+        h.f64(a.bandwidth);
+        h.f64(a.peak_flops);
+    }
 
     // Prune settings (ε = 0 is exact but still a different search space
     // reduction pipeline, so it is distinguished from "no pruning").
@@ -572,7 +578,7 @@ pub(crate) fn write_entry_file(path: &Path, json: &str) -> Result<(), Error> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pase_cost::PruneOptions;
+    use pase_cost::{MachineSpec, PruneOptions};
 
     fn entry(tag: &str) -> CacheEntry {
         CacheEntry {
@@ -616,7 +622,7 @@ mod tests {
     fn key_is_deterministic_and_name_blind() {
         let g = mlp4();
         let rule = ConfigRule::new(4);
-        let m = MachineSpec::test_machine();
+        let m = DeviceMesh::flat(&MachineSpec::test_machine());
         let k1 = strategy_cache_key(&g, &rule, &m, None, false);
         let k2 = strategy_cache_key(&g, &rule, &m, None, false);
         assert_eq!(k1, k2);
@@ -633,7 +639,8 @@ mod tests {
     fn key_separates_every_input_dimension() {
         let g = mlp4();
         let rule = ConfigRule::new(4);
-        let m = MachineSpec::test_machine();
+        let spec = MachineSpec::test_machine();
+        let m = DeviceMesh::flat(&spec);
         let base = strategy_cache_key(&g, &rule, &m, None, false);
 
         // Device count.
@@ -652,9 +659,28 @@ mod tests {
         );
         // Machine profile.
         assert_ne!(
-            strategy_cache_key(&g, &rule, &MachineSpec::gtx1080ti(), None, false),
+            strategy_cache_key(
+                &g,
+                &rule,
+                &DeviceMesh::flat(&MachineSpec::gtx1080ti()),
+                None,
+                false
+            ),
             base
         );
+        // Mesh shape: the same profile as a two-tier cluster mesh is a
+        // different search, and distinct cluster shapes stay distinct.
+        let tiered = strategy_cache_key(&g, &rule, &DeviceMesh::cluster(&spec, 2, 2), None, false);
+        assert_ne!(tiered, base);
+        assert_ne!(
+            strategy_cache_key(&g, &rule, &DeviceMesh::cluster(&spec, 4, 1), None, false),
+            tiered
+        );
+        // Mesh and axis names are cosmetic: renaming must share the entry.
+        let mut renamed = DeviceMesh::flat(&spec);
+        renamed.name = "other".to_string();
+        renamed.axes[0].name = "bus".to_string();
+        assert_eq!(strategy_cache_key(&g, &rule, &renamed, None, false), base);
         // Prune pipeline on/off, and ε value.
         let pruned = strategy_cache_key(&g, &rule, &m, Some(0.0), false);
         assert_ne!(pruned, base);

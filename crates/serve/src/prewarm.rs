@@ -12,7 +12,7 @@
 use crate::protocol::Request;
 use crate::server::{answer_search, Shared};
 use pase_core::SearchBudget;
-use pase_cost::MachineSpec;
+use pase_cost::{DeviceMesh, MachineSpec};
 use pase_models::MODEL_NAMES;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -55,10 +55,11 @@ pub fn parse_prewarm_spec(spec: &str) -> Result<Vec<Request>, String> {
             .filter(|s| !s.is_empty())
             .map(|n| {
                 MachineSpec::by_name(n)
+                    .map(|m| DeviceMesh::flat(&m))
                     .ok_or_else(|| format!("prewarm spec: unknown machine '{n}'"))
             })
-            .collect::<Result<Vec<MachineSpec>, String>>()?,
-        None => vec![MachineSpec::gtx1080ti()],
+            .collect::<Result<Vec<DeviceMesh>, String>>()?,
+        None => vec![DeviceMesh::flat(&MachineSpec::gtx1080ti())],
     };
     if machines.is_empty() {
         return Err("prewarm spec names no machines".into());
@@ -138,7 +139,10 @@ mod tests {
     fn machines_default_to_the_wire_default() {
         let cells = parse_prewarm_spec("mlp:8").expect("valid spec");
         assert_eq!(cells.len(), 1);
-        assert_eq!(cells[0].machine, MachineSpec::gtx1080ti());
+        assert_eq!(
+            cells[0].machine,
+            DeviceMesh::flat(&MachineSpec::gtx1080ti())
+        );
     }
 
     #[test]

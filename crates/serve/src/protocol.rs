@@ -2,8 +2,9 @@
 //!
 //! A client sends one JSON object per line and receives one JSON object per
 //! line in return. Requests name a model from [`pase_models::MODEL_NAMES`]
-//! and a machine profile from [`MachineSpec::by_name`]; responses embed a
-//! full [`pase_core::SearchReport`] plus the strategy and cache metadata.
+//! and a machine — a registry profile from [`MachineSpec::by_name`] or an
+//! inline [`DeviceMesh`] object; responses embed a full
+//! [`pase_core::SearchReport`] plus the strategy and cache metadata.
 //!
 //! ## Request
 //!
@@ -21,6 +22,25 @@
 //! never changes the returned optimum, only whether the dominance prune
 //! runs).
 //!
+//! `"machine"` also accepts an **inline object** (schema_version 4+)
+//! instead of a profile name — either a scalar machine
+//! (`{"name": "a100", "peak_flops": 1e13, "link_bandwidth": 2e10}`,
+//! costed as a flat single-axis mesh, bit-identical to the scalar model)
+//! or a hierarchical device mesh with axes innermost first:
+//!
+//! ```json
+//! {"model": "alexnet", "machine": {"name": "pod", "axes": [
+//!   {"name": "gpu",  "size": 8, "bandwidth": 2e10, "peak_flops": 1e13,
+//!    "alpha": 5e-6},
+//!   {"name": "node", "size": 4, "bandwidth": 3e9,  "peak_flops": 1e13,
+//!    "alpha": 15e-6}]}}
+//! ```
+//!
+//! Inline machines are validated up front: non-finite or non-positive
+//! rates and empty axis lists are protocol errors, and an unknown profile
+//! *name* is a protocol error listing the known registry. Distinct meshes
+//! cache separately — the cache key hashes every axis.
+//!
 //! Two optional fields select the **frontier family** of searches:
 //! `"max_memory_bytes": N` asks for the fastest strategy whose peak
 //! per-device memory fits in `N` bytes, and `"frontier": true` asks for
@@ -33,12 +53,12 @@
 //! ## Response
 //!
 //! ```json
-//! {"schema_version": 3, "cached": false, "cache_key": "9a3f…",
+//! {"schema_version": 4, "cached": false, "cache_key": "9a3f…",
 //!  "cost": 1.23e9, "strategy": [0, 4, 2],
-//!  "report": {"schema_version": 3, "model": "alexnet", …}}
+//!  "report": {"schema_version": 4, "model": "alexnet", …}}
 //! ```
 //!
-//! or, on failure, `{"schema_version": 3, "error": "…"}`.
+//! or, on failure, `{"schema_version": 4, "error": "…"}`.
 //!
 //! Frontier-family responses add `"peak_memory_bytes"` (the selected
 //! strategy's peak per-device memory) and `"infeasible"`; when no point
@@ -56,7 +76,7 @@
 //! array written in a single syscall:
 //!
 //! ```json
-//! {"schema_version": 3, "batch": [{"cached": false, …}, {"cached": true, …}]}
+//! {"schema_version": 4, "batch": [{"cached": false, …}, {"cached": true, …}]}
 //! ```
 //!
 //! Elements are answered in order through the same cache/singleflight
@@ -70,7 +90,7 @@
 //! search:
 //!
 //! ```json
-//! {"schema_version": 3, "stats": {"requests": 120, "cache_hits": 80,
+//! {"schema_version": 4, "stats": {"requests": 120, "cache_hits": 80,
 //!  "cache_misses": 25, "coalesced": 15, "in_flight": 2, "entries": 31,
 //!  "cache_bytes": 48123}}
 //! ```
@@ -83,7 +103,7 @@
 //! unit).
 
 use pase_core::{Error, FrontierPoint, PruneGate, SearchBudget, SCHEMA_VERSION};
-use pase_cost::MachineSpec;
+use pase_cost::{DeviceMesh, MachineSpec};
 use pase_obs::json;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -153,8 +173,9 @@ pub struct Request {
     pub model: String,
     /// Device count `p` (default 8).
     pub devices: u32,
-    /// Machine profile (default GTX 1080 Ti).
-    pub machine: MachineSpec,
+    /// Machine model: a named profile's flat mesh, or an inline
+    /// hierarchical mesh (default: the GTX 1080 Ti profile's flat mesh).
+    pub machine: DeviceMesh,
     /// Scale the global mini-batch by `p` (default true, the §IV
     /// throughput protocol).
     pub weak_scaling: bool,
@@ -214,18 +235,7 @@ impl Request {
                 .ok_or_else(|| Error::Protocol("\"devices\" must be a positive integer".into()))?,
             None => 8,
         };
-        let machine = match v.get("machine") {
-            Some(m) => {
-                let name = m
-                    .as_str()
-                    .ok_or_else(|| Error::Protocol("\"machine\" must be a string".into()))?;
-                MachineSpec::by_name(name).ok_or_else(|| Error::UnknownName {
-                    kind: "machine",
-                    name: name.to_string(),
-                })?
-            }
-            None => MachineSpec::gtx1080ti(),
-        };
+        let machine = parse_machine(v.get("machine"))?;
         let bool_field = |name: &str, default: bool| match v.get(name) {
             Some(b) => b
                 .as_bool()
@@ -287,6 +297,32 @@ impl Request {
             frontier: bool_field("frontier", false)?,
         })
     }
+}
+
+/// Resolve the `"machine"` field of a request: absent = the default
+/// GTX 1080 Ti flat mesh, a string = a registry profile's flat mesh, an
+/// object = an inline scalar-machine or hierarchical-mesh description
+/// (validated — hostile rates are protocol errors, not poisoned tables).
+/// Unknown profile names list the known registry so clients can
+/// self-correct.
+fn parse_machine(v: Option<&json::Value>) -> Result<DeviceMesh, Error> {
+    let Some(m) = v else {
+        return Ok(DeviceMesh::flat(&MachineSpec::gtx1080ti()));
+    };
+    if let Some(name) = m.as_str() {
+        return match MachineSpec::by_name(name) {
+            Some(spec) => Ok(DeviceMesh::flat(&spec)),
+            None => Err(Error::Protocol(format!(
+                "unknown machine '{name}'; known profiles: {}",
+                MachineSpec::known_names().join(", ")
+            ))),
+        };
+    }
+    DeviceMesh::from_json_value(m).map_err(|e| {
+        Error::Protocol(format!(
+            "\"machine\" must be a profile name or a machine/mesh object: {e}"
+        ))
+    })
 }
 
 /// Render a success response line (no trailing newline) into `out`,
@@ -474,7 +510,7 @@ mod tests {
         let r = Request::parse("{\"model\": \"alexnet\"}").unwrap();
         assert_eq!(r.model, "alexnet");
         assert_eq!(r.devices, 8);
-        assert_eq!(r.machine, MachineSpec::gtx1080ti());
+        assert_eq!(r.machine, DeviceMesh::flat(&MachineSpec::gtx1080ti()));
         assert!(r.weak_scaling);
         assert!(!r.prune);
         assert_eq!(r.budget, SearchBudget::default());
@@ -514,7 +550,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.devices, 4);
-        assert_eq!(r.machine, MachineSpec::test_machine());
+        assert_eq!(r.machine, DeviceMesh::flat(&MachineSpec::test_machine()));
         assert!(!r.weak_scaling);
         assert!(r.prune);
         assert_eq!(r.epsilon, 0.25);
@@ -537,13 +573,14 @@ mod tests {
             Request::parse("{\"model\": \"gpt5\"}"),
             Err(Error::UnknownName { kind: "model", .. })
         ));
-        assert!(matches!(
-            Request::parse("{\"model\": \"mlp\", \"machine\": \"abacus\"}"),
-            Err(Error::UnknownName {
-                kind: "machine",
-                ..
-            })
-        ));
+        // Unknown machine names are protocol errors that list the
+        // registry, so a client can self-correct without a docs lookup.
+        let err = Request::parse("{\"model\": \"mlp\", \"machine\": \"abacus\"}").unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err}");
+        let msg = err.to_string();
+        for known in MachineSpec::known_names() {
+            assert!(msg.contains(&known), "{msg} must list '{known}'");
+        }
         assert!(matches!(
             Request::parse("{\"model\": \"mlp\", \"devices\": 0}"),
             Err(Error::Protocol(_))
@@ -553,6 +590,63 @@ mod tests {
         for bad in [
             "{\"model\": \"mlp\", \"budget_seconds\": 1e20}",
             "{\"model\": \"mlp\", \"budget_seconds\": -1}",
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(Error::Protocol(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn inline_machine_objects_parse_in_both_shapes() {
+        // A scalar machine object becomes its flat single-axis mesh.
+        let r = Request::parse(
+            "{\"model\": \"mlp\", \"machine\": {\"name\": \"a100\", \
+             \"peak_flops\": 1e13, \"link_bandwidth\": 2e10, \
+             \"internode_bandwidth\": 3e9}}",
+        )
+        .unwrap();
+        assert_eq!(r.machine.axes.len(), 1);
+        assert_eq!(r.machine.name, "a100");
+        assert_eq!(r.machine.axes[0].bandwidth, 2e10);
+
+        // A hierarchical mesh keeps every axis, innermost first.
+        let r = Request::parse(
+            "{\"model\": \"mlp\", \"machine\": {\"name\": \"pod\", \"axes\": [\
+             {\"name\": \"gpu\", \"size\": 8, \"bandwidth\": 2e10, \
+              \"peak_flops\": 1e13, \"alpha\": 5e-6}, \
+             {\"name\": \"node\", \"size\": 4, \"bandwidth\": 3e9, \
+              \"peak_flops\": 1e13, \"alpha\": 1.5e-5}]}}",
+        )
+        .unwrap();
+        assert_eq!(r.machine.axes.len(), 2);
+        assert_eq!(r.machine.axes[0].name, "gpu");
+        assert_eq!(r.machine.axes[1].size, 4);
+        assert_eq!(r.machine.total_devices(), 32);
+    }
+
+    #[test]
+    fn hostile_inline_machines_are_protocol_errors() {
+        // Regression: a zero-bandwidth or non-finite inline machine must be
+        // rejected at the parse boundary, never reach a table build, and
+        // never panic the worker.
+        for bad in [
+            // zero bandwidth → infinite comm cost
+            "{\"model\": \"mlp\", \"machine\": {\"name\": \"x\", \
+             \"peak_flops\": 1.0, \"link_bandwidth\": 0.0}}",
+            // empty axis list
+            "{\"model\": \"mlp\", \"machine\": {\"name\": \"x\", \"axes\": []}}",
+            // zero-size axis
+            "{\"model\": \"mlp\", \"machine\": {\"name\": \"x\", \"axes\": [\
+             {\"name\": \"a\", \"size\": 0, \"bandwidth\": 1.0, \
+              \"peak_flops\": 1.0}]}}",
+            // negative alpha
+            "{\"model\": \"mlp\", \"machine\": {\"name\": \"x\", \"axes\": [\
+             {\"name\": \"a\", \"size\": 2, \"bandwidth\": 1.0, \
+              \"peak_flops\": 1.0, \"alpha\": -1.0}]}}",
+            // not a string or object at all
+            "{\"model\": \"mlp\", \"machine\": 42}",
         ] {
             assert!(
                 matches!(Request::parse(bad), Err(Error::Protocol(_))),

@@ -623,7 +623,7 @@ pub(crate) fn answer_search(req: &Request, shared: &Shared, out: &mut String) {
     let trace = Trace::new();
     let mut search = Search::new(&graph)
         .rule(rule)
-        .machine(req.machine.clone())
+        .mesh(req.machine.clone())
         .budget(budget)
         .prune_gate(req.prune_gate)
         .trace(&trace);
@@ -1044,6 +1044,61 @@ mod tests {
             assert_eq!(summary.requests, 1, "{frontend:?}");
         }
         assert_eq!(answers[0], answers[1]);
+    }
+
+    #[test]
+    fn inline_machine_objects_round_trip_and_cache_per_mesh() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let flat = "{\"model\": \"mlp\", \"devices\": 4, \"weak_scaling\": false, \
+             \"machine\": {\"name\": \"t\", \"peak_flops\": 1e12, \
+             \"link_bandwidth\": 1e9}}";
+        let tiered = "{\"model\": \"mlp\", \"devices\": 4, \"weak_scaling\": false, \
+             \"machine\": {\"name\": \"t\", \"axes\": [\
+             {\"name\": \"gpu\", \"size\": 2, \"bandwidth\": 1e9, \
+              \"peak_flops\": 1e12, \"alpha\": 5e-6}, \
+             {\"name\": \"node\", \"size\": 2, \"bandwidth\": 1e8, \
+              \"peak_flops\": 1e12, \"alpha\": 1.5e-5}]}}";
+        let v_flat = query(addr, flat);
+        let v_tier = query(addr, tiered);
+        for v in [&v_flat, &v_tier] {
+            assert!(v.get("cost").and_then(|c| c.as_f64()).is_some(), "a cost");
+            assert_eq!(v.get("cached").and_then(|c| c.as_bool()), Some(false));
+        }
+        // Distinct meshes are distinct cache entries; a repeat of either
+        // mesh hits its own entry.
+        assert_ne!(v_flat.get("cache_key"), v_tier.get("cache_key"));
+        let again = query(addr, tiered);
+        assert_eq!(again.get("cached").and_then(|c| c.as_bool()), Some(true));
+        assert_eq!(again.get("cache_key"), v_tier.get("cache_key"));
+        // The slower inter-node fabric cannot make the optimum cheaper.
+        let c_flat = v_flat.get("cost").and_then(|c| c.as_f64()).unwrap();
+        let c_tier = v_tier.get("cost").and_then(|c| c.as_f64()).unwrap();
+        assert!(c_tier >= c_flat, "flat {c_flat} vs tiered {c_tier}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn hostile_machine_requests_get_protocol_errors_not_a_dead_worker() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        // Unknown profile name: the error lists the registry.
+        let v = query(addr, "{\"model\": \"mlp\", \"machine\": \"abacus\"}");
+        let err = v.get("error").and_then(|e| e.as_str()).expect("an error");
+        assert!(err.contains("known profiles"), "{err}");
+        // Zero-bandwidth inline machine: rejected at the parse boundary.
+        let v = query(
+            addr,
+            "{\"model\": \"mlp\", \"machine\": {\"name\": \"x\", \
+             \"peak_flops\": 1.0, \"link_bandwidth\": 0.0}}",
+        );
+        let err = v.get("error").and_then(|e| e.as_str()).expect("an error");
+        assert!(err.contains("bandwidth"), "{err}");
+        // The worker is still alive and answers a good request.
+        let v = query(addr, MLP);
+        assert!(v.get("cost").and_then(|c| c.as_f64()).is_some());
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        assert_eq!(summary.cache_misses, 1, "only the good request searched");
     }
 
     #[test]

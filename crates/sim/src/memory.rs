@@ -48,7 +48,7 @@ mod tests {
         // DP memory barely shrinks with p (weights replicated); OWT shards
         // the big FC weights, so its footprint is much smaller.
         let g = alexnet(&AlexNetConfig::paper());
-        let t = Topology::cluster(MachineSpec::gtx1080ti(), 32);
+        let t = Topology::cluster(MachineSpec::gtx1080ti(), 32).unwrap();
         let dp_mem = memory_per_device(&g, &data_parallel(&g, 32), &t);
         let owt_mem = memory_per_device(&g, &owt(&g, 32), &t);
         assert!(
@@ -62,8 +62,8 @@ mod tests {
     #[test]
     fn splitting_reduces_footprint() {
         let g = alexnet(&AlexNetConfig::paper());
-        let t8 = Topology::cluster(MachineSpec::gtx1080ti(), 8);
-        let t32 = Topology::cluster(MachineSpec::gtx1080ti(), 32);
+        let t8 = Topology::cluster(MachineSpec::gtx1080ti(), 8).unwrap();
+        let t32 = Topology::cluster(MachineSpec::gtx1080ti(), 32).unwrap();
         let m8 = memory_per_device(&g, &owt(&g, 8), &t8);
         let m32 = memory_per_device(&g, &owt(&g, 32), &t32);
         assert!(m32 < m8);

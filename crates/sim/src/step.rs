@@ -253,14 +253,14 @@ mod tests {
     use pase_models::{alexnet, mlp, AlexNetConfig, MlpConfig};
 
     fn topo(p: u32) -> Topology {
-        Topology::cluster(MachineSpec::gtx1080ti(), p)
+        Topology::cluster(MachineSpec::gtx1080ti(), p).unwrap()
     }
 
     #[test]
     fn sequential_strategy_is_pure_compute_plus_replica_sync() {
         let g = mlp(&MlpConfig::default());
         let seq = Strategy::sequential(&g);
-        let t = Topology::cluster(MachineSpec::gtx1080ti(), 1);
+        let t = Topology::cluster(MachineSpec::gtx1080ti(), 1).unwrap();
         let rep = simulate_step(&g, &seq, &t, &SimOptions::default());
         assert!(
             rep.comm_seconds() == 0.0,
@@ -331,14 +331,14 @@ mod tests {
             &g,
             &expert,
             &dp,
-            &Topology::cluster(MachineSpec::gtx1080ti(), 32),
+            &Topology::cluster(MachineSpec::gtx1080ti(), 32).unwrap(),
             &opts,
         );
         let s_2080 = speedup_over(
             &g,
             &expert,
             &dp,
-            &Topology::cluster(MachineSpec::rtx2080ti(), 32),
+            &Topology::cluster(MachineSpec::rtx2080ti(), 32).unwrap(),
             &opts,
         );
         assert!(

@@ -1,34 +1,57 @@
 //! Cluster topology.
 
-use pase_cost::MachineSpec;
+use pase_cost::{DeviceMesh, MachineSpec};
+use pase_graph::GraphError;
 
 /// A hierarchical cluster: `nodes × devices_per_node` devices, fast
 /// intra-node links (PCIe in the paper's testbeds) and slower inter-node
-/// links (InfiniBand).
+/// links (InfiniBand). Internally the shape is a two-axis
+/// [`DeviceMesh`] — the `gpu` axis on the intra-node bus, the `node` axis
+/// on the inter-node fabric — and every link rate the simulator consumes
+/// is read off those axes.
 #[derive(Clone, Debug)]
 pub struct Topology {
     machine: MachineSpec,
+    mesh: DeviceMesh,
     nodes: u32,
     devices_per_node: u32,
 }
 
 impl Topology {
-    /// Build a topology with explicit shape.
-    pub fn new(machine: MachineSpec, nodes: u32, devices_per_node: u32) -> Self {
-        assert!(nodes >= 1 && devices_per_node >= 1);
-        Self {
+    /// Build a topology with explicit shape. A degenerate shape (zero
+    /// nodes or zero devices per node) is a [`GraphError::InvalidShape`],
+    /// not a panic, so hostile wire/CLI inputs surface as protocol errors.
+    pub fn new(
+        machine: MachineSpec,
+        nodes: u32,
+        devices_per_node: u32,
+    ) -> Result<Self, GraphError> {
+        if nodes == 0 || devices_per_node == 0 {
+            return Err(GraphError::InvalidShape(format!(
+                "topology needs at least one node and one device per node, \
+                 got {nodes} node(s) x {devices_per_node} device(s)"
+            )));
+        }
+        let mesh = DeviceMesh::cluster(&machine, nodes, devices_per_node);
+        Ok(Self {
             machine,
+            mesh,
             nodes,
             devices_per_node,
-        }
+        })
     }
 
     /// The paper's testbed shape for `p` GPUs: up to 8 GPUs per node,
     /// spread across `p / per_node` nodes (§IV-B: 4 GPUs on a single node
     /// up to 64 across 8 nodes). `per_node` is the largest divisor of `p`
     /// not exceeding 8, so `devices()` always equals `p` exactly.
-    pub fn cluster(machine: MachineSpec, p: u32) -> Self {
-        assert!(p >= 1, "need at least one device");
+    /// `p = 0` is a [`GraphError::InvalidShape`].
+    pub fn cluster(machine: MachineSpec, p: u32) -> Result<Self, GraphError> {
+        if p == 0 {
+            return Err(GraphError::InvalidShape(
+                "cluster needs at least one device, got p = 0".to_string(),
+            ));
+        }
         let per_node = (1..=p.min(8))
             .rev()
             .find(|d| p.is_multiple_of(*d))
@@ -56,6 +79,11 @@ impl Topology {
         &self.machine
     }
 
+    /// The two-axis device mesh the link rates are read from.
+    pub fn mesh(&self) -> &DeviceMesh {
+        &self.mesh
+    }
+
     /// Bandwidth (bytes/s) of the link class. A collective that spans
     /// nodes is bottlenecked by the *slowest* link on its ring — the
     /// inter-node fabric or the intra-node bus, whichever is worse (on the
@@ -63,20 +91,23 @@ impl Topology {
     /// cross-node rings).
     pub fn bandwidth(&self, intra: bool) -> f64 {
         if intra {
-            self.machine.link_bandwidth
+            self.mesh.axes[0].bandwidth
         } else {
-            self.machine
-                .internode_bandwidth
-                .min(self.machine.link_bandwidth)
+            self.mesh
+                .axes
+                .iter()
+                .map(|a| a.bandwidth)
+                .fold(f64::INFINITY, f64::min)
         }
     }
 
-    /// Per-message latency (seconds) of the link class.
+    /// Per-message latency (seconds) of the link class: the axis `α` of
+    /// the slowest link the class spans.
     pub fn alpha(&self, intra: bool) -> f64 {
         if intra {
-            5e-6
+            self.mesh.axes[0].alpha
         } else {
-            15e-6
+            self.mesh.axes.iter().map(|a| a.alpha).fold(0.0, f64::max)
         }
     }
 
@@ -94,11 +125,11 @@ mod tests {
     #[test]
     fn cluster_shape_matches_paper_testbed() {
         let m = MachineSpec::gtx1080ti();
-        let t4 = Topology::cluster(m.clone(), 4);
+        let t4 = Topology::cluster(m.clone(), 4).unwrap();
         assert_eq!((t4.nodes(), t4.devices_per_node()), (1, 4));
-        let t8 = Topology::cluster(m.clone(), 8);
+        let t8 = Topology::cluster(m.clone(), 8).unwrap();
         assert_eq!((t8.nodes(), t8.devices_per_node()), (1, 8));
-        let t64 = Topology::cluster(m, 64);
+        let t64 = Topology::cluster(m, 64).unwrap();
         assert_eq!((t64.nodes(), t64.devices_per_node()), (8, 8));
         assert_eq!(t64.devices(), 64);
     }
@@ -106,26 +137,59 @@ mod tests {
     #[test]
     fn cluster_handles_non_multiples_of_eight() {
         let m = MachineSpec::gtx1080ti();
-        let t12 = Topology::cluster(m.clone(), 12);
+        let t12 = Topology::cluster(m.clone(), 12).unwrap();
         assert_eq!(t12.devices(), 12);
         assert_eq!(t12.devices_per_node(), 6);
-        let t7 = Topology::cluster(m.clone(), 7);
+        let t7 = Topology::cluster(m.clone(), 7).unwrap();
         assert_eq!(t7.devices(), 7);
         assert_eq!((t7.nodes(), t7.devices_per_node()), (1, 7));
-        let t1 = Topology::cluster(m, 1);
+        let t1 = Topology::cluster(m, 1).unwrap();
         assert_eq!(t1.devices(), 1);
     }
 
     #[test]
+    fn degenerate_shapes_are_errors_not_panics() {
+        // Regression: `p = 0` from a hostile wire request used to trip an
+        // `assert!` and take the whole server down. It must be a value.
+        let m = MachineSpec::gtx1080ti();
+        assert!(matches!(
+            Topology::cluster(m.clone(), 0),
+            Err(GraphError::InvalidShape(_))
+        ));
+        assert!(matches!(
+            Topology::new(m.clone(), 0, 8),
+            Err(GraphError::InvalidShape(_))
+        ));
+        let err = Topology::new(m, 2, 0).unwrap_err();
+        assert!(err.to_string().contains("invalid shape"));
+    }
+
+    #[test]
     fn interconnect_is_slower_than_intranode() {
-        let t = Topology::cluster(MachineSpec::gtx1080ti(), 16);
+        let t = Topology::cluster(MachineSpec::gtx1080ti(), 16).unwrap();
         assert!(t.bandwidth(true) > t.bandwidth(false));
         assert!(t.alpha(true) < t.alpha(false));
     }
 
     #[test]
+    fn link_rates_come_from_the_mesh_axes() {
+        // The rates the simulator uses must be exactly the two-tier mesh's
+        // axis rates — one source of truth for both cost model and sim.
+        let m = MachineSpec::gtx1080ti();
+        let t = Topology::cluster(m.clone(), 16).unwrap();
+        assert_eq!(t.mesh().axes.len(), 2);
+        assert_eq!(t.bandwidth(true), m.link_bandwidth);
+        assert_eq!(
+            t.bandwidth(false),
+            m.internode_bandwidth.min(m.link_bandwidth)
+        );
+        assert_eq!(t.alpha(true), 5e-6);
+        assert_eq!(t.alpha(false), 15e-6);
+    }
+
+    #[test]
     fn block_intra_classification() {
-        let t = Topology::cluster(MachineSpec::gtx1080ti(), 32);
+        let t = Topology::cluster(MachineSpec::gtx1080ti(), 32).unwrap();
         assert!(t.block_is_intra(8));
         assert!(t.block_is_intra(2));
         assert!(!t.block_is_intra(16));

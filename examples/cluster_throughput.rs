@@ -36,7 +36,7 @@ fn main() {
         );
         for p in [4u32, 8, 16, 32, 64] {
             let graph = bench.build_for(p);
-            let topo = Topology::cluster(machine.clone(), p);
+            let topo = Topology::cluster(machine.clone(), p).unwrap();
             let opts = SimOptions::default();
             let dp = simulate_step(&graph, &data_parallel(&graph, p), &topo, &opts);
             let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);

@@ -59,7 +59,7 @@ fn main() {
 
     // With 4M+16M embedding rows, PaSE should shard the embedding tables
     // (vocabulary splits) instead of replicating them like data parallelism.
-    let topo = Topology::cluster(machine, p);
+    let topo = Topology::cluster(machine, p).unwrap();
     let opts = SimOptions::default();
     let dp = simulate_step(&graph, &data_parallel(&graph, p), &topo, &opts);
     let rep = simulate_step(&graph, &ours, &topo, &opts);

@@ -45,7 +45,7 @@ fn main() {
     println!("search took {:?}\n", result.stats.elapsed);
 
     // Simulated throughput comparison (Fig. 6 methodology).
-    let topo = Topology::cluster(machine, p);
+    let topo = Topology::cluster(machine, p).unwrap();
     let opts = SimOptions::default();
     for (name, strategy) in [
         ("data parallel", data_parallel(&graph, p)),

@@ -21,7 +21,7 @@ fn main() {
     // fc6 weight — the classic "does not fit replicated" model.
     let graph = vgg16(&VggConfig::paper());
     let machine = MachineSpec::gtx1080ti();
-    let topo = Topology::cluster(machine.clone(), p);
+    let topo = Topology::cluster(machine.clone(), p).unwrap();
     println!(
         "VGG-16, p = {p}: {:.0}M params; replicating them (with gradients and\n\
          optimizer state) costs {:.0} MiB per device before any activations.\n",

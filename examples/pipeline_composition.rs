@@ -35,7 +35,7 @@ fn main() {
     let plain_rep = simulate_step(
         &graph,
         &tables.ids_to_strategy(&plain.config_ids),
-        &Topology::cluster(machine.clone(), p),
+        &Topology::cluster(machine.clone(), p).unwrap(),
         &opts,
     );
     println!(
@@ -58,7 +58,7 @@ fn main() {
             },
         )
         .expect("pipeline plan");
-        let stage_topo = Topology::cluster(machine.clone(), p / stages as u32);
+        let stage_topo = Topology::cluster(machine.clone(), p / stages as u32).unwrap();
         let rep = simulate_pipeline(&graph, &plan, &stage_topo, &opts);
         println!(
             "{:<24} step {:>8.2} ms  throughput {:>8.0} samples/s  \

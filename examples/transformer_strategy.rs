@@ -54,7 +54,7 @@ fn main() {
         }
     }
 
-    let topo = Topology::cluster(machine, p);
+    let topo = Topology::cluster(machine, p).unwrap();
     let opts = SimOptions::default();
     println!();
     for (name, strategy) in [

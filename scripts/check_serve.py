@@ -33,12 +33,25 @@ Two further modes:
                                    every budget variant — and each answer
                                    must be a point of F's frontier. STATS
                                    must account exactly 1 miss + 2 hits.
+  check_serve.py --mesh FLAT FLAT_INLINE TIER2 HETERO STATS
+                                   One model planned across mesh shapes.
+                                   FLAT names a registry profile;
+                                   FLAT_INLINE sends the same machine as an
+                                   inline scalar object and must hit FLAT's
+                                   cache entry with the identical cost and
+                                   strategy (the key is name-blind and a
+                                   flat mesh is bit-identical to the scalar
+                                   model); TIER2/HETERO are inline multi-
+                                   axis meshes and must be misses on their
+                                   own distinct entries, costed no cheaper
+                                   than FLAT. STATS must account exactly
+                                   3 misses + 1 hit.
 """
 
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def check_batch(path: str, n: int) -> None:
@@ -144,6 +157,65 @@ def check_frontier(f_path: str, b1_path: str, b2_path: str, stats_path: str) -> 
     )
 
 
+def check_mesh(
+    flat_path: str, inline_path: str, tier2_path: str, hetero_path: str, stats_path: str
+) -> None:
+    responses = {}
+    for name, path in (
+        ("flat", flat_path),
+        ("flat_inline", inline_path),
+        ("tier2", tier2_path),
+        ("hetero", hetero_path),
+    ):
+        with open(path) as f:
+            q = json.load(f)
+        assert "error" not in q, f"{name} query failed: {q['error']}"
+        assert q["schema_version"] == SCHEMA_VERSION, f"{name}: bad schema_version: {q}"
+        assert q["report"]["outcome"] == "ok", f"{name}: {q['report']}"
+        assert q["strategy"], f"{name}: empty strategy"
+        responses[name] = q
+
+    flat, inline = responses["flat"], responses["flat_inline"]
+    tier2, hetero = responses["tier2"], responses["hetero"]
+
+    # Flat == scalar: the inline scalar-machine object describes the same
+    # flat mesh as the registry name, so it must land on the same
+    # (name-blind) cache entry and be served the identical answer.
+    assert flat["cached"] is False, "the named-profile query must be the first miss"
+    assert inline["cached"] is True, (
+        "an inline scalar machine equal to the profile must hit the profile's entry"
+    )
+    assert inline["cache_key"] == flat["cache_key"], (
+        "the cache key must be name-blind: same axes, same entry"
+    )
+    assert inline["cost"] == flat["cost"], "flat inline mesh changed the cost"
+    assert inline["strategy"] == flat["strategy"], "flat inline mesh changed the strategy"
+    assert flat["report"]["stats"]["mesh_axes"] == 1, flat["report"]["stats"]
+
+    # Each multi-axis mesh is its own cache entry and its own plan.
+    keys = {flat["cache_key"], tier2["cache_key"], hetero["cache_key"]}
+    assert len(keys) == 3, f"mesh shapes must cache separately: {keys}"
+    for name, q, axes in (("tier2", tier2, 2), ("hetero", hetero, 3)):
+        assert q["cached"] is False, f"{name} must be a fresh plan, not a hit"
+        assert q["report"]["stats"]["mesh_axes"] == axes, (
+            f"{name}: expected {axes} mesh axes: {q['report']['stats']}"
+        )
+        assert q["cost"] >= flat["cost"], (
+            f"{name}: slower outer fabrics cannot beat the flat mesh "
+            f"({q['cost']} < {flat['cost']})"
+        )
+
+    with open(stats_path) as f:
+        stats = json.load(f)["stats"]
+    assert stats["cache_misses"] == 3, f"three mesh shapes = three fills: {stats}"
+    assert stats["cache_hits"] == 1, f"the inline flat query must be the one hit: {stats}"
+    print(
+        f"serve mesh OK: 3 mesh shapes -> 3 entries, inline flat == scalar "
+        f"(key {flat['cache_key']}), tiered costs {tier2['cost']:.6g} / "
+        f"{hetero['cost']:.6g} vs flat {flat['cost']:.6g}"
+    )
+
+
 def main() -> None:
     if sys.argv[1] == "--batch":
         check_batch(sys.argv[2], int(sys.argv[3]))
@@ -153,6 +225,9 @@ def main() -> None:
         return
     if sys.argv[1] == "--frontier":
         check_frontier(sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
+        return
+    if sys.argv[1] == "--mesh":
+        check_mesh(sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5], sys.argv[6])
         return
     with open(sys.argv[1]) as f:
         q1 = json.load(f)

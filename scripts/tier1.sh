@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate (see ROADMAP.md): formatting, release build,
 # full test suite, a smoke run of the search A/B benchmark so the
-# exactness assertion in bench_search (pruned optimum bit-identical to
-# unpruned) executes on the real benchmark graphs, and a trace smoke test
-# validating the --trace-out Chrome-trace output end to end.
+# exactness assertions in bench_search (pruned optimum bit-identical to
+# unpruned, flat-mesh optimum bit-identical to scalar) execute on the
+# real benchmark graphs, a trace smoke test validating the --trace-out
+# Chrome-trace output end to end, and a mesh smoke planning one model
+# across three device-mesh shapes through the serve path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -154,3 +156,54 @@ kill -INT "$serve_pid"
 wait "$serve_pid"
 python3 scripts/check_serve.py --frontier "$serve_dir/f.json" \
     "$serve_dir/b1.json" "$serve_dir/b2.json" "$serve_dir/fstats.json"
+
+# Mesh smoke: one model planned across three mesh shapes. The named
+# profile and an inline scalar machine object with the same numbers must
+# share one cache entry (flat == scalar, and the cache key is name-blind);
+# a two-tier mesh and a three-tier heterogeneous mesh must each get their
+# own distinct entry, costed no cheaper than flat.
+cat > "$serve_dir/flat_machine.json" <<'JSON'
+{"name": "inline-1080ti", "peak_flops": 11.3e12, "link_bandwidth": 12.0e9}
+JSON
+cat > "$serve_dir/tier2_machine.json" <<'JSON'
+{"name": "twotier", "axes": [
+  {"name": "gpu",  "size": 8, "alpha": 5e-6,  "bandwidth": 12.0e9, "peak_flops": 11.3e12},
+  {"name": "node", "size": 4, "alpha": 15e-6, "bandwidth": 6.0e9,  "peak_flops": 11.3e12}]}
+JSON
+cat > "$serve_dir/hetero_machine.json" <<'JSON'
+{"name": "hetero", "axes": [
+  {"name": "gpu",  "size": 2, "alpha": 5e-6,  "bandwidth": 12.0e9, "peak_flops": 11.3e12},
+  {"name": "node", "size": 2, "alpha": 15e-6, "bandwidth": 6.0e9,  "peak_flops": 13.4e12},
+  {"name": "rack", "size": 2, "alpha": 30e-6, "bandwidth": 1.5e9,  "peak_flops": 11.3e12}]}
+JSON
+./target/release/pase serve --addr 127.0.0.1:0 --workers 2 \
+    > "$serve_dir/mesh.out" 2> "$serve_dir/mesh.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_dir/mesh.out")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "pase serve (mesh smoke) never reported its address:" >&2
+    cat "$serve_dir/mesh.err" >&2
+    exit 1
+fi
+./target/release/pase query --model mlp --devices 8 --addr "$addr" \
+    --out "$serve_dir/m_flat.json"
+./target/release/pase query --model mlp --devices 8 \
+    --machine-file "$serve_dir/flat_machine.json" --addr "$addr" \
+    --out "$serve_dir/m_flat_inline.json"
+./target/release/pase query --model mlp --devices 8 \
+    --machine-file "$serve_dir/tier2_machine.json" --addr "$addr" \
+    --out "$serve_dir/m_tier2.json"
+./target/release/pase query --model mlp --devices 8 \
+    --machine-file "$serve_dir/hetero_machine.json" --addr "$addr" \
+    --out "$serve_dir/m_hetero.json"
+./target/release/pase query --stats --addr "$addr" --out "$serve_dir/m_stats.json"
+kill -INT "$serve_pid"
+wait "$serve_pid"
+python3 scripts/check_serve.py --mesh "$serve_dir/m_flat.json" \
+    "$serve_dir/m_flat_inline.json" "$serve_dir/m_tier2.json" \
+    "$serve_dir/m_hetero.json" "$serve_dir/m_stats.json"

@@ -17,7 +17,7 @@
 //! let result = run.outcome().found().expect("search");
 //! let strategy = run.tables().ids_to_strategy(&result.config_ids);
 //!
-//! let topology = Topology::cluster(machine, 8);
+//! let topology = Topology::cluster(machine, 8).unwrap();
 //! let report = simulate_step(&graph, &strategy, &topology, &SimOptions::default());
 //! assert!(report.throughput > 0.0);
 //! ```

@@ -43,7 +43,7 @@ fn full_pipeline_on_every_paper_benchmark() {
         );
 
         // The simulator accepts and times the strategy.
-        let topo = Topology::cluster(machine.clone(), p);
+        let topo = Topology::cluster(machine.clone(), p).unwrap();
         let rep = simulate_step(&graph, &strategy, &topo, &SimOptions::default());
         assert!(rep.step_seconds > 0.0 && rep.step_seconds.is_finite());
         assert!(rep.throughput > 0.0);
@@ -59,7 +59,7 @@ fn found_strategies_beat_data_parallelism_in_simulation_at_scale() {
     // every benchmark, and strictly better for the FC/embedding-heavy ones.
     let machine = MachineSpec::rtx2080ti();
     let p = 32;
-    let topo = Topology::cluster(machine.clone(), p);
+    let topo = Topology::cluster(machine.clone(), p).unwrap();
     let opts = SimOptions::default();
     let mut strictly_better = 0;
     for bench in Benchmark::all() {

@@ -76,7 +76,7 @@ fn comm_aware_placement_never_hurts_the_searched_strategies() {
         let t = CostTables::build(&g, ConfigRule::new(p), &machine);
         let r = Search::new(&g).tables(&t).run().expect_found(bench.name());
         let s = t.ids_to_strategy(&r.config_ids);
-        let topo = Topology::cluster(machine.clone(), p);
+        let topo = Topology::cluster(machine.clone(), p).unwrap();
         let canonical = simulate_step(&g, &s, &topo, &SimOptions::default());
         let aware = simulate_step(
             &g,
@@ -145,7 +145,7 @@ fn calibration_recovers_a_machine_from_simulated_runs() {
     let truth = MachineSpec::gtx1080ti();
     let p = 8;
     let g = Benchmark::AlexNet.build_for(p);
-    let topo = Topology::cluster(truth.clone(), p);
+    let topo = Topology::cluster(truth.clone(), p).unwrap();
     let opts = SimOptions {
         overlap: 0.0,
         ..SimOptions::default()

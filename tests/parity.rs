@@ -1,16 +1,21 @@
-//! Parity: the `Search` builder must be **bit-identical** to the
-//! deprecated free-function entrypoints it replaces — same optimal cost
+//! Parity: every path into the `Search` builder must be **bit-identical**
+//! to every other path that describes the same search — same optimal cost
 //! (compared via `to_bits`, not a tolerance) and the same per-node
-//! configuration ids, with and without pruning, tracing, and custom DP
-//! options. This is the contract that lets callers migrate mechanically.
+//! configuration ids. Three equivalences are pinned:
+//!
+//! * precomputed `.tables(...)` == internal build from `.machine(...)` ==
+//!   internal build from the flat `.mesh(...)` of the same profile;
+//! * pruning/tracing/custom-ordering knobs behave identically across
+//!   those entry paths;
+//! * a flat single-axis [`DeviceMesh`] reproduces the scalar machine
+//!   model exactly (the deeper per-`p`, per-kernel sweep lives in
+//!   `mesh_parity.rs`).
+//!
+//! This is the contract that let callers of the removed
+//! `find_best_strategy*` free-function grid migrate mechanically.
 
-#![allow(deprecated)]
-
-use pase::core::{
-    find_best_strategy, find_best_strategy_pruned, find_best_strategy_pruned_traced,
-    find_best_strategy_traced, DpOptions, OrderingKind, Search, SearchOutcome,
-};
-use pase::cost::{ConfigRule, CostTables, MachineSpec, PruneOptions};
+use pase::core::{DpOptions, OrderingKind, Search, SearchOutcome};
+use pase::cost::{ConfigRule, CostTables, DeviceMesh, MachineSpec, PruneOptions};
 use pase::graph::{Graph, GraphBuilder, IterDim, Node, NodeId, OpKind, TensorRef};
 use pase::models::Benchmark;
 use pase::obs::Trace;
@@ -61,66 +66,91 @@ fn random_graph(widths: &[u64], skips: &[bool]) -> Graph {
     b.build().expect("parity graph builds")
 }
 
-fn assert_identical(label: &str, legacy: &SearchOutcome, builder: &SearchOutcome) {
-    let l = legacy
+fn assert_identical(label: &str, reference: &SearchOutcome, other: &SearchOutcome) {
+    let r = reference
         .found()
-        .unwrap_or_else(|| panic!("{label}: legacy failed"));
-    let b = builder
+        .unwrap_or_else(|| panic!("{label}: reference path failed"));
+    let o = other
         .found()
-        .unwrap_or_else(|| panic!("{label}: builder failed"));
+        .unwrap_or_else(|| panic!("{label}: compared path failed"));
     assert_eq!(
-        l.cost.to_bits(),
-        b.cost.to_bits(),
-        "{label}: builder cost {} != legacy cost {}",
-        b.cost,
-        l.cost
+        r.cost.to_bits(),
+        o.cost.to_bits(),
+        "{label}: cost {} != reference cost {}",
+        o.cost,
+        r.cost
     );
     assert_eq!(
-        l.config_ids, b.config_ids,
-        "{label}: builder strategy differs from legacy"
+        r.config_ids, o.config_ids,
+        "{label}: strategy differs from reference"
     );
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Builder == legacy on random DAGs, across plain/pruned/custom-order
-    /// entrypoints.
+    /// All entry paths agree on random DAGs, across plain/pruned/custom
+    /// orderings.
     #[test]
-    fn builder_matches_legacy_on_random_dags(
+    fn entry_paths_agree_on_random_dags(
         widths in prop::collection::vec(prop::sample::select(vec![16u64, 32, 64]), 2..7),
         skips in prop::collection::vec(prop::sample::select(vec![false, true]), 3..=3),
         p in prop::sample::select(vec![2u32, 4, 8]),
     ) {
         let g = random_graph(&widths, &skips);
-        let tables = CostTables::build(&g, ConfigRule::new(p), &MachineSpec::test_machine());
+        let m = MachineSpec::test_machine();
+        let tables = CostTables::build(&g, ConfigRule::new(p), &m);
 
-        let legacy = find_best_strategy(&g, &tables, &DpOptions::default());
-        let builder = Search::new(&g).tables(&tables).run().into_outcome();
-        assert_identical("plain", &legacy, &builder);
+        let precomputed = Search::new(&g).tables(&tables).run().into_outcome();
+        let from_machine = Search::new(&g)
+            .devices(p)
+            .machine(m.clone())
+            .run()
+            .into_outcome();
+        assert_identical("machine knob", &precomputed, &from_machine);
+        let from_mesh = Search::new(&g)
+            .devices(p)
+            .mesh(DeviceMesh::flat(&m))
+            .run()
+            .into_outcome();
+        assert_identical("flat mesh knob", &precomputed, &from_mesh);
 
-        let legacy = find_best_strategy_pruned(
-            &g, &tables, &DpOptions::default(), &PruneOptions::default());
-        let builder = Search::new(&g).tables(&tables)
+        let pruned_pre = Search::new(&g).tables(&tables)
             .pruning(PruneOptions::default())
             .run().into_outcome();
-        assert_identical("pruned", &legacy, &builder);
+        let pruned_mesh = Search::new(&g)
+            .devices(p)
+            .mesh(DeviceMesh::flat(&m))
+            .pruning(PruneOptions::default())
+            .run().into_outcome();
+        assert_identical("pruned", &pruned_pre, &pruned_mesh);
+        // Pruning is an optimization, never a different optimum.
+        assert_eq!(
+            precomputed.found().unwrap().cost.to_bits(),
+            pruned_pre.found().unwrap().cost.to_bits(),
+            "pruning changed the optimal cost"
+        );
 
         let opts = DpOptions {
             ordering: OrderingKind::Random { seed: widths.len() as u64 },
             ..DpOptions::default()
         };
-        let legacy = find_best_strategy(&g, &tables, &opts);
-        let builder = Search::new(&g).tables(&tables).dp_options(opts).run().into_outcome();
-        assert_identical("custom ordering", &legacy, &builder);
+        let order_pre = Search::new(&g).tables(&tables)
+            .dp_options(opts).run().into_outcome();
+        let order_mesh = Search::new(&g)
+            .devices(p)
+            .mesh(DeviceMesh::flat(&m))
+            .dp_options(opts)
+            .run().into_outcome();
+        assert_identical("custom ordering", &order_pre, &order_mesh);
     }
 }
 
-/// The ISSUE acceptance criterion: builder output is bit-identical to the
-/// deprecated entrypoints on AlexNet, InceptionV3, RNNLM, and Transformer
-/// (tiny variants keep the debug-mode DP feasible, as in `pruning.rs`).
+/// Entry-path parity on AlexNet, InceptionV3, RNNLM, and Transformer
+/// (tiny variants keep the debug-mode DP feasible, as in `pruning.rs`),
+/// including traced runs recording the same phases.
 #[test]
-fn builder_matches_legacy_on_paper_benchmarks() {
+fn entry_paths_agree_on_paper_benchmarks() {
     let machine = MachineSpec::test_machine();
     for bench in Benchmark::all() {
         let graph = bench.build_tiny();
@@ -128,52 +158,55 @@ fn builder_matches_legacy_on_paper_benchmarks() {
         let tables = CostTables::build(&graph, ConfigRule::new(p), &machine);
         let label = format!("{} p={p}", bench.name());
 
-        let legacy = find_best_strategy(&graph, &tables, &DpOptions::default());
-        let builder = Search::new(&graph).tables(&tables).run().into_outcome();
-        assert_identical(&label, &legacy, &builder);
-
-        let legacy_trace = Trace::new();
-        let builder_trace = Trace::new();
-        let legacy =
-            find_best_strategy_traced(&graph, &tables, &DpOptions::default(), Some(&legacy_trace));
-        let builder = Search::new(&graph)
-            .tables(&tables)
-            .trace(&builder_trace)
+        let precomputed = Search::new(&graph).tables(&tables).run().into_outcome();
+        let internal = Search::new(&graph)
+            .devices(p)
+            .machine(machine.clone())
             .run()
             .into_outcome();
-        assert_identical(&format!("{label} traced"), &legacy, &builder);
-        // Both paths record the same DP phases.
+        assert_identical(&label, &precomputed, &internal);
+
+        let pre_trace = Trace::new();
+        let mesh_trace = Trace::new();
+        let traced_pre = Search::new(&graph)
+            .tables(&tables)
+            .trace(&pre_trace)
+            .run()
+            .into_outcome();
+        let traced_mesh = Search::new(&graph)
+            .devices(p)
+            .mesh(DeviceMesh::flat(&machine))
+            .trace(&mesh_trace)
+            .run()
+            .into_outcome();
+        assert_identical(&format!("{label} traced"), &traced_pre, &traced_mesh);
+        // Both paths record the same DP phases (the internal-build path
+        // additionally records its table-build spans).
         let names = |t: &Trace| {
             let mut v: Vec<String> = t.spans().iter().map(|s| s.name.clone()).collect();
             v.sort();
             v
         };
-        assert_eq!(
-            names(&legacy_trace),
-            names(&builder_trace),
-            "{label}: traced phases differ"
-        );
+        let pre_names = names(&pre_trace);
+        let mesh_names = names(&mesh_trace);
+        for n in &pre_names {
+            assert!(
+                mesh_names.contains(n),
+                "{label}: phase {n} missing from internal-build trace"
+            );
+        }
 
-        let legacy = find_best_strategy_pruned(
-            &graph,
-            &tables,
-            &DpOptions::default(),
-            &PruneOptions::default(),
-        );
-        let builder = Search::new(&graph)
+        let pruned_pre = Search::new(&graph)
             .tables(&tables)
             .pruning(PruneOptions::default())
             .run()
             .into_outcome();
-        assert_identical(&format!("{label} pruned"), &legacy, &builder);
-
-        let legacy = find_best_strategy_pruned_traced(
-            &graph,
-            &tables,
-            &DpOptions::default(),
-            &PruneOptions::default(),
-            None,
-        );
-        assert_identical(&format!("{label} pruned_traced"), &legacy, &builder);
+        let pruned_mesh = Search::new(&graph)
+            .devices(p)
+            .mesh(DeviceMesh::flat(&machine))
+            .pruning(PruneOptions::default())
+            .run()
+            .into_outcome();
+        assert_identical(&format!("{label} pruned"), &pruned_pre, &pruned_mesh);
     }
 }

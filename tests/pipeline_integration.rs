@@ -24,7 +24,7 @@ fn single_stage_pipeline_matches_plain_pase_exactly() {
             },
         )
         .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-        let topo = Topology::cluster(machine.clone(), p);
+        let topo = Topology::cluster(machine.clone(), p).unwrap();
         let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
 
         let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
@@ -73,7 +73,7 @@ fn pipeline_plans_are_consistent_across_benchmarks() {
             assert_eq!(sub.len(), mapping.len());
             assert_eq!(strategy.len(), sub.len());
         }
-        let topo = Topology::cluster(machine.clone(), plan.devices_per_stage);
+        let topo = Topology::cluster(machine.clone(), plan.devices_per_stage).unwrap();
         let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
         assert!(rep.step_seconds.is_finite() && rep.step_seconds > 0.0);
         assert_eq!(rep.stage_seconds.len(), stages);
@@ -97,7 +97,7 @@ fn boundary_bytes_count_only_cross_stage_edges() {
         },
     )
     .unwrap();
-    let topo = Topology::cluster(machine.clone(), 4);
+    let topo = Topology::cluster(machine.clone(), 4).unwrap();
     let rep = simulate_pipeline(&g, &plan, &topo, &SimOptions::default());
     // a path graph split in two has exactly one crossing edge (fwd+bwd)
     let crossing: Vec<_> = g

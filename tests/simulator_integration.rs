@@ -18,7 +18,7 @@ fn throughput_grows_with_devices_under_weak_scaling() {
         let mut prev = 0.0;
         for p in [4u32, 8, 16, 32] {
             let g = bench.build_for(p);
-            let topo = Topology::cluster(machine.clone(), p);
+            let topo = Topology::cluster(machine.clone(), p).unwrap();
             let rep = simulate_step(&g, &data_parallel(&g, p), &topo, &opts);
             assert!(
                 rep.throughput > prev,
@@ -41,7 +41,7 @@ fn low_machine_balance_increases_strategy_gaps() {
     for bench in Benchmark::all() {
         let g = bench.build_for(p);
         let gap = |machine: MachineSpec| {
-            let topo = Topology::cluster(machine.clone(), p);
+            let topo = Topology::cluster(machine.clone(), p).unwrap();
             let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
             let ours = {
                 let r = Search::new(&g)
@@ -73,7 +73,7 @@ fn memory_accounting_reproduces_the_dp_replication_argument() {
     // strategies shard them. The FC-heavy AlexNet shows this starkly.
     let p = 32;
     let g = Benchmark::AlexNet.build_for(p);
-    let topo = Topology::cluster(MachineSpec::gtx1080ti(), p);
+    let topo = Topology::cluster(MachineSpec::gtx1080ti(), p).unwrap();
     let dp_mem = memory_per_device(&g, &data_parallel(&g, p), &topo);
     let owt_mem = memory_per_device(&g, &owt(&g, p), &topo);
     assert!(
@@ -92,7 +92,7 @@ fn simulator_and_cost_model_rank_strategies_consistently() {
     for bench in [Benchmark::AlexNet, Benchmark::Rnnlm] {
         let g = bench.build_for(p);
         let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
-        let topo = Topology::cluster(machine.clone(), p);
+        let topo = Topology::cluster(machine.clone(), p).unwrap();
         let opts = SimOptions::default();
 
         let n = g.len();
@@ -149,7 +149,7 @@ fn batch_size_matches_weak_scaling_protocol() {
 fn step_breakdown_is_consistent() {
     let p = 16;
     let g = Benchmark::Transformer.build_for(p);
-    let topo = Topology::cluster(MachineSpec::gtx1080ti(), p);
+    let topo = Topology::cluster(MachineSpec::gtx1080ti(), p).unwrap();
     let rep = simulate_step(
         &g,
         &data_parallel(&g, p),

@@ -28,7 +28,7 @@ fn zoo() -> Vec<(&'static str, Graph)> {
 fn every_zoo_model_searches_and_simulates() {
     let machine = MachineSpec::gtx1080ti();
     let p = 4;
-    let topo = Topology::cluster(machine.clone(), p);
+    let topo = Topology::cluster(machine.clone(), p).unwrap();
     for (name, g) in zoo() {
         validate_edge_tensors(&g, 0.25).unwrap_or_else(|e| panic!("{name}: {e}"));
         let tables = CostTables::build(&g, ConfigRule::new(p), &machine);
