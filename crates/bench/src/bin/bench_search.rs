@@ -19,7 +19,14 @@
 //!   a traced `parallel(false)` run, so scheduling noise is excluded and
 //!   the kernels are compared core-for-core). The tiled kernel's speedup
 //!   on the two biggest cells is asserted, and both kernels must agree on
-//!   the optimum bit-for-bit.
+//!   the optimum bit-for-bit;
+//! * the Pareto-frontier DP fill, incremental vs run-blocked microkernel
+//!   (`dp_fill_frontier_s` / `dp_fill_frontier_tiled_s`, same
+//!   single-threaded span). Every cell asserts the min-time point of both
+//!   frontier kernels is bit-identical to the scalar optimum, and the
+//!   microkernel must be ≥5× faster than the incremental fill on the two
+//!   biggest cells; the traced microkernel run's `SearchReport` is
+//!   emitted per cell as `frontier_report`.
 //!
 //! Medians are written to `BENCH_search.json`. Mirrors the criterion
 //! benches but runs in seconds, so it can gate a PR.
@@ -155,34 +162,56 @@ fn main() {
             }
 
             // Frontier A/B: the same single-threaded sequential-fill span
-            // with the Pareto DP on. One sample — this column tracks the
-            // frontier value type's overhead over the scalar DP, and the
-            // big cells are slow single-threaded. The min-time point must
-            // stay bit-identical to the scalar optimum (the ISSUE
-            // acceptance criterion, asserted on every cell of this grid).
-            let mut frontier_len = 0usize;
-            let dp_fill_frontier_s = median_of(1, || {
+            // with the Pareto DP on, once per frontier kernel (Scalar =
+            // the incremental per-entry merge, Tiled = the run-blocked
+            // microkernel). One sample each — the big cells are slow
+            // single-threaded under the incremental kernel. Both kernels'
+            // min-time point must stay bit-identical to the scalar optimum
+            // (the ISSUE acceptance criterion, asserted on every cell of
+            // this grid), and the tiled kernel carries a >=5x acceptance
+            // floor over the incremental fill on the two biggest cells.
+            let frontier_fill = |kernel: DpKernel| -> (f64, SearchReport) {
                 let trace = Trace::new();
-                let r = Search::new(&g)
+                let outcome = Search::new(&g)
                     .tables(&tables)
                     .dp_options(dp)
                     .parallel(false)
+                    .dp_kernel(kernel)
                     .trace(&trace)
                     .frontier()
                     .run()
-                    .expect_found(bench.name());
+                    .into_outcome();
+                let cost = outcome.found().expect(bench.name()).cost;
                 assert_eq!(
-                    r.cost.to_bits(),
+                    cost.to_bits(),
                     scalar_cost.to_bits(),
-                    "{} p={p}: frontier min-time {} != scalar optimum {scalar_cost}",
+                    "{} p={p}: frontier ({}) min-time {cost} != scalar optimum {scalar_cost}",
                     bench.name(),
-                    r.cost
+                    outcome.stats().dp_kernel
                 );
-                frontier_len = r.stats.frontier_len;
-                trace
+                let fill = trace
                     .span_time_where(|n| n == phase::SEQUENTIAL_FILL)
-                    .as_secs_f64()
-            });
+                    .as_secs_f64();
+                (
+                    fill,
+                    SearchReport::new(bench.name(), p, &outcome, Some(&trace)),
+                )
+            };
+            let (dp_fill_frontier_s, incr_report) = frontier_fill(DpKernel::Scalar);
+            let (dp_fill_frontier_tiled_s, frontier_report) = frontier_fill(DpKernel::Tiled);
+            assert_eq!(incr_report.stats.dp_kernel, "frontier");
+            assert_eq!(frontier_report.stats.dp_kernel, "frontier-tiled");
+            let frontier_len = frontier_report.stats.frontier_len;
+            // Acceptance floor for the frontier microkernel (ISSUE 10) on
+            // the two biggest cells.
+            if p == 64 && matches!(bench, Benchmark::InceptionV3 | Benchmark::Transformer) {
+                assert!(
+                    dp_fill_frontier_tiled_s * 5.0 <= dp_fill_frontier_s,
+                    "{} p={p}: tiled frontier fill {dp_fill_frontier_tiled_s:.4}s not >=5x \
+                     faster than incremental {dp_fill_frontier_s:.4}s",
+                    bench.name()
+                );
+            }
 
             // Exactness gate: the pruned optimum must be bit-identical.
             // The pruned run is traced so the cell's search report carries
@@ -265,7 +294,7 @@ fn main() {
             let hit = tables.intern_stats().hit_rate_opt();
             let hit_pct = hit.map_or_else(|| "n/a".to_string(), |h| format!("{:.0}%", h * 100.0));
             println!(
-                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   search {:.2}ms -> {:.2}ms ({:.2}x)   dp_fill(1t) scalar {:.2}ms -> tiled {:.2}ms ({:.2}x)   frontier {:.2}ms ({} points)   mesh flat {:.4e} -> tiered {:.4e}{}   intern hit {}",
+                "{:<12} p={:<3} cost_tables {:.2}ms -> {:.2}ms ({:.2}x)   prune {:.2}ms ΣK {} -> {} (max {} -> {})   search {:.2}ms -> {:.2}ms ({:.2}x)   dp_fill(1t) scalar {:.2}ms -> tiled {:.2}ms ({:.2}x)   frontier {:.2}ms -> tiled {:.2}ms ({:.2}x, {} points)   mesh flat {:.4e} -> tiered {:.4e}{}   intern hit {}",
                 bench.name(),
                 p,
                 build_base * 1e3,
@@ -283,6 +312,8 @@ fn main() {
                 fill_tiled * 1e3,
                 fill_scalar / fill_tiled.max(1e-12),
                 dp_fill_frontier_s * 1e3,
+                dp_fill_frontier_tiled_s * 1e3,
+                dp_fill_frontier_s / dp_fill_frontier_tiled_s.max(1e-12),
                 frontier_len,
                 flat_best.cost,
                 tiered_best.cost,
@@ -299,7 +330,7 @@ fn main() {
             let hit_json = hit.map_or_else(|| "null".to_string(), |h| format!("{h:.4}"));
             let _ = write!(
                 json,
-                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"search\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"dp_fill\": {{\"dp_fill_scalar_s\": {:.6}, \"dp_fill_tiled_s\": {:.6}, \"dp_fill_frontier_s\": {dp_fill_frontier_s:.6}}},\n        \"frontier_len\": {frontier_len},\n        \"mesh\": {{\"flat_cost\": {}, \"tiered_cost\": {}, \"tiered_axes\": {}, \"tiered_s\": {mesh_tiered_s:.6}, \"diverged\": {cell_diverged}, \"strategy_moved\": {strategy_moved}}},\n        \"intern_hit_rate\": {hit_json},\n        \"search_report\": {}\n      }}{}\n",
+                "      \"p{p}\": {{\n        \"samples\": {samples},\n        \"cost_tables\": {{\"baseline_s\": {:.6}, \"optimized_s\": {:.6}}},\n        \"prune\": {{\"prune_s\": {:.6}, \"k_before\": {}, \"k_after\": {}, \"max_k_before\": {}, \"max_k_after\": {}}},\n        \"search\": {{\"unpruned_s\": {:.6}, \"pruned_s\": {:.6}}},\n        \"dp_fill\": {{\"dp_fill_scalar_s\": {:.6}, \"dp_fill_tiled_s\": {:.6}, \"dp_fill_frontier_s\": {dp_fill_frontier_s:.6}, \"dp_fill_frontier_tiled_s\": {dp_fill_frontier_tiled_s:.6}}},\n        \"frontier_len\": {frontier_len},\n        \"frontier_report\": {},\n        \"mesh\": {{\"flat_cost\": {}, \"tiered_cost\": {}, \"tiered_axes\": {}, \"tiered_s\": {mesh_tiered_s:.6}, \"diverged\": {cell_diverged}, \"strategy_moved\": {strategy_moved}}},\n        \"intern_hit_rate\": {hit_json},\n        \"search_report\": {}\n      }}{}\n",
                 build_base,
                 build_opt,
                 prune_s,
@@ -311,6 +342,7 @@ fn main() {
                 search_pruned,
                 fill_scalar,
                 fill_tiled,
+                frontier_report.to_json(),
                 flat_best.cost,
                 tiered_best.cost,
                 tiered.axes.len(),

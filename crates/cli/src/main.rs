@@ -63,11 +63,14 @@ OPTIONS:
                            whenever its fixed cost exceeds the predicted DP
                            savings (never changes results, only time;
                            default on)
-  --dp-kernel <scalar|tiled> DP table-fill inner loop: \"tiled\" packs
-                           chunk-invariant cost rows and runs a blocked
-                           min+add microkernel, \"scalar\" is the per-entry
-                           reference loop (A/B measurement; bit-identical
-                           results either way; default tiled)
+  --dp-kernel <scalar|tiled> (search, query) DP table-fill inner loop:
+                           \"tiled\" packs chunk-invariant cost rows and runs
+                           a blocked min+add microkernel (for frontier
+                           searches, the run-blocked frontier microkernel),
+                           \"scalar\" is the per-entry reference loop (A/B
+                           measurement; the optimum and the frontier's
+                           min-time point are bit-identical either way;
+                           default tiled)
   --frontier               (search, query) compute the whole (step-time x
                            peak-memory) Pareto frontier instead of a single
                            optimum
@@ -775,6 +778,9 @@ fn run() -> Result<(), String> {
                 }
                 if args.has("frontier") {
                     request.push_str(", \"frontier\": true");
+                }
+                if args.get("dp-kernel").is_some() {
+                    request.push_str(&format!(", \"dp_kernel\": \"{}\"", knobs.kernel.as_str()));
                 }
                 request.push('}');
                 if copies > 1 {

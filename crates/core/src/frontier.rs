@@ -40,21 +40,65 @@
 //!   `min(a + b) = min(a) + min(b)` under monotone addition, so the global
 //!   frontier's min-time point is **bit-identical** to the scalar optimum.
 //!
-//! Entries are computed independently (per-entry div/mod digit decode), so
-//! the sequential and wavefront schedules are trivially bit-identical. The
-//! tiled microkernel has no frontier counterpart; a frontier search always
-//! uses this scalar-style fill regardless of [`crate::DpKernel`]
-//! (`stats.dp_kernel` reports `"frontier"`).
+//! Entries are computed independently, so the sequential and wavefront
+//! schedules are trivially bit-identical.
+//!
+//! ## The frontier microkernel
+//!
+//! [`crate::DpKernel`] selects between two fills:
+//!
+//! * `Scalar` — the incremental per-entry fill ([`fill_entry`],
+//!   `stats.dp_kernel == "frontier"`): per-entry div/mod digit decode,
+//!   per-configuration accessor reads, and the two-pointer
+//!   [`merge_pruned_runs`] per child fold.
+//! * `Tiled` (the default) — the run-blocked microkernel
+//!   ([`fill_chunk_frontier_tiled`], `stats.dp_kernel == "frontier-tiled"`),
+//!   mirroring `crate::kernel`: later-edge matrices are packed through the
+//!   same [`crate::kernel::pack_edges`] panel layout so the per-entry time
+//!   row is computed by fused slice passes instead of per-`(entry, config)`
+//!   accessor calls; entries are processed in innermost-digit runs with the
+//!   run-invariant *prefix merge* hoisted once per run (the frontier
+//!   analogue of the hoisted prefix sum — invariant leading children's
+//!   frontiers are folded once per run per configuration, and only the
+//!   varying operands are merged per entry); per-child folds and
+//!   single-child entries go through the batched k-way engine
+//!   ([`merge_runs_tiled`]) over reused, `crate::pool`-recycled scratch
+//!   arenas with two per-run batch-rejection tests (below); whole
+//!   configuration folds are skipped by the same endpoint test against the
+//!   entry's evolving frontier; and a degenerate-frontier fast path
+//!   collapses to the scalar tiled kernel's packed row pipeline (time
+//!   panels plus parallel packed memory-row panels) whenever every
+//!   contributing child frontier has length 1.
+//!
+//! **Exactness contract.** Every f64 addition tree is unchanged (hoisting
+//! computes a shared prefix once; folds replay the incremental fill's run
+//! order, width-cap thinning, and existing-wins tie rule), so at
+//! `frontier_width = 0` the only batch rejection in effect is the *exact*
+//! corner test ([`run_dominated`]) and the tables — not just the final
+//! frontier — are set-identical to the incremental fill's, point for
+//! point, bitwise. At a positive width the microkernel additionally
+//! rejects any run or configuration that does not strictly improve the
+//! evolving frontier's min time or its memory floor (ties reject —
+//! existing wins). A rejected run's min time is at-or-above the running
+//! min time and its floor at-or-above the running floor, so the min-time
+//! *value* stays bit-identical to the scalar optimum and the memory-floor
+//! *value* stays exact at any width — the two answers
+//! `tests/frontier_parity.rs` pins — while each extreme point's companion
+//! coordinate and the width-thinned interior may differ from the
+//! incremental kernel's. Entries are computed independently, so both
+//! schedulers are bit-identical per kernel.
 
 use crate::budget::{SearchOutcome, SearchStats, DP_ENTRY_BYTES};
 use crate::dp::{build_plans, child_coefs, ChildCoef, DpOptions, Plan, PlanPass};
+use crate::kernel::{self, DpKernel};
 use crate::ordering::make_ordering;
+use crate::pool;
 use crate::structure::VertexStructure;
 use pase_cost::{CostTables, PruneOptions, PrunedTables};
 use pase_graph::Graph;
 use pase_obs::{phase, span_in, OptSpan, Trace};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::time::Instant;
 
 /// Entries per deadline check in the frontier fill.
@@ -121,9 +165,12 @@ impl StrategyFrontier {
     }
 
     /// The cheapest point whose memory fits `max_bytes`, or `None` when
-    /// even the min-memory point exceeds the budget.
+    /// even the min-memory point exceeds the budget. Memory is strictly
+    /// descending along the cost-sorted points, so the over-budget points
+    /// form a prefix and one binary search finds the answer.
     pub fn cheapest_within(&self, max_bytes: u64) -> Option<&FrontierPoint> {
-        self.points.iter().find(|p| p.memory_bytes <= max_bytes)
+        let i = self.points.partition_point(|p| p.memory_bytes > max_bytes);
+        self.points.get(i)
     }
 }
 
@@ -135,7 +182,7 @@ pub(crate) enum FrontierFill {
 
 /// One `(time, memory, choice)` triple of a per-state frontier.
 #[derive(Clone, Copy)]
-struct Pt {
+pub(crate) struct Pt {
     time: f64,
     mem: u64,
     choice: u16,
@@ -145,7 +192,7 @@ struct Pt {
 /// the chosen point on each child's frontier (`kids` stride = number of
 /// children of the position).
 #[derive(Default)]
-struct EntryFrontier {
+pub(crate) struct EntryFrontier {
     pts: Vec<Pt>,
     kids: Vec<u32>,
 }
@@ -155,22 +202,23 @@ struct EntryFrontier {
 /// rows sit at the same positions (× children) in `kids`. Child lookups
 /// are the hottest reads of the fill; one contiguous buffer per table
 /// keeps them prefetchable instead of chasing a `Vec` header per entry.
+/// Buffers are recycled through `crate::pool` (`take_ftable` /
+/// `recycle_ftable`).
 #[derive(Default)]
-struct FTable {
-    offsets: Vec<u32>,
-    pts: Vec<Pt>,
-    kids: Vec<u32>,
+pub(crate) struct FTable {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) pts: Vec<Pt>,
+    pub(crate) kids: Vec<u32>,
 }
 
 impl FTable {
-    fn with_entries(n: usize) -> Self {
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0);
-        FTable {
-            offsets,
-            pts: Vec::new(),
-            kids: Vec::new(),
-        }
+    /// Clear and prime for `n` entries (the pool's reset hook).
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.offsets.push(0);
+        self.pts.clear();
+        self.kids.clear();
     }
 
     /// Entry `i`'s frontier points.
@@ -188,6 +236,39 @@ impl FTable {
         self.kids.extend_from_slice(&e.kids);
         self.offsets.push(self.pts.len() as u32);
     }
+
+    /// Append `n` empty entries (timed-out fills keep the offsets valid).
+    fn push_empty(&mut self, n: usize) {
+        let end = self.pts.len() as u32;
+        self.offsets.extend(std::iter::repeat(end).take(n));
+    }
+
+    /// Re-append the last entry verbatim — the microkernel's replication
+    /// step for fully run-invariant entries.
+    fn duplicate_last_entry(&mut self, stride: usize) {
+        let n = self.offsets.len();
+        let (s, e) = (self.offsets[n - 2] as usize, self.offsets[n - 1] as usize);
+        self.pts.extend_from_within(s..e);
+        self.kids.extend_from_within(s * stride..e * stride);
+        self.offsets.push(self.pts.len() as u32);
+    }
+
+    /// Splice a chunk-local table (offsets relative to 0) onto this one —
+    /// the stitch step of the chunk-parallel fill.
+    fn append_table(&mut self, part: &FTable) {
+        let base = self.pts.len() as u32;
+        self.pts.extend_from_slice(&part.pts);
+        self.kids.extend_from_slice(&part.kids);
+        self.offsets
+            .extend(part.offsets[1..].iter().map(|&o| base + o));
+    }
+
+    /// Whether every entry's frontier has exactly one point — the
+    /// degenerate-frontier condition the microkernel's fast path keys on.
+    fn all_singleton(&self) -> bool {
+        self.pts.len() + 1 == self.offsets.len()
+            && self.offsets.windows(2).all(|w| w[1] - w[0] == 1)
+    }
 }
 
 /// A partial Minkowski sum during the per-entry child fold.
@@ -197,12 +278,14 @@ struct Partial {
     kids: Vec<u32>,
 }
 
-/// Reusable buffers for [`fill_entry`]. The hot fold works on flat
-/// parallel arrays — coordinates separate from the packed child-choice
-/// rows — so the combine/merge/prune inner loop moves small tuples
-/// instead of allocating a `Vec<u32>` per candidate point.
+/// Reusable buffers for both frontier fills ([`fill_entry`] and
+/// [`fill_chunk_frontier_tiled`]), recycled through `crate::pool`'s
+/// thread-local pool. The hot fold works on flat parallel arrays —
+/// coordinates separate from the packed child-choice rows — so the
+/// combine/merge/prune inner loop moves small tuples instead of
+/// allocating a `Vec<u32>` per candidate point.
 #[derive(Default)]
-struct Scratch {
+pub(crate) struct FrontierScratch {
     digits: Vec<u16>,
     /// Current partial set for one configuration: `(time, mem)` pairs …
     acc: Vec<(f64, u64)>,
@@ -213,6 +296,8 @@ struct Scratch {
     cand: Vec<(f64, u64, u32, u32)>,
     /// … and its double buffer for the incremental merge.
     cand2: Vec<(f64, u64, u32, u32)>,
+    /// Materialized shifted run fed to each batched merge.
+    run_buf: Vec<(f64, u64, u32, u32)>,
     /// Double buffer for rebuilding `acc_kids` after a fold stage.
     new_kids: Vec<u32>,
     /// Per-entry result across configurations (kids stride = children).
@@ -224,6 +309,59 @@ struct Scratch {
     runs: Vec<MergeRun>,
     /// The finished entry, reused across calls.
     out: EntryFrontier,
+    // --- microkernel-only buffers (empty on the incremental path) ---
+    /// Per-child running row offsets, innermost contribution stripped.
+    child_base: Vec<u64>,
+    /// Per-child row-offset step per innermost-digit increment.
+    child_step: Vec<u64>,
+    /// Hoisted run-invariant prefix of the time row.
+    pre: Vec<f64>,
+    /// Per-entry time row (layer + later edges, fused slice passes).
+    trow: Vec<f64>,
+    /// Per-entry memory row of the degenerate fast path.
+    mrow: Vec<u64>,
+    /// Cross-configuration running frontier and its double buffer.
+    xm: Vec<(f64, u64, u32, u32)>,
+    xm2: Vec<(f64, u64, u32, u32)>,
+    /// Per-run hoisted per-configuration partial states: configuration
+    /// `c`'s points are `hoist_pts[hoist_offsets[c]..hoist_offsets[c+1]]`,
+    /// kids stride = number of hoisted children.
+    hoist_offsets: Vec<u32>,
+    hoist_pts: Vec<(f64, u64)>,
+    hoist_kids: Vec<u32>,
+}
+
+impl FrontierScratch {
+    /// Drop any buffer grown past `cap` elements before pooling (see
+    /// `crate::pool`): a width-0 exact search can grow the arenas
+    /// arbitrarily, and a one-off giant must not pin the thread.
+    pub(crate) fn shed_oversized(&mut self, cap: usize) {
+        fn shed<T>(v: &mut Vec<T>, cap: usize) {
+            if v.capacity() > cap {
+                *v = Vec::new();
+            }
+        }
+        shed(&mut self.acc, cap);
+        shed(&mut self.acc_kids, cap);
+        shed(&mut self.cand, cap);
+        shed(&mut self.cand2, cap);
+        shed(&mut self.run_buf, cap);
+        shed(&mut self.new_kids, cap);
+        shed(&mut self.result, cap);
+        shed(&mut self.result_kids, cap);
+        shed(&mut self.run_ranges, cap);
+        shed(&mut self.runs, cap);
+        shed(&mut self.out.pts, cap);
+        shed(&mut self.out.kids, cap);
+        shed(&mut self.pre, cap);
+        shed(&mut self.trow, cap);
+        shed(&mut self.mrow, cap);
+        shed(&mut self.xm, cap);
+        shed(&mut self.xm2, cap);
+        shed(&mut self.hoist_offsets, cap);
+        shed(&mut self.hoist_pts, cap);
+        shed(&mut self.hoist_kids, cap);
+    }
 }
 
 /// One cursor of [`merge_pruned_runs`]: a contiguous, already-pruned run
@@ -407,7 +545,7 @@ fn fill_entry(
     dp: &[Option<FTable>],
     flat: u64,
     width: usize,
-    s: &mut Scratch,
+    s: &mut FrontierScratch,
 ) {
     s.digits.clear();
     for t in 0..plan.dep.len() {
@@ -516,6 +654,891 @@ fn table_bytes(t: &FTable, n_children: usize) -> u64 {
     t.pts.len() as u64 * (POINT_BYTES + 4 * n_children as u64)
 }
 
+/// One merge candidate: `(time, memory, run index, point index)`.
+type Cand = (f64, u64, u32, u32);
+
+/// Whether a pruned run whose minimum time is exactly `t_lb` and minimum
+/// memory exactly `m_lb` is wholly dominated by the running frontier `m` —
+/// the microkernel's **batch prune**. `m` is time-ascending with strictly
+/// descending memory, so the points at-or-left of `t_lb` form a prefix
+/// whose last element holds its minimum memory; if that memory also
+/// matches-or-beats `m_lb`, every run candidate `q` (with `q.time ≥ t_lb`,
+/// `q.mem ≥ m_lb`) fails the merge's strict-improvement sweep, and the run
+/// can be skipped without materializing it. Sound and exact: a skipped run
+/// leaves `m` bit-identical to merging it (a no-contribution merge is the
+/// identity and its width-cap thin is a no-op).
+fn run_dominated(m: &[Cand], t_lb: f64, m_lb: u64) -> bool {
+    let j = m.partition_point(|e| e.0.total_cmp(&t_lb).is_le());
+    j > 0 && m[j - 1].1 <= m_lb
+}
+
+/// The tiled microkernel's k-way merge: [`merge_pruned_runs`] semantics
+/// with two batched rejection tests performed per run before the
+/// contribution scan touches any interior point.
+///
+/// * **Exact corner rejection** (always on): a merged point at-or-left of
+///   the run's first point in time and at-or-below its last point in
+///   memory dominates the whole run — one binary search, bit-identical
+///   to letting the scan walk the run.
+/// * **Endpoint rejection** (`lossy`, the `width > 0` regime): skip the
+///   run unless it strictly improves the running frontier's min-time or
+///   its memory floor — two scalar compares, with ties rejected
+///   (existing wins). A rejected run has a min time at-or-above the
+///   frontier's and a floor at-or-above its floor, so the merged
+///   min-time *value* (bitwise) and the exact memory floor *value* are
+///   preserved; the companion coordinate of each extreme point and the
+///   interior of the width-thinned frontier may differ from the
+///   incremental fill's. Callers gate this on `width > 0` — at
+///   `width == 0` the merge stays exact and set-identical.
+fn merge_runs_tiled(
+    runs: &[MergeRun],
+    pts: &[Pt],
+    width: usize,
+    lossy: bool,
+    m: &mut Vec<Cand>,
+    m2: &mut Vec<Cand>,
+) {
+    m.clear();
+    for (r, run) in runs.iter().enumerate() {
+        if run.head >= run.end {
+            continue;
+        }
+        let r = r as u32;
+        let emit = |h: u32| {
+            let p = &pts[h as usize];
+            (run.bt + p.time, run.bm + p.mem, r, h)
+        };
+        if m.is_empty() {
+            m.extend((run.head..run.end).map(emit));
+            thin_frontier(m, width);
+            continue;
+        }
+        let first = &pts[run.head as usize];
+        let last = &pts[run.end as usize - 1];
+        let t0 = run.bt + first.time;
+        let m1 = run.bm + last.mem;
+        let rejected = if lossy {
+            t0.total_cmp(&m[0].0).is_ge() && m1 >= m[m.len() - 1].1
+        } else {
+            run_dominated(m, t0, m1)
+        };
+        if rejected {
+            continue;
+        }
+        // Exact contribution scan, then the two-pointer merge — shared
+        // with the incremental engine.
+        let mut contributes = false;
+        let mut i = 0usize;
+        for h in run.head..run.end {
+            let (t, mm, _, _) = emit(h);
+            while i < m.len() && m[i].0.total_cmp(&t).is_le() {
+                i += 1;
+            }
+            if i == 0 || m[i - 1].1 > mm {
+                contributes = true;
+                break;
+            }
+        }
+        if !contributes {
+            continue;
+        }
+        m2.clear();
+        let mut i = 0usize;
+        let mut h = run.head;
+        let mut best = u64::MAX;
+        loop {
+            let from_m = if i < m.len() && h < run.end {
+                let e = &m[i];
+                let (t, mm, _, _) = emit(h);
+                e.0.total_cmp(&t).then(e.1.cmp(&mm)).is_le()
+            } else if i < m.len() {
+                true
+            } else if h < run.end {
+                false
+            } else {
+                break;
+            };
+            if from_m {
+                let e = m[i];
+                i += 1;
+                if e.1 < best {
+                    best = e.1;
+                    m2.push(e);
+                } else {
+                    i += m[i..].partition_point(|e| e.1 >= best);
+                }
+            } else {
+                let e = emit(h);
+                h += 1;
+                if e.1 < best {
+                    best = e.1;
+                    m2.push(e);
+                } else {
+                    let tail = &pts[h as usize..run.end as usize];
+                    h += tail.partition_point(|p| run.bm + p.mem >= best) as u32;
+                }
+            }
+        }
+        std::mem::swap(m, m2);
+        thin_frontier(m, width);
+    }
+}
+
+/// Batched counterpart of one [`merge_pruned_runs`] step: merge one
+/// already-pruned, already-shifted run (time ascending, memory strictly
+/// descending) into the running frontier `m`, then thin to `width`. The
+/// linear merge-then-prune drops exactly the candidates the incremental
+/// version's span-skipping binary searches drop — at the typical width of
+/// 8 the straight-line sweep beats the branchy searches — and keeps the
+/// same existing-wins rule on exact `(time, mem)` ties, so the resulting
+/// `m` is bit-identical run for run.
+fn merge_run_batched(m: &mut Vec<Cand>, m2: &mut Vec<Cand>, run: &[Cand], width: usize) {
+    if run.is_empty() {
+        return;
+    }
+    if m.is_empty() {
+        m.extend_from_slice(run);
+        thin_frontier(m, width);
+        return;
+    }
+    m2.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = u64::MAX;
+    while i < m.len() || j < run.len() {
+        let from_m = if i == m.len() {
+            false
+        } else if j == run.len() {
+            true
+        } else {
+            let (e, c) = (&m[i], &run[j]);
+            e.0.total_cmp(&c.0).then(e.1.cmp(&c.1)).is_le()
+        };
+        let e = if from_m {
+            i += 1;
+            m[i - 1]
+        } else {
+            j += 1;
+            run[j - 1]
+        };
+        if e.1 < best {
+            best = e.1;
+            m2.push(e);
+        }
+    }
+    std::mem::swap(m, m2);
+    thin_frontier(m, width);
+}
+
+/// One child-fold stage of the microkernel's per-configuration fold —
+/// the same k-way [`merge_pruned_runs`] call [`fill_entry`] makes, plus
+/// the kids rebuild: acc-major runs over the child's frontier, merged by
+/// the shared engine (wholesale rejection, contribution scan, span
+/// skipping), so the fold's per-candidate cost matches the incremental
+/// kernel's bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn fold_child_batched(
+    cf_pts: &[Pt],
+    depth: usize,
+    width: usize,
+    acc: &mut Vec<(f64, u64)>,
+    acc_kids: &mut Vec<u32>,
+    cand: &mut Vec<Cand>,
+    cand2: &mut Vec<Cand>,
+    runs: &mut Vec<MergeRun>,
+    new_kids: &mut Vec<u32>,
+) {
+    if acc.len() == 1 && !cf_pts.is_empty() {
+        // Singleton accumulator: the Minkowski sum is a pure translation of
+        // the child's frontier, which stays sorted, dominance-free, and
+        // within `width` — bit-identical to the merge below, with no
+        // pruning or thinning work.
+        let (at, am) = acc[0];
+        new_kids.clear();
+        for pi in 0..cf_pts.len() as u32 {
+            new_kids.extend_from_slice(&acc_kids[..depth]);
+            new_kids.push(pi);
+        }
+        std::mem::swap(acc_kids, new_kids);
+        acc.clear();
+        acc.extend(cf_pts.iter().map(|p| (at + p.time, am + p.mem)));
+        return;
+    }
+    runs.clear();
+    runs.extend(acc.iter().map(|&(at, am)| MergeRun {
+        bt: at,
+        bm: am,
+        head: 0,
+        end: cf_pts.len() as u32,
+    }));
+    merge_runs_tiled(runs, cf_pts, width, false, cand, cand2);
+    new_kids.clear();
+    for &(_, _, ai, pi) in cand.iter() {
+        new_kids.extend_from_slice(&acc_kids[ai as usize * depth..][..depth]);
+        new_kids.push(pi);
+    }
+    std::mem::swap(acc_kids, new_kids);
+    acc.clear();
+    acc.extend(cand.iter().map(|&(t, m, _, _)| (t, m)));
+}
+
+/// `acc[i] += row[i]` over `u64` memory rows (exact, so unlike the time
+/// rows no ordering care is needed — these exist for symmetry and speed).
+#[inline]
+fn add_mem_rows(acc: &mut [u64], row: &[u64]) {
+    let n = acc.len().min(row.len());
+    for i in 0..n {
+        acc[i] += row[i];
+    }
+}
+
+/// `acc[i] += v` over a `u64` memory row.
+#[inline]
+fn add_mem_scalar(acc: &mut [u64], v: u64) {
+    for a in acc {
+        *a += v;
+    }
+}
+
+/// Where one child's frontier values live for the microkernel.
+enum FChildRows {
+    /// General case: read the child `FTable`'s per-entry frontier slice.
+    Frontier,
+    /// Degenerate (every entry a singleton): times and memories copied
+    /// into panel-major rows — `panel[t + b ..][.. kv]` and
+    /// `mem_panel[m + b ..][.. kv]` are the rows for substrategy offset
+    /// `b` — addressed by re-derived coefficients exactly like
+    /// `crate::kernel`'s transposed child tables.
+    Panel { t: usize, m: usize },
+    /// Degenerate with `vi_coef == 0`: one point per entry, independent of
+    /// the configuration — read `pts[b]` directly (singleton tables have
+    /// the identity offsets map).
+    Broadcast,
+}
+
+/// One child's packed addressing for the microkernel.
+struct FChild {
+    anchor: usize,
+    /// Row/entry-offset coefficients in the parent's digits (re-derived
+    /// for the transposed panel layout, original otherwise).
+    coef: Vec<u64>,
+    /// The configuration stride of the *entry* index (general case only;
+    /// folded into the panel rows in the degenerate case).
+    vi_coef: u64,
+    rows: FChildRows,
+}
+
+/// Entry-invariant operands of one vertex's frontier fill, packed once by
+/// [`pack_frontier_vertex`] and shared read-only by every chunk: the
+/// later-edge panels of [`kernel::pack_edges`] (time component) plus, on
+/// the degenerate fast path, packed per-child time rows and a parallel
+/// packed memory-row panel. Panels are recycled to the thread pool on
+/// drop.
+struct FrontierPack {
+    panel: Vec<f64>,
+    mem_panel: Vec<u64>,
+    edges: Vec<(usize, kernel::EdgeRows)>,
+    children: Vec<FChild>,
+    /// Every child table is all-singleton — the degenerate fast path.
+    degenerate: bool,
+    packed_bytes: u64,
+}
+
+impl Drop for FrontierPack {
+    fn drop(&mut self) {
+        crate::pool::recycle_panel(std::mem::take(&mut self.panel));
+        crate::pool::recycle_mem_panel(std::mem::take(&mut self.mem_panel));
+    }
+}
+
+/// Pack one vertex's entry-invariant operands for the frontier
+/// microkernel: later-edge matrices through the shared
+/// [`kernel::pack_edges`], and — when every child frontier is degenerate
+/// (all entries singletons) — each child's times and memories transposed
+/// into contiguous `kv`-wide rows so the whole fold collapses to the
+/// scalar tiled kernel's fused slice passes.
+fn pack_frontier_vertex(
+    tables: &CostTables,
+    plan: &Plan,
+    children: &[ChildCoef],
+    dp: &[Option<FTable>],
+) -> FrontierPack {
+    let kv = plan.kv as usize;
+    let mut panel = crate::pool::take_panel();
+    let mut mem_panel = crate::pool::take_mem_panel();
+    let mut packed_bytes = 0u64;
+    let edges = kernel::pack_edges(tables, plan, &mut panel, &mut packed_bytes);
+
+    let degenerate = children.iter().all(|ch| {
+        dp[ch.anchor]
+            .as_ref()
+            .expect("child frontier")
+            .all_singleton()
+    });
+    let children = children
+        .iter()
+        .map(|ch| {
+            if !degenerate {
+                FChild {
+                    anchor: ch.anchor,
+                    coef: ch.parent_coef.clone(),
+                    vi_coef: ch.vi_coef,
+                    rows: FChildRows::Frontier,
+                }
+            } else if ch.vi_coef == 0 {
+                FChild {
+                    anchor: ch.anchor,
+                    coef: ch.parent_coef.clone(),
+                    vi_coef: 0,
+                    rows: FChildRows::Broadcast,
+                }
+            } else {
+                // Singleton entries at idx = base + vi_coef·c: copy the kv
+                // points of each substrategy out into one contiguous time
+                // row and one memory row ((`Pt` interleaves the
+                // coordinates, so even vi_coef == 1 needs the copy),
+                // using the same transposed layout and re-derived
+                // coefficients as `kernel::pack_vertex`'s child tables.
+                let pts = &dp[ch.anchor].as_ref().expect("child frontier").pts;
+                let vc = ch.vi_coef as usize;
+                debug_assert_eq!(pts.len() % (vc * kv), 0);
+                let t_off = panel.len();
+                let m_off = mem_panel.len();
+                panel.reserve(pts.len());
+                mem_panel.reserve(pts.len());
+                for block in pts.chunks_exact(vc * kv) {
+                    for lo in 0..vc {
+                        for p in block[lo..].iter().step_by(vc).take(kv) {
+                            panel.push(p.time);
+                            mem_panel.push(p.mem);
+                        }
+                    }
+                }
+                packed_bytes +=
+                    (pts.len() * (std::mem::size_of::<f64>() + std::mem::size_of::<u64>())) as u64;
+                let coef = ch
+                    .parent_coef
+                    .iter()
+                    .map(|&s| if s < ch.vi_coef { s * kv as u64 } else { s })
+                    .collect();
+                FChild {
+                    anchor: ch.anchor,
+                    coef,
+                    vi_coef: ch.vi_coef,
+                    rows: FChildRows::Panel { t: t_off, m: m_off },
+                }
+            }
+        })
+        .collect();
+
+    FrontierPack {
+        panel,
+        mem_panel,
+        edges,
+        children,
+        degenerate,
+        packed_bytes,
+    }
+}
+
+/// The run-blocked frontier fill of one chunk over a
+/// [`pack_frontier_vertex`] pack — the frontier analogue of
+/// `kernel::fill_chunk_tiled`, appending `len` entries starting at `start`
+/// onto `out`. Entries are processed in innermost-digit runs:
+///
+/// * the invariant prefix of the **time row** (layer cost plus leading
+///   later-edges that never read the innermost digit) is summed by fused
+///   slice passes once per run; the remaining edges are added per entry —
+///   the same addition tree as [`fill_entry`], computed `kv` lanes at a
+///   time;
+/// * when the whole time row is run-invariant, the per-configuration folds
+///   of the leading innermost-invariant children (the **prefix merge**)
+///   are hoisted once per run, and each entry resumes the fold at the
+///   first varying child;
+/// * a run in which *every* operand is invariant computes one entry and
+///   replicates it across the run;
+/// * each configuration's fold is **batch-pruned**: its exact
+///   `(min-time, min-memory)` lower bound (the left-fold of child minima —
+///   bitwise the fold's eventual min-time point) is tested against the
+///   running cross-configuration frontier, and provably dominated
+///   configurations are skipped without folding;
+/// * on the degenerate fast path (every child table all-singleton) the
+///   fold collapses entirely to packed row arithmetic: fused `f64` passes
+///   over the time panels and exact `u64` passes over the memory panels,
+///   followed by the per-entry cross-configuration merge.
+///
+/// Every merge replays [`fill_entry`]'s run order, thinning, and tie
+/// rules through [`merge_run_batched`], so the produced table is
+/// bit-identical to the incremental fill's.
+#[allow(clippy::too_many_arguments)]
+fn fill_chunk_frontier_tiled(
+    tables: &CostTables,
+    plan: &Plan,
+    pack: &FrontierPack,
+    dp: &[Option<FTable>],
+    width: usize,
+    start: u64,
+    len: usize,
+    s: &mut FrontierScratch,
+    out: &mut FTable,
+) {
+    let n_dep = plan.dep.len();
+    let kv = plan.kv as usize;
+    let n_edges = pack.edges.len();
+    let n_children = pack.children.len();
+
+    let FrontierScratch {
+        digits,
+        acc,
+        acc_kids,
+        cand,
+        cand2,
+        run_buf,
+        runs,
+        new_kids,
+        result,
+        result_kids,
+        child_base,
+        child_step,
+        pre,
+        trow,
+        mrow,
+        xm,
+        xm2,
+        hoist_offsets,
+        hoist_pts,
+        hoist_kids,
+        ..
+    } = s;
+
+    // Initial digit decode and child offsets — the only div/mod in the
+    // chunk; runs advance by odometer carries.
+    digits.clear();
+    digits.resize(n_dep, 0);
+    for t in 0..n_dep {
+        digits[t] = ((start / plan.strides[t]) % u64::from(plan.radix[t])) as u16;
+    }
+    child_base.clear();
+    child_step.clear();
+    for ch in &pack.children {
+        child_base.push(
+            ch.coef
+                .iter()
+                .zip(digits.iter())
+                .map(|(&coef, &d)| coef * u64::from(d))
+                .sum(),
+        );
+        child_step.push(if n_dep == 0 { 0 } else { ch.coef[n_dep - 1] });
+    }
+    let last = n_dep.wrapping_sub(1);
+    let rlast = if n_dep == 0 {
+        1u64
+    } else {
+        u64::from(plan.radix[last])
+    };
+    // Strip the innermost-digit contribution out of `child_base`: rows at
+    // digit value `d` are addressed as `child_base + child_step·d`.
+    let d0 = if n_dep == 0 {
+        0
+    } else {
+        u64::from(digits[last])
+    };
+    for (b, st) in child_base.iter_mut().zip(child_step.iter()) {
+        *b -= st * d0;
+    }
+
+    let base_row = tables.layer_cost_row(plan.vi);
+    let mem_row = tables.memory_row(plan.vi);
+    debug_assert_eq!(base_row.len(), kv);
+    let edge_mats: Vec<&[f64]> = pack
+        .edges
+        .iter()
+        .map(|(_, rows)| kernel::edge_row_block(tables, rows, &pack.panel, kv))
+        .collect();
+    let child_fts: Vec<&FTable> = pack
+        .children
+        .iter()
+        .map(|ch| dp[ch.anchor].as_ref().expect("child frontier"))
+        .collect();
+
+    // Longest invariant prefix of the later-edge sum (operands that never
+    // read the innermost digit) — hoisted into `pre` once per run.
+    let n_pre_e = pack
+        .edges
+        .iter()
+        .take_while(|&&(slot, _)| n_dep == 0 || slot != last)
+        .count();
+    let edges_invariant = n_pre_e == n_edges;
+    let all_invariant = edges_invariant && child_step.iter().all(|&st| st == 0);
+    // Leading children whose row offset ignores the innermost digit: with
+    // an invariant time row their per-configuration folds hoist once per
+    // run (pointless when the whole run replicates one entry).
+    let n_hoist = if edges_invariant && !all_invariant && !pack.degenerate {
+        child_step.iter().take_while(|&&st| st == 0).count()
+    } else {
+        0
+    };
+
+    pre.clear();
+    pre.resize(kv, 0.0);
+    trow.clear();
+    trow.resize(kv, 0.0);
+    mrow.clear();
+    mrow.resize(kv, 0);
+
+    let mut off = 0usize;
+    // First innermost-digit value of the current run (the chunk may start
+    // mid-run; later runs always start at 0).
+    let mut d_first = d0;
+    while off < len {
+        let run = ((rlast - d_first) as usize).min(len - off);
+
+        // Edge row `j` at innermost-digit value `d` (invariant edges
+        // ignore `d` and resolve the same row for the whole run).
+        let edge_row = |j: usize, d: u64| -> &[f64] {
+            let (slot, _) = pack.edges[j];
+            let w = if n_dep > 0 && slot == last {
+                d as usize
+            } else {
+                digits[slot] as usize
+            };
+            &edge_mats[j][w * kv..][..kv]
+        };
+
+        // Hoist the invariant prefix of the time row once per run — the
+        // same addition tree, its shared head computed once.
+        let pre_row: &[f64] = if n_pre_e == 0 {
+            base_row
+        } else {
+            kernel::set_sum(pre, base_row, edge_row(0, d_first));
+            for j in 1..n_pre_e {
+                kernel::add_rows(pre, edge_row(j, d_first));
+            }
+            pre
+        };
+
+        // Hoist the prefix merge: fold the leading invariant children once
+        // per run, per configuration.
+        if n_hoist > 0 {
+            hoist_offsets.clear();
+            hoist_pts.clear();
+            hoist_kids.clear();
+            hoist_offsets.push(0);
+            for c in 0..kv {
+                acc.clear();
+                acc_kids.clear();
+                acc.push((pre_row[c], mem_row[c]));
+                for ci in 0..n_hoist {
+                    let idx = (child_base[ci] + pack.children[ci].vi_coef * c as u64) as usize;
+                    fold_child_batched(
+                        child_fts[ci].entry_pts(idx),
+                        ci,
+                        width,
+                        acc,
+                        acc_kids,
+                        cand,
+                        cand2,
+                        runs,
+                        new_kids,
+                    );
+                }
+                hoist_pts.extend_from_slice(acc);
+                hoist_kids.extend_from_slice(acc_kids);
+                hoist_offsets.push(hoist_pts.len() as u32);
+            }
+        }
+
+        let entries = if all_invariant { 1 } else { run };
+        for step in 0..entries {
+            let d = d_first + step as u64;
+
+            if pack.degenerate {
+                // Degenerate fast path: every child is a singleton, so the
+                // fold is row arithmetic — fused f64 passes for time,
+                // exact u64 passes for memory, in the fold's exact
+                // operand order (edges in plan order, then children).
+                let trow_ref: &[f64] = if n_pre_e == n_edges && n_children == 0 {
+                    pre_row
+                } else {
+                    let mut seeded = false;
+                    for j in n_pre_e..n_edges {
+                        if seeded {
+                            kernel::add_rows(trow, edge_row(j, d));
+                        } else {
+                            kernel::set_sum(trow, pre_row, edge_row(j, d));
+                            seeded = true;
+                        }
+                    }
+                    for (ci, ch) in pack.children.iter().enumerate() {
+                        let b = (child_base[ci] + child_step[ci] * d) as usize;
+                        match ch.rows {
+                            FChildRows::Panel { t, .. } => {
+                                let row = &pack.panel[t + b..][..kv];
+                                if seeded {
+                                    kernel::add_rows(trow, row);
+                                } else {
+                                    kernel::set_sum(trow, pre_row, row);
+                                    seeded = true;
+                                }
+                            }
+                            FChildRows::Broadcast => {
+                                let p = &child_fts[ci].pts[b];
+                                if seeded {
+                                    kernel::add_scalar(trow, p.time);
+                                } else {
+                                    kernel::set_sum_scalar(trow, pre_row, p.time);
+                                    seeded = true;
+                                }
+                            }
+                            FChildRows::Frontier => unreachable!("degenerate pack"),
+                        }
+                    }
+                    trow
+                };
+                let mrow_ref: &[u64] = if n_children == 0 {
+                    mem_row
+                } else {
+                    mrow.copy_from_slice(mem_row);
+                    for (ci, ch) in pack.children.iter().enumerate() {
+                        let b = (child_base[ci] + child_step[ci] * d) as usize;
+                        match ch.rows {
+                            FChildRows::Panel { m, .. } => {
+                                add_mem_rows(mrow, &pack.mem_panel[m + b..][..kv]);
+                            }
+                            FChildRows::Broadcast => {
+                                add_mem_scalar(mrow, child_fts[ci].pts[b].mem);
+                            }
+                            FChildRows::Frontier => unreachable!("degenerate pack"),
+                        }
+                    }
+                    mrow
+                };
+                // Cross-configuration merge over kv singleton runs; the
+                // lower-bound test IS the contribution scan here. Kids are
+                // all zero (each child frontier has exactly one point).
+                xm.clear();
+                for c in 0..kv {
+                    let (t, mm) = (trow_ref[c], mrow_ref[c]);
+                    if !xm.is_empty() && run_dominated(xm, t, mm) {
+                        continue;
+                    }
+                    merge_run_batched(xm, xm2, &[(t, mm, c as u32, c as u32)], width);
+                }
+                thin_frontier(xm, width);
+                for &(t, mm, c, _) in xm.iter() {
+                    out.pts.push(Pt {
+                        time: t,
+                        mem: mm,
+                        choice: c as u16,
+                    });
+                }
+                out.kids
+                    .extend(std::iter::repeat(0u32).take(xm.len() * n_children));
+                out.offsets.push(out.pts.len() as u32);
+            } else {
+                // General path: per-entry time row by slice passes, then
+                // the batch-pruned per-configuration fold.
+                let trow_ref: &[f64] = if edges_invariant {
+                    pre_row
+                } else {
+                    kernel::set_sum(trow, pre_row, edge_row(n_pre_e, d));
+                    for j in n_pre_e + 1..n_edges {
+                        kernel::add_rows(trow, edge_row(j, d));
+                    }
+                    trow
+                };
+                if n_children == 1 && n_hoist == 0 {
+                    // Single non-hoistable child: every configuration's fold
+                    // is a pure translation of one child entry, so the whole
+                    // entry is a single k-way merge-prune whose runs point
+                    // straight into the child's packed point arena — no fold
+                    // and no result arena. At `width > 0` the merge
+                    // batch-prunes endpoint-dominated configurations
+                    // (min-time bit-parity and the exact memory floor are
+                    // preserved); at `width == 0` it is exact.
+                    let ft0 = child_fts[0];
+                    let vi_coef = pack.children[0].vi_coef;
+                    let cb = child_base[0] + child_step[0] * d;
+                    runs.clear();
+                    runs.extend((0..kv).map(|c| {
+                        let idx = (cb + vi_coef * c as u64) as usize;
+                        MergeRun {
+                            bt: trow_ref[c],
+                            bm: mem_row[c],
+                            head: ft0.offsets[idx],
+                            end: ft0.offsets[idx + 1],
+                        }
+                    }));
+                    merge_runs_tiled(runs, &ft0.pts, width, width > 0, xm, xm2);
+                    for &(t, mm, c, h) in xm.iter() {
+                        out.pts.push(Pt {
+                            time: t,
+                            mem: mm,
+                            choice: c as u16,
+                        });
+                        out.kids.push(h - runs[c as usize].head);
+                    }
+                    out.offsets.push(out.pts.len() as u32);
+                    continue;
+                }
+                xm.clear();
+                result.clear();
+                result_kids.clear();
+                'config: for c in 0..kv {
+                    // Exact endpoints of the configuration's fold, computed
+                    // without folding: the left-fold of child min-time points
+                    // is, bitwise, the min-time endpoint the fold would
+                    // produce (same f64 addition order), and the u64 sums of
+                    // child memory extremes are its exact memory floor and
+                    // min-time-path memory.
+                    let (mut t_lb, mut m_lb) = if n_hoist > 0 {
+                        let h =
+                            &hoist_pts[hoist_offsets[c] as usize..hoist_offsets[c + 1] as usize];
+                        match h.first() {
+                            Some(&(t, _)) => (t, h[h.len() - 1].1),
+                            None => continue 'config,
+                        }
+                    } else {
+                        (trow_ref[c], mem_row[c])
+                    };
+                    for ci in n_hoist..n_children {
+                        let idx = (child_base[ci]
+                            + child_step[ci] * d
+                            + pack.children[ci].vi_coef * c as u64)
+                            as usize;
+                        let cf = child_fts[ci].entry_pts(idx);
+                        match cf.first() {
+                            Some(p) => {
+                                t_lb += p.time;
+                                m_lb += cf[cf.len() - 1].mem;
+                            }
+                            None => continue 'config,
+                        }
+                    }
+                    // Batch prune: skip the fold outright unless it can
+                    // improve the running cross-configuration frontier's
+                    // min-time head or its memory floor (non-strict, so ties
+                    // fold and resolve exactly) — `t_lb` and `m_lb` are the
+                    // fold's exact endpoints, computed without folding.
+                    // Gated to the width-capped regime — at `width == 0` the
+                    // fill is exact and every configuration is folded.
+                    if width > 0
+                        && !xm.is_empty()
+                        && t_lb.total_cmp(&xm[0].0).is_ge()
+                        && m_lb >= xm[xm.len() - 1].1
+                    {
+                        continue 'config;
+                    }
+                    // Fold, resuming from the hoisted prefix state.
+                    if n_hoist > 0 {
+                        let (s0, s1) = (hoist_offsets[c] as usize, hoist_offsets[c + 1] as usize);
+                        acc.clear();
+                        acc.extend_from_slice(&hoist_pts[s0..s1]);
+                        acc_kids.clear();
+                        acc_kids.extend_from_slice(&hoist_kids[s0 * n_hoist..s1 * n_hoist]);
+                    } else {
+                        acc.clear();
+                        acc_kids.clear();
+                        acc.push((trow_ref[c], mem_row[c]));
+                    }
+                    for ci in n_hoist..n_children {
+                        let idx = (child_base[ci]
+                            + child_step[ci] * d
+                            + pack.children[ci].vi_coef * c as u64)
+                            as usize;
+                        fold_child_batched(
+                            child_fts[ci].entry_pts(idx),
+                            ci,
+                            width,
+                            acc,
+                            acc_kids,
+                            cand,
+                            cand2,
+                            runs,
+                            new_kids,
+                        );
+                    }
+                    debug_assert!(!acc.is_empty());
+                    debug_assert_eq!(acc[0].0.to_bits(), t_lb.to_bits());
+                    debug_assert_eq!(acc[acc.len() - 1].1, m_lb);
+                    // Read-only contribution scan: when every fold point is
+                    // dominated by the running cross-configuration frontier
+                    // the merge below is the identity (and re-thinning a
+                    // ≤-width frontier is too), so skip the arena traffic
+                    // and the merge outright — bit-identical either way.
+                    if !xm.is_empty() && acc.iter().all(|&(t, mm)| run_dominated(xm, t, mm)) {
+                        continue 'config;
+                    }
+                    let astart = result.len() as u32;
+                    for (i, &(t, mm)) in acc.iter().enumerate() {
+                        result.push(Pt {
+                            time: t,
+                            mem: mm,
+                            choice: c as u16,
+                        });
+                        result_kids.extend_from_slice(&acc_kids[i * n_children..][..n_children]);
+                    }
+                    run_buf.clear();
+                    run_buf.extend(
+                        acc.iter()
+                            .enumerate()
+                            .map(|(i, &(t, mm))| (t, mm, c as u32, astart + i as u32)),
+                    );
+                    merge_run_batched(xm, xm2, run_buf, width);
+                }
+                thin_frontier(xm, width);
+                for &(_, _, _, pi) in xm.iter() {
+                    out.pts.push(result[pi as usize]);
+                    out.kids
+                        .extend_from_slice(&result_kids[pi as usize * n_children..][..n_children]);
+                }
+                out.offsets.push(out.pts.len() as u32);
+            }
+        }
+        if all_invariant {
+            for _ in 1..run {
+                out.duplicate_last_entry(n_children);
+            }
+        }
+
+        off += run;
+        d_first = 0;
+        if off < len {
+            // Carry out of the innermost digit, once per run.
+            let mut t = last;
+            loop {
+                if t == 0 {
+                    // Unreachable for in-bounds chunk ranges (the caller
+                    // slices [0, table size)); keep the offsets valid.
+                    debug_assert!(false, "frontier fill odometer overflow");
+                    out.push_empty(len - off);
+                    return;
+                }
+                t -= 1;
+                digits[t] += 1;
+                for (b, ch) in child_base.iter_mut().zip(&pack.children) {
+                    *b += ch.coef[t];
+                }
+                if u32::from(digits[t]) < plan.radix[t] {
+                    break;
+                }
+                digits[t] = 0;
+                for (b, ch) in child_base.iter_mut().zip(&pack.children) {
+                    *b -= ch.coef[t] * u64::from(plan.radix[t]);
+                }
+            }
+            digits[last] = 0;
+        }
+    }
+}
+
+/// The `stats.dp_kernel` tag of a frontier run under each kernel option.
+fn frontier_kernel_name(kernel: DpKernel) -> &'static str {
+    match kernel {
+        DpKernel::Scalar => "frontier",
+        DpKernel::Tiled => "frontier-tiled",
+    }
+}
+
 /// The frontier engine behind [`crate::Search::frontier`] /
 /// [`crate::Search::max_memory_bytes`]: same ordering, structure, planning,
 /// budget accounting, and scheduling shell as the scalar
@@ -538,7 +1561,7 @@ pub(crate) fn run_frontier_with_structure(
             config_ids: vec![],
         }]);
         let stats = SearchStats {
-            dp_kernel: "frontier",
+            dp_kernel: frontier_kernel_name(opts.kernel),
             frontier_len: 1,
             ..SearchStats::default()
         };
@@ -564,7 +1587,7 @@ pub(crate) fn run_frontier_with_structure(
         wavefronts: structure.wavefronts().len(),
         max_wavefront_width: structure.max_wavefront_width(),
         intern_hit_rate: tables.intern_stats().hit_rate_opt(),
-        dp_kernel: "frontier",
+        dp_kernel: frontier_kernel_name(opts.kernel),
         ..SearchStats::default()
     };
 
@@ -589,64 +1612,82 @@ pub(crate) fn run_frontier_with_structure(
     // unlike the scalar entry accounting — this cannot run up front).
     let mut frontier_bytes: u64 = 0;
     let byte_cap = opts.budget.max_table_bytes();
+    let tiled = opts.kernel == DpKernel::Tiled;
+    // Cumulative bytes transposed into panel scratch by the tiled kernel
+    // (the pase-obs `packed_bytes` counter); the kernel sub-span is only
+    // recorded for the tiled kernel, mirroring the scalar engine.
+    let packed_bytes = AtomicU64::new(0);
+    let ktrace = if tiled { trace } else { None };
+    let width = opts.frontier_width;
+    let recycle_dp = |dp: Vec<Option<FTable>>| {
+        for t in dp.into_iter().flatten() {
+            pool::recycle_ftable(t);
+        }
+    };
 
-    // Fill one position's table, parallel over entries when asked.
+    // Fill one position's table: pack the entry-invariant operands once
+    // (tiled kernel), then fill CHUNK-sized blocks — across the rayon pool
+    // when parallelism is on — recycling scratch and per-chunk tables
+    // through the thread-local pools.
     let fill_table = |i: usize,
                       children: &[ChildCoef],
                       dp: &[Option<FTable>],
                       timed_out: &AtomicBool|
      -> FTable {
-        let size = plans[i].size as usize;
         let plan = &plans[i];
-        // Fill into the scratch's reusable `out` buffers; the sequential
-        // path appends straight into the flat table, the parallel path
-        // clones each finished entry out of its worker's scratch and
-        // compacts afterwards.
-        let entry = |scratch: &mut Scratch, flat: usize| {
-            if timed_out.load(AtomicOrdering::Relaxed) {
-                scratch.out.pts.clear();
-                scratch.out.kids.clear();
-                return;
-            }
-            if flat % CHUNK == 0 && Instant::now() > deadline {
+        let size = plan.size as usize;
+        let pack = tiled.then(|| pack_frontier_vertex(tables, plan, children, dp));
+        if let Some(p) = &pack {
+            packed_bytes.fetch_add(p.packed_bytes, AtomicOrdering::Relaxed);
+        }
+        let fill_chunk = |scratch: &mut FrontierScratch, out: &mut FTable, lo: usize, hi: usize| {
+            if timed_out.load(AtomicOrdering::Relaxed) || Instant::now() > deadline {
                 timed_out.store(true, AtomicOrdering::Relaxed);
-                scratch.out.pts.clear();
-                scratch.out.kids.clear();
+                out.push_empty(hi - lo);
                 return;
             }
-            fill_entry(
-                tables,
-                plan,
-                children,
-                dp,
-                flat as u64,
-                opts.frontier_width,
-                scratch,
-            )
+            match &pack {
+                Some(p) => fill_chunk_frontier_tiled(
+                    tables,
+                    plan,
+                    p,
+                    dp,
+                    width,
+                    lo as u64,
+                    hi - lo,
+                    scratch,
+                    out,
+                ),
+                None => {
+                    for flat in lo..hi {
+                        fill_entry(tables, plan, children, dp, flat as u64, width, scratch);
+                        out.push_entry(&scratch.out);
+                    }
+                }
+            }
         };
         if opts.parallel && size >= CHUNK {
-            let entries: Vec<EntryFrontier> = (0..size)
+            let parts: Vec<FTable> = (0..size.div_ceil(CHUNK))
                 .into_par_iter()
-                .with_min_len(CHUNK.min(size))
-                .map_init(Scratch::default, |scratch, flat| {
-                    entry(scratch, flat);
-                    EntryFrontier {
-                        pts: scratch.out.pts.clone(),
-                        kids: scratch.out.kids.clone(),
-                    }
+                .map_init(pool::take_frontier_scratch, |scratch, c| {
+                    let lo = c * CHUNK;
+                    let hi = (lo + CHUNK).min(size);
+                    let mut part = pool::take_ftable(hi - lo);
+                    fill_chunk(scratch, &mut part, lo, hi);
+                    part
                 })
                 .collect();
-            let mut table = FTable::with_entries(size);
-            for e in &entries {
-                table.push_entry(e);
+            let mut table = pool::take_ftable(size);
+            for part in parts {
+                table.append_table(&part);
+                pool::recycle_ftable(part);
             }
             table
         } else {
-            let mut scratch = Scratch::default();
-            let mut table = FTable::with_entries(size);
-            for flat in 0..size {
-                entry(&mut scratch, flat);
-                table.push_entry(&scratch.out);
+            let mut scratch = pool::take_frontier_scratch();
+            let mut table = pool::take_ftable(size);
+            for lo in (0..size).step_by(CHUNK) {
+                fill_chunk(&mut scratch, &mut table, lo, (lo + CHUNK).min(size));
             }
             table
         }
@@ -655,19 +1696,28 @@ pub(crate) fn run_frontier_with_structure(
     if opts.parallel {
         for (wi, wave) in structure.wavefronts().iter().enumerate() {
             let mut wave_span = trace.map(|t| t.span(phase::wavefront_name(wi)));
+            let kernel_span = span_in(ktrace, phase::KERNEL);
             for &i in wave {
                 let children = child_coefs(&plans, &structure, i);
                 let t = fill_table(i, &children, &dp, &timed_out);
                 frontier_bytes += table_bytes(&t, children.len());
                 dp[i] = Some(t);
             }
+            drop(kernel_span);
             wave_span.arg("tables", wave.len());
             drop(wave_span);
+            if let Some(t) = trace {
+                if tiled {
+                    t.counter("packed_bytes", packed_bytes.load(AtomicOrdering::Relaxed));
+                }
+            }
             if timed_out.load(AtomicOrdering::Relaxed) {
+                recycle_dp(dp);
                 stats.elapsed = start.elapsed();
                 return FrontierFill::Abort(SearchOutcome::Timeout { stats });
             }
             if frontier_bytes > byte_cap {
+                recycle_dp(dp);
                 stats.peak_table_bytes = stats.peak_table_bytes.max(frontier_bytes);
                 stats.elapsed = start.elapsed();
                 return FrontierFill::Abort(SearchOutcome::Oom {
@@ -679,16 +1729,19 @@ pub(crate) fn run_frontier_with_structure(
     } else {
         let mut fill_span = span_in(trace, phase::SEQUENTIAL_FILL);
         fill_span.arg("tables", n);
+        let kernel_span = span_in(ktrace, phase::KERNEL);
         for i in 0..n {
             let children = child_coefs(&plans, &structure, i);
             let t = fill_table(i, &children, &dp, &timed_out);
             frontier_bytes += table_bytes(&t, children.len());
             dp[i] = Some(t);
             if timed_out.load(AtomicOrdering::Relaxed) {
+                recycle_dp(dp);
                 stats.elapsed = start.elapsed();
                 return FrontierFill::Abort(SearchOutcome::Timeout { stats });
             }
             if frontier_bytes > byte_cap {
+                recycle_dp(dp);
                 stats.peak_table_bytes = stats.peak_table_bytes.max(frontier_bytes);
                 stats.elapsed = start.elapsed();
                 return FrontierFill::Abort(SearchOutcome::Oom {
@@ -697,7 +1750,13 @@ pub(crate) fn run_frontier_with_structure(
                 });
             }
         }
+        drop(kernel_span);
         drop(fill_span);
+        if let Some(t) = trace {
+            if tiled {
+                t.counter("packed_bytes", packed_bytes.load(AtomicOrdering::Relaxed));
+            }
+        }
     }
     stats.peak_table_bytes = stats.peak_table_bytes.max(frontier_bytes);
 
@@ -773,6 +1832,7 @@ pub(crate) fn run_frontier_with_structure(
         })
         .collect();
     drop(backtrack_span);
+    recycle_dp(dp);
 
     stats.frontier_len = points.len();
     stats.elapsed = start.elapsed();
@@ -803,7 +1863,7 @@ pub(crate) fn run_frontier_pruned_with_structure(
             k_before: ps.k_before,
             prune_time: ps.elapsed,
             elapsed: ps.elapsed,
-            dp_kernel: "frontier",
+            dp_kernel: frontier_kernel_name(opts.kernel),
             ..SearchStats::default()
         };
         return FrontierFill::Abort(SearchOutcome::Timeout { stats });
@@ -1034,6 +2094,123 @@ mod tests {
         prune_pareto(&mut v, |&(t, m)| (t, m));
         assert_eq!(v, vec![(1.0, 10), (2.0, 5), (3.0, 1)]);
         // NaN-free inputs only: tables are checked finite before any fill.
+    }
+
+    #[test]
+    fn cheapest_within_is_exact_at_the_budget_boundary() {
+        let pt = |cost: f64, memory_bytes: u64| FrontierPoint {
+            cost,
+            memory_bytes,
+            config_ids: vec![],
+        };
+        let f = StrategyFrontier::new(vec![pt(1.0, 100), pt(2.0, 60), pt(4.0, 10)]);
+        // A budget exactly at a point's memory admits that point (≤, not <).
+        assert_eq!(f.cheapest_within(100).expect("fits").cost, 1.0);
+        assert_eq!(f.cheapest_within(60).expect("fits").cost, 2.0);
+        assert_eq!(f.cheapest_within(10).expect("fits").cost, 4.0);
+        // One byte under a boundary falls through to the next point.
+        assert_eq!(f.cheapest_within(99).expect("fits").cost, 2.0);
+        assert_eq!(f.cheapest_within(59).expect("fits").cost, 4.0);
+        assert_eq!(f.cheapest_within(11).expect("fits").cost, 4.0);
+        // Under the memory floor: infeasible.
+        assert!(f.cheapest_within(9).is_none());
+        assert!(f.cheapest_within(0).is_none());
+        // Unbounded budgets select the min-time point.
+        assert_eq!(f.cheapest_within(u64::MAX).expect("fits").cost, 1.0);
+        assert!(StrategyFrontier::default()
+            .cheapest_within(u64::MAX)
+            .is_none());
+    }
+
+    #[test]
+    fn batched_merge_replays_the_incremental_merge() {
+        // Four runs over a shared point arena, including an empty run, a
+        // non-contributing run, and exact (time, mem) ties; each run is a
+        // valid frontier (ascending time, strictly decreasing memory).
+        let p = |time: f64, mem: u64| Pt {
+            time,
+            mem,
+            choice: 0,
+        };
+        let pts = vec![
+            // run 0 (base 0, 0)
+            p(1.0, 100),
+            p(2.0, 50),
+            p(5.0, 7),
+            // run 1 (base 0.5, 20): lands interleaved with run 0
+            p(1.0, 90),
+            p(3.0, 5),
+            // run 2 (base 0, 0): exact tie with run 0's head, then dominated
+            p(1.0, 100),
+            p(2.5, 80),
+            // run 3 (base 0, 0): fully dominated, contributes nothing
+            p(1.5, 120),
+            p(6.0, 60),
+        ];
+        let runs = [
+            (0.0, 0u64, 0u32, 3u32),
+            (0.5, 20, 3, 5),
+            (0.0, 0, 5, 7),
+            (0.0, 0, 7, 7), // empty
+            (0.0, 0, 7, 9),
+        ];
+        for width in [0usize, 2, 3, 8] {
+            let merge_runs: Vec<MergeRun> = runs
+                .iter()
+                .map(|&(bt, bm, head, end)| MergeRun { bt, bm, head, end })
+                .collect();
+            let (mut m, mut m2) = (Vec::new(), Vec::new());
+            merge_pruned_runs(&merge_runs, &pts, width, &mut m, &mut m2);
+            let (mut bm, mut bm2) = (Vec::new(), Vec::new());
+            for (r, &(bt, base_m, head, end)) in runs.iter().enumerate() {
+                let run: Vec<Cand> = (head..end)
+                    .map(|h| {
+                        let pt = &pts[h as usize];
+                        (bt + pt.time, base_m + pt.mem, r as u32, h)
+                    })
+                    .collect();
+                merge_run_batched(&mut bm, &mut bm2, &run, width);
+            }
+            assert_eq!(m, bm, "width = {width}");
+        }
+    }
+
+    #[test]
+    fn scalar_and_tiled_frontier_kernels_agree_bitwise() {
+        let g = diamond();
+        for width in [0usize, 2, 8] {
+            for parallel in [false, true] {
+                let scalar = Search::new(&g)
+                    .devices(8)
+                    .parallel(parallel)
+                    .dp_kernel(DpKernel::Scalar)
+                    .frontier()
+                    .frontier_width(width)
+                    .run();
+                let tiled = Search::new(&g)
+                    .devices(8)
+                    .parallel(parallel)
+                    .dp_kernel(DpKernel::Tiled)
+                    .frontier()
+                    .frontier_width(width)
+                    .run();
+                assert_eq!(scalar.result().expect("scalar").stats.dp_kernel, "frontier");
+                assert_eq!(
+                    tiled.result().expect("tiled").stats.dp_kernel,
+                    "frontier-tiled"
+                );
+                let (sf, tf) = (
+                    scalar.frontier().expect("scalar"),
+                    tiled.frontier().expect("tiled"),
+                );
+                assert_eq!(sf.len(), tf.len(), "width = {width}");
+                for (a, b) in sf.points().iter().zip(tf.points()) {
+                    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                    assert_eq!(a.memory_bytes, b.memory_bytes);
+                    assert_eq!(a.config_ids, b.config_ids);
+                }
+            }
+        }
     }
 
     #[test]

@@ -398,8 +398,10 @@ pub fn packed_min_add(acc: &mut [f64], base: &[f64], rows: &[&[f64]]) -> (f64, u
     }
 }
 
-/// Where one later-edge's cost rows live for the tiled kernel.
-enum EdgeRows {
+/// Where one later-edge's cost rows live for the tiled kernels (scalar
+/// tables here, frontier tables in `crate::frontier` — both share
+/// [`pack_edges`]).
+pub(crate) enum EdgeRows {
     /// Transposed into the pack's panel at this element offset
     /// (`panel[off + w·kv ..][.. kv]` is the row for neighbor digit `w`).
     Panel(usize),
@@ -407,6 +409,61 @@ enum EdgeRows {
     /// fixed neighbor digit (`mat[w·kv ..][.. kv]`), resolved through
     /// `tables` at fill time.
     Direct(pase_graph::EdgeId),
+}
+
+/// Pack one vertex's later-edge matrices (the edge half of [`pack_vertex`],
+/// shared with the frontier microkernel): every matrix the inner loop would
+/// read column-wise (current vertex on the source side) is transposed into
+/// `panel` so each neighbor digit selects a contiguous `kv`-cost row;
+/// matrices already row-major for our access are referenced in place.
+pub(crate) fn pack_edges(
+    tables: &CostTables,
+    plan: &Plan,
+    panel: &mut Vec<f64>,
+    packed_bytes: &mut u64,
+) -> Vec<(usize, EdgeRows)> {
+    let kv = plan.kv as usize;
+    plan.later_edges
+        .iter()
+        .map(|&(e, slot, vi_is_src)| {
+            let rows = if vi_is_src {
+                // mat[c·k_dst + w]: the row over c for fixed w is strided.
+                // Transpose the whole kw × kv block once per vertex.
+                let (mat, k_dst) = tables.edge_cost_matrix(e);
+                let kw = plan.radix[slot] as usize;
+                debug_assert_eq!(k_dst, kw);
+                debug_assert_eq!(mat.len(), kv * kw);
+                let off = panel.len();
+                panel.reserve(kw * kv);
+                for w in 0..kw {
+                    panel.extend(mat[w..].iter().step_by(k_dst).take(kv));
+                }
+                *packed_bytes += (kw * kv * std::mem::size_of::<f64>()) as u64;
+                EdgeRows::Panel(off)
+            } else {
+                EdgeRows::Direct(e)
+            };
+            (slot, rows)
+        })
+        .collect()
+}
+
+/// Resolve one packed edge's row block for fill time: the panel slice for
+/// transposed matrices, the raw (already row-major) matrix otherwise.
+pub(crate) fn edge_row_block<'a>(
+    tables: &'a CostTables,
+    rows: &EdgeRows,
+    panel: &'a [f64],
+    kv: usize,
+) -> &'a [f64] {
+    match rows {
+        EdgeRows::Panel(off) => &panel[*off..],
+        EdgeRows::Direct(e) => {
+            let (mat, k_dst) = tables.edge_cost_matrix(*e);
+            debug_assert_eq!(k_dst, kv);
+            mat
+        }
+    }
 }
 
 /// Where one child table's cost rows live for the tiled kernel.
@@ -470,30 +527,7 @@ pub(crate) fn pack_vertex(
     let mut panel = crate::pool::take_panel();
     let mut packed_bytes = 0u64;
 
-    let edges = plan
-        .later_edges
-        .iter()
-        .map(|&(e, slot, vi_is_src)| {
-            let rows = if vi_is_src {
-                // mat[c·k_dst + w]: the row over c for fixed w is strided.
-                // Transpose the whole kw × kv block once per vertex.
-                let (mat, k_dst) = tables.edge_cost_matrix(e);
-                let kw = plan.radix[slot] as usize;
-                debug_assert_eq!(k_dst, kw);
-                debug_assert_eq!(mat.len(), kv * kw);
-                let off = panel.len();
-                panel.reserve(kw * kv);
-                for w in 0..kw {
-                    panel.extend(mat[w..].iter().step_by(k_dst).take(kv));
-                }
-                packed_bytes += (kw * kv * std::mem::size_of::<f64>()) as u64;
-                EdgeRows::Panel(off)
-            } else {
-                EdgeRows::Direct(e)
-            };
-            (slot, rows)
-        })
-        .collect();
+    let edges = pack_edges(tables, plan, &mut panel, &mut packed_bytes);
 
     let children = children
         .iter()
@@ -631,14 +665,7 @@ pub(crate) fn fill_chunk_tiled(
     let edge_mats: Vec<&[f64]> = packed
         .edges
         .iter()
-        .map(|(_, rows)| match rows {
-            EdgeRows::Panel(off) => &packed.panel[*off..],
-            EdgeRows::Direct(e) => {
-                let (mat, k_dst) = tables.edge_cost_matrix(*e);
-                debug_assert_eq!(k_dst, kv);
-                mat
-            }
-        })
+        .map(|(_, rows)| edge_row_block(tables, rows, &packed.panel, kv))
         .collect();
     let child_mats: Vec<&[f64]> = packed
         .children

@@ -17,6 +17,7 @@
 //! * pools are `thread_local!`, so there is no locking and no cross-thread
 //!   aliasing.
 
+use crate::frontier::{FTable, FrontierScratch};
 use std::cell::RefCell;
 
 /// Per-thread scratch buffers for the table-fill loop, grown on demand to
@@ -56,6 +57,9 @@ thread_local! {
     static SCRATCH: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
     static TABLES: RefCell<Vec<(Vec<f64>, Vec<u16>)>> = const { RefCell::new(Vec::new()) };
     static PANELS: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+    static MEM_PANELS: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+    static FRONTIER_SCRATCH: RefCell<Vec<FrontierScratch>> = const { RefCell::new(Vec::new()) };
+    static FRONTIER_TABLES: RefCell<Vec<FTable>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Take an empty panel buffer for the tiled kernel's per-vertex operand
@@ -158,6 +162,100 @@ pub(crate) fn recycle_table(costs: Vec<f64>, choice: Vec<u16>) {
     });
 }
 
+/// Take an empty `u64` panel for the frontier microkernel's packed
+/// memory rows (the memory-side companion of [`take_panel`]).
+pub(crate) fn take_mem_panel() -> Vec<u64> {
+    MEM_PANELS
+        .with(|pool| pool.borrow_mut().pop())
+        .map(|mut p| {
+            p.clear();
+            p
+        })
+        .unwrap_or_default()
+}
+
+/// Return a memory panel to this thread's pool, under the same
+/// [`MAX_POOLED_PANEL`] element cap as the `f64` panels.
+pub(crate) fn recycle_mem_panel(panel: Vec<u64>) {
+    if panel.capacity() > MAX_POOLED_PANEL {
+        return;
+    }
+    MEM_PANELS.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED_TABLES {
+            pool.push(panel);
+        }
+    });
+}
+
+/// A pooled [`FrontierScratch`] that returns itself to the thread's pool
+/// on drop, shedding any buffer grown past [`MAX_POOLED_PANEL`] elements
+/// first (the frontier fill's arenas scale with `kv × width`, but a
+/// width-0 exact search can grow them arbitrarily).
+pub(crate) struct PooledFrontierScratch(FrontierScratch);
+
+impl std::ops::Deref for PooledFrontierScratch {
+    type Target = FrontierScratch;
+    fn deref(&self) -> &FrontierScratch {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for PooledFrontierScratch {
+    fn deref_mut(&mut self) -> &mut FrontierScratch {
+        &mut self.0
+    }
+}
+
+impl Drop for PooledFrontierScratch {
+    fn drop(&mut self) {
+        let mut s = std::mem::take(&mut self.0);
+        s.shed_oversized(MAX_POOLED_PANEL);
+        FRONTIER_SCRATCH.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < MAX_POOLED_TABLES {
+                pool.push(s);
+            }
+        });
+    }
+}
+
+/// Take a frontier-fill scratch from this thread's pool (or a fresh one).
+pub(crate) fn take_frontier_scratch() -> PooledFrontierScratch {
+    PooledFrontierScratch(
+        FRONTIER_SCRATCH
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default(),
+    )
+}
+
+/// Take an empty frontier table primed for `n` entries — recycled
+/// capacity when available, with the offsets sentinel already pushed.
+pub(crate) fn take_ftable(n: usize) -> FTable {
+    let mut t = FRONTIER_TABLES
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    t.reset(n);
+    t
+}
+
+/// Return a frontier table's buffers to this thread's pool. Oversized
+/// (above [`MAX_POOLED_ENTRIES`] points) or surplus tables are freed.
+pub(crate) fn recycle_ftable(t: FTable) {
+    if t.pts.capacity() > MAX_POOLED_ENTRIES
+        || t.kids.capacity() > MAX_POOLED_ENTRIES
+        || t.offsets.capacity() > MAX_POOLED_ENTRIES
+    {
+        return;
+    }
+    FRONTIER_TABLES.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED_TABLES {
+            pool.push(t);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +331,36 @@ mod tests {
             recycle_panel(vec![0.0; 4]);
         }
         PANELS.with(|pool| assert!(pool.borrow().len() <= MAX_POOLED_TABLES));
+    }
+
+    #[test]
+    fn frontier_buffers_round_trip_through_the_pool() {
+        let mut t = take_ftable(4);
+        assert_eq!(t.offsets, vec![0u32]);
+        t.pts.reserve(8);
+        recycle_ftable(t);
+        let t2 = take_ftable(2);
+        assert_eq!(t2.offsets, vec![0u32]);
+        assert!(t2.pts.is_empty() && t2.kids.is_empty());
+        recycle_ftable(t2);
+        for _ in 0..3 * MAX_POOLED_TABLES {
+            let _ = take_frontier_scratch();
+        }
+        FRONTIER_SCRATCH.with(|pool| assert!(pool.borrow().len() <= MAX_POOLED_TABLES));
+        recycle_mem_panel(vec![0; MAX_POOLED_PANEL + 1]);
+        MEM_PANELS.with(|pool| {
+            assert!(pool
+                .borrow()
+                .iter()
+                .all(|p| p.capacity() <= MAX_POOLED_PANEL));
+        });
+        let mut p = take_mem_panel();
+        p.push(7);
+        recycle_mem_panel(p);
+        assert!(
+            take_mem_panel().is_empty(),
+            "recycled mem panels are cleared"
+        );
     }
 
     #[test]

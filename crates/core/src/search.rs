@@ -248,9 +248,11 @@ impl<'a> Search<'a> {
     /// of just the single optimum. The returned [`SearchResult`] is still
     /// the selected point (min-time, or the cheapest fitting one under
     /// [`Search::max_memory_bytes`]); the whole frontier is available via
-    /// [`SearchRun::frontier`]. The frontier engine always uses the scalar
-    /// per-entry fill (`stats.dp_kernel == "frontier"`); a
-    /// [`DpKernel::Tiled`] request falls back cleanly.
+    /// [`SearchRun::frontier`]. The frontier engine honours
+    /// [`Search::dp_kernel`]: [`DpKernel::Tiled`] (the default) runs the
+    /// run-blocked frontier microkernel (`stats.dp_kernel ==
+    /// "frontier-tiled"`), [`DpKernel::Scalar`] the incremental per-entry
+    /// fill (`"frontier"`); both produce bit-identical frontiers.
     pub fn frontier(mut self) -> Self {
         self.want_frontier = true;
         self
@@ -668,7 +670,7 @@ mod tests {
                 .run();
             let r = run.result().expect("frontier");
             assert_eq!(r.cost.to_bits(), scalar.cost.to_bits());
-            assert_eq!(r.stats.dp_kernel, "frontier");
+            assert_eq!(r.stats.dp_kernel, "frontier-tiled");
             let f = run.frontier().expect("frontier retained");
             assert_eq!(r.stats.frontier_len, f.len());
             assert!(!f.is_empty());

@@ -633,6 +633,9 @@ pub(crate) fn answer_search(req: &Request, shared: &Shared, out: &mut String) {
             ..PruneOptions::default()
         });
     }
+    if let Some(kernel) = req.dp_kernel {
+        search = search.dp_kernel(kernel);
+    }
     if wants_frontier {
         // Deliberately only `.frontier()`, never `.max_memory_bytes()`:
         // the engine computes the full Pareto set and the budget is

@@ -33,6 +33,16 @@ Two further modes:
                                    every budget variant — and each answer
                                    must be a point of F's frontier. STATS
                                    must account exactly 1 miss + 2 hits.
+  check_serve.py --frontier-kernel TILED SCALAR
+                                   TILED is a default `--frontier` response
+                                   (the run-blocked frontier microkernel,
+                                   stats.dp_kernel "frontier-tiled");
+                                   SCALAR the response of a fresh cell
+                                   queried with `--dp-kernel scalar`
+                                   (stats.dp_kernel "frontier"). Both must
+                                   be fresh fills with well-formed Pareto
+                                   sets whose length matches
+                                   stats.frontier_len.
   check_serve.py --mesh FLAT FLAT_INLINE TIER2 HETERO STATS
                                    One model planned across mesh shapes.
                                    FLAT names a registry profile;
@@ -157,6 +167,39 @@ def check_frontier(f_path: str, b1_path: str, b2_path: str, stats_path: str) -> 
     )
 
 
+def check_frontier_kernel(tiled_path: str, scalar_path: str) -> None:
+    responses = {}
+    for name, path, kernel in (
+        ("tiled", tiled_path, "frontier-tiled"),
+        ("scalar", scalar_path, "frontier"),
+    ):
+        with open(path) as f:
+            q = json.load(f)
+        assert "error" not in q, f"{name} frontier query failed: {q['error']}"
+        assert q["report"]["outcome"] == "ok", f"{name}: {q['report']}"
+        assert q["cached"] is False, f"{name}: must be a fresh DP fill, not a hit"
+        stats = q["report"]["stats"]
+        assert stats["dp_kernel"] == kernel, (
+            f"{name}: expected dp_kernel {kernel!r}: {stats}"
+        )
+        points = q["frontier"]
+        assert points, f"{name}: empty frontier"
+        for a, b in zip(points, points[1:]):
+            assert a["cost"] < b["cost"] and a["memory_bytes"] > b["memory_bytes"], (
+                f"{name}: frontier is not dominance-pruned: {a} vs {b}"
+            )
+        assert stats["frontier_len"] == len(points), (
+            f"{name}: stats.frontier_len {stats['frontier_len']} != "
+            f"{len(points)} returned points"
+        )
+        responses[name] = q
+    print(
+        f"serve frontier-kernel OK: tiled {len(responses['tiled']['frontier'])} "
+        f"points, scalar {len(responses['scalar']['frontier'])} points, "
+        f"kernels recorded in both reports"
+    )
+
+
 def check_mesh(
     flat_path: str, inline_path: str, tier2_path: str, hetero_path: str, stats_path: str
 ) -> None:
@@ -225,6 +268,9 @@ def main() -> None:
         return
     if sys.argv[1] == "--frontier":
         check_frontier(sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
+        return
+    if sys.argv[1] == "--frontier-kernel":
+        check_frontier_kernel(sys.argv[2], sys.argv[3])
         return
     if sys.argv[1] == "--mesh":
         check_mesh(sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5], sys.argv[6])

@@ -9,9 +9,10 @@ Checks:
     interning, table_build, prune, structure, plan, backtrack) and at least
     one per-wavefront fill span; when the adaptive gate skipped the prune
     (stats.prune_skipped), the prune span must be ABSENT instead of empty;
-  * when stats.dp_kernel is "tiled", the trace must contain the nested
-    "kernel" sub-span and a packed_bytes counter sample; with the scalar
-    kernel neither may appear;
+  * when stats.dp_kernel is a packing kernel ("tiled", or "frontier-tiled"
+    for Pareto-frontier searches), the trace must contain the nested
+    "kernel" sub-span and a packed_bytes counter sample; with the
+    per-entry kernels ("scalar" / "frontier") neither may appear;
   * the summed span durations are within 10% of the elapsed time reported
     by the embedded search report (the spans partition the pipeline, so
     their sum must also not exceed elapsed by more than rounding). The
@@ -73,11 +74,14 @@ def main() -> None:
 
     dp_kernel = report["stats"].get("dp_kernel")
     counter_names = {e["name"] for e in events if e.get("ph") == "C"}
-    if dp_kernel == "tiled":
+    if dp_kernel in ("tiled", "frontier-tiled"):
         if "kernel" not in names:
-            fail("stats.dp_kernel is tiled but the trace has no kernel span")
+            fail(f"stats.dp_kernel is {dp_kernel} but the trace has no kernel span")
         if "packed_bytes" not in counter_names:
-            fail("stats.dp_kernel is tiled but the trace has no packed_bytes counter")
+            fail(
+                f"stats.dp_kernel is {dp_kernel} but the trace has no "
+                "packed_bytes counter"
+            )
     else:
         if "kernel" in names:
             fail(f"dp_kernel={dp_kernel!r} must not record a kernel span")

@@ -152,10 +152,20 @@ print(min(p['memory_bytes'] for p in json.load(open('$serve_dir/f.json'))['front
 ./target/release/pase query --model mlp --devices 8 --max-memory "$floor" \
     --addr "$addr" --out "$serve_dir/b2.json"
 ./target/release/pase query --stats --addr "$addr" --out "$serve_dir/fstats.json"
+# Frontier-kernel smoke: a fresh cell queried with --dp-kernel scalar must
+# run the incremental frontier fill (stats.dp_kernel "frontier" in the
+# report), while the default frontier query above ran the run-blocked
+# microkernel ("frontier-tiled") — check_serve.py asserts both reports and
+# the well-formedness of both Pareto sets. Issued after the stats probe so
+# the 1-fill + 2-hit accounting above stays exact.
+./target/release/pase query --model mlp --devices 4 --frontier \
+    --dp-kernel scalar --addr "$addr" --out "$serve_dir/f_scalar.json"
 kill -INT "$serve_pid"
 wait "$serve_pid"
 python3 scripts/check_serve.py --frontier "$serve_dir/f.json" \
     "$serve_dir/b1.json" "$serve_dir/b2.json" "$serve_dir/fstats.json"
+python3 scripts/check_serve.py --frontier-kernel "$serve_dir/f.json" \
+    "$serve_dir/f_scalar.json"
 
 # Mesh smoke: one model planned across three mesh shapes. The named
 # profile and an inline scalar machine object with the same numbers must

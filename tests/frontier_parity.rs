@@ -219,6 +219,65 @@ fn assert_frontier_parity(
     }
 }
 
+/// The `width == 0` exactness contract: with thinning disabled the
+/// tiled kernel's batch prunes are off, and the two kernels must produce
+/// **set-identical** frontiers — bitwise times, equal memories, point
+/// for point.
+fn assert_kernels_set_identical_exact(label: &str, g: &Graph, tables: &CostTables, parallel: bool) {
+    let run = |kernel| {
+        Search::new(g)
+            .tables(tables)
+            .dp_kernel(kernel)
+            .parallel(parallel)
+            .frontier_width(0)
+            .frontier()
+            .run()
+            .frontier()
+            .cloned()
+            .unwrap_or_else(|| panic!("{label}: no width-0 frontier"))
+    };
+    let a = run(DpKernel::Scalar);
+    let b = run(DpKernel::Tiled);
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{label}: width-0 frontier lengths differ ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    for (x, y) in a.points().iter().zip(b.points()) {
+        assert_eq!(
+            x.cost.to_bits(),
+            y.cost.to_bits(),
+            "{label}: width-0 frontier times differ ({} vs {})",
+            x.cost,
+            y.cost
+        );
+        assert_eq!(
+            x.memory_bytes, y.memory_bytes,
+            "{label}: width-0 frontier memories differ"
+        );
+    }
+}
+
+/// At the default (width-capped) frontier, the tiled kernel's batch
+/// prunes keep two things exact besides the min-time bits of contract
+/// (a): the frontier's memory floor, and the max-memory endpoint's
+/// membership. Both kernels must agree on the floor bit for bit.
+fn assert_kernels_share_memory_floor(label: &str, g: &Graph, tables: &CostTables, parallel: bool) {
+    let floor = |kernel| {
+        frontier_run(g, tables, kernel, parallel, None)
+            .1
+            .unwrap_or_else(|| panic!("{label}: no frontier"))
+            .min_memory_bytes()
+    };
+    assert_eq!(
+        floor(DpKernel::Scalar),
+        floor(DpKernel::Tiled),
+        "{label}: kernels disagree on the frontier's memory floor"
+    );
+}
+
 const ALL_COMBOS: [(DpKernel, bool); 4] = [
     (DpKernel::Scalar, false),
     (DpKernel::Scalar, true),
@@ -241,6 +300,11 @@ proptest! {
         let g = random_graph(&widths, &skips);
         let tables = CostTables::build(&g, ConfigRule::new(p), &MachineSpec::test_machine());
         assert_frontier_parity("random dag", &g, &tables, &ALL_COMBOS, 2);
+        for parallel in [false, true] {
+            let label = format!("random dag (parallel={parallel})");
+            assert_kernels_set_identical_exact(&label, &g, &tables, parallel);
+            assert_kernels_share_memory_floor(&label, &g, &tables, parallel);
+        }
     }
 }
 
@@ -277,6 +341,13 @@ fn frontier_matches_scalar_on_paper_benchmarks() {
                 &combos
             };
             assert_frontier_parity(&label, &graph, &tables, combos, 1);
+            // The cross-kernel exactness contracts, on the cheapest cell
+            // of each model's column (width-0 fills disable thinning, so
+            // they are the grid's most expensive runs).
+            if p == 8 && !(cfg!(debug_assertions) && inception) {
+                assert_kernels_set_identical_exact(&label, &graph, &tables, b % 2 == 0);
+                assert_kernels_share_memory_floor(&label, &graph, &tables, b % 2 == 1);
+            }
         }
     }
 }
